@@ -1,0 +1,233 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+1. **Encoder**: exact nearest-prototype vs log2(K) hash tree (the paper's
+   latency model assumes the hash encoder; how much F1 does it cost?).
+2. **Fine-tune solver**: closed-form least squares vs the paper's E-epoch SGD.
+3. **Attention surrogate**: softmax student vs sigmoid-attention student
+   (Eq. 14 bakes sigmoid into the QKV table; does training the student with
+   sigmoid attention shrink the tabularization gap?).
+4. **Future work — layer fusion** (paper Sec. VIII): FFN block as one fused
+   table vs two linear kernels: latency halves, accuracy drops with C.
+"""
+
+import numpy as np
+
+from conftest import DART_TABLE, PREPROCESS, STUDENT_MODEL, get_tabular, tabular_f1
+
+from repro.core.evaluate import f1_score
+from repro.distillation import TrainConfig, train_model
+from repro.models import AttentionPredictor
+from repro.tabularization import TableConfig, tabularize_predictor
+from repro.tabularization.fused import FusedFunctionTable
+from repro.utils import log
+
+
+def _pick_app(suite):
+    for app in ("410.bwaves", "462.libquantum"):
+        if app in suite:
+            return suite[app]
+    return next(iter(suite.values()))
+
+
+def bench_ablation_encoder(benchmark, suite):
+    art = _pick_app(suite)
+
+    def run():
+        out = {}
+        for enc in ("exact", "hash"):
+            table = TableConfig(
+                *(getattr(DART_TABLE, f) for f in (
+                    "k_input", "c_input", "k_attn", "c_attn",
+                    "k_ffn", "c_ffn", "k_output", "c_output")),
+                encoder=enc,
+            )
+            tab, _ = get_tabular(art, fine_tune=True, table=table, tag=f"enc:{enc}")
+            out[enc] = tabular_f1(art, tab)
+        return out
+
+    f1s = benchmark.pedantic(run, rounds=1, iterations=1)
+    log.table(
+        f"Ablation: PQ encoder ({art.name})",
+        ["encoder", "F1"],
+        [[k, f"{v:.3f}"] for k, v in f1s.items()],
+    )
+    # the hash encoder trades accuracy for log(K) latency; it must stay usable
+    assert f1s["hash"] > 0.3 * f1s["exact"]
+
+
+def bench_ablation_finetune_solver(benchmark, suite):
+    art = _pick_app(suite)
+
+    def run():
+        out = {}
+        for solver in ("lstsq", "sgd"):
+            tab, _ = tabularize_predictor(
+                art.student, art.ds_train.x_addr, art.ds_train.x_pc,
+                DART_TABLE, fine_tune=True, ft_solver=solver, ft_epochs=20, rng=7,
+            )
+            out[solver] = tabular_f1(art, tab)
+        return out
+
+    f1s = benchmark.pedantic(run, rounds=1, iterations=1)
+    log.table(
+        f"Ablation: fine-tune solver ({art.name})",
+        ["solver", "F1"],
+        [[k, f"{v:.3f}"] for k, v in f1s.items()],
+    )
+    assert abs(f1s["lstsq"] - f1s["sgd"]) < 0.15  # same objective, same story
+
+
+def bench_ablation_sigmoid_attention_student(benchmark, suite):
+    """Does a sigmoid-attention student tabularize with a smaller F1 gap?"""
+    art = _pick_app(suite)
+
+    def run():
+        cfg = STUDENT_MODEL.scaled(score_mode="sigmoid")
+        student = AttentionPredictor(
+            cfg, art.ds_train.x_addr.shape[2], art.ds_train.x_pc.shape[2], rng=21
+        )
+        train_model(
+            student, art.ds_train, art.ds_val,
+            TrainConfig(epochs=4, batch_size=128, lr=2e-3, seed=21),
+        )
+        f1_nn = f1_score(
+            art.ds_val.labels, student.predict_proba(art.ds_val.x_addr, art.ds_val.x_pc)
+        )
+        tab, _ = tabularize_predictor(
+            student, art.ds_train.x_addr, art.ds_train.x_pc, DART_TABLE,
+            fine_tune=True, rng=22,
+        )
+        f1_tab = tabular_f1(art, tab)
+        # softmax baseline from the shared artifacts
+        tab_soft, _ = get_tabular(art, fine_tune=True, table=DART_TABLE)
+        return {
+            "softmax student": art.f1["student"],
+            "softmax DART": tabular_f1(art, tab_soft),
+            "sigmoid student": f1_nn,
+            "sigmoid DART": f1_tab,
+        }
+
+    f1s = benchmark.pedantic(run, rounds=1, iterations=1)
+    log.table(
+        f"Ablation: attention surrogate ({art.name})",
+        ["model", "F1"],
+        [[k, f"{v:.3f}"] for k, v in f1s.items()],
+    )
+    assert f1s["sigmoid DART"] > 0.0
+
+
+def bench_ablation_fused_ffn_table(benchmark, suite):
+    """Paper Sec. VIII future work: one fused table for the whole FFN block."""
+    art = _pick_app(suite)
+    student = art.student
+    enc = student.encoders[0]
+    acts = student.trunk_activations(art.ds_train.x_addr, art.ds_train.x_pc)
+    x_in = acts["enc0/post_ln1"]
+    target = acts["enc0/ffn_out"]
+    dim = student.config.dim
+
+    def ffn(rows):
+        hidden = np.maximum(rows @ enc.ffn.lin1.weight.value.T + enc.ffn.lin1.bias.value, 0.0)
+        return hidden @ enc.ffn.lin2.weight.value.T + enc.ffn.lin2.bias.value
+
+    def run():
+        out = {}
+        for c in (1, 2, 4):
+            fused = FusedFunctionTable.train(
+                ffn, x_in, dim, dim, n_prototypes=128, n_subspaces=c, rng=0
+            )
+            approx = fused.query(x_in)
+            err = float(np.abs(approx - target).mean() / (np.abs(target).mean() + 1e-12))
+            out[c] = (err, fused.latency_cycles())
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    two_kernel_latency = 2 * (np.log2(128) + np.log2(2) + 1)
+    rows = [
+        [f"C={c}", f"{err:.3f}", f"{lat:.0f}", f"{two_kernel_latency:.0f}"]
+        for c, (err, lat) in results.items()
+    ]
+    log.table(
+        f"Ablation: fused FFN table ({art.name}) — rel. error and latency "
+        "vs the two-kernel path",
+        ["config", "rel err", "fused latency", "2-kernel latency"],
+        rows,
+    )
+    # fused halves latency; error grows with C (nonlinearity vs additivity)
+    assert results[1][1] < two_kernel_latency
+    assert results[4][0] >= results[1][0] - 0.05
+
+
+def bench_ablation_decode_policy(benchmark, suite, profile):
+    """Timeliness-major vs confidence-major prefetch decode.
+
+    The delta bitmap's look-forward window is the predictor's only lookahead;
+    picking the *farthest* above-threshold deltas ("distance") buys
+    timeliness at a small accuracy cost, while picking the most probable ones
+    ("confidence") tends to select near deltas whose prefetches land late.
+    """
+    from repro.prefetch import DARTPrefetcher
+    from repro.sim import SimConfig, ipc_improvement, simulate
+    from repro.traces import make_workload
+
+    art = _pick_app(suite)
+    tab, _ = get_tabular(art, fine_tune=True, table=DART_TABLE)
+    trace = make_workload(art.name, scale=profile.sim_trace_scale, seed=2)
+    cfg = SimConfig()
+
+    def run():
+        base = simulate(trace, None, cfg)
+        out = {}
+        for decode in ("distance", "confidence"):
+            pf = DARTPrefetcher(tab, PREPROCESS, name=f"DART[{decode}]", decode=decode)
+            r = simulate(trace, pf, cfg)
+            out[decode] = (
+                ipc_improvement(r, base),
+                r.accuracy,
+                r.coverage(base.demand_misses),
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    log.table(
+        f"Ablation: decode policy ({art.name})",
+        ["decode", "IPC gain", "accuracy", "coverage"],
+        [[k, f"{v[0]:+.3f}", f"{v[1]:.3f}", f"{v[2]:.3f}"] for k, v in results.items()],
+    )
+    # timeliness-major decode must not lose to confidence-major on IPC
+    assert results["distance"][0] >= results["confidence"][0] - 0.02
+
+
+def bench_ablation_prefetch_filter(benchmark, suite, profile):
+    """Request dedup filter: how redundant is the bitmap prefetcher's stream?"""
+    from repro.prefetch import DARTPrefetcher, FilteredPrefetcher
+    from repro.sim import SimConfig, ipc_improvement, simulate
+    from repro.traces import make_workload
+
+    art = _pick_app(suite)
+    tab, _ = get_tabular(art, fine_tune=True, table=DART_TABLE)
+    trace = make_workload(art.name, scale=profile.sim_trace_scale, seed=2)
+    cfg = SimConfig()
+
+    def run():
+        base = simulate(trace, None, cfg)
+        raw = DARTPrefetcher(tab, PREPROCESS)
+        filt = FilteredPrefetcher(DARTPrefetcher(tab, PREPROCESS), window=2048)
+        r_raw = simulate(trace, raw, cfg)
+        r_filt = simulate(trace, filt, cfg)
+        return {
+            "raw": (ipc_improvement(r_raw, base), None),
+            "filtered": (ipc_improvement(r_filt, base), filt.redundancy),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    log.table(
+        f"Ablation: prefetch dedup filter ({art.name})",
+        ["variant", "IPC gain", "stream redundancy"],
+        [
+            ["raw", f"{results['raw'][0]:+.3f}", "-"],
+            ["filtered", f"{results['filtered'][0]:+.3f}", f"{results['filtered'][1]:.1%}"],
+        ],
+    )
+    # dedup must not change useful prefetching (duplicates die at the cache)
+    assert abs(results["filtered"][0] - results["raw"][0]) < 0.05

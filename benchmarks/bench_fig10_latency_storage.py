@@ -1,0 +1,54 @@
+"""Figure 10 — latency and storage versus K and C (analytic cost model).
+
+Expected shapes (paper): latency scales *linearly* with log(K) and log(C);
+storage grows ~exponentially (K for linear tables, K^2 for attention tables).
+"""
+
+import numpy as np
+
+from repro.models import ModelConfig
+from repro.prefetch import tabular_model_latency, tabular_model_storage_bits
+from repro.tabularization import TableConfig
+from repro.utils import log
+
+MODEL = ModelConfig(layers=1, dim=32, heads=2, history_len=16, bitmap_size=256)
+
+
+def bench_fig10_latency_storage_scaling(benchmark):
+    ks = (16, 32, 64, 128, 256, 512, 1024)
+    cs = (1, 2, 4, 8)
+
+    def compute():
+        k_rows = [
+            (k, tabular_model_latency(MODEL, TableConfig.uniform(k, 2)),
+             tabular_model_storage_bits(MODEL, TableConfig.uniform(k, 2)) / 8 / 1024)
+            for k in ks
+        ]
+        c_rows = [
+            (c, tabular_model_latency(MODEL, TableConfig.uniform(128, c)),
+             tabular_model_storage_bits(MODEL, TableConfig.uniform(128, c)) / 8 / 1024)
+            for c in cs
+        ]
+        return k_rows, c_rows
+
+    k_rows, c_rows = benchmark(compute)
+    log.table(
+        "Fig. 10 (left): latency & storage vs K (C=2)",
+        ["K", "latency (cyc)", "storage (KB)"],
+        [[k, f"{l:.0f}", f"{s:,.1f}"] for k, l, s in k_rows],
+    )
+    log.table(
+        "Fig. 10 (right): latency & storage vs C (K=128)",
+        ["C", "latency (cyc)", "storage (KB)"],
+        [[c, f"{l:.0f}", f"{s:,.1f}"] for c, l, s in c_rows],
+    )
+    # latency linear in log2(K): constant increment per doubling
+    lat = [l for _, l, _ in k_rows]
+    incs = np.diff(lat)
+    assert np.allclose(incs, incs[0])
+    # storage superlinear in K: increments grow
+    stor = [s for _, _, s in k_rows]
+    assert np.diff(stor, 2).min() > 0
+    # same checks along C
+    lat_c = [l for _, l, _ in c_rows]
+    assert np.allclose(np.diff(lat_c), np.diff(lat_c)[0])

@@ -1,0 +1,47 @@
+"""Figure 11 — layer-wise cosine similarity: DART vs DART w/o fine-tuning.
+
+Expected shape (paper): fine-tuning raises cosine similarity between the
+student network and the table hierarchy at every checkpoint, with the largest
+gains near the output.
+"""
+
+import numpy as np
+
+from conftest import DART_TABLE, get_tabular
+
+from repro.utils import log
+
+
+def bench_fig11_layer_cosine_similarity(benchmark, suite, profile):
+    apps = [a for a in profile.sweep_apps if a in suite]
+
+    def collect():
+        per_key_no, per_key_ft = {}, {}
+        for app in apps:
+            art = suite[app]
+            _, rep_no = get_tabular(art, fine_tune=False, table=DART_TABLE)
+            _, rep_ft = get_tabular(art, fine_tune=True, table=DART_TABLE)
+            for k, v in rep_no.cosine.items():
+                per_key_no.setdefault(k, []).append(v)
+            for k, v in rep_ft.cosine.items():
+                per_key_ft.setdefault(k, []).append(v)
+        keys = list(per_key_ft)
+        return {
+            "keys": keys,
+            "no_ft": [float(np.mean(per_key_no[k])) for k in keys],
+            "ft": [float(np.mean(per_key_ft[k])) for k in keys],
+        }
+
+    data = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = [
+        [k, f"{a:.4f}", f"{b:.4f}", f"{b - a:+.4f}"]
+        for k, a, b in zip(data["keys"], data["no_ft"], data["ft"])
+    ]
+    log.table(
+        f"Fig. 11: layer-wise cosine similarity (apps={apps})",
+        ["checkpoint", "DART w/o FT", "DART", "gain"],
+        rows,
+    )
+    # FT must help overall, most visibly at the output (paper's observation).
+    assert np.mean(data["ft"]) >= np.mean(data["no_ft"]) - 1e-6
+    assert data["ft"][-1] >= data["no_ft"][-1] - 1e-6

@@ -1,0 +1,86 @@
+"""Figures 12, 13, 14 — prefetch accuracy, coverage, and IPC improvement.
+
+One shared simulation campaign (the ``sim_results`` fixture) feeds all three
+figures, mirroring how the paper derives them from the same ChampSim runs.
+
+Expected shapes (paper):
+* accuracy: ideal NN prefetchers highest; with latency enabled TransFetch and
+  especially Voyager collapse; DART variants stay high (Fig. 12);
+* coverage: TransFetch-I ~ DART > BO; latency-afflicted NN prefetchers drop
+  to near zero (Fig. 13);
+* IPC: DART variants > BO > ISB and > latency-afflicted TransFetch/Voyager,
+  with ideal variants bracketing from above (Fig. 14).
+"""
+
+import numpy as np
+
+from conftest import PREFETCHER_ORDER
+
+from repro.sim import ipc_improvement
+from repro.utils import log
+
+
+def _mean_over_apps(sim_results, metric):
+    out = {}
+    for name in PREFETCHER_ORDER:
+        vals = []
+        for app in sim_results["apps"]:
+            run = sim_results["runs"].get((app, name))
+            if run is None:
+                continue
+            vals.append(metric(app, run))
+        if vals:
+            out[name] = float(np.mean(vals))
+    return out
+
+
+def bench_fig12_prefetch_accuracy(benchmark, sim_results):
+    acc = benchmark.pedantic(
+        lambda: _mean_over_apps(sim_results, lambda app, r: r.accuracy),
+        rounds=1, iterations=1,
+    )
+    log.table(
+        "Fig. 12: prefetch accuracy (mean over apps; paper: BO .894, "
+        "TransFetch .786, Voyager .499, DART .807)",
+        ["prefetcher", "accuracy"],
+        [[n, f"{v:.3f}"] for n, v in acc.items()],
+    )
+    assert acc["DART"] > acc["Voyager"]  # latency destroys Voyager's accuracy
+
+
+def bench_fig13_prefetch_coverage(benchmark, sim_results):
+    def metric(app, r):
+        return r.coverage(sim_results["baseline"][app].demand_misses)
+
+    cov = benchmark.pedantic(
+        lambda: _mean_over_apps(sim_results, metric), rounds=1, iterations=1
+    )
+    log.table(
+        "Fig. 13: prefetch coverage (mean over apps; paper: DART .510, "
+        "TransFetch .144, Voyager .021)",
+        ["prefetcher", "coverage"],
+        [[n, f"{v:.3f}"] for n, v in cov.items()],
+    )
+    assert cov["DART"] > cov["Voyager"]
+    assert cov["DART"] > cov["TransFetch"]  # latency kills coverage
+
+
+def bench_fig14_ipc_improvement(benchmark, sim_results):
+    def metric(app, r):
+        return ipc_improvement(r, sim_results["baseline"][app])
+
+    imps = benchmark.pedantic(
+        lambda: _mean_over_apps(sim_results, metric), rounds=1, iterations=1
+    )
+    log.table(
+        "Fig. 14: IPC improvement (mean over apps; paper: DART-S .354, "
+        "DART .376, DART-L .385, BO .315, ISB .016, TransFetch .045, "
+        "Voyager .004, TransFetch-I .409)",
+        ["prefetcher", "IPC improvement"],
+        [[n, f"{v:+.3f}"] for n, v in imps.items()],
+    )
+    # The paper's headline orderings:
+    assert imps["DART"] > imps["ISB"]
+    assert imps["DART"] > imps["TransFetch"]  # +33.1% in the paper
+    assert imps["DART"] > imps["Voyager"]  # +37.2% in the paper
+    assert imps["DART"] >= imps["BO"] - 0.03  # comparable-or-better vs BO

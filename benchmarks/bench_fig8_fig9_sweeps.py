@@ -1,0 +1,58 @@
+"""Figures 8 & 9 — DART F1 versus prototypes K and subspaces C.
+
+Expected shapes (paper): F1 rises with K (strongly past K~128; K=1024 beats
+K=16 by ~10.9%) and rises mildly with C (C=8 beats C=1 by ~6.6%).
+"""
+
+import numpy as np
+
+from conftest import get_tabular, tabular_f1
+
+from repro.tabularization import TableConfig
+from repro.utils import log
+
+
+def bench_fig8_prototype_sweep(benchmark, suite, profile):
+    apps = [a for a in profile.sweep_apps if a in suite]
+
+    def sweep():
+        series = {}
+        for k in profile.k_sweep:
+            f1s = []
+            for app in apps:
+                art = suite[app]
+                tab, _ = get_tabular(art, fine_tune=True, table=TableConfig.uniform(k, 2))
+                f1s.append(tabular_f1(art, tab))
+            series[k] = float(np.mean(f1s))
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[f"K={k}", f"{v:.3f}"] for k, v in series.items()]
+    log.table(
+        f"Fig. 8: mean F1 vs prototypes K (C=2, apps={apps})", ["K", "mean F1"], rows
+    )
+    ks = sorted(series)
+    assert series[ks[-1]] >= series[ks[0]] - 0.01  # rising trend in K
+
+
+def bench_fig9_subspace_sweep(benchmark, suite, profile):
+    apps = [a for a in profile.sweep_apps if a in suite]
+
+    def sweep():
+        series = {}
+        for c in profile.c_sweep:
+            f1s = []
+            for app in apps:
+                art = suite[app]
+                tab, _ = get_tabular(art, fine_tune=True, table=TableConfig.uniform(128, c))
+                f1s.append(tabular_f1(art, tab))
+            series[c] = float(np.mean(f1s))
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[f"C={c}", f"{v:.3f}"] for c, v in series.items()]
+    log.table(
+        f"Fig. 9: mean F1 vs subspaces C (K=128, apps={apps})", ["C", "mean F1"], rows
+    )
+    cs = sorted(series)
+    assert series[cs[-1]] >= series[cs[0]] - 0.02  # mild rising trend in C

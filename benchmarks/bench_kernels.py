@@ -1,0 +1,68 @@
+"""Microbenchmarks: tabular kernel query throughput vs dense matmul.
+
+Not a paper table — supporting evidence for the Table V story on commodity
+hardware: wall-clock of the lookup path vs the GEMM it replaces, plus the
+analytic op counts. (On CPU+NumPy the GEMM is heavily optimized while the
+lookup path pays Python/gather overhead, so wall-clock favors GEMM at these
+tiny sizes; the *operation counts* are what the hardware argument rests on.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.linear import Linear
+from repro.tabularization import TabularAttention, TabularLinear
+
+
+@pytest.fixture(scope="module")
+def linear_setup():
+    rng = np.random.default_rng(0)
+    lin = Linear(32, 128, rng=1)
+    x_train = rng.standard_normal((20_000, 32))
+    tab = TabularLinear.train(lin, x_train, 128, 2, rng=0)
+    x = rng.standard_normal((512, 16, 32))
+    return lin, tab, x
+
+
+def bench_dense_linear_forward(benchmark, linear_setup):
+    lin, _, x = linear_setup
+    benchmark(lambda: lin.forward(x))
+
+
+def bench_tabular_linear_query(benchmark, linear_setup):
+    lin, tab, x = linear_setup
+    out = benchmark(lambda: tab.query(x))
+    assert out.shape == (512, 16, 128)
+    # ops comparison: Eq. 20 vs dense 2*T*Din*Dout per sample
+    dense_ops = 2 * 16 * 32 * 128
+    assert tab.ops(16) < dense_ops / 10
+
+
+@pytest.fixture(scope="module")
+def attention_setup():
+    rng = np.random.default_rng(1)
+    n, t, dk = 2000, 16, 16
+    q = rng.standard_normal((n, t, dk))
+    k = rng.standard_normal((n, t, dk))
+    v = rng.standard_normal((n, t, dk))
+    kern = TabularAttention.train(q[:500], k[:500], v[:500], 64, 2, rng=0)
+    return kern, q[:256], k[:256], v[:256]
+
+
+def bench_dense_attention(benchmark, attention_setup):
+    _, q, k, v = attention_setup
+
+    def dense():
+        scores = q @ k.transpose(0, 2, 1) / 4.0
+        w = 1.0 / (1.0 + np.exp(-scores))
+        return w @ v
+
+    benchmark(dense)
+
+
+def bench_tabular_attention_query(benchmark, attention_setup):
+    kern, q, k, v = attention_setup
+    out = benchmark(lambda: kern.query(q, k, v))
+    assert out.shape == q.shape
+    dense_ops = 2 * 16 * 16 * 16 * 2  # two (T,Dk)x(Dk,T)-ish matmuls
+    assert kern.ops(16) < dense_ops

@@ -1,0 +1,62 @@
+"""Residual PQ ablation — the quantizer-side route past Fig. 8's plateau.
+
+Fig. 8 flattens past K ≈ 512 because single-stage prototype *resolution*,
+not count, becomes the limit. Residual PQ stacks stages over reconstruction
+error: at matched table storage (M stages × K prototypes vs one stage of
+M·K), multi-stage quantization must win on full-rank data, paying only the
+sequential-encode latency the cost model charges.
+"""
+
+import numpy as np
+
+from repro.quantization import ProductQuantizer, ResidualProductQuantizer
+from repro.utils import log
+
+
+def _activations(n=3000, d=32, seed=0):
+    """Full-rank correlated data — the regime where prototype count saturates."""
+    rng = np.random.default_rng(seed)
+    basis = rng.standard_normal((d, d))
+    return rng.standard_normal((n, d)) @ basis * 0.3
+
+
+def bench_residual_pq_matched_storage(benchmark):
+    x = _activations()
+
+    def run():
+        rows = []
+        for stages, k in ((1, 64), (2, 32), (4, 16)):  # equal total table rows
+            rpq = ResidualProductQuantizer(32, 4, k, n_stages=stages, rng=0).fit(x)
+            rows.append((stages, k, rpq.quantization_error(x), rpq.latency_cycles()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    log.table(
+        "Residual PQ at matched storage (C=4, 64 table rows total)",
+        ["stages", "K/stage", "MSE", "latency (cycles)"],
+        [[str(m), str(k), f"{e:.5f}", f"{l:.1f}"] for m, k, e, l in rows],
+    )
+    errors = [e for _, _, e, _ in rows]
+    lats = [l for _, _, _, l in rows]
+    # More stages: strictly better reconstruction, strictly more latency.
+    assert errors[1] < errors[0]
+    assert lats[0] < lats[1] < lats[2]
+
+
+def bench_residual_pq_error_decay(benchmark):
+    x = _activations(seed=1)
+
+    def run():
+        return [
+            ResidualProductQuantizer(32, 4, 16, n_stages=m, rng=0).fit(x).quantization_error(x)
+            for m in (1, 2, 3, 4)
+        ]
+
+    errs = benchmark.pedantic(run, rounds=1, iterations=1)
+    log.table(
+        "Residual PQ error vs stages (K=16, C=4)",
+        ["stages", "MSE"],
+        [[str(m + 1), f"{e:.5f}"] for m, e in enumerate(errs)],
+    )
+    assert all(a > b for a, b in zip(errs, errs[1:]))  # monotone decay
+    assert errs[-1] < 0.35 * errs[0]  # roughly geometric

@@ -1,0 +1,78 @@
+"""Table V — model configurations and complexity (latency / storage / ops).
+
+Computes the analytic cost model for the paper's three designs:
+
+* Teacher (L=4, D=256, H=8) and Student (L=1, D=32, H=2) under the systolic-
+  array NN model,
+* DART (student structure, K=128, C=2) under the tabular kernel model
+  (Eqs. 16-23),
+
+and checks the paper's headline reductions: ~99.99% fewer ops than the
+teacher, >90% fewer than the student, >100x latency acceleration.
+"""
+
+from repro.models import ModelConfig, STUDENT_CONFIG, TEACHER_CONFIG
+from repro.prefetch import (
+    nn_ops,
+    nn_storage_bits,
+    nn_systolic_latency,
+    tabular_model_latency,
+    tabular_model_ops,
+    tabular_model_storage_bits,
+)
+from repro.tabularization import TableConfig
+from repro.utils import log
+
+
+def bench_table5_complexity(benchmark):
+    teacher = TEACHER_CONFIG.scaled(history_len=16, bitmap_size=256)
+    student = STUDENT_CONFIG.scaled(history_len=16, bitmap_size=256)
+    dart_model = ModelConfig(layers=1, dim=32, heads=2, history_len=16, bitmap_size=256)
+    dart_table = TableConfig.uniform(128, 2)
+
+    def compute():
+        return {
+            "Teacher": (
+                nn_systolic_latency(teacher),
+                nn_storage_bits(teacher) / 8,
+                nn_ops(teacher),
+            ),
+            "Student": (
+                nn_systolic_latency(student),
+                nn_storage_bits(student) / 8,
+                nn_ops(student),
+            ),
+            "DART": (
+                tabular_model_latency(dart_model, dart_table),
+                tabular_model_storage_bits(dart_model, dart_table) / 8,
+                tabular_model_ops(dart_model, dart_table),
+            ),
+        }
+
+    costs = benchmark(compute)
+    paper = {
+        "Teacher": (16_500, 86.2e6, 98.3e6),
+        "Student": (908, 827.4e3, 134.7e3),
+        "DART": (97, 864.4e3, 11.0e3),
+    }
+    rows = []
+    for name, (lat, stor, ops) in costs.items():
+        p = paper[name]
+        rows.append(
+            [
+                name,
+                f"{lat:,.0f} / {p[0]:,}",
+                f"{stor / 1024:,.1f}K / {p[1] / 1024:,.1f}K",
+                f"{ops:,.0f} / {p[2]:,.0f}",
+            ]
+        )
+    log.table(
+        "Table V: complexity, ours/paper", ["model", "latency (cyc)", "storage (B)", "ops"], rows
+    )
+    lat_t, _, ops_t = costs["Teacher"]
+    lat_s, _, ops_s = costs["Student"]
+    lat_d, _, ops_d = costs["DART"]
+    assert 1 - ops_d / ops_t > 0.999  # paper: 99.99% reduction
+    assert 1 - ops_d / ops_s > 0.90  # paper: 91.83%
+    assert lat_t / lat_d > 100  # paper: 170x
+    assert lat_s / lat_d > 5  # paper: 9.4x

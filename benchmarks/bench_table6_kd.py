@@ -1,0 +1,48 @@
+"""Table VI — F1 of teacher vs student without KD vs student with KD.
+
+Expected shape (paper): mean F1 ordering
+``teacher >= student(KD) > student(no KD)``, with KD recovering most of the
+teacher-student gap.
+"""
+
+import numpy as np
+
+from repro.utils import log
+
+
+def bench_table6_knowledge_distillation(benchmark, suite, profile):
+    def collect():
+        rows, means = [], {"teacher": [], "student_no_kd": [], "student": []}
+        for app, art in suite.items():
+            rows.append(
+                [
+                    app,
+                    f"{art.f1['teacher']:.3f}",
+                    f"{art.f1['student_no_kd']:.3f}",
+                    f"{art.f1['student']:.3f}",
+                ]
+            )
+            for k in means:
+                means[k].append(art.f1[k])
+        rows.append(
+            [
+                "Mean",
+                f"{np.mean(means['teacher']):.3f}",
+                f"{np.mean(means['student_no_kd']):.3f}",
+                f"{np.mean(means['student']):.3f}",
+            ]
+        )
+        return rows, {k: float(np.mean(v)) for k, v in means.items()}
+
+    (rows, means) = benchmark.pedantic(collect, rounds=1, iterations=1)
+    log.table(
+        "Table VI: F1 — teacher / student w/o KD / student w/ KD "
+        "(paper means: 0.788 / 0.751 / 0.783)",
+        ["app", "teacher", "stu w/o KD", "student"],
+        rows,
+    )
+    # Paper's finding: KD recovers most of the teacher-student gap. The
+    # tolerances absorb reduced-scale noise (at REPRO_SCALE=ci the teacher is
+    # student-sized, so KD can only match, not improve).
+    assert means["student"] >= means["student_no_kd"] - 0.05
+    assert means["teacher"] >= means["student"] - 0.10

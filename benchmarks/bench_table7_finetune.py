@@ -1,0 +1,39 @@
+"""Table VII — F1 of DART with vs without layer fine-tuning.
+
+Expected shape (paper): DART(FT) mean F1 exceeds DART w/o FT (0.699 vs 0.661)
+and trails the student slightly (paper: -0.084).
+"""
+
+import numpy as np
+
+from conftest import DART_TABLE, get_tabular, tabular_f1
+
+from repro.utils import log
+
+
+def bench_table7_fine_tuning(benchmark, suite, profile):
+    def collect():
+        rows, f1_ft, f1_no, f1_stu = [], [], [], []
+        for app, art in suite.items():
+            tab_no, _ = get_tabular(art, fine_tune=False, table=DART_TABLE)
+            tab_ft, _ = get_tabular(art, fine_tune=True, table=DART_TABLE)
+            a = tabular_f1(art, tab_no)
+            b = tabular_f1(art, tab_ft)
+            rows.append([app, f"{a:.3f}", f"{b:.3f}", f"{art.f1['student']:.3f}"])
+            f1_no.append(a)
+            f1_ft.append(b)
+            f1_stu.append(art.f1["student"])
+        rows.append(
+            ["Mean", f"{np.mean(f1_no):.3f}", f"{np.mean(f1_ft):.3f}", f"{np.mean(f1_stu):.3f}"]
+        )
+        return rows, float(np.mean(f1_no)), float(np.mean(f1_ft)), float(np.mean(f1_stu))
+
+    rows, mean_no, mean_ft, mean_stu = benchmark.pedantic(collect, rounds=1, iterations=1)
+    log.table(
+        "Table VII: F1 — DART w/o FT / DART / student "
+        "(paper means: 0.661 / 0.699 / 0.783)",
+        ["app", "DART w/o FT", "DART", "student"],
+        rows,
+    )
+    assert mean_ft >= mean_no - 0.01  # fine-tuning must not hurt on average
+    assert mean_stu >= mean_ft - 0.15  # tabularization costs a bounded drop

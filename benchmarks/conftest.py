@@ -1,0 +1,272 @@
+"""Shared experiment artifacts for the reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper. Heavy artifacts
+(traces, trained teachers/students, tabularized models, simulation runs) are
+built once per pytest session here and shared across benches.
+
+Scale profiles (``REPRO_SCALE`` env var):
+
+* ``small`` (default) — sized for a 2-core CI box: shorter traces, a reduced
+  teacher, fewer epochs, prefetching simulated on a 4-app subset. All trends
+  and orderings are preserved; absolute F1/IPC values shift slightly.
+* ``paper`` — Table IV trace lengths, the paper's (4, 256, 8) teacher, all 8
+  apps everywhere. Expect hours of wall time.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.core.evaluate import f1_score
+from repro.data import PreprocessConfig, build_dataset, train_test_split
+from repro.distillation import TrainConfig, distill_student, train_model
+from repro.models import AttentionPredictor, ModelConfig
+from repro.tabularization import TableConfig, tabularize_predictor
+from repro.traces import WORKLOAD_NAMES, make_workload
+from repro.utils import log
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    name: str
+    trace_scale: float
+    sim_trace_scale: float
+    max_samples: int
+    teacher: tuple[int, int, int]  # (L, D, H)
+    teacher_epochs: int
+    student_epochs: int
+    #: apps used for F1 experiments (Tables VI/VII)
+    f1_apps: tuple[str, ...]
+    #: apps used for prefetching sims (Figs. 12-14)
+    sim_apps: tuple[str, ...]
+    #: apps averaged in the K/C sweeps (Figs. 8-9)
+    sweep_apps: tuple[str, ...]
+    k_sweep: tuple[int, ...]
+    c_sweep: tuple[int, ...]
+
+
+PROFILES = {
+    "ci": ScaleProfile(
+        name="ci",
+        trace_scale=0.02,
+        sim_trace_scale=0.05,
+        max_samples=1200,
+        teacher=(1, 32, 2),
+        teacher_epochs=2,
+        student_epochs=2,
+        f1_apps=("462.libquantum", "605.mcf"),
+        sim_apps=("462.libquantum",),
+        sweep_apps=("462.libquantum",),
+        k_sweep=(16, 64),
+        c_sweep=(1, 2),
+    ),
+    "small": ScaleProfile(
+        name="small",
+        trace_scale=0.05,
+        sim_trace_scale=0.15,
+        max_samples=3000,
+        teacher=(2, 64, 4),
+        teacher_epochs=4,
+        student_epochs=4,
+        f1_apps=WORKLOAD_NAMES,
+        sim_apps=("410.bwaves", "462.libquantum", "602.gcc", "605.mcf"),
+        sweep_apps=("410.bwaves", "462.libquantum", "605.mcf"),
+        k_sweep=(16, 64, 256),
+        c_sweep=(1, 2, 4),
+    ),
+    "paper": ScaleProfile(
+        name="paper",
+        trace_scale=1.0,
+        sim_trace_scale=1.0,
+        max_samples=12000,
+        teacher=(4, 256, 8),
+        teacher_epochs=8,
+        student_epochs=8,
+        f1_apps=WORKLOAD_NAMES,
+        sim_apps=WORKLOAD_NAMES,
+        sweep_apps=WORKLOAD_NAMES,
+        k_sweep=(16, 64, 128, 256, 1024),
+        c_sweep=(1, 2, 4, 8),
+    ),
+}
+
+PREPROCESS = PreprocessConfig(history_len=16, window=10, delta_range=128)
+STUDENT_MODEL = ModelConfig(layers=1, dim=32, heads=2, history_len=16, bitmap_size=256)
+DART_TABLE = TableConfig.uniform(128, 2)
+
+
+@dataclass
+class AppArtifacts:
+    """Everything the F1 experiments need for one workload."""
+
+    name: str
+    ds_train: object
+    ds_val: object
+    teacher: AttentionPredictor
+    student: AttentionPredictor  # distilled (with KD)
+    student_no_kd: AttentionPredictor
+    f1: dict[str, float] = field(default_factory=dict)
+    #: filled lazily by benches that need tabular models
+    tabular: dict = field(default_factory=dict)
+    reports: dict = field(default_factory=dict)
+
+
+@pytest.fixture(scope="session")
+def profile() -> ScaleProfile:
+    name = os.environ.get("REPRO_SCALE", "small")
+    if name not in PROFILES:
+        raise KeyError(f"REPRO_SCALE must be one of {list(PROFILES)}, got {name!r}")
+    return PROFILES[name]
+
+
+def build_app_artifacts(app: str, prof: ScaleProfile, seed: int = 0) -> AppArtifacts:
+    """Train teacher + students for one app (the Fig. 2 steps 1-2)."""
+    trace = make_workload(app, scale=prof.trace_scale, seed=seed)
+    ds = build_dataset(trace.pcs, trace.addrs, PREPROCESS, max_samples=prof.max_samples)
+    ds_train, ds_val = train_test_split(ds, 0.8)
+    t_layers, t_dim, t_heads = prof.teacher
+    teacher_cfg = ModelConfig(
+        layers=t_layers, dim=t_dim, heads=t_heads, history_len=16, bitmap_size=256
+    )
+    teacher = AttentionPredictor(
+        teacher_cfg, ds.x_addr.shape[2], ds.x_pc.shape[2], rng=seed
+    )
+    train_model(
+        teacher, ds_train, ds_val,
+        TrainConfig(epochs=prof.teacher_epochs, batch_size=128, lr=2e-3, seed=seed),
+    )
+    student, _ = distill_student(
+        teacher, STUDENT_MODEL, ds_train, ds_val,
+        TrainConfig(epochs=prof.student_epochs, batch_size=128, lr=2e-3, seed=seed + 1),
+        rng=seed + 1,
+    )
+    student_no_kd = AttentionPredictor(
+        STUDENT_MODEL, ds.x_addr.shape[2], ds.x_pc.shape[2], rng=seed + 2
+    )
+    train_model(
+        student_no_kd, ds_train, ds_val,
+        TrainConfig(epochs=prof.student_epochs, batch_size=128, lr=2e-3, seed=seed + 2),
+    )
+    art = AppArtifacts(app, ds_train, ds_val, teacher, student, student_no_kd)
+    for label, model in (
+        ("teacher", teacher),
+        ("student", student),
+        ("student_no_kd", student_no_kd),
+    ):
+        probs = model.predict_proba(ds_val.x_addr, ds_val.x_pc)
+        art.f1[label] = f1_score(ds_val.labels, probs)
+    log.info(
+        f"{app}: teacher={art.f1['teacher']:.3f} student={art.f1['student']:.3f} "
+        f"no_kd={art.f1['student_no_kd']:.3f}"
+    )
+    return art
+
+
+@pytest.fixture(scope="session")
+def suite(profile) -> dict[str, AppArtifacts]:
+    """Teacher/student artifacts for every F1 app (shared across benches)."""
+    return {app: build_app_artifacts(app, profile) for app in profile.f1_apps}
+
+
+def get_tabular(art: AppArtifacts, fine_tune: bool, table: TableConfig = DART_TABLE, tag=None):
+    """Lazily tabularize an app's student and cache the result on the artifact."""
+    key = tag or (f"ft={fine_tune}", table.k_input, table.c_input)
+    if key not in art.tabular:
+        model, report = tabularize_predictor(
+            art.student,
+            art.ds_train.x_addr,
+            art.ds_train.x_pc,
+            table,
+            fine_tune=fine_tune,
+            rng=7,
+        )
+        art.tabular[key] = model
+        art.reports[key] = report
+    return art.tabular[key], art.reports[key]
+
+
+def tabular_f1(art: AppArtifacts, model) -> float:
+    probs = model.predict_proba(art.ds_val.x_addr, art.ds_val.x_pc)
+    return f1_score(art.ds_val.labels, probs)
+
+
+# --------------------------------------------------------------------------
+# Prefetching simulation artifacts (shared by the Fig. 12 / 13 / 14 benches).
+# --------------------------------------------------------------------------
+from repro.distillation.kd import distill_student  # noqa: E402
+from repro.models import LSTMPredictor  # noqa: E402
+from repro.prefetch import (  # noqa: E402
+    BestOffsetPrefetcher,
+    DARTPrefetcher,
+    ISBPrefetcher,
+    NeuralPrefetcher,
+)
+from repro.sim import SimConfig, simulate  # noqa: E402
+from repro.traces import make_workload as _make_workload  # noqa: E402
+
+#: DART variants (paper Table VIII): (student L, D, H) and table (K, C)
+DART_VARIANTS = {
+    "DART-S": (ModelConfig(layers=1, dim=16, heads=2, history_len=16, bitmap_size=256),
+               TableConfig.uniform(16, 1)),
+    "DART": (STUDENT_MODEL, TableConfig.uniform(128, 2)),
+    "DART-L": (ModelConfig(layers=2, dim=32, heads=2, history_len=16, bitmap_size=256),
+               TableConfig.uniform(256, 2)),
+}
+
+
+def build_sim_prefetchers(art: AppArtifacts, prof: ScaleProfile) -> list:
+    """Assemble the paper's Table IX prefetcher roster for one app."""
+    pfs = [BestOffsetPrefetcher(), ISBPrefetcher()]
+    # TransFetch: an attention predictor trained without KD (Table IX latency).
+    pfs.append(NeuralPrefetcher(art.student_no_kd, PREPROCESS, "TransFetch",
+                                latency_cycles=4500, storage_bytes=13.8e6))
+    pfs.append(NeuralPrefetcher(art.student_no_kd, PREPROCESS, "TransFetch-I",
+                                latency_cycles=0))
+    # Voyager: LSTM predictor (Table IX latency).
+    lstm = LSTMPredictor(art.ds_train.x_addr.shape[2], art.ds_train.x_pc.shape[2],
+                         hidden_dim=32, bitmap_size=256, rng=3)
+    train_model(lstm, art.ds_train, None,
+                TrainConfig(epochs=2, batch_size=128, lr=2e-3, seed=3))
+    pfs.append(NeuralPrefetcher(lstm, PREPROCESS, "Voyager",
+                                latency_cycles=27_700, storage_bytes=14.9e6))
+    pfs.append(NeuralPrefetcher(lstm, PREPROCESS, "Voyager-I", latency_cycles=0))
+    # DART variants: distilled + tabularized per the Table VIII configurations.
+    for name, (model_cfg, table_cfg) in DART_VARIANTS.items():
+        if model_cfg is STUDENT_MODEL:
+            student = art.student
+        else:
+            student, _ = distill_student(
+                art.teacher, model_cfg, art.ds_train, None,
+                TrainConfig(epochs=prof.student_epochs, batch_size=128, lr=2e-3, seed=5),
+                rng=5,
+            )
+        tab, _ = tabularize_predictor(
+            student, art.ds_train.x_addr, art.ds_train.x_pc, table_cfg,
+            fine_tune=True, rng=6,
+        )
+        pfs.append(DARTPrefetcher(tab, PREPROCESS, name=name, max_degree=2))
+    return pfs
+
+
+@pytest.fixture(scope="session")
+def sim_results(suite, profile):
+    """SimResults per (app, prefetcher) plus baselines — Figs. 12-14 data."""
+    cfg = SimConfig()
+    out = {"apps": [], "baseline": {}, "runs": {}}
+    for app in profile.sim_apps:
+        art = suite[app]
+        trace = _make_workload(app, scale=profile.sim_trace_scale, seed=2)
+        base = simulate(trace, None, cfg, name="baseline")
+        out["apps"].append(app)
+        out["baseline"][app] = base
+        for pf in build_sim_prefetchers(art, profile):
+            log.info(f"simulating {pf.name} on {app}")
+            out["runs"][(app, pf.name)] = simulate(trace, pf, cfg)
+    return out
+
+
+PREFETCHER_ORDER = ["BO", "ISB", "TransFetch", "Voyager", "TransFetch-I", "Voyager-I",
+                    "DART-S", "DART", "DART-L"]

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the table configurator (paper Sec. VI-C).
+
+Shows how the latency-major greedy configurator answers "what is the best
+tabular predictor I can fit in (tau cycles, s bytes)?" across a sweep of
+budgets — the workflow a prefetcher architect would use — and prints the
+latency/storage frontier.
+
+Usage::
+
+    python examples/constrained_prefetcher_design.py
+"""
+
+from repro.prefetch import TableConfigurator
+from repro.utils import log
+
+
+def main() -> None:
+    configurator = TableConfigurator(history_len=16, bitmap_size=256)
+    print(f"design space: {len(configurator.candidates)} candidate configurations\n")
+
+    # The paper's Table VIII budget points plus a sweep around them.
+    budgets = [
+        (60, 30_000),
+        (100, 1_000_000),
+        (150, 2_000_000),
+        (200, 4_000_000),
+        (300, 16_000_000),
+    ]
+    rows = []
+    for tau, s in budgets:
+        try:
+            c = configurator.configure(tau, s)
+            rows.append(
+                [
+                    f"tau={tau}, s={s / 1000:.0f}K",
+                    f"(L={c.model.layers}, D={c.model.dim}, H={c.model.heads}, "
+                    f"K={c.table.k_input}, C={c.table.c_input})",
+                    f"{c.latency_cycles:.0f}",
+                    f"{c.storage_bytes / 1024:.1f} KB",
+                    f"{c.ops:.0f}",
+                ]
+            )
+        except ValueError as e:
+            rows.append([f"tau={tau}, s={s / 1000:.0f}K", f"infeasible: {e}", "-", "-", "-"])
+    log.table(
+        "Configurator choices across budgets (latency-major greedy)",
+        ["budget", "configuration", "latency (cyc)", "storage", "kernel ops"],
+        rows,
+    )
+
+    # The Pareto frontier of the whole space: for each latency tier, the
+    # storage range available.
+    tiers: dict[float, list[float]] = {}
+    for c in configurator.candidates:
+        tiers.setdefault(c.latency_cycles, []).append(c.storage_bytes)
+    frontier = [
+        [f"{lat:.0f}", len(sizes), f"{min(sizes) / 1024:.1f} KB", f"{max(sizes) / 1024:.1f} KB"]
+        for lat, sizes in sorted(tiers.items())
+    ]
+    log.table(
+        "Latency tiers in the design space",
+        ["latency (cyc)", "# configs", "min storage", "max storage"],
+        frontier[:12],
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Graph analytics: phase structure and prefetching on BFS / PageRank / CC.
+
+Graph workloads are the motivating hard case for learned prefetchers (the
+authors' companion work targets them directly): a CSR traversal interleaves
+two sequential streams (row offsets, edge array) with a data-dependent
+gather stream that defeats spatial heuristics. This example:
+
+1. synthesizes BFS, PageRank and label-propagation traces from a seeded
+   power-law graph,
+2. runs the phase detector to show the stream/gather decomposition is
+   visible in windowed features,
+3. compares rule-based prefetchers on each kernel — spatial designs ride
+   the sequential streams, temporal/correlation designs claw back some of
+   the gathers.
+
+Usage::
+
+    python examples/graph_analytics_prefetching.py
+"""
+
+from repro.prefetch import (
+    BestOffsetPrefetcher,
+    GHBPrefetcher,
+    ISBPrefetcher,
+    MarkovPrefetcher,
+    StreamPrefetcher,
+)
+from repro.sim import SimConfig, ipc_improvement, simulate
+from repro.traces import (
+    GRAPH_WORKLOADS,
+    detect_phases,
+    make_graph_workload,
+    phase_summary,
+)
+
+
+def main() -> None:
+    # A graph this size fits an 8 MB LLC, which would make every *temporal*
+    # prefetch a duplicate of a resident line; size the LLC below the graph
+    # footprint (the realistic regime: real graphs dwarf any LLC).
+    cfg = SimConfig(llc_capacity_bytes=128 * 1024, llc_ways=16)
+    for kind in GRAPH_WORKLOADS:
+        trace = make_graph_workload(kind, n_vertices=3000, avg_degree=8, seed=1)
+        print(f"=== graph.{kind}: {len(trace):,} LLC accesses ===")
+
+        labels = detect_phases(trace, n_phases=2, window=512, seed=0)
+        for s in phase_summary(trace, labels, window=512):
+            print(
+                f"  phase {s['phase']}: {s['fraction']:5.1%} of windows  "
+                f"stream_frac={s['stream_frac']:.2f}  "
+                f"delta_entropy={s['delta_entropy']:.2f}"
+            )
+
+        base = simulate(trace, None, cfg)
+        print(f"  baseline IPC {base.ipc:.3f} (hit rate {base.hit_rate:.2%})")
+        for pf in (
+            StreamPrefetcher(),
+            BestOffsetPrefetcher(),
+            GHBPrefetcher("pc"),
+            ISBPrefetcher(),
+            MarkovPrefetcher(),
+        ):
+            r = simulate(trace, pf, cfg)
+            print(
+                f"  {pf.name:10s} ΔIPC {ipc_improvement(r, base):+6.1%}  "
+                f"accuracy {r.accuracy:6.2%}  coverage {r.coverage(base.demand_misses):6.2%}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

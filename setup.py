@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The offline environment has no ``wheel`` package, so PEP 517/660 builds fail;
+this legacy entry point lets ``pip install -e .`` work via
+``setup.py develop``. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,388 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Subcommands mirror a deployment workflow:
+
+* ``trace``    — generate a synthetic SPEC-like workload trace (``.npz``) and
+  print its Table IV-style statistics.
+* ``train``    — run the full Fig. 2 pipeline on a trace and save the
+  resulting table hierarchy (the thing a DART deployment ships).
+* ``simulate`` — replay a trace through the LLC simulator with a chosen
+  prefetcher (rule-based, or DART tables from ``train``) and print the
+  accuracy / coverage / IPC metrics.
+* ``configure`` — query the table configurator for a (latency, storage)
+  budget without training anything.
+
+Every subcommand is importable and unit-tested via :func:`main(argv)`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.utils import log
+
+
+def _cmd_trace(args) -> int:
+    from repro.traces import make_workload, trace_statistics
+
+    trace = make_workload(args.workload, scale=args.scale, seed=args.seed)
+    stats = trace_statistics(trace)
+    log.table(
+        f"trace statistics for {args.workload}",
+        ["metric", "value"],
+        [[k, v] for k, v in stats.items() if k != "name"],
+    )
+    if args.output:
+        trace.save(args.output)
+        print(f"saved {len(trace):,} accesses to {args.output}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.core import DARTPipeline
+    from repro.data import PreprocessConfig
+    from repro.distillation import TrainConfig
+    from repro.models import ModelConfig
+    from repro.tabularization import save_tabular_model
+    from repro.traces import MemoryTrace, make_workload
+
+    if args.trace:
+        trace = MemoryTrace.load(args.trace)
+    else:
+        trace = make_workload(args.workload, scale=args.scale, seed=args.seed)
+    log.set_verbose(True)
+    pipeline = DARTPipeline(
+        preprocess=PreprocessConfig(),
+        teacher_config=ModelConfig(
+            layers=args.teacher_layers,
+            dim=args.teacher_dim,
+            heads=args.teacher_heads,
+            history_len=16,
+            bitmap_size=256,
+        ),
+        latency_budget=args.latency_budget,
+        storage_budget=args.storage_budget,
+        teacher_train=TrainConfig(epochs=args.epochs, seed=args.seed),
+        student_train=TrainConfig(epochs=args.epochs, lr=2e-3, seed=args.seed + 1),
+        max_samples=args.max_samples,
+        seed=args.seed,
+    )
+    result = pipeline.run(trace)
+    log.table(
+        "pipeline result",
+        ["stage", "F1"],
+        [[k, f"{v:.4f}"] for k, v in result.f1.items()],
+    )
+    print(f"DART: {result.dart.latency_cycles} cycles, "
+          f"{result.dart.storage_bytes / 1024:.1f} KB")
+    if args.output:
+        save_tabular_model(result.tabular, args.output)
+        print(f"saved table hierarchy to {args.output}")
+    return 0
+
+
+#: prefetcher names accepted by ``simulate``/``hierarchy``/``multicore``
+PREFETCHER_CHOICES = [
+    "none",
+    "bo",
+    "isb",
+    "stride",
+    "nextline",
+    "spp",
+    "sms",
+    "ghb",
+    "ghb-pc",
+    "markov",
+    "streamer",
+    "dart",
+]
+
+
+def _make_prefetcher(name: str, tables: str | None):
+    from repro.data import PreprocessConfig
+    from repro.prefetch import (
+        BestOffsetPrefetcher,
+        DARTPrefetcher,
+        GHBPrefetcher,
+        ISBPrefetcher,
+        MarkovPrefetcher,
+        NextLinePrefetcher,
+        SMSPrefetcher,
+        SPPPrefetcher,
+        StreamPrefetcher,
+        StridePrefetcher,
+    )
+
+    if name == "none":
+        return None
+    if name == "bo":
+        return BestOffsetPrefetcher()
+    if name == "isb":
+        return ISBPrefetcher()
+    if name == "stride":
+        return StridePrefetcher()
+    if name == "nextline":
+        return NextLinePrefetcher(degree=2)
+    if name == "spp":
+        return SPPPrefetcher()
+    if name == "sms":
+        return SMSPrefetcher()
+    if name == "ghb":
+        return GHBPrefetcher("global")
+    if name == "ghb-pc":
+        return GHBPrefetcher("pc")
+    if name == "markov":
+        return MarkovPrefetcher()
+    if name == "streamer":
+        return StreamPrefetcher()
+    if name == "dart":
+        if not tables:
+            raise SystemExit("--tables <file.npz> is required for the dart prefetcher")
+        from repro.tabularization import load_tabular_model
+
+        return DARTPrefetcher(load_tabular_model(tables), PreprocessConfig())
+    raise SystemExit(f"unknown prefetcher {name!r}")
+
+
+def _cmd_simulate(args) -> int:
+    from repro.sim import SimConfig, ipc_improvement, simulate
+    from repro.traces import MemoryTrace, make_workload
+
+    if args.trace:
+        trace = MemoryTrace.load(args.trace)
+    else:
+        trace = make_workload(args.workload, scale=args.scale, seed=args.seed)
+    cfg = SimConfig()
+    base = simulate(trace, None, cfg, name="baseline")
+    pf = _make_prefetcher(args.prefetcher, args.tables)
+    rows = [["baseline", "-", f"{base.ipc:.3f}", "-", "-", f"{base.hit_rate:.2%}"]]
+    if pf is not None:
+        r = simulate(trace, pf, cfg)
+        rows.append(
+            [
+                pf.name,
+                str(pf.latency_cycles),
+                f"{r.ipc:.3f} ({ipc_improvement(r, base):+.1%})",
+                f"{r.accuracy:.2%}",
+                f"{r.coverage(base.demand_misses):.2%}",
+                f"{r.hit_rate:.2%}",
+            ]
+        )
+    log.table(
+        f"simulation of {trace.name or args.trace or args.workload} "
+        f"({len(trace):,} accesses)",
+        ["run", "pred latency", "IPC", "accuracy", "coverage", "hit rate"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_configure(args) -> int:
+    from repro.prefetch import configure_dart
+
+    c = configure_dart(args.latency_budget, args.storage_budget)
+    print(f"best configuration under (tau={args.latency_budget} cycles, "
+          f"s={args.storage_budget} bytes):")
+    print(f"  {c.summary()}")
+    return 0
+
+
+def _load_trace(args):
+    from repro.traces import MemoryTrace, make_workload
+
+    if getattr(args, "trace", None):
+        return MemoryTrace.load(args.trace)
+    return make_workload(args.workload, scale=args.scale, seed=args.seed)
+
+
+def _cmd_hierarchy(args) -> int:
+    from repro.sim import HierarchyConfig, ipc_improvement, simulate_hierarchy
+
+    trace = _load_trace(args)
+    cfg = HierarchyConfig(paging=not args.no_paging, tlb=args.tlb)
+    base = simulate_hierarchy(trace, None, cfg, name="baseline")
+    rows = [
+        ["baseline", f"{base.sim.ipc:.3f}", "-",
+         f"{base.l1d.hit_rate:.2%}", f"{base.l2.hit_rate:.2%}",
+         f"{base.llc.hit_rate:.2%}", f"{base.dram['row_hit_rate']:.2%}"]
+    ]
+    pf = _make_prefetcher(args.prefetcher, args.tables)
+    if pf is not None:
+        r = simulate_hierarchy(trace, pf, cfg)
+        rows.append(
+            [pf.name, f"{r.sim.ipc:.3f}", f"{ipc_improvement(r.sim, base.sim):+.1%}",
+             f"{r.l1d.hit_rate:.2%}", f"{r.l2.hit_rate:.2%}",
+             f"{r.llc.hit_rate:.2%}", f"{r.dram['row_hit_rate']:.2%}"]
+        )
+    log.table(
+        f"hierarchy simulation of {trace.name or 'trace'} ({len(trace):,} accesses)",
+        ["run", "IPC", "ΔIPC", "L1D hit", "L2 hit", "LLC hit", "DRAM row hit"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_multicore(args) -> int:
+    from repro.sim import HierarchyConfig
+    from repro.sim.multicore import simulate_multicore
+    from repro.traces import make_workload
+
+    traces = [
+        make_workload(w, scale=args.scale, seed=args.seed + i)
+        for i, w in enumerate(args.workloads)
+    ]
+    pf = [_make_prefetcher(args.prefetcher, None) for _ in traces]
+    r = simulate_multicore(traces, prefetchers=pf, config=HierarchyConfig())
+    rows = [
+        [c.name, f"{c.ipc:.3f}", f"{c.accuracy:.2%}", str(c.prefetches_issued)]
+        for c in r.cores
+    ]
+    rows.append(["aggregate", f"{r.aggregate_ipc:.3f}", "-", "-"])
+    log.table(
+        f"{len(traces)}-core simulation (shared LLC + DRAM)",
+        ["core", "IPC", "pf accuracy", "pf issued"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.sim import SimConfig, opt_miss_rate, replacement_headroom, simulate
+    from repro.traces import trace_statistics
+
+    trace = _load_trace(args)
+    stats = trace_statistics(trace)
+    cfg = SimConfig()
+    base = simulate(trace, None, cfg)
+    opt = opt_miss_rate(trace, cfg.llc_capacity_bytes, cfg.llc_ways)
+    head = replacement_headroom(trace, base.demand_misses, cfg.llc_capacity_bytes, cfg.llc_ways)
+    log.table(
+        f"analysis of {trace.name or 'trace'}",
+        ["metric", "value"],
+        [[k, v] for k, v in stats.items() if k != "name"]
+        + [
+            ["LRU miss rate", f"{base.demand_misses / max(len(trace), 1):.2%}"],
+            ["OPT miss rate", f"{opt:.2%}"],
+            ["replacement headroom", f"{head['headroom']:.2%}"],
+        ],
+    )
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.tabularization import export_packed, load_tabular_model
+
+    model = load_tabular_model(args.tables)
+    nbytes = export_packed(model, args.output, float_dtype=args.float_dtype)
+    print(f"exported {args.tables} -> {args.output} ({nbytes:,} bytes, {args.float_dtype})")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.core.report import ShootoutSpec, generate_report
+
+    doc = generate_report(
+        trace_scale=args.scale,
+        shootout=ShootoutSpec(apps=tuple(args.apps), scale=args.scale),
+        output=args.output,
+    )
+    if args.output:
+        print(f"wrote campaign report to {args.output} ({len(doc):,} chars)")
+    else:
+        print(doc)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DART reproduction command-line tools"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_trace = sub.add_parser("trace", help="generate a synthetic workload trace")
+    p_trace.add_argument("workload", help="e.g. 462.libquantum")
+    p_trace.add_argument("--scale", type=float, default=1.0)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--output", "-o", default=None, help="write trace .npz here")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_train = sub.add_parser("train", help="run the DART pipeline, save tables")
+    p_train.add_argument("--workload", default="462.libquantum")
+    p_train.add_argument("--trace", default=None, help="load trace .npz instead")
+    p_train.add_argument("--scale", type=float, default=0.05)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--epochs", type=int, default=3)
+    p_train.add_argument("--max-samples", type=int, default=3000)
+    p_train.add_argument("--teacher-layers", type=int, default=2)
+    p_train.add_argument("--teacher-dim", type=int, default=64)
+    p_train.add_argument("--teacher-heads", type=int, default=4)
+    p_train.add_argument("--latency-budget", type=float, default=100.0)
+    p_train.add_argument("--storage-budget", type=float, default=1_000_000.0)
+    p_train.add_argument("--output", "-o", default=None, help="write tables .npz here")
+    p_train.set_defaults(func=_cmd_train)
+
+    p_sim = sub.add_parser("simulate", help="simulate a prefetcher on a trace")
+    p_sim.add_argument("--workload", default="462.libquantum")
+    p_sim.add_argument("--trace", default=None)
+    p_sim.add_argument("--scale", type=float, default=0.1)
+    p_sim.add_argument("--seed", type=int, default=2)
+    p_sim.add_argument("--prefetcher", choices=PREFETCHER_CHOICES, default="bo")
+    p_sim.add_argument("--tables", default=None, help="tables .npz for --prefetcher dart")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_cfg = sub.add_parser("configure", help="query the table configurator")
+    p_cfg.add_argument("latency_budget", type=float)
+    p_cfg.add_argument("storage_budget", type=float)
+    p_cfg.set_defaults(func=_cmd_configure)
+
+    p_hier = sub.add_parser(
+        "hierarchy", help="full L1D/L2/LLC + banked-DRAM simulation"
+    )
+    p_hier.add_argument("--workload", default="462.libquantum")
+    p_hier.add_argument("--trace", default=None)
+    p_hier.add_argument("--scale", type=float, default=0.1)
+    p_hier.add_argument("--seed", type=int, default=2)
+    p_hier.add_argument("--prefetcher", choices=PREFETCHER_CHOICES, default="bo")
+    p_hier.add_argument("--tables", default=None)
+    p_hier.add_argument("--no-paging", action="store_true", help="skip virtual->physical")
+    p_hier.add_argument("--tlb", action="store_true", help="model a 64-entry data TLB")
+    p_hier.set_defaults(func=_cmd_hierarchy)
+
+    p_mc = sub.add_parser("multicore", help="N cores sharing one LLC and DRAM")
+    p_mc.add_argument("workloads", nargs="+", help="one workload name per core")
+    p_mc.add_argument("--scale", type=float, default=0.05)
+    p_mc.add_argument("--seed", type=int, default=2)
+    p_mc.add_argument("--prefetcher", choices=PREFETCHER_CHOICES, default="none")
+    p_mc.set_defaults(func=_cmd_multicore)
+
+    p_an = sub.add_parser("analyze", help="trace statistics + OPT replacement headroom")
+    p_an.add_argument("--workload", default="462.libquantum")
+    p_an.add_argument("--trace", default=None)
+    p_an.add_argument("--scale", type=float, default=0.05)
+    p_an.add_argument("--seed", type=int, default=0)
+    p_an.set_defaults(func=_cmd_analyze)
+
+    p_exp = sub.add_parser("export", help="pack trained tables into a binary blob")
+    p_exp.add_argument("tables", help="tables .npz from `repro train`")
+    p_exp.add_argument("output", help="packed .bin destination")
+    p_exp.add_argument(
+        "--float-dtype", choices=["float64", "float32", "float16"], default="float32"
+    )
+    p_exp.set_defaults(func=_cmd_export)
+
+    p_rep = sub.add_parser("report", help="markdown campaign report (training-free)")
+    p_rep.add_argument("--scale", type=float, default=0.02)
+    p_rep.add_argument("--apps", nargs="+", default=["462.libquantum", "602.gcc"])
+    p_rep.add_argument("--output", "-o", default=None)
+    p_rep.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

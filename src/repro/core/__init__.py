@@ -1,0 +1,27 @@
+"""Top-level pipeline API: the paper's Fig. 2 workflow end-to-end.
+
+:class:`repro.core.pipeline.DARTPipeline` chains preprocessing, teacher
+training, table configuration, knowledge distillation, and layer-wise
+tabularization into one reproducible object; :mod:`repro.core.evaluate`
+provides the shared metrics (multi-label F1, layer cosine similarity).
+"""
+
+from repro.core.evaluate import cosine_similarity, f1_score, precision_recall_f1
+
+__all__ = [
+    "cosine_similarity",
+    "f1_score",
+    "precision_recall_f1",
+    "DARTPipeline",
+    "PipelineResult",
+]
+
+
+def __getattr__(name):
+    # Lazy import: the pipeline pulls in every subsystem; metrics users
+    # shouldn't pay for that (and it avoids an import cycle with trainer).
+    if name in ("DARTPipeline", "PipelineResult"):
+        from repro.core import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")

@@ -1,0 +1,63 @@
+"""Shared evaluation metrics.
+
+* Multi-label F1 (paper Sec. VII-A4 evaluates prediction with F1-score): we
+  use the micro-averaged F1 over all bitmap bits, the standard choice for
+  multi-hot delta bitmaps (as in TransFetch).
+* Cosine similarity between activation tensors (paper Fig. 11's layer-wise
+  comparison of the student network vs. its tabularized counterpart).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_prob: np.ndarray, threshold: float = 0.5
+) -> tuple[float, float, float]:
+    """Micro-averaged precision / recall / F1 for multi-hot labels.
+
+    Degenerate conventions: with no true and no predicted positives all three
+    metrics are 1.0 (perfect agreement); with one side empty they are 0.
+    """
+    if y_true.shape != y_prob.shape:
+        raise ValueError(f"shape mismatch {y_true.shape} vs {y_prob.shape}")
+    pred = y_prob > threshold
+    true = y_true > 0.5
+    tp = float(np.logical_and(pred, true).sum())
+    n_pred = float(pred.sum())
+    n_true = float(true.sum())
+    if n_pred == 0.0 and n_true == 0.0:
+        return 1.0, 1.0, 1.0
+    precision = tp / n_pred if n_pred > 0 else 0.0
+    recall = tp / n_true if n_true > 0 else 0.0
+    if precision + recall == 0.0:
+        return precision, recall, 0.0
+    return precision, recall, 2.0 * precision * recall / (precision + recall)
+
+
+def f1_score(y_true: np.ndarray, y_prob: np.ndarray, threshold: float = 0.5) -> float:
+    """Micro F1; see :func:`precision_recall_f1`."""
+    return precision_recall_f1(y_true, y_prob, threshold)[2]
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean per-row cosine similarity between two activation tensors.
+
+    Tensors are flattened to ``(n, features)`` on the last axis group; rows
+    with zero norm on either side contribute similarity 1 if both are zero,
+    else 0.
+    """
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    a2 = a.reshape(-1, a.shape[-1])
+    b2 = b.reshape(-1, b.shape[-1])
+    na = np.linalg.norm(a2, axis=1)
+    nb = np.linalg.norm(b2, axis=1)
+    both_zero = (na == 0) & (nb == 0)
+    either_zero = ((na == 0) | (nb == 0)) & ~both_zero
+    denom = np.where(na * nb == 0, 1.0, na * nb)
+    sims = (a2 * b2).sum(axis=1) / denom
+    sims[both_zero] = 1.0
+    sims[either_zero] = 0.0
+    return float(sims.mean())

@@ -1,0 +1,142 @@
+"""End-to-end DART construction pipeline (paper Fig. 2).
+
+``DARTPipeline.run(trace)`` executes the full workflow on one workload:
+
+1. **Preprocessing** — segmented-address inputs and delta-bitmap labels
+   (Sec. VI-A), chronological train/validation split.
+2. **Attention** — train the large teacher without regard to constraints
+   (Sec. VI-B).
+3. **Table configuration** — pick the (model, table) pair meeting the
+   latency/storage budgets via the latency-major greedy search (Sec. VI-C).
+4. **Distillation** — train the compact student under the teacher with the
+   T-Sigmoid KD loss (Sec. VI-D).
+5. **Tabularization** — convert the student into the hierarchy of tables with
+   layer-wise fine-tuning (Sec. VI-E) and wrap it as a DART prefetcher.
+
+Every stage's artifact is kept on the result object so experiments can probe
+any intermediate (e.g. Table VI needs the teacher and student; Table VII the
+tabular model with/without fine-tuning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.dataset import Dataset, PreprocessConfig, build_dataset, train_test_split
+from repro.distillation.kd import distill_student
+from repro.distillation.trainer import TrainConfig, evaluate_model, train_model
+from repro.models.attention_model import AttentionPredictor
+from repro.models.config import ModelConfig
+from repro.prefetch.dart import DARTPrefetcher
+from repro.prefetch.table_configurator import CandidateConfig, configure_dart
+from repro.tabularization.converter import ConversionReport, tabularize_predictor
+from repro.tabularization.tabular_model import TabularAttentionPredictor
+from repro.core.evaluate import f1_score
+from repro.traces.trace import MemoryTrace
+from repro.utils import log
+
+
+@dataclass
+class PipelineResult:
+    """All artifacts of one pipeline run."""
+
+    teacher: AttentionPredictor
+    student: AttentionPredictor
+    tabular: TabularAttentionPredictor
+    report: ConversionReport
+    dart: DARTPrefetcher
+    candidate: CandidateConfig
+    ds_train: Dataset
+    ds_val: Dataset
+    f1: dict[str, float] = field(default_factory=dict)
+
+
+class DARTPipeline:
+    """Configurable Fig. 2 workflow."""
+
+    def __init__(
+        self,
+        preprocess: PreprocessConfig | None = None,
+        teacher_config: ModelConfig | None = None,
+        latency_budget: float = 100.0,
+        storage_budget: float = 1_000_000.0,
+        teacher_train: TrainConfig | None = None,
+        student_train: TrainConfig | None = None,
+        max_samples: int | None = 8000,
+        seed: int = 0,
+    ):
+        self.preprocess = preprocess or PreprocessConfig()
+        self.teacher_config = teacher_config or ModelConfig(
+            layers=4,
+            dim=256,
+            heads=8,
+            history_len=self.preprocess.history_len,
+            bitmap_size=self.preprocess.bitmap_size,
+        )
+        self.latency_budget = float(latency_budget)
+        self.storage_budget = float(storage_budget)
+        self.teacher_train = teacher_train or TrainConfig(epochs=8, lr=1e-3, seed=seed)
+        self.student_train = student_train or TrainConfig(epochs=8, lr=2e-3, seed=seed + 1)
+        self.max_samples = max_samples
+        self.seed = int(seed)
+
+    def run(self, trace: MemoryTrace, train_frac: float = 0.8) -> PipelineResult:
+        # Step 0: preprocessing.
+        ds = build_dataset(trace.pcs, trace.addrs, self.preprocess, max_samples=self.max_samples)
+        ds_train, ds_val = train_test_split(ds, train_frac)
+        log.info(f"dataset: {len(ds_train)} train / {len(ds_val)} val samples")
+
+        # Step 1: unconstrained teacher.
+        teacher = AttentionPredictor(
+            self.teacher_config, ds.x_addr.shape[2], ds.x_pc.shape[2], rng=self.seed
+        )
+        train_model(teacher, ds_train, ds_val, self.teacher_train)
+        f1_teacher = evaluate_model(teacher, ds_val)
+        log.info(f"teacher F1 = {f1_teacher:.4f}")
+
+        # Step 2: constraint-driven configuration.
+        candidate = configure_dart(
+            self.latency_budget,
+            self.storage_budget,
+            history_len=self.preprocess.history_len,
+            bitmap_size=self.preprocess.bitmap_size,
+        )
+        log.info(f"configurator chose {candidate.summary()}")
+
+        # Step 3: knowledge distillation into the configured student.
+        student, _ = distill_student(
+            teacher, candidate.model, ds_train, ds_val, self.student_train, rng=self.seed + 1
+        )
+        f1_student = evaluate_model(student, ds_val)
+        log.info(f"student F1 = {f1_student:.4f}")
+
+        # Step 4: layer-wise tabularization with fine-tuning.
+        tabular, report = tabularize_predictor(
+            student,
+            ds_train.x_addr,
+            ds_train.x_pc,
+            candidate.table,
+            fine_tune=True,
+            rng=self.seed + 2,
+        )
+        probs = tabular.predict_proba(ds_val.x_addr, ds_val.x_pc)
+        f1_tab = f1_score(ds_val.labels, probs)
+        log.info(f"tabular F1 = {f1_tab:.4f}")
+
+        dart = DARTPrefetcher(tabular, self.preprocess)
+        if not dart.meets_constraints(self.latency_budget, self.storage_budget):
+            log.info(
+                "warning: assembled DART exceeds budgets "
+                f"(latency {dart.latency_cycles}, storage {dart.storage_bytes:.0f})"
+            )
+        return PipelineResult(
+            teacher=teacher,
+            student=student,
+            tabular=tabular,
+            report=report,
+            dart=dart,
+            candidate=candidate,
+            ds_train=ds_train,
+            ds_val=ds_val,
+            f1={"teacher": f1_teacher, "student": f1_student, "dart": f1_tab},
+        )

@@ -1,0 +1,30 @@
+"""TransFetch-style preprocessing (paper Sec. VI-A).
+
+* :mod:`repro.data.segmentation` — segmented address inputs: a block address
+  is split into fixed-width bit segments, giving the attention model a
+  low-dimensional numeric view of high-entropy addresses.
+* :mod:`repro.data.delta_bitmap` — multi-label delta-bitmap targets over a
+  look-forward window, enabling multiple simultaneous prefetch predictions.
+* :mod:`repro.data.dataset` — sliding-window dataset assembly and batching.
+"""
+
+from repro.data.dataset import PreprocessConfig, build_dataset, iterate_batches, train_test_split
+from repro.data.delta_bitmap import (
+    bitmap_index_to_delta,
+    bitmap_to_deltas,
+    delta_to_bitmap_index,
+    make_delta_bitmap_labels,
+)
+from repro.data.segmentation import AddressSegmenter
+
+__all__ = [
+    "PreprocessConfig",
+    "build_dataset",
+    "iterate_batches",
+    "train_test_split",
+    "bitmap_index_to_delta",
+    "bitmap_to_deltas",
+    "delta_to_bitmap_index",
+    "make_delta_bitmap_labels",
+    "AddressSegmenter",
+]

@@ -1,0 +1,138 @@
+"""Sliding-window dataset assembly for the memory-access predictors.
+
+``build_dataset`` turns a raw (pc, address) trace into:
+
+* ``x_addr`` — ``(n, T, S_addr)`` segmented block-address history features,
+* ``x_pc``   — ``(n, T, S_pc)`` segmented PC history features,
+* ``labels`` — ``(n, 2R)`` delta bitmaps over the look-forward window,
+* ``anchor_blocks`` — ``(n,)`` the block address each label's deltas are
+  relative to (needed to turn predictions into prefetch addresses).
+
+Windows are built with ``sliding_window_view`` (zero-copy) and only then
+materialized, following the guides' "views, not copies" advice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.delta_bitmap import make_delta_bitmap_labels
+from repro.data.segmentation import AddressSegmenter
+from repro.utils.bits import block_address
+from repro.utils.rng import new_rng
+
+
+@dataclass(frozen=True)
+class PreprocessConfig:
+    """Preprocessing hyperparameters (paper Sec. VI-A defaults).
+
+    Attributes
+    ----------
+    history_len:
+        Input sequence length ``T_I`` (number of past accesses).
+    window:
+        Look-forward window for delta labels.
+    delta_range:
+        Bitmap half-width R; the bitmap has ``2R`` bits (paper ``D_O = 256``
+        implies R = 128).
+    page_bits / seg_bits / pc_bits:
+        See :class:`AddressSegmenter`.
+    """
+
+    history_len: int = 16
+    window: int = 10
+    delta_range: int = 128
+    page_bits: int = 24
+    seg_bits: int = 6
+    pc_bits: int = 18
+
+    @property
+    def bitmap_size(self) -> int:
+        return 2 * self.delta_range
+
+    def segmenter(self) -> AddressSegmenter:
+        return AddressSegmenter(self.page_bits, self.seg_bits, self.pc_bits)
+
+
+@dataclass
+class Dataset:
+    """Materialized model inputs/labels plus decoding metadata."""
+
+    x_addr: np.ndarray  # (n, T, S_addr)
+    x_pc: np.ndarray  # (n, T, S_pc)
+    labels: np.ndarray  # (n, 2R)
+    anchor_blocks: np.ndarray  # (n,)
+    config: PreprocessConfig = field(repr=False)
+
+    def __len__(self) -> int:
+        return self.x_addr.shape[0]
+
+    def subset(self, idx: np.ndarray) -> "Dataset":
+        return Dataset(
+            self.x_addr[idx], self.x_pc[idx], self.labels[idx], self.anchor_blocks[idx], self.config
+        )
+
+
+def build_dataset(
+    pcs: np.ndarray,
+    addrs: np.ndarray,
+    config: PreprocessConfig | None = None,
+    max_samples: int | None = None,
+) -> Dataset:
+    """Build a supervised dataset from a raw access trace.
+
+    Sample ``i`` uses history positions ``i .. i+T-1`` and is labeled with the
+    deltas of positions ``i+T .. i+T+W-1`` relative to position ``i+T-1`` (the
+    current access). ``max_samples`` keeps a uniform temporal subsample when
+    the trace is long (controls training cost without biasing toward a phase).
+    """
+    config = config or PreprocessConfig()
+    t_hist, window = config.history_len, config.window
+    ba = block_address(np.asarray(addrs, dtype=np.int64))
+    pcs = np.asarray(pcs, dtype=np.int64)
+    n = ba.shape[0]
+    n_samples = n - t_hist - window + 1
+    if n_samples <= 0:
+        raise ValueError(
+            f"trace too short: {n} accesses < history {t_hist} + window {window}"
+        )
+    seg = config.segmenter()
+    # Labels for anchors at positions t_hist-1 .. n-window-1.
+    labels_all = make_delta_bitmap_labels(ba, window, config.delta_range)
+    labels = labels_all[t_hist - 1 :]
+    assert labels.shape[0] == n_samples
+    # History windows, zero-copy views then materialized by the segmenter.
+    addr_windows = np.lib.stride_tricks.sliding_window_view(ba, t_hist)[:n_samples]
+    pc_windows = np.lib.stride_tricks.sliding_window_view(pcs, t_hist)[:n_samples]
+    anchors = ba[t_hist - 1 : t_hist - 1 + n_samples]
+    if max_samples is not None and n_samples > max_samples:
+        idx = np.linspace(0, n_samples - 1, max_samples).astype(np.int64)
+        addr_windows = addr_windows[idx]
+        pc_windows = pc_windows[idx]
+        labels = labels[idx]
+        anchors = anchors[idx]
+    x_addr = seg.segment_block_addresses(addr_windows)
+    x_pc = seg.segment_pcs(pc_windows)
+    return Dataset(x_addr, x_pc, np.ascontiguousarray(labels), anchors, config)
+
+
+def train_test_split(ds: Dataset, train_frac: float = 0.8) -> tuple[Dataset, Dataset]:
+    """Chronological split (train on the past, test on the future)."""
+    if not 0.0 < train_frac < 1.0:
+        raise ValueError(f"train_frac must be in (0, 1), got {train_frac}")
+    cut = int(len(ds) * train_frac)
+    idx = np.arange(len(ds))
+    return ds.subset(idx[:cut]), ds.subset(idx[cut:])
+
+
+def iterate_batches(ds: Dataset, batch_size: int, rng=0, shuffle: bool = True):
+    """Yield ``(x_addr, x_pc, labels)`` batches, optionally shuffled."""
+    n = len(ds)
+    order = np.arange(n)
+    if shuffle:
+        new_rng(rng).shuffle(order)
+    for start in range(0, n, batch_size):
+        sel = order[start : start + batch_size]
+        yield ds.x_addr[sel], ds.x_pc[sel], ds.labels[sel]

@@ -1,0 +1,87 @@
+"""Delta-bitmap labels (paper Sec. VI-A).
+
+For each trace position ``t``, the label is a ``2R``-wide bitmap over block
+deltas ``d = block_addr[t + j] - block_addr[t]`` for look-forward offsets
+``j = 1..W``: bit ``delta_to_bitmap_index(d)`` is set when ``d`` lands in
+``[-R, R] \\ {0}``. Multi-hot labels let the predictor issue several prefetches
+per trigger (variable-degree prefetching, as in TransFetch).
+
+Bit layout (``R = delta_range``):
+``d = -R -> 0``, ..., ``d = -1 -> R-1``, ``d = +1 -> R``, ..., ``d = +R -> 2R-1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def delta_to_bitmap_index(delta, delta_range: int):
+    """Map nonzero deltas in ``[-R, R]`` to bit positions ``0..2R-1``.
+
+    Accepts scalars or arrays; out-of-range / zero deltas map to ``-1``.
+    """
+    d = np.asarray(delta, dtype=np.int64)
+    idx = np.where(d > 0, delta_range + d - 1, delta_range + d)
+    valid = (d != 0) & (d >= -delta_range) & (d <= delta_range)
+    idx = np.where(valid, idx, -1)
+    return int(idx) if np.isscalar(delta) else idx
+
+
+def bitmap_index_to_delta(index, delta_range: int):
+    """Inverse of :func:`delta_to_bitmap_index` for indices ``0..2R-1``."""
+    i = np.asarray(index, dtype=np.int64)
+    d = np.where(i >= delta_range, i - delta_range + 1, i - delta_range)
+    return int(d) if np.isscalar(index) else d
+
+
+def make_delta_bitmap_labels(
+    block_addrs: np.ndarray, window: int, delta_range: int
+) -> np.ndarray:
+    """Build multi-hot labels for every position that has a full window.
+
+    Returns ``(n - window, 2 * delta_range)`` float64 labels for positions
+    ``0 .. n - window - 1`` (position ``t`` looks at ``t+1 .. t+window``).
+    Fully vectorized: a strided delta matrix feeds one scatter.
+    """
+    ba = np.asarray(block_addrs, dtype=np.int64)
+    n = ba.shape[0]
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if n <= window:
+        return np.zeros((0, 2 * delta_range), dtype=np.float64)
+    m = n - window
+    # future[t, j] = ba[t + 1 + j] for j in 0..window-1, via sliding windows.
+    future = np.lib.stride_tricks.sliding_window_view(ba[1:], window)[:m]
+    deltas = future - ba[:m, None]  # (m, window)
+    idx = delta_to_bitmap_index(deltas, delta_range)  # (m, window), -1 invalid
+    labels = np.zeros((m, 2 * delta_range), dtype=np.float64)
+    rows = np.repeat(np.arange(m), window)
+    flat = idx.reshape(-1)
+    keep = flat >= 0
+    labels[rows[keep], flat[keep]] = 1.0
+    return labels
+
+
+def bitmap_to_deltas(
+    probs: np.ndarray, threshold: float = 0.5, max_degree: int | None = None
+) -> list[np.ndarray]:
+    """Decode predicted bitmaps into delta lists (prefetch candidates).
+
+    For each row, returns the deltas whose probability exceeds ``threshold``,
+    sorted by descending probability and truncated to ``max_degree``. This is
+    the prediction-to-prefetch decode used by the DART prefetcher.
+    """
+    p = np.atleast_2d(np.asarray(probs, dtype=np.float64))
+    delta_range = p.shape[1] // 2
+    out: list[np.ndarray] = []
+    for row in p:
+        hits = np.flatnonzero(row > threshold)
+        if hits.size == 0:
+            out.append(np.empty(0, dtype=np.int64))
+            continue
+        order = np.argsort(row[hits])[::-1]
+        chosen = hits[order]
+        if max_degree is not None:
+            chosen = chosen[:max_degree]
+        out.append(bitmap_index_to_delta(chosen, delta_range))
+    return out

@@ -1,0 +1,6 @@
+"""Model training and multi-label knowledge distillation (paper Sec. VI-B/D)."""
+
+from repro.distillation.kd import distill_student
+from repro.distillation.trainer import TrainConfig, evaluate_model, train_model
+
+__all__ = ["distill_student", "TrainConfig", "evaluate_model", "train_model"]

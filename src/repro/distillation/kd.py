@@ -1,0 +1,43 @@
+"""Knowledge-distillation convenience wrapper (paper Sec. VI-D, Step 2).
+
+The T-Sigmoid softening and the combined BCE+KL loss live in
+:mod:`repro.nn.losses`; this module provides ``distill_student``, which builds
+a student with the configuration chosen by the table configurator and trains
+it against a frozen teacher.
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import Dataset
+from repro.distillation.trainer import TrainConfig, train_model
+from repro.models.attention_model import AttentionPredictor
+from repro.models.config import ModelConfig
+
+
+def distill_student(
+    teacher: AttentionPredictor,
+    student_config: ModelConfig,
+    ds_train: Dataset,
+    ds_val: Dataset | None = None,
+    train_config: TrainConfig | None = None,
+    rng=1,
+) -> tuple[AttentionPredictor, dict]:
+    """Train a compact student under the teacher's soft supervision.
+
+    The student shares the teacher's input feature dims and bitmap size; its
+    trunk dimensions come from ``student_config`` (typically produced by the
+    table configurator so the eventual tables meet the design constraints).
+    Returns ``(student, history)``.
+    """
+    if student_config.bitmap_size != teacher.config.bitmap_size:
+        raise ValueError(
+            "student bitmap size must match teacher: "
+            f"{student_config.bitmap_size} vs {teacher.config.bitmap_size}"
+        )
+    student = AttentionPredictor(
+        student_config, addr_dim=teacher.addr_dim, pc_dim=teacher.pc_dim, rng=rng
+    )
+    history = train_model(
+        student, ds_train, ds_val=ds_val, config=train_config, teacher=teacher
+    )
+    return student, history

@@ -1,0 +1,62 @@
+"""Model structure configuration (paper Table I notation).
+
+``ModelConfig`` captures the network-side knobs; the table-side knobs
+(prototypes K, subspaces C; paper Table II) live in
+:class:`repro.tabularization.tabular_model.TableConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Attention-predictor structure (paper Table I).
+
+    Attributes
+    ----------
+    layers:
+        ``L`` — number of Transformer encoder layers.
+    dim:
+        ``D_A`` — attention (hidden) dimension.
+    heads:
+        ``H`` — attention heads per layer.
+    ffn_dim:
+        ``D_F`` — feed-forward hidden dimension (paper uses 4·D_A).
+    history_len:
+        ``T_I`` — input history length (must match the preprocessing config).
+    bitmap_size:
+        ``D_O`` — output delta-bitmap width (2 × delta_range).
+    score_mode:
+        attention weight function; ``"softmax"`` (paper) or ``"sigmoid"``
+        (tabularization-friendly ablation).
+    """
+
+    layers: int = 1
+    dim: int = 32
+    heads: int = 2
+    ffn_dim: int | None = None
+    history_len: int = 16
+    bitmap_size: int = 256
+    score_mode: str = "softmax"
+
+    def __post_init__(self):
+        if self.ffn_dim is None:
+            object.__setattr__(self, "ffn_dim", 4 * self.dim)
+        if self.layers < 1 or self.dim < 1 or self.heads < 1:
+            raise ValueError("layers, dim, heads must be >= 1")
+        if self.dim % self.heads != 0:
+            raise ValueError(f"dim {self.dim} not divisible by heads {self.heads}")
+
+    def scaled(self, **kwargs) -> "ModelConfig":
+        """Return a copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Paper Table V teacher: L=4, D=256, H=8.
+TEACHER_CONFIG = ModelConfig(layers=4, dim=256, heads=8)
+#: Paper Table V student / DART network: L=1, D=32, H=2.
+STUDENT_CONFIG = ModelConfig(layers=1, dim=32, heads=2)
+#: Alias: DART uses the student network structure.
+DART_CONFIG = STUDENT_CONFIG

@@ -1,0 +1,59 @@
+"""Voyager-like LSTM memory access predictor (baseline).
+
+Voyager [Shi et al., ASPLOS'21] is a hierarchical LSTM over page/offset
+streams. For the purposes of the paper's comparison it is "an accurate but
+recurrent — hence slow — predictor"; this baseline preserves exactly those
+properties: same inputs and labels as :class:`AttentionPredictor`, but a
+recurrent trunk whose sequential dependency chain is what the latency model
+charges for (Table IX: 27.7K cycles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.linear import Linear
+from repro.nn.lstm import LSTM
+from repro.nn.module import Module
+from repro.utils.rng import spawn_rngs
+
+
+class LSTMPredictor(Module):
+    """Embed (addr, pc) features, run an LSTM, classify from the final state."""
+
+    def __init__(self, addr_dim: int, pc_dim: int, hidden_dim: int, bitmap_size: int, rng=0):
+        super().__init__()
+        self.addr_dim = int(addr_dim)
+        self.pc_dim = int(pc_dim)
+        self.hidden_dim = int(hidden_dim)
+        self.bitmap_size = int(bitmap_size)
+        r1, r2, r3, r4 = spawn_rngs(rng, 4)
+        self.addr_proj = Linear(self.addr_dim, self.hidden_dim, rng=r1)
+        self.pc_proj = Linear(self.pc_dim, self.hidden_dim, rng=r2)
+        self.lstm = LSTM(self.hidden_dim, self.hidden_dim, rng=r3)
+        self.head = Linear(self.hidden_dim, self.bitmap_size, rng=r4)
+        self._t: int | None = None
+
+    def forward(self, x_addr: np.ndarray, x_pc: np.ndarray) -> np.ndarray:
+        h = self.addr_proj.forward(x_addr) + self.pc_proj.forward(x_pc)
+        seq = self.lstm.forward(h)  # (B, T, H)
+        self._t = seq.shape[1]
+        return self.head.forward(seq[:, -1])
+
+    def backward(self, grad_logits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        g_last = self.head.backward(grad_logits)  # (B, H)
+        g_seq = np.zeros((g_last.shape[0], self._t, self.hidden_dim))
+        g_seq[:, -1] = g_last
+        g = self.lstm.backward(g_seq)
+        return self.addr_proj.backward(g), self.pc_proj.backward(g)
+
+    def predict_logits(self, x_addr: np.ndarray, x_pc: np.ndarray, batch_size: int = 512) -> np.ndarray:
+        outs = []
+        for start in range(0, x_addr.shape[0], batch_size):
+            sl = slice(start, start + batch_size)
+            outs.append(self.forward(x_addr[sl], x_pc[sl]))
+        return np.concatenate(outs, axis=0) if outs else np.zeros((0, self.bitmap_size))
+
+    def predict_proba(self, x_addr: np.ndarray, x_pc: np.ndarray, batch_size: int = 512) -> np.ndarray:
+        return F.sigmoid(self.predict_logits(x_addr, x_pc, batch_size))

@@ -1,0 +1,326 @@
+"""Faithful Voyager-style hierarchical predictor [Shi et al., ASPLOS 2021].
+
+The baseline in :mod:`repro.models.lstm_model` shares DART's delta-bitmap
+formulation so it can drop into the paper's comparison. *This* module is the
+architecture Voyager actually proposes, for the extended study:
+
+* the address space is split into a **page vocabulary** (learned embedding,
+  built from the training trace with an OOV bucket) and a fixed **offset
+  vocabulary** (64 block slots per 4 KiB page);
+* page, offset and PC embeddings are summed per timestep and fed to an LSTM;
+* two classification heads predict the *next* access's page id and offset
+  with softmax cross-entropy — prediction is a (page, offset) pair, not a
+  delta bitmap.
+
+Where the full paper adds a page-aware offset-attention layer, we sum the
+embeddings (the ablation Voyager itself reports as the simpler variant);
+the properties the comparison cares about — vocabulary-based temporal
+prediction, recurrent trunk, per-address output — are preserved.
+
+:class:`VoyagerPrefetcher` wraps a trained model + vocabularies as an LLC
+prefetcher with Table IX's latency/storage figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.embedding import Embedding
+from repro.nn.linear import Linear
+from repro.nn.losses import cross_entropy_with_logits
+from repro.nn.lstm import LSTM
+from repro.nn.module import Module
+from repro.nn.optim import Adam, clip_global_norm
+from repro.nn import functional as F
+from repro.prefetch.base import Prefetcher
+from repro.traces.trace import MemoryTrace
+from repro.utils.bits import PAGE_BLOCK_BITS
+from repro.utils.rng import new_rng, spawn_rngs
+
+#: offset vocabulary size: blocks per page
+N_OFFSETS = 1 << PAGE_BLOCK_BITS
+#: reserved id for out-of-vocabulary values
+OOV = 0
+
+
+class Vocab:
+    """Value → dense id mapping with id 0 reserved for OOV.
+
+    Built from training data by frequency; queries never grow the table, so
+    deployment-time behaviour matches a fixed-size embedding.
+    """
+
+    def __init__(self, values: np.ndarray, max_size: int = 4096):
+        vals, counts = np.unique(np.asarray(values), return_counts=True)
+        order = np.argsort(-counts)
+        keep = vals[order][: max_size - 1]
+        self._to_id = {int(v): i + 1 for i, v in enumerate(keep)}
+        self._from_id = np.zeros(len(keep) + 1, dtype=np.int64)
+        for v, i in self._to_id.items():
+            self._from_id[i] = v
+
+    def __len__(self) -> int:
+        return len(self._to_id) + 1  # + OOV
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized value → id (OOV → 0)."""
+        flat = np.asarray(values).reshape(-1)
+        out = np.fromiter(
+            (self._to_id.get(int(v), OOV) for v in flat), dtype=np.int64, count=flat.size
+        )
+        return out.reshape(np.asarray(values).shape)
+
+    def decode(self, ids: np.ndarray) -> np.ndarray:
+        """id → original value (OOV id maps to value 0)."""
+        return self._from_id[np.asarray(ids)]
+
+
+@dataclass
+class VoyagerDataset:
+    """Windowed (page, offset, pc) id sequences and next-access labels."""
+
+    pages: np.ndarray  # (N, T) page ids
+    offsets: np.ndarray  # (N, T) block offsets in page
+    pcs: np.ndarray  # (N, T) pc ids
+    y_page: np.ndarray  # (N,) next page id
+    y_offset: np.ndarray  # (N,) next offset
+
+    def __len__(self) -> int:
+        return len(self.y_page)
+
+    def subset(self, idx) -> "VoyagerDataset":
+        return VoyagerDataset(
+            self.pages[idx], self.offsets[idx], self.pcs[idx], self.y_page[idx], self.y_offset[idx]
+        )
+
+
+def build_voyager_dataset(
+    trace: MemoryTrace,
+    history_len: int = 8,
+    page_vocab: Vocab | None = None,
+    pc_vocab: Vocab | None = None,
+    max_samples: int | None = None,
+    max_pages: int = 4096,
+    max_pcs: int = 1024,
+) -> tuple[VoyagerDataset, Vocab, Vocab]:
+    """Slide a ``history_len`` window over the trace; label = next access.
+
+    Pass existing vocabularies to encode an evaluation trace with the
+    *training* vocabulary (OOV pages become label 0 and are unpredictable,
+    exactly Voyager's deployment behaviour).
+    """
+    blocks = trace.block_addrs
+    pages_raw = blocks >> PAGE_BLOCK_BITS
+    offsets_raw = (blocks & (N_OFFSETS - 1)).astype(np.int64)
+    if page_vocab is None:
+        page_vocab = Vocab(pages_raw, max_size=max_pages)
+    if pc_vocab is None:
+        pc_vocab = Vocab(trace.pcs, max_size=max_pcs)
+    page_ids = page_vocab.encode(pages_raw)
+    pc_ids = pc_vocab.encode(trace.pcs)
+
+    n = len(blocks) - history_len
+    if n <= 0:
+        empty = np.zeros((0, history_len), dtype=np.int64)
+        z = np.zeros(0, dtype=np.int64)
+        return VoyagerDataset(empty, empty, empty, z, z), page_vocab, pc_vocab
+    win = np.lib.stride_tricks.sliding_window_view
+    ds = VoyagerDataset(
+        pages=win(page_ids, history_len)[:n].copy(),
+        offsets=win(offsets_raw, history_len)[:n].copy(),
+        pcs=win(pc_ids, history_len)[:n].copy(),
+        y_page=page_ids[history_len:].copy(),
+        y_offset=offsets_raw[history_len:].copy(),
+    )
+    if max_samples is not None and len(ds) > max_samples:
+        ds = ds.subset(slice(0, max_samples))
+    return ds, page_vocab, pc_vocab
+
+
+class VoyagerPredictor(Module):
+    """Embeddings → recurrent trunk → (page head, offset head).
+
+    ``cell`` selects the trunk: ``"lstm"`` (Voyager's choice) or ``"gru"``
+    (the cheaper 3-gate variant — ~75% of the recurrent arithmetic, used by
+    the latency/accuracy ablation).
+    """
+
+    def __init__(
+        self,
+        n_pages: int,
+        n_pcs: int,
+        emb_dim: int = 32,
+        hidden_dim: int = 64,
+        cell: str = "lstm",
+        rng=0,
+    ):
+        super().__init__()
+        if cell not in ("lstm", "gru"):
+            raise ValueError(f"cell must be 'lstm' or 'gru', got {cell!r}")
+        self.n_pages = int(n_pages)
+        self.n_pcs = int(n_pcs)
+        self.hidden_dim = int(hidden_dim)
+        self.cell = cell
+        r = spawn_rngs(rng, 6)
+        self.page_emb = Embedding(n_pages, emb_dim, rng=r[0])
+        self.offset_emb = Embedding(N_OFFSETS, emb_dim, rng=r[1])
+        self.pc_emb = Embedding(n_pcs, emb_dim, rng=r[2])
+        if cell == "gru":
+            from repro.nn.gru import GRU
+
+            self.lstm = GRU(emb_dim, hidden_dim, rng=r[3])
+        else:
+            self.lstm = LSTM(emb_dim, hidden_dim, rng=r[3])
+        self.page_head = Linear(hidden_dim, n_pages, rng=r[4])
+        self.offset_head = Linear(hidden_dim, N_OFFSETS, rng=r[5])
+        self._t: int | None = None
+
+    def forward(
+        self, pages: np.ndarray, offsets: np.ndarray, pcs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(B, T) int ids → page logits (B, P) and offset logits (B, 64)."""
+        h = (
+            self.page_emb.forward(pages)
+            + self.offset_emb.forward(offsets)
+            + self.pc_emb.forward(pcs)
+        )
+        seq = self.lstm.forward(h)
+        self._t = seq.shape[1]
+        last = seq[:, -1]
+        return self.page_head.forward(last), self.offset_head.forward(last)
+
+    def backward(self, g_page: np.ndarray, g_offset: np.ndarray) -> None:
+        g_last = self.page_head.backward(g_page) + self.offset_head.backward(g_offset)
+        g_seq = np.zeros((g_last.shape[0], self._t, self.hidden_dim))
+        g_seq[:, -1] = g_last
+        g = self.lstm.backward(g_seq)
+        self.page_emb.backward(g)
+        self.offset_emb.backward(g)
+        self.pc_emb.backward(g)
+
+    # ------------------------------------------------------------- inference
+    def predict_proba(
+        self, pages: np.ndarray, offsets: np.ndarray, pcs: np.ndarray, batch_size: int = 512
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched softmax probabilities for both heads."""
+        outs_p, outs_o = [], []
+        for start in range(0, pages.shape[0], batch_size):
+            sl = slice(start, start + batch_size)
+            zp, zo = self.forward(pages[sl], offsets[sl], pcs[sl])
+            outs_p.append(F.softmax(zp, axis=1))
+            outs_o.append(F.softmax(zo, axis=1))
+        if not outs_p:
+            return np.zeros((0, self.n_pages)), np.zeros((0, N_OFFSETS))
+        return np.concatenate(outs_p), np.concatenate(outs_o)
+
+
+@dataclass
+class VoyagerTrainConfig:
+    epochs: int = 5
+    batch_size: int = 64
+    lr: float = 1e-3
+    clip_norm: float = 5.0
+    seed: int = 0
+
+
+def train_voyager(
+    model: VoyagerPredictor, dataset: VoyagerDataset, config: VoyagerTrainConfig | None = None
+) -> list[float]:
+    """Minimize CE(page) + CE(offset) with Adam; returns per-epoch losses."""
+    cfg = config or VoyagerTrainConfig()
+    opt = Adam(model.parameters(), lr=cfg.lr)
+    rng = new_rng(cfg.seed)
+    history: list[float] = []
+    n = len(dataset)
+    for _ in range(cfg.epochs):
+        order = rng.permutation(n)
+        total = 0.0
+        batches = 0
+        for start in range(0, n, cfg.batch_size):
+            idx = order[start : start + cfg.batch_size]
+            zp, zo = model.forward(dataset.pages[idx], dataset.offsets[idx], dataset.pcs[idx])
+            lp, gp = cross_entropy_with_logits(zp, dataset.y_page[idx])
+            lo, go = cross_entropy_with_logits(zo, dataset.y_offset[idx])
+            opt.zero_grad()
+            model.backward(gp, go)
+            clip_global_norm(opt.params, cfg.clip_norm)
+            opt.step()
+            total += lp + lo
+            batches += 1
+        history.append(total / max(batches, 1))
+    return history
+
+
+def next_address_accuracy(model: VoyagerPredictor, dataset: VoyagerDataset) -> dict:
+    """Top-1 accuracy of page, offset, and the joint (full-address) prediction."""
+    pp, po = model.predict_proba(dataset.pages, dataset.offsets, dataset.pcs)
+    page_hit = pp.argmax(axis=1) == dataset.y_page
+    off_hit = po.argmax(axis=1) == dataset.y_offset
+    return {
+        "page_acc": float(page_hit.mean()) if len(dataset) else 0.0,
+        "offset_acc": float(off_hit.mean()) if len(dataset) else 0.0,
+        "address_acc": float((page_hit & off_hit).mean()) if len(dataset) else 0.0,
+    }
+
+
+class VoyagerPrefetcher(Prefetcher):
+    """A trained :class:`VoyagerPredictor` deployed at the LLC.
+
+    Each access predicts the next (page, offset) pair; the top ``degree``
+    joint candidates (page prob × offset prob, OOV page excluded) become
+    prefetches. Table IX: 14.9 MB of state, ≈27.7 K cycles per inference for
+    the practical variant; pass ``latency_cycles=0`` for Voyager-I.
+    """
+
+    def __init__(
+        self,
+        model: VoyagerPredictor,
+        page_vocab: Vocab,
+        pc_vocab: Vocab,
+        history_len: int = 8,
+        degree: int = 2,
+        name: str = "Voyager",
+        latency_cycles: int = 27_700,
+        storage_bytes: float = 14.9e6,
+    ):
+        self.model = model
+        self.page_vocab = page_vocab
+        self.pc_vocab = pc_vocab
+        self.history_len = int(history_len)
+        self.degree = int(degree)
+        self.name = name
+        self.latency_cycles = int(latency_cycles)
+        self.storage_bytes = float(storage_bytes)
+
+    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
+        ds, _, _ = build_voyager_dataset(
+            trace, self.history_len, page_vocab=self.page_vocab, pc_vocab=self.pc_vocab
+        )
+        n = len(trace)
+        out: list[list[int]] = [[] for _ in range(n)]
+        if len(ds) == 0:
+            return out
+        pp, po = self.model.predict_proba(ds.pages, ds.offsets, ds.pcs)
+        pp = pp.copy()
+        pp[:, OOV] = 0.0  # an OOV page cannot be materialized into an address
+        k = max(self.degree, 1)
+        top_pages = np.argsort(-pp, axis=1)[:, :k]
+        top_offs = np.argsort(-po, axis=1)[:, :k]
+        page_vals = self.page_vocab.decode(top_pages)
+        pp_sel = np.take_along_axis(pp, top_pages, axis=1)
+        po_sel = np.take_along_axis(po, top_offs, axis=1)
+        for row in range(len(ds)):
+            joint = pp_sel[row][:, None] * po_sel[row][None, :]
+            flat = np.argsort(-joint, axis=None)[: self.degree]
+            preds = []
+            for f in flat:
+                i, j = divmod(int(f), k)
+                if joint[i, j] <= 0.0:
+                    continue
+                preds.append(int(page_vals[row, i]) * N_OFFSETS + int(top_offs[row, j]))
+            # Row r observes trace positions [r, r+T): its prediction fires
+            # on the last observed access, matching model_prefetch_lists.
+            out[self.history_len - 1 + row] = preds
+        return out

@@ -1,0 +1,108 @@
+"""Elementwise activation modules: ReLU, Sigmoid, Dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.utils.rng import new_rng
+
+
+class ReLU(Module):
+    """``max(0, x)`` — the FFN nonlinearity in Eq. 2."""
+
+    def __init__(self):
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class Sigmoid(Module):
+    """Logistic output activation for the multi-label delta bitmap head."""
+
+    def __init__(self):
+        super().__init__()
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = F.sigmoid(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        y = self._y
+        return grad_out * y * (1.0 - y)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent (LSTM cell/output nonlinearity)."""
+
+    def __init__(self):
+        super().__init__()
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (1.0 - self._y * self._y)
+
+
+class GELU(Module):
+    """Gaussian Error Linear Unit (tanh approximation, as in BERT/GPT).
+
+    ``gelu(x) = 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))``; the
+    backward differentiates the same approximation, so gradients are exact
+    for the function actually computed.
+    """
+
+    _C = float(np.sqrt(2.0 / np.pi))
+
+    def __init__(self):
+        super().__init__()
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        inner = self._C * (x + 0.044715 * x**3)
+        return 0.5 * x * (1.0 + np.tanh(inner))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x = self._x
+        inner = self._C * (x + 0.044715 * x**3)
+        t = np.tanh(inner)
+        d_inner = self._C * (1.0 + 3 * 0.044715 * x**2)
+        grad = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * d_inner
+        return grad_out * grad
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.1, rng=0):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout p must be in [0, 1), got {p}")
+        self.p = float(p)
+        self._rng = new_rng(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask

@@ -1,0 +1,115 @@
+"""Multi-head self-attention (paper Eq. 3–4) with manual backprop.
+
+The module exposes its per-head ``Q``, ``K``, ``V`` and context activations
+from the last forward pass: the tabularization converter (Sec. V-B) needs them
+as the training set for the attention kernel's product-quantization prototypes.
+
+Two score modes are supported:
+
+* ``"softmax"`` — standard scaled dot-product attention (used by the paper's
+  teacher/student models).
+* ``"sigmoid"`` — elementwise ``sigmoid(scores)`` weights. This matches the
+  surrogate the attention *kernel* bakes into its QKV table (paper Eq. 14), so
+  a student trained in this mode tabularizes with lower surrogate error; we
+  evaluate it as an ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.utils.rng import spawn_rngs
+
+
+class MultiHeadSelfAttention(Module):
+    """MSA over inputs ``(B, T, D)`` with ``H`` heads of size ``D/H``."""
+
+    def __init__(self, dim: int, heads: int, score_mode: str = "softmax", rng=0):
+        super().__init__()
+        if dim % heads != 0:
+            raise ValueError(f"dim {dim} not divisible by heads {heads}")
+        if score_mode not in ("softmax", "sigmoid"):
+            raise ValueError(f"unknown score_mode {score_mode!r}")
+        self.dim = int(dim)
+        self.heads = int(heads)
+        self.head_dim = self.dim // self.heads
+        self.score_mode = score_mode
+        r1, r2 = spawn_rngs(rng, 2)
+        self.qkv = Linear(self.dim, 3 * self.dim, rng=r1)
+        self.out = Linear(self.dim, self.dim, rng=r2)
+        # Cached activations (also consumed by the tabularization converter).
+        self.last_q: np.ndarray | None = None  # (B, H, T, Dh)
+        self.last_k: np.ndarray | None = None
+        self.last_v: np.ndarray | None = None
+        self.last_attn: np.ndarray | None = None  # (B, H, T, T)
+        self.last_context: np.ndarray | None = None  # (B, T, D)
+
+    # ------------------------------------------------------------------ util
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        """(B, T, D) -> (B, H, T, Dh)"""
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """(B, H, T, Dh) -> (B, T, D)"""
+        b, h, t, dh = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, t, h * dh)
+
+    # --------------------------------------------------------------- forward
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        b, t, d = x.shape
+        qkv = self.qkv.forward(x)  # (B, T, 3D)
+        q, k, v = np.split(qkv, 3, axis=-1)
+        q = self._split_heads(q)
+        k = self._split_heads(k)
+        v = self._split_heads(v)
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (B, H, T, T)
+        if self.score_mode == "softmax":
+            attn = F.softmax(scores, axis=-1)
+        else:
+            attn = F.sigmoid(scores)
+        context = attn @ v  # (B, H, T, Dh)
+        merged = self._merge_heads(context)
+        self.last_q, self.last_k, self.last_v = q, k, v
+        self.last_attn = attn
+        self.last_context = merged
+        return self.out.forward(merged)
+
+    # -------------------------------------------------------------- backward
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        q, k, v, attn = self.last_q, self.last_k, self.last_v, self.last_attn
+        if attn is None:
+            raise RuntimeError("backward called before forward")
+        g_merged = self.out.backward(grad_out)  # (B, T, D)
+        g_ctx = self._split_heads(g_merged)  # (B, H, T, Dh)
+        g_attn = g_ctx @ v.transpose(0, 1, 3, 2)  # (B, H, T, T)
+        g_v = attn.transpose(0, 1, 3, 2) @ g_ctx  # (B, H, T, Dh)
+        if self.score_mode == "softmax":
+            # dL/ds = A * (dL/dA - sum_j dL/dA_j A_j)
+            g_scores = attn * (g_attn - (g_attn * attn).sum(axis=-1, keepdims=True))
+        else:
+            g_scores = g_attn * attn * (1.0 - attn)
+        scale = 1.0 / np.sqrt(self.head_dim)
+        g_scores = g_scores * scale
+        g_q = g_scores @ k  # (B, H, T, Dh)
+        g_k = g_scores.transpose(0, 1, 3, 2) @ q
+        g_qkv = np.concatenate(
+            [self._merge_heads(g_q), self._merge_heads(g_k), self._merge_heads(g_v)],
+            axis=-1,
+        )
+        return self.qkv.backward(g_qkv)
+
+    # ---------------------------------------------------------- tabular hook
+    def project_qkv(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Compute per-head (Q, K, V) without caching gradients.
+
+        Used by the converter to gather attention-kernel training data from
+        (possibly approximated) activations. Shapes: each ``(B, H, T, Dh)``.
+        """
+        qkv = x @ self.qkv.weight.value.T + self.qkv.bias.value
+        q, k, v = np.split(qkv, 3, axis=-1)
+        return self._split_heads(q), self._split_heads(k), self._split_heads(v)

@@ -1,0 +1,49 @@
+"""Embedding lookup table with accumulated backward.
+
+Voyager-style predictors embed page and offset vocabularies before the LSTM;
+this module provides the trainable lookup. Forward takes integer indices of
+any shape and returns vectors of dimension ``dim`` appended as a trailing
+axis; backward scatter-adds the incoming gradient into the rows that were
+used (``np.add.at`` handles repeated indices correctly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import new_rng
+
+
+class Embedding(Module):
+    """``indices (..., ) -> vectors (..., dim)`` trainable lookup."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng=0, scale: float | None = None):
+        super().__init__()
+        if num_embeddings <= 0 or dim <= 0:
+            raise ValueError("num_embeddings and dim must be positive")
+        self.num_embeddings = int(num_embeddings)
+        self.dim = int(dim)
+        r = new_rng(rng)
+        scale = (1.0 / np.sqrt(dim)) if scale is None else float(scale)
+        self.weight = Parameter(r.normal(0.0, scale, size=(num_embeddings, dim)), "embedding")
+        self._indices: np.ndarray | None = None
+
+    def forward(self, indices: np.ndarray) -> np.ndarray:
+        idx = np.asarray(indices)
+        if not np.issubdtype(idx.dtype, np.integer):
+            raise TypeError(f"Embedding expects integer indices, got {idx.dtype}")
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_embeddings):
+            raise IndexError(
+                f"index out of range [0, {self.num_embeddings}): "
+                f"[{idx.min()}, {idx.max()}]"
+            )
+        self._indices = idx
+        return self.weight.value[idx]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._indices is not None, "backward before forward"
+        np.add.at(self.weight.grad, self._indices, grad_out)
+        # Indices are not differentiable; return a zero gradient of their shape
+        # so Sequential-style chaining stays well-typed.
+        return np.zeros(self._indices.shape, dtype=np.float64)

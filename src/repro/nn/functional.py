@@ -1,0 +1,43 @@
+"""Stateless numerical primitives shared by modules and losses.
+
+All functions are numerically stable and fully vectorized; they operate on the
+last axis unless noted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def log1pexp(x: np.ndarray) -> np.ndarray:
+    """``log(1 + exp(x))`` without overflow (softplus)."""
+    return np.where(x > 30.0, x, np.log1p(np.exp(np.minimum(x, 30.0))))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def one_hot(indices: np.ndarray, depth: int) -> np.ndarray:
+    """One-hot encode an integer array along a new trailing axis."""
+    idx = np.asarray(indices)
+    out = np.zeros(idx.shape + (depth,), dtype=np.float64)
+    np.put_along_axis(out, idx[..., None], 1.0, axis=-1)
+    return out

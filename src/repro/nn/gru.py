@@ -1,0 +1,116 @@
+"""Single-layer GRU with full backpropagation-through-time.
+
+The cheaper recurrent trunk (3 gates vs. the LSTM's 4, no cell state): the
+substrate's second recurrent baseline for the latency/accuracy study —
+Voyager-class prediction quality at ~75% of the recurrent arithmetic.
+Input shape ``(B, T, D_in)``, output ``(B, T, H)``.
+
+Formulation (Cho et al., 2014)::
+
+    r_t = sigmoid(W_r x_t + U_r h_{t-1} + b_r)          # reset
+    z_t = sigmoid(W_z x_t + U_z h_{t-1} + b_z)          # update
+    n_t = tanh  (W_n x_t + r_t * (U_n h_{t-1} + b_n))   # candidate
+    h_t = (1 - z_t) * n_t + z_t * h_{t-1}
+
+(the "v3"/PyTorch variant where the reset gate applies to the *projected*
+previous state, which is the one with an efficient fused GEMM).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.init import orthogonal, xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import spawn_rngs
+
+
+class GRU(Module):
+    """GRU layer; returns the full hidden-state sequence."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, rng=0):
+        super().__init__()
+        self.in_dim = int(in_dim)
+        self.hidden_dim = int(hidden_dim)
+        h = self.hidden_dim
+        r1, r2 = spawn_rngs(rng, 2)
+        # Gate order: [reset, update, new] stacked along rows.
+        self.w_x = Parameter(xavier_uniform((3 * h, self.in_dim), r1))
+        self.w_h = Parameter(
+            np.concatenate([orthogonal((h, h), r2) for _ in range(3)], axis=0)
+        )
+        self.bias_x = Parameter(np.zeros(3 * h))
+        self.bias_h = Parameter(np.zeros(3 * h))
+        self._cache: dict | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        b, t, _ = x.shape
+        h_dim = self.hidden_dim
+        hs = np.zeros((b, t + 1, h_dim))
+        gates = np.zeros((b, t, 3 * h_dim))  # r, z, n
+        hproj_n = np.zeros((b, t, h_dim))  # U_n h_{t-1} + b_n (pre reset-scale)
+        wx, wh = self.w_x.value, self.w_h.value
+        x_proj = x @ wx.T + self.bias_x.value  # (B, T, 3H)
+        for step in range(t):
+            hp = hs[:, step] @ wh.T + self.bias_h.value  # (B, 3H)
+            r = F.sigmoid(x_proj[:, step, :h_dim] + hp[:, :h_dim])
+            z = F.sigmoid(x_proj[:, step, h_dim : 2 * h_dim] + hp[:, h_dim : 2 * h_dim])
+            hn = hp[:, 2 * h_dim :]
+            n = np.tanh(x_proj[:, step, 2 * h_dim :] + r * hn)
+            hs[:, step + 1] = (1.0 - z) * n + z * hs[:, step]
+            gates[:, step] = np.concatenate([r, z, n], axis=-1)
+            hproj_n[:, step] = hn
+        self._cache = {"x": x, "hs": hs, "gates": gates, "hproj_n": hproj_n}
+        return hs[:, 1:]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        cache = self._cache
+        if cache is None:
+            raise RuntimeError("backward called before forward")
+        x, hs = cache["x"], cache["hs"]
+        gates, hproj_n = cache["gates"], cache["hproj_n"]
+        b, t, _ = x.shape
+        h_dim = self.hidden_dim
+        wx, wh = self.w_x.value, self.w_h.value
+        gx = np.zeros_like(x)
+        dh_next = np.zeros((b, h_dim))
+        dwx = np.zeros_like(wx)
+        dwh = np.zeros_like(wh)
+        dbx = np.zeros_like(self.bias_x.value)
+        dbh = np.zeros_like(self.bias_h.value)
+        for step in range(t - 1, -1, -1):
+            r = gates[:, step, :h_dim]
+            z = gates[:, step, h_dim : 2 * h_dim]
+            n = gates[:, step, 2 * h_dim :]
+            hn = hproj_n[:, step]
+            h_prev = hs[:, step]
+            dh = grad_out[:, step] + dh_next
+
+            dn = dh * (1.0 - z)
+            dz = dh * (h_prev - n)
+            dh_prev = dh * z
+
+            da_n = dn * (1.0 - n * n)  # pre-tanh of the candidate
+            dr = da_n * hn
+            d_hn = da_n * r  # grad into U_n h_prev + b_n
+
+            da_r = dr * r * (1.0 - r)
+            da_z = dz * z * (1.0 - z)
+
+            # x-side pre-activations receive [da_r, da_z, da_n] directly.
+            dzx = np.concatenate([da_r, da_z, da_n], axis=-1)  # (B, 3H)
+            # h-side pre-activations: r/z gates same, n-row scaled by reset.
+            dzh = np.concatenate([da_r, da_z, d_hn], axis=-1)
+
+            dwx += dzx.T @ x[:, step]
+            dbx += dzx.sum(axis=0)
+            dwh += dzh.T @ h_prev
+            dbh += dzh.sum(axis=0)
+            gx[:, step] = dzx @ wx
+            dh_next = dh_prev + dzh @ wh
+        self.w_x.grad += dwx
+        self.w_h.grad += dwh
+        self.bias_x.grad += dbx
+        self.bias_h.grad += dbh
+        return gx

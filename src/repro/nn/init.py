@@ -1,0 +1,34 @@
+"""Weight initialization schemes (Glorot/Xavier and He/Kaiming)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+
+def xavier_uniform(shape: tuple[int, ...], rng, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform init; ``shape`` is ``(fan_out, fan_in)`` for Linear."""
+    rng = new_rng(rng)
+    fan_out, fan_in = shape[0], shape[-1]
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng) -> np.ndarray:
+    """He uniform init for ReLU fan-in."""
+    rng = new_rng(rng)
+    fan_in = shape[-1]
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(shape: tuple[int, int], rng, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal init (used for LSTM recurrent weights)."""
+    rng = new_rng(rng)
+    a = rng.standard_normal(shape)
+    q, r = np.linalg.qr(a if shape[0] >= shape[1] else a.T)
+    q = q * np.sign(np.diag(r))
+    if shape[0] < shape[1]:
+        q = q.T
+    return gain * q[: shape[0], : shape[1]]

@@ -1,0 +1,50 @@
+"""Layer normalization over the feature axis with learnable affine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class LayerNorm(Module):
+    """Normalize the last axis to zero mean / unit variance, then scale+shift.
+
+    The tabularized model keeps LayerNorm as direct arithmetic (the paper's
+    Algorithm 1, line 18), so this module also exposes :meth:`apply_inference`
+    for use inside the table hierarchy without gradient caching.
+    """
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = int(dim)
+        self.eps = float(eps)
+        self.gamma = Parameter(np.ones(self.dim))
+        self.beta = Parameter(np.zeros(self.dim))
+        self._xhat: np.ndarray | None = None
+        self._inv_std: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        self._inv_std = 1.0 / np.sqrt(var + self.eps)
+        self._xhat = (x - mean) * self._inv_std
+        return self._xhat * self.gamma.value + self.beta.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        xhat, inv_std = self._xhat, self._inv_std
+        self.gamma.grad += (grad_out * xhat).reshape(-1, self.dim).sum(axis=0)
+        self.beta.grad += grad_out.reshape(-1, self.dim).sum(axis=0)
+        g = grad_out * self.gamma.value
+        n = self.dim
+        # d/dx of (x - mean) * inv_std, standard layernorm backward.
+        gx = (
+            g - g.mean(axis=-1, keepdims=True) - xhat * (g * xhat).mean(axis=-1, keepdims=True)
+        ) * inv_std
+        return gx
+
+    def apply_inference(self, x: np.ndarray) -> np.ndarray:
+        """Stateless forward used by the tabular model (no caching)."""
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        return (x - mean) / np.sqrt(var + self.eps) * self.gamma.value + self.beta.value

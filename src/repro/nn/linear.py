@@ -1,0 +1,46 @@
+"""Dense affine layer ``y = x @ W.T + b`` (paper Eq. 1, batched)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import xavier_uniform
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map over the last axis.
+
+    Weights follow the paper's convention ``W in R^{D_out x D_in}`` (Eq. 1),
+    applied to inputs of any leading shape ``(..., D_in)``.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, bias: bool = True, rng=0):
+        super().__init__()
+        self.in_dim = int(in_dim)
+        self.out_dim = int(out_dim)
+        self.weight = Parameter(xavier_uniform((self.out_dim, self.in_dim), rng))
+        self.bias = Parameter(np.zeros(self.out_dim)) if bias else None
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        y = x @ self.weight.value.T
+        if self.bias is not None:
+            y += self.bias.value
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x = self._x
+        if x is None:
+            raise RuntimeError("backward called before forward")
+        # Flatten leading axes so the weight gradient is one GEMM.
+        g2 = grad_out.reshape(-1, self.out_dim)
+        x2 = x.reshape(-1, self.in_dim)
+        self.weight.grad += g2.T @ x2
+        if self.bias is not None:
+            self.bias.grad += g2.sum(axis=0)
+        return grad_out @ self.weight.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Linear({self.in_dim} -> {self.out_dim})"

@@ -1,0 +1,107 @@
+"""Single-layer LSTM with full backpropagation-through-time.
+
+Used by the Voyager-like baseline predictor (`repro.models.lstm_model`). The
+recurrence is the standard Hochreiter–Schmidhuber formulation with a forget
+gate bias of 1. Input shape ``(B, T, D_in)``, output ``(B, T, H)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.init import orthogonal, xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import spawn_rngs
+
+
+class LSTM(Module):
+    """LSTM layer; returns the full hidden-state sequence."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, rng=0):
+        super().__init__()
+        self.in_dim = int(in_dim)
+        self.hidden_dim = int(hidden_dim)
+        h = self.hidden_dim
+        r1, r2 = spawn_rngs(rng, 2)
+        # Gate order: [input, forget, cell(g), output] stacked along rows.
+        self.w_x = Parameter(xavier_uniform((4 * h, self.in_dim), r1))
+        self.w_h = Parameter(
+            np.concatenate([orthogonal((h, h), r2) for _ in range(4)], axis=0)
+        )
+        bias = np.zeros(4 * h)
+        bias[h : 2 * h] = 1.0  # forget-gate bias
+        self.bias = Parameter(bias)
+        self._cache: dict | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        b, t, _ = x.shape
+        h_dim = self.hidden_dim
+        hs = np.zeros((b, t + 1, h_dim))
+        cs = np.zeros((b, t + 1, h_dim))
+        gates = np.zeros((b, t, 4 * h_dim))
+        tanh_c = np.zeros((b, t, h_dim))
+        wx, wh, bias = self.w_x.value, self.w_h.value, self.bias.value
+        # Precompute the input contribution for all timesteps in one GEMM.
+        x_proj = x @ wx.T + bias  # (B, T, 4H)
+        for step in range(t):
+            z = x_proj[:, step] + hs[:, step] @ wh.T
+            i = F.sigmoid(z[:, :h_dim])
+            f = F.sigmoid(z[:, h_dim : 2 * h_dim])
+            g = np.tanh(z[:, 2 * h_dim : 3 * h_dim])
+            o = F.sigmoid(z[:, 3 * h_dim :])
+            c = f * cs[:, step] + i * g
+            tc = np.tanh(c)
+            hs[:, step + 1] = o * tc
+            cs[:, step + 1] = c
+            gates[:, step] = np.concatenate([i, f, g, o], axis=-1)
+            tanh_c[:, step] = tc
+        self._cache = {"x": x, "hs": hs, "cs": cs, "gates": gates, "tanh_c": tanh_c}
+        return hs[:, 1:]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        cache = self._cache
+        if cache is None:
+            raise RuntimeError("backward called before forward")
+        x, hs, cs = cache["x"], cache["hs"], cache["cs"]
+        gates, tanh_c = cache["gates"], cache["tanh_c"]
+        b, t, _ = x.shape
+        h_dim = self.hidden_dim
+        wx, wh = self.w_x.value, self.w_h.value
+        gx = np.zeros_like(x)
+        dh_next = np.zeros((b, h_dim))
+        dc_next = np.zeros((b, h_dim))
+        dwx = np.zeros_like(wx)
+        dwh = np.zeros_like(wh)
+        dbias = np.zeros_like(self.bias.value)
+        for step in range(t - 1, -1, -1):
+            i = gates[:, step, :h_dim]
+            f = gates[:, step, h_dim : 2 * h_dim]
+            g = gates[:, step, 2 * h_dim : 3 * h_dim]
+            o = gates[:, step, 3 * h_dim :]
+            tc = tanh_c[:, step]
+            dh = grad_out[:, step] + dh_next
+            do = dh * tc
+            dc = dh * o * (1.0 - tc * tc) + dc_next
+            di = dc * g
+            df = dc * cs[:, step]
+            dg = dc * i
+            dc_next = dc * f
+            dz = np.concatenate(
+                [
+                    di * i * (1.0 - i),
+                    df * f * (1.0 - f),
+                    dg * (1.0 - g * g),
+                    do * o * (1.0 - o),
+                ],
+                axis=-1,
+            )  # (B, 4H)
+            dwx += dz.T @ x[:, step]
+            dwh += dz.T @ hs[:, step]
+            dbias += dz.sum(axis=0)
+            gx[:, step] = dz @ wx
+            dh_next = dz @ wh
+        self.w_x.grad += dwx
+        self.w_h.grad += dwh
+        self.bias.grad += dbias
+        return gx

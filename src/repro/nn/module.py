@@ -1,0 +1,142 @@
+"""Base classes for the NumPy NN substrate: Parameter, Module, Sequential."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient.
+
+    ``value`` and ``grad`` always share dtype and shape; ``grad`` starts at
+    zero and is accumulated by ``Module.backward`` until ``zero_grad``.
+    """
+
+    __slots__ = ("value", "grad", "name")
+
+    def __init__(self, value: np.ndarray, name: str = ""):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self):
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return self.value.size
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name or 'unnamed'}, shape={self.value.shape})"
+
+
+class Module:
+    """Base class with automatic parameter/child registration.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; ``__setattr__`` registers them so :meth:`parameters` and
+    :meth:`state_dict` can walk the tree without per-class boilerplate.
+    Lists of modules can be registered with :meth:`register_modules`.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_params", {})
+        object.__setattr__(self, "_children", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self._params[name] = value
+            if not value.name:
+                value.name = name
+        elif isinstance(value, Module):
+            self._children[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_modules(self, name: str, modules: list["Module"]) -> list["Module"]:
+        """Register a list of sub-modules under ``name/0``, ``name/1``, ..."""
+        for i, m in enumerate(modules):
+            self._children[f"{name}/{i}"] = m
+        object.__setattr__(self, name, modules)
+        return modules
+
+    # ------------------------------------------------------------------ tree
+    def named_parameters(self, prefix: str = "") -> list[tuple[str, Parameter]]:
+        out = [(prefix + n, p) for n, p in self._params.items()]
+        for cname, child in self._children.items():
+            out.extend(child.named_parameters(prefix + cname + "/"))
+        return out
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count (used for model-size reporting)."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self, flag: bool = True) -> "Module":
+        object.__setattr__(self, "training", flag)
+        for child in self._children.values():
+            child.train(flag)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # ----------------------------------------------------------- persistence
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.value.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        extra = set(state) - set(own)
+        if missing or extra:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)} extra={sorted(extra)}")
+        for name, p in own.items():
+            arr = np.asarray(state[name], dtype=np.float64)
+            if arr.shape != p.value.shape:
+                raise ValueError(f"shape mismatch for {name}: {arr.shape} vs {p.value.shape}")
+            p.value[...] = arr
+
+    # ------------------------------------------------------------- interface
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order; backward runs in reverse."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.register_modules("layers", list(modules))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, i: int) -> Module:
+        return self.layers[i]

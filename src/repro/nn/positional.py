@@ -1,0 +1,41 @@
+"""Learned positional embeddings.
+
+The fixed sinusoidal encoding lives in
+:class:`repro.nn.transformer.PositionalEncoding`; this module adds the
+*trainable* alternative (one vector per position, as used by BERT-style
+encoders) so the TransFetch-faithful model and ablations can compare the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import new_rng
+
+
+class LearnedPositionalEmbedding(Module):
+    """Adds one trainable vector per position to ``(B, T, D)`` inputs."""
+
+    def __init__(self, max_len: int, dim: int, rng=0, scale: float = 0.02):
+        super().__init__()
+        if dim <= 0 or max_len <= 0:
+            raise ValueError("max_len and dim must be positive")
+        self.max_len = int(max_len)
+        self.dim = int(dim)
+        r = new_rng(rng)
+        self.weight = Parameter(r.normal(0.0, scale, size=(max_len, dim)), "pos_embedding")
+        self._t: int | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        t = x.shape[-2]
+        if t > self.max_len:
+            raise ValueError(f"sequence length {t} exceeds max_len {self.max_len}")
+        self._t = t
+        return x + self.weight.value[:t]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._t is not None, "backward before forward"
+        g = grad_out.reshape((-1, self._t, self.dim)).sum(axis=0)
+        self.weight.grad[: self._t] += g
+        return grad_out

@@ -1,0 +1,101 @@
+"""Learning-rate schedules.
+
+Schedulers wrap an :class:`~repro.nn.optim.Optimizer` and rewrite its ``lr``
+on every :meth:`step` (call once per epoch, or per batch for warmup). All
+schedules are pure functions of the step counter, so training runs remain
+bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base: stores the optimizer and its initial learning rate."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.t = 0
+
+    def lr_at(self, t: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step and apply the new rate; returns it."""
+        self.t += 1
+        lr = float(self.lr_at(self.t))
+        self.optimizer.lr = lr
+        return lr
+
+    @property
+    def current_lr(self) -> float:
+        return float(self.optimizer.lr)
+
+
+class StepLR(LRScheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def lr_at(self, t: int) -> float:
+        return self.base_lr * self.gamma ** (t // self.step_size)
+
+
+class ExponentialLR(LRScheduler):
+    """``lr = base * gamma^t``."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95):
+        super().__init__(optimizer)
+        self.gamma = float(gamma)
+
+    def lr_at(self, t: int) -> float:
+        return self.base_lr * self.gamma**t
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from ``base_lr`` to ``min_lr`` over ``t_max`` steps."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = int(t_max)
+        self.min_lr = float(min_lr)
+
+    def lr_at(self, t: int) -> float:
+        t = min(t, self.t_max)
+        cos = 0.5 * (1.0 + np.cos(np.pi * t / self.t_max))
+        return self.min_lr + (self.base_lr - self.min_lr) * cos
+
+
+class WarmupCosineLR(LRScheduler):
+    """Linear warmup over ``warmup`` steps, then cosine decay to ``min_lr``.
+
+    The standard Transformer-training schedule; warmup avoids the unstable
+    first steps that large attention models are prone to.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup: int, t_max: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if warmup < 0 or t_max <= warmup:
+            raise ValueError("need 0 <= warmup < t_max")
+        self.warmup = int(warmup)
+        self.t_max = int(t_max)
+        self.min_lr = float(min_lr)
+
+    def lr_at(self, t: int) -> float:
+        if self.warmup and t <= self.warmup:
+            return self.base_lr * t / self.warmup
+        t = min(t, self.t_max)
+        frac = (t - self.warmup) / (self.t_max - self.warmup)
+        cos = 0.5 * (1.0 + np.cos(np.pi * frac))
+        return self.min_lr + (self.base_lr - self.min_lr) * cos

@@ -1,0 +1,118 @@
+"""Transformer encoder building blocks (paper Fig. 6 / Eq. 2–4).
+
+The encoder layer uses the original post-LN arrangement::
+
+    h = LN1(x + MSA(x));   y = LN2(h + FFN(h))
+
+which matches the cost model's two LayerNorms per encoder layer (Eq. 22).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import ReLU
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.layernorm import LayerNorm
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.utils.rng import spawn_rngs
+
+
+class PositionalEncoding(Module):
+    """Fixed sinusoidal positional encoding added to token embeddings."""
+
+    def __init__(self, dim: int, max_len: int = 512):
+        super().__init__()
+        self.dim = int(dim)
+        pos = np.arange(max_len)[:, None].astype(np.float64)
+        i = np.arange(dim)[None, :].astype(np.float64)
+        angle = pos / np.power(10000.0, (2 * (i // 2)) / dim)
+        pe = np.empty((max_len, dim))
+        pe[:, 0::2] = np.sin(angle[:, 0::2])
+        pe[:, 1::2] = np.cos(angle[:, 1::2])
+        self.pe = pe  # not a Parameter: fixed, no gradient
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        t = x.shape[-2]
+        if t > self.pe.shape[0]:
+            raise ValueError(f"sequence length {t} exceeds max_len {self.pe.shape[0]}")
+        return x + self.pe[:t]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+    def apply_inference(self, x: np.ndarray) -> np.ndarray:
+        """Stateless forward for the tabular model."""
+        return x + self.pe[: x.shape[-2]]
+
+
+class FeedForward(Module):
+    """Two-layer FFN with ReLU (Eq. 2). Sub-layers are exposed for the converter."""
+
+    def __init__(self, dim: int, hidden_dim: int, rng=0):
+        super().__init__()
+        r1, r2 = spawn_rngs(rng, 2)
+        self.lin1 = Linear(dim, hidden_dim, rng=r1)
+        self.act = ReLU()
+        self.lin2 = Linear(hidden_dim, dim, rng=r2)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.lin2.forward(self.act.forward(self.lin1.forward(x)))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.lin1.backward(self.act.backward(self.lin2.backward(grad_out)))
+
+
+class TransformerEncoderLayer(Module):
+    """Post-LN encoder layer: MSA + residual + LN, FFN + residual + LN."""
+
+    def __init__(
+        self,
+        dim: int,
+        heads: int,
+        ffn_dim: int,
+        score_mode: str = "softmax",
+        rng=0,
+    ):
+        super().__init__()
+        r1, r2 = spawn_rngs(rng, 2)
+        self.attn = MultiHeadSelfAttention(dim, heads, score_mode=score_mode, rng=r1)
+        self.ln1 = LayerNorm(dim)
+        self.ffn = FeedForward(dim, ffn_dim, rng=r2)
+        self.ln2 = LayerNorm(dim)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        a = self.attn.forward(x)
+        h = self.ln1.forward(x + a)
+        f = self.ffn.forward(h)
+        return self.ln2.forward(h + f)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = self.ln2.backward(grad_out)
+        gf = self.ffn.backward(g)
+        gh = g + gf
+        g1 = self.ln1.backward(gh)
+        ga = self.attn.backward(g1)
+        return g1 + ga
+
+
+class MeanPool(Module):
+    """Mean over the time axis: (B, T, D) -> (B, D).
+
+    The classification head applies the output linear per token and averages;
+    pooling *after* the linear or before it is equivalent in expectation, and
+    pooling first keeps the output-linear tabular kernel a plain (T=1) lookup.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._t: int | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._t = x.shape[-2]
+        return x.mean(axis=-2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        t = self._t
+        return np.repeat(grad_out[..., None, :], t, axis=-2) / t

@@ -1,0 +1,87 @@
+"""Prefetchers and prefetcher design tooling.
+
+Baselines: Best-Offset (BO), Irregular Stream Buffer (ISB), classic stride and
+next-line prefetchers, and neural prefetchers (TransFetch-like attention,
+Voyager-like LSTM) with the paper's latency/storage figures. DART itself wraps
+the tabular predictor. The cost model (Eqs. 16–23) and the table configurator
+(Sec. VI-C) live here too, since they answer prefetcher design questions.
+
+Beyond the paper's baselines, the standard rule-based field is implemented
+for the extended shootout: SPP (signature-path), SMS (spatial footprints),
+GHB G/DC & PC/DC (delta correlation), Markov (address correlation) and the
+classic stream buffer.
+"""
+
+from repro.prefetch.adaptive import FeedbackThrottle, ThrottleConfig
+from repro.prefetch.analysis import TimelinessReport, analyze_timeliness, compare_timeliness
+from repro.prefetch.base import Prefetcher, PrecomputedPrefetcher
+from repro.prefetch.bo import BestOffsetPrefetcher
+from repro.prefetch.ghb import GHBPrefetcher
+from repro.prefetch.hybrid import CompositePrefetcher
+from repro.prefetch.markov import MarkovPrefetcher
+from repro.prefetch.sms import SMSPrefetcher
+from repro.prefetch.spp import SPPPrefetcher
+from repro.prefetch.streamer import StreamPrefetcher
+from repro.prefetch.cost_model import (
+    attention_kernel_latency,
+    attention_kernel_ops,
+    attention_kernel_storage_bits,
+    linear_kernel_latency,
+    linear_kernel_ops,
+    linear_kernel_storage_bits,
+    nn_systolic_latency,
+    nn_ops,
+    nn_storage_bits,
+    tabular_model_latency,
+    tabular_model_ops,
+    tabular_model_storage_bits,
+)
+from repro.prefetch.dart import DARTPrefetcher
+from repro.prefetch.filter import FilteredPrefetcher
+from repro.prefetch.isb import ISBPrefetcher
+from repro.prefetch.next_line import NextLinePrefetcher
+from repro.prefetch.nn_prefetcher import NeuralPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.prefetch.table_configurator import (
+    CandidateConfig,
+    TableConfigurator,
+    configure_dart,
+)
+
+__all__ = [
+    "Prefetcher",
+    "PrecomputedPrefetcher",
+    "BestOffsetPrefetcher",
+    "attention_kernel_latency",
+    "attention_kernel_ops",
+    "attention_kernel_storage_bits",
+    "linear_kernel_latency",
+    "linear_kernel_ops",
+    "linear_kernel_storage_bits",
+    "nn_systolic_latency",
+    "nn_ops",
+    "nn_storage_bits",
+    "tabular_model_latency",
+    "tabular_model_ops",
+    "tabular_model_storage_bits",
+    "DARTPrefetcher",
+    "FeedbackThrottle",
+    "ThrottleConfig",
+    "TimelinessReport",
+    "analyze_timeliness",
+    "compare_timeliness",
+    "CompositePrefetcher",
+    "FilteredPrefetcher",
+    "GHBPrefetcher",
+    "ISBPrefetcher",
+    "MarkovPrefetcher",
+    "SMSPrefetcher",
+    "SPPPrefetcher",
+    "StreamPrefetcher",
+    "NextLinePrefetcher",
+    "NeuralPrefetcher",
+    "StridePrefetcher",
+    "CandidateConfig",
+    "TableConfigurator",
+    "configure_dart",
+]

@@ -1,0 +1,117 @@
+"""Feedback-directed prefetch throttling (FDP) [Srinath et al., HPCA 2007].
+
+A fixed prefetch degree is wrong for every program some of the time:
+aggressive prefetching wins on streams and wrecks irregular workloads through
+pollution and bandwidth waste. FDP closes the loop — hardware counters track
+*accuracy* (useful / issued), *lateness* (late useful / useful) and
+*pollution* (demand misses caused by prefetch-triggered evictions), and a
+small state machine raises or lowers the degree every sampling interval.
+
+:class:`FeedbackThrottle` is that controller. It plugs into
+:func:`repro.sim.simulate` (``throttle=`` argument): the simulator feeds it
+events as they happen in cache-state order and truncates each trigger's
+candidate list to ``current_degree()`` at issue time, exactly like the
+hardware structure. Pollution is detected with a bounded evicted-by-prefetch
+filter, the role the original design gives a Bloom filter.
+
+This composes with any prefetcher in the repo (including DART): degree
+control is orthogonal to prediction, which is why it lives here and not in
+any single predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ThrottleConfig:
+    """FDP thresholds (defaults follow the paper's operating points)."""
+
+    min_degree: int = 1
+    max_degree: int = 8
+    initial_degree: int = 2
+    #: prefetches issued between adjustments
+    interval: int = 256
+    #: accuracy above this is "high" — grow the degree
+    acc_high: float = 0.70
+    #: accuracy below this is "low" — shrink the degree
+    acc_low: float = 0.35
+    #: late fraction above this with medium accuracy also grows the degree
+    late_high: float = 0.70
+    #: pollution per demand miss above this forces a shrink
+    pollution_high: float = 0.10
+    #: capacity of the evicted-by-prefetch filter
+    filter_entries: int = 4096
+
+
+class FeedbackThrottle:
+    """Dynamic-degree controller fed by simulator events."""
+
+    def __init__(self, config: ThrottleConfig | None = None):
+        self.config = config or ThrottleConfig()
+        c = self.config
+        if not c.min_degree <= c.initial_degree <= c.max_degree:
+            raise ValueError("need min_degree <= initial_degree <= max_degree")
+        self.degree = int(c.initial_degree)
+        # Interval counters.
+        self._issued = 0
+        self._useful = 0
+        self._late = 0
+        self._pollution = 0
+        self._demand_misses = 0
+        # Lifetime stats (reported via SimResult.extra).
+        self.total_pollution = 0
+        self.degree_history: list[int] = [self.degree]
+        # Evicted-by-prefetch filter: victim block -> None (FIFO-bounded).
+        self._evicted: dict[int, None] = {}
+
+    # ------------------------------------------------------------- interface
+    def current_degree(self) -> int:
+        return self.degree
+
+    def on_issue(self) -> None:
+        self._issued += 1
+        if self._issued >= self.config.interval:
+            self._adjust()
+
+    def on_useful(self, late: bool) -> None:
+        self._useful += 1
+        if late:
+            self._late += 1
+
+    def on_prefetch_eviction(self, victim_block: int) -> None:
+        """A prefetch fill displaced a demand-fetched line."""
+        self._evicted[victim_block] = None
+        if len(self._evicted) > self.config.filter_entries:
+            del self._evicted[next(iter(self._evicted))]
+
+    def on_demand_miss(self, block: int) -> None:
+        self._demand_misses += 1
+        if block in self._evicted:
+            del self._evicted[block]
+            self._pollution += 1
+            self.total_pollution += 1
+
+    # -------------------------------------------------------------- decision
+    def _adjust(self) -> None:
+        c = self.config
+        acc = self._useful / self._issued if self._issued else 0.0
+        late = self._late / self._useful if self._useful else 0.0
+        poll = self._pollution / self._demand_misses if self._demand_misses else 0.0
+        if poll > c.pollution_high or acc < c.acc_low:
+            self.degree = max(self.degree - 1, c.min_degree)
+        elif acc >= c.acc_high or late >= c.late_high:
+            self.degree = min(self.degree + 1, c.max_degree)
+        self.degree_history.append(self.degree)
+        self._issued = self._useful = self._late = 0
+        self._pollution = self._demand_misses = 0
+
+    def summary(self) -> dict:
+        return {
+            "final_degree": self.degree,
+            "degree_min": min(self.degree_history),
+            "degree_max": max(self.degree_history),
+            "pollution_events": self.total_pollution,
+            "adjustments": len(self.degree_history) - 1,
+        }

@@ -1,0 +1,62 @@
+"""Prefetcher interface.
+
+A prefetcher consumes the LLC demand-access stream and emits, for every
+access, a list of *block addresses* to prefetch. Because every prefetcher in
+this study (rule-based and learned alike) derives its predictions purely from
+the access sequence — not from cache state — predictions can be generated in
+one pass over the trace and replayed by the timing simulator, which applies
+the predictor's latency. This is what makes NN predictors simulatable at
+trace scale: their queries batch.
+
+``latency_cycles`` is the prediction latency the simulator charges between a
+trigger access and its prefetch issue (the paper's central practical
+quantity, Table IX). ``storage_bytes`` is reported for the Table IX-style
+comparison tables.
+"""
+
+from __future__ import annotations
+
+
+from repro.traces.trace import MemoryTrace
+
+
+class Prefetcher:
+    """Base class: subclasses implement :meth:`prefetch_lists`."""
+
+    #: human-readable identifier used in benchmark tables
+    name: str = "base"
+    #: prediction latency in cycles (0 = idealized)
+    latency_cycles: int = 0
+    #: predictor state size in bytes
+    storage_bytes: float = 0.0
+
+    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
+        """Per-access prefetch candidate block addresses.
+
+        ``out[i]`` are the block addresses requested in response to access
+        ``i``. Must be deterministic for a given trace.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "latency_cycles": self.latency_cycles,
+            "storage_bytes": self.storage_bytes,
+        }
+
+
+class PrecomputedPrefetcher(Prefetcher):
+    """Wrap externally computed prefetch lists (used by tests and ablations)."""
+
+    def __init__(self, lists: list[list[int]], name: str = "precomputed", latency_cycles: int = 0):
+        self._lists = lists
+        self.name = name
+        self.latency_cycles = int(latency_cycles)
+
+    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
+        if len(self._lists) != len(trace):
+            raise ValueError(
+                f"precomputed lists ({len(self._lists)}) do not match trace length ({len(trace)})"
+            )
+        return self._lists

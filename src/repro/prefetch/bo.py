@@ -1,0 +1,106 @@
+"""Best-Offset (BO) hardware prefetcher [Michaud, HPCA 2016].
+
+BO learns a single best prefetch *offset* by a scoring tournament:
+
+* A **recent-requests (RR) table** remembers base addresses ``X - O`` of lines
+  ``X`` that recently completed (modelled here with a fixed insertion delay in
+  accesses, standing in for the memory round-trip).
+* Each learning round walks a fixed offset list; testing offset ``O`` on a
+  trigger ``X`` scores a point if ``X - O`` is in the RR table (i.e. a
+  prefetch with offset ``O`` issued back then would have been timely).
+* When an offset reaches ``SCORE_MAX`` or ``ROUND_MAX`` rounds elapse, the
+  winner becomes the prefetch offset; a winner scoring below ``BAD_SCORE``
+  turns prefetch off for the next round (BO's off state).
+
+The offset list is Michaud's: positive offsets up to 256 with prime factors
+in {2, 3, 5}, here extended with their negatives (covers descending streams).
+"""
+
+from __future__ import annotations
+
+
+from repro.prefetch.base import Prefetcher
+from repro.traces.trace import MemoryTrace
+
+
+def michaud_offsets(limit: int = 256, negatives: bool = True) -> list[int]:
+    """Offsets in [1, limit] whose prime factors are all in {2, 3, 5}."""
+    offs = []
+    for n in range(1, limit + 1):
+        m = n
+        for p in (2, 3, 5):
+            while m % p == 0:
+                m //= p
+        if m == 1:
+            offs.append(n)
+    if negatives:
+        offs = offs + [-o for o in offs]
+    return offs
+
+
+class BestOffsetPrefetcher(Prefetcher):
+    """Best-Offset prefetcher; paper Table IX: ~4 KB state, ≈60-cycle latency."""
+
+    name = "BO"
+    latency_cycles = 60
+    storage_bytes = 4096.0
+
+    def __init__(
+        self,
+        score_max: int = 31,
+        round_max: int = 100,
+        bad_score: int = 1,
+        rr_size: int = 256,
+        rr_delay: int = 8,
+        degree: int = 1,
+    ):
+        self.offsets = michaud_offsets()
+        self.score_max = int(score_max)
+        self.round_max = int(round_max)
+        self.bad_score = int(bad_score)
+        self.rr_size = int(rr_size)
+        #: accesses between a request and its RR insertion (memory round-trip)
+        self.rr_delay = int(rr_delay)
+        self.degree = int(degree)
+
+    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
+        blocks = trace.block_addrs
+        n = len(blocks)
+        out: list[list[int]] = [[] for _ in range(n)]
+        scores = dict.fromkeys(self.offsets, 0)
+        test_idx = 0  # which offset the tournament is currently testing
+        rounds = 0
+        best_offset = 1  # initial guess: next-line
+        prefetch_on = True
+        rr: dict[int, None] = {}  # insertion-ordered set (dict keys)
+        pending: list[tuple[int, int]] = []  # (due_index, block) awaiting RR fill
+
+        for i in range(n):
+            x = int(blocks[i])
+            # Complete delayed RR insertions.
+            while pending and pending[0][0] <= i:
+                _, blk = pending.pop(0)
+                if blk in rr:
+                    del rr[blk]
+                rr[blk] = None
+                if len(rr) > self.rr_size:
+                    rr.pop(next(iter(rr)))
+            # Learning step: test the current offset against this trigger.
+            off = self.offsets[test_idx]
+            if (x - off) in rr:
+                scores[off] += 1
+            test_idx += 1
+            if test_idx == len(self.offsets):
+                test_idx = 0
+                rounds += 1
+            winner = max(scores, key=lambda o: scores[o])
+            if scores[winner] >= self.score_max or rounds >= self.round_max:
+                best_offset = winner
+                prefetch_on = scores[winner] > self.bad_score
+                scores = dict.fromkeys(self.offsets, 0)
+                rounds = 0
+            # Issue prefetches with the current best offset.
+            if prefetch_on:
+                out[i] = [x + best_offset * d for d in range(1, self.degree + 1)]
+            pending.append((i + self.rr_delay, x))
+        return out

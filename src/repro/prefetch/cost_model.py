@@ -1,0 +1,187 @@
+"""Analytic latency / storage / ops model (paper Sec. V-C and VI-C1).
+
+Two families:
+
+* **Tabular kernels** — Eqs. 16–23, parameterized by ⟨K, C⟩ per operation and
+  the model structure (Table I). These are the formulas the table
+  configurator searches over; they agree with the per-component accounting of
+  an assembled :class:`TabularAttentionPredictor` (tested).
+* **Neural networks under a systolic-array implementation** — the paper
+  evaluates the Teacher/Student latency "under systolic array implementation
+  for matrix multiplications" (Table V). A pipelined ``M×N×P`` systolic matmul
+  costs ``M + N + P`` cycles; operations count multiply-accumulates ×2.
+
+All latencies assume full parallelism, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.tabularization.tabular_model import (
+    LATENCY_LAYERNORM,
+    LATENCY_SIGMOID,
+    TableConfig,
+)
+
+#: sigmoid LUT size used for the storage model (matches SigmoidLUT default)
+SIGMOID_LUT_BITS = 1024 * 32
+
+
+# --------------------------------------------------------------------- kernels
+def linear_kernel_latency(k: int, c: int) -> float:
+    """Eq. 16: ``log(K) + log(C) + 1``."""
+    return float(np.log2(k) + np.log2(c) + 1)
+
+
+def attention_kernel_latency(k: int, c: int) -> float:
+    """Eq. 17 with C_k = C_t = C: ``2(log K + log C + 1)``."""
+    return float(2 * (np.log2(k) + np.log2(c) + 1))
+
+
+def linear_kernel_storage_bits(t: int, d_out: int, k: int, c: int, d: int = 32) -> float:
+    """Eq. 18: ``T C log K + D_O K C d``."""
+    return t * c * np.log2(k) + d_out * k * c * d
+
+
+def attention_kernel_storage_bits(t: int, d_k: int, k: int, c: int, d: int = 32) -> float:
+    """Eq. 19 with C_k = C_t = C: ``(3T + D_k) C log K + 2 K^2 C d``."""
+    return (3 * t + d_k) * c * np.log2(k) + 2 * k * k * c * d
+
+
+def linear_kernel_ops(t: int, d_out: int, k: int, c: int) -> float:
+    """Eq. 20: ``T C log K + T D_O log C``."""
+    return t * c * np.log2(k) + t * d_out * np.log2(c)
+
+
+def attention_kernel_ops(t: int, d_k: int, k: int, c: int) -> float:
+    """Eq. 21 with C_k = C_t = C."""
+    return (3 * t + d_k) * c * np.log2(k) + (t * t + d_k * d_k) * np.log2(c)
+
+
+# ----------------------------------------------------------------- whole model
+def tabular_model_latency(model: ModelConfig, table: TableConfig) -> float:
+    """Eq. 22: full tabular predictor latency in cycles."""
+    lat = linear_kernel_latency(table.k_input, table.c_input) + LATENCY_LAYERNORM
+    lat += linear_kernel_latency(table.k_output, table.c_output) + LATENCY_SIGMOID
+    per_layer = (
+        2 * LATENCY_LAYERNORM
+        + 2 * linear_kernel_latency(table.k_attn, table.c_attn)
+        + attention_kernel_latency(table.k_attn, table.c_attn)
+        + 2 * linear_kernel_latency(table.k_ffn, table.c_ffn)
+    )
+    return lat + model.layers * per_layer
+
+
+def tabular_model_storage_bits(
+    model: ModelConfig,
+    table: TableConfig,
+    addr_dim: int = 5,
+    pc_dim: int = 3,
+) -> float:
+    """Eq. 23: full tabular predictor storage in bits.
+
+    ``addr_dim``/``pc_dim`` are accepted for signature symmetry with
+    :func:`nn_storage_bits`; input dims only affect prototype training, not
+    table storage (prototypes are not stored — Sec. V-C2).
+    """
+    t_in, t = model.history_len, model.history_len
+    d, dh = model.dim, model.dim // model.heads
+    ln_bits = 2 * d * 32
+    total = 2 * linear_kernel_storage_bits(t_in, d, table.k_input, table.c_input, table.data_bits)
+    total += ln_bits
+    total += linear_kernel_storage_bits(1, model.bitmap_size, table.k_output, table.c_output, table.data_bits)
+    total += SIGMOID_LUT_BITS
+    per_layer = (
+        2 * ln_bits
+        + linear_kernel_storage_bits(t, 3 * model.heads * dh, table.k_attn, table.c_attn, table.data_bits)
+        + attention_kernel_storage_bits(t, dh, table.k_attn, table.c_attn, table.data_bits)
+        + linear_kernel_storage_bits(t, d, table.k_attn, table.c_attn, table.data_bits)
+        + linear_kernel_storage_bits(t, model.ffn_dim, table.k_ffn, table.c_ffn, table.data_bits)
+        + linear_kernel_storage_bits(t, d, table.k_ffn, table.c_ffn, table.data_bits)
+    )
+    return total + model.layers * per_layer
+
+
+def tabular_model_ops(model: ModelConfig, table: TableConfig) -> float:
+    """Kernel arithmetic operations for the full tabular predictor."""
+    t_in, t = model.history_len, model.history_len
+    d, dh = model.dim, model.dim // model.heads
+    total = 2 * linear_kernel_ops(t_in, d, table.k_input, table.c_input)
+    total += linear_kernel_ops(1, model.bitmap_size, table.k_output, table.c_output)
+    per_layer = (
+        linear_kernel_ops(t, 3 * model.heads * dh, table.k_attn, table.c_attn)
+        + attention_kernel_ops(t, dh, table.k_attn, table.c_attn)
+        + linear_kernel_ops(t, d, table.k_attn, table.c_attn)
+        + linear_kernel_ops(t, model.ffn_dim, table.k_ffn, table.c_ffn)
+        + linear_kernel_ops(t, d, table.k_ffn, table.c_ffn)
+    )
+    return total + model.layers * per_layer
+
+
+# ------------------------------------------------------------ NN (systolic)
+def _systolic(m: int, n: int, p: int) -> float:
+    """Pipelined systolic-array latency of an (m×n)·(n×p) matmul."""
+    return float(m + n + p)
+
+
+def nn_systolic_latency(model: ModelConfig, addr_dim: int = 5, pc_dim: int = 3) -> float:
+    """Critical-path latency of the attention predictor on systolic arrays.
+
+    The two input projections run on parallel arrays (max, not sum); inside an
+    encoder layer the per-head score/context matmuls run in parallel across
+    heads. Softmax / LayerNorm / pooling are charged small constants.
+    """
+    t = model.history_len
+    d, dh = model.dim, model.dim // model.heads
+    softmax_lat = np.log2(t) + 4
+    lat = max(_systolic(t, addr_dim, d), _systolic(t, pc_dim, d)) + LATENCY_LAYERNORM
+    per_layer = (
+        _systolic(t, d, 3 * d)  # QKV projection
+        + _systolic(t, dh, t)  # scores (per head, parallel)
+        + softmax_lat
+        + _systolic(t, t, dh)  # attention × V
+        + _systolic(t, d, d)  # output projection
+        + 2 * LATENCY_LAYERNORM
+        + _systolic(t, d, model.ffn_dim)
+        + _systolic(t, model.ffn_dim, d)
+    )
+    lat += model.layers * per_layer
+    lat += _systolic(1, d, model.bitmap_size) + LATENCY_SIGMOID  # head after pooling
+    return lat
+
+
+def nn_ops(model: ModelConfig, addr_dim: int = 5, pc_dim: int = 3) -> float:
+    """Arithmetic operations (2 × MACs) of one forward pass."""
+    t = model.history_len
+    d, dh = model.dim, model.dim // model.heads
+    ops = 2 * t * (addr_dim + pc_dim) * d
+    per_layer = (
+        2 * t * d * 3 * d
+        + model.heads * (2 * t * t * dh) * 2  # scores + context, all heads
+        + 2 * t * d * d
+        + 2 * t * d * model.ffn_dim
+        + 2 * t * model.ffn_dim * d
+        + 5 * model.heads * t * t  # softmax exp/sum/div
+    )
+    ops += model.layers * per_layer
+    ops += 2 * d * model.bitmap_size
+    return float(ops)
+
+
+def nn_storage_bits(model: ModelConfig, addr_dim: int = 5, pc_dim: int = 3, d_bits: int = 32) -> float:
+    """Parameter storage of the attention predictor."""
+    d = model.dim
+    params = (addr_dim + 1) * d + (pc_dim + 1) * d  # input projections
+    params += 2 * d  # input LayerNorm
+    per_layer = (
+        (d + 1) * 3 * d  # QKV
+        + (d + 1) * d  # out proj
+        + 2 * 2 * d  # two LayerNorms
+        + (d + 1) * model.ffn_dim
+        + (model.ffn_dim + 1) * d
+    )
+    params += model.layers * per_layer
+    params += (d + 1) * model.bitmap_size
+    return float(params * d_bits)

@@ -1,0 +1,51 @@
+"""DART: the table-based prefetcher (paper Sec. IV-C, Fig. 3).
+
+DART couples a :class:`TabularAttentionPredictor` (the hierarchy of tables
+produced by distillation + tabularization) with the shared decode logic. Its
+latency and storage are *derived from its own tables* via the paper's cost
+model rather than asserted, so constraint compliance (Eq. 9) is checkable.
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import PreprocessConfig
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.nn_prefetcher import model_prefetch_lists
+from repro.tabularization.tabular_model import TabularAttentionPredictor
+from repro.traces.trace import MemoryTrace
+
+
+class DARTPrefetcher(Prefetcher):
+    """Hierarchy-of-tables prefetcher."""
+
+    def __init__(
+        self,
+        predictor: TabularAttentionPredictor,
+        config: PreprocessConfig,
+        name: str = "DART",
+        threshold: float = 0.5,
+        max_degree: int = 2,
+        decode: str = "distance",
+    ):
+        self.predictor = predictor
+        self.config = config
+        self.name = name
+        self.threshold = float(threshold)
+        self.max_degree = int(max_degree)
+        self.decode = decode
+        self.latency_cycles = int(round(predictor.latency_cycles()))
+        self.storage_bytes = float(predictor.storage_bytes())
+
+    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
+        return model_prefetch_lists(
+            trace,
+            self.predictor.predict_proba,
+            self.config,
+            threshold=self.threshold,
+            max_degree=self.max_degree,
+            decode=self.decode,
+        )
+
+    def meets_constraints(self, latency_budget: float, storage_budget: float) -> bool:
+        """Eq. 9: ``L(T) < tau`` and ``S(T) < s``."""
+        return self.latency_cycles < latency_budget and self.storage_bytes < storage_budget

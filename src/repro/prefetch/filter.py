@@ -1,0 +1,72 @@
+"""Prefetch filter: drop duplicate requests within a sliding window.
+
+Hardware prefetchers sit behind a small filter that suppresses requests for
+blocks already requested recently (they would be dropped at the MSHR anyway,
+but each duplicate costs queue slots and tag-array bandwidth). Wrapping a
+predictor with :class:`FilteredPrefetcher` models that stage and reports how
+much of the raw request stream was redundant — useful when comparing
+variable-degree bitmap prefetchers (which re-predict the same future blocks
+on every trigger) against single-shot offset prefetchers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.prefetch.base import Prefetcher
+from repro.traces.trace import MemoryTrace
+
+
+class FilteredPrefetcher(Prefetcher):
+    """Wrap any prefetcher with a recent-request dedup filter.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped prefetcher (its name/latency/storage carry over; the
+        filter adds its own small storage).
+    window:
+        How many most-recently-issued block addresses the filter remembers.
+    """
+
+    def __init__(self, inner: Prefetcher, window: int = 1024):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.inner = inner
+        self.window = int(window)
+        self.name = f"{inner.name}+filter"
+        self.latency_cycles = inner.latency_cycles
+        # 1 tag (~8 B) per tracked block.
+        self.storage_bytes = inner.storage_bytes + 8.0 * self.window
+        #: statistics from the last ``prefetch_lists`` call
+        self.last_raw_requests = 0
+        self.last_filtered_requests = 0
+
+    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
+        raw = self.inner.prefetch_lists(trace)
+        recent: OrderedDict[int, None] = OrderedDict()
+        out: list[list[int]] = []
+        raw_count = kept_count = 0
+        for lst in raw:
+            kept: list[int] = []
+            for blk in lst:
+                raw_count += 1
+                if blk in recent:
+                    recent.move_to_end(blk)
+                    continue
+                recent[blk] = None
+                if len(recent) > self.window:
+                    recent.popitem(last=False)
+                kept.append(blk)
+                kept_count += 1
+            out.append(kept)
+        self.last_raw_requests = raw_count
+        self.last_filtered_requests = kept_count
+        return out
+
+    @property
+    def redundancy(self) -> float:
+        """Fraction of raw requests the filter suppressed (last run)."""
+        if self.last_raw_requests == 0:
+            return 0.0
+        return 1.0 - self.last_filtered_requests / self.last_raw_requests

@@ -1,0 +1,68 @@
+"""Hybrid prefetching: combine predictors with priority arbitration.
+
+Real LLC prefetchers are ensembles — a cheap streamer catches the easy
+spatial traffic and a heavier engine (BO, SPP, or a learned predictor like
+DART) handles what the streamer misses. :class:`CompositePrefetcher` models
+the standard arbitration: constituents run in parallel on the same trigger,
+candidates merge in priority order with duplicates removed, and the total
+issue budget per trigger is capped.
+
+Latency is the *maximum* constituent latency when ``parallel=True`` (separate
+engines racing on the same trigger, the usual hardware arrangement) or the
+sum when ``parallel=False`` (a staged/shared-port design). Storage is always
+the sum.
+"""
+
+from __future__ import annotations
+
+from repro.prefetch.base import Prefetcher
+from repro.traces.trace import MemoryTrace
+
+
+class CompositePrefetcher(Prefetcher):
+    """Priority-merged ensemble of prefetchers.
+
+    ``components`` are ordered by priority: on each trigger, candidates from
+    earlier components fill the budget first; later components only add
+    blocks nobody has requested for that trigger yet.
+    """
+
+    def __init__(
+        self,
+        components: list[Prefetcher],
+        max_degree: int = 4,
+        name: str | None = None,
+        parallel: bool = True,
+    ):
+        if not components:
+            raise ValueError("need at least one component prefetcher")
+        if max_degree <= 0:
+            raise ValueError("max_degree must be positive")
+        self.components = list(components)
+        self.max_degree = int(max_degree)
+        self.name = name or "+".join(p.name for p in components)
+        lats = [p.latency_cycles for p in components]
+        self.latency_cycles = int(max(lats) if parallel else sum(lats))
+        self.storage_bytes = float(sum(p.storage_bytes for p in components))
+
+    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
+        all_lists = [p.prefetch_lists(trace) for p in self.components]
+        n = len(trace)
+        for lists, comp in zip(all_lists, self.components):
+            if len(lists) != n:
+                raise ValueError(f"component {comp.name} returned {len(lists)} lists for {n} accesses")
+        out: list[list[int]] = [[] for _ in range(n)]
+        for i in range(n):
+            seen: set[int] = set()
+            merged: list[int] = []
+            for lists in all_lists:
+                for blk in lists[i]:
+                    if blk not in seen:
+                        seen.add(blk)
+                        merged.append(blk)
+                        if len(merged) >= self.max_degree:
+                            break
+                if len(merged) >= self.max_degree:
+                    break
+            out[i] = merged
+        return out

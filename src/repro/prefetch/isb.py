@@ -1,0 +1,80 @@
+"""Irregular Stream Buffer (ISB) [Jain & Lin, MICRO 2013].
+
+ISB linearizes irregular accesses: it maps physical addresses that appear
+consecutively *in the same PC-localized stream* onto consecutive **structural
+addresses**. Two tables maintain the bijection (PS: physical→structural, SP:
+structural→physical); a per-PC training unit remembers the last address of
+each stream. On a trained pair ``B → A`` the structural address of ``A``
+becomes ``struct(B) + 1``, so temporal successors become structural
+neighbours and prefetching is a +1/+2… walk in structural space translated
+back through SP.
+
+Tables are capacity-bounded with FIFO eviction (standing in for the paper's
+off-chip backing store + on-chip cache).
+"""
+
+from __future__ import annotations
+
+from repro.prefetch.base import Prefetcher
+from repro.traces.trace import MemoryTrace
+
+
+class ISBPrefetcher(Prefetcher):
+    """ISB; paper Table IX: ~8 KB on-chip state, ≈30-cycle latency."""
+
+    name = "ISB"
+    latency_cycles = 30
+    storage_bytes = 8192.0
+
+    def __init__(self, degree: int = 2, max_entries: int = 65536, stream_granularity: int = 256):
+        self.degree = int(degree)
+        self.max_entries = int(max_entries)
+        self.stream_granularity = int(stream_granularity)
+
+    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
+        blocks = trace.block_addrs
+        pcs = trace.pcs
+        n = len(blocks)
+        out: list[list[int]] = [[] for _ in range(n)]
+        ps: dict[int, int] = {}  # physical block -> structural address
+        sp: dict[int, int] = {}  # structural address -> physical block
+        last_addr: dict[int, int] = {}  # PC -> last physical block
+        next_stream = 0
+
+        def assign(phys: int, struct: int) -> None:
+            nonlocal ps, sp
+            old = ps.get(phys)
+            if old is not None:
+                sp.pop(old, None)
+            ps[phys] = struct
+            sp[struct] = phys
+            if len(ps) > self.max_entries:
+                # FIFO eviction of the oldest mapping.
+                victim = next(iter(ps))
+                sp.pop(ps.pop(victim), None)
+
+        for i in range(n):
+            a = int(blocks[i])
+            pc = int(pcs[i])
+            b = last_addr.get(pc)
+            if b is not None and b != a:
+                sb = ps.get(b)
+                if sb is None:
+                    sb = next_stream
+                    next_stream += self.stream_granularity
+                    assign(b, sb)
+                # A becomes B's structural successor unless it already heads
+                # its own stream position (ISB keeps the first mapping).
+                if a not in ps:
+                    assign(a, sb + 1)
+            last_addr[pc] = a
+            # Prefetch the structural successors of the current address.
+            sa = ps.get(a)
+            if sa is not None:
+                preds = []
+                for d in range(1, self.degree + 1):
+                    nxt = sp.get(sa + d)
+                    if nxt is not None:
+                        preds.append(nxt)
+                out[i] = preds
+        return out

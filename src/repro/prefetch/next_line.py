@@ -1,0 +1,23 @@
+"""Next-N-line prefetcher — the simplest possible baseline.
+
+Included as a floor reference in the prefetching benches (not in the paper's
+baseline set).
+"""
+
+from __future__ import annotations
+
+from repro.prefetch.base import Prefetcher
+from repro.traces.trace import MemoryTrace
+
+
+class NextLinePrefetcher(Prefetcher):
+    name = "NextLine"
+    latency_cycles = 1
+    storage_bytes = 0.0
+
+    def __init__(self, degree: int = 1):
+        self.degree = int(degree)
+
+    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
+        blocks = trace.block_addrs
+        return [[int(b) + d for d in range(1, self.degree + 1)] for b in blocks]

@@ -1,0 +1,85 @@
+"""Spatial Memory Streaming (SMS) [Somogyi et al., ISCA 2006].
+
+SMS learns *spatial footprints*: the set of blocks a program touches inside a
+spatial region (here: a page) during one generation, keyed by the (PC, region
+offset) of the access that opened the generation. When the same trigger
+recurs on a new region, the recorded footprint — minus the trigger block —
+is prefetched at once.
+
+Generations are approximated by a capacity-bounded active-region table: a
+region's generation ends when its entry is evicted (stand-in for the paper's
+cache-eviction-driven generation end, which a sequence-only predictor cannot
+observe). Footprints are stored as bit masks in a pattern history table.
+"""
+
+from __future__ import annotations
+
+from repro.prefetch.base import Prefetcher
+from repro.traces.trace import MemoryTrace
+from repro.utils.bits import PAGE_BLOCK_BITS
+
+BLOCKS_PER_REGION = 1 << PAGE_BLOCK_BITS
+
+
+class SMSPrefetcher(Prefetcher):
+    """SMS with an accumulation table and a PC+offset-indexed pattern table."""
+
+    name = "SMS"
+    latency_cycles = 40
+    storage_bytes = 20 * 1024.0
+
+    def __init__(self, active_regions: int = 64, pht_entries: int = 2048, max_degree: int = 16):
+        self.active_regions = int(active_regions)
+        self.pht_entries = int(pht_entries)
+        self.max_degree = int(max_degree)
+
+    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
+        blocks = trace.block_addrs
+        pcs = trace.pcs
+        n = len(blocks)
+        out: list[list[int]] = [[] for _ in range(n)]
+        # Active generations: region -> (trigger key, footprint bitmask)
+        active: dict[int, tuple[int, int]] = {}
+        # Pattern history: trigger key -> footprint bitmask
+        pht: dict[int, int] = {}
+
+        def trigger_key(pc: int, offset: int) -> int:
+            return (pc << PAGE_BLOCK_BITS) | offset
+
+        def end_generation(region: int) -> None:
+            key, footprint = active.pop(region)
+            if bin(footprint).count("1") > 1:  # trivial footprints train nothing
+                pht[key] = footprint
+                if len(pht) > self.pht_entries:
+                    del pht[next(iter(pht))]
+
+        for i in range(n):
+            block = int(blocks[i])
+            pc = int(pcs[i])
+            region, offset = divmod(block, BLOCKS_PER_REGION)
+
+            entry = active.get(region)
+            if entry is None:
+                # New generation: predict from history, start accumulating.
+                key = trigger_key(pc, offset)
+                pattern = pht.get(key, 0)
+                if pattern:
+                    preds = []
+                    base = region * BLOCKS_PER_REGION
+                    for off in range(BLOCKS_PER_REGION):
+                        if off != offset and (pattern >> off) & 1:
+                            preds.append(base + off)
+                            if len(preds) >= self.max_degree:
+                                break
+                    out[i] = preds
+                active[region] = (key, 1 << offset)
+                if len(active) > self.active_regions:
+                    end_generation(next(iter(active)))
+            else:
+                key, footprint = entry
+                active[region] = (key, footprint | (1 << offset))
+        # Flush remaining generations so short traces still train (useful for
+        # tests; has no effect on predictions already emitted).
+        for region in list(active):
+            end_generation(region)
+        return out

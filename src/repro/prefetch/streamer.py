@@ -1,0 +1,94 @@
+"""Stream-buffer prefetcher [Jouppi, ISCA 1990] with direction detection.
+
+The simplest throughput prefetcher still shipped in real LLCs: detect an
+ascending or descending sequence of misses within a region, allocate a
+stream, and run ``degree`` blocks ahead of the demand stream with a
+confirmation counter that kills stale streams. It brackets the rule-based
+baselines from below (BO generalizes it with offset search; ISB handles the
+irregular side).
+"""
+
+from __future__ import annotations
+
+from repro.prefetch.base import Prefetcher
+from repro.traces.trace import MemoryTrace
+
+
+class _Stream:
+    __slots__ = ("last", "direction", "confidence", "head")
+
+    def __init__(self, last: int, direction: int):
+        self.last = last
+        self.direction = direction  # +1 or -1
+        self.confidence = 0
+        self.head = last  # furthest block already requested
+
+
+class StreamPrefetcher(Prefetcher):
+    """Multi-stream unit-stride streamer with per-stream confidence."""
+
+    name = "Streamer"
+    latency_cycles = 20
+    storage_bytes = 1024.0
+
+    def __init__(
+        self,
+        n_streams: int = 16,
+        degree: int = 4,
+        confirm: int = 2,
+        window: int = 32,
+    ):
+        self.n_streams = int(n_streams)
+        self.degree = int(degree)
+        self.confirm = int(confirm)
+        self.window = int(window)  # how close an access must be to extend
+
+    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
+        blocks = trace.block_addrs
+        n = len(blocks)
+        out: list[list[int]] = [[] for _ in range(n)]
+        streams: dict[int, _Stream] = {}  # keyed by region = block // window
+
+        for i in range(n):
+            block = int(blocks[i])
+            region = block // self.window
+            st = streams.get(region) or streams.get(region - 1) or streams.get(region + 1)
+            if st is None:
+                streams[region] = _Stream(block, +1)
+                if len(streams) > self.n_streams:
+                    del streams[next(iter(streams))]
+                continue
+            step = block - st.last
+            if step == 0:
+                continue
+            direction = 1 if step > 0 else -1
+            if direction == st.direction and abs(step) <= self.window:
+                st.confidence = min(st.confidence + 1, 8)
+            else:
+                st.direction = direction
+                st.confidence = 0
+                st.head = block
+            st.last = block
+            # Re-home the stream to the current region key.
+            for key in (region - 1, region + 1):
+                if streams.get(key) is st:
+                    del streams[key]
+                    streams[region] = st
+                    break
+            if st.confidence >= self.confirm:
+                # Keep the request head exactly `degree` blocks ahead of the
+                # demand pointer: at most `degree` new requests per access,
+                # and the head never runs away from the stream.
+                target = block + direction * self.degree
+                if direction > 0:
+                    if st.head < block:
+                        st.head = block
+                    preds = list(range(st.head + 1, target + 1))
+                else:
+                    if st.head > block:
+                        st.head = block
+                    preds = list(range(st.head - 1, target - 1, -1))
+                if preds:
+                    st.head = preds[-1]
+                out[i] = preds
+        return out

@@ -1,0 +1,191 @@
+"""Table configurator (paper Sec. VI-C2).
+
+Given prefetcher design constraints — a latency budget ``tau`` (cycles) and a
+storage budget ``s`` (bytes) — the configurator searches a pre-defined design
+space of model structures (L, D, H) and table shapes (K, C), computing each
+candidate's latency and storage from the analytic cost model (Eqs. 22–23),
+and picks with the paper's **latency-major greedy** rule:
+
+1. among candidates with latency < tau, consider the *highest* latency tier
+   (more table depth/width = more accuracy);
+2. within that tier, take the candidate with the *largest* storage < s;
+3. if the tier has no storage-feasible candidate, drop to the next-lower
+   latency tier and repeat.
+
+Rationale (paper Sec. VI-C): prediction quality grows monotonically with K
+and C (Fig. 8–9), so maximizing spent latency/storage under the budget is the
+greedy proxy for maximizing accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+from repro.prefetch.cost_model import (
+    tabular_model_latency,
+    tabular_model_ops,
+    tabular_model_storage_bits,
+)
+from repro.tabularization.tabular_model import TableConfig
+
+
+@dataclass(frozen=True)
+class CandidateConfig:
+    """One (model, table) candidate with its analytic costs."""
+
+    model: ModelConfig
+    table: TableConfig
+    latency_cycles: float
+    storage_bytes: float
+    ops: float
+
+    def summary(self) -> str:
+        m, t = self.model, self.table
+        return (
+            f"(L={m.layers}, D={m.dim}, H={m.heads}, K={t.k_input}, C={t.c_input}) "
+            f"latency={self.latency_cycles:.0f}cyc storage={self.storage_bytes / 1024:.1f}KB "
+            f"ops={self.ops:.0f}"
+        )
+
+
+class TableConfigurator:
+    """Enumerates the design space and answers constraint queries."""
+
+    #: default design space (paper: "pre-defined list of designs")
+    LAYERS = (1, 2)
+    DIMS = (16, 32, 64)
+    HEADS = (2, 4)
+    PROTOTYPES = (8, 16, 32, 64, 128, 256, 512, 1024)
+    SUBSPACES = (1, 2, 4, 8)
+
+    def __init__(
+        self,
+        history_len: int = 16,
+        bitmap_size: int = 256,
+        layers=None,
+        dims=None,
+        heads=None,
+        prototypes=None,
+        subspaces=None,
+    ):
+        self.history_len = int(history_len)
+        self.bitmap_size = int(bitmap_size)
+        self.layers = tuple(layers or self.LAYERS)
+        self.dims = tuple(dims or self.DIMS)
+        self.heads = tuple(heads or self.HEADS)
+        self.prototypes = tuple(prototypes or self.PROTOTYPES)
+        self.subspaces = tuple(subspaces or self.SUBSPACES)
+        self._candidates = self._enumerate()
+
+    def _enumerate(self) -> list[CandidateConfig]:
+        out = []
+        for layers in self.layers:
+            for dim in self.dims:
+                for heads in self.heads:
+                    if dim % heads or dim // heads < 4:
+                        continue
+                    model = ModelConfig(
+                        layers=layers,
+                        dim=dim,
+                        heads=heads,
+                        history_len=self.history_len,
+                        bitmap_size=self.bitmap_size,
+                    )
+                    for k in self.prototypes:
+                        for c in self.subspaces:
+                            # Subspaces cannot outnumber the smallest split
+                            # dimension (per-head dim for attention kernels).
+                            if c > dim // heads:
+                                continue
+                            table = TableConfig.uniform(k, c)
+                            out.append(
+                                CandidateConfig(
+                                    model,
+                                    table,
+                                    tabular_model_latency(model, table),
+                                    tabular_model_storage_bits(model, table) / 8.0,
+                                    tabular_model_ops(model, table),
+                                )
+                            )
+        return out
+
+    @property
+    def candidates(self) -> list[CandidateConfig]:
+        return list(self._candidates)
+
+    def configure(self, latency_budget: float, storage_budget: float) -> CandidateConfig:
+        """Latency-major greedy selection under (tau, s); raises if infeasible."""
+        feasible_lat = [c for c in self._candidates if c.latency_cycles < latency_budget]
+        if not feasible_lat:
+            raise ValueError(
+                f"no configuration satisfies latency budget {latency_budget} cycles"
+            )
+        # Walk latency tiers from highest feasible downwards.
+        tiers = sorted({c.latency_cycles for c in feasible_lat}, reverse=True)
+        for tier in tiers:
+            tier_cands = [
+                c
+                for c in feasible_lat
+                if c.latency_cycles == tier and c.storage_bytes < storage_budget
+            ]
+            if tier_cands:
+                return max(tier_cands, key=lambda c: c.storage_bytes)
+        raise ValueError(
+            f"no configuration satisfies storage budget {storage_budget} bytes "
+            f"under latency budget {latency_budget}"
+        )
+
+    @staticmethod
+    def capacity_proxy(c: CandidateConfig) -> float:
+        """The configurator's accuracy proxy: total table capacity spent.
+
+        F1 grows monotonically in K and C (Figs. 8–9) and with model size,
+        so ops (which aggregate K, C, L, D) stand in for prediction quality
+        when comparing designs without training them.
+        """
+        return c.ops
+
+    def pareto_frontier(self) -> list[CandidateConfig]:
+        """Candidates not dominated on (latency ↓, storage ↓, capacity ↑).
+
+        A candidate is dominated if some other design costs no more latency
+        *and* no more storage while spending at least as much table capacity
+        (the accuracy proxy), with at least one strict inequality. Plotting
+        the frontier gives the full budget trade-off curve rather than the
+        three points the paper's Table VIII reports.
+        """
+        cands = self._candidates
+        frontier: list[CandidateConfig] = []
+        for c in cands:
+            dominated = any(
+                o.latency_cycles <= c.latency_cycles
+                and o.storage_bytes <= c.storage_bytes
+                and self.capacity_proxy(o) >= self.capacity_proxy(c)
+                and (
+                    o.latency_cycles < c.latency_cycles
+                    or o.storage_bytes < c.storage_bytes
+                    or self.capacity_proxy(o) > self.capacity_proxy(c)
+                )
+                for o in cands
+            )
+            if not dominated:
+                frontier.append(c)
+        return sorted(frontier, key=lambda c: (c.latency_cycles, c.storage_bytes))
+
+    def feasible_region(
+        self, latency_budget: float, storage_budget: float
+    ) -> list[CandidateConfig]:
+        """All candidates under both budgets (for sweeps and reporting)."""
+        return [
+            c
+            for c in self._candidates
+            if c.latency_cycles < latency_budget and c.storage_bytes < storage_budget
+        ]
+
+
+def configure_dart(
+    latency_budget: float, storage_budget: float, history_len: int = 16, bitmap_size: int = 256
+) -> CandidateConfig:
+    """One-call convenience used by the pipeline and Table VIII bench."""
+    return TableConfigurator(history_len, bitmap_size).configure(latency_budget, storage_budget)

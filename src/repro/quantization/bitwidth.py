@@ -1,0 +1,101 @@
+"""Fixed-point quantization of table entries — the ``d`` knob of Eqs. 18–19.
+
+The paper's storage model charges ``d`` bits per precomputed table entry
+(Table V uses d = 32). Entries are dot products with a narrow dynamic range,
+so they quantize well below 32 bits; halving ``d`` halves the dominant
+storage term. This module provides:
+
+* :func:`quantize_array` / :func:`dequantize_array` — symmetric linear
+  quantization to ``bits``-bit signed integers, with per-channel scales;
+* :func:`fake_quantize` — quantize-dequantize in one step (simulated
+  fixed-point: the values the d-bit hardware would produce, in float64);
+* :func:`apply_bitwidth` — rewrite every table of a tabularized predictor to
+  its ``d``-bit values and update the config's ``data_bits`` so the storage
+  model reports the smaller size.
+
+``bench_bitwidth`` sweeps d ∈ {4, 6, 8, 16, 32} and reports F1 vs. storage —
+the missing axis of the paper's Fig. 10 trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+
+def quantize_array(
+    x: np.ndarray, bits: int, axis: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric linear quantization to signed ``bits``-bit integers.
+
+    Returns ``(q, scale)`` with ``x ≈ q * scale``. ``axis`` selects
+    per-channel scales (scale computed over all *other* axes); ``None`` uses
+    one scale for the whole array. Zero arrays get scale 1 (all-zero codes).
+    """
+    if not 2 <= bits <= 32:
+        raise ValueError(f"bits must be in [2, 32], got {bits}")
+    x = np.asarray(x, dtype=np.float64)
+    qmax = float((1 << (bits - 1)) - 1)
+    if axis is None:
+        amax = np.abs(x).max() if x.size else 0.0
+        scale = np.asarray(amax / qmax if amax > 0 else 1.0)
+    else:
+        reduce_axes = tuple(a for a in range(x.ndim) if a != (axis % x.ndim))
+        amax = np.abs(x).max(axis=reduce_axes, keepdims=True) if x.size else np.zeros(1)
+        scale = np.where(amax > 0, amax / qmax, 1.0)
+    q = np.clip(np.round(x / scale), -qmax - 1, qmax)
+    dtype = np.int8 if bits <= 8 else (np.int16 if bits <= 16 else np.int32)
+    return q.astype(dtype), scale
+
+
+def dequantize_array(q: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`quantize_array`."""
+    return q.astype(np.float64) * scale
+
+
+def fake_quantize(x: np.ndarray, bits: int, axis: int | None = None) -> np.ndarray:
+    """Quantize-dequantize: the float values a ``bits``-bit table would hold."""
+    q, scale = quantize_array(x, bits, axis=axis)
+    return dequantize_array(q, scale)
+
+
+def quantization_snr_db(x: np.ndarray, bits: int, axis: int | None = None) -> float:
+    """Signal-to-quantization-noise ratio in dB (≈ 6.02 dB per bit)."""
+    x = np.asarray(x, dtype=np.float64)
+    err = x - fake_quantize(x, bits, axis=axis)
+    p_sig = float((x * x).mean())
+    p_err = float((err * err).mean())
+    if p_err == 0.0:
+        return np.inf
+    return 10.0 * np.log10(p_sig / max(p_err, 1e-300))
+
+
+def apply_bitwidth(model, bits: int):
+    """Return a copy-in-place of a :class:`TabularAttentionPredictor` whose
+    table entries are rounded to ``bits``-bit fixed point.
+
+    Linear-kernel tables use one scale per output channel (the per-``D_O``
+    column ranges differ by orders of magnitude once biases are folded in);
+    attention QK/QKV tables use one scale per subspace. The model's
+    ``table_config.data_bits`` is updated so ``storage_bytes()`` reflects the
+    new entry width. The model is modified *in place* and returned.
+    """
+    for lin in _linear_tables(model):
+        lin.table = fake_quantize(lin.table, bits, axis=2)
+    for attn in _attention_tables(model):
+        attn.qk_table = fake_quantize(attn.qk_table, bits, axis=0)
+        attn.qkv_table = fake_quantize(attn.qkv_table, bits, axis=0)
+    model.table_config = replace(model.table_config, data_bits=int(bits))
+    return model
+
+
+def _linear_tables(model) -> list:
+    out = [model.addr_table, model.pc_table, model.head_table]
+    for layer in model.layers:
+        out.extend([layer.msa.qkv, layer.msa.out, layer.ffn1, layer.ffn2])
+    return out
+
+
+def _attention_tables(model) -> list:
+    return [layer.msa.attn for layer in model.layers]

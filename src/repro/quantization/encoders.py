@@ -1,0 +1,87 @@
+"""Maddness-style hash-tree encoder: log2(K)-depth locality-sensitive hashing.
+
+The paper's latency model (Eqs. 16–17) assumes the encoding function ``g`` of
+[Blalock & Guttag 2021] with latency ``log(K)``. This module implements that
+encoder: a balanced binary decision tree of depth ``log2(K)`` per subspace.
+Each tree level holds one (feature, threshold) pair per node; encoding a vector
+is ``log2(K)`` scalar comparisons — no dot products.
+
+Training greedily partitions the subvector set: at each node the split feature
+is the dimension with the highest variance among the node's points, and the
+threshold is that dimension's median (keeping the tree balanced). Leaf
+prototypes are the means of the points that land in each leaf, so the encoder
+drops into the same table-construction path as k-means prototypes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class HashTreeEncoder:
+    """Balanced binary hash tree over vectors of fixed dimension.
+
+    Parameters
+    ----------
+    n_prototypes:
+        Number of leaves K; must be a power of two (depth = log2 K).
+    """
+
+    def __init__(self, n_prototypes: int):
+        k = int(n_prototypes)
+        if k < 2 or (k & (k - 1)) != 0:
+            raise ValueError(f"n_prototypes must be a power of two >= 2, got {k}")
+        self.n_prototypes = k
+        self.depth = int(np.log2(k))
+        # split_dims[level] and thresholds[level] have 2**level entries each.
+        self.split_dims: list[np.ndarray] = []
+        self.thresholds: list[np.ndarray] = []
+        self.prototypes: np.ndarray | None = None  # (K, V)
+
+    def fit(self, x: np.ndarray) -> "HashTreeEncoder":
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        n, v = x.shape
+        if n == 0:
+            raise ValueError("cannot fit encoder on an empty training set")
+        self.split_dims = []
+        self.thresholds = []
+        node_of = np.zeros(n, dtype=np.int64)
+        for level in range(self.depth):
+            n_nodes = 1 << level
+            dims = np.zeros(n_nodes, dtype=np.int64)
+            ths = np.zeros(n_nodes, dtype=np.float64)
+            for node in range(n_nodes):
+                mask = node_of == node
+                if not mask.any():
+                    # Empty node: split on dim 0 at 0 (children stay empty).
+                    dims[node], ths[node] = 0, 0.0
+                    continue
+                pts = x[mask]
+                dims[node] = int(np.argmax(pts.var(axis=0)))
+                ths[node] = float(np.median(pts[:, dims[node]]))
+            self.split_dims.append(dims)
+            self.thresholds.append(ths)
+            go_right = x[np.arange(n), dims[node_of]] > ths[node_of]
+            node_of = node_of * 2 + go_right
+        # Leaf prototypes = per-leaf means; empty leaves get the global mean.
+        protos = np.tile(x.mean(axis=0), (self.n_prototypes, 1))
+        counts = np.bincount(node_of, minlength=self.n_prototypes).astype(np.float64)
+        sums = np.zeros((self.n_prototypes, v))
+        np.add.at(sums, node_of, x)
+        filled = counts > 0
+        protos[filled] = sums[filled] / counts[filled, None]
+        self.prototypes = protos
+        return self
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Map rows of ``x`` to leaf indices with log2(K) comparisons each."""
+        if self.prototypes is None:
+            raise RuntimeError("encoder not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        n = x.shape[0]
+        idx = np.zeros(n, dtype=np.int64)
+        rows = np.arange(n)
+        for dims, ths in zip(self.split_dims, self.thresholds):
+            go_right = x[rows, dims[idx]] > ths[idx]
+            idx = idx * 2 + go_right
+        return idx

@@ -1,0 +1,115 @@
+"""Vectorized Lloyd's k-means with k-means++ seeding.
+
+This is the prototype-learning step of product quantization (paper Eq. 5):
+within each subspace the K prototypes minimize the distance between training
+subvectors and their nearest prototype. Fully NumPy-vectorized: distances are
+computed with the ``||x||^2 + ||c||^2 - 2 x.c`` expansion, one GEMM per
+iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+
+def _kmeans_pp_init(
+    x: np.ndarray, k: int, rng: np.random.Generator, max_rows: int = 2048
+) -> np.ndarray:
+    """k-means++ seeding: iteratively sample points far from chosen centers.
+
+    Seeding is O(k·n·d); it runs on a uniform subsample of at most
+    ``max_rows`` rows — seeding quality saturates quickly and Lloyd iterations
+    on the full data do the real work.
+    """
+    if x.shape[0] > max_rows:
+        x = x[np.linspace(0, x.shape[0] - 1, max_rows).astype(np.int64)]
+    n = x.shape[0]
+    centers = np.empty((k, x.shape[1]))
+    first = int(rng.integers(n))
+    centers[0] = x[first]
+    closest_sq = ((x - centers[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 1e-12:
+            # All points identical to chosen centers; fill remaining randomly.
+            centers[i:] = x[rng.integers(n, size=k - i)]
+            break
+        probs = closest_sq / total
+        idx = int(rng.choice(n, p=probs))
+        centers[i] = x[idx]
+        d = ((x - centers[i]) ** 2).sum(axis=1)
+        np.minimum(closest_sq, d, out=closest_sq)
+    return centers
+
+
+def assign_nearest(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Index of the nearest center for every row of ``x`` (paper Eq. 7)."""
+    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 ; ||x||^2 is constant per row.
+    cross = x @ centers.T
+    c_sq = (centers * centers).sum(axis=1)
+    return np.argmin(c_sq[None, :] - 2.0 * cross, axis=1)
+
+
+def kmeans_fit(
+    x: np.ndarray,
+    k: int,
+    rng=0,
+    max_iters: int = 25,
+    tol: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Cluster rows of ``x`` into ``k`` prototypes.
+
+    Returns ``(centers (k, d), assignments (n,), inertia)``. Handles ``k >= n``
+    by padding centers with jittered copies of data points, and repairs empty
+    clusters by reseeding them at the points farthest from their center.
+    """
+    rng = new_rng(rng)
+    x = np.ascontiguousarray(x, dtype=np.float64)
+    n, d = x.shape
+    k = int(k)
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if n == 0:
+        raise ValueError("cannot cluster an empty training set")
+    if k >= n:
+        # Degenerate: every point is its own prototype; pad with jitter.
+        centers = np.empty((k, d))
+        centers[:n] = x
+        scale = x.std() if x.std() > 0 else 1.0
+        centers[n:] = x[rng.integers(n, size=k - n)] + 1e-3 * scale * rng.standard_normal(
+            (k - n, d)
+        )
+        assign = assign_nearest(x, centers)
+        return centers, assign, 0.0
+
+    centers = _kmeans_pp_init(x, k, rng)
+    assign = np.zeros(n, dtype=np.int64)
+    x_sq = (x * x).sum(axis=1)
+    prev_inertia = np.inf
+    for _ in range(max_iters):
+        cross = x @ centers.T
+        c_sq = (centers * centers).sum(axis=1)
+        dist = x_sq[:, None] - 2.0 * cross + c_sq[None, :]
+        assign = np.argmin(dist, axis=1)
+        inertia = float(np.take_along_axis(dist, assign[:, None], axis=1).sum())
+        # Recompute centers as cluster means (vectorized scatter-add).
+        counts = np.bincount(assign, minlength=k).astype(np.float64)
+        sums = np.zeros((k, d))
+        np.add.at(sums, assign, x)
+        empty = counts == 0
+        if empty.any():
+            # Reseed empty clusters at the currently worst-served points.
+            worst = np.argsort(np.take_along_axis(dist, assign[:, None], axis=1)[:, 0])[
+                -int(empty.sum()) :
+            ]
+            sums[empty] = x[worst]
+            counts[empty] = 1.0
+        centers = sums / counts[:, None]
+        if abs(prev_inertia - inertia) <= tol * max(abs(prev_inertia), 1.0):
+            break
+        prev_inertia = inertia
+    assign = assign_nearest(x, centers)
+    inertia = float(((x - centers[assign]) ** 2).sum())
+    return centers, assign, inertia

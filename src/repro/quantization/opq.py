@@ -1,0 +1,76 @@
+"""Optimized Product Quantization (OPQ): a learned rotation before PQ.
+
+PQ's quantization error depends on how variance distributes across subspaces;
+OPQ [Ge et al., CVPR 2013] learns an orthogonal rotation ``R`` so that
+``x R`` quantizes better, alternating:
+
+1. fit PQ prototypes on the rotated data,
+2. update ``R`` by solving the orthogonal Procrustes problem between the data
+   and its reconstruction (SVD).
+
+Relevant to the paper's future work on reducing encoding overhead: a better
+rotation lets a *smaller* K reach the same accuracy. The rotation adds one
+D×D matmul at query time, so it trades the paper's "zero matmul" property for
+table size — measured honestly as an opt-in (`RotatedProductQuantizer`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantization.pq import ProductQuantizer
+from repro.utils.rng import new_rng
+
+
+class RotatedProductQuantizer:
+    """OPQ: orthogonal rotation + product quantizer."""
+
+    def __init__(
+        self,
+        dim: int,
+        n_subspaces: int,
+        n_prototypes: int,
+        n_iters: int = 5,
+        rng=0,
+    ):
+        self.dim = int(dim)
+        self.n_subspaces = int(n_subspaces)
+        self.n_prototypes = int(n_prototypes)
+        self.n_iters = int(n_iters)
+        self._rng = new_rng(rng)
+        self.rotation: np.ndarray | None = None  # (D, D) orthogonal
+        self.pq: ProductQuantizer | None = None
+
+    def fit(self, x2d: np.ndarray) -> "RotatedProductQuantizer":
+        x2d = np.asarray(x2d, dtype=np.float64)
+        if x2d.ndim != 2 or x2d.shape[1] != self.dim:
+            raise ValueError(f"expected (n, {self.dim}), got {x2d.shape}")
+        r = np.eye(self.dim)
+        pq = None
+        for _ in range(self.n_iters):
+            xr = x2d @ r
+            pq = ProductQuantizer(
+                self.dim, self.n_subspaces, self.n_prototypes, rng=self._rng
+            ).fit(xr)
+            recon = pq.reconstruct(pq.encode(xr))
+            # Orthogonal Procrustes: argmin_R ||x R - recon||_F, R orthogonal.
+            u, _, vt = np.linalg.svd(x2d.T @ recon)
+            r = u @ vt
+        self.rotation = r
+        self.pq = pq
+        return self
+
+    def encode(self, x2d: np.ndarray) -> np.ndarray:
+        if self.pq is None:
+            raise RuntimeError("RotatedProductQuantizer not fitted")
+        return self.pq.encode(np.asarray(x2d, dtype=np.float64) @ self.rotation)
+
+    def reconstruct(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct in the *original* space (rotation inverted)."""
+        if self.pq is None:
+            raise RuntimeError("RotatedProductQuantizer not fitted")
+        return self.pq.reconstruct(codes) @ self.rotation.T
+
+    def quantization_error(self, x2d: np.ndarray) -> float:
+        recon = self.reconstruct(self.encode(x2d))
+        return float(((np.asarray(x2d, dtype=np.float64) - recon) ** 2).mean())

@@ -1,0 +1,96 @@
+"""Residual (additive) product quantization.
+
+Single-stage PQ error saturates as K grows (Fig. 8 flattens past K ≈ 512
+because prototype resolution, not count, becomes the limit). Residual PQ
+stacks ``M`` stages: each stage quantizes the *reconstruction error* of the
+previous ones, so error decays roughly geometrically in M at a storage cost
+linear in M. This is the Sec. VIII "future work" direction of trading a
+second lookup round for prototype resolution, in quantizer form; the
+ablation bench measures where it beats raising K.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantization.pq import ProductQuantizer
+from repro.utils.rng import spawn_rngs
+
+
+class ResidualProductQuantizer:
+    """A chain of :class:`ProductQuantizer` stages over residuals.
+
+    ``encode`` returns codes of shape ``(n, M, C)``; ``reconstruct`` sums the
+    per-stage reconstructions. Dot-product tables built per stage can be
+    aggregated the same way (the sum of stage lookups approximates ``x . w``),
+    which keeps the table-query structure of the linear kernel.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_subspaces: int,
+        n_prototypes: int,
+        n_stages: int = 2,
+        encoder: str = "exact",
+        rng=0,
+        **pq_kwargs,
+    ):
+        if n_stages <= 0:
+            raise ValueError("n_stages must be positive")
+        self.dim = int(dim)
+        self.n_stages = int(n_stages)
+        rngs = spawn_rngs(rng, n_stages)
+        self.stages = [
+            ProductQuantizer(dim, n_subspaces, n_prototypes, encoder=encoder, rng=rngs[m], **pq_kwargs)
+            for m in range(n_stages)
+        ]
+
+    def fit(self, x2d: np.ndarray) -> "ResidualProductQuantizer":
+        """Fit stage m on the residual left by stages 0..m-1."""
+        residual = np.asarray(x2d, dtype=np.float64)
+        for stage in self.stages:
+            stage.fit(residual)
+            recon = stage.reconstruct(stage.encode(residual))
+            residual = residual - recon
+        return self
+
+    def encode(self, x2d: np.ndarray) -> np.ndarray:
+        x = np.asarray(x2d, dtype=np.float64)
+        codes = []
+        residual = x
+        for stage in self.stages:
+            c = stage.encode(residual)
+            codes.append(c)
+            residual = residual - stage.reconstruct(c)
+        return np.stack(codes, axis=1)  # (n, M, C)
+
+    def reconstruct(self, codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(codes)
+        if codes.ndim != 3 or codes.shape[1] != self.n_stages:
+            raise ValueError(f"expected (n, {self.n_stages}, C) codes, got {codes.shape}")
+        out = self.stages[0].reconstruct(codes[:, 0])
+        for m in range(1, self.n_stages):
+            out = out + self.stages[m].reconstruct(codes[:, m])
+        return out
+
+    def quantization_error(self, x2d: np.ndarray) -> float:
+        x = np.asarray(x2d, dtype=np.float64)
+        recon = self.reconstruct(self.encode(x))
+        return float(((x - recon) ** 2).mean())
+
+    # ------------------------------------------------------------------ costs
+    def storage_bits(self, data_bits: int, d_out: int) -> float:
+        """Table storage for a ``(D_out)``-wide weight table per stage."""
+        total = 0.0
+        for stage in self.stages:
+            total += stage.n_subspaces * stage.n_prototypes * d_out * data_bits
+        return total
+
+    def latency_cycles(self) -> float:
+        """Encoding is sequential in stages (stage m sees the residual of
+        stage m-1), so the critical path is M encodes plus one wider adder
+        tree — the latency/accuracy trade the ablation bench quantifies."""
+        k = self.stages[0].n_prototypes
+        c = self.stages[0].n_subspaces
+        return self.n_stages * np.log2(k) + np.log2(c * self.n_stages) + 1

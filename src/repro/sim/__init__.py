@@ -1,0 +1,70 @@
+"""ChampSim-like trace-driven simulation (paper Sec. VII-A1).
+
+Two simulators share one timing model (retire width, ROB run-ahead,
+MSHR-bounded memory parallelism, prefetch timeliness):
+
+* :func:`simulate` — the fast LLC-only simulator used by the paper's
+  experiments (Figs. 12–14): set-associative LRU LLC + flat DRAM latency.
+* :func:`simulate_hierarchy` — the detailed variant: L1D/L2/LLC with
+  pluggable replacement, write-back traffic, banked open-page DRAM
+  (:class:`DRAMModel`), virtual→physical paging and an optional TLB.
+* :func:`simulate_multicore` — N cores with private L1/L2 sharing one LLC
+  and DRAM (Table III's 4-core system).
+
+Prefetch timeliness is the paper's central quantity: a prefetch issues
+``latency_cycles`` after its trigger access, so slow predictors produce late
+(or useless) prefetches. Reported metrics follow the standard taxonomy:
+accuracy (useful / issued), coverage (prefetch-served demands / baseline
+misses), and IPC improvement over the no-prefetch baseline.
+
+Analysis helpers: :func:`opt_miss_rate` (Belady bound),
+:func:`replacement_headroom`, :func:`l2_filter`, :func:`miss_rate_profile`.
+"""
+
+from repro.sim.cache import SetAssocCache
+from repro.sim.dram import DRAMConfig, DRAMModel, DRAMStats
+from repro.sim.hierarchy import (
+    HierarchyConfig,
+    HierarchyResult,
+    LevelConfig,
+    LevelStats,
+    extract_llc_stream,
+    simulate_hierarchy,
+)
+from repro.sim.metrics import SimResult, ipc_improvement
+from repro.sim.multicore import MulticoreResult, simulate_multicore
+from repro.sim.multilevel import l2_filter, miss_rate_profile
+from repro.sim.optimal import opt_miss_count, opt_miss_rate, replacement_headroom
+from repro.sim.paging import TLB, PageTable
+from repro.sim.policy_cache import PolicyCache
+from repro.sim.replacement import make_policy, policy_names
+from repro.sim.simulator import SimConfig, simulate
+
+__all__ = [
+    "SetAssocCache",
+    "PolicyCache",
+    "make_policy",
+    "policy_names",
+    "DRAMConfig",
+    "DRAMModel",
+    "DRAMStats",
+    "PageTable",
+    "TLB",
+    "LevelConfig",
+    "LevelStats",
+    "HierarchyConfig",
+    "HierarchyResult",
+    "extract_llc_stream",
+    "simulate_hierarchy",
+    "MulticoreResult",
+    "simulate_multicore",
+    "SimResult",
+    "ipc_improvement",
+    "l2_filter",
+    "miss_rate_profile",
+    "opt_miss_count",
+    "opt_miss_rate",
+    "replacement_headroom",
+    "SimConfig",
+    "simulate",
+]

@@ -1,0 +1,159 @@
+"""Banked DRAM timing model (paper Table III).
+
+ChampSim charges a DRAM access tRP/tRCD/tCAS timing against per-bank row
+buffers and a per-channel data bus. This module reproduces that first-order
+model:
+
+* **Geometry** — 2 channels × 8 ranks × 8 banks × 32 K rows (Table III);
+  blocks interleave across channels then banks so streams spread load.
+* **Row buffer** — each bank holds one open row (open-page policy).
+  A *row hit* pays tCAS; a *closed bank* pays tRCD + tCAS; a *row conflict*
+  (different row open) pays tRP + tRCD + tCAS.
+* **Timing** — tRP = tRCD = tCAS = 12.5 ns = 50 CPU cycles at 4 GHz.
+* **Bandwidth** — the data bus of each channel serializes transfers;
+  8 GB/s per core × 4 cores over 2 channels = 16 GB/s per channel, i.e. a
+  64-byte block occupies the bus for 16 CPU cycles.
+
+The model is deliberately queue-free (no command scheduling, no refresh):
+each access reserves its bank and bus at the earliest feasible time. That is
+the level of detail that moves the paper's numbers — prefetch-heavy runs see
+bank conflicts and bus serialization, which is what caps useless prefetching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Geometry and timing (defaults = paper Table III at a 4 GHz core)."""
+
+    channels: int = 2
+    ranks: int = 8
+    banks: int = 8
+    rows: int = 32 * 1024
+    #: 64-byte blocks per row (8 KB row buffer)
+    blocks_per_row: int = 128
+    #: cycles; 12.5 ns at 4 GHz
+    t_rp: float = 50.0
+    t_rcd: float = 50.0
+    t_cas: float = 50.0
+    #: data-bus occupancy of one 64 B block per channel, cycles
+    #: (64 B / 16 GB-per-s per channel at 4 GHz)
+    t_burst: float = 16.0
+
+    @property
+    def total_banks(self) -> int:
+        return self.channels * self.ranks * self.banks
+
+
+@dataclass
+class DRAMStats:
+    """Row-buffer and traffic counters."""
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0  # bank closed
+    row_conflicts: int = 0  # different row open
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "row_conflicts": self.row_conflicts,
+            "row_hit_rate": round(self.row_hit_rate, 4),
+        }
+
+
+@dataclass
+class _Bank:
+    open_row: int = -1  # -1 = closed (precharged)
+    ready: float = 0.0  # earliest cycle the bank can accept a command
+
+
+class DRAMModel:
+    """Open-page banked DRAM; ``access`` returns the data-ready cycle."""
+
+    def __init__(self, config: DRAMConfig | None = None):
+        self.config = config or DRAMConfig()
+        cfg = self.config
+        self._banks = [_Bank() for _ in range(cfg.total_banks)]
+        self._bus_free = [0.0] * cfg.channels
+        self.stats = DRAMStats()
+
+    # -------------------------------------------------------------- mapping
+    def map_block(self, block: int) -> tuple[int, int, int]:
+        """block address -> (channel, global bank index, row).
+
+        Low bits pick the channel, next the bank/rank (so consecutive blocks
+        interleave across channels and banks), and the remainder — folded by
+        ``blocks_per_row`` — picks the row.
+        """
+        cfg = self.config
+        ch = block % cfg.channels
+        rest = block // cfg.channels
+        bank_local = rest % (cfg.ranks * cfg.banks)
+        row = (rest // (cfg.ranks * cfg.banks)) // cfg.blocks_per_row % cfg.rows
+        bank = ch * cfg.ranks * cfg.banks + bank_local
+        return ch, bank, row
+
+    # --------------------------------------------------------------- access
+    def access(self, block: int, cycle: float, is_write: bool = False) -> float:
+        """Charge one block transfer starting no earlier than ``cycle``.
+
+        Returns the cycle at which the data transfer completes (for reads,
+        when the fill is available; for writes, when the bus frees).
+        """
+        cfg = self.config
+        ch, bank_idx, row = self.map_block(int(block))
+        bank = self._banks[bank_idx]
+
+        start = max(cycle, bank.ready)
+        if bank.open_row == row:
+            latency = cfg.t_cas
+            self.stats.row_hits += 1
+        elif bank.open_row < 0:
+            latency = cfg.t_rcd + cfg.t_cas
+            self.stats.row_misses += 1
+        else:
+            latency = cfg.t_rp + cfg.t_rcd + cfg.t_cas
+            self.stats.row_conflicts += 1
+
+        data_start = max(start + latency, self._bus_free[ch])
+        done = data_start + cfg.t_burst
+        self._bus_free[ch] = done
+        bank.open_row = row
+        bank.ready = data_start  # next command may overlap the burst
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        return done
+
+    def min_latency(self) -> float:
+        """Best-case (row hit, idle bus) read latency in cycles."""
+        return self.config.t_cas + self.config.t_burst
+
+    def max_latency(self) -> float:
+        """Worst-case single-access (row conflict, idle bus) latency."""
+        cfg = self.config
+        return cfg.t_rp + cfg.t_rcd + cfg.t_cas + cfg.t_burst
+
+    def reset(self) -> None:
+        for b in self._banks:
+            b.open_row = -1
+            b.ready = 0.0
+        self._bus_free = [0.0] * self.config.channels
+        self.stats = DRAMStats()

@@ -1,0 +1,68 @@
+"""Simulation result container and the prefetch taxonomy metrics.
+
+Definitions (Srinivasan et al.'s taxonomy, as used by the paper):
+
+* **accuracy** = useful prefetches / prefetches issued to memory — a prefetch
+  is useful if a demand access touches the prefetched line before eviction;
+* **coverage** = demand accesses served by prefetched lines / baseline misses
+  (misses the prefetcher removed, including late-but-merged fills);
+* **IPC improvement** = (IPC_prefetch − IPC_baseline) / IPC_baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    name: str
+    instructions: int
+    cycles: float
+    demand_accesses: int
+    demand_hits: int
+    demand_misses: int
+    late_prefetch_hits: int = 0
+    prefetches_issued: int = 0
+    prefetches_useful: int = 0
+    prefetch_hits: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles > 0 else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.demand_hits / self.demand_accesses if self.demand_accesses else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        if self.prefetches_issued == 0:
+            return 0.0
+        return self.prefetches_useful / self.prefetches_issued
+
+    def coverage(self, baseline_misses: int) -> float:
+        """Fraction of baseline misses removed by prefetching."""
+        if baseline_misses <= 0:
+            return 0.0
+        return min(self.prefetch_hits / baseline_misses, 1.0)
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name,
+            "ipc": round(self.ipc, 4),
+            "hit_rate": round(self.hit_rate, 4),
+            "accuracy": round(self.accuracy, 4),
+            "issued": self.prefetches_issued,
+            "useful": self.prefetches_useful,
+        }
+
+
+def ipc_improvement(with_prefetch: SimResult, baseline: SimResult) -> float:
+    """Relative IPC gain of a prefetching run over the no-prefetch baseline."""
+    if baseline.ipc <= 0:
+        return 0.0
+    return (with_prefetch.ipc - baseline.ipc) / baseline.ipc

@@ -1,0 +1,266 @@
+"""Multi-core simulation: private L1/L2 per core, shared LLC + DRAM.
+
+Table III simulates a 4-core system. Prefetcher papers (this one included)
+report single-core numbers per workload, but the *shared* LLC and DRAM are
+where prefetching interacts across cores: one core's aggressive prefetcher
+evicts another core's working set and steals DRAM bus slots. This module
+models exactly that interaction so the multi-programmed ablation in
+``bench_ablations``/examples can quantify it.
+
+Model: each core runs its own trace with the same two-clock ROB-bounded
+timing as the single-core simulator and its own private L1D/L2 filter
+(untimed, replacement only). Cores interleave on a global event loop ordered
+by core time. The LLC is a single shared :class:`PolicyCache` (block
+addresses are offset per core so multi-programmed copies of one workload do
+not alias — ChampSim's separate address spaces), DRAM is one shared
+:class:`DRAMModel`, and MSHRs are shared.
+
+Prefetchers are per-core (one instance per core, each seeing only its own
+core's LLC-level stream), matching an LLC prefetcher with per-core state.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.prefetch.base import Prefetcher
+from repro.sim.dram import DRAMModel
+from repro.sim.hierarchy import HierarchyConfig, LevelStats, extract_llc_stream
+from repro.sim.metrics import SimResult
+from repro.sim.policy_cache import PolicyCache
+from repro.traces.trace import MemoryTrace
+
+#: per-core address-space offset in blocks (1 TiB apart: no aliasing)
+CORE_ADDRESS_STRIDE = 1 << 34
+
+
+@dataclass
+class MulticoreResult:
+    """Per-core results plus shared-resource statistics."""
+
+    cores: list[SimResult]
+    llc: LevelStats
+    dram: dict = field(default_factory=dict)
+
+    @property
+    def aggregate_ipc(self) -> float:
+        return sum(r.ipc for r in self.cores)
+
+    def weighted_speedup(self, alone: list[SimResult]) -> float:
+        """Sum of per-core IPC ratios vs. the runs-alone baselines."""
+        if len(alone) != len(self.cores):
+            raise ValueError("need one runs-alone result per core")
+        return sum(
+            shared.ipc / single.ipc
+            for shared, single in zip(self.cores, alone)
+            if single.ipc > 0
+        )
+
+    def summary(self) -> dict:
+        return {
+            "aggregate_ipc": round(self.aggregate_ipc, 4),
+            "llc_hit_rate": round(self.llc.hit_rate, 4),
+            "dram_row_hit_rate": self.dram.get("row_hit_rate", 0.0),
+            "cores": [r.summary() for r in self.cores],
+        }
+
+
+class _Core:
+    """One core's private state: trace cursor, L1/L2 filters, timing clocks."""
+
+    def __init__(self, idx: int, trace: MemoryTrace, cfg: HierarchyConfig):
+        self.idx = idx
+        self.trace = trace
+        self.blocks = trace.block_addrs + idx * CORE_ADDRESS_STRIDE
+        self.instr_ids = trace.instr_ids
+        self.l1 = cfg.l1d.make()
+        self.l2 = cfg.l2.make()
+        self.pos = 0
+        self.fetch = 0.0
+        self.retire = 0.0
+        self.rob_floor = 0.0
+        self.prev_instr = 0
+        self.robq: deque[tuple[int, float]] = deque()
+        self.hits = 0
+        self.misses = 0
+        self.late_hits = 0
+        self.issued = 0
+        self.useful = 0
+        self.llc_cursor = 0
+        self.pf_lists: list[list[int]] | None = None
+        self.llc_indices: np.ndarray | None = None
+        self.pred_latency = 0.0
+
+    def done(self) -> bool:
+        return self.pos >= len(self.blocks)
+
+
+def simulate_multicore(
+    traces: list[MemoryTrace],
+    prefetchers: list[Prefetcher | None] | None = None,
+    config: HierarchyConfig | None = None,
+    llc_policy: str = "lru",
+) -> MulticoreResult:
+    """Simulate ``len(traces)`` cores sharing one LLC and DRAM.
+
+    ``prefetchers[i]`` serves core ``i`` (``None`` = no prefetching for that
+    core). Returns per-core :class:`SimResult` (IPC etc.) plus shared LLC and
+    DRAM statistics.
+    """
+    cfg = config or HierarchyConfig()
+    n_cores = len(traces)
+    if n_cores == 0:
+        raise ValueError("need at least one trace")
+    if prefetchers is None:
+        prefetchers = [None] * n_cores
+    if len(prefetchers) != n_cores:
+        raise ValueError("need one prefetcher slot per core")
+
+    llc = PolicyCache.from_capacity(cfg.llc.capacity_bytes, cfg.llc.n_ways, policy=llc_policy)
+    dram = DRAMModel(cfg.dram)
+    llc_stats = LevelStats("LLC")
+    cores = [_Core(i, t, cfg) for i, t in enumerate(traces)]
+
+    # Batched predictions per core over its private LLC-level stream.
+    for core, pf in zip(cores, prefetchers):
+        if pf is None:
+            continue
+        idxs = extract_llc_stream(core.trace, cfg)
+        sub = MemoryTrace(
+            core.trace.instr_ids[idxs],
+            core.trace.pcs[idxs],
+            core.trace.addrs[idxs],
+            name=core.trace.name,
+        )
+        core.llc_indices = idxs
+        core.pf_lists = pf.prefetch_lists(sub)
+        core.pred_latency = float(pf.latency_cycles)
+
+    width = float(cfg.width)
+    rob = int(cfg.rob)
+    mshr = int(cfg.mshr)
+    l1_lat, l2_lat, llc_lat = cfg.l1d.latency, cfg.l2.latency, cfg.llc.latency
+
+    missq: deque[float] = deque()  # shared MSHR pool
+    # heap of (visible_time, seq, block, owner core index)
+    pfq: list[tuple[float, int, int, int]] = []
+    pf_seq = 0
+
+    def drain_prefetches(now: float) -> None:
+        while pfq and pfq[0][0] <= now:
+            t_vis, _, blk, owner_idx = heapq.heappop(pfq)
+            if llc.peek(blk) is not None:
+                continue
+            while missq and missq[0] <= t_vis:
+                missq.popleft()
+            if len(missq) >= mshr:
+                continue
+            ready = dram.access(blk, t_vis)
+            missq.append(ready)
+            llc.fill(blk, prefetched=True, ready_cycle=ready)
+            cores[owner_idx].issued += 1
+
+    # Event loop: always advance the core with the smallest current time.
+    heap: list[tuple[float, int]] = [(0.0, i) for i in range(n_cores)]
+    heapq.heapify(heap)
+
+    while heap:
+        _, ci = heapq.heappop(heap)
+        core = cores[ci]
+        if core.done():
+            continue
+        i = core.pos
+        core.pos += 1
+        instr_i = int(core.instr_ids[i])
+        gap = (instr_i - core.prev_instr) / width
+        core.prev_instr = instr_i
+        core.fetch += gap
+        while core.robq and core.robq[0][0] <= instr_i - rob:
+            r = core.robq.popleft()[1]
+            if r > core.rob_floor:
+                core.rob_floor = r
+        if core.fetch < core.rob_floor:
+            core.fetch = core.rob_floor
+        now = core.fetch
+        drain_prefetches(now)
+
+        block = int(core.blocks[i])
+        lat = 0.0
+        line1 = core.l1.lookup(block)
+        if line1 is not None:
+            lat = l1_lat
+        else:
+            line2 = core.l2.lookup(block)
+            if line2 is not None:
+                lat = l1_lat + l2_lat
+                core.l1.fill(block)
+            else:
+                llc_stats.accesses += 1
+                line3 = llc.lookup(block)
+                if line3 is not None:
+                    llc_stats.hits += 1
+                    if line3.ready_cycle > now:
+                        lat = (line3.ready_cycle - now) + l1_lat + l2_lat + llc_lat
+                        core.late_hits += 1
+                    else:
+                        lat = l1_lat + l2_lat + llc_lat
+                    if line3.prefetched and not line3.used:
+                        line3.used = True
+                        core.useful += 1
+                    core.hits += 1
+                else:
+                    llc_stats.misses += 1
+                    core.misses += 1
+                    while missq and missq[0] <= now:
+                        missq.popleft()
+                    issue_t = now
+                    if len(missq) >= mshr:
+                        issue_t = missq.popleft()
+                    ready = dram.access(block, issue_t)
+                    missq.append(ready)
+                    lat = (ready - now) + l1_lat + l2_lat + llc_lat
+                    llc.fill(block, ready_cycle=ready)
+                core.l2.fill(block)
+                core.l1.fill(block)
+                if core.pf_lists is not None:
+                    idxs = core.llc_indices
+                    assert idxs is not None
+                    if core.llc_cursor < len(idxs) and int(idxs[core.llc_cursor]) == i:
+                        lst = core.pf_lists[core.llc_cursor]
+                        core.llc_cursor += 1
+                        if lst:
+                            vis = now + core.pred_latency
+                            for blk in lst:
+                                heapq.heappush(
+                                    pfq,
+                                    (vis, pf_seq, blk + core.idx * CORE_ADDRESS_STRIDE, core.idx),
+                                )
+                                pf_seq += 1
+
+        ready_time = now + lat
+        step = gap if gap > 0.25 else 0.25
+        core.retire = max(core.retire + step, ready_time)
+        core.robq.append((instr_i, core.retire))
+        if not core.done():
+            heapq.heappush(heap, (core.fetch, ci))
+
+    results = [
+        SimResult(
+            name=f"core{c.idx}:{c.trace.name or 'trace'}",
+            instructions=int(c.instr_ids[-1]) if len(c.instr_ids) else 0,
+            cycles=c.retire,
+            demand_accesses=len(c.blocks),
+            demand_hits=c.hits,
+            demand_misses=c.misses,
+            late_prefetch_hits=c.late_hits,
+            prefetches_issued=c.issued,
+            prefetches_useful=c.useful,
+            prefetch_hits=c.useful,
+        )
+        for c in cores
+    ]
+    return MulticoreResult(cores=results, llc=llc_stats, dram=dram.stats.as_dict())

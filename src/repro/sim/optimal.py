@@ -1,0 +1,86 @@
+"""Belady's MIN (OPT) replacement — offline upper bound for cache analysis.
+
+OPT evicts the line whose next use is farthest in the future. It is not
+implementable in hardware (it needs the future), but it bounds what any
+replacement policy can achieve on a trace, which makes it the right yardstick
+when judging whether a prefetcher is fighting capacity misses (OPT also
+misses) or replacement misses (OPT hits where LRU misses).
+
+The implementation is set-associative and trace-driven: next-use indices are
+precomputed in one reverse pass, so the simulation is O(n · ways).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.trace import MemoryTrace
+
+
+def next_use_indices(blocks: np.ndarray) -> np.ndarray:
+    """``out[i]`` = index of the next access to ``blocks[i]`` (or n if none)."""
+    blocks = np.asarray(blocks)
+    n = len(blocks)
+    out = np.full(n, n, dtype=np.int64)
+    last_seen: dict[int, int] = {}
+    for i in range(n - 1, -1, -1):
+        b = int(blocks[i])
+        nxt = last_seen.get(b)
+        if nxt is not None:
+            out[i] = nxt
+        last_seen[b] = i
+    return out
+
+
+def opt_miss_count(blocks: np.ndarray, n_sets: int, n_ways: int) -> int:
+    """Demand misses of a set-associative OPT cache on a block stream."""
+    if n_sets <= 0 or (n_sets & (n_sets - 1)) != 0:
+        raise ValueError(f"n_sets must be a power of two, got {n_sets}")
+    blocks = np.asarray(blocks, dtype=np.int64)
+    nxt = next_use_indices(blocks)
+    mask = n_sets - 1
+    # Per set: block -> next-use index of its *current* residency.
+    sets: list[dict[int, int]] = [dict() for _ in range(n_sets)]
+    misses = 0
+    for i in range(len(blocks)):
+        b = int(blocks[i])
+        s = sets[b & mask]
+        if b in s:
+            s[b] = int(nxt[i])  # refresh to the new next use
+            continue
+        misses += 1
+        if len(s) >= n_ways:
+            victim = max(s, key=s.__getitem__)  # farthest next use
+            if s[victim] <= int(nxt[i]):
+                continue  # incoming line is reused latest of all: bypass
+            del s[victim]
+        s[b] = int(nxt[i])
+    return misses
+
+
+def opt_miss_rate(
+    trace: MemoryTrace, capacity_bytes: int, n_ways: int = 16, block_bytes: int = 64
+) -> float:
+    """OPT miss rate of ``trace`` at the given cache geometry."""
+    n_sets = capacity_bytes // (n_ways * block_bytes)
+    blocks = trace.block_addrs
+    if len(blocks) == 0:
+        return 0.0
+    return opt_miss_count(blocks, n_sets, n_ways) / len(blocks)
+
+
+def replacement_headroom(
+    trace: MemoryTrace,
+    lru_misses: int,
+    capacity_bytes: int,
+    n_ways: int = 16,
+) -> dict:
+    """Split LRU misses into compulsory+capacity (OPT) vs replacement slack.
+
+    Returns a dict with ``opt_misses``, ``lru_misses`` and ``headroom`` (the
+    fraction of LRU misses a perfect replacement policy would remove). A small
+    headroom means prefetching — not replacement — is the only lever left.
+    """
+    opt = opt_miss_count(trace.block_addrs, capacity_bytes // (n_ways * 64), n_ways)
+    headroom = 0.0 if lru_misses <= 0 else max(lru_misses - opt, 0) / lru_misses
+    return {"opt_misses": opt, "lru_misses": int(lru_misses), "headroom": headroom}

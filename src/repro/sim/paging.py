@@ -1,0 +1,111 @@
+"""Virtual memory substrate: page table and TLB models.
+
+ChampSim simulates *physical* addresses: virtual pages are assigned physical
+frames on first touch (effectively at random), which scatters contiguous
+virtual pages across DRAM rows and banks. Our synthetic traces are virtual;
+this module provides the translation layer so the hierarchy simulator
+exercises realistic DRAM row locality, plus a small TLB model for the
+translation-latency ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.bits import BLOCK_BITS, PAGE_BITS
+
+
+class PageTable:
+    """First-touch virtual→physical page allocation with a shuffled frame pool.
+
+    Frames are handed out in an order derived from ``seed``; with
+    ``contiguous=True`` allocation is identity-like (frame = allocation
+    order), which models an ideal OS that preserves locality — useful as the
+    other end of the row-locality ablation.
+    """
+
+    def __init__(self, n_frames: int = 1 << 20, seed: int = 0, contiguous: bool = False):
+        if n_frames <= 0:
+            raise ValueError("n_frames must be positive")
+        self.n_frames = int(n_frames)
+        self.contiguous = bool(contiguous)
+        self._map: dict[int, int] = {}
+        self._next = 0
+        if contiguous:
+            self._pool = None
+        else:
+            rng = np.random.default_rng(seed)
+            self._pool = rng.permutation(self.n_frames)
+
+    def frame(self, vpage: int) -> int:
+        """Physical frame of ``vpage``, allocating on first touch."""
+        f = self._map.get(vpage)
+        if f is None:
+            if self._next >= self.n_frames:
+                # Out of memory: wrap (stands in for swapping; keeps runs alive).
+                self._next = 0
+            f = self._next if self._pool is None else int(self._pool[self._next])
+            self._next += 1
+            self._map[vpage] = f
+        return f
+
+    def translate(self, vaddr: int) -> int:
+        """Virtual byte address → physical byte address."""
+        page_size = 1 << PAGE_BITS
+        vpage, offset = divmod(int(vaddr), page_size)
+        return self.frame(vpage) * page_size + offset
+
+    def translate_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Vectorized translation of *block* addresses (page-preserving)."""
+        blocks = np.asarray(blocks, dtype=np.int64)
+        blocks_per_page = 1 << (PAGE_BITS - BLOCK_BITS)
+        vpages = blocks // blocks_per_page
+        offsets = blocks % blocks_per_page
+        out = np.empty_like(blocks)
+        for i in range(len(blocks)):
+            out[i] = self.frame(int(vpages[i])) * blocks_per_page + int(offsets[i])
+        return out
+
+    @property
+    def pages_touched(self) -> int:
+        return len(self._map)
+
+
+class TLB:
+    """Fully-associative LRU TLB; returns the translation penalty in cycles.
+
+    A hit is free (pipelined); a miss pays ``walk_latency`` (the page-table
+    walk). Dict insertion order gives O(1) LRU, same trick as the LRU cache.
+    """
+
+    def __init__(self, entries: int = 64, walk_latency: float = 100.0):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = int(entries)
+        self.walk_latency = float(walk_latency)
+        self._map: dict[int, None] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, vpage: int) -> float:
+        """Touch ``vpage``; return the added latency (0 on hit)."""
+        if vpage in self._map:
+            del self._map[vpage]
+            self._map[vpage] = None
+            self.hits += 1
+            return 0.0
+        self.misses += 1
+        if len(self._map) >= self.entries:
+            del self._map[next(iter(self._map))]
+        self._map[vpage] = None
+        return self.walk_latency
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self._map.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,186 @@
+"""Trace-driven LLC simulation with a simplified out-of-order core.
+
+Timing model (two-clock, documented in DESIGN.md):
+
+* ``fetch`` — the execution frontier. It advances at the retire width
+  (``d_instr / width`` per access) but cannot run more than ``rob``
+  instructions past the oldest unretired load: each load's retire time is
+  queued, and when a new load is more than ``rob`` instructions younger than
+  a queued load, the frontier is floored at that load's retire time. This
+  yields ROB-bounded memory-level parallelism: independent misses within the
+  ROB window overlap, exactly the first-order behaviour of a 4-wide OoO core.
+* ``retire`` — in-order retirement: each load retires at
+  ``max(prev_retire + d_instr/width, data_ready)``.
+
+Memory model: LLC hit = ``llc_latency``; miss = DRAM fixed latency with at
+most ``mshr`` outstanding fills (extra misses wait for the earliest
+completion). Prefetches share the MSHRs and fill the cache with a
+``ready_cycle``; a demand hit on an in-flight line waits for the fill (the
+late-prefetch penalty that separates DART from high-latency NN prefetchers).
+
+Prefetch timeliness: a trigger at core time ``t`` issues its prefetches at
+``t + prefetcher.latency_cycles`` — predictions cost time, the paper's core
+argument.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.prefetch.base import Prefetcher
+from repro.sim.cache import SetAssocCache
+from repro.sim.metrics import SimResult
+from repro.traces.trace import MemoryTrace
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulation parameters (defaults follow the paper's Table III LLC/CPU)."""
+
+    llc_capacity_bytes: int = 8 * 1024 * 1024
+    llc_ways: int = 16
+    llc_latency: float = 20.0
+    dram_latency: float = 200.0
+    width: int = 4
+    rob: int = 256
+    mshr: int = 64
+
+    def make_llc(self) -> SetAssocCache:
+        return SetAssocCache.from_capacity(self.llc_capacity_bytes, self.llc_ways)
+
+
+def simulate(
+    trace: MemoryTrace,
+    prefetcher: Prefetcher | None = None,
+    config: SimConfig | None = None,
+    name: str | None = None,
+    throttle=None,
+) -> SimResult:
+    """Run the trace through the LLC (+ optional prefetcher); return metrics.
+
+    ``throttle`` is an optional :class:`repro.prefetch.adaptive.
+    FeedbackThrottle`: each trigger's candidate list is truncated to the
+    controller's current degree at issue time, and the controller is fed
+    usefulness / lateness / pollution events in cache-state order (FDP).
+    Its summary lands in ``SimResult.extra["throttle"]``.
+    """
+    cfg = config or SimConfig()
+    llc = cfg.make_llc()
+    blocks = trace.block_addrs
+    instr_ids = trace.instr_ids
+    n = len(blocks)
+    pf_lists: list[list[int]] | None = None
+    pred_latency = 0.0
+    if prefetcher is not None:
+        pf_lists = prefetcher.prefetch_lists(trace)
+        pred_latency = float(prefetcher.latency_cycles)
+
+    width = float(cfg.width)
+    rob = int(cfg.rob)
+    llc_lat = cfg.llc_latency
+    dram_lat = cfg.dram_latency
+    mshr = int(cfg.mshr)
+
+    fetch = 0.0
+    retire = 0.0
+    rob_floor = 0.0
+    robq: deque[tuple[int, float]] = deque()  # (instr_id, retire_time) of loads
+    missq: deque[float] = deque()  # outstanding fill completion times (sorted)
+    pfq: deque[tuple[float, int]] = deque()  # (visible_time, block)
+
+    hits = misses = late_hits = 0
+    issued = useful = 0
+    prev_instr = 0
+
+    def drain_prefetches(now: float) -> None:
+        nonlocal issued
+        while pfq and pfq[0][0] <= now:
+            t_vis, blk = pfq.popleft()
+            if llc.peek(blk) is not None:
+                continue  # already present or in flight: drop
+            while missq and missq[0] <= t_vis:
+                missq.popleft()
+            if len(missq) >= mshr:
+                continue  # no MSHR free: prefetch dropped
+            ready = t_vis + dram_lat
+            missq.append(ready)
+            victim = llc.insert(blk, ready, prefetched=True)
+            issued += 1
+            if throttle is not None:
+                throttle.on_issue()
+                if victim is not None and not victim[1].prefetched:
+                    throttle.on_prefetch_eviction(victim[0])
+
+    for i in range(n):
+        instr_i = int(instr_ids[i])
+        gap = (instr_i - prev_instr) / width
+        prev_instr = instr_i
+        fetch += gap
+        # ROB run-ahead bound: loads >= rob instructions older must retire.
+        while robq and robq[0][0] <= instr_i - rob:
+            r = robq.popleft()[1]
+            if r > rob_floor:
+                rob_floor = r
+        if fetch < rob_floor:
+            fetch = rob_floor
+        now = fetch
+        drain_prefetches(now)
+
+        block = int(blocks[i])
+        line = llc.lookup(block)
+        if line is not None:
+            was_late = line.ready_cycle > now
+            if was_late:
+                lat = (line.ready_cycle - now) + llc_lat
+                late_hits += 1
+            else:
+                lat = llc_lat
+            if line.prefetched and not line.used:
+                line.used = True
+                useful += 1
+                if throttle is not None:
+                    throttle.on_useful(late=was_late)
+            hits += 1
+        else:
+            misses += 1
+            if throttle is not None:
+                throttle.on_demand_miss(block)
+            while missq and missq[0] <= now:
+                missq.popleft()
+            issue_t = now
+            if len(missq) >= mshr:
+                issue_t = missq.popleft()  # wait for the earliest completion
+            ready = issue_t + dram_lat
+            missq.append(ready)
+            lat = ready - now
+            llc.insert(block, ready, prefetched=False)
+
+        ready_time = now + lat
+        step = gap if gap > 0.25 else 0.25  # retire bandwidth: <= width/cycle
+        retire = max(retire + step, ready_time)
+        robq.append((instr_i, retire))
+
+        if pf_lists is not None and pf_lists[i]:
+            vis = now + pred_latency
+            cands = pf_lists[i]
+            if throttle is not None:
+                cands = cands[: throttle.current_degree()]
+            for blk in cands:
+                pfq.append((vis, blk))
+
+    result = SimResult(
+        name=name or (prefetcher.name if prefetcher else "baseline"),
+        instructions=int(instr_ids[-1]) if n else 0,
+        cycles=retire,
+        demand_accesses=n,
+        demand_hits=hits,
+        demand_misses=misses,
+        late_prefetch_hits=late_hits,
+        prefetches_issued=issued,
+        prefetches_useful=useful,
+        prefetch_hits=useful,
+    )
+    if throttle is not None:
+        result.extra["throttle"] = throttle.summary()
+    return result

@@ -1,0 +1,63 @@
+"""Tabularization: converting attention NNs to hierarchies of tables.
+
+This package is the paper's primary contribution (Sec. V–VI):
+
+* :class:`TabularLinear` — the linear kernel (Sec. V-A): PQ prototypes over
+  layer inputs, a precomputed prototype×weight table with the bias folded in.
+* :class:`TabularAttention` — the attention kernel (Sec. V-B): pairwise
+  prototype QK tables, a second quantization of the intermediate product, and
+  scaling/activation folded into the QKV table.
+* :class:`SigmoidLUT` / :class:`LayerNormOp` — the remaining layer types of
+  Algorithm 1 (lines 15–18).
+* :class:`TabularAttentionPredictor` — the full hierarchy of tables mirroring
+  :class:`repro.models.AttentionPredictor`.
+* :func:`tabularize_predictor` — Algorithm 1: layer-wise conversion with
+  optional fine-tuning (Eq. 26) against the NN layer outputs.
+"""
+
+from repro.tabularization.attention_kernel import TabularAttention
+from repro.tabularization.converter import ConversionReport, tabularize_predictor
+from repro.tabularization.finetune import finetune_linear
+from repro.tabularization.layernorm_op import LayerNormOp
+from repro.tabularization.linear_kernel import TabularLinear
+from repro.tabularization.sigmoid_lut import SigmoidLUT
+from repro.tabularization.tabular_model import (
+    TableConfig,
+    TabularAttentionPredictor,
+    TabularMSA,
+)
+
+__all__ = [
+    "TabularAttention",
+    "ConversionReport",
+    "tabularize_predictor",
+    "finetune_linear",
+    "LayerNormOp",
+    "TabularLinear",
+    "SigmoidLUT",
+    "TableConfig",
+    "TabularAttentionPredictor",
+    "TabularMSA",
+]
+
+from repro.tabularization.export import (  # noqa: E402
+    export_packed,
+    import_packed,
+    read_packed,
+    write_packed,
+)
+from repro.tabularization.fused import FusedFunctionTable  # noqa: E402
+from repro.tabularization.serialization import (  # noqa: E402
+    load_tabular_model,
+    save_tabular_model,
+)
+
+__all__ += [
+    "FusedFunctionTable",
+    "load_tabular_model",
+    "save_tabular_model",
+    "export_packed",
+    "import_packed",
+    "read_packed",
+    "write_packed",
+]

@@ -1,0 +1,175 @@
+"""Layer-wise tabularization with fine-tuning (paper Algorithm 1).
+
+Walks the student network bottom-up, converting each operation with the
+matching kernel while threading the *approximated* activations forward:
+
+* every linear layer after the first is fine-tuned (Eq. 26) on
+  ``(X̂ = tabular activations so far, Y = exact NN layer output)`` before its
+  kernel is trained — the table imitates the layer's output, not its weights;
+* attention layers are converted with the attention kernel, trained on the
+  (approximated) per-head Q/K/V produced by the tabularized QKV projection;
+* Sigmoid becomes a LUT; LayerNorm keeps its parameters and direct arithmetic.
+
+The returned :class:`ConversionReport` records per-checkpoint cosine
+similarity between the student network and the growing table hierarchy —
+exactly the quantity the paper's Fig. 11 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.evaluate import cosine_similarity
+from repro.models.attention_model import AttentionPredictor
+from repro.nn.transformer import PositionalEncoding
+from repro.tabularization.attention_kernel import TabularAttention
+from repro.tabularization.finetune import finetune_linear
+from repro.tabularization.layernorm_op import LayerNormOp
+from repro.tabularization.linear_kernel import TabularLinear
+from repro.tabularization.sigmoid_lut import SigmoidLUT
+from repro.tabularization.tabular_model import (
+    TableConfig,
+    TabularAttentionPredictor,
+    TabularEncoderLayer,
+    TabularMSA,
+)
+from repro.utils import log
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass
+class ConversionReport:
+    """Per-checkpoint fidelity of the table hierarchy vs. the student NN."""
+
+    #: checkpoint name -> cosine similarity (paper Fig. 11's y-axis)
+    cosine: dict[str, float] = field(default_factory=dict)
+    fine_tuned: bool = True
+
+    def ordered_checkpoints(self) -> list[tuple[str, float]]:
+        return list(self.cosine.items())
+
+
+def _split_heads(m: np.ndarray, heads: int) -> np.ndarray:
+    """(B, T, D) -> (B*H, T, D/H): heads become extra batch rows."""
+    b, t, d = m.shape
+    dh = d // heads
+    return m.reshape(b, t, heads, dh).transpose(0, 2, 1, 3).reshape(b * heads, t, dh)
+
+
+def _merge_heads(m: np.ndarray, heads: int) -> np.ndarray:
+    """(B*H, T, Dh) -> (B, T, H*Dh)."""
+    bh, t, dh = m.shape
+    b = bh // heads
+    return m.reshape(b, heads, t, dh).transpose(0, 2, 1, 3).reshape(b, t, heads * dh)
+
+
+def tabularize_predictor(
+    student: AttentionPredictor,
+    x_addr: np.ndarray,
+    x_pc: np.ndarray,
+    table_config: TableConfig,
+    fine_tune: bool = True,
+    ft_solver: str = "lstsq",
+    ft_epochs: int = 30,
+    rng=0,
+) -> tuple[TabularAttentionPredictor, ConversionReport]:
+    """Convert ``student`` into a hierarchy of tables (Algorithm 1).
+
+    ``x_addr``/``x_pc`` are the training inputs ``D`` used both for prototype
+    learning and for fine-tuning; the returned report carries the Fig. 11
+    cosine-similarity trace. The student is left unmodified.
+    """
+    tc = table_config
+    report = ConversionReport(fine_tuned=fine_tune)
+    # Exact NN activations at every checkpoint (Algorithm 1 line 2).
+    acts = student.trunk_activations(x_addr, x_pc)
+    rngs = iter(spawn_rngs(rng, 4 + 6 * len(student.encoders)))
+
+    def maybe_ft(layer, x_hat, target):
+        if not fine_tune:
+            return layer
+        return finetune_linear(layer, x_hat, target, solver=ft_solver, epochs=ft_epochs)
+
+    # ---- input linears (layer index 0: no fine-tuning, Algorithm 1 line 7)
+    addr_tab = TabularLinear.train(
+        student.addr_proj, x_addr, tc.k_input, tc.c_input, encoder=tc.encoder, rng=next(rngs)
+    )
+    pc_tab = TabularLinear.train(
+        student.pc_proj, x_pc, tc.k_input, tc.c_input, encoder=tc.encoder, rng=next(rngs)
+    )
+    pos = PositionalEncoding(student.config.dim, max_len=student.pos.pe.shape[0])
+    ln_in = LayerNormOp.from_layer(student.ln_in)
+    h_hat = addr_tab.query(x_addr) + pc_tab.query(x_pc)
+    h_hat = ln_in.query(pos.apply_inference(h_hat))
+    report.cosine["embed"] = cosine_similarity(acts["embed"], h_hat)
+    log.info(f"tabularized input linears: cos(embed)={report.cosine['embed']:.4f}")
+
+    layers: list[TabularEncoderLayer] = []
+    heads = student.config.heads
+    for i, enc in enumerate(student.encoders):
+        # --- QKV projection (linear kernel, fine-tuned on approx inputs)
+        qkv_layer = maybe_ft(enc.attn.qkv, h_hat, acts[f"enc{i}/qkv"])
+        qkv_tab = TabularLinear.train(
+            qkv_layer, h_hat, tc.k_attn, tc.c_attn, encoder=tc.encoder, rng=next(rngs)
+        )
+        qkv_hat = qkv_tab.query(h_hat)
+        q, k, v = np.split(qkv_hat, 3, axis=-1)
+        q, k, v = (_split_heads(m, heads) for m in (q, k, v))
+        # --- attention kernel, trained on the approximated per-head Q/K/V
+        attn_kernel = TabularAttention.train(
+            q, k, v, tc.k_attn, tc.c_attn, encoder=tc.encoder, rng=next(rngs)
+        )
+        ctx_hat = _merge_heads(attn_kernel.query(q, k, v), heads)
+        # --- output projection (fine-tuned to reproduce the exact MSA output)
+        out_layer = maybe_ft(enc.attn.out, ctx_hat, acts[f"enc{i}/attn_out"])
+        out_tab = TabularLinear.train(
+            out_layer, ctx_hat, tc.k_attn, tc.c_attn, encoder=tc.encoder, rng=next(rngs)
+        )
+        a_hat = out_tab.query(ctx_hat)
+        ln1 = LayerNormOp.from_layer(enc.ln1)
+        h1_hat = ln1.query(h_hat + a_hat)
+        report.cosine[f"enc{i}/post_ln1"] = cosine_similarity(acts[f"enc{i}/post_ln1"], h1_hat)
+        # --- FFN linears (hidden fine-tuned to pre-ReLU target, Eq. 2)
+        ffn1_layer = maybe_ft(enc.ffn.lin1, h1_hat, acts[f"enc{i}/ffn_hidden_pre"])
+        ffn1_tab = TabularLinear.train(
+            ffn1_layer, h1_hat, tc.k_ffn, tc.c_ffn, encoder=tc.encoder, rng=next(rngs)
+        )
+        hidden_hat = np.maximum(ffn1_tab.query(h1_hat), 0.0)
+        ffn2_layer = maybe_ft(enc.ffn.lin2, hidden_hat, acts[f"enc{i}/ffn_out"])
+        ffn2_tab = TabularLinear.train(
+            ffn2_layer, hidden_hat, tc.k_ffn, tc.c_ffn, encoder=tc.encoder, rng=next(rngs)
+        )
+        f_hat = ffn2_tab.query(hidden_hat)
+        ln2 = LayerNormOp.from_layer(enc.ln2)
+        h_hat = ln2.query(h1_hat + f_hat)
+        report.cosine[f"enc{i}/post_ln2"] = cosine_similarity(acts[f"enc{i}/post_ln2"], h_hat)
+        log.info(
+            f"tabularized encoder {i}: cos(post_ln2)={report.cosine[f'enc{i}/post_ln2']:.4f}"
+        )
+        msa = TabularMSA(qkv_tab, attn_kernel, out_tab, heads)
+        layers.append(TabularEncoderLayer(msa, ln1, ffn1_tab, ffn2_tab, ln2))
+
+    # ---- classification head (fine-tuned on pooled approx activations)
+    pooled_hat = h_hat.mean(axis=-2)
+    head_layer = maybe_ft(student.head, pooled_hat, acts["logits"])
+    head_tab = TabularLinear.train(
+        head_layer, pooled_hat, tc.k_output, tc.c_output, encoder=tc.encoder, rng=next(rngs)
+    )
+    logits_hat = head_tab.query(pooled_hat)
+    report.cosine["logits"] = cosine_similarity(acts["logits"], logits_hat)
+    log.info(f"tabularized head: cos(logits)={report.cosine['logits']:.4f}")
+
+    model = TabularAttentionPredictor(
+        addr_tab,
+        pc_tab,
+        pos,
+        ln_in,
+        layers,
+        head_tab,
+        SigmoidLUT(),
+        student.config,
+        table_config,
+    )
+    return model, report

@@ -1,0 +1,150 @@
+"""Packed binary export of a table hierarchy — the deployment artifact.
+
+``save_tabular_model`` round-trips through ``.npz`` for Python workflows;
+*this* format is what a hardware/firmware consumer would ingest: a single
+little-endian blob with a fixed-layout header, a table of contents, and raw
+array payloads — no zip container, no NumPy metadata, parseable from C in a
+few dozen lines.
+
+Layout::
+
+    offset  size  field
+    0       8     magic  b"DARTTBL1"
+    8       4     uint32 header_json_length = H
+    12      H     UTF-8 JSON: {"entries": [{name, dtype, shape, offset, nbytes},
+                               ...], "attrs": {...}}
+    12+H    ...   raw array payloads, 64-byte aligned, little-endian
+
+Payload offsets in the TOC are absolute file offsets, so a consumer can mmap
+the file and point kernels straight at the tables. ``export_packed`` can
+down-convert float64 tables to float32/float16 on the way out (independent of
+the fixed-point study in :mod:`repro.quantization.bitwidth` — this is the
+wire format, that is the arithmetic model).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+
+import numpy as np
+
+from repro.tabularization.serialization import model_from_state, model_state
+
+MAGIC = b"DARTTBL1"
+_ALIGN = 64
+
+#: dtypes allowed in the container (names are NumPy canonical strings)
+_ALLOWED_DTYPES = {"float64", "float32", "float16", "int64", "int32", "int16", "int8"}
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def write_packed(path: str | os.PathLike, arrays: dict[str, np.ndarray], attrs: dict | None = None) -> int:
+    """Write a named-array dict in the packed format; returns total bytes."""
+    entries = []
+    # First pass: lay out payload offsets (header size depends on the TOC,
+    # so lay out with placeholder offsets, then fix up once sized).
+    metas = []
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        dtype = arr.dtype.name
+        if dtype not in _ALLOWED_DTYPES:
+            raise ValueError(f"dtype {dtype} of {name!r} not supported by the container")
+        metas.append((name, arr))
+
+    def toc_bytes(with_offsets: list[int]) -> bytes:
+        entries.clear()
+        for (name, arr), off in zip(metas, with_offsets):
+            entries.append(
+                {
+                    "name": name,
+                    "dtype": arr.dtype.name,
+                    "shape": list(arr.shape),
+                    "offset": off,
+                    "nbytes": int(arr.nbytes),
+                }
+            )
+        doc = {"entries": entries, "attrs": attrs or {}}
+        return json.dumps(doc, sort_keys=True).encode("utf-8")
+
+    # Iterate the layout to a fixed point: offsets depend on header length,
+    # which depends on offset digits. Two rounds always converge (offsets
+    # only grow, and digit counts stabilize).
+    offsets = [0] * len(metas)
+    for _ in range(4):
+        header = toc_bytes(offsets)
+        base = _aligned(len(MAGIC) + 4 + len(header))
+        new_offsets = []
+        cur = base
+        for _, arr in metas:
+            new_offsets.append(cur)
+            cur = _aligned(cur + arr.nbytes)
+        if new_offsets == offsets:
+            break
+        offsets = new_offsets
+    header = toc_bytes(offsets)
+
+    with open(path, "wb") as f:
+        f.write(MAGIC)
+        f.write(struct.pack("<I", len(header)))
+        f.write(header)
+        for (name, arr), off in zip(metas, offsets):
+            pad = off - f.tell()
+            if pad < 0:
+                raise RuntimeError("layout error: negative padding")
+            f.write(b"\x00" * pad)
+            little = arr.astype(arr.dtype.newbyteorder("<"), copy=False)
+            f.write(little.tobytes())
+        total = f.tell()
+    return total
+
+
+def read_packed(path: str | os.PathLike) -> tuple[dict[str, np.ndarray], dict]:
+    """Read a packed file back into ``(arrays, attrs)``."""
+    with open(path, "rb") as f:
+        magic = f.read(8)
+        if magic != MAGIC:
+            raise ValueError(f"not a DART table file (magic {magic!r})")
+        (hlen,) = struct.unpack("<I", f.read(4))
+        doc = json.loads(f.read(hlen).decode("utf-8"))
+        arrays: dict[str, np.ndarray] = {}
+        for e in doc["entries"]:
+            f.seek(e["offset"])
+            raw = f.read(e["nbytes"])
+            arr = np.frombuffer(raw, dtype=np.dtype(e["dtype"]).newbyteorder("<"))
+            arrays[e["name"]] = arr.reshape(e["shape"]).astype(e["dtype"])
+    return arrays, doc["attrs"]
+
+
+def export_packed(model, path: str | os.PathLike, float_dtype: str = "float32") -> int:
+    """Export a :class:`TabularAttentionPredictor` as one packed blob.
+
+    Float arrays are stored as ``float_dtype`` (``float64``/``float32``/
+    ``float16``); integer arrays keep their width. Returns total bytes
+    written. Round-trip via :func:`import_packed` reconstructs a working
+    model (bit-exact when exporting at float64).
+    """
+    if float_dtype not in ("float64", "float32", "float16"):
+        raise ValueError(f"unsupported float dtype {float_dtype!r}")
+    state = model_state(model)
+    out: dict[str, np.ndarray] = {}
+    for name, arr in state.items():
+        if np.issubdtype(arr.dtype, np.floating):
+            out[name] = arr.astype(float_dtype)
+        else:
+            out[name] = arr
+    return write_packed(path, out, attrs={"format": "dart-tabular", "float_dtype": float_dtype})
+
+
+def import_packed(path: str | os.PathLike):
+    """Load a packed export back into a queryable tabular model."""
+    arrays, attrs = read_packed(path)
+    if attrs.get("format") != "dart-tabular":
+        raise ValueError("packed file does not contain a tabular model")
+    state = {k: np.asarray(v, dtype=np.float64) if np.issubdtype(v.dtype, np.floating) else v
+             for k, v in arrays.items()}
+    return model_from_state(state)

@@ -1,0 +1,36 @@
+"""Pass-through LayerNorm for the tabular model.
+
+Algorithm 1 (line 18): LayerNorm is dimension-wise arithmetic without matrix
+multiplication, so the tabular hierarchy keeps the original parameters and
+operation. The cost model charges it ``L_ln`` cycles (Eq. 22); its storage is
+the two parameter vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layernorm import LayerNorm
+
+
+class LayerNormOp:
+    """Immutable inference-only LayerNorm built from a trained nn.LayerNorm."""
+
+    def __init__(self, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5):
+        self.gamma = np.asarray(gamma, dtype=np.float64).copy()
+        self.beta = np.asarray(beta, dtype=np.float64).copy()
+        self.eps = float(eps)
+        self.dim = self.gamma.shape[0]
+
+    @classmethod
+    def from_layer(cls, layer: LayerNorm) -> "LayerNormOp":
+        return cls(layer.gamma.value, layer.beta.value, layer.eps)
+
+    def query(self, x: np.ndarray) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        return (x - mean) / np.sqrt(var + self.eps) * self.gamma + self.beta
+
+    @property
+    def storage_bits(self) -> int:
+        return 2 * self.dim * 32

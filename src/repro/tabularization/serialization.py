@@ -1,0 +1,228 @@
+"""Persistence for the hierarchy of tables.
+
+A DART deployment trains once offline and ships *tables*; this module
+round-trips a :class:`TabularAttentionPredictor` (and its kernels) through a
+flat ``.npz`` so a trained hierarchy can be saved, versioned, and loaded
+without retraining. All keys are namespaced with ``/`` (see
+``repro.utils.serialization``); nothing is pickled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.nn.transformer import PositionalEncoding
+from repro.quantization.encoders import HashTreeEncoder
+from repro.quantization.pq import ProductQuantizer
+from repro.tabularization.attention_kernel import TabularAttention
+from repro.tabularization.layernorm_op import LayerNormOp
+from repro.tabularization.linear_kernel import TabularLinear
+from repro.tabularization.sigmoid_lut import SigmoidLUT
+from repro.tabularization.tabular_model import (
+    TableConfig,
+    TabularAttentionPredictor,
+    TabularEncoderLayer,
+    TabularMSA,
+)
+from repro.utils.serialization import load_arrays, save_arrays
+
+_ENCODER_CODES = {"exact": 0, "hash": 1}
+_ENCODER_NAMES = {v: k for k, v in _ENCODER_CODES.items()}
+
+
+# ----------------------------------------------------------------------- PQ
+def pq_state(pq: ProductQuantizer, prefix: str) -> dict[str, np.ndarray]:
+    if pq.prototypes is None:
+        raise RuntimeError("cannot serialize an unfitted ProductQuantizer")
+    state = {
+        f"{prefix}/meta": np.array(
+            [pq.dim, pq.n_subspaces, pq.n_prototypes, _ENCODER_CODES[pq.encoder_kind]],
+            dtype=np.int64,
+        ),
+        f"{prefix}/prototypes": pq.prototypes,
+    }
+    if pq.encoder_kind == "hash":
+        for c, tree in enumerate(pq._hash_trees):
+            for lvl in range(tree.depth):
+                state[f"{prefix}/tree/{c}/dims/{lvl}"] = tree.split_dims[lvl]
+                state[f"{prefix}/tree/{c}/ths/{lvl}"] = tree.thresholds[lvl]
+    return state
+
+
+def pq_from_state(state: dict[str, np.ndarray], prefix: str) -> ProductQuantizer:
+    dim, c, k, enc = (int(v) for v in state[f"{prefix}/meta"])
+    pq = ProductQuantizer(dim, c, k, encoder=_ENCODER_NAMES[enc], rng=0)
+    pq.prototypes = np.ascontiguousarray(state[f"{prefix}/prototypes"])
+    if pq.encoder_kind == "hash":
+        trees = []
+        for ci in range(c):
+            tree = HashTreeEncoder(k)
+            tree.split_dims = []
+            tree.thresholds = []
+            for lvl in range(tree.depth):
+                tree.split_dims.append(
+                    np.ascontiguousarray(state[f"{prefix}/tree/{ci}/dims/{lvl}"])
+                )
+                tree.thresholds.append(
+                    np.ascontiguousarray(state[f"{prefix}/tree/{ci}/ths/{lvl}"])
+                )
+            tree.prototypes = pq.prototypes[ci]
+            trees.append(tree)
+        pq._hash_trees = trees
+    return pq
+
+
+# ------------------------------------------------------------------ kernels
+def linear_state(tab: TabularLinear, prefix: str) -> dict[str, np.ndarray]:
+    state = pq_state(tab.pq, f"{prefix}/pq")
+    state[f"{prefix}/table"] = tab.table
+    state[f"{prefix}/dims"] = np.array([tab.in_dim, tab.out_dim], dtype=np.int64)
+    return state
+
+
+def linear_from_state(state: dict[str, np.ndarray], prefix: str) -> TabularLinear:
+    in_dim, out_dim = (int(v) for v in state[f"{prefix}/dims"])
+    return TabularLinear(
+        pq_from_state(state, f"{prefix}/pq"),
+        np.ascontiguousarray(state[f"{prefix}/table"]),
+        in_dim,
+        out_dim,
+    )
+
+
+def attention_state(kern: TabularAttention, prefix: str) -> dict[str, np.ndarray]:
+    state = {}
+    for name, pq in (
+        ("q", kern.pq_q),
+        ("k", kern.pq_k),
+        ("qk", kern.pq_qk),
+        ("v", kern.pq_v),
+    ):
+        state.update(pq_state(pq, f"{prefix}/pq_{name}"))
+    state[f"{prefix}/qk_table"] = kern.qk_table
+    state[f"{prefix}/qkv_table"] = kern.qkv_table
+    state[f"{prefix}/dims"] = np.array([kern.head_dim, kern.seq_len], dtype=np.int64)
+    return state
+
+
+def attention_from_state(state: dict[str, np.ndarray], prefix: str) -> TabularAttention:
+    head_dim, seq_len = (int(v) for v in state[f"{prefix}/dims"])
+    return TabularAttention(
+        pq_from_state(state, f"{prefix}/pq_q"),
+        pq_from_state(state, f"{prefix}/pq_k"),
+        pq_from_state(state, f"{prefix}/pq_qk"),
+        pq_from_state(state, f"{prefix}/pq_v"),
+        np.ascontiguousarray(state[f"{prefix}/qk_table"]),
+        np.ascontiguousarray(state[f"{prefix}/qkv_table"]),
+        head_dim,
+        seq_len,
+    )
+
+
+# ---------------------------------------------------------------- the model
+def model_state(model: TabularAttentionPredictor) -> dict[str, np.ndarray]:
+    mc, tc = model.model_config, model.table_config
+    state: dict[str, np.ndarray] = {
+        "model_config": np.array(
+            [mc.layers, mc.dim, mc.heads, mc.ffn_dim, mc.history_len, mc.bitmap_size],
+            dtype=np.int64,
+        ),
+        "score_mode": np.array([0 if mc.score_mode == "softmax" else 1], dtype=np.int64),
+        "table_config": np.array(
+            [
+                tc.k_input, tc.c_input, tc.k_attn, tc.c_attn,
+                tc.k_ffn, tc.c_ffn, tc.k_output, tc.c_output,
+                _ENCODER_CODES[tc.encoder], tc.data_bits,
+            ],
+            dtype=np.int64,
+        ),
+        "sigmoid_lut": np.array(
+            [model.sigmoid.n_entries, model.sigmoid.x_min, model.sigmoid.x_max]
+        ),
+        "pos_max_len": np.array([model.pos.pe.shape[0]], dtype=np.int64),
+    }
+    state.update(linear_state(model.addr_table, "addr"))
+    state.update(linear_state(model.pc_table, "pc"))
+    state.update(linear_state(model.head_table, "head"))
+    for name, ln in (("ln_in", model.ln_in),):
+        state[f"{name}/gamma"] = ln.gamma
+        state[f"{name}/beta"] = ln.beta
+        state[f"{name}/eps"] = np.array([ln.eps])
+    for i, layer in enumerate(model.layers):
+        p = f"enc{i}"
+        state.update(linear_state(layer.msa.qkv, f"{p}/qkv"))
+        state.update(attention_state(layer.msa.attn, f"{p}/attn"))
+        state.update(linear_state(layer.msa.out, f"{p}/out"))
+        state.update(linear_state(layer.ffn1, f"{p}/ffn1"))
+        state.update(linear_state(layer.ffn2, f"{p}/ffn2"))
+        for ln_name, ln in (("ln1", layer.ln1), ("ln2", layer.ln2)):
+            state[f"{p}/{ln_name}/gamma"] = ln.gamma
+            state[f"{p}/{ln_name}/beta"] = ln.beta
+            state[f"{p}/{ln_name}/eps"] = np.array([ln.eps])
+    return state
+
+
+def _ln_from_state(state, prefix) -> LayerNormOp:
+    return LayerNormOp(
+        state[f"{prefix}/gamma"], state[f"{prefix}/beta"], float(state[f"{prefix}/eps"][0])
+    )
+
+
+def model_from_state(state: dict[str, np.ndarray]) -> TabularAttentionPredictor:
+    layers_n, dim, heads, ffn_dim, hist, bitmap = (
+        int(v) for v in state["model_config"]
+    )
+    mc = ModelConfig(
+        layers=layers_n,
+        dim=dim,
+        heads=heads,
+        ffn_dim=ffn_dim,
+        history_len=hist,
+        bitmap_size=bitmap,
+        score_mode="softmax" if int(state["score_mode"][0]) == 0 else "sigmoid",
+    )
+    t = state["table_config"]
+    tc = TableConfig(
+        *(int(v) for v in t[:8]), encoder=_ENCODER_NAMES[int(t[8])], data_bits=int(t[9])
+    )
+    n_entries, x_min, x_max = state["sigmoid_lut"]
+    layers = []
+    for i in range(mc.layers):
+        p = f"enc{i}"
+        msa = TabularMSA(
+            linear_from_state(state, f"{p}/qkv"),
+            attention_from_state(state, f"{p}/attn"),
+            linear_from_state(state, f"{p}/out"),
+            mc.heads,
+        )
+        layers.append(
+            TabularEncoderLayer(
+                msa,
+                _ln_from_state(state, f"{p}/ln1"),
+                linear_from_state(state, f"{p}/ffn1"),
+                linear_from_state(state, f"{p}/ffn2"),
+                _ln_from_state(state, f"{p}/ln2"),
+            )
+        )
+    return TabularAttentionPredictor(
+        linear_from_state(state, "addr"),
+        linear_from_state(state, "pc"),
+        PositionalEncoding(mc.dim, max_len=int(state["pos_max_len"][0])),
+        _ln_from_state(state, "ln_in"),
+        layers,
+        linear_from_state(state, "head"),
+        SigmoidLUT(int(n_entries), float(x_min), float(x_max)),
+        mc,
+        tc,
+    )
+
+
+def save_tabular_model(model: TabularAttentionPredictor, path) -> None:
+    """Persist a table hierarchy to ``path`` (``.npz``)."""
+    save_arrays(path, model_state(model))
+
+
+def load_tabular_model(path) -> TabularAttentionPredictor:
+    """Load a table hierarchy saved by :func:`save_tabular_model`."""
+    return model_from_state(load_arrays(path))

@@ -1,0 +1,48 @@
+"""Fixed lookup-table approximation of the Sigmoid activation.
+
+Algorithm 1 (line 16) replaces the output Sigmoid with a LUT [Meher 2010]:
+inputs are clamped to ``[x_min, x_max]``, quantized to one of ``n_entries``
+bins, and the precomputed sigmoid value is returned. One lookup per element,
+no exponentials at query time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+
+
+class SigmoidLUT:
+    """Uniform-grid sigmoid lookup table."""
+
+    def __init__(self, n_entries: int = 1024, x_min: float = -8.0, x_max: float = 8.0):
+        if n_entries < 2:
+            raise ValueError("need at least 2 entries")
+        if not x_min < x_max:
+            raise ValueError("x_min must be < x_max")
+        self.n_entries = int(n_entries)
+        self.x_min = float(x_min)
+        self.x_max = float(x_max)
+        grid = np.linspace(self.x_min, self.x_max, self.n_entries)
+        self.table = F.sigmoid(grid)
+        self._scale = (self.n_entries - 1) / (self.x_max - self.x_min)
+
+    def query(self, x: np.ndarray) -> np.ndarray:
+        """Elementwise LUT sigmoid (values outside the range clamp to 0/1 ends)."""
+        idx = np.rint((np.asarray(x, dtype=np.float64) - self.x_min) * self._scale)
+        idx = np.clip(idx, 0, self.n_entries - 1).astype(np.int64)
+        return self.table[idx]
+
+    def max_error(self) -> float:
+        """Worst-case absolute error on a dense probe grid (for tests/docs)."""
+        probe = np.linspace(self.x_min, self.x_max, 8 * self.n_entries)
+        return float(np.abs(self.query(probe) - F.sigmoid(probe)).max())
+
+    @property
+    def storage_bits(self) -> int:
+        return self.n_entries * 32
+
+    @property
+    def latency_cycles(self) -> int:
+        return 1

@@ -1,0 +1,222 @@
+"""The hierarchy of tables: a tabularized attention predictor.
+
+Mirrors :class:`repro.models.AttentionPredictor` structure-for-structure
+(paper Fig. 3's "table-based predictor"): every matrix multiplication is a
+:class:`TabularLinear` or :class:`TabularAttention` lookup; LayerNorm,
+residual adds, mean-pooling and ReLU remain direct arithmetic (Algorithm 1,
+lines 15–18); the output activation is a :class:`SigmoidLUT`.
+
+The model also self-reports the paper's cost metrics (Eqs. 22–23 plus kernel
+ops) from its actual components, so Table V / Table VIII / Fig. 10 benches
+read costs off the same objects that execute queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.nn.transformer import PositionalEncoding
+from repro.tabularization.attention_kernel import TabularAttention
+from repro.tabularization.layernorm_op import LayerNormOp
+from repro.tabularization.linear_kernel import TabularLinear
+from repro.tabularization.sigmoid_lut import SigmoidLUT
+
+#: LayerNorm latency constant L_ln (cycles) — see DESIGN.md "Known deviations".
+LATENCY_LAYERNORM = 8.0
+#: Output sigmoid LUT latency L_sigma (cycles).
+LATENCY_SIGMOID = 1.0
+
+
+@dataclass(frozen=True)
+class TableConfig:
+    """Per-operation table sizes (paper Table II: ⟨prototypes K, subspaces C⟩)."""
+
+    k_input: int = 128
+    c_input: int = 2
+    k_attn: int = 128
+    c_attn: int = 2
+    k_ffn: int = 128
+    c_ffn: int = 2
+    k_output: int = 128
+    c_output: int = 2
+    encoder: str = "exact"
+    data_bits: int = 32
+
+    @classmethod
+    def uniform(cls, k: int, c: int, encoder: str = "exact") -> "TableConfig":
+        """The paper's evaluation choice: one (K, C) across all operations."""
+        return cls(k, c, k, c, k, c, k, c, encoder=encoder)
+
+
+class TabularMSA:
+    """Multi-head self-attention as tables: QKV table, attention kernel, out table.
+
+    The attention kernel is shared across heads (trained on head-pooled data),
+    matching the paper's storage model which charges ``S_a`` once per encoder
+    layer (Eq. 23).
+    """
+
+    def __init__(self, qkv: TabularLinear, attn: TabularAttention, out: TabularLinear, heads: int):
+        self.qkv = qkv
+        self.attn = attn
+        self.out = out
+        self.heads = int(heads)
+        self.dim = out.out_dim
+        self.head_dim = self.dim // self.heads
+
+    def query(self, x: np.ndarray) -> np.ndarray:
+        b, t, d = x.shape
+        qkv = self.qkv.query(x)  # (B, T, 3D)
+        q, k, v = np.split(qkv, 3, axis=-1)
+
+        def split(m):  # (B, T, D) -> (B*H, T, Dh): heads batch through the kernel
+            return (
+                m.reshape(b, t, self.heads, self.head_dim)
+                .transpose(0, 2, 1, 3)
+                .reshape(b * self.heads, t, self.head_dim)
+            )
+
+        ctx = self.attn.query(split(q), split(k), split(v))  # (B*H, T, Dh)
+        merged = (
+            ctx.reshape(b, self.heads, t, self.head_dim)
+            .transpose(0, 2, 1, 3)
+            .reshape(b, t, d)
+        )
+        return self.out.query(merged)
+
+
+class TabularEncoderLayer:
+    """One tabularized Transformer encoder layer (post-LN, residuals direct)."""
+
+    def __init__(
+        self,
+        msa: TabularMSA,
+        ln1: LayerNormOp,
+        ffn1: TabularLinear,
+        ffn2: TabularLinear,
+        ln2: LayerNormOp,
+    ):
+        self.msa = msa
+        self.ln1 = ln1
+        self.ffn1 = ffn1
+        self.ffn2 = ffn2
+        self.ln2 = ln2
+
+    def query(self, x: np.ndarray) -> np.ndarray:
+        h = self.ln1.query(x + self.msa.query(x))
+        f = self.ffn2.query(np.maximum(self.ffn1.query(h), 0.0))
+        return self.ln2.query(h + f)
+
+
+class TabularAttentionPredictor:
+    """The full hierarchy of tables (DART's predictor)."""
+
+    def __init__(
+        self,
+        addr_table: TabularLinear,
+        pc_table: TabularLinear,
+        pos: PositionalEncoding,
+        ln_in: LayerNormOp,
+        layers: list[TabularEncoderLayer],
+        head_table: TabularLinear,
+        sigmoid: SigmoidLUT,
+        model_config: ModelConfig,
+        table_config: TableConfig,
+    ):
+        self.addr_table = addr_table
+        self.pc_table = pc_table
+        self.pos = pos
+        self.ln_in = ln_in
+        self.layers = layers
+        self.head_table = head_table
+        self.sigmoid = sigmoid
+        self.model_config = model_config
+        self.table_config = table_config
+
+    # ------------------------------------------------------------------ query
+    def query_logits(self, x_addr: np.ndarray, x_pc: np.ndarray) -> np.ndarray:
+        h = self.addr_table.query(x_addr) + self.pc_table.query(x_pc)
+        h = self.ln_in.query(self.pos.apply_inference(h))
+        for layer in self.layers:
+            h = layer.query(h)
+        return self.head_table.query(h.mean(axis=-2))
+
+    def query(self, x_addr: np.ndarray, x_pc: np.ndarray) -> np.ndarray:
+        """Delta-bitmap probabilities via the sigmoid LUT."""
+        return self.sigmoid.query(self.query_logits(x_addr, x_pc))
+
+    def predict_proba(self, x_addr: np.ndarray, x_pc: np.ndarray, batch_size: int = 512) -> np.ndarray:
+        """Batched query — same interface as the NN predictors."""
+        outs = [
+            self.query(x_addr[s : s + batch_size], x_pc[s : s + batch_size])
+            for s in range(0, x_addr.shape[0], batch_size)
+        ]
+        if not outs:
+            return np.zeros((0, self.model_config.bitmap_size))
+        return np.concatenate(outs, axis=0)
+
+    def layer_outputs(self, x_addr: np.ndarray, x_pc: np.ndarray) -> dict[str, np.ndarray]:
+        """Named checkpoint activations (keys match ``trunk_activations``)."""
+        acts: dict[str, np.ndarray] = {}
+        h = self.addr_table.query(x_addr) + self.pc_table.query(x_pc)
+        h = self.ln_in.query(self.pos.apply_inference(h))
+        acts["embed"] = h
+        for i, layer in enumerate(self.layers):
+            a = layer.msa.query(h)
+            acts[f"enc{i}/attn_out"] = a
+            h1 = layer.ln1.query(h + a)
+            acts[f"enc{i}/post_ln1"] = h1
+            f = layer.ffn2.query(np.maximum(layer.ffn1.query(h1), 0.0))
+            acts[f"enc{i}/ffn_out"] = f
+            h = layer.ln2.query(h1 + f)
+            acts[f"enc{i}/post_ln2"] = h
+        pooled = h.mean(axis=-2)
+        acts["pooled"] = pooled
+        acts["logits"] = self.head_table.query(pooled)
+        return acts
+
+    # ------------------------------------------------------------------ costs
+    def latency_cycles(self) -> float:
+        """Eq. 22 with L_ln / L_sigma constants from this module."""
+        lat = self.addr_table.latency_cycles() + LATENCY_LAYERNORM
+        lat += self.head_table.latency_cycles() + LATENCY_SIGMOID
+        for layer in self.layers:
+            lat += 2 * LATENCY_LAYERNORM
+            lat += layer.msa.qkv.latency_cycles() + layer.msa.out.latency_cycles()
+            lat += layer.msa.attn.latency_cycles()
+            lat += layer.ffn1.latency_cycles() + layer.ffn2.latency_cycles()
+        return lat
+
+    def storage_bits(self) -> float:
+        """Eq. 23 summed over the actual components."""
+        t_in = self.model_config.history_len
+        t_trunk = self.model_config.history_len
+        d = self.table_config.data_bits
+        total = self.addr_table.storage_bits(t_in, d) + self.pc_table.storage_bits(t_in, d)
+        total += self.ln_in.storage_bits
+        total += self.head_table.storage_bits(1, d) + self.sigmoid.storage_bits
+        for layer in self.layers:
+            total += layer.ln1.storage_bits + layer.ln2.storage_bits
+            total += layer.msa.qkv.storage_bits(t_trunk, d)
+            total += layer.msa.attn.storage_bits(t_trunk, d)
+            total += layer.msa.out.storage_bits(t_trunk, d)
+            total += layer.ffn1.storage_bits(t_trunk, d) + layer.ffn2.storage_bits(t_trunk, d)
+        return total
+
+    def storage_bytes(self) -> float:
+        return self.storage_bits() / 8.0
+
+    def arithmetic_ops(self) -> float:
+        """Kernel arithmetic ops (Eqs. 20–21 summed; LN/residuals excluded)."""
+        t_in = self.model_config.history_len
+        t_trunk = self.model_config.history_len
+        total = self.addr_table.ops(t_in) + self.pc_table.ops(t_in)
+        total += self.head_table.ops(1)
+        for layer in self.layers:
+            total += layer.msa.qkv.ops(t_trunk) + layer.msa.out.ops(t_trunk)
+            total += layer.msa.attn.ops(t_trunk)
+            total += layer.ffn1.ops(t_trunk) + layer.ffn2.ops(t_trunk)
+        return total

@@ -1,0 +1,319 @@
+"""Composable phase-based synthetic trace generators.
+
+Each phase models one access-pattern archetype observed in the paper's Fig. 7:
+
+* :class:`StreamPhase` — unit/fixed-stride streaming (libquantum, lbm),
+* :class:`StridedStencilPhase` — several arrays walked in lockstep with equal
+  strides and distinct PCs (bwaves/leslie3d/wrf stencil loop bodies),
+* :class:`LocalChasePhase` — a fixed cyclic walk with a frozen pseudo-random
+  *small-stride* sequence: spatially semi-regular (deltas stay in the delta
+  bitmap's range, as heap-allocated linked structures do), temporally exactly
+  repeatable — the pattern learned models memorize and rule-based prefetchers
+  cannot (gcc),
+* :class:`PointerChasePhase` — a permutation cycle over randomly placed nodes:
+  arbitrary deltas, pure temporal correlation (the ISB-friendly archetype),
+* :class:`RandomPhase` — uniform accesses over a region (mcf's arc arrays).
+
+Phases are **stateful**: consecutive ``generate`` calls continue from the
+internal cursor, so interleavers can draw alternating runs from each phase
+without resetting it. Interleaving is either stochastic in bursts
+(:class:`BurstInterleave`) or a deterministic repeating pattern
+(:class:`PatternInterleave`); per-access random interleaving is deliberately
+absent because it manufactures an unbounded cross-stream delta vocabulary that
+real loop nests do not have.
+
+``compose_trace`` stitches phases into a :class:`MemoryTrace` and applies
+optional block-level jitter — the calibration knob for Table IV's per-app
+delta cardinality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.trace import MemoryTrace
+from repro.utils.bits import BLOCK_BITS, PAGE_BITS
+from repro.utils.rng import new_rng, spawn_rngs
+
+BLOCK = 1 << BLOCK_BITS
+PAGE = 1 << PAGE_BITS
+
+
+class Phase:
+    """A stateful trace phase producing (pcs, addrs) batches."""
+
+    def generate(self, n: int, rng) -> tuple[np.ndarray, np.ndarray]:  # pragma: no cover
+        raise NotImplementedError
+
+    def reset(self) -> None:  # pragma: no cover - overridden where stateful
+        pass
+
+
+class StreamPhase(Phase):
+    """Fixed-stride streaming over a region, wrapping at the region end."""
+
+    def __init__(self, base: int, region_blocks: int, stride_blocks: int = 1, pc: int = 0x400000):
+        if region_blocks <= 0:
+            raise ValueError("region_blocks must be positive")
+        self.base = int(base)
+        self.region_blocks = int(region_blocks)
+        self.stride = int(stride_blocks)
+        self.pc = int(pc)
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def generate(self, n: int, rng) -> tuple[np.ndarray, np.ndarray]:
+        steps = (self._cursor + np.arange(n, dtype=np.int64) * self.stride) % self.region_blocks
+        self._cursor = int((self._cursor + n * self.stride) % self.region_blocks)
+        addrs = self.base + steps * BLOCK
+        return np.full(n, self.pc, dtype=np.int64), addrs
+
+
+class StridedStencilPhase(Phase):
+    """K arrays walked in lockstep: access i touches array ``i % K``.
+
+    All arrays share one stride (a loop body reads ``A[i], B[i], C[i]``), so
+    cross-array deltas are *constant* — the delta signature of real stencils.
+    """
+
+    def __init__(self, bases: list[int], region_blocks: int, stride_blocks: int = 1, pc_base: int = 0x400100):
+        if not bases:
+            raise ValueError("need at least one array base")
+        self.bases = np.asarray([int(b) for b in bases], dtype=np.int64)
+        self.region_blocks = int(region_blocks)
+        self.stride = int(stride_blocks)
+        self.pc_base = int(pc_base)
+        self._i = 0
+
+    def reset(self) -> None:
+        self._i = 0
+
+    def generate(self, n: int, rng) -> tuple[np.ndarray, np.ndarray]:
+        k = len(self.bases)
+        i = self._i + np.arange(n, dtype=np.int64)
+        self._i += n
+        which = i % k
+        offs = ((i // k) * self.stride) % self.region_blocks
+        addrs = self.bases[which] + offs * BLOCK
+        pcs = self.pc_base + 8 * which
+        return pcs, addrs
+
+
+class LocalChasePhase(Phase):
+    """Cyclic walk with a frozen small-stride sequence (heap-local chasing).
+
+    ``n_nodes`` strides are drawn once (from the phase's own layout seed) in
+    ``[stride_lo, stride_hi]`` blocks and then replayed cyclically, wrapping in
+    the region. The stride sequence is the "program": unpredictable to offset
+    heuristics, memorizable from history.
+    """
+
+    def __init__(
+        self,
+        base: int,
+        n_nodes: int,
+        stride_lo: int = 16,
+        stride_hi: int = 96,
+        pc: int = 0x400200,
+        seed: int = 0,
+    ):
+        if n_nodes < 2:
+            raise ValueError("need at least 2 nodes")
+        if not 0 < stride_lo <= stride_hi:
+            raise ValueError("need 0 < stride_lo <= stride_hi")
+        self.base = int(base)
+        self.pc = int(pc)
+        layout_rng = new_rng(seed)
+        strides = layout_rng.integers(stride_lo, stride_hi + 1, size=n_nodes)
+        positions = np.concatenate([[0], np.cumsum(strides)])
+        #: total footprint of one lap, in blocks
+        self.lap_blocks = int(positions[-1])
+        self._positions = positions[:-1]  # (n_nodes,), block offsets
+        self.n_nodes = int(n_nodes)
+        self._i = 0
+
+    def reset(self) -> None:
+        self._i = 0
+
+    def generate(self, n: int, rng) -> tuple[np.ndarray, np.ndarray]:
+        idx = (self._i + np.arange(n, dtype=np.int64)) % self.n_nodes
+        self._i = int((self._i + n) % self.n_nodes)
+        addrs = self.base + self._positions[idx] * BLOCK
+        return np.full(n, self.pc, dtype=np.int64), addrs
+
+
+class PointerChasePhase(Phase):
+    """Walk a fixed permutation cycle of randomly placed nodes.
+
+    Spatially irregular (deltas are arbitrary) but temporally repeatable — the
+    archetype temporal prefetchers such as ISB exploit.
+    """
+
+    def __init__(self, base: int, n_nodes: int, region_blocks: int, pc: int = 0x400300, seed: int = 0):
+        if n_nodes < 2:
+            raise ValueError("need at least 2 nodes")
+        self.base = int(base)
+        self.n_nodes = int(n_nodes)
+        self.region_blocks = max(int(region_blocks), n_nodes)
+        self.pc = int(pc)
+        layout_rng = new_rng(seed)
+        slots = layout_rng.choice(self.region_blocks, size=self.n_nodes, replace=False)
+        order = layout_rng.permutation(self.n_nodes)
+        self._sequence = slots[order]
+        self._i = 0
+
+    def reset(self) -> None:
+        self._i = 0
+
+    def generate(self, n: int, rng) -> tuple[np.ndarray, np.ndarray]:
+        idx = (self._i + np.arange(n, dtype=np.int64)) % self.n_nodes
+        self._i = int((self._i + n) % self.n_nodes)
+        addrs = self.base + self._sequence[idx] * BLOCK
+        return np.full(n, self.pc, dtype=np.int64), addrs
+
+
+class RandomPhase(Phase):
+    """Uniform random block accesses over a region (worst-case irregular)."""
+
+    def __init__(self, base: int, region_blocks: int, pc: int = 0x400400, n_pcs: int = 4):
+        self.base = int(base)
+        self.region_blocks = int(region_blocks)
+        self.pc = int(pc)
+        self.n_pcs = int(n_pcs)
+
+    def generate(self, n: int, rng) -> tuple[np.ndarray, np.ndarray]:
+        rng = new_rng(rng)
+        blocks = rng.integers(0, self.region_blocks, size=n).astype(np.int64)
+        pcs = self.pc + 8 * rng.integers(0, self.n_pcs, size=n).astype(np.int64)
+        return pcs, self.base + blocks * BLOCK
+
+
+class BurstInterleave(Phase):
+    """Stochastic interleave in geometric bursts.
+
+    Picks a sub-phase by weight, emits a geometric-length burst from it, picks
+    again. Burst boundaries are where cross-phase deltas appear; the mean
+    burst length therefore controls both delta diversity and how hard the
+    interleaving is to predict.
+    """
+
+    def __init__(self, phases: list[Phase], weights: list[float] | None = None, mean_burst: float = 8.0):
+        if not phases:
+            raise ValueError("need at least one phase")
+        if mean_burst < 1.0:
+            raise ValueError("mean_burst must be >= 1")
+        self.phases = phases
+        w = np.asarray(weights if weights is not None else [1.0] * len(phases), dtype=np.float64)
+        if w.shape[0] != len(phases) or (w <= 0).any():
+            raise ValueError("weights must be positive, one per phase")
+        self.weights = w / w.sum()
+        self.mean_burst = float(mean_burst)
+
+    def reset(self) -> None:
+        for p in self.phases:
+            p.reset()
+
+    def generate(self, n: int, rng) -> tuple[np.ndarray, np.ndarray]:
+        rng = new_rng(rng)
+        child_rngs = spawn_rngs(rng, len(self.phases))
+        pcs = np.empty(n, dtype=np.int64)
+        addrs = np.empty(n, dtype=np.int64)
+        done = 0
+        while done < n:
+            which = int(rng.choice(len(self.phases), p=self.weights))
+            burst = min(int(rng.geometric(1.0 / self.mean_burst)), n - done)
+            p, a = self.phases[which].generate(burst, child_rngs[which])
+            pcs[done : done + burst] = p
+            addrs[done : done + burst] = a
+            done += burst
+        return pcs, addrs
+
+
+class PatternInterleave(Phase):
+    """Deterministic repeating interleave: ``[(phase_idx, run_len), ...]``.
+
+    Models compile-time loop structure (e.g. 19 main-array accesses then one
+    auxiliary access, forever) — cross-phase deltas are periodic, so the
+    combined delta vocabulary stays small.
+    """
+
+    def __init__(self, phases: list[Phase], pattern: list[tuple[int, int]]):
+        if not phases or not pattern:
+            raise ValueError("need phases and a pattern")
+        for idx, run in pattern:
+            if not 0 <= idx < len(phases) or run <= 0:
+                raise ValueError(f"bad pattern entry ({idx}, {run})")
+        self.phases = phases
+        self.pattern = [(int(i), int(r)) for i, r in pattern]
+        self._pat_pos = 0
+        self._run_left = self.pattern[0][1]
+
+    def reset(self) -> None:
+        self._pat_pos = 0
+        self._run_left = self.pattern[0][1]
+        for p in self.phases:
+            p.reset()
+
+    def generate(self, n: int, rng) -> tuple[np.ndarray, np.ndarray]:
+        rng = new_rng(rng)
+        child_rngs = spawn_rngs(rng, len(self.phases))
+        pcs = np.empty(n, dtype=np.int64)
+        addrs = np.empty(n, dtype=np.int64)
+        done = 0
+        while done < n:
+            idx, _ = self.pattern[self._pat_pos]
+            take = min(self._run_left, n - done)
+            p, a = self.phases[idx].generate(take, child_rngs[idx])
+            pcs[done : done + take] = p
+            addrs[done : done + take] = a
+            done += take
+            self._run_left -= take
+            if self._run_left == 0:
+                self._pat_pos = (self._pat_pos + 1) % len(self.pattern)
+                self._run_left = self.pattern[self._pat_pos][1]
+        return pcs, addrs
+
+
+# Backwards-compatible alias used in examples/tests.
+InterleavedStreams = BurstInterleave
+
+
+def compose_trace(
+    segments: list[tuple[Phase, int]],
+    seed: int = 0,
+    name: str = "",
+    mean_instr_gap: float = 30.0,
+    jitter_prob: float = 0.0,
+    jitter_blocks: int = 0,
+) -> MemoryTrace:
+    """Concatenate ``(phase, n_accesses)`` segments into a MemoryTrace.
+
+    ``jitter_prob`` / ``jitter_blocks`` perturb that fraction of accesses by a
+    uniform offset in ``[-jitter_blocks, jitter_blocks]`` blocks — the noise
+    floor real traces have, and the direct lever on unique-delta counts.
+    Instruction gaps between LLC accesses are geometric with the given mean.
+    """
+    rng = new_rng(seed)
+    seg_rngs = spawn_rngs(rng, len(segments) + 2)
+    pcs_parts, addr_parts = [], []
+    for (phase, n), prng in zip(segments, seg_rngs[:-2]):
+        p, a = phase.generate(int(n), prng)
+        pcs_parts.append(p)
+        addr_parts.append(a)
+    pcs = np.concatenate(pcs_parts)
+    addrs = np.concatenate(addr_parts)
+    total = pcs.shape[0]
+    if jitter_prob > 0.0 and jitter_blocks > 0:
+        jrng = seg_rngs[-2]
+        hit = jrng.random(total) < jitter_prob
+        n_hit = int(hit.sum())
+        if n_hit:
+            offs = jrng.integers(-jitter_blocks, jitter_blocks + 1, size=n_hit)
+            addrs = addrs.copy()
+            addrs[hit] += offs * BLOCK
+            np.maximum(addrs, 0, out=addrs)
+    gaps = seg_rngs[-1].geometric(1.0 / mean_instr_gap, size=total)
+    instr_ids = np.cumsum(gaps, dtype=np.int64)
+    return MemoryTrace(instr_ids, pcs, addrs, name=name)

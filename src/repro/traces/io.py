@@ -1,0 +1,124 @@
+"""Trace interchange: CSV/text import and export (gzip-aware).
+
+The native trace format is ``.npz`` (:meth:`MemoryTrace.save`); this module
+adds the formats users bring traces *in* with:
+
+* **CSV** — ``instr_id,pc,addr`` per line, header optional, ``#`` comments;
+  values in decimal or ``0x`` hex. The lingua franca of one-off trace dumps.
+* **ChampSim-style text** — whitespace-separated ``instr_id pc addr`` lines,
+  the layout of ChampSim's LLC access printouts (its binary .xz instruction
+  traces are upstream of the cache hierarchy and out of scope — what the
+  predictors consume is the LLC access stream).
+
+Paths ending in ``.gz`` are transparently (de)compressed. Import validates
+monotonic instruction ids, so malformed dumps fail loudly at the boundary
+instead of deep inside a simulator run.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+
+import numpy as np
+
+from repro.traces.trace import MemoryTrace
+
+
+def _open_text(path: str | os.PathLike, mode: str):
+    path = os.fspath(path)
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def _parse_int(tok: str) -> int:
+    tok = tok.strip()
+    return int(tok, 16) if tok.lower().startswith("0x") else int(tok)
+
+
+def _parse_lines(lines, sep: str | None, source: str) -> MemoryTrace:
+    instr, pcs, addrs = [], [], []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split(sep)
+        parts = [p for p in parts if p != ""]
+        if len(parts) != 3:
+            if lineno == 1 and any(not _is_intlike(p) for p in parts):
+                continue  # header row
+            raise ValueError(f"{source}:{lineno}: expected 3 fields, got {len(parts)}")
+        try:
+            vals = [_parse_int(p) for p in parts]
+        except ValueError:
+            if lineno == 1:
+                continue  # header row
+            raise ValueError(f"{source}:{lineno}: non-integer field in {parts}")
+        instr.append(vals[0])
+        pcs.append(vals[1])
+        addrs.append(vals[2])
+    return MemoryTrace(
+        np.asarray(instr, dtype=np.int64),
+        np.asarray(pcs, dtype=np.int64),
+        np.asarray(addrs, dtype=np.int64),
+    )
+
+
+def _is_intlike(tok: str) -> bool:
+    try:
+        _parse_int(tok)
+        return True
+    except ValueError:
+        return False
+
+
+def load_csv(path: str | os.PathLike, name: str = "") -> MemoryTrace:
+    """Read an ``instr_id,pc,addr`` CSV (optionally gzipped) into a trace."""
+    with _open_text(path, "r") as f:
+        trace = _parse_lines(f, ",", os.fspath(path))
+    trace.name = name or os.path.basename(os.fspath(path))
+    return trace
+
+
+def save_csv(trace: MemoryTrace, path: str | os.PathLike, hex_addrs: bool = True) -> None:
+    """Write a trace as CSV with a header (gzipped if the path ends ``.gz``)."""
+    with _open_text(path, "w") as f:
+        f.write("instr_id,pc,addr\n")
+        if hex_addrs:
+            for i in range(len(trace)):
+                f.write(
+                    f"{trace.instr_ids[i]},{hex(int(trace.pcs[i]))},{hex(int(trace.addrs[i]))}\n"
+                )
+        else:
+            for i in range(len(trace)):
+                f.write(f"{trace.instr_ids[i]},{trace.pcs[i]},{trace.addrs[i]}\n")
+
+
+def load_text(path: str | os.PathLike, name: str = "") -> MemoryTrace:
+    """Read whitespace-separated ``instr_id pc addr`` lines (ChampSim-style)."""
+    with _open_text(path, "r") as f:
+        trace = _parse_lines(f, None, os.fspath(path))
+    trace.name = name or os.path.basename(os.fspath(path))
+    return trace
+
+
+def save_text(trace: MemoryTrace, path: str | os.PathLike) -> None:
+    """Write whitespace-separated ``instr_id pc addr`` lines."""
+    with _open_text(path, "w") as f:
+        f.write("# instr_id pc addr\n")
+        for i in range(len(trace)):
+            f.write(
+                f"{trace.instr_ids[i]} {hex(int(trace.pcs[i]))} {hex(int(trace.addrs[i]))}\n"
+            )
+
+
+def load_any(path: str | os.PathLike, name: str = "") -> MemoryTrace:
+    """Dispatch on extension: ``.npz`` native, ``.csv[.gz]``, else text."""
+    p = os.fspath(path)
+    base = p[:-3] if p.endswith(".gz") else p
+    if base.endswith(".npz"):
+        return MemoryTrace.load(p, name=name)
+    if base.endswith(".csv"):
+        return load_csv(p, name=name)
+    return load_text(p, name=name)

@@ -1,0 +1,112 @@
+"""Workload phase analysis: windowed features and phase detection.
+
+Programs alternate between phases (streaming loops, pointer-chasing
+traversals, irregular bursts), and predictor quality is phase-dependent —
+Fig. 7's visual diversity is exactly this. This module quantifies it:
+
+* :func:`window_features` — per-window descriptors of an access trace:
+  delta entropy, page-footprint rate, stream fraction, repeat fraction.
+* :func:`detect_phases` — k-means clustering of those windows into phase
+  labels (scipy's kmeans2, seeded), with :func:`phase_summary` aggregating
+  per-phase statistics.
+* :func:`phase_transition_matrix` — empirical transition counts, the input
+  to phase-aware prefetcher selection (the RL/ensemble line of related work
+  cited in Sec. III).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.cluster.vq import kmeans2
+
+from repro.traces.trace import MemoryTrace
+
+
+def _entropy(values: np.ndarray) -> float:
+    """Shannon entropy (bits) of the empirical distribution of ``values``."""
+    if len(values) == 0:
+        return 0.0
+    _, counts = np.unique(values, return_counts=True)
+    p = counts / counts.sum()
+    return float(-(p * np.log2(p)).sum())
+
+
+FEATURE_NAMES = (
+    "delta_entropy",
+    "page_rate",
+    "stream_frac",
+    "repeat_frac",
+    "mean_abs_delta",
+)
+
+
+def window_features(trace: MemoryTrace, window: int = 512) -> np.ndarray:
+    """Per-window feature matrix ``(n_windows, len(FEATURE_NAMES))``.
+
+    Features are scale-free so phases cluster on *shape*, not address
+    magnitude: delta entropy (pattern regularity), unique-pages-per-access
+    (spatial spread), |delta| <= 1 fraction (streaminess), repeated-block
+    fraction (temporal reuse), and log1p mean |delta| (jump scale).
+    """
+    if window <= 1:
+        raise ValueError("window must be > 1")
+    blocks = trace.block_addrs
+    n = len(blocks) // window
+    feats = np.zeros((n, len(FEATURE_NAMES)))
+    for w in range(n):
+        seg = blocks[w * window : (w + 1) * window]
+        deltas = np.diff(seg)
+        feats[w, 0] = _entropy(deltas)
+        feats[w, 1] = len(np.unique(seg >> 6)) / window
+        feats[w, 2] = float(np.mean(np.abs(deltas) <= 1)) if len(deltas) else 0.0
+        _, counts = np.unique(seg, return_counts=True)
+        feats[w, 3] = float((counts > 1).sum() / len(counts))
+        feats[w, 4] = float(np.log1p(np.abs(deltas).mean())) if len(deltas) else 0.0
+    return feats
+
+
+def detect_phases(
+    trace: MemoryTrace, n_phases: int = 3, window: int = 512, seed: int = 0
+) -> np.ndarray:
+    """Cluster windows into ``n_phases`` labels; returns ``(n_windows,)`` ints.
+
+    Features are z-normalized before k-means so no single scale dominates.
+    Windows beyond the last full one are not labeled (callers index by
+    ``i // window``  and clamp).
+    """
+    feats = window_features(trace, window)
+    if len(feats) == 0:
+        return np.zeros(0, dtype=np.int64)
+    k = min(n_phases, len(feats))
+    mu = feats.mean(axis=0)
+    sd = feats.std(axis=0)
+    sd[sd == 0] = 1.0
+    normed = (feats - mu) / sd
+    _, labels = kmeans2(normed, k, seed=seed, minit="++")
+    return labels.astype(np.int64)
+
+
+def phase_summary(trace: MemoryTrace, labels: np.ndarray, window: int = 512) -> list[dict]:
+    """Aggregate per-phase feature means and occupancy."""
+    feats = window_features(trace, window)
+    out = []
+    for phase in np.unique(labels):
+        mask = labels == phase
+        entry = {"phase": int(phase), "windows": int(mask.sum()),
+                 "fraction": float(mask.mean())}
+        for name, value in zip(FEATURE_NAMES, feats[mask].mean(axis=0)):
+            entry[name] = float(value)
+        out.append(entry)
+    return out
+
+
+def phase_transition_matrix(labels: np.ndarray, n_phases: int | None = None) -> np.ndarray:
+    """Row-normalized empirical phase-transition probabilities."""
+    labels = np.asarray(labels)
+    k = int(n_phases or (labels.max() + 1 if len(labels) else 0))
+    mat = np.zeros((k, k))
+    for a, b in zip(labels[:-1], labels[1:]):
+        mat[a, b] += 1.0
+    sums = mat.sum(axis=1, keepdims=True)
+    sums[sums == 0] = 1.0
+    return mat / sums

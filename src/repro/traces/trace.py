@@ -1,0 +1,74 @@
+"""Memory trace container: (instruction id, PC, byte address) records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.bits import block_address, page_address
+from repro.utils.serialization import load_arrays, save_arrays
+
+
+@dataclass
+class MemoryTrace:
+    """An LLC access trace.
+
+    Attributes
+    ----------
+    instr_ids:
+        Monotonically nondecreasing cumulative instruction counts — the
+        retired-instruction id of each memory access (drives the IPC model).
+    pcs:
+        Program counter of the load instruction.
+    addrs:
+        Byte address of the access.
+    name:
+        Workload label (e.g. ``"462.libquantum"``).
+    """
+
+    instr_ids: np.ndarray
+    pcs: np.ndarray
+    addrs: np.ndarray
+    name: str = ""
+
+    def __post_init__(self):
+        self.instr_ids = np.ascontiguousarray(self.instr_ids, dtype=np.int64)
+        self.pcs = np.ascontiguousarray(self.pcs, dtype=np.int64)
+        self.addrs = np.ascontiguousarray(self.addrs, dtype=np.int64)
+        if not (len(self.instr_ids) == len(self.pcs) == len(self.addrs)):
+            raise ValueError("trace arrays must have equal length")
+        if len(self.instr_ids) > 1 and np.any(np.diff(self.instr_ids) < 0):
+            raise ValueError("instr_ids must be nondecreasing")
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    @property
+    def block_addrs(self) -> np.ndarray:
+        return block_address(self.addrs)
+
+    @property
+    def pages(self) -> np.ndarray:
+        return page_address(self.addrs)
+
+    @property
+    def num_instructions(self) -> int:
+        return int(self.instr_ids[-1]) if len(self) else 0
+
+    def slice(self, start: int, stop: int) -> "MemoryTrace":
+        return MemoryTrace(
+            self.instr_ids[start:stop], self.pcs[start:stop], self.addrs[start:stop], self.name
+        )
+
+    # ----------------------------------------------------------- persistence
+    def save(self, path) -> None:
+        save_arrays(
+            path,
+            {"instr_ids": self.instr_ids, "pcs": self.pcs, "addrs": self.addrs},
+        )
+
+    @classmethod
+    def load(cls, path, name: str = "") -> "MemoryTrace":
+        arrays = load_arrays(path)
+        return cls(arrays["instr_ids"], arrays["pcs"], arrays["addrs"], name)

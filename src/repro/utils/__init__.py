@@ -1,0 +1,27 @@
+"""Shared low-level utilities: bit manipulation, seeded RNG, logging, serialization."""
+
+from repro.utils.bits import (
+    BLOCK_BITS,
+    PAGE_BITS,
+    block_address,
+    block_delta,
+    block_offset_in_page,
+    make_address,
+    page_address,
+)
+from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.serialization import load_arrays, save_arrays
+
+__all__ = [
+    "BLOCK_BITS",
+    "PAGE_BITS",
+    "block_address",
+    "block_delta",
+    "block_offset_in_page",
+    "make_address",
+    "page_address",
+    "new_rng",
+    "spawn_rngs",
+    "load_arrays",
+    "save_arrays",
+]

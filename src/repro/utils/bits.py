@@ -1,0 +1,66 @@
+"""Address bit manipulation helpers.
+
+The memory model follows the paper's ChampSim setup: 64-byte cache blocks
+(6 block-offset bits) and 4 KiB pages (12 page-offset bits), so a physical
+address decomposes as::
+
+    | page number (p bits) | block index in page (6 bits) | block offset (6 bits) |
+
+All helpers are vectorized: they accept Python ints or integer ndarrays and
+return the same kind. Addresses are treated as unsigned 64-bit quantities but
+kept in int64 arrays for NumPy-friendly delta arithmetic (deltas are signed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: log2 of the cache block size in bytes (64-byte blocks).
+BLOCK_BITS: int = 6
+#: log2 of the page size in bytes (4 KiB pages).
+PAGE_BITS: int = 12
+#: number of block-index bits within a page.
+PAGE_BLOCK_BITS: int = PAGE_BITS - BLOCK_BITS
+
+
+def block_address(addr):
+    """Return the cache-block address (byte address >> BLOCK_BITS)."""
+    return addr >> BLOCK_BITS
+
+
+def page_address(addr):
+    """Return the page number (byte address >> PAGE_BITS)."""
+    return addr >> PAGE_BITS
+
+
+def block_offset_in_page(addr):
+    """Return the block index within its page (0..63 for 4 KiB pages)."""
+    return (addr >> BLOCK_BITS) & ((1 << PAGE_BLOCK_BITS) - 1)
+
+
+def make_address(page, block_in_page, byte_offset=0):
+    """Compose a byte address from page number, block index and byte offset."""
+    return (page << PAGE_BITS) | (block_in_page << BLOCK_BITS) | byte_offset
+
+
+def block_delta(block_addrs: np.ndarray) -> np.ndarray:
+    """Signed deltas between consecutive *block* addresses.
+
+    ``out[i] = block_addrs[i+1] - block_addrs[i]``; the result has length
+    ``len(block_addrs) - 1``.
+    """
+    a = np.asarray(block_addrs, dtype=np.int64)
+    return a[1:] - a[:-1]
+
+
+def segment_value(value, seg_index: int, seg_bits: int):
+    """Extract the ``seg_index``-th ``seg_bits``-wide segment of ``value``.
+
+    Segment 0 holds the least-significant bits. Works on ints and ndarrays.
+    """
+    return (value >> (seg_index * seg_bits)) & ((1 << seg_bits) - 1)
+
+
+def num_segments(total_bits: int, seg_bits: int) -> int:
+    """Number of ``seg_bits``-wide segments needed to cover ``total_bits``."""
+    return -(-total_bits // seg_bits)

@@ -1,0 +1,41 @@
+"""Minimal stdout logger with a module-level verbosity switch.
+
+Benchmarks print reproduction tables through :func:`table` so every
+regenerated paper table has a consistent plain-text rendering.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+_VERBOSE = os.environ.get("REPRO_VERBOSE", "0") not in ("0", "", "false")
+
+
+def set_verbose(flag: bool) -> None:
+    """Globally enable/disable :func:`info` output."""
+    global _VERBOSE
+    _VERBOSE = bool(flag)
+
+
+def info(msg: str) -> None:
+    """Print a timestamped progress line when verbose mode is on."""
+    if _VERBOSE:
+        print(f"[repro {time.strftime('%H:%M:%S')}] {msg}", file=sys.stderr, flush=True)
+
+
+def table(title: str, headers: list[str], rows: list[list]) -> str:
+    """Render an ASCII table; returns the string and prints it to stdout."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, " | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    out = "\n".join(lines)
+    print(out, flush=True)
+    return out

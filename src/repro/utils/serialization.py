@@ -1,0 +1,30 @@
+"""Flat ``.npz``-based persistence for models and table hierarchies.
+
+Components that need persistence expose ``state_dict() -> dict[str, ndarray]``
+and ``load_state_dict(dict)``; these helpers write/read such dicts. Keys may
+contain ``/`` to express nesting (``"layers/0/weight"``), which is preserved
+verbatim by ``numpy.savez``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+
+def save_arrays(path: str | os.PathLike, arrays: dict[str, np.ndarray]) -> None:
+    """Save a flat dict of ndarrays to ``path`` (``.npz`` appended if missing)."""
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    np.savez(path, **arrays)
+
+
+def load_arrays(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Load a dict saved by :func:`save_arrays`."""
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    with np.load(path, allow_pickle=False) as data:
+        return {k: data[k] for k in data.files}

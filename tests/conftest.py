@@ -1,0 +1,81 @@
+"""Shared fixtures: tiny traces, datasets and trained models.
+
+Expensive artifacts (a trained student, a tabularized model) are
+session-scoped so the many tests that probe them pay the cost once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import PreprocessConfig, build_dataset, train_test_split
+from repro.distillation import TrainConfig, train_model
+from repro.models import AttentionPredictor, ModelConfig
+from repro.tabularization import TableConfig, tabularize_predictor
+from repro.traces import make_workload
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A short easy (stream-dominated) trace."""
+    return make_workload("462.libquantum", scale=0.02, seed=3)
+
+
+@pytest.fixture(scope="session")
+def preprocess_config():
+    return PreprocessConfig(history_len=8, window=6, delta_range=32)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_trace, preprocess_config):
+    return build_dataset(
+        small_trace.pcs, small_trace.addrs, preprocess_config, max_samples=1500
+    )
+
+
+@pytest.fixture(scope="session")
+def split_dataset(small_dataset):
+    return train_test_split(small_dataset, 0.8)
+
+
+@pytest.fixture(scope="session")
+def tiny_model_config(preprocess_config):
+    return ModelConfig(
+        layers=1,
+        dim=16,
+        heads=2,
+        history_len=preprocess_config.history_len,
+        bitmap_size=preprocess_config.bitmap_size,
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_student(split_dataset, tiny_model_config):
+    """A small attention model trained to competence on the easy trace."""
+    ds_train, ds_val = split_dataset
+    model = AttentionPredictor(
+        tiny_model_config, ds_train.x_addr.shape[2], ds_train.x_pc.shape[2], rng=0
+    )
+    train_model(model, ds_train, ds_val, TrainConfig(epochs=4, batch_size=64, lr=2e-3, seed=0))
+    return model
+
+
+@pytest.fixture(scope="session")
+def tabular_student(trained_student, split_dataset):
+    """The trained student converted to tables (with fine-tuning)."""
+    ds_train, _ = split_dataset
+    model, report = tabularize_predictor(
+        trained_student,
+        ds_train.x_addr,
+        ds_train.x_pc,
+        TableConfig.uniform(32, 2),
+        fine_tune=True,
+        rng=1,
+    )
+    return model, report
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

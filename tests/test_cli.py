@@ -1,0 +1,75 @@
+"""Command-line interface subcommands."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.tabularization import save_tabular_model
+from repro.traces import MemoryTrace
+
+
+def test_trace_subcommand(tmp_path, capsys):
+    out = tmp_path / "t.npz"
+    rc = main(["trace", "619.lbm", "--scale", "0.01", "-o", str(out)])
+    assert rc == 0
+    assert out.exists()
+    tr = MemoryTrace.load(out)
+    assert len(tr) >= 1000
+    assert "n_pages" in capsys.readouterr().out
+
+
+def test_trace_unknown_workload():
+    with pytest.raises(KeyError):
+        main(["trace", "999.bogus"])
+
+
+def test_configure_subcommand(capsys):
+    rc = main(["configure", "100", "1000000"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "latency=97cyc" in out
+
+
+def test_simulate_rule_based(capsys, tmp_path):
+    rc = main(
+        ["simulate", "--workload", "462.libquantum", "--scale", "0.02",
+         "--prefetcher", "nextline"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out and "NextLine" in out
+
+
+def test_simulate_from_saved_trace(tmp_path, capsys):
+    trace_path = tmp_path / "trace.npz"
+    main(["trace", "619.lbm", "--scale", "0.01", "-o", str(trace_path)])
+    rc = main(["simulate", "--trace", str(trace_path), "--prefetcher", "stride"])
+    assert rc == 0
+
+
+def test_simulate_dart_requires_tables():
+    with pytest.raises(SystemExit):
+        main(["simulate", "--prefetcher", "dart", "--scale", "0.02"])
+
+
+def test_simulate_dart_with_tables(tabular_student, tmp_path, capsys):
+    # The conftest tabular model uses an 8-step history / 32-delta bitmap;
+    # build a matching preprocess config through the CLI default path by
+    # saving tables and pointing the simulator at them is exercised via the
+    # prefetcher factory directly instead (the CLI default PreprocessConfig
+    # targets the full-size model).
+    tab, _ = tabular_student
+    path = tmp_path / "tables.npz"
+    save_tabular_model(tab, path)
+    from repro.cli import _make_prefetcher
+
+    pf = _make_prefetcher("dart", str(path))
+    assert pf.name == "DART"
+    assert pf.latency_cycles == int(round(tab.latency_cycles()))
+
+
+def test_unknown_prefetcher_rejected():
+    from repro.cli import _make_prefetcher
+
+    with pytest.raises(SystemExit):
+        _make_prefetcher("oracle", None)

@@ -1,0 +1,79 @@
+"""CLI: the hierarchy/multicore/analyze/export subcommands and the extended
+prefetcher factory."""
+
+import pytest
+
+from repro.cli import PREFETCHER_CHOICES, _make_prefetcher, main
+from repro.tabularization import save_tabular_model
+
+
+def test_factory_builds_every_choice_except_dart():
+    for name in PREFETCHER_CHOICES:
+        if name in ("none", "dart"):
+            continue
+        pf = _make_prefetcher(name, None)
+        assert pf is not None and pf.name
+
+
+def test_factory_none():
+    assert _make_prefetcher("none", None) is None
+
+
+def test_simulate_accepts_new_prefetchers(capsys):
+    rc = main(
+        ["simulate", "--workload", "462.libquantum", "--scale", "0.02",
+         "--prefetcher", "spp"]
+    )
+    assert rc == 0
+    assert "SPP" in capsys.readouterr().out
+
+
+def test_hierarchy_subcommand(capsys):
+    rc = main(
+        ["hierarchy", "--workload", "619.lbm", "--scale", "0.02",
+         "--prefetcher", "streamer"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "L1D hit" in out and "DRAM row hit" in out and "Streamer" in out
+
+
+def test_hierarchy_no_paging_and_tlb_flags(capsys):
+    rc = main(
+        ["hierarchy", "--workload", "619.lbm", "--scale", "0.01",
+         "--prefetcher", "none", "--no-paging", "--tlb"]
+    )
+    assert rc == 0
+
+
+def test_multicore_subcommand(capsys):
+    rc = main(
+        ["multicore", "462.libquantum", "619.lbm", "--scale", "0.01",
+         "--prefetcher", "nextline"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "core0:462.libquantum" in out and "aggregate" in out
+
+
+def test_analyze_subcommand(capsys):
+    rc = main(["analyze", "--workload", "605.mcf", "--scale", "0.01"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "OPT miss rate" in out and "replacement headroom" in out
+
+
+def test_export_subcommand(tmp_path, tabular_student, capsys):
+    tab, _ = tabular_student
+    npz = tmp_path / "tables.npz"
+    save_tabular_model(tab, npz)
+    out = tmp_path / "tables.bin"
+    rc = main(["export", str(npz), str(out), "--float-dtype", "float32"])
+    assert rc == 0
+    assert out.exists() and out.stat().st_size > 1024
+    assert "exported" in capsys.readouterr().out
+
+    from repro.tabularization import import_packed
+
+    model = import_packed(out)
+    assert model.latency_cycles() == tab.latency_cycles()

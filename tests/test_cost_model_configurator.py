@@ -1,0 +1,139 @@
+"""Cost model (Eqs. 16–23) and the table configurator (Sec. VI-C)."""
+
+import numpy as np
+import pytest
+
+from repro.models import ModelConfig, STUDENT_CONFIG, TEACHER_CONFIG
+from repro.prefetch import (
+    TableConfigurator,
+    attention_kernel_latency,
+    configure_dart,
+    linear_kernel_latency,
+    nn_ops,
+    nn_storage_bits,
+    nn_systolic_latency,
+    tabular_model_latency,
+    tabular_model_ops,
+    tabular_model_storage_bits,
+)
+from repro.tabularization import TableConfig
+
+
+DART_MODEL = ModelConfig(layers=1, dim=32, heads=2, history_len=16, bitmap_size=256)
+DART_TABLE = TableConfig.uniform(128, 2)
+
+
+def test_kernel_latencies_formulas():
+    assert linear_kernel_latency(128, 2) == 9  # log2(128)+log2(2)+1
+    assert attention_kernel_latency(128, 2) == 18
+    assert linear_kernel_latency(16, 1) == 5
+
+
+def test_dart_latency_matches_paper_97_cycles():
+    """Table V / VIII: the DART configuration costs 97 cycles."""
+    assert tabular_model_latency(DART_MODEL, DART_TABLE) == pytest.approx(97.0)
+
+
+def test_dart_storage_near_paper_864kb():
+    storage_kb = tabular_model_storage_bits(DART_MODEL, DART_TABLE) / 8 / 1024
+    # Paper: 864.4 KB; our accounting should land within 5%.
+    assert abs(storage_kb - 864.4) / 864.4 < 0.05
+
+
+def test_dart_ops_order_of_magnitude():
+    ops = tabular_model_ops(DART_MODEL, DART_TABLE)
+    assert 5_000 < ops < 20_000  # paper: 11.0K
+
+
+def test_latency_monotone_in_k_and_c():
+    for bigger in (TableConfig.uniform(256, 2), TableConfig.uniform(128, 4)):
+        assert tabular_model_latency(DART_MODEL, bigger) > tabular_model_latency(
+            DART_MODEL, DART_TABLE
+        )
+
+
+def test_storage_monotone_and_superlinear_in_k():
+    s128 = tabular_model_storage_bits(DART_MODEL, TableConfig.uniform(128, 2))
+    s256 = tabular_model_storage_bits(DART_MODEL, TableConfig.uniform(256, 2))
+    s512 = tabular_model_storage_bits(DART_MODEL, TableConfig.uniform(512, 2))
+    assert s256 > s128
+    # attention tables are K^2: doubling K more than doubles storage growth
+    assert (s512 - s256) > (s256 - s128)
+
+
+def test_teacher_vs_student_vs_dart_hierarchy():
+    """Table V's headline: DART << Student << Teacher in latency and ops."""
+    teacher = TEACHER_CONFIG.scaled(history_len=16, bitmap_size=256)
+    student = STUDENT_CONFIG.scaled(history_len=16, bitmap_size=256)
+    lat_t = nn_systolic_latency(teacher)
+    lat_s = nn_systolic_latency(student)
+    lat_d = tabular_model_latency(DART_MODEL, DART_TABLE)
+    assert lat_t > 10 * lat_s > 10 * lat_d
+    ops_t, ops_s = nn_ops(teacher), nn_ops(student)
+    ops_d = tabular_model_ops(DART_MODEL, DART_TABLE)
+    assert ops_t > 50 * ops_s
+    assert ops_s > 5 * ops_d
+    # paper: 99.99% ops reduction from teacher, >90% from student
+    assert 1 - ops_d / ops_t > 0.999
+    assert 1 - ops_d / ops_s > 0.90
+
+
+def test_nn_storage_counts_parameters():
+    student = STUDENT_CONFIG.scaled(history_len=16, bitmap_size=256)
+    from repro.models import AttentionPredictor
+
+    m = AttentionPredictor(student, addr_dim=5, pc_dim=3, rng=0)
+    assert nn_storage_bits(student, 5, 3) == m.num_parameters() * 32
+
+
+def test_configurator_respects_budgets():
+    for tau, s in [(60, 30_000), (100, 1_000_000), (200, 4_000_000)]:
+        cand = configure_dart(tau, s)
+        assert cand.latency_cycles < tau
+        assert cand.storage_bytes < s
+
+
+def test_configurator_latency_major_greedy():
+    """Looser budgets must never produce a lower-latency (smaller) design."""
+    lat = [configure_dart(t, 10**9).latency_cycles for t in (60, 100, 200)]
+    assert lat[0] <= lat[1] <= lat[2]
+
+
+def test_configurator_paper_table8_shapes():
+    """Table VIII: budget triples map to growing (K, C, D, L)."""
+    small = configure_dart(60, 30_000)
+    base = configure_dart(100, 1_000_000)
+    large = configure_dart(200, 4_000_000)
+    assert small.table.k_input <= base.table.k_input <= large.table.k_input
+    assert small.storage_bytes < base.storage_bytes < large.storage_bytes
+    # paper's latency tiers: 57 / 97 / 191 cycles (ours: 57 / 97 / 181)
+    assert small.latency_cycles == 57
+    assert base.latency_cycles == 97
+    assert large.latency_cycles > 150
+    # the middle design must be at least as rich as the paper's (K=128, C=2):
+    # two designs tie at 97 cycles; the storage-greedy rule picks K=256, C=1.
+    assert base.table.k_input * base.table.c_input >= 128 * 2
+
+
+def test_configurator_infeasible_raises():
+    with pytest.raises(ValueError):
+        configure_dart(1.0, 10**9)  # nothing is that fast
+    with pytest.raises(ValueError):
+        configure_dart(60, 10)  # nothing is that small
+
+
+def test_configurator_candidates_enumeration():
+    tc = TableConfigurator(prototypes=(16, 32), subspaces=(1, 2), dims=(16, 32), heads=(2,), layers=(1,))
+    cands = tc.candidates
+    assert len(cands) == 2 * 2 * 2  # dims x K x C (one layer count, one head count)
+    assert all(c.latency_cycles > 0 and c.storage_bytes > 0 for c in cands)
+    assert "latency" in cands[0].summary()
+
+
+def test_assembled_model_agrees_with_cost_model(tabular_student):
+    """The assembled hierarchy and the analytic formulas must agree."""
+    tab, _ = tabular_student
+    analytic_lat = tabular_model_latency(tab.model_config, tab.table_config)
+    assert tab.latency_cycles() == pytest.approx(analytic_lat)
+    analytic_storage = tabular_model_storage_bits(tab.model_config, tab.table_config)
+    assert tab.storage_bits() == pytest.approx(analytic_storage, rel=0.01)

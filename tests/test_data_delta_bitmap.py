@@ -1,0 +1,104 @@
+"""Delta-bitmap labels and decode (Sec. VI-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import (
+    bitmap_index_to_delta,
+    bitmap_to_deltas,
+    delta_to_bitmap_index,
+    make_delta_bitmap_labels,
+)
+
+
+def test_index_layout():
+    r = 4
+    # d=-4..-1 -> 0..3 ; d=+1..+4 -> 4..7
+    assert delta_to_bitmap_index(-4, r) == 0
+    assert delta_to_bitmap_index(-1, r) == 3
+    assert delta_to_bitmap_index(1, r) == 4
+    assert delta_to_bitmap_index(4, r) == 7
+    assert delta_to_bitmap_index(0, r) == -1
+    assert delta_to_bitmap_index(5, r) == -1
+    assert delta_to_bitmap_index(-5, r) == -1
+
+
+@given(d=st.integers(min_value=-64, max_value=64), r=st.sampled_from([8, 32, 64]))
+def test_index_roundtrip(d, r):
+    idx = delta_to_bitmap_index(d, r)
+    if d != 0 and -r <= d <= r:
+        assert 0 <= idx < 2 * r
+        assert bitmap_index_to_delta(idx, r) == d
+    else:
+        assert idx == -1
+
+
+def test_labels_simple_stream():
+    ba = np.arange(20, dtype=np.int64)  # pure +1 stream
+    labels = make_delta_bitmap_labels(ba, window=3, delta_range=4)
+    assert labels.shape == (17, 8)
+    # every anchor sees deltas {+1, +2, +3}
+    expected = np.zeros(8)
+    expected[[4, 5, 6]] = 1.0
+    assert np.allclose(labels, expected[None, :])
+
+
+def test_labels_out_of_range_ignored():
+    ba = np.array([0, 1000, 2000, 3000], dtype=np.int64)
+    labels = make_delta_bitmap_labels(ba, window=2, delta_range=8)
+    assert labels.sum() == 0.0
+
+
+def test_labels_mixed_window():
+    ba = np.array([10, 11, 9, 10, 10], dtype=np.int64)
+    labels = make_delta_bitmap_labels(ba, window=2, delta_range=4)
+    # anchor 0 (ba=10): future deltas {+1, -1}
+    assert labels[0, delta_to_bitmap_index(1, 4)] == 1
+    assert labels[0, delta_to_bitmap_index(-1, 4)] == 1
+    # anchor 2 (ba=9): future {1, 1} -> only +1 bit
+    assert labels[2].sum() == 1
+
+
+def test_labels_short_trace():
+    assert make_delta_bitmap_labels(np.arange(3), window=5, delta_range=4).shape == (0, 8)
+    with pytest.raises(ValueError):
+        make_delta_bitmap_labels(np.arange(10), window=0, delta_range=4)
+
+
+def test_bitmap_to_deltas_threshold_and_degree():
+    probs = np.zeros(16)
+    r = 8
+    probs[delta_to_bitmap_index(2, r)] = 0.9
+    probs[delta_to_bitmap_index(-3, r)] = 0.7
+    probs[delta_to_bitmap_index(5, r)] = 0.4  # below threshold
+    out = bitmap_to_deltas(probs, threshold=0.5, max_degree=None)[0]
+    assert set(out.tolist()) == {2, -3}
+    # degree 1 keeps the highest-probability delta
+    out1 = bitmap_to_deltas(probs, threshold=0.5, max_degree=1)[0]
+    assert out1.tolist() == [2]
+
+
+def test_bitmap_to_deltas_empty():
+    out = bitmap_to_deltas(np.zeros(16), threshold=0.5)[0]
+    assert out.size == 0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    window=st.integers(min_value=1, max_value=6),
+)
+def test_labels_property_bits_match_future(seed, window):
+    """Property: bit b set iff some future delta within window maps to b."""
+    rng = np.random.default_rng(seed)
+    ba = rng.integers(0, 30, size=30).astype(np.int64)
+    r = 8
+    labels = make_delta_bitmap_labels(ba, window, r)
+    for t in range(labels.shape[0]):
+        future = ba[t + 1 : t + 1 + window] - ba[t]
+        expect = set(
+            int(delta_to_bitmap_index(d, r)) for d in future if d != 0 and -r <= d <= r
+        )
+        got = set(np.flatnonzero(labels[t]).tolist())
+        assert got == expect

@@ -1,0 +1,59 @@
+"""Segmented address inputs (Sec. VI-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import AddressSegmenter
+
+
+def test_segment_count_formula():
+    seg = AddressSegmenter(page_bits=24, seg_bits=6)
+    assert seg.n_addr_segments == 24 // 6 + 1  # ceil(p/c) + 1 (paper Sec. VI-A)
+    seg2 = AddressSegmenter(page_bits=25, seg_bits=6)
+    assert seg2.n_addr_segments == 5 + 1
+
+
+def test_features_are_normalized(rng):
+    seg = AddressSegmenter()
+    ba = rng.integers(0, 1 << 30, size=100)
+    feats = seg.segment_block_addresses(ba)
+    assert feats.shape == (100, seg.n_addr_segments)
+    assert feats.min() >= 0.0 and feats.max() <= 1.0
+
+
+def test_pc_features_shape(rng):
+    seg = AddressSegmenter(pc_bits=18, seg_bits=6)
+    pcs = rng.integers(0, 1 << 18, size=50)
+    feats = seg.segment_pcs(pcs)
+    assert feats.shape == (50, 3)
+
+
+def test_segmentation_preserves_block_index():
+    seg = AddressSegmenter(seg_bits=6)
+    ba = np.array([0b1010101_000111], dtype=np.int64)  # low 6 bits = block idx
+    feats = seg.segment_block_addresses(ba)
+    assert feats[0, 0] == pytest.approx((ba[0] & 63) / 63.0)
+
+
+@given(ba=st.lists(st.integers(min_value=0, max_value=(1 << 30) - 1), min_size=1, max_size=20))
+def test_desegment_inverts(ba):
+    seg = AddressSegmenter(page_bits=24, seg_bits=6)
+    arr = np.asarray(ba, dtype=np.int64)
+    feats = seg.segment_block_addresses(arr)
+    assert np.array_equal(seg.desegment_block_addresses(feats), arr)
+
+
+def test_multidim_input(rng):
+    seg = AddressSegmenter()
+    windows = rng.integers(0, 1 << 28, size=(10, 4))
+    feats = seg.segment_block_addresses(windows)
+    assert feats.shape == (10, 4, seg.n_addr_segments)
+
+
+def test_invalid_widths():
+    with pytest.raises(ValueError):
+        AddressSegmenter(page_bits=0)
+    with pytest.raises(ValueError):
+        AddressSegmenter(seg_bits=-1)

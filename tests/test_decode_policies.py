@@ -1,0 +1,105 @@
+"""Prefetch decode policies: distance-major vs confidence-major selection."""
+
+import numpy as np
+import pytest
+
+from repro.data import PreprocessConfig, delta_to_bitmap_index
+from repro.prefetch.nn_prefetcher import model_prefetch_lists
+from repro.traces.generators import StreamPhase, compose_trace
+
+
+class _FixedBitmapModel:
+    """Emits one fixed probability row for every window."""
+
+    def __init__(self, row):
+        self.row = np.asarray(row, dtype=np.float64)
+
+    def predict_proba(self, x_addr, x_pc, batch_size=512):
+        return np.tile(self.row, (x_addr.shape[0], 1))
+
+
+def _trace(n=200):
+    return compose_trace([(StreamPhase(0, 10**6), n)], seed=0)
+
+
+def _config():
+    return PreprocessConfig(history_len=8, window=6, delta_range=16)
+
+
+def test_distance_decode_prefers_far_deltas():
+    cfg = _config()
+    row = np.zeros(32)
+    r = cfg.delta_range
+    # +1 most confident, +6 least — distance decode must still pick far ones
+    for d, p in [(1, 0.99), (2, 0.95), (5, 0.7), (6, 0.6)]:
+        row[delta_to_bitmap_index(d, r)] = p
+    tr = _trace()
+    lists = model_prefetch_lists(
+        tr, _FixedBitmapModel(row).predict_proba, cfg, max_degree=2, decode="distance"
+    )
+    ba = tr.block_addrs
+    i = 50
+    assert sorted(b - int(ba[i]) for b in lists[i]) == [5, 6]
+
+
+def test_confidence_decode_prefers_probable_deltas():
+    cfg = _config()
+    row = np.zeros(32)
+    r = cfg.delta_range
+    for d, p in [(1, 0.99), (2, 0.95), (5, 0.7), (6, 0.6)]:
+        row[delta_to_bitmap_index(d, r)] = p
+    tr = _trace()
+    lists = model_prefetch_lists(
+        tr, _FixedBitmapModel(row).predict_proba, cfg, max_degree=2, decode="confidence"
+    )
+    ba = tr.block_addrs
+    i = 50
+    assert sorted(b - int(ba[i]) for b in lists[i]) == [1, 2]
+
+
+def test_threshold_excludes_weak_bits_for_both_policies():
+    cfg = _config()
+    row = np.zeros(32)
+    r = cfg.delta_range
+    row[delta_to_bitmap_index(3, r)] = 0.9
+    row[delta_to_bitmap_index(10, r)] = 0.4  # below threshold: never chosen
+    tr = _trace()
+    for decode in ("distance", "confidence"):
+        lists = model_prefetch_lists(
+            tr, _FixedBitmapModel(row).predict_proba, cfg, max_degree=4, decode=decode
+        )
+        ba = tr.block_addrs
+        assert [b - int(ba[60]) for b in lists[60]] == [3]
+
+
+def test_negative_deltas_supported():
+    cfg = _config()
+    row = np.zeros(32)
+    r = cfg.delta_range
+    row[delta_to_bitmap_index(-7, r)] = 0.9
+    row[delta_to_bitmap_index(2, r)] = 0.9
+    tr = _trace()
+    lists = model_prefetch_lists(
+        tr, _FixedBitmapModel(row).predict_proba, cfg, max_degree=2, decode="distance"
+    )
+    ba = tr.block_addrs
+    deltas = sorted(b - int(ba[80]) for b in lists[80])
+    assert deltas == [-7, 2]
+
+
+def test_unknown_decode_rejected():
+    cfg = _config()
+    tr = _trace(50)
+    with pytest.raises(ValueError):
+        model_prefetch_lists(
+            tr, _FixedBitmapModel(np.zeros(32)).predict_proba, cfg, decode="luck"
+        )
+
+
+def test_all_zero_predictions_produce_no_prefetches():
+    cfg = _config()
+    tr = _trace(60)
+    lists = model_prefetch_lists(
+        tr, _FixedBitmapModel(np.zeros(32)).predict_proba, cfg
+    )
+    assert all(not l for l in lists)

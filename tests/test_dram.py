@@ -1,0 +1,157 @@
+"""Banked DRAM model: row-buffer timing, bus serialization, mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.dram import DRAMConfig, DRAMModel
+
+
+CFG = DRAMConfig()
+
+
+def test_first_access_is_row_miss():
+    d = DRAMModel()
+    done = d.access(0, 0.0)
+    # closed bank: tRCD + tCAS + burst
+    assert done == CFG.t_rcd + CFG.t_cas + CFG.t_burst
+    assert d.stats.row_misses == 1
+
+
+def test_row_hit_is_faster():
+    d = DRAMModel()
+    t1 = d.access(0, 0.0)
+    t2 = d.access(0, t1)  # same block, same row: row hit
+    assert d.stats.row_hits == 1
+    assert (t2 - t1) == CFG.t_cas + CFG.t_burst
+
+
+def test_row_conflict_is_slowest():
+    d = DRAMModel()
+    # Two blocks in the same bank but different rows: stride by
+    # channels * ranks * banks * blocks_per_row blocks.
+    stride = CFG.channels * CFG.ranks * CFG.banks * CFG.blocks_per_row
+    t1 = d.access(0, 0.0)
+    t2 = d.access(stride, t1)
+    assert d.stats.row_conflicts == 1
+    assert (t2 - t1) == CFG.t_rp + CFG.t_rcd + CFG.t_cas + CFG.t_burst
+
+
+def test_sequential_blocks_interleave_channels():
+    d = DRAMModel()
+    ch0, _, _ = d.map_block(0)
+    ch1, _, _ = d.map_block(1)
+    assert ch0 != ch1
+
+
+def test_mapping_deterministic_and_in_range():
+    d = DRAMModel()
+    for b in [0, 1, 17, 12345, 10**9]:
+        ch, bank, row = d.map_block(b)
+        assert d.map_block(b) == (ch, bank, row)
+        assert 0 <= ch < CFG.channels
+        assert 0 <= bank < CFG.total_banks
+        assert 0 <= row < CFG.rows
+
+
+def test_same_row_blocks_share_row():
+    d = DRAMModel()
+    stride = CFG.channels * CFG.ranks * CFG.banks  # next block in same bank
+    _, bank0, row0 = d.map_block(0)
+    _, bank1, row1 = d.map_block(stride)  # consecutive in-bank block
+    assert bank0 == bank1 and row0 == row1
+
+
+def test_bus_serializes_parallel_banks():
+    """Row-parallel accesses to one channel still queue on the data bus."""
+    d = DRAMModel()
+    # All to channel 0, different banks: bank latency overlaps, bus does not.
+    blocks = [b * CFG.channels for b in range(8)]
+    done = [d.access(b, 0.0) for b in blocks]
+    # completion times must be spaced at least t_burst apart (bus occupancy)
+    gaps = np.diff(sorted(done))
+    assert np.all(gaps >= CFG.t_burst - 1e-9)
+
+
+def test_two_channels_double_throughput():
+    d = DRAMModel()
+    n = 32
+    one_ch = [d.access(b * CFG.channels, 0.0) for b in range(n)]
+    d2 = DRAMModel()
+    both = [d2.access(b, 0.0) for b in range(n)]
+    assert max(both) < max(one_ch)
+
+
+def test_write_counts_separately():
+    d = DRAMModel()
+    d.access(0, 0.0, is_write=True)
+    d.access(1, 0.0, is_write=False)
+    assert d.stats.writes == 1 and d.stats.reads == 1
+    assert d.stats.accesses == 2
+
+
+def test_min_max_latency_bounds():
+    d = DRAMModel()
+    assert d.min_latency() < d.max_latency()
+    assert d.min_latency() == CFG.t_cas + CFG.t_burst
+
+
+def test_stats_dict_fields():
+    d = DRAMModel()
+    d.access(0, 0.0)
+    s = d.stats.as_dict()
+    assert s["reads"] == 1 and 0.0 <= s["row_hit_rate"] <= 1.0
+
+
+def test_reset():
+    d = DRAMModel()
+    d.access(0, 0.0)
+    d.reset()
+    assert d.stats.accesses == 0
+    assert d.access(0, 0.0) == CFG.t_rcd + CFG.t_cas + CFG.t_burst
+
+
+def test_streaming_has_high_row_hit_rate():
+    """A linear sweep revisits each row blocks_per_row times per bank."""
+    d = DRAMModel()
+    t = 0.0
+    for b in range(4096):
+        t = d.access(b, t)
+    assert d.stats.row_hit_rate > 0.9
+
+
+def test_random_access_has_low_row_hit_rate():
+    d = DRAMModel()
+    rng = np.random.default_rng(0)
+    t = 0.0
+    for b in rng.integers(0, 1 << 30, size=2048):
+        t = d.access(int(b), t)
+    assert d.stats.row_hit_rate < 0.2
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    blocks=st.lists(st.integers(0, 1 << 40), min_size=1, max_size=100),
+    start=st.floats(0, 1e6),
+)
+def test_property_completion_after_request(blocks, start):
+    """An access can never complete before it was requested + min latency."""
+    d = DRAMModel()
+    t = start
+    for b in blocks:
+        done = d.access(b, t)
+        assert done >= t + d.min_latency() - 1e-9
+        t = done
+
+
+@settings(max_examples=15, deadline=None)
+@given(blocks=st.lists(st.integers(0, 1 << 20), min_size=2, max_size=60))
+def test_property_stats_accounting(blocks):
+    d = DRAMModel()
+    t = 0.0
+    for b in blocks:
+        t = d.access(b, t)
+    s = d.stats
+    assert s.row_hits + s.row_misses + s.row_conflicts == len(blocks)
+    assert s.accesses == len(blocks)

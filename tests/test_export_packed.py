@@ -1,0 +1,102 @@
+"""Packed binary table export: container format and model round-trip."""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.tabularization import export_packed, import_packed, read_packed, write_packed
+from repro.tabularization.export import MAGIC
+
+
+def test_write_read_roundtrip(tmp_path):
+    arrays = {
+        "a/table": np.arange(24, dtype=np.float64).reshape(2, 3, 4),
+        "b/meta": np.array([1, 2, 3], dtype=np.int64),
+        "c/small": np.float32([[1.5, -2.5]]),
+    }
+    path = tmp_path / "tables.bin"
+    total = write_packed(path, arrays, attrs={"k": 1})
+    assert total == path.stat().st_size
+    back, attrs = read_packed(path)
+    assert attrs == {"k": 1}
+    assert set(back) == set(arrays)
+    for k in arrays:
+        np.testing.assert_array_equal(back[k], arrays[k])
+        assert back[k].dtype == arrays[k].dtype
+
+
+def test_magic_and_header_parse(tmp_path):
+    path = tmp_path / "t.bin"
+    write_packed(path, {"x": np.zeros(4)})
+    raw = path.read_bytes()
+    assert raw[:8] == MAGIC
+    (hlen,) = struct.unpack("<I", raw[8:12])
+    doc = json.loads(raw[12 : 12 + hlen])
+    assert doc["entries"][0]["name"] == "x"
+    assert doc["entries"][0]["offset"] % 64 == 0  # alignment contract
+
+
+def test_payload_offsets_are_absolute_and_aligned(tmp_path):
+    path = tmp_path / "t.bin"
+    arrays = {f"arr{i}": np.full(i + 1, float(i)) for i in range(5)}
+    write_packed(path, arrays)
+    raw = path.read_bytes()
+    (hlen,) = struct.unpack("<I", raw[8:12])
+    doc = json.loads(raw[12 : 12 + hlen])
+    for e in doc["entries"]:
+        assert e["offset"] % 64 == 0
+        payload = raw[e["offset"] : e["offset"] + e["nbytes"]]
+        arr = np.frombuffer(payload, dtype=e["dtype"]).reshape(e["shape"])
+        np.testing.assert_array_equal(arr, arrays[e["name"]])
+
+
+def test_rejects_bad_magic(tmp_path):
+    path = tmp_path / "junk.bin"
+    path.write_bytes(b"NOTATBL0" + b"\x00" * 100)
+    with pytest.raises(ValueError, match="magic"):
+        read_packed(path)
+
+
+def test_rejects_unsupported_dtype(tmp_path):
+    with pytest.raises(ValueError, match="not supported"):
+        write_packed(tmp_path / "x.bin", {"c": np.array([1 + 2j])})
+
+
+def test_export_import_model_roundtrip_float64(tmp_path, tabular_student, split_dataset):
+    model, _ = tabular_student
+    _, ds_val = split_dataset
+    path = tmp_path / "model.bin"
+    export_packed(model, path, float_dtype="float64")
+    back = import_packed(path)
+    a = model.predict_proba(ds_val.x_addr[:64], ds_val.x_pc[:64])
+    b = back.predict_proba(ds_val.x_addr[:64], ds_val.x_pc[:64])
+    np.testing.assert_allclose(a, b, atol=1e-12)  # bit-faithful at float64
+
+
+def test_export_float32_smaller_and_close(tmp_path, tabular_student, split_dataset):
+    model, _ = tabular_student
+    _, ds_val = split_dataset
+    p64 = tmp_path / "m64.bin"
+    p32 = tmp_path / "m32.bin"
+    n64 = export_packed(model, p64, float_dtype="float64")
+    n32 = export_packed(model, p32, float_dtype="float32")
+    assert n32 < 0.66 * n64
+    back = import_packed(p32)
+    a = model.predict_proba(ds_val.x_addr[:64], ds_val.x_pc[:64])
+    b = back.predict_proba(ds_val.x_addr[:64], ds_val.x_pc[:64])
+    assert np.abs(a - b).max() < 1e-3
+
+
+def test_export_rejects_bad_dtype(tmp_path, tabular_student):
+    model, _ = tabular_student
+    with pytest.raises(ValueError):
+        export_packed(model, tmp_path / "x.bin", float_dtype="float8")
+
+
+def test_import_rejects_non_model_file(tmp_path):
+    path = tmp_path / "x.bin"
+    write_packed(path, {"x": np.zeros(3)}, attrs={"format": "other"})
+    with pytest.raises(ValueError, match="tabular model"):
+        import_packed(path)

@@ -1,0 +1,114 @@
+"""Extension features: prefetch filter, L2 filtering, OPQ."""
+
+import numpy as np
+import pytest
+
+from repro.prefetch import NextLinePrefetcher
+from repro.prefetch.filter import FilteredPrefetcher
+from repro.quantization import ProductQuantizer
+from repro.quantization.opq import RotatedProductQuantizer
+from repro.sim.multilevel import l2_filter, miss_rate_profile
+from repro.traces.generators import StreamPhase, compose_trace
+from repro.traces.trace import MemoryTrace
+
+
+# ----------------------------------------------------------- prefetch filter
+def test_filter_suppresses_duplicates():
+    tr = compose_trace([(StreamPhase(0, 10**6), 500)], seed=0)
+    nl = NextLinePrefetcher(degree=4)  # overlapping windows: heavy duplication
+    f = FilteredPrefetcher(nl, window=512)
+    lists = f.prefetch_lists(tr)
+    assert f.last_raw_requests == 4 * 500
+    assert f.last_filtered_requests < f.last_raw_requests
+    assert 0.5 < f.redundancy < 1.0
+    # the union of issued blocks is unchanged (nothing new was lost forever)
+    raw_union = set(b for l in nl.prefetch_lists(tr) for b in l)
+    kept_union = set(b for l in lists for b in l)
+    assert kept_union == raw_union
+
+
+def test_filter_window_forgetting():
+    """A tiny window forgets, so re-requests after eviction pass through."""
+    addrs = np.array([0, 64, 0, 64] * 50, dtype=np.int64)
+    tr = MemoryTrace(np.arange(1, 201) * 10, np.zeros(200, dtype=np.int64), addrs)
+    nl = NextLinePrefetcher(degree=1)
+    tight = FilteredPrefetcher(nl, window=1)
+    loose = FilteredPrefetcher(nl, window=1024)
+    tight.prefetch_lists(tr)
+    loose.prefetch_lists(tr)
+    assert tight.last_filtered_requests > loose.last_filtered_requests
+
+
+def test_filter_metadata():
+    nl = NextLinePrefetcher(degree=1)
+    f = FilteredPrefetcher(nl, window=128)
+    assert f.name == "NextLine+filter"
+    assert f.latency_cycles == nl.latency_cycles
+    assert f.storage_bytes > nl.storage_bytes
+    with pytest.raises(ValueError):
+        FilteredPrefetcher(nl, window=0)
+
+
+# -------------------------------------------------------------- L2 filtering
+def test_l2_filter_removes_hits():
+    # A small loop fits in L2: after the first lap everything is filtered.
+    ph = StreamPhase(0, 100)  # 100-block loop
+    tr = compose_trace([(ph, 1000)], seed=0)
+    llc_stream = l2_filter(tr, capacity_bytes=64 * 1024, n_ways=8)
+    assert len(llc_stream) == 100  # only the cold lap survives
+    assert np.array_equal(np.sort(np.unique(llc_stream.block_addrs)), np.arange(100))
+
+
+def test_l2_filter_preserves_streaming():
+    ph = StreamPhase(0, 10**6)  # never revisits: nothing to filter
+    tr = compose_trace([(ph, 2000)], seed=0)
+    out = l2_filter(tr)
+    assert len(out) == 2000
+
+
+def test_l2_filter_preserves_metadata():
+    ph = StreamPhase(0, 100, pc=0x42)
+    tr = compose_trace([(ph, 300)], seed=0, name="loop")
+    out = l2_filter(tr, capacity_bytes=64 * 1024)
+    assert out.name == "loop"
+    assert (out.pcs == 0x42).all()
+    assert np.all(np.diff(out.instr_ids) >= 0)
+
+
+def test_miss_rate_profile_monotone():
+    ph = StreamPhase(0, 4096)  # 256 KB working set
+    tr = compose_trace([(ph, 20_000)], seed=0)
+    prof = miss_rate_profile(tr, [16 * 1024, 64 * 1024, 1024 * 1024])
+    rates = list(prof.values())
+    assert rates[0] >= rates[1] >= rates[2]
+    assert rates[2] < 0.3  # fits comfortably at 1 MB
+
+
+# ------------------------------------------------------------------- OPQ
+def _correlated_data(rng, n=600, d=8):
+    # strongly correlated dims: the case where a rotation helps PQ
+    base = rng.standard_normal((n, 2))
+    mix = rng.standard_normal((2, d))
+    return base @ mix + 0.05 * rng.standard_normal((n, d))
+
+
+def test_opq_beats_plain_pq_on_correlated_data(rng):
+    x = _correlated_data(rng)
+    plain = ProductQuantizer(8, 4, 8, rng=0).fit(x).quantization_error(x)
+    opq = RotatedProductQuantizer(8, 4, 8, n_iters=5, rng=0).fit(x)
+    assert opq.quantization_error(x) <= plain * 1.05  # >= parity, usually better
+
+
+def test_opq_rotation_is_orthogonal(rng):
+    x = _correlated_data(rng)
+    opq = RotatedProductQuantizer(8, 2, 8, n_iters=3, rng=0).fit(x)
+    r = opq.rotation
+    assert np.allclose(r @ r.T, np.eye(8), atol=1e-8)
+
+
+def test_opq_validation(rng):
+    opq = RotatedProductQuantizer(8, 2, 8)
+    with pytest.raises(RuntimeError):
+        opq.encode(np.zeros((3, 8)))
+    with pytest.raises(ValueError):
+        opq.fit(np.zeros((10, 9)))

@@ -1,0 +1,66 @@
+"""Fused multi-layer tables (paper Sec. VIII future-work prototype)."""
+
+import numpy as np
+import pytest
+
+from repro.tabularization.fused import FusedFunctionTable
+
+
+def _quadratic(rows):
+    # an arbitrary nonlinear row-wise function
+    return np.stack([rows.sum(axis=1) ** 2, np.maximum(rows, 0).sum(axis=1)], axis=1)
+
+
+def _clustered(rng, n, d, k=12, spread=0.05):
+    centers = rng.standard_normal((k, d)) * 2
+    return centers[rng.integers(0, k, size=n)] + spread * rng.standard_normal((n, d))
+
+
+def test_fused_c1_is_nearest_prototype_function(rng):
+    x = _clustered(rng, 800, 6)
+    fused = FusedFunctionTable.train(_quadratic, x, 6, 2, n_prototypes=64, n_subspaces=1, rng=0)
+    approx = fused.query(x)
+    exact = _quadratic(x)
+    rel = np.abs(approx - exact).mean() / np.abs(exact).mean()
+    assert rel < 0.2  # tight clusters -> tight nearest-prototype approximation
+
+
+def test_fused_latency_is_half_of_two_kernels():
+    rng = np.random.default_rng(0)
+    x = _clustered(rng, 200, 6)
+    fused = FusedFunctionTable.train(_quadratic, x, 6, 2, n_prototypes=128, n_subspaces=2, rng=0)
+    two_kernel = 2 * (np.log2(128) + np.log2(2) + 1)
+    assert fused.latency_cycles() == two_kernel / 2
+
+
+def test_fused_error_grows_with_subspaces_for_nonlinear_fn(rng):
+    """The additive decomposition cannot capture nonlinearity across subspaces."""
+    x = _clustered(rng, 800, 8, spread=0.3)
+    exact = _quadratic(x)
+    errs = []
+    for c in (1, 4):
+        fused = FusedFunctionTable.train(_quadratic, x, 8, 2, n_prototypes=64, n_subspaces=c, rng=0)
+        errs.append(float(np.abs(fused.query(x) - exact).mean()))
+    assert errs[1] >= errs[0] * 0.8  # C>1 is no better (usually worse)
+
+
+def test_fused_exact_for_linear_fn_any_c(rng):
+    """For a *linear* fn the residual decomposition is exact on prototypes."""
+    w = rng.standard_normal((2, 6))
+
+    def lin(rows):
+        return rows @ w.T
+
+    x = _clustered(rng, 500, 6, spread=0.0)  # points exactly at prototypes
+    fused = FusedFunctionTable.train(lin, x, 6, 2, n_prototypes=16, n_subspaces=2, rng=0)
+    approx = fused.query(x)
+    exact = lin(x)
+    assert np.abs(approx - exact).max() < 1e-6
+
+
+def test_fused_query_shapes(rng):
+    x = _clustered(rng, 100, 6)
+    fused = FusedFunctionTable.train(_quadratic, x, 6, 2, n_prototypes=16, n_subspaces=1, rng=0)
+    out = fused.query(x.reshape(10, 10, 6))
+    assert out.shape == (10, 10, 2)
+    assert fused.storage_bits(16) > 0

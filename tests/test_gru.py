@@ -1,0 +1,126 @@
+"""GRU: shapes, finite-difference gradients, and learning capacity."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRU, SGD
+
+EPS = 1e-6
+TOL = 2e-5
+
+
+def test_forward_shape_and_range():
+    gru = GRU(4, 6, rng=0)
+    x = np.random.default_rng(0).standard_normal((3, 5, 4))
+    out = gru.forward(x)
+    assert out.shape == (3, 5, 6)
+    assert np.all(np.abs(out) <= 1.0)  # convex blend of tanh candidates
+
+
+def test_backward_before_forward_raises():
+    gru = GRU(2, 3)
+    with pytest.raises(RuntimeError):
+        gru.backward(np.zeros((1, 1, 3)))
+
+
+def test_zero_input_zero_state_behaviour():
+    gru = GRU(3, 4, rng=1)
+    out = gru.forward(np.zeros((2, 3, 3)))
+    # With zero bias and zero input, z = 0.5 and n = tanh(0) = 0, so h stays 0.
+    np.testing.assert_allclose(out, 0.0, atol=1e-12)
+
+
+def _finite_diff_check(gru, x, rng):
+    out = gru.forward(x)
+    g_out = rng.standard_normal(out.shape)
+    gru.zero_grad()
+    g_in = gru.backward(g_out)
+
+    def loss():
+        return float((gru.forward(x) * g_out).sum())
+
+    # Parameter gradients.
+    for name, p in gru.named_parameters():
+        flat = p.value.reshape(-1)
+        grad_flat = p.grad.reshape(-1)
+        for j in rng.choice(flat.size, size=min(8, flat.size), replace=False):
+            orig = flat[j]
+            flat[j] = orig + EPS
+            lp = loss()
+            flat[j] = orig - EPS
+            lm = loss()
+            flat[j] = orig
+            num = (lp - lm) / (2 * EPS)
+            assert abs(num - grad_flat[j]) < TOL * max(1.0, abs(num)), (
+                f"{name}[{j}]: analytic {grad_flat[j]:.8f} vs numeric {num:.8f}"
+            )
+    # Input gradients.
+    flat_x = x.reshape(-1)
+    flat_gin = g_in.reshape(-1)
+    for j in rng.choice(flat_x.size, size=min(10, flat_x.size), replace=False):
+        orig = flat_x[j]
+        flat_x[j] = orig + EPS
+        lp = loss()
+        flat_x[j] = orig - EPS
+        lm = loss()
+        flat_x[j] = orig
+        num = (lp - lm) / (2 * EPS)
+        assert abs(num - flat_gin[j]) < TOL * max(1.0, abs(num))
+
+
+def test_gradients_single_step():
+    rng = np.random.default_rng(0)
+    _finite_diff_check(GRU(3, 4, rng=2), rng.standard_normal((2, 1, 3)), rng)
+
+
+def test_gradients_multi_step():
+    rng = np.random.default_rng(1)
+    _finite_diff_check(GRU(4, 5, rng=3), rng.standard_normal((2, 6, 4)), rng)
+
+
+def test_gradient_accumulates_across_backwards():
+    rng = np.random.default_rng(2)
+    gru = GRU(2, 3, rng=0)
+    x = rng.standard_normal((1, 3, 2))
+    g = rng.standard_normal((1, 3, 3))
+    gru.forward(x)
+    gru.zero_grad()
+    gru.backward(g)
+    once = gru.w_x.grad.copy()
+    gru.forward(x)
+    gru.backward(g)
+    np.testing.assert_allclose(gru.w_x.grad, 2 * once)
+
+
+def test_learns_to_remember_first_token():
+    """Task: output at the last step must equal the first input's sign —
+    requires carrying state across the sequence (the gate mechanics)."""
+    rng = np.random.default_rng(3)
+    gru = GRU(1, 8, rng=4)
+    from repro.nn import Linear
+
+    head = Linear(8, 1, rng=5)
+    opt = SGD(gru.parameters() + head.parameters(), lr=0.2, momentum=0.9)
+    losses = []
+    for _ in range(200):
+        x = rng.choice([-1.0, 1.0], size=(16, 6, 1))
+        y = x[:, 0, 0:1]
+        seq = gru.forward(x)
+        pred = head.forward(seq[:, -1])
+        diff = pred - y
+        loss = float((diff * diff).mean())
+        losses.append(loss)
+        opt.zero_grad()
+        g = head.backward(2 * diff / diff.size)
+        g_seq = np.zeros_like(seq)
+        g_seq[:, -1] = g
+        gru.backward(g_seq)
+        opt.step()
+    assert losses[-1] < 0.1 * losses[0]
+    assert losses[-1] < 0.05
+
+
+def test_parameter_count():
+    gru = GRU(4, 8)
+    h, d = 8, 4
+    assert gru.num_parameters() == 3 * h * d + 3 * h * h + 2 * 3 * h

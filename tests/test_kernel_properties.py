@@ -1,0 +1,100 @@
+"""Algebraic invariants of the tabularization kernels (hypothesis-driven).
+
+The linear kernel's defining identity: because ``table[c,k,:] = W_c · P_c[k]``
+with the bias folded into subspace 0, the query of ANY input x must equal the
+dense affine map applied to x's *PQ reconstruction*::
+
+    query(x) == reconstruct(encode(x)) @ W.T + b      (exactly, mod float)
+
+This pins the whole encode → gather → aggregate path to the PQ math — if
+either side drifts (bias folding, padding, subspace split), the identity
+breaks for some random input.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.linear import Linear
+from repro.tabularization import TabularAttention, TabularLinear
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    d_in=st.integers(3, 12),
+    d_out=st.integers(1, 6),
+    c=st.integers(1, 3),
+    k=st.sampled_from([4, 8, 16]),
+)
+def test_property_linear_kernel_equals_affine_of_reconstruction(seed, d_in, d_out, c, k):
+    if c > d_in:
+        c = d_in
+    rng = np.random.default_rng(seed)
+    layer = Linear(d_in, d_out, rng=seed)
+    x_train = rng.standard_normal((200, d_in))
+    tab = TabularLinear.train(layer, x_train, n_prototypes=k, n_subspaces=c, rng=seed + 1)
+    x = rng.standard_normal((20, d_in))
+    recon = tab.pq.reconstruct(tab.pq.encode(x))
+    expected = recon @ layer.weight.value.T + layer.bias.value
+    np.testing.assert_allclose(tab.query(x), expected, atol=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_linear_kernel_exact_on_prototype_inputs(seed):
+    """Inputs lying exactly on prototypes reconstruct exactly, so the kernel
+    must reproduce the dense layer bit-for-bit on them."""
+    rng = np.random.default_rng(seed)
+    layer = Linear(8, 4, rng=seed)
+    x_train = rng.standard_normal((300, 8))
+    tab = TabularLinear.train(layer, x_train, n_prototypes=16, n_subspaces=2, rng=seed)
+    # Build inputs from the prototypes themselves.
+    protos = tab.pq.prototypes  # (C, K, V)
+    picks = rng.integers(0, 16, size=(10, 2))
+    x = np.concatenate(
+        [protos[0][picks[:, 0]], protos[1][picks[:, 1]]], axis=1
+    )[:, : 8]
+    dense = x @ layer.weight.value.T + layer.bias.value
+    np.testing.assert_allclose(tab.query(x), dense, atol=1e-9)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 500), heads=st.sampled_from([1, 2]))
+def test_property_attention_kernel_finite_and_shaped(seed, heads):
+    rng = np.random.default_rng(seed)
+    t, dh = 6, 4
+    q_train = rng.standard_normal((40, t, dh))
+    k_train = rng.standard_normal((40, t, dh))
+    v_train = rng.standard_normal((40, t, dh))
+    kern = TabularAttention.train(
+        q_train, k_train, v_train, n_prototypes=8, n_subspaces_k=2, rng=seed
+    )
+    q = rng.standard_normal((5, t, dh))
+    out = kern.query(q, q + 0.1, q - 0.1)
+    assert out.shape == (5, t, dh)
+    assert np.all(np.isfinite(out))
+
+
+def test_attention_kernel_output_bounded_by_v_prototypes():
+    """The QKV table rows are sigmoid-weighted dots with V prototypes, so the
+    aggregated output magnitude is bounded by C_t x max-table-entry."""
+    rng = np.random.default_rng(0)
+    t, dh = 6, 4
+    data = rng.standard_normal((60, t, dh))
+    kern = TabularAttention.train(data, data, data, n_prototypes=8, n_subspaces_k=2, rng=1)
+    out = kern.query(data[:8], data[:8], data[:8])
+    bound = kern.qkv_table.shape[0] * np.abs(kern.qkv_table).max() + 1e-9
+    assert np.abs(out).max() <= bound
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_rebuild_identity_when_weights_unchanged(seed):
+    rng = np.random.default_rng(seed)
+    layer = Linear(6, 3, rng=seed)
+    tab = TabularLinear.train(layer, rng.standard_normal((150, 6)), 8, 2, rng=seed)
+    before = tab.table.copy()
+    tab.rebuild(layer.weight.value, layer.bias.value)
+    np.testing.assert_allclose(tab.table, before, atol=1e-12)

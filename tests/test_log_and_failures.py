@@ -1,0 +1,92 @@
+"""Logging helpers and failure-injection behaviour across modules."""
+
+import numpy as np
+import pytest
+
+from repro.data import PreprocessConfig, build_dataset
+from repro.nn import Linear
+from repro.quantization import ProductQuantizer
+from repro.sim import SimConfig
+from repro.tabularization import TabularLinear
+from repro.tabularization.attention_kernel import TabularAttention
+from repro.traces import MemoryTrace
+from repro.utils import log
+
+
+def test_table_renders_and_prints(capsys):
+    out = log.table("Title", ["a", "bb"], [[1, 22], [333, 4]])
+    captured = capsys.readouterr().out
+    assert "Title" in out and "333" in captured
+    # aligned columns: header separator spans both columns
+    assert "-+-" in out
+
+
+def test_table_empty_rows():
+    out = log.table("T", ["x"], [])
+    assert "T" in out and "x" in out
+
+
+def test_info_respects_verbosity(capsys):
+    log.set_verbose(False)
+    log.info("hidden")
+    assert "hidden" not in capsys.readouterr().err
+    log.set_verbose(True)
+    log.info("shown")
+    assert "shown" in capsys.readouterr().err
+    log.set_verbose(False)
+
+
+# ------------------------------------------------------------ failure modes
+def test_linear_backward_before_forward_raises():
+    lin = Linear(3, 2, rng=0)
+    with pytest.raises(RuntimeError):
+        lin.backward(np.zeros((1, 2)))
+
+
+def test_pq_dim_mismatch_raises():
+    pq = ProductQuantizer(8, 2, 4, rng=0).fit(np.random.default_rng(0).standard_normal((50, 8)))
+    with pytest.raises(ValueError):
+        pq.encode(np.zeros((5, 9)))
+
+
+def test_tabular_linear_weight_dim_mismatch(rng):
+    from repro.quantization import build_weight_table
+
+    pq = ProductQuantizer(8, 2, 4, rng=0).fit(rng.standard_normal((50, 8)))
+    with pytest.raises(ValueError):
+        build_weight_table(pq, rng.standard_normal((3, 9)))
+
+
+def test_attention_kernel_shape_mismatches(rng):
+    q = rng.standard_normal((10, 4, 8))
+    with pytest.raises(ValueError):
+        TabularAttention.train(q, q[:5], q, 8, 2)
+    with pytest.raises(ValueError):
+        TabularAttention.train(q.reshape(10, 32), q.reshape(10, 32), q.reshape(10, 32), 8, 2)
+
+
+def test_dataset_rejects_empty():
+    with pytest.raises(ValueError):
+        build_dataset(np.array([]), np.array([]), PreprocessConfig())
+
+
+def test_trace_rejects_negative_instruction_steps():
+    with pytest.raises(ValueError):
+        MemoryTrace(np.array([10, 5]), np.array([0, 0]), np.array([0, 64]))
+
+
+def test_simconfig_llc_shape():
+    cfg = SimConfig(llc_capacity_bytes=1 << 20, llc_ways=16)
+    llc = cfg.make_llc()
+    assert llc.n_sets * llc.n_ways * 64 == 1 << 20
+
+
+def test_nan_inputs_propagate_not_crash(rng):
+    """NaNs should flow through (debuggable), not raise inside kernels."""
+    lin = Linear(4, 2, rng=0)
+    x = rng.standard_normal((10, 4))
+    tab = TabularLinear.train(lin, x, 4, 2, rng=0)
+    bad = x.copy()
+    bad[0, 0] = np.nan
+    out = tab.query(bad)
+    assert out.shape == (10, 2)

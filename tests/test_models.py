@@ -1,0 +1,89 @@
+"""Attention and LSTM predictor models."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    AttentionPredictor,
+    LSTMPredictor,
+    ModelConfig,
+    STUDENT_CONFIG,
+    TEACHER_CONFIG,
+)
+
+
+def test_config_defaults_and_validation():
+    cfg = ModelConfig(layers=2, dim=64, heads=4)
+    assert cfg.ffn_dim == 256  # 4×D default
+    with pytest.raises(ValueError):
+        ModelConfig(dim=30, heads=4)
+    with pytest.raises(ValueError):
+        ModelConfig(layers=0)
+    assert TEACHER_CONFIG.dim == 256 and STUDENT_CONFIG.dim == 32  # Table V
+
+
+def test_config_scaled_copy():
+    cfg = STUDENT_CONFIG.scaled(dim=64, heads=4)
+    assert cfg.dim == 64 and cfg.layers == STUDENT_CONFIG.layers
+
+
+def _make_inputs(rng, b=4, t=8, sa=5, sp=3):
+    return rng.random((b, t, sa)), rng.random((b, t, sp))
+
+
+def test_attention_predictor_shapes(rng):
+    cfg = ModelConfig(layers=2, dim=16, heads=2, history_len=8, bitmap_size=32)
+    m = AttentionPredictor(cfg, addr_dim=5, pc_dim=3, rng=0)
+    xa, xp = _make_inputs(rng)
+    logits = m.forward(xa, xp)
+    assert logits.shape == (4, 32)
+    probs = m.predict_proba(xa, xp)
+    assert probs.shape == (4, 32) and (0 <= probs).all() and (probs <= 1).all()
+
+
+def test_attention_predictor_backward_shapes(rng):
+    cfg = ModelConfig(layers=1, dim=16, heads=2, history_len=8, bitmap_size=32)
+    m = AttentionPredictor(cfg, addr_dim=5, pc_dim=3, rng=0)
+    xa, xp = _make_inputs(rng)
+    logits = m.forward(xa, xp)
+    ga, gp = m.backward(np.ones_like(logits))
+    assert ga.shape == xa.shape and gp.shape == xp.shape
+
+
+def test_trunk_activations_keys_and_consistency(rng):
+    cfg = ModelConfig(layers=2, dim=16, heads=2, history_len=8, bitmap_size=32)
+    m = AttentionPredictor(cfg, addr_dim=5, pc_dim=3, rng=0)
+    xa, xp = _make_inputs(rng)
+    acts = m.trunk_activations(xa, xp)
+    for key in ("embed", "enc0/qkv", "enc0/post_ln1", "enc1/post_ln2", "pooled", "logits"):
+        assert key in acts
+    # trunk_activations' logits must equal the plain forward
+    assert np.allclose(acts["logits"], m.forward(xa, xp))
+
+
+def test_predict_batching_consistency(rng):
+    cfg = ModelConfig(layers=1, dim=16, heads=2, history_len=8, bitmap_size=32)
+    m = AttentionPredictor(cfg, addr_dim=5, pc_dim=3, rng=0)
+    xa, xp = _make_inputs(rng, b=10)
+    full = m.predict_logits(xa, xp, batch_size=10)
+    chunked = m.predict_logits(xa, xp, batch_size=3)
+    assert np.allclose(full, chunked)
+
+
+def test_lstm_predictor_shapes_and_backward(rng):
+    m = LSTMPredictor(addr_dim=5, pc_dim=3, hidden_dim=12, bitmap_size=32, rng=0)
+    xa, xp = _make_inputs(rng)
+    logits = m.forward(xa, xp)
+    assert logits.shape == (4, 32)
+    ga, gp = m.backward(np.ones_like(logits))
+    assert ga.shape == xa.shape and gp.shape == xp.shape
+    probs = m.predict_proba(xa, xp)
+    assert ((0 <= probs) & (probs <= 1)).all()
+
+
+def test_models_are_deterministic_under_seed(rng):
+    cfg = ModelConfig(layers=1, dim=16, heads=2, history_len=8, bitmap_size=32)
+    xa, xp = _make_inputs(rng)
+    m1 = AttentionPredictor(cfg, 5, 3, rng=7)
+    m2 = AttentionPredictor(cfg, 5, 3, rng=7)
+    assert np.allclose(m1.forward(xa, xp), m2.forward(xa, xp))

@@ -1,0 +1,286 @@
+"""NN substrate extensions: Embedding, learned positions, GELU/Tanh,
+cross-entropy, LR schedulers — gradients verified by finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    GELU,
+    SGD,
+    Adam,
+    CosineAnnealingLR,
+    Embedding,
+    ExponentialLR,
+    LearnedPositionalEmbedding,
+    StepLR,
+    Tanh,
+    WarmupCosineLR,
+    cross_entropy_with_logits,
+)
+from repro.nn import functional as F
+
+EPS = 1e-6
+TOL = 1e-5
+
+
+def _num_grad(fn, arr, idx):
+    flat = arr.reshape(-1)
+    orig = flat[idx]
+    flat[idx] = orig + EPS
+    lp = fn()
+    flat[idx] = orig - EPS
+    lm = fn()
+    flat[idx] = orig
+    return (lp - lm) / (2 * EPS)
+
+
+# --------------------------------------------------------------- Embedding
+def test_embedding_forward_shape_and_rows():
+    emb = Embedding(10, 4, rng=0)
+    idx = np.array([[1, 3], [3, 9]])
+    out = emb.forward(idx)
+    assert out.shape == (2, 2, 4)
+    np.testing.assert_array_equal(out[0, 1], out[1, 0])  # same row 3
+
+
+def test_embedding_rejects_bad_indices():
+    emb = Embedding(4, 2)
+    with pytest.raises(IndexError):
+        emb.forward(np.array([4]))
+    with pytest.raises(IndexError):
+        emb.forward(np.array([-1]))
+    with pytest.raises(TypeError):
+        emb.forward(np.array([0.5]))
+    with pytest.raises(ValueError):
+        Embedding(0, 2)
+
+
+def test_embedding_gradient_accumulates_repeats():
+    """Repeated indices must sum their gradients (np.add.at semantics)."""
+    emb = Embedding(5, 3, rng=1)
+    idx = np.array([2, 2, 2])
+    emb.forward(idx)
+    g = np.ones((3, 3))
+    emb.zero_grad()
+    emb.backward(g)
+    np.testing.assert_allclose(emb.weight.grad[2], 3.0 * np.ones(3))
+    np.testing.assert_allclose(emb.weight.grad[0], 0.0)
+
+
+def test_embedding_finite_difference():
+    rng = np.random.default_rng(0)
+    emb = Embedding(8, 5, rng=2)
+    idx = rng.integers(0, 8, size=(3, 4))
+    g_out = rng.standard_normal((3, 4, 5))
+
+    def loss():
+        return float((emb.forward(idx) * g_out).sum())
+
+    emb.forward(idx)
+    emb.zero_grad()
+    emb.backward(g_out)
+    flat_grad = emb.weight.grad.reshape(-1)
+    for j in rng.choice(emb.weight.value.size, size=10, replace=False):
+        num = _num_grad(loss, emb.weight.value, j)
+        assert abs(num - flat_grad[j]) < TOL * max(1.0, abs(num))
+
+
+# ------------------------------------------------------- learned positions
+def test_learned_positions_add_and_shape():
+    pe = LearnedPositionalEmbedding(6, 3, rng=0)
+    x = np.zeros((2, 4, 3))
+    out = pe.forward(x)
+    np.testing.assert_allclose(out[0], pe.weight.value[:4])
+    np.testing.assert_allclose(out[0], out[1])
+
+
+def test_learned_positions_length_check():
+    pe = LearnedPositionalEmbedding(4, 3)
+    with pytest.raises(ValueError):
+        pe.forward(np.zeros((1, 5, 3)))
+    with pytest.raises(ValueError):
+        LearnedPositionalEmbedding(0, 3)
+
+
+def test_learned_positions_finite_difference():
+    rng = np.random.default_rng(1)
+    pe = LearnedPositionalEmbedding(6, 4, rng=3)
+    x = rng.standard_normal((2, 5, 4))
+    g_out = rng.standard_normal((2, 5, 4))
+
+    def loss():
+        return float((pe.forward(x) * g_out).sum())
+
+    pe.forward(x)
+    pe.zero_grad()
+    g_in = pe.backward(g_out)
+    np.testing.assert_allclose(g_in, g_out)  # additive: identity to input
+    flat_grad = pe.weight.grad.reshape(-1)
+    for j in rng.choice(pe.weight.value.size, size=10, replace=False):
+        num = _num_grad(loss, pe.weight.value, j)
+        assert abs(num - flat_grad[j]) < TOL * max(1.0, abs(num))
+
+
+# ------------------------------------------------------------- activations
+@pytest.mark.parametrize("act_cls", [GELU, Tanh])
+def test_activation_input_gradient(act_cls):
+    rng = np.random.default_rng(2)
+    act = act_cls()
+    x = rng.standard_normal((3, 4))
+    g_out = rng.standard_normal((3, 4))
+    act.forward(x)
+    g_in = act.backward(g_out)
+
+    def loss():
+        return float((act.forward(x) * g_out).sum())
+
+    for j in range(x.size):
+        num = _num_grad(loss, x, j)
+        assert abs(num - g_in.reshape(-1)[j]) < 1e-4 * max(1.0, abs(num))
+
+
+def test_gelu_matches_definition_at_zero_and_large_x():
+    g = GELU()
+    assert g.forward(np.array([0.0]))[0] == 0.0
+    np.testing.assert_allclose(g.forward(np.array([10.0]))[0], 10.0, rtol=1e-6)
+    np.testing.assert_allclose(g.forward(np.array([-10.0]))[0], 0.0, atol=1e-6)
+
+
+def test_tanh_range():
+    t = Tanh()
+    out = t.forward(np.linspace(-5, 5, 11))
+    assert np.all(np.abs(out) < 1.0)
+
+
+# ----------------------------------------------------------- cross-entropy
+def test_cross_entropy_perfect_prediction_low_loss():
+    logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+    loss, _ = cross_entropy_with_logits(logits, np.array([0, 1]))
+    assert loss < 1e-4
+
+
+def test_cross_entropy_uniform_logits():
+    logits = np.zeros((4, 8))
+    loss, grad = cross_entropy_with_logits(logits, np.zeros(4, dtype=int))
+    np.testing.assert_allclose(loss, np.log(8))
+    assert grad.shape == (4, 8)
+
+
+def test_cross_entropy_validation():
+    with pytest.raises(ValueError):
+        cross_entropy_with_logits(np.zeros((2, 3, 4)), np.zeros(2, dtype=int))
+    with pytest.raises(ValueError):
+        cross_entropy_with_logits(np.zeros((2, 3)), np.zeros(3, dtype=int))
+    with pytest.raises(IndexError):
+        cross_entropy_with_logits(np.zeros((2, 3)), np.array([0, 3]))
+
+
+def test_cross_entropy_gradient_finite_difference():
+    rng = np.random.default_rng(3)
+    z = rng.standard_normal((5, 7))
+    t = rng.integers(0, 7, size=5)
+    _, grad = cross_entropy_with_logits(z, t)
+
+    def loss():
+        return cross_entropy_with_logits(z, t)[0]
+
+    for j in rng.choice(z.size, size=12, replace=False):
+        num = _num_grad(loss, z, j)
+        assert abs(num - grad.reshape(-1)[j]) < 1e-5 * max(1.0, abs(num))
+
+
+def test_cross_entropy_grad_sums_to_zero_per_row():
+    rng = np.random.default_rng(4)
+    z = rng.standard_normal((6, 4))
+    _, grad = cross_entropy_with_logits(z, rng.integers(0, 4, size=6))
+    np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+
+# -------------------------------------------------------------- schedulers
+def _opt():
+    from repro.nn import Parameter
+
+    return SGD([Parameter(np.zeros(1))], lr=1.0)
+
+
+def test_step_lr_decays_in_steps():
+    sch = StepLR(_opt(), step_size=3, gamma=0.1)
+    lrs = [sch.step() for _ in range(6)]
+    assert lrs[0] == lrs[1] == 1.0
+    assert lrs[2] == pytest.approx(0.1)
+    assert lrs[5] == pytest.approx(0.01)
+
+
+def test_exponential_lr():
+    sch = ExponentialLR(_opt(), gamma=0.5)
+    assert sch.step() == pytest.approx(0.5)
+    assert sch.step() == pytest.approx(0.25)
+
+
+def test_cosine_annealing_endpoints():
+    sch = CosineAnnealingLR(_opt(), t_max=10, min_lr=0.1)
+    lrs = [sch.step() for _ in range(12)]
+    assert lrs[-1] == pytest.approx(0.1)  # clamps at min after t_max
+    assert all(a >= b - 1e-12 for a, b in zip(lrs, lrs[1:]))  # monotone decay
+
+
+def test_warmup_cosine_ramps_then_decays():
+    sch = WarmupCosineLR(_opt(), warmup=4, t_max=12, min_lr=0.0)
+    lrs = [sch.step() for _ in range(12)]
+    assert lrs[0] == pytest.approx(0.25)
+    assert lrs[3] == pytest.approx(1.0)  # end of warmup
+    assert max(lrs) == pytest.approx(1.0)
+    assert lrs[-1] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_scheduler_validation():
+    with pytest.raises(ValueError):
+        StepLR(_opt(), step_size=0)
+    with pytest.raises(ValueError):
+        CosineAnnealingLR(_opt(), t_max=0)
+    with pytest.raises(ValueError):
+        WarmupCosineLR(_opt(), warmup=10, t_max=5)
+
+
+def test_scheduler_drives_optimizer_lr():
+    opt = _opt()
+    sch = ExponentialLR(opt, gamma=0.9)
+    sch.step()
+    assert opt.lr == pytest.approx(0.9)
+    assert sch.current_lr == opt.lr
+
+
+def test_scheduler_works_with_adam():
+    from repro.nn import Parameter
+
+    p = Parameter(np.ones(3))
+    opt = Adam([p], lr=0.01)
+    sch = CosineAnnealingLR(opt, t_max=5)
+    p.grad[:] = 1.0
+    for _ in range(5):
+        opt.step()
+        sch.step()
+    assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+
+# -------------------------------------------------------------- properties
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 50), st.integers(2, 10))
+def test_property_softmax_rows_sum_to_one(n, c):
+    rng = np.random.default_rng(n * 100 + c)
+    z = rng.standard_normal((n, c)) * 10
+    s = F.softmax(z, axis=1)
+    np.testing.assert_allclose(s.sum(axis=1), 1.0, atol=1e-12)
+    assert np.all(s >= 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 40))
+def test_property_cross_entropy_nonnegative(n):
+    rng = np.random.default_rng(n)
+    z = rng.standard_normal((n, 5)) * 5
+    t = rng.integers(0, 5, size=n)
+    loss, _ = cross_entropy_with_logits(z, t)
+    assert loss >= 0.0

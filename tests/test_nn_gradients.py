@@ -1,0 +1,146 @@
+"""Finite-difference gradient verification for every nn module.
+
+Each check perturbs parameters (and inputs) of a small module, compares the
+analytic gradient of a scalar loss ``L = sum(forward(x) * G)`` against central
+differences. These tests are the foundation the whole training stack rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LSTM,
+    Dropout,
+    LayerNorm,
+    Linear,
+    MultiHeadSelfAttention,
+    ReLU,
+    Sigmoid,
+    TransformerEncoderLayer,
+)
+from repro.nn.transformer import FeedForward, MeanPool
+
+EPS = 1e-6
+TOL = 1e-5
+
+
+def _check_param_grads(module, forward, rng):
+    """Compare analytic parameter grads against central differences."""
+    out = forward()
+    g_out = rng.standard_normal(out.shape)
+    module.zero_grad()
+    module.backward(g_out)
+
+    def loss():
+        return float((forward() * g_out).sum())
+
+    for name, p in module.named_parameters():
+        flat = p.value.reshape(-1)
+        grad_flat = p.grad.reshape(-1)
+        idx = rng.choice(flat.size, size=min(10, flat.size), replace=False)
+        for j in idx:
+            orig = flat[j]
+            flat[j] = orig + EPS
+            lp = loss()
+            flat[j] = orig - EPS
+            lm = loss()
+            flat[j] = orig
+            num = (lp - lm) / (2 * EPS)
+            assert abs(num - grad_flat[j]) < TOL * max(1.0, abs(num)), (
+                f"param {name}[{j}]: analytic {grad_flat[j]:.8f} vs numeric {num:.8f}"
+            )
+
+
+def _check_input_grads(module, x, rng, forward=None):
+    forward = forward or (lambda: module.forward(x))
+    out = forward()
+    g_out = rng.standard_normal(out.shape)
+    module.zero_grad()
+    g_in = module.backward(g_out)
+
+    def loss():
+        return float((forward() * g_out).sum())
+
+    flat = x.reshape(-1)
+    gflat = np.asarray(g_in).reshape(-1)
+    idx = rng.choice(flat.size, size=min(10, flat.size), replace=False)
+    for j in idx:
+        orig = flat[j]
+        flat[j] = orig + EPS
+        lp = loss()
+        flat[j] = orig - EPS
+        lm = loss()
+        flat[j] = orig
+        num = (lp - lm) / (2 * EPS)
+        assert abs(num - gflat[j]) < TOL * max(1.0, abs(num))
+
+
+def test_linear_grads(rng):
+    m = Linear(6, 4, rng=1)
+    x = rng.standard_normal((3, 5, 6))
+    _check_param_grads(m, lambda: m.forward(x), rng)
+    _check_input_grads(m, x, rng)
+
+
+def test_layernorm_grads(rng):
+    m = LayerNorm(8)
+    m.gamma.value[:] = rng.standard_normal(8)
+    m.beta.value[:] = rng.standard_normal(8)
+    x = rng.standard_normal((4, 3, 8))
+    _check_param_grads(m, lambda: m.forward(x), rng)
+    _check_input_grads(m, x, rng)
+
+
+@pytest.mark.parametrize("mode", ["softmax", "sigmoid"])
+def test_attention_grads(rng, mode):
+    m = MultiHeadSelfAttention(8, 2, score_mode=mode, rng=2)
+    x = rng.standard_normal((2, 4, 8))
+    _check_param_grads(m, lambda: m.forward(x), rng)
+    _check_input_grads(m, x, rng)
+
+
+def test_encoder_layer_grads(rng):
+    m = TransformerEncoderLayer(8, 2, 16, rng=3)
+    x = rng.standard_normal((2, 4, 8))
+    _check_param_grads(m, lambda: m.forward(x), rng)
+    _check_input_grads(m, x, rng)
+
+
+def test_ffn_grads(rng):
+    m = FeedForward(6, 12, rng=4)
+    # Shift inputs away from ReLU's kink so finite differences are valid.
+    x = rng.standard_normal((3, 4, 6)) + 0.05
+    _check_param_grads(m, lambda: m.forward(x), rng)
+
+
+def test_lstm_grads(rng):
+    m = LSTM(5, 7, rng=5)
+    x = rng.standard_normal((2, 4, 5))
+    _check_param_grads(m, lambda: m.forward(x), rng)
+    _check_input_grads(m, x, rng)
+
+
+def test_relu_sigmoid_meanpool_input_grads(rng):
+    x = rng.standard_normal((3, 4, 5)) + 0.03
+    for m in [ReLU(), Sigmoid(), MeanPool()]:
+        _check_input_grads(m, x.copy(), rng)
+
+
+def test_dropout_train_vs_eval(rng):
+    m = Dropout(0.5, rng=0)
+    x = np.ones((200, 10))
+    m.train()
+    y = m.forward(x)
+    # Inverted dropout preserves expectation.
+    assert abs(y.mean() - 1.0) < 0.15
+    assert (y == 0).any()
+    m.eval()
+    assert np.array_equal(m.forward(x), x)
+
+
+def test_dropout_backward_masks_gradient(rng):
+    m = Dropout(0.4, rng=1)
+    x = rng.standard_normal((50, 8))
+    y = m.forward(x)
+    g = m.backward(np.ones_like(y))
+    assert np.array_equal(g == 0, y == 0)

@@ -1,0 +1,122 @@
+"""Behavioral tests for nn layers beyond gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LayerNorm, Linear, MultiHeadSelfAttention, TransformerEncoderLayer
+from repro.nn.functional import one_hot, sigmoid, softmax
+from repro.nn.transformer import MeanPool, PositionalEncoding
+
+
+def test_linear_matches_manual(rng):
+    lin = Linear(4, 3, rng=0)
+    x = rng.standard_normal((2, 5, 4))
+    y = lin.forward(x)
+    ref = x @ lin.weight.value.T + lin.bias.value
+    assert np.allclose(y, ref)
+
+
+def test_linear_no_bias():
+    lin = Linear(4, 3, bias=False, rng=0)
+    assert lin.bias is None
+    assert lin.num_parameters() == 12
+
+
+def test_layernorm_normalizes(rng):
+    ln = LayerNorm(16)
+    x = rng.standard_normal((3, 4, 16)) * 10 + 5
+    y = ln.forward(x)
+    assert np.allclose(y.mean(axis=-1), 0.0, atol=1e-9)
+    assert np.allclose(y.std(axis=-1), 1.0, atol=1e-3)
+
+
+def test_layernorm_apply_inference_matches_forward(rng):
+    ln = LayerNorm(8)
+    ln.gamma.value[:] = rng.standard_normal(8)
+    ln.beta.value[:] = rng.standard_normal(8)
+    x = rng.standard_normal((5, 8))
+    assert np.allclose(ln.forward(x), ln.apply_inference(x))
+
+
+def test_softmax_rows_sum_to_one(rng):
+    x = rng.standard_normal((4, 7)) * 30
+    s = softmax(x)
+    assert np.allclose(s.sum(axis=-1), 1.0)
+    assert (s >= 0).all()
+
+
+def test_sigmoid_extremes():
+    assert sigmoid(np.array([1000.0]))[0] == pytest.approx(1.0)
+    assert sigmoid(np.array([-1000.0]))[0] == pytest.approx(0.0)
+    assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+
+def test_one_hot():
+    oh = one_hot(np.array([0, 2]), 3)
+    assert np.array_equal(oh, np.array([[1.0, 0, 0], [0, 0, 1.0]]))
+
+
+def test_attention_softmax_rows_are_convex(rng):
+    m = MultiHeadSelfAttention(8, 2, rng=0)
+    x = rng.standard_normal((2, 5, 8))
+    m.forward(x)
+    attn = m.last_attn
+    assert attn.shape == (2, 2, 5, 5)
+    assert np.allclose(attn.sum(axis=-1), 1.0)
+
+
+def test_attention_permutation_of_batch(rng):
+    """Attention must treat batch elements independently."""
+    m = MultiHeadSelfAttention(8, 2, rng=0)
+    x = rng.standard_normal((3, 4, 8))
+    y = m.forward(x)
+    y_perm = m.forward(x[[2, 0, 1]])
+    assert np.allclose(y[[2, 0, 1]], y_perm)
+
+
+def test_attention_rejects_bad_config():
+    with pytest.raises(ValueError):
+        MultiHeadSelfAttention(7, 2)
+    with pytest.raises(ValueError):
+        MultiHeadSelfAttention(8, 2, score_mode="tanh")
+
+
+def test_project_qkv_matches_forward_cache(rng):
+    m = MultiHeadSelfAttention(8, 2, rng=0)
+    x = rng.standard_normal((2, 4, 8))
+    m.forward(x)
+    q, k, v = m.project_qkv(x)
+    assert np.allclose(q, m.last_q)
+    assert np.allclose(k, m.last_k)
+    assert np.allclose(v, m.last_v)
+
+
+def test_positional_encoding_shapes_and_determinism():
+    pe = PositionalEncoding(8, max_len=16)
+    x = np.zeros((2, 10, 8))
+    y = pe.forward(x)
+    assert y.shape == x.shape
+    assert np.allclose(y[0], y[1])  # same positions added to each batch row
+    with pytest.raises(ValueError):
+        pe.forward(np.zeros((1, 20, 8)))
+
+
+def test_positional_encoding_distinct_positions():
+    pe = PositionalEncoding(16, max_len=32)
+    rows = pe.pe[:8]
+    dists = np.linalg.norm(rows[None] - rows[:, None], axis=-1)
+    assert (dists[np.triu_indices(8, 1)] > 1e-3).all()
+
+
+def test_meanpool(rng):
+    mp = MeanPool()
+    x = rng.standard_normal((2, 5, 3))
+    assert np.allclose(mp.forward(x), x.mean(axis=1))
+
+
+def test_encoder_layer_output_is_normalized(rng):
+    enc = TransformerEncoderLayer(8, 2, 16, rng=0)
+    x = rng.standard_normal((2, 4, 8)) * 100
+    y = enc.forward(x)
+    # post-LN output: per-token mean ~ beta (zero-init), std ~ gamma (one-init)
+    assert np.allclose(y.mean(axis=-1), 0.0, atol=1e-8)

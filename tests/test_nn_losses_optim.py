@@ -1,0 +1,138 @@
+"""Loss functions (BCE, MSE, KD) and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Linear, clip_global_norm
+from repro.nn.functional import sigmoid
+from repro.nn.losses import (
+    bce_with_logits,
+    binary_kl,
+    kd_bce_loss,
+    kd_loss,
+    mse_loss,
+    t_sigmoid,
+)
+
+
+def test_bce_matches_reference(rng):
+    z = rng.standard_normal((10, 4))
+    t = (rng.random((10, 4)) > 0.5).astype(float)
+    loss, grad = bce_with_logits(z, t)
+    p = sigmoid(z)
+    ref = -(t * np.log(p) + (1 - t) * np.log(1 - p)).mean()
+    assert abs(loss - ref) < 1e-9
+    assert np.allclose(grad, (p - t) / z.size)
+
+
+def test_bce_extreme_logits_stable():
+    z = np.array([[800.0, -800.0]])
+    t = np.array([[1.0, 0.0]])
+    loss, grad = bce_with_logits(z, t)
+    assert np.isfinite(loss) and np.all(np.isfinite(grad))
+    assert loss < 1e-6
+
+
+def test_mse_grad_finite_difference(rng):
+    p = rng.standard_normal((5, 3))
+    t = rng.standard_normal((5, 3))
+    loss, grad = mse_loss(p, t)
+    eps = 1e-6
+    p2 = p.copy()
+    p2[0, 0] += eps
+    assert abs((mse_loss(p2, t)[0] - loss) / eps - grad[0, 0]) < 1e-5
+
+
+def test_t_sigmoid_softens():
+    z = np.array([2.0, -2.0])
+    hard = t_sigmoid(z, 1.0)
+    soft = t_sigmoid(z, 5.0)
+    assert abs(soft[0] - 0.5) < abs(hard[0] - 0.5)
+    with pytest.raises(ValueError):
+        t_sigmoid(z, 0.0)
+
+
+def test_binary_kl_zero_iff_equal(rng):
+    p = rng.random((4, 4))
+    assert np.allclose(binary_kl(p, p), 0.0)
+    assert (binary_kl(p, np.clip(p + 0.1, 0, 1)) >= 0).all()
+
+
+def test_kd_loss_zero_when_matching_teacher(rng):
+    logits = rng.standard_normal((6, 8))
+    loss, grad = kd_loss(logits, logits.copy(), temperature=2.0)
+    assert loss < 1e-12
+    assert np.allclose(grad, 0.0)
+
+
+def test_kd_grad_pulls_toward_teacher():
+    student = np.array([[0.0]])
+    teacher = np.array([[4.0]])  # teacher more confident positive
+    _, grad = kd_loss(student, teacher, temperature=2.0)
+    assert grad[0, 0] < 0  # decrease loss by increasing student logit
+
+
+def test_kd_bce_lambda_bounds(rng):
+    s = rng.standard_normal((3, 4))
+    t = rng.standard_normal((3, 4))
+    y = (rng.random((3, 4)) > 0.5).astype(float)
+    l0, g0 = kd_bce_loss(s, t, y, lam=0.0)
+    lb, gb = bce_with_logits(s, y)
+    assert abs(l0 - lb) < 1e-12 and np.allclose(g0, gb)
+    l1, _ = kd_bce_loss(s, t, y, lam=1.0)
+    lk, _ = kd_loss(s, t)
+    assert abs(l1 - lk) < 1e-12
+    with pytest.raises(ValueError):
+        kd_bce_loss(s, t, y, lam=1.5)
+
+
+def test_sgd_momentum_converges_quadratic():
+    lin = Linear(1, 1, bias=False, rng=0)
+    opt = SGD([lin.weight], lr=0.1, momentum=0.9)
+    x = np.array([[1.0]])
+    for _ in range(300):
+        y = lin.forward(x)
+        lin.zero_grad()
+        lin.backward(2 * (y - 3.0))
+        opt.step()
+    assert abs(lin.weight.value[0, 0] - 3.0) < 1e-3
+
+
+def test_adam_converges_faster_than_plain_sgd():
+    def run(opt_cls, **kw):
+        lin = Linear(4, 1, bias=False, rng=1)
+        opt = opt_cls([lin.weight], **kw)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((64, 4))
+        w_true = np.array([[1.0, -2.0, 0.5, 3.0]])
+        t = x @ w_true.T
+        for _ in range(150):
+            y = lin.forward(x)
+            lin.zero_grad()
+            lin.backward(2 * (y - t) / y.size)
+            opt.step()
+        return float(np.abs(lin.weight.value - w_true).max())
+
+    assert run(Adam, lr=0.05) < 1e-2
+
+
+def test_weight_decay_shrinks_weights():
+    lin = Linear(2, 2, bias=False, rng=0)
+    lin.weight.value[:] = 1.0
+    opt = SGD([lin.weight], lr=0.1, weight_decay=0.5)
+    lin.zero_grad()
+    opt.step()  # gradient zero, only decay acts
+    assert np.all(lin.weight.value < 1.0)
+
+
+def test_clip_global_norm():
+    lin = Linear(2, 2, bias=False, rng=0)
+    lin.weight.grad[:] = 10.0
+    pre = clip_global_norm([lin.weight], max_norm=1.0)
+    assert pre > 1.0
+    norm = np.sqrt((lin.weight.grad**2).sum())
+    assert abs(norm - 1.0) < 1e-9
+    # under the cap: untouched
+    lin.weight.grad[:] = 0.01
+    clip_global_norm([lin.weight], max_norm=1.0)
+    assert np.allclose(lin.weight.grad, 0.01)

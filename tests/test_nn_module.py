@@ -1,0 +1,91 @@
+"""Module/Parameter registration, state dicts, Sequential composition."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter, ReLU, Sequential
+
+
+def test_parameter_registration_and_counts():
+    lin = Linear(4, 3, rng=0)
+    names = dict(lin.named_parameters())
+    assert set(names) == {"weight", "bias"}
+    assert lin.num_parameters() == 4 * 3 + 3
+
+
+def test_nested_module_registration():
+    seq = Sequential(Linear(4, 8, rng=0), ReLU(), Linear(8, 2, rng=1))
+    names = [n for n, _ in seq.named_parameters()]
+    assert "layers/0/weight" in names and "layers/2/bias" in names
+    assert len(seq) == 3
+    assert isinstance(seq[1], ReLU)
+
+
+def test_sequential_forward_backward_chain():
+    rng = np.random.default_rng(0)
+    seq = Sequential(Linear(4, 8, rng=0), ReLU(), Linear(8, 2, rng=1))
+    x = rng.standard_normal((5, 4))
+    y = seq.forward(x)
+    assert y.shape == (5, 2)
+    gx = seq.backward(np.ones_like(y))
+    assert gx.shape == x.shape
+
+
+def test_state_dict_roundtrip():
+    a = Sequential(Linear(3, 3, rng=0), Linear(3, 3, rng=1))
+    b = Sequential(Linear(3, 3, rng=2), Linear(3, 3, rng=3))
+    b.load_state_dict(a.state_dict())
+    x = np.random.default_rng(0).standard_normal((2, 3))
+    assert np.allclose(a.forward(x), b.forward(x))
+
+
+def test_state_dict_mismatch_raises():
+    a = Linear(3, 3, rng=0)
+    state = a.state_dict()
+    state["spurious"] = np.zeros(1)
+    with pytest.raises(KeyError):
+        a.load_state_dict(state)
+    bad = {"weight": np.zeros((2, 2)), "bias": np.zeros(3)}
+    with pytest.raises(ValueError):
+        a.load_state_dict(bad)
+
+
+def test_zero_grad_clears_accumulation():
+    lin = Linear(3, 2, rng=0)
+    x = np.ones((4, 3))
+    lin.forward(x)
+    lin.backward(np.ones((4, 2)))
+    assert np.abs(lin.weight.grad).sum() > 0
+    lin.zero_grad()
+    assert np.abs(lin.weight.grad).sum() == 0
+
+
+def test_gradient_accumulates_across_backwards():
+    lin = Linear(3, 2, rng=0)
+    x = np.ones((4, 3))
+    lin.forward(x)
+    lin.backward(np.ones((4, 2)))
+    g1 = lin.weight.grad.copy()
+    lin.forward(x)
+    lin.backward(np.ones((4, 2)))
+    assert np.allclose(lin.weight.grad, 2 * g1)
+
+
+def test_train_eval_propagates():
+    seq = Sequential(Linear(2, 2, rng=0), ReLU())
+    seq.eval()
+    assert not seq.training and not seq[0].training
+    seq.train()
+    assert seq.training and seq[0].training
+
+
+def test_parameter_name_autofill():
+    p = Parameter(np.zeros(3))
+
+    class M(Module):
+        def __init__(self):
+            super().__init__()
+            self.my_param = p
+
+    M()
+    assert p.name == "my_param"

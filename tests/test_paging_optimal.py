@@ -1,0 +1,175 @@
+"""Paging/TLB substrate and the Belady OPT analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import SetAssocCache
+from repro.sim.optimal import next_use_indices, opt_miss_count, opt_miss_rate, replacement_headroom
+from repro.sim.paging import TLB, PageTable
+from repro.traces.trace import MemoryTrace
+from repro.utils.bits import PAGE_BITS
+
+
+# -------------------------------------------------------------- page table
+def test_page_table_first_touch_stable():
+    pt = PageTable(seed=0)
+    f = pt.frame(42)
+    assert pt.frame(42) == f
+    assert pt.pages_touched == 1
+
+
+def test_page_table_distinct_pages_distinct_frames():
+    pt = PageTable(seed=0)
+    frames = [pt.frame(p) for p in range(500)]
+    assert len(set(frames)) == 500
+
+
+def test_page_table_seeded_determinism():
+    a = PageTable(seed=5)
+    b = PageTable(seed=5)
+    assert [a.frame(p) for p in range(50)] == [b.frame(p) for p in range(50)]
+    c = PageTable(seed=6)
+    assert [c.frame(p) for p in range(50)] != [a.frame(p) for p in range(50)]
+
+
+def test_contiguous_mode_is_identity_order():
+    pt = PageTable(contiguous=True)
+    assert [pt.frame(p) for p in [9, 3, 7]] == [0, 1, 2]
+
+
+def test_translate_preserves_offset():
+    pt = PageTable(seed=0)
+    vaddr = (123 << PAGE_BITS) | 0x5A7
+    paddr = pt.translate(vaddr)
+    assert paddr % (1 << PAGE_BITS) == 0x5A7
+    assert pt.translate(vaddr) == paddr
+
+
+def test_translate_blocks_consistent_with_translate():
+    pt = PageTable(seed=1)
+    blocks = np.array([0, 1, 64, 65, 200], dtype=np.int64)
+    out = pt.translate_blocks(blocks)
+    pt2 = PageTable(seed=1)
+    expect = [pt2.translate(int(b) << 6) >> 6 for b in blocks]
+    assert out.tolist() == expect
+
+
+def test_page_table_wraps_when_exhausted():
+    pt = PageTable(n_frames=4, seed=0)
+    for p in range(6):  # more pages than frames: must not raise
+        pt.frame(p)
+
+
+def test_page_table_validation():
+    with pytest.raises(ValueError):
+        PageTable(n_frames=0)
+
+
+# --------------------------------------------------------------------- TLB
+def test_tlb_hit_after_miss():
+    tlb = TLB(entries=4, walk_latency=100.0)
+    assert tlb.access(1) == 100.0
+    assert tlb.access(1) == 0.0
+    assert tlb.hits == 1 and tlb.misses == 1
+
+
+def test_tlb_lru_eviction():
+    tlb = TLB(entries=2)
+    tlb.access(1)
+    tlb.access(2)
+    tlb.access(1)  # refresh 1; LRU is 2
+    tlb.access(3)  # evicts 2
+    assert tlb.access(1) == 0.0  # still resident
+    assert tlb.access(2) > 0  # was evicted: miss
+
+
+def test_tlb_hit_rate_and_reset():
+    tlb = TLB(entries=8)
+    for p in [1, 1, 1, 2]:
+        tlb.access(p)
+    assert tlb.hit_rate == 0.5
+    tlb.reset()
+    assert tlb.hits == 0 and tlb.misses == 0 and tlb.access(1) > 0
+
+
+def test_tlb_validation():
+    with pytest.raises(ValueError):
+        TLB(entries=0)
+
+
+# ------------------------------------------------------------------ Belady
+def test_next_use_indices_small():
+    out = next_use_indices(np.array([7, 8, 7, 9, 8]))
+    assert out.tolist() == [2, 4, 5, 5, 5]
+
+
+@settings(max_examples=30, deadline=None)
+@given(blocks=st.lists(st.integers(0, 9), min_size=1, max_size=60))
+def test_property_next_use_matches_bruteforce(blocks):
+    arr = np.array(blocks, dtype=np.int64)
+    out = next_use_indices(arr)
+    n = len(arr)
+    for i in range(n):
+        expect = next((j for j in range(i + 1, n) if arr[j] == arr[i]), n)
+        assert out[i] == expect
+
+
+def _lru_misses(blocks, n_sets, n_ways):
+    c = SetAssocCache(n_sets, n_ways)
+    misses = 0
+    for b in blocks:
+        b = int(b)
+        if c.lookup(b) is None:
+            misses += 1
+            c.insert(b, 0.0, False)
+    return misses
+
+
+@settings(max_examples=25, deadline=None)
+@given(blocks=st.lists(st.integers(0, 63), min_size=1, max_size=300))
+def test_property_opt_never_worse_than_lru(blocks):
+    arr = np.array(blocks, dtype=np.int64)
+    assert opt_miss_count(arr, 2, 2) <= _lru_misses(arr, 2, 2)
+
+
+def test_opt_exact_on_classic_example():
+    # Fully associative (1 set, 2 ways): 1 2 3 1 2 -> MIN bypasses 3 (its
+    # next use is farthest: never) and keeps {1, 2}: 3 compulsory misses.
+    blocks = np.array([1, 2, 3, 1, 2])
+    assert opt_miss_count(blocks, 1, 2) == 3
+    assert _lru_misses(blocks, 1, 2) == 5  # LRU thrashes
+
+
+def test_opt_compulsory_misses_only_when_cache_big():
+    blocks = np.array([1, 2, 3, 1, 2, 3, 1])
+    assert opt_miss_count(blocks, 1, 8) == 3  # unique blocks
+
+
+def test_opt_validation():
+    with pytest.raises(ValueError):
+        opt_miss_count(np.array([1]), 3, 2)
+
+
+def test_opt_miss_rate_and_headroom():
+    n = 600
+    blocks = np.arange(n) % 96  # cyclic working set
+    tr = MemoryTrace(
+        np.arange(1, n + 1) * 10,
+        np.zeros(n, dtype=np.int64),
+        blocks.astype(np.int64) << 6,
+    )
+    cap = 1 * 64 * 64  # 64 blocks: smaller than the 96-block working set
+    rate = opt_miss_rate(tr, cap, n_ways=64)
+    assert 0 < rate < 1
+    lru = _lru_misses(tr.block_addrs, 1, 64)
+    h = replacement_headroom(tr, lru, cap, n_ways=64)
+    assert h["opt_misses"] <= h["lru_misses"]
+    assert 0.0 <= h["headroom"] <= 1.0
+    assert h["headroom"] > 0  # cyclic reuse is LRU's worst case
+
+
+def test_headroom_zero_when_no_lru_misses():
+    tr = MemoryTrace(np.array([10]), np.array([0]), np.array([0]))
+    assert replacement_headroom(tr, 0, 4096 * 64)["headroom"] == 0.0

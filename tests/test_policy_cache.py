@@ -1,0 +1,142 @@
+"""PolicyCache: geometry, eviction reporting, dirty bits, invalidation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import SetAssocCache
+from repro.sim.policy_cache import PolicyCache
+from repro.sim.replacement import LRUPolicy, policy_names
+
+
+def test_basic_fill_and_lookup():
+    c = PolicyCache(4, 2)
+    assert c.lookup(0x20) is None
+    c.fill(0x20)
+    line = c.lookup(0x20)
+    assert line is not None and line.block == 0x20
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        PolicyCache(3, 2)
+    with pytest.raises(ValueError):
+        PolicyCache(4, 0)
+    with pytest.raises(ValueError, match="geometry"):
+        PolicyCache(4, 2, LRUPolicy(8, 2))
+
+
+def test_from_capacity_rounds_sets_to_power_of_two():
+    c = PolicyCache.from_capacity(64 * 1024, n_ways=12)  # 85 sets -> 64
+    assert c.n_sets == 64 and c.n_ways == 12
+    with pytest.raises(ValueError):
+        PolicyCache.from_capacity(16, n_ways=12)
+
+
+def test_eviction_reports_victim():
+    c = PolicyCache(1, 2)
+    c.fill(1)
+    c.fill(2)
+    victim = c.fill(3)
+    assert victim is not None and victim.block == 1
+    assert c.peek(1) is None and c.peek(2) is not None and c.peek(3) is not None
+
+
+def test_dirty_line_roundtrip():
+    c = PolicyCache(1, 1)
+    c.fill(1)
+    c.lookup(1, write=True)
+    victim = c.fill(2)
+    assert victim is not None and victim.block == 1 and victim.dirty
+
+
+def test_clean_eviction_not_dirty():
+    c = PolicyCache(1, 1)
+    c.fill(1)
+    victim = c.fill(2)
+    assert victim is not None and not victim.dirty
+
+
+def test_fill_existing_merges_metadata():
+    c = PolicyCache(1, 2)
+    c.fill(5, prefetched=True, ready_cycle=100.0)
+    assert c.fill(5, dirty=True, ready_cycle=50.0) is None  # no victim
+    line = c.peek(5)
+    assert line.dirty and line.ready_cycle == 50.0
+
+
+def test_invalidate():
+    c = PolicyCache(2, 2)
+    c.fill(4, dirty=True)
+    line = c.invalidate(4)
+    assert line is not None and line.dirty
+    assert c.peek(4) is None
+    assert c.invalidate(4) is None
+    assert c.occupancy() == 0
+
+
+def test_invalid_ways_filled_before_eviction():
+    c = PolicyCache(1, 4)
+    for b in range(4):
+        assert c.fill(b) is None  # no evictions while ways remain
+    assert c.fill(99) is not None
+
+
+def test_lru_policy_cache_matches_fast_cache():
+    """PolicyCache('lru') must produce the same hit/miss stream as the
+    dict-ordered SetAssocCache on any access sequence."""
+    rng = np.random.default_rng(42)
+    blocks = rng.integers(0, 64, size=2000)
+    fast = SetAssocCache(4, 4)
+    slow = PolicyCache(4, 4, "lru")
+    for b in blocks:
+        b = int(b)
+        fast_hit = fast.lookup(b) is not None
+        slow_hit = slow.lookup(b) is not None
+        assert fast_hit == slow_hit
+        if not fast_hit:
+            fast.insert(b, 0.0, False)
+            slow.fill(b)
+
+
+def test_reset_clears_everything():
+    c = PolicyCache(2, 2)
+    for b in range(10):
+        c.fill(b)
+    c.reset()
+    assert c.occupancy() == 0
+    assert c.blocks() == []
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    policy=st.sampled_from(policy_names()),
+    blocks=st.lists(st.integers(0, 127), min_size=1, max_size=300),
+)
+def test_property_occupancy_bounded_and_contents_subset(policy, blocks):
+    c = PolicyCache(4, 4, policy)
+    inserted = set()
+    for b in blocks:
+        if c.lookup(b) is None:
+            c.fill(b)
+        inserted.add(b)
+    assert c.occupancy() <= 16
+    assert set(c.blocks()) <= inserted
+    # every resident block must be findable
+    for b in c.blocks():
+        assert c.peek(b) is not None
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    policy=st.sampled_from(policy_names()),
+    blocks=st.lists(st.integers(0, 31), min_size=1, max_size=120),
+)
+def test_property_immediate_reaccess_hits(policy, blocks):
+    """Touching a block right after filling it must hit under any policy."""
+    c = PolicyCache(2, 4, policy)
+    for b in blocks:
+        if c.lookup(b) is None:
+            c.fill(b)
+        assert c.peek(b) is not None

@@ -1,0 +1,98 @@
+"""Cross-module property-based invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import ModelConfig
+from repro.prefetch import tabular_model_latency, tabular_model_storage_bits
+from repro.quantization import lookup_aggregate
+from repro.sim import SimConfig, simulate
+from repro.tabularization import TableConfig
+from repro.traces import MemoryTrace
+from repro.traces.generators import StreamPhase, compose_trace
+
+MODEL = ModelConfig(layers=1, dim=32, heads=2, history_len=16, bitmap_size=256)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    k1=st.sampled_from([16, 64, 256]),
+    k2=st.sampled_from([16, 64, 256]),
+    c=st.sampled_from([1, 2, 4]),
+)
+def test_cost_model_monotone_in_k(k1, k2, c):
+    """Latency and storage are monotone in K for fixed C (Fig. 10's premise)."""
+    lo, hi = min(k1, k2), max(k1, k2)
+    t_lo, t_hi = TableConfig.uniform(lo, c), TableConfig.uniform(hi, c)
+    assert tabular_model_latency(MODEL, t_lo) <= tabular_model_latency(MODEL, t_hi)
+    assert tabular_model_storage_bits(MODEL, t_lo) <= tabular_model_storage_bits(MODEL, t_hi)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    c=st.integers(min_value=1, max_value=4),
+    k=st.integers(min_value=2, max_value=8),
+    d_out=st.integers(min_value=1, max_value=6),
+)
+def test_lookup_aggregate_is_linear_in_table(n, c, k, d_out):
+    """Aggregation is linear: lookup(a*T1 + T2) == a*lookup(T1) + lookup(T2)."""
+    rng = np.random.default_rng(n * 100 + c * 10 + k)
+    t1 = rng.standard_normal((c, k, d_out))
+    t2 = rng.standard_normal((c, k, d_out))
+    codes = rng.integers(0, k, size=(n, c))
+    lhs = lookup_aggregate(2.5 * t1 + t2, codes)
+    rhs = 2.5 * lookup_aggregate(t1, codes) + lookup_aggregate(t2, codes)
+    assert np.allclose(lhs, rhs)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=10, max_value=300),
+    gap=st.integers(min_value=2, max_value=60),
+)
+def test_sim_conservation_and_monotone_cycles(n, gap):
+    """hits + misses == accesses; cycles >= ideal front-end time."""
+    tr = compose_trace(
+        [(StreamPhase(0, 10**6), n)], seed=n, mean_instr_gap=float(gap)
+    )
+    r = simulate(tr, None, SimConfig())
+    assert r.demand_hits + r.demand_misses == r.demand_accesses == n
+    assert r.cycles >= r.instructions / 4.0 - 1e-6
+    assert 0.0 < r.ipc <= 4.0 + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_trace_instruction_ids_strictly_positive_gaps(seed):
+    tr = compose_trace([(StreamPhase(0, 1000), 50)], seed=seed)
+    gaps = np.diff(np.concatenate([[0], tr.instr_ids]))
+    assert (gaps >= 1).all()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    lat=st.integers(min_value=0, max_value=5000),
+)
+def test_prefetch_latency_never_increases_ipc_beyond_ideal(lat):
+    """Adding predictor latency can only reduce (never increase) IPC."""
+    from repro.prefetch import NextLinePrefetcher
+
+    tr = compose_trace([(StreamPhase(0, 10**6), 1500)], seed=1, mean_instr_gap=20.0)
+    ideal = NextLinePrefetcher(degree=4)
+    ideal.latency_cycles = 0
+    slow = NextLinePrefetcher(degree=4)
+    slow.latency_cycles = lat
+    r_ideal = simulate(tr, ideal)
+    r_slow = simulate(tr, slow)
+    assert r_slow.ipc <= r_ideal.ipc * 1.02  # small tolerance: eviction noise
+
+
+def test_trace_slice_roundtrip():
+    tr = compose_trace([(StreamPhase(0, 1000), 100)], seed=0, name="s")
+    sl = tr.slice(10, 60)
+    assert len(sl) == 50
+    assert np.array_equal(sl.addrs, tr.addrs[10:60])
+    assert sl.name == tr.name

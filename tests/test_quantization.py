@@ -1,0 +1,171 @@
+"""k-means, hash-tree encoder, and product quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantization import (
+    HashTreeEncoder,
+    ProductQuantizer,
+    build_weight_table,
+    kmeans_fit,
+    lookup_aggregate,
+    pairwise_prototype_table,
+)
+
+
+def _clustered_data(rng, n=600, d=8, k=4, spread=0.05):
+    centers = rng.standard_normal((k, d)) * 3
+    labels = rng.integers(0, k, size=n)
+    return centers[labels] + spread * rng.standard_normal((n, d)), centers
+
+
+def test_kmeans_recovers_separated_clusters(rng):
+    x, true_centers = _clustered_data(rng)
+    centers, assign, inertia = kmeans_fit(x, 4, rng=0)
+    # Every learned center should be near some true center.
+    d = np.linalg.norm(centers[:, None] - true_centers[None], axis=-1).min(axis=1)
+    assert (d < 0.5).all()
+    assert inertia < x.shape[0] * 0.1
+
+
+def test_kmeans_assignment_is_nearest(rng):
+    x = rng.standard_normal((100, 5))
+    centers, assign, _ = kmeans_fit(x, 8, rng=1)
+    dist = np.linalg.norm(x[:, None] - centers[None], axis=-1)
+    assert np.array_equal(assign, dist.argmin(axis=1))
+
+
+def test_kmeans_k_exceeds_n(rng):
+    x = rng.standard_normal((5, 3))
+    centers, assign, inertia = kmeans_fit(x, 16, rng=0)
+    assert centers.shape == (16, 3)
+    assert inertia == 0.0  # every point is its own prototype
+
+
+def test_kmeans_identical_points():
+    x = np.ones((50, 4))
+    centers, assign, inertia = kmeans_fit(x, 4, rng=0)
+    assert np.allclose(centers[assign], 1.0)
+
+
+def test_kmeans_rejects_bad_input():
+    with pytest.raises(ValueError):
+        kmeans_fit(np.zeros((0, 3)), 2)
+    with pytest.raises(ValueError):
+        kmeans_fit(np.zeros((5, 3)), 0)
+
+
+def test_hash_tree_balanced_leaves(rng):
+    x = rng.standard_normal((1024, 6))
+    tree = HashTreeEncoder(16).fit(x)
+    codes = tree.encode(x)
+    counts = np.bincount(codes, minlength=16)
+    # Median splits keep the tree roughly balanced.
+    assert counts.max() <= 4 * max(counts.min(), 1)
+    assert tree.prototypes.shape == (16, 6)
+
+
+def test_hash_tree_encode_latency_is_depth():
+    tree = HashTreeEncoder(32)
+    assert tree.depth == 5
+    with pytest.raises(ValueError):
+        HashTreeEncoder(12)  # not a power of two
+
+
+def test_hash_tree_deterministic(rng):
+    x = rng.standard_normal((256, 4))
+    t1 = HashTreeEncoder(8).fit(x)
+    t2 = HashTreeEncoder(8).fit(x)
+    probe = rng.standard_normal((50, 4))
+    assert np.array_equal(t1.encode(probe), t2.encode(probe))
+
+
+@pytest.mark.parametrize("encoder", ["exact", "hash"])
+def test_pq_reconstruction_error_decreases_with_k(rng, encoder):
+    x, _ = _clustered_data(rng, n=800, d=8, k=8, spread=0.3)
+    errs = [
+        ProductQuantizer(8, 2, k, encoder=encoder, rng=0).fit(x).quantization_error(x)
+        for k in (4, 16, 64)
+    ]
+    assert errs[0] > errs[1] > errs[2]
+
+
+def test_pq_encode_shape_and_range(rng):
+    x = rng.standard_normal((200, 10))
+    pq = ProductQuantizer(10, 3, 16, rng=0).fit(x)  # 10 dims over 3 subspaces: padded
+    codes = pq.encode(x)
+    assert codes.shape == (200, 3)
+    assert codes.min() >= 0 and codes.max() < 16
+    assert pq.padded_dim == 12
+
+
+def test_pq_linear_approximation_improves_with_k(rng):
+    x, _ = _clustered_data(rng, n=800, d=16, k=16, spread=0.2)
+    w = rng.standard_normal((6, 16))
+    b = rng.standard_normal(6)
+    exact = x @ w.T + b
+    errs = []
+    for k in (8, 64, 256):
+        pq = ProductQuantizer(16, 4, k, rng=0).fit(x)
+        approx = lookup_aggregate(build_weight_table(pq, w, b), pq.encode(x))
+        errs.append(float(np.abs(approx - exact).mean()))
+    assert errs[0] > errs[1] > errs[2]
+
+
+def test_bias_folding_adds_exactly_once(rng):
+    x = rng.standard_normal((100, 8))
+    w = rng.standard_normal((4, 8))
+    b = rng.standard_normal(4) * 100  # large so errors would be obvious
+    pq = ProductQuantizer(8, 4, 32, rng=0).fit(x)
+    codes = pq.encode(x)
+    with_b = lookup_aggregate(build_weight_table(pq, w, b), codes)
+    without_b = lookup_aggregate(build_weight_table(pq, w, None), codes)
+    assert np.allclose(with_b - without_b, b[None, :])
+
+
+def test_lookup_aggregate_equals_manual_sum(rng):
+    table = rng.standard_normal((3, 5, 4))
+    codes = rng.integers(0, 5, size=(7, 3))
+    out = lookup_aggregate(table, codes)
+    for i in range(7):
+        ref = sum(table[c, codes[i, c]] for c in range(3))
+        assert np.allclose(out[i], ref)
+
+
+def test_pairwise_prototype_table(rng):
+    pa = rng.standard_normal((2, 4, 3))
+    pb = rng.standard_normal((2, 4, 3))
+    t = pairwise_prototype_table(pa, pb)
+    assert t.shape == (2, 4, 4)
+    assert np.allclose(t[1, 2, 3], pa[1, 2] @ pb[1, 3])
+    with pytest.raises(ValueError):
+        pairwise_prototype_table(pa, pb[:1])
+
+
+def test_pq_validation_errors(rng):
+    with pytest.raises(ValueError):
+        ProductQuantizer(4, 8, 16)  # more subspaces than dims
+    with pytest.raises(ValueError):
+        ProductQuantizer(8, 2, 16, encoder="fuzzy")
+    pq = ProductQuantizer(8, 2, 4, rng=0)
+    with pytest.raises(RuntimeError):
+        pq.encode(np.zeros((3, 8)))  # not fitted
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=20, max_value=100),
+    c=st.integers(min_value=1, max_value=4),
+    k=st.sampled_from([2, 4, 8]),
+)
+def test_pq_quantized_reconstruction_is_prototype_pick(n, c, k):
+    """Property: reconstruction of a training row equals its nearest prototypes."""
+    rng = np.random.default_rng(n * 7 + c)
+    x = rng.standard_normal((n, 8))
+    pq = ProductQuantizer(8, c, k, rng=0).fit(x)
+    codes = pq.encode(x)
+    recon = pq.reconstruct(codes)
+    # re-encoding a reconstruction returns the same codes (idempotence)
+    assert np.array_equal(pq.encode(recon), codes)

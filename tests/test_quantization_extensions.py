@@ -1,0 +1,160 @@
+"""Residual PQ and table bit-width quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantization import (
+    ProductQuantizer,
+    ResidualProductQuantizer,
+    apply_bitwidth,
+    dequantize_array,
+    fake_quantize,
+    quantization_snr_db,
+    quantize_array,
+)
+
+
+def _data(n=600, d=16, seed=0):
+    rng = np.random.default_rng(seed)
+    # Correlated, multi-modal data: what layer activations look like.
+    centers = rng.standard_normal((8, d)) * 3
+    x = centers[rng.integers(0, 8, size=n)] + rng.standard_normal((n, d)) * 0.5
+    return x
+
+
+# ------------------------------------------------------------- residual PQ
+def test_residual_pq_error_decreases_with_stages():
+    x = _data()
+    errs = []
+    for m in (1, 2, 3):
+        rpq = ResidualProductQuantizer(16, 4, 16, n_stages=m, rng=0).fit(x)
+        errs.append(rpq.quantization_error(x))
+    assert errs[0] > errs[1] > errs[2]
+    assert errs[2] < 0.5 * errs[0]
+
+
+def test_residual_pq_single_stage_matches_plain_pq():
+    x = _data(seed=1)
+    rpq = ResidualProductQuantizer(16, 4, 8, n_stages=1, rng=5).fit(x)
+    pq = ProductQuantizer(16, 4, 8, rng=5).fit(x)
+    assert rpq.quantization_error(x) == pytest.approx(pq.quantization_error(x), rel=0.2)
+
+
+def test_residual_pq_codes_shape_and_roundtrip():
+    x = _data(n=100)
+    rpq = ResidualProductQuantizer(16, 4, 8, n_stages=2, rng=0).fit(x)
+    codes = rpq.encode(x)
+    assert codes.shape == (100, 2, 4)
+    recon = rpq.reconstruct(codes)
+    assert recon.shape == (100, 16)
+    with pytest.raises(ValueError):
+        rpq.reconstruct(codes[:, :1])
+
+
+def test_residual_pq_validation():
+    with pytest.raises(ValueError):
+        ResidualProductQuantizer(16, 4, 8, n_stages=0)
+
+
+def test_residual_pq_cost_models():
+    rpq = ResidualProductQuantizer(16, 4, 16, n_stages=2, rng=0)
+    assert rpq.storage_bits(32, d_out=8) == 2 * 4 * 16 * 8 * 32
+    single = ResidualProductQuantizer(16, 4, 16, n_stages=1, rng=0)
+    assert rpq.latency_cycles() > single.latency_cycles()
+
+
+def test_residual_pq_beats_bigger_k_at_same_storage():
+    """2 stages x K=16 (32 rows of table) vs 1 stage x K=32: residual wins on
+    hard (full-rank Gaussian) data where prototype count saturates."""
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal((800, 16))
+    two_stage = ResidualProductQuantizer(16, 2, 16, n_stages=2, rng=0).fit(x)
+    one_stage = ProductQuantizer(16, 2, 32, rng=0).fit(x)
+    assert two_stage.quantization_error(x) < one_stage.quantization_error(x)
+
+
+# ---------------------------------------------------------------- bitwidth
+def test_quantize_roundtrip_error_bounded_by_half_step():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((50, 20)) * 4
+    q, scale = quantize_array(x, bits=8)
+    back = dequantize_array(q, scale)
+    step = float(np.max(scale))
+    assert np.abs(x - back).max() <= step / 2 + 1e-12
+
+
+def test_quantize_dtype_selection():
+    x = np.linspace(-1, 1, 10)
+    assert quantize_array(x, 8)[0].dtype == np.int8
+    assert quantize_array(x, 16)[0].dtype == np.int16
+    assert quantize_array(x, 32)[0].dtype == np.int32
+
+
+def test_quantize_per_channel_beats_global_on_skewed_scales():
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((100, 4))
+    x[:, 0] *= 1000.0  # one huge channel would eat the global scale
+    glob = np.abs(x - fake_quantize(x, 8)).mean()
+    per = np.abs(x - fake_quantize(x, 8, axis=1)).mean()
+    assert per < glob
+
+
+def test_quantize_zero_array():
+    q, scale = quantize_array(np.zeros((3, 3)), 8)
+    assert np.all(q == 0)
+    np.testing.assert_allclose(dequantize_array(q, scale), 0.0)
+
+
+def test_quantize_validation():
+    with pytest.raises(ValueError):
+        quantize_array(np.ones(3), bits=1)
+    with pytest.raises(ValueError):
+        quantize_array(np.ones(3), bits=64)
+
+
+def test_snr_increases_with_bits():
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal(2000)
+    snrs = [quantization_snr_db(x, b) for b in (4, 8, 16)]
+    assert snrs[0] < snrs[1] < snrs[2]
+    # ~6 dB/bit rule of thumb (loose bounds: signal is not full-scale)
+    assert snrs[1] - snrs[0] > 15.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(bits=st.integers(2, 16), seed=st.integers(0, 100))
+def test_property_fake_quantize_idempotent(bits, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(40)
+    once = fake_quantize(x, bits)
+    twice = fake_quantize(once, bits)
+    np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+# ----------------------------------------------- apply to a tabular model
+def test_apply_bitwidth_to_tabular_model(tabular_student, split_dataset):
+    from repro.core.evaluate import f1_score
+
+    model, _ = tabular_student
+    _, ds_val = split_dataset
+    # Work on fresh copies of the tables so the session fixture stays intact.
+    import copy
+
+    m32 = copy.deepcopy(model)
+    base_probs = m32.predict_proba(ds_val.x_addr, ds_val.x_pc)
+    base_storage = m32.storage_bytes()
+
+    m8 = apply_bitwidth(copy.deepcopy(model), 8)
+    assert m8.table_config.data_bits == 8
+    assert m8.storage_bytes() < base_storage
+    probs8 = m8.predict_proba(ds_val.x_addr, ds_val.x_pc)
+    f1_base = f1_score(ds_val.labels, base_probs)
+    f1_q8 = f1_score(ds_val.labels, probs8)
+    assert f1_q8 > 0.5 * f1_base  # 8-bit tables keep most of the F1
+
+    m2 = apply_bitwidth(copy.deepcopy(model), 2)
+    probs2 = m2.predict_proba(ds_val.x_addr, ds_val.x_pc)
+    # 2-bit entries must visibly distort outputs (sanity that the knob bites)
+    assert np.abs(probs2 - base_probs).mean() > np.abs(probs8 - base_probs).mean()

@@ -1,0 +1,72 @@
+"""Campaign report generator and its CLI wrapper."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.report import (
+    ShootoutSpec,
+    _md_table,
+    generate_report,
+    section_configurator,
+    section_cost_model,
+    section_shootout,
+    section_traces,
+)
+
+
+def test_md_table_shape():
+    t = _md_table(["a", "b"], [["1", "2"], ["3", "4"]])
+    lines = t.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert len(lines) == 4
+
+
+def test_cost_model_section_contains_paper_numbers():
+    s = section_cost_model()
+    assert "Table V" in s
+    assert "| DART (1,32,2,K=128,C=2) | 97 |" in s  # the paper's exact latency
+
+
+def test_configurator_section_reports_tiers_and_frontier():
+    s = section_configurator()
+    assert "DART-S" in s and "DART-L" in s
+    assert "Pareto frontier" in s
+
+
+def test_traces_section_lists_all_apps():
+    s = section_traces(scale=0.01)
+    from repro.traces import PAPER_TABLE4
+
+    for app in PAPER_TABLE4:
+        assert app in s
+
+
+def test_shootout_section_runs_small():
+    s = section_shootout(ShootoutSpec(apps=("619.lbm",), scale=0.01))
+    assert "619.lbm" in s and "ΔIPC" in s
+
+
+def test_generate_report_writes_file(tmp_path):
+    out = tmp_path / "report.md"
+    doc = generate_report(
+        trace_scale=0.01,
+        shootout=ShootoutSpec(apps=("619.lbm",), scale=0.01),
+        output=out,
+    )
+    assert out.read_text(encoding="utf-8") == doc
+    assert doc.startswith("# DART reproduction")
+
+
+def test_report_cli(tmp_path, capsys):
+    out = tmp_path / "r.md"
+    rc = main(["report", "--scale", "0.01", "--apps", "619.lbm", "-o", str(out)])
+    assert rc == 0
+    assert out.exists()
+    assert "wrote campaign report" in capsys.readouterr().out
+
+
+def test_report_cli_stdout(capsys):
+    rc = main(["report", "--scale", "0.01", "--apps", "619.lbm"])
+    assert rc == 0
+    assert "Table V" in capsys.readouterr().out

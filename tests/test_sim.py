@@ -1,0 +1,182 @@
+"""Cache model, timing simulator, and prefetch-timeliness behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prefetch import NextLinePrefetcher, PrecomputedPrefetcher
+from repro.sim import SetAssocCache, SimConfig, ipc_improvement, simulate
+from repro.traces.generators import StreamPhase, compose_trace
+from repro.traces.trace import MemoryTrace
+
+
+# ------------------------------------------------------------------- cache
+def test_cache_hit_after_insert():
+    c = SetAssocCache(4, 2)
+    c.insert(0x10, ready_cycle=0.0, prefetched=False)
+    assert c.lookup(0x10) is not None
+    assert c.lookup(0x11) is None
+
+
+def test_cache_lru_eviction_order():
+    c = SetAssocCache(1, 2)  # single set, 2 ways
+    c.insert(1, 0.0, False)
+    c.insert(2, 0.0, False)
+    c.lookup(1)  # refresh 1 -> LRU is 2
+    c.insert(3, 0.0, False)
+    assert c.lookup(2) is None
+    assert c.lookup(1) is not None and c.lookup(3) is not None
+
+
+def test_cache_occupancy_bounded():
+    c = SetAssocCache(2, 2)
+    for b in range(20):
+        c.insert(b, 0.0, False)
+    assert c.occupancy() <= 4
+
+
+def test_cache_from_capacity():
+    c = SetAssocCache.from_capacity(8 * 1024 * 1024, n_ways=16)
+    assert c.n_sets * c.n_ways * 64 == 8 * 1024 * 1024
+
+
+def test_cache_validation():
+    with pytest.raises(ValueError):
+        SetAssocCache(3, 2)  # not a power of two
+    with pytest.raises(ValueError):
+        SetAssocCache(4, 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200))
+def test_cache_property_never_exceeds_ways(blocks):
+    c = SetAssocCache(4, 3)
+    for b in blocks:
+        c.insert(b, 0.0, False)
+    for s in c._sets:
+        assert len(s) <= 3
+
+
+# --------------------------------------------------------------- simulator
+def _stream_trace(n=4000, gap=12):
+    ph = StreamPhase(0, 10**7, stride_blocks=1)
+    tr = compose_trace([(ph, n)], seed=0, mean_instr_gap=gap)
+    return tr
+
+
+def test_baseline_all_misses_on_cold_stream():
+    tr = _stream_trace(2000)
+    r = simulate(tr, None)
+    assert r.demand_misses == 2000
+    assert r.demand_hits == 0
+    assert r.ipc > 0
+
+
+def test_repeated_block_hits():
+    addrs = np.zeros(100, dtype=np.int64)  # same block forever
+    tr = MemoryTrace(np.arange(1, 101) * 10, np.zeros(100, dtype=np.int64), addrs)
+    r = simulate(tr, None)
+    assert r.demand_misses == 1
+    assert r.demand_hits == 99
+
+
+def test_mlp_overlap_beats_serialized_misses():
+    """ROB-bounded overlap: IPC must far exceed the fully-serialized bound."""
+    tr = _stream_trace(3000, gap=10)
+    r = simulate(tr, None, SimConfig(dram_latency=200.0, rob=256, width=4))
+    serialized_cycles = 3000 * 200.0
+    assert r.cycles < 0.25 * serialized_cycles
+
+
+def test_smaller_rob_lowers_ipc():
+    tr = _stream_trace(3000, gap=10)
+    big = simulate(tr, None, SimConfig(rob=512))
+    small = simulate(tr, None, SimConfig(rob=32))
+    assert big.ipc > small.ipc
+
+
+def test_timely_oracle_prefetcher_recovers_peak_ipc():
+    """An oracle prefetching 40 accesses ahead hides the full DRAM latency."""
+    tr = _stream_trace(4000, gap=20)
+    base = simulate(tr, None)
+    ba = tr.block_addrs
+    lookahead = 40
+    lists = [
+        [int(ba[i + lookahead])] if i + lookahead < len(ba) else []
+        for i in range(len(ba))
+    ]
+    r = simulate(tr, PrecomputedPrefetcher(lists, name="oracle"))
+    assert r.prefetches_issued > 0
+    assert r.accuracy > 0.9
+    assert ipc_improvement(r, base) > 0.5
+    assert r.coverage(base.demand_misses) > 0.8
+
+
+def test_shallow_next_line_is_late_but_not_useless():
+    """Degree-4 next-line only looks ~20 cycles ahead of a 200-cycle miss:
+    prefetches are late (in-flight hits), giving a small positive gain."""
+    tr = _stream_trace(4000, gap=20)
+    base = simulate(tr, None)
+    pf = NextLinePrefetcher(degree=4)
+    pf.latency_cycles = 0
+    r = simulate(tr, pf)
+    imp = ipc_improvement(r, base)
+    assert 0.0 < imp < 0.5
+    assert r.late_prefetch_hits > 0
+
+
+def test_prefetch_latency_degrades_benefit():
+    """The paper's core claim: slower predictors help less."""
+    tr = _stream_trace(4000, gap=20)
+    base = simulate(tr, None)
+    imps = []
+    for latency in (0, 500, 27_000):
+        pf = NextLinePrefetcher(degree=2)
+        pf.latency_cycles = latency
+        imps.append(ipc_improvement(simulate(tr, pf), base))
+    assert imps[0] >= imps[1] >= imps[2]
+    assert imps[0] > imps[2]  # strictly worse when very late
+
+
+def test_useless_prefetches_do_not_help():
+    tr = _stream_trace(2000, gap=15)
+    base = simulate(tr, None)
+    junk = [[int(b) + 10**6] for b in tr.block_addrs]  # never-accessed blocks
+    r = simulate(tr, PrecomputedPrefetcher(junk, name="junk"))
+    assert r.prefetches_useful == 0
+    assert r.accuracy == 0.0
+    assert ipc_improvement(r, base) <= 0.01
+
+
+def test_prefetch_dedup_against_cache_contents():
+    """Prefetching an already-cached block must not count as issued."""
+    addrs = np.zeros(50, dtype=np.int64)
+    tr = MemoryTrace(np.arange(1, 51) * 10, np.zeros(50, dtype=np.int64), addrs)
+    same = [[0] for _ in range(50)]  # prefetch the block we always touch
+    r = simulate(tr, PrecomputedPrefetcher(same, name="dup"))
+    assert r.prefetches_issued <= 1
+
+
+def test_accuracy_counts_each_line_once():
+    tr = _stream_trace(1000, gap=15)
+    pf = NextLinePrefetcher(degree=1)
+    pf.latency_cycles = 0
+    r = simulate(tr, pf)
+    assert r.prefetches_useful <= r.prefetches_issued
+
+
+def test_sim_result_summary_and_metrics():
+    tr = _stream_trace(500)
+    r = simulate(tr, None, name="base")
+    s = r.summary()
+    assert s["name"] == "base" and 0 <= s["hit_rate"] <= 1
+    assert r.coverage(0) == 0.0
+    assert ipc_improvement(r, r) == 0.0
+
+
+def test_instructions_accounted():
+    tr = _stream_trace(300)
+    r = simulate(tr, None)
+    assert r.instructions == tr.num_instructions
+    assert r.demand_accesses == 300

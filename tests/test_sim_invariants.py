@@ -1,0 +1,114 @@
+"""Cross-simulator invariants under randomized traces and prefetch streams.
+
+These are the accounting identities any cache/timing model must satisfy
+regardless of workload; hypothesis drives both simulators with adversarial
+access patterns and junk prefetchers.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prefetch import PrecomputedPrefetcher
+from repro.sim import (
+    HierarchyConfig,
+    LevelConfig,
+    SimConfig,
+    simulate,
+    simulate_hierarchy,
+)
+from repro.traces.trace import MemoryTrace
+
+
+def _random_trace(seed: int, n: int, footprint: int) -> MemoryTrace:
+    rng = np.random.default_rng(seed)
+    blocks = rng.integers(0, footprint, size=n).astype(np.int64)
+    gaps = rng.integers(1, 30, size=n)
+    return MemoryTrace(np.cumsum(gaps), rng.integers(0, 64, size=n), blocks << 6)
+
+
+def _tiny_hier() -> HierarchyConfig:
+    return HierarchyConfig(
+        l1d=LevelConfig(1024, 2, 5.0),
+        l2=LevelConfig(4 * 1024, 2, 10.0),
+        llc=LevelConfig(16 * 1024, 4, 20.0),
+        paging=False,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10**6), n=st.integers(1, 400), footprint=st.integers(1, 2000))
+def test_flat_sim_accounting(seed, n, footprint):
+    tr = _random_trace(seed, n, footprint)
+    cfg = SimConfig(llc_capacity_bytes=16 * 1024, llc_ways=4)
+    r = simulate(tr, None, cfg)
+    assert r.demand_hits + r.demand_misses == n
+    assert r.cycles > 0 and np.isfinite(r.ipc)
+    assert r.instructions == tr.num_instructions
+    # misses at least cover the cold start of every resident set
+    assert r.demand_misses >= 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6), n=st.integers(5, 300))
+def test_flat_sim_prefetch_accounting(seed, n):
+    tr = _random_trace(seed, n, 500)
+    rng = np.random.default_rng(seed + 1)
+    lists = [
+        [int(b) for b in rng.integers(0, 600, size=rng.integers(0, 4))] for _ in range(n)
+    ]
+    pf = PrecomputedPrefetcher(lists, name="fuzz", latency_cycles=int(rng.integers(0, 500)))
+    cfg = SimConfig(llc_capacity_bytes=16 * 1024, llc_ways=4)
+    base = simulate(tr, None, cfg)
+    r = simulate(tr, pf, cfg)
+    assert r.prefetches_useful <= r.prefetches_issued
+    assert r.prefetches_issued <= sum(len(x) for x in lists)
+    assert 0.0 <= r.accuracy <= 1.0
+    assert 0.0 <= r.coverage(base.demand_misses) <= 1.0
+    assert r.demand_hits + r.demand_misses == n
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10**6), n=st.integers(1, 250), footprint=st.integers(1, 1500))
+def test_hierarchy_level_identities(seed, n, footprint):
+    tr = _random_trace(seed, n, footprint)
+    r = simulate_hierarchy(tr, config=_tiny_hier())
+    assert r.l1d.accesses == n
+    assert r.l2.accesses == r.l1d.misses
+    assert r.llc.accesses == r.l2.misses
+    assert r.l1d.hits + r.l1d.misses == r.l1d.accesses
+    assert r.llc.hits + r.llc.misses == r.llc.accesses
+    assert r.sim.cycles > 0 and np.isfinite(r.sim.ipc)
+    # DRAM reads = LLC misses when nothing is prefetched or written back
+    assert r.dram["reads"] == r.llc.misses
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_faster_dram_never_slower(seed):
+    tr = _random_trace(seed, 300, 3000)
+    fast = simulate(tr, None, SimConfig(dram_latency=100.0))
+    slow = simulate(tr, None, SimConfig(dram_latency=400.0))
+    assert fast.cycles <= slow.cycles + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_bigger_cache_never_more_misses(seed):
+    tr = _random_trace(seed, 400, 1000)
+    small = simulate(tr, None, SimConfig(llc_capacity_bytes=8 * 1024, llc_ways=4))
+    # LRU is a stack algorithm: same ways, more sets => inclusion holds per set
+    big = simulate(tr, None, SimConfig(llc_capacity_bytes=64 * 1024, llc_ways=4))
+    assert big.demand_misses <= small.demand_misses
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6), n=st.integers(10, 200))
+def test_flat_and_hierarchy_agree_on_demand_volume(seed, n):
+    tr = _random_trace(seed, n, 800)
+    flat = simulate(tr, None)
+    hier = simulate_hierarchy(tr, config=_tiny_hier())
+    assert flat.demand_accesses == n
+    assert hier.l1d.accesses == n
+    # the hierarchy can only filter, never amplify, LLC traffic
+    assert hier.llc.accesses <= n

@@ -1,0 +1,62 @@
+"""Table refresh on weight drift (TabularLinear.rebuild)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.linear import Linear
+from repro.tabularization import TabularLinear
+
+
+def _setup(seed=0):
+    rng = np.random.default_rng(seed)
+    layer = Linear(8, 5, rng=1)
+    x = rng.standard_normal((400, 8))
+    tab = TabularLinear.train(layer, x, n_prototypes=32, n_subspaces=2, rng=2)
+    return layer, x, tab
+
+
+def test_rebuild_tracks_new_weights():
+    layer, x, tab = _setup()
+    before = tab.query(x)
+    new_w = layer.weight.value * 0.5 + 0.1
+    new_b = layer.bias.value + 1.0
+    tab.rebuild(new_w, new_b)
+    after = tab.query(x)
+    # the refreshed table approximates the *new* affine map
+    target = x @ new_w.T + new_b
+    old_target = x @ layer.weight.value.T + layer.bias.value
+    assert np.abs(after - target).mean() < np.abs(after - old_target).mean()
+    assert not np.allclose(before, after)
+
+
+def test_rebuild_is_equivalent_to_retraining_table_only():
+    layer, x, tab = _setup(seed=3)
+    new_w = layer.weight.value + 0.05
+    tab.rebuild(new_w, layer.bias.value)
+    # a freshly trained kernel with the same prototypes must agree exactly
+    from repro.quantization.pq import build_weight_table
+
+    expected = build_weight_table(tab.pq, new_w, layer.bias.value)
+    np.testing.assert_allclose(tab.table, expected)
+
+
+def test_rebuild_shape_validation():
+    _, _, tab = _setup()
+    with pytest.raises(ValueError, match="weight shape"):
+        tab.rebuild(np.zeros((3, 3)))
+
+
+def test_rebuild_returns_self_for_chaining():
+    layer, x, tab = _setup()
+    assert tab.rebuild(layer.weight.value, layer.bias.value) is tab
+
+
+def test_rebuild_approximation_quality_preserved():
+    """After a small drift, the rebuilt table's error vs the new layer is in
+    the same ballpark as the original table's error vs the original layer."""
+    layer, x, tab = _setup(seed=4)
+    err_before = np.abs(tab.query(x) - (x @ layer.weight.value.T + layer.bias.value)).mean()
+    new_w = layer.weight.value + 0.01
+    tab.rebuild(new_w, layer.bias.value)
+    err_after = np.abs(tab.query(x) - (x @ new_w.T + layer.bias.value)).mean()
+    assert err_after < 2.0 * err_before + 1e-6

@@ -1,0 +1,84 @@
+"""Persistence round-trips for PQ, kernels and the full table hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.nn.linear import Linear
+from repro.quantization import ProductQuantizer
+from repro.tabularization import (
+    TabularAttention,
+    TabularLinear,
+    load_tabular_model,
+    save_tabular_model,
+)
+from repro.tabularization.serialization import (
+    attention_from_state,
+    attention_state,
+    linear_from_state,
+    linear_state,
+    pq_from_state,
+    pq_state,
+)
+
+
+@pytest.mark.parametrize("encoder", ["exact", "hash"])
+def test_pq_roundtrip(rng, encoder):
+    x = rng.standard_normal((300, 8))
+    pq = ProductQuantizer(8, 2, 16, encoder=encoder, rng=0).fit(x)
+    state = pq_state(pq, "p")
+    pq2 = pq_from_state(state, "p")
+    probe = rng.standard_normal((40, 8))
+    assert np.array_equal(pq.encode(probe), pq2.encode(probe))
+    assert np.allclose(pq.prototypes, pq2.prototypes)
+
+
+def test_pq_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        pq_state(ProductQuantizer(8, 2, 4), "p")
+
+
+def test_linear_kernel_roundtrip(rng):
+    lin = Linear(10, 4, rng=0)
+    x = rng.standard_normal((400, 10))
+    tab = TabularLinear.train(lin, x, 16, 2, rng=1)
+    tab2 = linear_from_state(linear_state(tab, "L"), "L")
+    probe = rng.standard_normal((20, 10))
+    assert np.allclose(tab.query(probe), tab2.query(probe))
+    assert tab2.latency_cycles() == tab.latency_cycles()
+
+
+def test_attention_kernel_roundtrip(rng):
+    q = rng.standard_normal((60, 8, 8))
+    kern = TabularAttention.train(q, q + 0.1, q - 0.1, 16, 2, rng=0)
+    kern2 = attention_from_state(attention_state(kern, "A"), "A")
+    out1 = kern.query(q, q + 0.1, q - 0.1)
+    out2 = kern2.query(q, q + 0.1, q - 0.1)
+    assert np.allclose(out1, out2)
+
+
+def test_full_model_roundtrip(tabular_student, split_dataset, tmp_path):
+    tab, _ = tabular_student
+    _, ds_val = split_dataset
+    path = tmp_path / "dart_tables"
+    save_tabular_model(tab, path)
+    loaded = load_tabular_model(path)
+    xa, xp = ds_val.x_addr[:12], ds_val.x_pc[:12]
+    assert np.allclose(tab.query(xa, xp), loaded.query(xa, xp))
+    assert loaded.latency_cycles() == tab.latency_cycles()
+    assert loaded.storage_bytes() == tab.storage_bytes()
+    assert loaded.model_config == tab.model_config
+    assert loaded.table_config == tab.table_config
+
+
+def test_loaded_model_drives_prefetcher(tabular_student, small_trace, preprocess_config, tmp_path):
+    from repro.prefetch import DARTPrefetcher
+
+    tab, _ = tabular_student
+    path = tmp_path / "t"
+    save_tabular_model(tab, path)
+    loaded = load_tabular_model(path)
+    pf1 = DARTPrefetcher(tab, preprocess_config)
+    pf2 = DARTPrefetcher(loaded, preprocess_config)
+    l1 = pf1.prefetch_lists(small_trace.slice(0, 800))
+    l2 = pf2.prefetch_lists(small_trace.slice(0, 800))
+    assert l1 == l2

@@ -1,0 +1,141 @@
+"""Algorithm 1: layer-wise conversion, fine-tuning, hierarchy-of-tables model."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluate import cosine_similarity, f1_score
+from repro.nn.linear import Linear
+from repro.tabularization import (
+    TableConfig,
+    finetune_linear,
+    tabularize_predictor,
+)
+
+
+# ------------------------------------------------------------------ fine-tune
+def test_finetune_lstsq_recovers_exact_map(rng):
+    """If Y = W X̂ + b exactly, the solver must recover (W, b)."""
+    lin = Linear(6, 4, rng=0)  # starting point (wrong weights)
+    w_true = rng.standard_normal((4, 6))
+    b_true = rng.standard_normal(4)
+    x_hat = rng.standard_normal((300, 6))
+    y = x_hat @ w_true.T + b_true
+    tuned = finetune_linear(lin, x_hat, y, solver="lstsq")
+    assert np.allclose(tuned.weight.value, w_true, atol=1e-5)
+    assert np.allclose(tuned.bias.value, b_true, atol=1e-5)
+    # original layer untouched
+    assert not np.allclose(lin.weight.value, w_true)
+
+
+def test_finetune_reduces_mse_under_noisy_inputs(rng):
+    lin = Linear(6, 3, rng=1)
+    x = rng.standard_normal((400, 6))
+    y = lin.forward(x)
+    x_hat = x + 0.3 * rng.standard_normal(x.shape)  # corrupted inputs
+    before = float(((lin.forward(x_hat) - y) ** 2).mean())
+    tuned = finetune_linear(lin, x_hat, y, solver="lstsq")
+    after = float(((tuned.forward(x_hat) - y) ** 2).mean())
+    assert after < before
+
+
+def test_finetune_sgd_approaches_lstsq(rng):
+    lin = Linear(5, 3, rng=2)
+    x_hat = rng.standard_normal((200, 5))
+    y = rng.standard_normal((200, 3))
+    exact = finetune_linear(lin, x_hat, y, solver="lstsq")
+    sgd = finetune_linear(lin, x_hat, y, solver="sgd", epochs=200, lr=5e-3)
+    mse_exact = float(((exact.forward(x_hat) - y) ** 2).mean())
+    mse_sgd = float(((sgd.forward(x_hat) - y) ** 2).mean())
+    assert mse_sgd < 1.15 * mse_exact + 1e-9
+
+
+def test_finetune_validation(rng):
+    lin = Linear(5, 3, rng=0)
+    with pytest.raises(ValueError):
+        finetune_linear(lin, np.zeros((10, 5)), np.zeros((9, 3)))
+    with pytest.raises(ValueError):
+        finetune_linear(lin, np.zeros((10, 5)), np.zeros((10, 3)), solver="newton")
+
+
+# ------------------------------------------------------------------ converter
+def test_tabular_model_f1_close_to_student(trained_student, split_dataset, tabular_student):
+    _, ds_val = split_dataset
+    tab, _ = tabular_student
+    f1_nn = f1_score(ds_val.labels, trained_student.predict_proba(ds_val.x_addr, ds_val.x_pc))
+    f1_tab = f1_score(ds_val.labels, tab.predict_proba(ds_val.x_addr, ds_val.x_pc))
+    # Paper Table VII: small drop from student to DART is expected.
+    assert f1_tab > f1_nn - 0.2
+
+
+def test_report_checkpoints_present(tabular_student, trained_student):
+    _, report = tabular_student
+    keys = set(report.cosine)
+    assert "embed" in keys and "logits" in keys
+    assert any(k.startswith("enc0/") for k in keys)
+    assert all(-1.0 <= v <= 1.0 + 1e-9 for v in report.cosine.values())
+
+
+def test_fine_tuning_improves_cosine(trained_student, split_dataset):
+    """Paper Fig. 11: FT raises cosine similarity, especially near the output."""
+    ds_train, _ = split_dataset
+    cfg = TableConfig.uniform(16, 2)  # small tables so FT has room to help
+    _, rep_ft = tabularize_predictor(
+        trained_student, ds_train.x_addr, ds_train.x_pc, cfg, fine_tune=True, rng=0
+    )
+    _, rep_no = tabularize_predictor(
+        trained_student, ds_train.x_addr, ds_train.x_pc, cfg, fine_tune=False, rng=0
+    )
+    assert rep_ft.cosine["logits"] >= rep_no.cosine["logits"] - 1e-6
+
+
+def test_layer_outputs_match_query(tabular_student, split_dataset):
+    tab, _ = tabular_student
+    _, ds_val = split_dataset
+    xa, xp = ds_val.x_addr[:16], ds_val.x_pc[:16]
+    acts = tab.layer_outputs(xa, xp)
+    assert np.allclose(acts["logits"], tab.query_logits(xa, xp))
+
+
+def test_query_probabilities_in_unit_interval(tabular_student, split_dataset):
+    tab, _ = tabular_student
+    _, ds_val = split_dataset
+    probs = tab.query(ds_val.x_addr[:8], ds_val.x_pc[:8])
+    assert ((0.0 <= probs) & (probs <= 1.0)).all()
+
+
+def test_cost_accounting_positive_and_consistent(tabular_student):
+    tab, _ = tabular_student
+    assert tab.latency_cycles() > 0
+    assert tab.storage_bytes() > 0
+    assert tab.arithmetic_ops() > 0
+
+
+def test_tabular_predict_batching(tabular_student, split_dataset):
+    tab, _ = tabular_student
+    _, ds_val = split_dataset
+    xa, xp = ds_val.x_addr[:20], ds_val.x_pc[:20]
+    assert np.allclose(
+        tab.predict_proba(xa, xp, batch_size=7), tab.predict_proba(xa, xp, batch_size=20)
+    )
+
+
+def test_student_unmodified_by_conversion(trained_student, split_dataset):
+    ds_train, ds_val = split_dataset
+    before = trained_student.predict_logits(ds_val.x_addr[:8], ds_val.x_pc[:8])
+    tabularize_predictor(
+        trained_student, ds_train.x_addr, ds_train.x_pc, TableConfig.uniform(8, 2), rng=3
+    )
+    after = trained_student.predict_logits(ds_val.x_addr[:8], ds_val.x_pc[:8])
+    assert np.allclose(before, after)
+
+
+# ------------------------------------------------------------------ evaluate
+def test_cosine_similarity_properties(rng):
+    a = rng.standard_normal((5, 4))
+    assert cosine_similarity(a, a) == pytest.approx(1.0)
+    assert cosine_similarity(a, -a) == pytest.approx(-1.0)
+    z = np.zeros((5, 4))
+    assert cosine_similarity(z, z) == pytest.approx(1.0)
+    assert cosine_similarity(a, z) == pytest.approx(0.0)
+    with pytest.raises(ValueError):
+        cosine_similarity(a, a[:2])

@@ -1,0 +1,102 @@
+"""Sequence-level prefetch timeliness analysis."""
+
+import numpy as np
+import pytest
+
+from repro.prefetch import (
+    NextLinePrefetcher,
+    PrecomputedPrefetcher,
+    analyze_timeliness,
+    compare_timeliness,
+)
+from repro.traces.trace import MemoryTrace
+
+
+def _stream(n=500):
+    blocks = np.arange(n, dtype=np.int64)
+    return MemoryTrace(np.arange(1, n + 1) * 10, np.zeros(n, dtype=np.int64), blocks << 6)
+
+
+def _fixed(lists, latency=0, name="fixed"):
+    return PrecomputedPrefetcher([list(x) for x in lists], name=name, latency_cycles=latency)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        analyze_timeliness(_stream(10), NextLinePrefetcher(), cycles_per_access=0)
+
+
+def test_oracle_far_lookahead_is_timely():
+    tr = _stream(400)
+    ba = tr.block_addrs
+    lists = [[int(ba[i + 100])] if i + 100 < len(ba) else [] for i in range(len(ba))]
+    rep = analyze_timeliness(tr, _fixed(lists), cycles_per_access=5, memory_latency=200)
+    assert rep.timely == rep.total  # 100 accesses * 5 cy >> 200 cy
+    assert rep.timely_fraction == 1.0
+    assert float(np.median(rep.distances)) == 100.0
+
+
+def test_next_line_on_stream_is_late_not_useless():
+    tr = _stream(400)
+    pf = NextLinePrefetcher(degree=1)
+    pf.latency_cycles = 0
+    rep = analyze_timeliness(tr, pf, cycles_per_access=5, memory_latency=200)
+    assert rep.useless <= 1  # only the final access's prediction has no future
+    assert rep.late > 0.9 * rep.total  # distance 1 -> 5 cycles << 200
+
+
+def test_latency_reclassifies_timely_to_late():
+    """The paper's core effect, in one assertion: same predictions, higher
+    latency, timeliness collapses."""
+    tr = _stream(400)
+    ba = tr.block_addrs
+    lists = [[int(ba[i + 50])] if i + 50 < len(ba) else [] for i in range(len(ba))]
+    fast = analyze_timeliness(tr, _fixed(lists, latency=0), cycles_per_access=5)
+    slow = analyze_timeliness(tr, _fixed(lists, latency=27_700, name="voyagerish"),
+                              cycles_per_access=5)
+    assert fast.timely_fraction > 0.9
+    assert slow.timely_fraction == 0.0
+    assert slow.late == slow.total - slow.useless - slow.redundant
+
+
+def test_junk_predictions_are_useless():
+    tr = _stream(200)
+    lists = [[10**9 + i] for i in range(len(tr))]
+    rep = analyze_timeliness(tr, _fixed(lists))
+    assert rep.useless == rep.total
+
+
+def test_repeated_requests_are_redundant():
+    tr = _stream(200)
+    lists = [[500] for _ in range(len(tr))]  # same block every access
+    rep = analyze_timeliness(tr, _fixed(lists), redundancy_window=256)
+    assert rep.redundant == rep.total - 1  # only the first counts
+
+
+def test_distance_histogram_buckets_sum_to_used():
+    tr = _stream(300)
+    ba = tr.block_addrs
+    lists = [[int(ba[i + 3])] if i + 3 < len(ba) else [] for i in range(len(ba))]
+    rep = analyze_timeliness(tr, _fixed(lists))
+    hist = rep.distance_histogram()
+    assert sum(hist.values()) == len(rep.distances)
+    assert hist["(2,4]"] == len(rep.distances)  # all at distance 3
+
+
+def test_summary_and_compare():
+    tr = _stream(200)
+    pf1 = NextLinePrefetcher(degree=1)
+    pf1.latency_cycles = 0
+    reports = compare_timeliness(tr, [pf1, _fixed([[10**9]] * len(tr), name="junk")])
+    assert [r.name for r in reports] == [pf1.name, "junk"]
+    s = reports[0].summary()
+    for key in ("total", "timely", "late", "useless", "timely_fraction"):
+        assert key in s
+
+
+def test_prediction_past_trace_end_is_useless():
+    tr = _stream(50)
+    lists = [[] for _ in range(len(tr))]
+    lists[-1] = [int(tr.block_addrs[-1]) + 1]  # stream continues, trace ends
+    rep = analyze_timeliness(tr, _fixed(lists))
+    assert rep.useless == 1 and rep.total == 1

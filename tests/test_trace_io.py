@@ -1,0 +1,186 @@
+"""Trace interchange formats (CSV / text, gzip) and the Pareto frontier."""
+
+import numpy as np
+import pytest
+
+from repro.prefetch import TableConfigurator
+from repro.traces import (
+    MemoryTrace,
+    load_any,
+    load_csv,
+    load_text,
+    make_workload,
+    save_csv,
+    save_text,
+)
+
+
+def _trace(n=50, seed=0):
+    rng = np.random.default_rng(seed)
+    return MemoryTrace(
+        np.cumsum(rng.integers(1, 20, size=n)),
+        rng.integers(0, 2**40, size=n),
+        rng.integers(0, 2**48, size=n),
+        name="t",
+    )
+
+
+# --------------------------------------------------------------------- CSV
+def test_csv_roundtrip(tmp_path):
+    tr = _trace()
+    path = tmp_path / "t.csv"
+    save_csv(tr, path)
+    back = load_csv(path)
+    np.testing.assert_array_equal(back.instr_ids, tr.instr_ids)
+    np.testing.assert_array_equal(back.pcs, tr.pcs)
+    np.testing.assert_array_equal(back.addrs, tr.addrs)
+
+
+def test_csv_roundtrip_decimal(tmp_path):
+    tr = _trace(seed=1)
+    path = tmp_path / "t.csv"
+    save_csv(tr, path, hex_addrs=False)
+    back = load_csv(path)
+    np.testing.assert_array_equal(back.addrs, tr.addrs)
+
+
+def test_csv_gzip_roundtrip(tmp_path):
+    tr = _trace(seed=2)
+    path = tmp_path / "t.csv.gz"
+    save_csv(tr, path)
+    back = load_csv(path)
+    np.testing.assert_array_equal(back.addrs, tr.addrs)
+    # gzip actually compressed (hex text of random data compresses somewhat)
+    assert path.stat().st_size > 0
+
+
+def test_csv_comments_and_header(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text(
+        "instr_id,pc,addr\n"
+        "# a comment\n"
+        "10,0x400123,0x7f0000001000\n"
+        "20,4194595,139611588448256  # trailing comment\n"
+    )
+    tr = load_csv(path)
+    assert len(tr) == 2
+    assert tr.instr_ids.tolist() == [10, 20]
+    assert tr.pcs[0] == 0x400123
+
+
+def test_csv_malformed_field_count(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("10,0x1,0x2\n30,0x3\n")
+    with pytest.raises(ValueError, match="expected 3 fields"):
+        load_csv(path)
+
+
+def test_csv_malformed_value(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("10,0x1,0x2\n20,xyz,0x4\n")
+    with pytest.raises(ValueError, match="non-integer"):
+        load_csv(path)
+
+
+def test_csv_nonmonotonic_instr_ids_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("20,0x1,0x2\n10,0x3,0x4\n")
+    with pytest.raises(ValueError, match="nondecreasing"):
+        load_csv(path)
+
+
+# -------------------------------------------------------------------- text
+def test_text_roundtrip(tmp_path):
+    tr = _trace(seed=3)
+    path = tmp_path / "t.trace"
+    save_text(tr, path)
+    back = load_text(path)
+    np.testing.assert_array_equal(back.instr_ids, tr.instr_ids)
+    np.testing.assert_array_equal(back.addrs, tr.addrs)
+
+
+def test_text_gzip_roundtrip(tmp_path):
+    tr = _trace(seed=4)
+    path = tmp_path / "t.trace.gz"
+    save_text(tr, path)
+    back = load_text(path)
+    np.testing.assert_array_equal(back.addrs, tr.addrs)
+
+
+def test_text_tolerates_extra_whitespace(tmp_path):
+    path = tmp_path / "t.trace"
+    path.write_text("  10   0x1\t0x40 \n\n20 0x2 0x80\n")
+    tr = load_text(path)
+    assert len(tr) == 2 and tr.addrs.tolist() == [0x40, 0x80]
+
+
+# ---------------------------------------------------------------- load_any
+def test_load_any_dispatch(tmp_path):
+    tr = _trace(seed=5)
+    npz = tmp_path / "t.npz"
+    csv = tmp_path / "t.csv"
+    txt = tmp_path / "t.trace"
+    tr.save(npz)
+    save_csv(tr, csv)
+    save_text(tr, txt)
+    for p in (npz, csv, txt):
+        back = load_any(p)
+        np.testing.assert_array_equal(back.addrs, tr.addrs)
+
+
+def test_imported_trace_drives_simulator(tmp_path):
+    from repro.sim import simulate
+
+    tr = make_workload("619.lbm", scale=0.01, seed=0)
+    path = tmp_path / "w.csv.gz"
+    save_csv(tr, path)
+    back = load_csv(path)
+    r = simulate(back, None)
+    assert r.demand_accesses == len(tr)
+
+
+# ---------------------------------------------------------- Pareto frontier
+@pytest.fixture(scope="module")
+def configurator():
+    return TableConfigurator()
+
+
+def test_frontier_members_are_candidates(configurator):
+    frontier = configurator.pareto_frontier()
+    assert frontier
+    cands = configurator.candidates
+    assert all(f in cands for f in frontier)
+
+
+def test_frontier_has_no_dominated_member(configurator):
+    frontier = configurator.pareto_frontier()
+    proxy = configurator.capacity_proxy
+    for a in frontier:
+        for b in frontier:
+            if a is b:
+                continue
+            dominates = (
+                b.latency_cycles <= a.latency_cycles
+                and b.storage_bytes <= a.storage_bytes
+                and proxy(b) >= proxy(a)
+                and (
+                    b.latency_cycles < a.latency_cycles
+                    or b.storage_bytes < a.storage_bytes
+                    or proxy(b) > proxy(a)
+                )
+            )
+            assert not dominates
+
+
+def test_frontier_smaller_than_design_space(configurator):
+    assert len(configurator.pareto_frontier()) < len(configurator.candidates)
+
+
+def test_feasible_region_respects_budgets(configurator):
+    region = configurator.feasible_region(100, 1_000_000)
+    assert region
+    for c in region:
+        assert c.latency_cycles < 100 and c.storage_bytes < 1_000_000
+    # the greedy pick must come from the feasible region
+    chosen = configurator.configure(100, 1_000_000)
+    assert chosen in region

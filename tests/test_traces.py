@@ -1,0 +1,150 @@
+"""Trace container, generators, workload factories and Table IV statistics."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    MemoryTrace,
+    PAPER_TABLE4,
+    WORKLOAD_NAMES,
+    make_workload,
+    trace_statistics,
+)
+from repro.traces.generators import (
+    BLOCK,
+    BurstInterleave,
+    LocalChasePhase,
+    PatternInterleave,
+    PointerChasePhase,
+    RandomPhase,
+    StreamPhase,
+    StridedStencilPhase,
+    compose_trace,
+)
+
+
+def test_trace_validation():
+    with pytest.raises(ValueError):
+        MemoryTrace(np.array([1, 2]), np.array([0]), np.array([0]))
+    with pytest.raises(ValueError):
+        MemoryTrace(np.array([5, 3]), np.array([0, 0]), np.array([0, 0]))
+
+
+def test_trace_save_load(tmp_path):
+    tr = make_workload("619.lbm", scale=0.01, seed=0)
+    tr.save(tmp_path / "t")
+    tr2 = MemoryTrace.load(tmp_path / "t", name=tr.name)
+    assert np.array_equal(tr.addrs, tr2.addrs)
+    assert np.array_equal(tr.pcs, tr2.pcs)
+
+
+def test_stream_phase_strides_and_wrap():
+    ph = StreamPhase(0, region_blocks=10, stride_blocks=3)
+    _, a1 = ph.generate(5, 0)
+    _, a2 = ph.generate(5, 0)  # cursor continues across calls
+    blocks = np.concatenate([a1, a2]) // BLOCK
+    assert blocks.tolist() == [(i * 3) % 10 for i in range(10)]
+    ph.reset()
+    _, a3 = ph.generate(5, 0)
+    assert np.array_equal(a3, a1)
+
+
+def test_stencil_phase_lockstep_constant_cross_deltas():
+    ph = StridedStencilPhase(bases=[0, 1 << 20], region_blocks=100, stride_blocks=1)
+    _, a = ph.generate(40, 0)
+    deltas = np.diff(a // BLOCK)
+    # alternating constant cross-array delta and return delta
+    assert len(set(deltas.tolist())) <= 3
+
+
+def test_local_chase_repeats_exactly():
+    ph = LocalChasePhase(0, n_nodes=20, stride_lo=4, stride_hi=8, seed=1)
+    _, a1 = ph.generate(20, 0)
+    _, a2 = ph.generate(20, 0)
+    assert np.array_equal(a1, a2)  # one full lap == the next lap
+    strides = np.diff(a1 // BLOCK)
+    assert strides.min() >= 4 and strides.max() <= 8
+
+
+def test_pointer_chase_temporal_repeatability():
+    ph = PointerChasePhase(0, n_nodes=16, region_blocks=1000, seed=2)
+    _, a1 = ph.generate(16, 0)
+    _, a2 = ph.generate(16, 0)
+    assert np.array_equal(a1, a2)
+    assert np.unique(a1).size == 16
+
+
+def test_random_phase_stays_in_region():
+    ph = RandomPhase(1 << 20, region_blocks=64)
+    _, a = ph.generate(500, np.random.default_rng(0))
+    blocks = (a - (1 << 20)) // BLOCK
+    assert blocks.min() >= 0 and blocks.max() < 64
+
+
+def test_pattern_interleave_deterministic():
+    s1 = StreamPhase(0, 1000, pc=1)
+    s2 = StreamPhase(1 << 20, 1000, pc=2)
+    mix = PatternInterleave([s1, s2], [(0, 3), (1, 1)])
+    pcs, _ = mix.generate(12, 0)
+    assert pcs.tolist() == [1, 1, 1, 2] * 3
+
+
+def test_burst_interleave_respects_weights():
+    s1 = StreamPhase(0, 10_000, pc=1)
+    s2 = StreamPhase(1 << 20, 10_000, pc=2)
+    mix = BurstInterleave([s1, s2], [0.9, 0.1], mean_burst=5)
+    pcs, _ = mix.generate(5000, np.random.default_rng(0))
+    frac = (pcs == 1).mean()
+    assert 0.8 < frac < 0.98
+
+
+def test_compose_trace_jitter_and_gaps():
+    ph = StreamPhase(0, 10_000)
+    tr = compose_trace([(ph, 2000)], seed=0, jitter_prob=0.5, jitter_blocks=4)
+    deltas = np.diff(tr.block_addrs)
+    assert np.unique(deltas).size > 3  # jitter created extra deltas
+    assert (np.diff(tr.instr_ids) >= 1).all()
+    tr0 = compose_trace([(StreamPhase(0, 10_000), 2000)], seed=0)
+    assert np.unique(np.diff(tr0.block_addrs)).size <= 2
+
+
+def test_workload_names_cover_paper():
+    assert set(WORKLOAD_NAMES) == set(PAPER_TABLE4)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workloads_generate_and_are_deterministic(name):
+    t1 = make_workload(name, scale=0.01, seed=4)
+    t2 = make_workload(name, scale=0.01, seed=4)
+    assert np.array_equal(t1.addrs, t2.addrs)
+    assert len(t1) >= 1000
+    assert t1.name == name
+
+
+def test_workload_errors():
+    with pytest.raises(KeyError):
+        make_workload("999.nope")
+    with pytest.raises(ValueError):
+        make_workload("619.lbm", scale=0.0)
+
+
+def test_statistics_fields():
+    tr = make_workload("462.libquantum", scale=0.02, seed=0)
+    s = trace_statistics(tr, window=5)
+    assert s["n_accesses"] == len(tr)
+    assert 0 < s["n_pages"] <= s["n_unique_blocks"]
+    assert s["n_deltas"] <= s["n_deltas_window"]
+
+
+def test_libquantum_has_small_delta_vocabulary():
+    s = trace_statistics(make_workload("462.libquantum", scale=0.1, seed=0))
+    assert s["n_deltas"] < 2000
+
+
+def test_mcf_is_most_irregular():
+    stats = {
+        n: trace_statistics(make_workload(n, scale=0.05, seed=0))["n_deltas"]
+        for n in ("605.mcf", "462.libquantum", "619.lbm")
+    }
+    assert stats["605.mcf"] > 10 * stats["462.libquantum"]
+    assert stats["605.mcf"] > 10 * stats["619.lbm"]

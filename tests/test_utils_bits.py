@@ -1,0 +1,66 @@
+"""Address bit-manipulation invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    BLOCK_BITS,
+    PAGE_BITS,
+    block_address,
+    block_delta,
+    block_offset_in_page,
+    make_address,
+    num_segments,
+    page_address,
+    segment_value,
+)
+
+
+def test_block_and_page_relationship():
+    addr = make_address(page=5, block_in_page=3, byte_offset=17)
+    assert page_address(addr) == 5
+    assert block_offset_in_page(addr) == 3
+    assert block_address(addr) == (5 << (PAGE_BITS - BLOCK_BITS)) | 3
+
+
+def test_vectorized_helpers_match_scalars():
+    addrs = np.array([0, 64, 4096, 4096 + 64, 1 << 30], dtype=np.int64)
+    assert np.array_equal(block_address(addrs), addrs >> BLOCK_BITS)
+    assert np.array_equal(page_address(addrs), addrs >> PAGE_BITS)
+
+
+def test_block_delta_signs():
+    ba = np.array([10, 12, 11, 11, 20], dtype=np.int64)
+    assert block_delta(ba).tolist() == [2, -1, 0, 9]
+
+
+@given(
+    page=st.integers(min_value=0, max_value=2**40 - 1),
+    block=st.integers(min_value=0, max_value=(1 << (PAGE_BITS - BLOCK_BITS)) - 1),
+    off=st.integers(min_value=0, max_value=(1 << BLOCK_BITS) - 1),
+)
+def test_make_address_roundtrip(page, block, off):
+    addr = make_address(page, block, off)
+    assert page_address(addr) == page
+    assert block_offset_in_page(addr) == block
+    assert addr & ((1 << BLOCK_BITS) - 1) == off
+
+
+@given(value=st.integers(min_value=0, max_value=2**50 - 1))
+def test_segments_reassemble(value):
+    seg_bits = 6
+    n = num_segments(50, seg_bits)
+    rebuilt = 0
+    for s in range(n):
+        rebuilt |= int(segment_value(value, s, seg_bits)) << (s * seg_bits)
+    assert rebuilt == value
+
+
+def test_num_segments_ceiling():
+    assert num_segments(12, 6) == 2
+    assert num_segments(13, 6) == 3
+    assert num_segments(6, 6) == 1
+    with pytest.raises(ZeroDivisionError):
+        num_segments(6, 0)

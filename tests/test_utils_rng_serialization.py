@@ -1,0 +1,50 @@
+"""Seeded RNG helpers and npz persistence."""
+
+import numpy as np
+
+from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.serialization import load_arrays, save_arrays
+
+
+def test_new_rng_deterministic():
+    a = new_rng(7).standard_normal(5)
+    b = new_rng(7).standard_normal(5)
+    assert np.array_equal(a, b)
+
+
+def test_new_rng_passthrough():
+    g = np.random.default_rng(3)
+    assert new_rng(g) is g
+
+
+def test_new_rng_none_is_fixed():
+    assert np.array_equal(new_rng(None).standard_normal(3), new_rng(0).standard_normal(3))
+
+
+def test_spawn_rngs_independent_and_stable():
+    c1 = spawn_rngs(42, 3)
+    c2 = spawn_rngs(42, 3)
+    for a, b in zip(c1, c2):
+        assert np.array_equal(a.standard_normal(4), b.standard_normal(4))
+    # children differ from each other
+    vals = [g.standard_normal(4) for g in spawn_rngs(42, 3)]
+    assert not np.array_equal(vals[0], vals[1])
+
+
+def test_save_load_roundtrip(tmp_path):
+    data = {
+        "a": np.arange(10, dtype=np.int64),
+        "nested/b": np.eye(3),
+    }
+    path = tmp_path / "state"
+    save_arrays(path, data)
+    loaded = load_arrays(path)
+    assert set(loaded) == set(data)
+    for k in data:
+        assert np.array_equal(loaded[k], data[k])
+
+
+def test_save_appends_npz_suffix(tmp_path):
+    path = tmp_path / "x"
+    save_arrays(path, {"v": np.zeros(2)})
+    assert (tmp_path / "x.npz").exists()

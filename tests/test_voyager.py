@@ -1,0 +1,210 @@
+"""Faithful Voyager: vocabularies, dataset builder, training, prefetching."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    N_OFFSETS,
+    Vocab,
+    VoyagerPredictor,
+    VoyagerPrefetcher,
+    VoyagerTrainConfig,
+    build_voyager_dataset,
+    next_address_accuracy,
+    train_voyager,
+)
+from repro.traces.trace import MemoryTrace
+
+
+def _trace(blocks, pcs=None):
+    blocks = np.asarray(blocks, dtype=np.int64)
+    n = len(blocks)
+    pcs = np.zeros(n, dtype=np.int64) if pcs is None else np.asarray(pcs, dtype=np.int64)
+    return MemoryTrace(np.arange(1, n + 1) * 10, pcs, blocks << 6)
+
+
+def _cyclic_trace(n=600, period=6):
+    """A strictly periodic address sequence: trivially learnable."""
+    base = [7 * N_OFFSETS + 3, 7 * N_OFFSETS + 9, 8 * N_OFFSETS + 3,
+            9 * N_OFFSETS + 1, 7 * N_OFFSETS + 30, 11 * N_OFFSETS + 5][:period]
+    blocks = [base[i % period] for i in range(n)]
+    return _trace(blocks)
+
+
+# ------------------------------------------------------------------- vocab
+def test_vocab_roundtrip_and_oov():
+    v = Vocab(np.array([5, 5, 5, 9, 9, 2]), max_size=16)
+    ids = v.encode(np.array([5, 9, 2, 777]))
+    assert ids[3] == 0  # OOV
+    assert all(i > 0 for i in ids[:3])
+    vals = v.decode(ids)
+    assert vals.tolist()[:3] == [5, 9, 2]
+    assert vals[3] == 0
+
+
+def test_vocab_caps_by_frequency():
+    values = np.array([1] * 10 + [2] * 5 + [3] * 1)
+    v = Vocab(values, max_size=3)  # room for 2 real values + OOV
+    assert len(v) == 3
+    assert v.encode(np.array([1]))[0] > 0
+    assert v.encode(np.array([2]))[0] > 0
+    assert v.encode(np.array([3]))[0] == 0  # least frequent got dropped
+
+
+def test_vocab_encode_preserves_shape():
+    v = Vocab(np.arange(10))
+    out = v.encode(np.arange(6).reshape(2, 3))
+    assert out.shape == (2, 3)
+
+
+# ----------------------------------------------------------------- dataset
+def test_dataset_windows_and_labels():
+    tr = _cyclic_trace(40, period=4)
+    ds, pv, cv = build_voyager_dataset(tr, history_len=8)
+    assert len(ds) == 40 - 8
+    assert ds.pages.shape == (32, 8)
+    # labels are the next access after each window
+    blocks = tr.block_addrs
+    np.testing.assert_array_equal(ds.y_offset, blocks[8:] & (N_OFFSETS - 1))
+
+
+def test_dataset_with_existing_vocab_marks_oov():
+    tr1 = _cyclic_trace(100)
+    _, pv, cv = build_voyager_dataset(tr1, history_len=4)
+    tr2 = _trace([10**6 * N_OFFSETS + 1] * 20)  # pages never seen in training
+    ds2, _, _ = build_voyager_dataset(tr2, history_len=4, page_vocab=pv, pc_vocab=cv)
+    assert np.all(ds2.pages == 0)
+
+
+def test_dataset_too_short_trace():
+    ds, _, _ = build_voyager_dataset(_cyclic_trace(5), history_len=8)
+    assert len(ds) == 0
+
+
+def test_dataset_max_samples():
+    ds, _, _ = build_voyager_dataset(_cyclic_trace(200), history_len=4, max_samples=10)
+    assert len(ds) == 10
+
+
+# ------------------------------------------------------------------- model
+def test_forward_shapes():
+    m = VoyagerPredictor(n_pages=10, n_pcs=4, emb_dim=8, hidden_dim=12, rng=0)
+    B, T = 3, 5
+    zp, zo = m.forward(
+        np.zeros((B, T), dtype=np.int64),
+        np.zeros((B, T), dtype=np.int64),
+        np.zeros((B, T), dtype=np.int64),
+    )
+    assert zp.shape == (3, 10) and zo.shape == (3, N_OFFSETS)
+
+
+def test_training_reduces_loss_and_learns_cycle():
+    tr = _cyclic_trace(500, period=4)
+    ds, pv, cv = build_voyager_dataset(tr, history_len=4)
+    m = VoyagerPredictor(len(pv), len(cv), emb_dim=8, hidden_dim=16, rng=0)
+    hist = train_voyager(m, ds, VoyagerTrainConfig(epochs=8, batch_size=32, lr=5e-3, seed=0))
+    assert hist[-1] < hist[0]
+    acc = next_address_accuracy(m, ds)
+    assert acc["address_acc"] > 0.9  # strictly periodic: must be memorized
+    assert acc["page_acc"] >= acc["address_acc"]
+    assert acc["offset_acc"] >= acc["address_acc"]
+
+
+def test_predict_proba_rows_are_distributions():
+    m = VoyagerPredictor(6, 3, emb_dim=4, hidden_dim=8)
+    pp, po = m.predict_proba(
+        np.zeros((4, 3), dtype=np.int64),
+        np.zeros((4, 3), dtype=np.int64),
+        np.zeros((4, 3), dtype=np.int64),
+    )
+    np.testing.assert_allclose(pp.sum(axis=1), 1.0)
+    np.testing.assert_allclose(po.sum(axis=1), 1.0)
+
+
+def test_predict_proba_empty():
+    m = VoyagerPredictor(6, 3, emb_dim=4, hidden_dim=8)
+    pp, po = m.predict_proba(
+        np.zeros((0, 3), dtype=np.int64),
+        np.zeros((0, 3), dtype=np.int64),
+        np.zeros((0, 3), dtype=np.int64),
+    )
+    assert pp.shape == (0, 6) and po.shape == (0, N_OFFSETS)
+
+
+def test_gru_trunk_learns_cycle_too():
+    tr = _cyclic_trace(400, period=4)
+    ds, pv, cv = build_voyager_dataset(tr, history_len=4)
+    m = VoyagerPredictor(len(pv), len(cv), emb_dim=8, hidden_dim=16, cell="gru", rng=0)
+    hist = train_voyager(m, ds, VoyagerTrainConfig(epochs=8, batch_size=32, lr=5e-3, seed=0))
+    assert hist[-1] < hist[0]
+    assert next_address_accuracy(m, ds)["address_acc"] > 0.9
+
+
+def test_invalid_cell_rejected():
+    with pytest.raises(ValueError, match="cell"):
+        VoyagerPredictor(4, 2, cell="rnn")
+
+
+# -------------------------------------------------------------- prefetcher
+@pytest.fixture(scope="module")
+def trained_voyager():
+    tr = _cyclic_trace(600, period=4)
+    ds, pv, cv = build_voyager_dataset(tr, history_len=4)
+    m = VoyagerPredictor(len(pv), len(cv), emb_dim=8, hidden_dim=16, rng=0)
+    train_voyager(m, ds, VoyagerTrainConfig(epochs=8, batch_size=32, lr=5e-3, seed=0))
+    return m, pv, cv
+
+
+def test_prefetcher_predicts_future_accesses(trained_voyager):
+    m, pv, cv = trained_voyager
+    tr = _cyclic_trace(300, period=4)
+    pf = VoyagerPrefetcher(m, pv, cv, history_len=4, degree=1)
+    lists = pf.prefetch_lists(tr)
+    assert len(lists) == len(tr)
+    assert all(lists[i] == [] for i in range(3))  # no full history yet
+    blocks = tr.block_addrs
+    hits = total = 0
+    for i, lst in enumerate(lists):
+        for p in lst:
+            total += 1
+            hits += p in set(int(b) for b in blocks[i + 1 : i + 4])
+    assert total > 0
+    assert hits / total > 0.8
+
+
+def test_prefetcher_on_unseen_pages_is_quiet_or_harmless(trained_voyager):
+    m, pv, cv = trained_voyager
+    tr = _trace([10**7 * N_OFFSETS + k for k in range(64)])  # all OOV pages
+    pf = VoyagerPrefetcher(m, pv, cv, history_len=4, degree=2)
+    lists = pf.prefetch_lists(tr)
+    # no prediction may materialize an OOV page (decoded page value 0 excluded)
+    for lst in lists:
+        for p in lst:
+            assert p >> 6 != 0 or p == 0
+
+
+def test_prefetcher_describe_and_table_ix_defaults(trained_voyager):
+    m, pv, cv = trained_voyager
+    pf = VoyagerPrefetcher(m, pv, cv)
+    assert pf.latency_cycles == 27_700
+    assert pf.storage_bytes == pytest.approx(14.9e6)
+    ideal = VoyagerPrefetcher(m, pv, cv, name="Voyager-I", latency_cycles=0)
+    assert ideal.latency_cycles == 0
+
+
+def test_prefetcher_in_simulator(trained_voyager):
+    from repro.sim import simulate
+
+    m, pv, cv = trained_voyager
+    tr = _cyclic_trace(400, period=4)
+    pf = VoyagerPrefetcher(m, pv, cv, history_len=4, degree=1, latency_cycles=0)
+    r = simulate(tr, pf)
+    # The tiny cyclic working set is cache-resident after warmup, so every
+    # prefetch is dropped as a duplicate — the dedup path must hold...
+    assert r.prefetches_issued == 0
+    assert r.demand_accesses == 400 and r.ipc > 0
+    # ...while a cold cache (capacity 4 blocks) forces real issues.
+    from repro.sim import SimConfig
+
+    r2 = simulate(tr, pf, SimConfig(llc_capacity_bytes=4 * 64, llc_ways=1))
+    assert r2.prefetches_issued > 0
