@@ -1,0 +1,130 @@
+"""Streaming vs. batch serving throughput (the runtime's perf contract).
+
+Not a paper figure — the deployment-side check that the online runtime's
+micro-batching amortizes the per-access Python loop: DART streaming
+throughput must stay within ~2x of the whole-trace batch path, while
+answering with bounded latency (p50/p99 reported per batch size). A
+rule-based baseline (BO) is included to show the synchronous-stream cost.
+
+Run standalone (writes the ``BENCH_streaming.json`` trajectory artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py --accesses 100000
+
+Future PRs compare their numbers against the committed history of this
+artifact; keep the workload/seed stable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.data import PreprocessConfig, build_dataset
+from repro.models import AttentionPredictor, ModelConfig
+from repro.prefetch import BestOffsetPrefetcher, DARTPrefetcher
+from repro.runtime import serve
+from repro.tabularization import TableConfig, tabularize_predictor
+from repro.traces import make_workload
+from repro.utils import log
+
+#: geometry kept small so the bench finishes in CI; throughput ratios, not
+#: absolute numbers, are the tracked quantity.
+PREPROCESS = PreprocessConfig(history_len=8, window=6, delta_range=32)
+MODEL = ModelConfig(layers=1, dim=16, heads=2, history_len=8, bitmap_size=64)
+TABLE = TableConfig.uniform(16, 2)
+
+
+def build_dart(trace, train_samples: int = 800, seed: int = 0) -> DARTPrefetcher:
+    """An untrained-but-real table hierarchy (weights don't matter for perf)."""
+    ds = build_dataset(trace.pcs, trace.addrs, PREPROCESS, max_samples=train_samples)
+    seg = PREPROCESS.segmenter()
+    student = AttentionPredictor(MODEL, seg.n_addr_segments, seg.n_pc_segments, rng=seed)
+    tabular, _ = tabularize_predictor(
+        student, ds.x_addr, ds.x_pc, TABLE, fine_tune=False, rng=seed
+    )
+    return DARTPrefetcher(tabular, PREPROCESS, threshold=0.4, max_degree=2)
+
+
+def run(accesses: int, batch_sizes: list[int], output: str | None, seed: int = 2) -> dict:
+    scale = max(accesses / 348_000, 0.01) * 1.1  # libquantum is ~348k at scale 1
+    trace = make_workload("462.libquantum", scale=scale, seed=seed)
+    if len(trace) < accesses:
+        raise SystemExit(f"trace too short: {len(trace)} < {accesses}")
+    trace = trace.slice(0, accesses)
+
+    dart = build_dart(trace)
+    t0 = time.perf_counter()
+    batch_lists = dart.prefetch_lists(trace)
+    batch_seconds = time.perf_counter() - t0
+    batch_tput = accesses / batch_seconds
+
+    record: dict = {
+        "workload": "462.libquantum",
+        "seed": seed,
+        "accesses": accesses,
+        "dart_batch": {"seconds": batch_seconds, "throughput": batch_tput},
+        "dart_streaming": {},
+    }
+    rows = [["DART batch", "-", f"{batch_tput:,.0f}", "-", "-", "1.00", "-"]]
+    for b in batch_sizes:
+        stats, lists = serve(dart.stream(batch_size=b), trace, collect=True)
+        identical = lists == batch_lists
+        ratio = batch_tput / stats.throughput if stats.throughput else float("inf")
+        record["dart_streaming"][str(b)] = {
+            **stats.to_dict(),
+            "batch_over_streaming": ratio,
+            "identical_to_batch": identical,
+        }
+        rows.append(
+            ["DART stream", str(b), f"{stats.throughput:,.0f}",
+             f"{stats.p50_us:.1f}", f"{stats.p99_us:.1f}", f"{ratio:.2f}", str(identical)]
+        )
+
+    # Rule-based reference: synchronous stream vs its batch replay.
+    bo = BestOffsetPrefetcher()
+    t0 = time.perf_counter()
+    bo.prefetch_lists(trace)
+    bo_batch_tput = accesses / (time.perf_counter() - t0)
+    bo_stats, _ = serve(bo.stream(), trace)
+    record["bo_batch_throughput"] = bo_batch_tput
+    record["bo_streaming"] = bo_stats.to_dict()
+    rows.append(["BO batch", "-", f"{bo_batch_tput:,.0f}", "-", "-", "1.00", "-"])
+    rows.append(
+        ["BO stream", "1", f"{bo_stats.throughput:,.0f}",
+         f"{bo_stats.p50_us:.1f}", f"{bo_stats.p99_us:.1f}",
+         f"{bo_batch_tput / bo_stats.throughput:.2f}", "True"]
+    )
+
+    log.table(
+        f"streaming vs batch serving ({accesses:,} accesses)",
+        ["path", "B", "accesses/s", "p50 us", "p99 us", "batch/stream", "identical"],
+        rows,
+    )
+    best = min(
+        (v["batch_over_streaming"] for v in record["dart_streaming"].values()),
+        default=float("inf"),
+    )
+    record["best_batch_over_streaming"] = best
+    verdict = "PASS" if best <= 2.0 else "FAIL"
+    print(f"[{verdict}] best DART streaming slowdown vs batch: {best:.2f}x (target <= 2x)")
+    if output:
+        with open(output, "w", encoding="utf-8") as f:
+            json.dump(record, f, indent=2, sort_keys=True)
+        print(f"wrote {output}")
+    return record
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--accesses", type=int, default=100_000)
+    ap.add_argument("--batch-sizes", type=int, nargs="+", default=[1, 16, 64, 256])
+    ap.add_argument("--seed", type=int, default=2)
+    ap.add_argument("--output", "-o", default="BENCH_streaming.json")
+    args = ap.parse_args(argv)
+    record = run(args.accesses, args.batch_sizes, args.output, seed=args.seed)
+    return 0 if record["best_batch_over_streaming"] <= 2.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,10 +1,22 @@
-"""Setup shim.
+"""Packaging for the DART reproduction (src/ layout).
 
-The offline environment has no ``wheel`` package, so PEP 517/660 builds fail;
-this legacy entry point lets ``pip install -e .`` work via
-``setup.py develop``. All metadata lives in pyproject.toml.
+The offline environment has no ``wheel`` package, so PEP 517/660 builds can
+fail; this legacy entry point lets ``pip install -e .`` work via
+``setup.py develop``. Both invocation styles are documented in DESIGN.md
+("Installation / running"): installed, or in-place with ``PYTHONPATH=src``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="dart-repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Attention, Distillation, and Tabularization: "
+        "Towards Practical Neural Network-Based Prefetching'"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

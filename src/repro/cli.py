@@ -9,6 +9,10 @@ Subcommands mirror a deployment workflow:
 * ``simulate`` — replay a trace through the LLC simulator with a chosen
   prefetcher (rule-based, or DART tables from ``train``) and print the
   accuracy / coverage / IPC metrics.
+* ``stream``   — serve a trace through the online runtime (chunked ingestion,
+  micro-batched prediction) and report throughput plus p50/p99 per-access
+  latency; optionally compare against the batch path and emit a JSON
+  artifact.
 * ``configure`` — query the table configurator for a (latency, storage)
   budget without training anything.
 
@@ -178,6 +182,77 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    import json
+    import time
+
+    from repro.runtime import as_streaming, serve
+    from repro.traces import iter_chunks, make_workload
+
+    if args.batch_size < 1:
+        raise SystemExit("--batch-size must be >= 1")
+    if args.max_wait is not None and args.max_wait < 1:
+        raise SystemExit("--max-wait must be >= 1")
+    if args.chunk_size < 1:
+        raise SystemExit("--chunk-size must be >= 1")
+    if args.trace:
+        source = iter_chunks(args.trace, chunk_size=args.chunk_size)
+        trace_label = args.trace
+    else:
+        source = make_workload(args.workload, scale=args.scale, seed=args.seed)
+        trace_label = args.workload
+    pf = _make_prefetcher(args.prefetcher, args.tables)
+    if pf is None:
+        raise SystemExit("stream requires a prefetcher (try --prefetcher bo)")
+    stream = as_streaming(pf, batch_size=args.batch_size, max_wait=args.max_wait)
+    # Rule-based streams answer synchronously and ignore the batching knobs;
+    # only report B for engines that actually micro-batch.
+    effective_b = getattr(stream, "batch_size", None)
+    stats, lists = serve(stream, source, collect=args.compare_batch)
+
+    rows = [
+        ["accesses", f"{stats.accesses:,}"],
+        ["prefetches emitted", f"{stats.prefetches:,}"],
+        ["wall time", f"{stats.seconds:.3f} s"],
+        ["throughput", f"{stats.throughput:,.0f} accesses/s"],
+        ["latency p50", f"{stats.p50_us:.1f} us"],
+        ["latency p99", f"{stats.p99_us:.1f} us"],
+        ["latency mean", f"{stats.mean_us:.1f} us"],
+    ]
+    record = stats.to_dict()
+    record["prefetcher"] = pf.name
+    record["trace"] = trace_label
+    record["batch_size"] = effective_b
+    if args.compare_batch:
+        # Batch reference needs the materialized trace; rebuild the source.
+        from repro.traces import load_any
+
+        trace = load_any(args.trace) if args.trace else source
+        t0 = time.perf_counter()
+        batch_lists = pf.prefetch_lists(trace)
+        batch_seconds = time.perf_counter() - t0
+        identical = batch_lists == lists
+        rows.append(["batch path", f"{batch_seconds:.3f} s "
+                     f"({len(trace) / batch_seconds:,.0f} accesses/s)"])
+        rows.append(["bit-identical to batch", str(identical)])
+        record["batch_seconds"] = batch_seconds
+        record["batch_throughput"] = len(trace) / batch_seconds
+        record["identical_to_batch"] = identical
+    batch_note = f" (B={effective_b})" if effective_b is not None else " (synchronous)"
+    log.table(
+        f"streaming {pf.name} over {trace_label}{batch_note}",
+        ["metric", "value"],
+        rows,
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(record, f, indent=2, sort_keys=True)
+        print(f"wrote serving stats to {args.json}")
+    if args.compare_batch and not record["identical_to_batch"]:
+        return 1
+    return 0
+
+
 def _cmd_configure(args) -> int:
     from repro.prefetch import configure_dart
 
@@ -330,6 +405,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--prefetcher", choices=PREFETCHER_CHOICES, default="bo")
     p_sim.add_argument("--tables", default=None, help="tables .npz for --prefetcher dart")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_str = sub.add_parser("stream", help="serve a trace through the online runtime")
+    p_str.add_argument("--workload", default="462.libquantum")
+    p_str.add_argument("--trace", default=None, help="trace file (.npz/.csv/.txt[.gz])")
+    p_str.add_argument("--scale", type=float, default=0.1)
+    p_str.add_argument("--seed", type=int, default=2)
+    p_str.add_argument("--prefetcher", choices=PREFETCHER_CHOICES, default="bo")
+    p_str.add_argument("--tables", default=None, help="tables .npz for --prefetcher dart")
+    p_str.add_argument("--batch-size", type=int, default=64, help="micro-batch size B")
+    p_str.add_argument("--max-wait", type=int, default=None,
+                       help="flush when the oldest query waited this many accesses")
+    p_str.add_argument("--chunk-size", type=int, default=65536,
+                       help="trace-file ingestion chunk (accesses)")
+    p_str.add_argument("--compare-batch", action="store_true",
+                       help="also run prefetch_lists and check bit-identity")
+    p_str.add_argument("--json", default=None, help="write serving stats JSON here")
+    p_str.set_defaults(func=_cmd_stream)
 
     p_cfg = sub.add_parser("configure", help="query the table configurator")
     p_cfg.add_argument("latency_budget", type=float)

@@ -50,6 +50,17 @@ class PipelineResult:
     ds_val: Dataset
     f1: dict[str, float] = field(default_factory=dict)
 
+    def streaming(self, batch_size: int = 64, max_wait: int | None = None):
+        """Online serving engine for the trained tables.
+
+        The deployment artifact in its serving shape: a
+        :class:`repro.runtime.StreamingPrefetcher` that micro-batches live
+        accesses into the table hierarchy. Drive it with
+        :func:`repro.runtime.serve` or feed it to
+        :func:`repro.sim.simulate(..., streaming=True) <repro.sim.simulate>`.
+        """
+        return self.dart.stream(batch_size=batch_size, max_wait=max_wait)
+
 
 class DARTPipeline:
     """Configurable Fig. 2 workflow."""

@@ -58,6 +58,24 @@ class AddressSegmenter:
         out /= self._norm
         return out
 
+    def segment_access_into(
+        self, block_addr: int, pc: int, out_addr: np.ndarray, out_pc: np.ndarray
+    ) -> None:
+        """Segment one (block address, PC) pair into preallocated rows.
+
+        Bit-identical to :meth:`segment_block_addresses` /
+        :meth:`segment_pcs` on 1-element inputs (same integer segment, same
+        float64 division), but allocation-free and without per-segment NumPy
+        dispatch — the streaming runtime's per-access hot path.
+        """
+        seg_bits = self.seg_bits
+        mask = (1 << seg_bits) - 1
+        norm = self._norm
+        for s in range(self.n_addr_segments):
+            out_addr[s] = ((block_addr >> (s * seg_bits)) & mask) / norm
+        for s in range(self.n_pc_segments):
+            out_pc[s] = ((pc >> (s * seg_bits)) & mask) / norm
+
     def segment_pcs(self, pcs: np.ndarray) -> np.ndarray:
         """Map program counters ``(n,)`` to features ``(n, S_pc)`` in [0, 1]."""
         pc = np.asarray(pcs, dtype=np.int64)

@@ -14,7 +14,7 @@ classic stream buffer.
 
 from repro.prefetch.adaptive import FeedbackThrottle, ThrottleConfig
 from repro.prefetch.analysis import TimelinessReport, analyze_timeliness, compare_timeliness
-from repro.prefetch.base import Prefetcher, PrecomputedPrefetcher
+from repro.prefetch.base import Prefetcher, PrecomputedPrefetcher, SequentialPrefetcher
 from repro.prefetch.bo import BestOffsetPrefetcher
 from repro.prefetch.ghb import GHBPrefetcher
 from repro.prefetch.hybrid import CompositePrefetcher
@@ -40,7 +40,7 @@ from repro.prefetch.dart import DARTPrefetcher
 from repro.prefetch.filter import FilteredPrefetcher
 from repro.prefetch.isb import ISBPrefetcher
 from repro.prefetch.next_line import NextLinePrefetcher
-from repro.prefetch.nn_prefetcher import NeuralPrefetcher
+from repro.prefetch.nn_prefetcher import NeuralPrefetcher, decode_bitmap_probs, model_prefetch_lists
 from repro.prefetch.stride import StridePrefetcher
 from repro.prefetch.table_configurator import (
     CandidateConfig,
@@ -51,6 +51,9 @@ from repro.prefetch.table_configurator import (
 __all__ = [
     "Prefetcher",
     "PrecomputedPrefetcher",
+    "SequentialPrefetcher",
+    "decode_bitmap_probs",
+    "model_prefetch_lists",
     "BestOffsetPrefetcher",
     "attention_kernel_latency",
     "attention_kernel_ops",

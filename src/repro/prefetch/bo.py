@@ -19,8 +19,7 @@ in {2, 3, 5}, here extended with their negatives (covers descending streams).
 from __future__ import annotations
 
 
-from repro.prefetch.base import Prefetcher
-from repro.traces.trace import MemoryTrace
+from repro.prefetch.base import SequentialPrefetcher
 
 
 def michaud_offsets(limit: int = 256, negatives: bool = True) -> list[int]:
@@ -38,7 +37,22 @@ def michaud_offsets(limit: int = 256, negatives: bool = True) -> list[int]:
     return offs
 
 
-class BestOffsetPrefetcher(Prefetcher):
+class _BOState:
+    """Tournament and recent-requests state (one instance per replay/stream)."""
+
+    __slots__ = ("scores", "test_idx", "rounds", "best_offset", "prefetch_on", "rr", "pending")
+
+    def __init__(self, offsets: list[int]):
+        self.scores = dict.fromkeys(offsets, 0)
+        self.test_idx = 0  # which offset the tournament is currently testing
+        self.rounds = 0
+        self.best_offset = 1  # initial guess: next-line
+        self.prefetch_on = True
+        self.rr: dict[int, None] = {}  # insertion-ordered set (dict keys)
+        self.pending: list[tuple[int, int]] = []  # (due_index, block) awaiting RR fill
+
+
+class BestOffsetPrefetcher(SequentialPrefetcher):
     """Best-Offset prefetcher; paper Table IX: ~4 KB state, ≈60-cycle latency."""
 
     name = "BO"
@@ -63,44 +77,38 @@ class BestOffsetPrefetcher(Prefetcher):
         self.rr_delay = int(rr_delay)
         self.degree = int(degree)
 
-    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
-        blocks = trace.block_addrs
-        n = len(blocks)
-        out: list[list[int]] = [[] for _ in range(n)]
-        scores = dict.fromkeys(self.offsets, 0)
-        test_idx = 0  # which offset the tournament is currently testing
-        rounds = 0
-        best_offset = 1  # initial guess: next-line
-        prefetch_on = True
-        rr: dict[int, None] = {}  # insertion-ordered set (dict keys)
-        pending: list[tuple[int, int]] = []  # (due_index, block) awaiting RR fill
+    def reset_state(self) -> _BOState:
+        return _BOState(self.offsets)
 
-        for i in range(n):
-            x = int(blocks[i])
-            # Complete delayed RR insertions.
-            while pending and pending[0][0] <= i:
-                _, blk = pending.pop(0)
-                if blk in rr:
-                    del rr[blk]
-                rr[blk] = None
-                if len(rr) > self.rr_size:
-                    rr.pop(next(iter(rr)))
-            # Learning step: test the current offset against this trigger.
-            off = self.offsets[test_idx]
-            if (x - off) in rr:
-                scores[off] += 1
-            test_idx += 1
-            if test_idx == len(self.offsets):
-                test_idx = 0
-                rounds += 1
-            winner = max(scores, key=lambda o: scores[o])
-            if scores[winner] >= self.score_max or rounds >= self.round_max:
-                best_offset = winner
-                prefetch_on = scores[winner] > self.bad_score
-                scores = dict.fromkeys(self.offsets, 0)
-                rounds = 0
-            # Issue prefetches with the current best offset.
-            if prefetch_on:
-                out[i] = [x + best_offset * d for d in range(1, self.degree + 1)]
-            pending.append((i + self.rr_delay, x))
+    def step(self, state: _BOState, pc: int, block: int, index: int) -> list[int]:
+        x = block
+        rr = state.rr
+        scores = state.scores
+        # Complete delayed RR insertions.
+        while state.pending and state.pending[0][0] <= index:
+            _, blk = state.pending.pop(0)
+            if blk in rr:
+                del rr[blk]
+            rr[blk] = None
+            if len(rr) > self.rr_size:
+                rr.pop(next(iter(rr)))
+        # Learning step: test the current offset against this trigger.
+        off = self.offsets[state.test_idx]
+        if (x - off) in rr:
+            scores[off] += 1
+        state.test_idx += 1
+        if state.test_idx == len(self.offsets):
+            state.test_idx = 0
+            state.rounds += 1
+        winner = max(scores, key=lambda o: scores[o])
+        if scores[winner] >= self.score_max or state.rounds >= self.round_max:
+            state.best_offset = winner
+            state.prefetch_on = scores[winner] > self.bad_score
+            state.scores = dict.fromkeys(self.offsets, 0)
+            state.rounds = 0
+        # Issue prefetches with the current best offset.
+        out: list[int] = []
+        if state.prefetch_on:
+            out = [x + state.best_offset * d for d in range(1, self.degree + 1)]
+        state.pending.append((index + self.rr_delay, x))
         return out

@@ -46,6 +46,23 @@ class DARTPrefetcher(Prefetcher):
             decode=self.decode,
         )
 
+    def stream(self, batch_size: int = 64, max_wait: int | None = None):
+        """Online serving engine: micro-batched queries into the tables."""
+        from repro.runtime.microbatch import StreamingModelPrefetcher
+
+        return StreamingModelPrefetcher(
+            self.predictor.predict_proba,
+            self.config,
+            threshold=self.threshold,
+            max_degree=self.max_degree,
+            decode=self.decode,
+            batch_size=batch_size,
+            max_wait=max_wait,
+            name=self.name,
+            latency_cycles=self.latency_cycles,
+            storage_bytes=self.storage_bytes,
+        )
+
     def meets_constraints(self, latency_budget: float, storage_budget: float) -> bool:
         """Eq. 9: ``L(T) < tau`` and ``S(T) < s``."""
         return self.latency_cycles < latency_budget and self.storage_bytes < storage_budget

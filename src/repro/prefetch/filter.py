@@ -17,6 +17,25 @@ from repro.prefetch.base import Prefetcher
 from repro.traces.trace import MemoryTrace
 
 
+def filter_recent(recent: OrderedDict, blocks: list[int], window: int) -> list[int]:
+    """Pass ``blocks`` through the recent-request window; return the kept ones.
+
+    Mutates ``recent`` (hit = refresh recency, miss = insert + bound). The
+    single filtering step shared by the batch path and
+    :class:`repro.runtime.FilteredStream`, so both suppress identically.
+    """
+    kept: list[int] = []
+    for blk in blocks:
+        if blk in recent:
+            recent.move_to_end(blk)
+            continue
+        recent[blk] = None
+        if len(recent) > window:
+            recent.popitem(last=False)
+        kept.append(blk)
+    return kept
+
+
 class FilteredPrefetcher(Prefetcher):
     """Wrap any prefetcher with a recent-request dedup filter.
 
@@ -48,21 +67,25 @@ class FilteredPrefetcher(Prefetcher):
         out: list[list[int]] = []
         raw_count = kept_count = 0
         for lst in raw:
-            kept: list[int] = []
-            for blk in lst:
-                raw_count += 1
-                if blk in recent:
-                    recent.move_to_end(blk)
-                    continue
-                recent[blk] = None
-                if len(recent) > self.window:
-                    recent.popitem(last=False)
-                kept.append(blk)
-                kept_count += 1
+            kept = filter_recent(recent, lst, self.window)
+            raw_count += len(lst)
+            kept_count += len(kept)
             out.append(kept)
         self.last_raw_requests = raw_count
         self.last_filtered_requests = kept_count
         return out
+
+    def stream(self, **kwargs):
+        """Stream the inner prefetcher through the same dedup filter."""
+        from repro.runtime.streaming import FilteredStream, as_streaming
+
+        return FilteredStream(
+            as_streaming(self.inner, **kwargs),
+            window=self.window,
+            name=self.name,
+            latency_cycles=self.latency_cycles,
+            storage_bytes=self.storage_bytes,
+        )
 
     @property
     def redundancy(self) -> float:

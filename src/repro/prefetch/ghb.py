@@ -19,11 +19,22 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.prefetch.base import Prefetcher
-from repro.traces.trace import MemoryTrace
+from repro.prefetch.base import SequentialPrefetcher
 
 
-class GHBPrefetcher(Prefetcher):
+class _GHBState:
+    __slots__ = ("ghb", "streams")
+
+    def __init__(self, ghb_entries: int):
+        # GHB as a bounded deque of (stream id, block). Delta chains are
+        # reconstructed per stream from the buffer on demand, which matches
+        # the hardware's linked-list walk bounded by buffer residency.
+        self.ghb: deque[tuple[int, int]] = deque(maxlen=ghb_entries)
+        # Per-stream recent history of blocks currently in the GHB.
+        self.streams: dict[int, deque[int]] = {}
+
+
+class GHBPrefetcher(SequentialPrefetcher):
     """GHB delta-correlation prefetcher (``localize='global'`` = G/DC,
     ``localize='pc'`` = PC/DC)."""
 
@@ -47,54 +58,42 @@ class GHBPrefetcher(Prefetcher):
         if localize == "pc":
             self.name = "GHB-PC/DC"
 
-    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
-        blocks = trace.block_addrs
-        pcs = trace.pcs
-        n = len(blocks)
-        out: list[list[int]] = [[] for _ in range(n)]
+    def reset_state(self) -> _GHBState:
+        return _GHBState(self.ghb_entries)
 
-        # GHB as a bounded deque of (stream id, block). Delta chains are
-        # reconstructed per stream from the buffer on demand, which matches
-        # the hardware's linked-list walk bounded by buffer residency.
-        ghb: deque[tuple[int, int]] = deque(maxlen=self.ghb_entries)
-        # Per-stream recent history of blocks currently in the GHB.
-        streams: dict[int, deque[int]] = {}
+    def step(self, state: _GHBState, pc: int, block: int, index: int) -> list[int]:
+        sid = pc if self.localize == "pc" else 0
 
-        for i in range(n):
-            block = int(blocks[i])
-            sid = int(pcs[i]) if self.localize == "pc" else 0
+        hist = state.streams.get(sid)
+        if hist is None:
+            hist = deque(maxlen=self.ghb_entries)
+            state.streams[sid] = hist
+        hist.append(block)
+        state.ghb.append((sid, block))
 
-            hist = streams.get(sid)
-            if hist is None:
-                hist = deque(maxlen=self.ghb_entries)
-                streams[sid] = hist
-            hist.append(block)
-            ghb.append((sid, block))
-
-            if len(hist) >= self.width + 1:
-                h = list(hist)
-                deltas = [h[j + 1] - h[j] for j in range(len(h) - 1)]
-                key = tuple(deltas[-self.width :])
-                # Find the most recent earlier occurrence of the key that
-                # leaves a full `degree` of following deltas to replay; fall
-                # back to the nearest (possibly truncated) match. Without the
-                # room requirement a steady stream always matches the
-                # adjacent position and replays a single delta.
-                preds: list[int] = []
-                match = -1
-                for j in range(len(deltas) - self.width - self.degree, -1, -1):
+        preds: list[int] = []
+        if len(hist) >= self.width + 1:
+            h = list(hist)
+            deltas = [h[j + 1] - h[j] for j in range(len(h) - 1)]
+            key = tuple(deltas[-self.width :])
+            # Find the most recent earlier occurrence of the key that
+            # leaves a full `degree` of following deltas to replay; fall
+            # back to the nearest (possibly truncated) match. Without the
+            # room requirement a steady stream always matches the
+            # adjacent position and replays a single delta.
+            match = -1
+            for j in range(len(deltas) - self.width - self.degree, -1, -1):
+                if tuple(deltas[j : j + self.width]) == key:
+                    match = j
+                    break
+            if match < 0:
+                for j in range(len(deltas) - self.width - 1, -1, -1):
                     if tuple(deltas[j : j + self.width]) == key:
                         match = j
                         break
-                if match < 0:
-                    for j in range(len(deltas) - self.width - 1, -1, -1):
-                        if tuple(deltas[j : j + self.width]) == key:
-                            match = j
-                            break
-                if match >= 0:
-                    addr = block
-                    for d in deltas[match + self.width : match + self.width + self.degree]:
-                        addr += d
-                        preds.append(addr)
-                out[i] = preds
-        return out
+            if match >= 0:
+                addr = block
+                for d in deltas[match + self.width : match + self.width + self.degree]:
+                    addr += d
+                    preds.append(addr)
+        return preds

@@ -19,6 +19,26 @@ from repro.prefetch.base import Prefetcher
 from repro.traces.trace import MemoryTrace
 
 
+def merge_candidates(lists: list[list[int]], max_degree: int) -> list[int]:
+    """Priority-merge one trigger's candidate lists, deduped, budget-capped.
+
+    Shared by the batch path and :class:`repro.runtime.CompositeStream` so the
+    two arbitrate identically.
+    """
+    seen: set[int] = set()
+    merged: list[int] = []
+    for lst in lists:
+        for blk in lst:
+            if blk not in seen:
+                seen.add(blk)
+                merged.append(blk)
+                if len(merged) >= max_degree:
+                    return merged
+        if len(merged) >= max_degree:
+            break
+    return merged
+
+
 class CompositePrefetcher(Prefetcher):
     """Priority-merged ensemble of prefetchers.
 
@@ -51,18 +71,19 @@ class CompositePrefetcher(Prefetcher):
         for lists, comp in zip(all_lists, self.components):
             if len(lists) != n:
                 raise ValueError(f"component {comp.name} returned {len(lists)} lists for {n} accesses")
-        out: list[list[int]] = [[] for _ in range(n)]
-        for i in range(n):
-            seen: set[int] = set()
-            merged: list[int] = []
-            for lists in all_lists:
-                for blk in lists[i]:
-                    if blk not in seen:
-                        seen.add(blk)
-                        merged.append(blk)
-                        if len(merged) >= self.max_degree:
-                            break
-                if len(merged) >= self.max_degree:
-                    break
-            out[i] = merged
-        return out
+        return [
+            merge_candidates([lists[i] for lists in all_lists], self.max_degree)
+            for i in range(n)
+        ]
+
+    def stream(self, **kwargs):
+        """Stream all components and priority-merge their emissions."""
+        from repro.runtime.streaming import CompositeStream, as_streaming
+
+        return CompositeStream(
+            [as_streaming(c, **kwargs) for c in self.components],
+            max_degree=self.max_degree,
+            name=self.name,
+            latency_cycles=self.latency_cycles,
+            storage_bytes=self.storage_bytes,
+        )

@@ -15,11 +15,31 @@ off-chip backing store + on-chip cache).
 
 from __future__ import annotations
 
-from repro.prefetch.base import Prefetcher
-from repro.traces.trace import MemoryTrace
+from repro.prefetch.base import SequentialPrefetcher
 
 
-class ISBPrefetcher(Prefetcher):
+class _ISBState:
+    __slots__ = ("ps", "sp", "last_addr", "next_stream")
+
+    def __init__(self):
+        self.ps: dict[int, int] = {}  # physical block -> structural address
+        self.sp: dict[int, int] = {}  # structural address -> physical block
+        self.last_addr: dict[int, int] = {}  # PC -> last physical block
+        self.next_stream = 0
+
+    def assign(self, phys: int, struct: int, max_entries: int) -> None:
+        old = self.ps.get(phys)
+        if old is not None:
+            self.sp.pop(old, None)
+        self.ps[phys] = struct
+        self.sp[struct] = phys
+        if len(self.ps) > max_entries:
+            # FIFO eviction of the oldest mapping.
+            victim = next(iter(self.ps))
+            self.sp.pop(self.ps.pop(victim), None)
+
+
+class ISBPrefetcher(SequentialPrefetcher):
     """ISB; paper Table IX: ~8 KB on-chip state, ≈30-cycle latency."""
 
     name = "ISB"
@@ -31,50 +51,29 @@ class ISBPrefetcher(Prefetcher):
         self.max_entries = int(max_entries)
         self.stream_granularity = int(stream_granularity)
 
-    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
-        blocks = trace.block_addrs
-        pcs = trace.pcs
-        n = len(blocks)
-        out: list[list[int]] = [[] for _ in range(n)]
-        ps: dict[int, int] = {}  # physical block -> structural address
-        sp: dict[int, int] = {}  # structural address -> physical block
-        last_addr: dict[int, int] = {}  # PC -> last physical block
-        next_stream = 0
+    def reset_state(self) -> _ISBState:
+        return _ISBState()
 
-        def assign(phys: int, struct: int) -> None:
-            nonlocal ps, sp
-            old = ps.get(phys)
-            if old is not None:
-                sp.pop(old, None)
-            ps[phys] = struct
-            sp[struct] = phys
-            if len(ps) > self.max_entries:
-                # FIFO eviction of the oldest mapping.
-                victim = next(iter(ps))
-                sp.pop(ps.pop(victim), None)
-
-        for i in range(n):
-            a = int(blocks[i])
-            pc = int(pcs[i])
-            b = last_addr.get(pc)
-            if b is not None and b != a:
-                sb = ps.get(b)
-                if sb is None:
-                    sb = next_stream
-                    next_stream += self.stream_granularity
-                    assign(b, sb)
-                # A becomes B's structural successor unless it already heads
-                # its own stream position (ISB keeps the first mapping).
-                if a not in ps:
-                    assign(a, sb + 1)
-            last_addr[pc] = a
-            # Prefetch the structural successors of the current address.
-            sa = ps.get(a)
-            if sa is not None:
-                preds = []
-                for d in range(1, self.degree + 1):
-                    nxt = sp.get(sa + d)
-                    if nxt is not None:
-                        preds.append(nxt)
-                out[i] = preds
-        return out
+    def step(self, state: _ISBState, pc: int, block: int, index: int) -> list[int]:
+        a = block
+        b = state.last_addr.get(pc)
+        if b is not None and b != a:
+            sb = state.ps.get(b)
+            if sb is None:
+                sb = state.next_stream
+                state.next_stream += self.stream_granularity
+                state.assign(b, sb, self.max_entries)
+            # A becomes B's structural successor unless it already heads
+            # its own stream position (ISB keeps the first mapping).
+            if a not in state.ps:
+                state.assign(a, sb + 1, self.max_entries)
+        state.last_addr[pc] = a
+        # Prefetch the structural successors of the current address.
+        preds: list[int] = []
+        sa = state.ps.get(a)
+        if sa is not None:
+            for d in range(1, self.degree + 1):
+                nxt = state.sp.get(sa + d)
+                if nxt is not None:
+                    preds.append(nxt)
+        return preds

@@ -11,11 +11,18 @@ NN predictors are supposed to beat.
 
 from __future__ import annotations
 
-from repro.prefetch.base import Prefetcher
-from repro.traces.trace import MemoryTrace
+from repro.prefetch.base import SequentialPrefetcher
 
 
-class MarkovPrefetcher(Prefetcher):
+class _MarkovState:
+    __slots__ = ("table", "prev")
+
+    def __init__(self):
+        self.table: dict[int, dict[int, int]] = {}
+        self.prev: int | None = None
+
+
+class MarkovPrefetcher(SequentialPrefetcher):
     """First-order Markov (address-correlation) prefetcher."""
 
     name = "Markov"
@@ -27,29 +34,25 @@ class MarkovPrefetcher(Prefetcher):
         self.successors = int(successors)
         self.degree = int(degree)
 
-    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
-        blocks = trace.block_addrs
-        n = len(blocks)
-        out: list[list[int]] = [[] for _ in range(n)]
-        table: dict[int, dict[int, int]] = {}
-        prev: int | None = None
+    def reset_state(self) -> _MarkovState:
+        return _MarkovState()
 
-        for i in range(n):
-            block = int(blocks[i])
-            if prev is not None and prev != block:
-                succ = table.get(prev)
-                if succ is None:
-                    succ = {}
-                    table[prev] = succ
-                    if len(table) > self.table_entries:
-                        del table[next(iter(table))]
-                succ[block] = succ.get(block, 0) + 1
-                if len(succ) > self.successors:
-                    del succ[min(succ, key=succ.__getitem__)]
-            prev = block
+    def step(self, state: _MarkovState, pc: int, block: int, index: int) -> list[int]:
+        table = state.table
+        if state.prev is not None and state.prev != block:
+            succ = table.get(state.prev)
+            if succ is None:
+                succ = {}
+                table[state.prev] = succ
+                if len(table) > self.table_entries:
+                    del table[next(iter(table))]
+            succ[block] = succ.get(block, 0) + 1
+            if len(succ) > self.successors:
+                del succ[min(succ, key=succ.__getitem__)]
+        state.prev = block
 
-            succ = table.get(block)
-            if succ:
-                ranked = sorted(succ, key=succ.__getitem__, reverse=True)
-                out[i] = ranked[: self.degree]
-        return out
+        succ = table.get(block)
+        if succ:
+            ranked = sorted(succ, key=succ.__getitem__, reverse=True)
+            return ranked[: self.degree]
+        return []

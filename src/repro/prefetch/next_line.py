@@ -6,11 +6,10 @@ baseline set).
 
 from __future__ import annotations
 
-from repro.prefetch.base import Prefetcher
-from repro.traces.trace import MemoryTrace
+from repro.prefetch.base import SequentialPrefetcher
 
 
-class NextLinePrefetcher(Prefetcher):
+class NextLinePrefetcher(SequentialPrefetcher):
     name = "NextLine"
     latency_cycles = 1
     storage_bytes = 0.0
@@ -18,6 +17,8 @@ class NextLinePrefetcher(Prefetcher):
     def __init__(self, degree: int = 1):
         self.degree = int(degree)
 
-    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
-        blocks = trace.block_addrs
-        return [[int(b) + d for d in range(1, self.degree + 1)] for b in blocks]
+    def reset_state(self) -> None:
+        return None  # stateless
+
+    def step(self, state, pc: int, block: int, index: int) -> list[int]:
+        return [block + d for d in range(1, self.degree + 1)]

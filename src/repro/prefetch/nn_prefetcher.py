@@ -24,20 +24,20 @@ from repro.traces.trace import MemoryTrace
 from repro.utils.bits import block_address
 
 
-def model_prefetch_lists(
-    trace: MemoryTrace,
-    predict_proba,
-    config: PreprocessConfig,
+def decode_bitmap_probs(
+    probs: np.ndarray,
+    anchors: np.ndarray,
     threshold: float = 0.5,
     max_degree: int = 2,
-    batch_size: int = 1024,
     decode: str = "distance",
 ) -> list[list[int]]:
-    """Batched trace → prefetch-lists pipeline shared by all learned prefetchers.
+    """Turn delta-bitmap probabilities into per-row prefetch block lists.
 
-    ``predict_proba(x_addr, x_pc, batch_size)`` is any callable with the
-    predictor interface (NN or tabular). The first ``history_len - 1`` accesses
-    have no full history and produce no prefetches.
+    ``probs`` is ``(n, 2R)``; ``anchors`` the ``(n,)`` block addresses the
+    deltas are relative to. This is the single decode implementation shared by
+    the whole-trace batch path (:func:`model_prefetch_lists`) and the
+    streaming micro-batcher — sharing it is what keeps the two serving paths
+    bit-identical.
 
     ``decode`` selects which of the above-threshold bits become prefetches
     when more than ``max_degree`` qualify:
@@ -51,6 +51,47 @@ def model_prefetch_lists(
       ~0.81 vs BO ~0.89 accuracy, yet Fig. 14 shows DART winning IPC).
     * ``"confidence"`` — prefer the highest-probability deltas (ablation).
     """
+    if decode not in ("distance", "confidence"):
+        raise ValueError(f"unknown decode policy {decode!r}")
+    delta_range = probs.shape[1] // 2
+    anchors = np.asarray(anchors, dtype=np.int64)
+    # Vectorized decode: mask below threshold, rank the rest per row.
+    if decode == "distance":
+        all_deltas = bitmap_index_to_delta(np.arange(2 * delta_range), delta_range)
+        rank_score = np.abs(all_deltas).astype(np.float64)  # farther = better
+        masked = np.where(probs > threshold, rank_score[None, :], -1.0)
+    else:
+        masked = np.where(probs > threshold, probs, -1.0)
+    order = np.argsort(-masked, axis=1)[:, :max_degree]  # top candidates
+    chosen = np.take_along_axis(masked, order, axis=1)
+    deltas = bitmap_index_to_delta(order, delta_range)
+    valid = chosen > 0
+    out: list[list[int]] = []
+    for row in range(order.shape[0]):
+        v = valid[row]
+        if v.any():
+            out.append((anchors[row] + deltas[row][v]).tolist())
+        else:
+            out.append([])
+    return out
+
+
+def model_prefetch_lists(
+    trace: MemoryTrace,
+    predict_proba,
+    config: PreprocessConfig,
+    threshold: float = 0.5,
+    max_degree: int = 2,
+    batch_size: int = 1024,
+    decode: str = "distance",
+) -> list[list[int]]:
+    """Batched trace → prefetch-lists pipeline shared by all learned prefetchers.
+
+    ``predict_proba(x_addr, x_pc, batch_size)`` is any callable with the
+    predictor interface (NN or tabular). The first ``history_len - 1`` accesses
+    have no full history and produce no prefetches. See
+    :func:`decode_bitmap_probs` for the ``decode`` policies.
+    """
     t_hist = config.history_len
     ba = block_address(trace.addrs)
     n = len(ba)
@@ -63,25 +104,11 @@ def model_prefetch_lists(
     x_addr = seg.segment_block_addresses(addr_windows)
     x_pc = seg.segment_pcs(pc_windows)
     probs = predict_proba(x_addr, x_pc, batch_size=batch_size)
-    delta_range = probs.shape[1] // 2
-    if decode not in ("distance", "confidence"):
-        raise ValueError(f"unknown decode policy {decode!r}")
-    # Vectorized decode: mask below threshold, rank the rest per row.
-    if decode == "distance":
-        all_deltas = bitmap_index_to_delta(np.arange(2 * delta_range), delta_range)
-        rank_score = np.abs(all_deltas).astype(np.float64)  # farther = better
-        masked = np.where(probs > threshold, rank_score[None, :], -1.0)
-    else:
-        masked = np.where(probs > threshold, probs, -1.0)
-    order = np.argsort(-masked, axis=1)[:, :max_degree]  # top candidates
-    chosen = np.take_along_axis(masked, order, axis=1)
-    deltas = bitmap_index_to_delta(order, delta_range)
-    anchors = ba[t_hist - 1 :]
-    valid = chosen > 0
-    for row in range(order.shape[0]):
-        v = valid[row]
-        if v.any():
-            out[t_hist - 1 + row] = (anchors[row] + deltas[row][v]).tolist()
+    # A predictor may answer fewer rows than windows (e.g. label oracles with
+    # no full look-forward at the tail); those accesses keep empty lists.
+    anchors = ba[t_hist - 1 : t_hist - 1 + probs.shape[0]]
+    decoded = decode_bitmap_probs(probs, anchors, threshold, max_degree, decode)
+    out[t_hist - 1 : t_hist - 1 + len(decoded)] = decoded
     return out
 
 
@@ -123,4 +150,21 @@ class NeuralPrefetcher(Prefetcher):
             threshold=self.threshold,
             max_degree=self.max_degree,
             decode=self.decode,
+        )
+
+    def stream(self, batch_size: int = 64, max_wait: int | None = None):
+        """Online serving engine (micro-batched) for this predictor."""
+        from repro.runtime.microbatch import StreamingModelPrefetcher
+
+        return StreamingModelPrefetcher(
+            self.model.predict_proba,
+            self.config,
+            threshold=self.threshold,
+            max_degree=self.max_degree,
+            decode=self.decode,
+            batch_size=batch_size,
+            max_wait=max_wait,
+            name=self.name,
+            latency_cycles=self.latency_cycles,
+            storage_bytes=self.storage_bytes,
         )

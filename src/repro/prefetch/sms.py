@@ -14,14 +14,23 @@ observe). Footprints are stored as bit masks in a pattern history table.
 
 from __future__ import annotations
 
-from repro.prefetch.base import Prefetcher
-from repro.traces.trace import MemoryTrace
+from repro.prefetch.base import SequentialPrefetcher
 from repro.utils.bits import PAGE_BLOCK_BITS
 
 BLOCKS_PER_REGION = 1 << PAGE_BLOCK_BITS
 
 
-class SMSPrefetcher(Prefetcher):
+class _SMSState:
+    __slots__ = ("active", "pht")
+
+    def __init__(self):
+        # Active generations: region -> (trigger key, footprint bitmask)
+        self.active: dict[int, tuple[int, int]] = {}
+        # Pattern history: trigger key -> footprint bitmask
+        self.pht: dict[int, int] = {}
+
+
+class SMSPrefetcher(SequentialPrefetcher):
     """SMS with an accumulation table and a PC+offset-indexed pattern table."""
 
     name = "SMS"
@@ -33,53 +42,39 @@ class SMSPrefetcher(Prefetcher):
         self.pht_entries = int(pht_entries)
         self.max_degree = int(max_degree)
 
-    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
-        blocks = trace.block_addrs
-        pcs = trace.pcs
-        n = len(blocks)
-        out: list[list[int]] = [[] for _ in range(n)]
-        # Active generations: region -> (trigger key, footprint bitmask)
-        active: dict[int, tuple[int, int]] = {}
-        # Pattern history: trigger key -> footprint bitmask
-        pht: dict[int, int] = {}
+    def reset_state(self) -> _SMSState:
+        return _SMSState()
 
-        def trigger_key(pc: int, offset: int) -> int:
-            return (pc << PAGE_BLOCK_BITS) | offset
+    def _end_generation(self, state: _SMSState, region: int) -> None:
+        key, footprint = state.active.pop(region)
+        if bin(footprint).count("1") > 1:  # trivial footprints train nothing
+            state.pht[key] = footprint
+            if len(state.pht) > self.pht_entries:
+                del state.pht[next(iter(state.pht))]
 
-        def end_generation(region: int) -> None:
-            key, footprint = active.pop(region)
-            if bin(footprint).count("1") > 1:  # trivial footprints train nothing
-                pht[key] = footprint
-                if len(pht) > self.pht_entries:
-                    del pht[next(iter(pht))]
+    def step(self, state: _SMSState, pc: int, block: int, index: int) -> list[int]:
+        # Note: the generation-ending flush the batch path used to run at
+        # end-of-trace only trained the PHT after the last prediction, so
+        # dropping it in the step formulation changes no output.
+        region, offset = divmod(block, BLOCKS_PER_REGION)
+        preds: list[int] = []
 
-        for i in range(n):
-            block = int(blocks[i])
-            pc = int(pcs[i])
-            region, offset = divmod(block, BLOCKS_PER_REGION)
-
-            entry = active.get(region)
-            if entry is None:
-                # New generation: predict from history, start accumulating.
-                key = trigger_key(pc, offset)
-                pattern = pht.get(key, 0)
-                if pattern:
-                    preds = []
-                    base = region * BLOCKS_PER_REGION
-                    for off in range(BLOCKS_PER_REGION):
-                        if off != offset and (pattern >> off) & 1:
-                            preds.append(base + off)
-                            if len(preds) >= self.max_degree:
-                                break
-                    out[i] = preds
-                active[region] = (key, 1 << offset)
-                if len(active) > self.active_regions:
-                    end_generation(next(iter(active)))
-            else:
-                key, footprint = entry
-                active[region] = (key, footprint | (1 << offset))
-        # Flush remaining generations so short traces still train (useful for
-        # tests; has no effect on predictions already emitted).
-        for region in list(active):
-            end_generation(region)
-        return out
+        entry = state.active.get(region)
+        if entry is None:
+            # New generation: predict from history, start accumulating.
+            key = (pc << PAGE_BLOCK_BITS) | offset
+            pattern = state.pht.get(key, 0)
+            if pattern:
+                base = region * BLOCKS_PER_REGION
+                for off in range(BLOCKS_PER_REGION):
+                    if off != offset and (pattern >> off) & 1:
+                        preds.append(base + off)
+                        if len(preds) >= self.max_degree:
+                            break
+            state.active[region] = (key, 1 << offset)
+            if len(state.active) > self.active_regions:
+                self._end_generation(state, next(iter(state.active)))
+        else:
+            key, footprint = entry
+            state.active[region] = (key, footprint | (1 << offset))
+        return preds

@@ -20,8 +20,7 @@ table), which is what the Table IX-style comparisons report.
 
 from __future__ import annotations
 
-from repro.prefetch.base import Prefetcher
-from repro.traces.trace import MemoryTrace
+from repro.prefetch.base import SequentialPrefetcher
 from repro.utils.bits import PAGE_BLOCK_BITS
 
 #: signature bits (paper value)
@@ -36,7 +35,17 @@ def update_signature(sig: int, delta: int) -> int:
     return ((sig << 3) ^ folded) & ((1 << SIG_BITS) - 1)
 
 
-class SPPPrefetcher(Prefetcher):
+class _SPPState:
+    __slots__ = ("st", "pt")
+
+    def __init__(self):
+        # Signature table: page -> (signature, last block offset in page)
+        self.st: dict[int, tuple[int, int]] = {}
+        # Pattern table: signature -> {delta: counter}
+        self.pt: dict[int, dict[int, int]] = {}
+
+
+class SPPPrefetcher(SequentialPrefetcher):
     """SPP with signature table, pattern table, and confidence-bounded walk.
 
     Parameters
@@ -70,59 +79,52 @@ class SPPPrefetcher(Prefetcher):
         self.st_entries = int(st_entries)
         self.pt_entries = int(pt_entries)
 
-    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
-        blocks = trace.block_addrs
-        n = len(blocks)
-        out: list[list[int]] = [[] for _ in range(n)]
-        # Signature table: page -> (signature, last block offset in page)
-        st: dict[int, tuple[int, int]] = {}
-        # Pattern table: signature -> {delta: counter}
-        pt: dict[int, dict[int, int]] = {}
+    def reset_state(self) -> _SPPState:
+        return _SPPState()
+
+    def step(self, state: _SPPState, pc: int, block: int, index: int) -> list[int]:
+        st, pt = state.st, state.pt
+        page, offset = divmod(block, BLOCKS_PER_PAGE)
 
         def bound(table: dict, cap: int) -> None:
             if len(table) > cap:
                 del table[next(iter(table))]
 
-        for i in range(n):
-            block = int(blocks[i])
-            page, offset = divmod(block, BLOCKS_PER_PAGE)
+        entry = st.get(page)
+        if entry is not None:
+            sig, last_off = entry
+            delta = offset - last_off
+            if delta != 0:
+                # Train: credit this delta under the page's old signature.
+                counters = pt.setdefault(sig, {})
+                counters[delta] = min(counters.get(delta, 0) + 1, self.max_counter)
+                if len(counters) > 16:  # per-signature way bound
+                    victim = min(counters, key=counters.__getitem__)
+                    del counters[victim]
+                bound(pt, self.pt_entries)
+                sig = update_signature(sig, delta)
+        else:
+            sig = 0
+        st[page] = (sig, offset)
+        bound(st, self.st_entries)
 
-            entry = st.get(page)
-            if entry is not None:
-                sig, last_off = entry
-                delta = offset - last_off
-                if delta != 0:
-                    # Train: credit this delta under the page's old signature.
-                    counters = pt.setdefault(sig, {})
-                    counters[delta] = min(counters.get(delta, 0) + 1, self.max_counter)
-                    if len(counters) > 16:  # per-signature way bound
-                        victim = min(counters, key=counters.__getitem__)
-                        del counters[victim]
-                    bound(pt, self.pt_entries)
-                    sig = update_signature(sig, delta)
-            else:
-                sig = 0
-            st[page] = (sig, offset)
-            bound(st, self.st_entries)
-
-            # Speculative walk from the *updated* signature.
-            preds: list[int] = []
-            conf = 1.0
-            walk_sig = sig
-            walk_off = offset
-            for _ in range(self.max_depth):
-                counters = pt.get(walk_sig)
-                if not counters:
-                    break
-                total = sum(counters.values())
-                best_delta = max(counters, key=counters.__getitem__)
-                conf *= counters[best_delta] / total
-                if conf < self.threshold:
-                    break
-                walk_off += best_delta
-                if not 0 <= walk_off < BLOCKS_PER_PAGE:
-                    break  # SPP stops at page boundaries
-                preds.append(page * BLOCKS_PER_PAGE + walk_off)
-                walk_sig = update_signature(walk_sig, best_delta)
-            out[i] = preds
-        return out
+        # Speculative walk from the *updated* signature.
+        preds: list[int] = []
+        conf = 1.0
+        walk_sig = sig
+        walk_off = offset
+        for _ in range(self.max_depth):
+            counters = pt.get(walk_sig)
+            if not counters:
+                break
+            total = sum(counters.values())
+            best_delta = max(counters, key=counters.__getitem__)
+            conf *= counters[best_delta] / total
+            if conf < self.threshold:
+                break
+            walk_off += best_delta
+            if not 0 <= walk_off < BLOCKS_PER_PAGE:
+                break  # SPP stops at page boundaries
+            preds.append(page * BLOCKS_PER_PAGE + walk_off)
+            walk_sig = update_signature(walk_sig, best_delta)
+        return preds

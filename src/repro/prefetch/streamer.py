@@ -10,8 +10,7 @@ irregular side).
 
 from __future__ import annotations
 
-from repro.prefetch.base import Prefetcher
-from repro.traces.trace import MemoryTrace
+from repro.prefetch.base import SequentialPrefetcher
 
 
 class _Stream:
@@ -24,7 +23,7 @@ class _Stream:
         self.head = last  # furthest block already requested
 
 
-class StreamPrefetcher(Prefetcher):
+class StreamPrefetcher(SequentialPrefetcher):
     """Multi-stream unit-stride streamer with per-stream confidence."""
 
     name = "Streamer"
@@ -43,52 +42,49 @@ class StreamPrefetcher(Prefetcher):
         self.confirm = int(confirm)
         self.window = int(window)  # how close an access must be to extend
 
-    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
-        blocks = trace.block_addrs
-        n = len(blocks)
-        out: list[list[int]] = [[] for _ in range(n)]
-        streams: dict[int, _Stream] = {}  # keyed by region = block // window
+    def reset_state(self) -> dict[int, _Stream]:
+        return {}  # keyed by region = block // window
 
-        for i in range(n):
-            block = int(blocks[i])
-            region = block // self.window
-            st = streams.get(region) or streams.get(region - 1) or streams.get(region + 1)
-            if st is None:
-                streams[region] = _Stream(block, +1)
-                if len(streams) > self.n_streams:
-                    del streams[next(iter(streams))]
-                continue
-            step = block - st.last
-            if step == 0:
-                continue
-            direction = 1 if step > 0 else -1
-            if direction == st.direction and abs(step) <= self.window:
-                st.confidence = min(st.confidence + 1, 8)
+    def step(self, state: dict[int, _Stream], pc: int, block: int, index: int) -> list[int]:
+        streams = state
+        region = block // self.window
+        st = streams.get(region) or streams.get(region - 1) or streams.get(region + 1)
+        if st is None:
+            streams[region] = _Stream(block, +1)
+            if len(streams) > self.n_streams:
+                del streams[next(iter(streams))]
+            return []
+        step = block - st.last
+        if step == 0:
+            return []
+        direction = 1 if step > 0 else -1
+        if direction == st.direction and abs(step) <= self.window:
+            st.confidence = min(st.confidence + 1, 8)
+        else:
+            st.direction = direction
+            st.confidence = 0
+            st.head = block
+        st.last = block
+        # Re-home the stream to the current region key.
+        for key in (region - 1, region + 1):
+            if streams.get(key) is st:
+                del streams[key]
+                streams[region] = st
+                break
+        preds: list[int] = []
+        if st.confidence >= self.confirm:
+            # Keep the request head exactly `degree` blocks ahead of the
+            # demand pointer: at most `degree` new requests per access,
+            # and the head never runs away from the stream.
+            target = block + direction * self.degree
+            if direction > 0:
+                if st.head < block:
+                    st.head = block
+                preds = list(range(st.head + 1, target + 1))
             else:
-                st.direction = direction
-                st.confidence = 0
-                st.head = block
-            st.last = block
-            # Re-home the stream to the current region key.
-            for key in (region - 1, region + 1):
-                if streams.get(key) is st:
-                    del streams[key]
-                    streams[region] = st
-                    break
-            if st.confidence >= self.confirm:
-                # Keep the request head exactly `degree` blocks ahead of the
-                # demand pointer: at most `degree` new requests per access,
-                # and the head never runs away from the stream.
-                target = block + direction * self.degree
-                if direction > 0:
-                    if st.head < block:
-                        st.head = block
-                    preds = list(range(st.head + 1, target + 1))
-                else:
-                    if st.head > block:
-                        st.head = block
-                    preds = list(range(st.head - 1, target - 1, -1))
-                if preds:
-                    st.head = preds[-1]
-                out[i] = preds
-        return out
+                if st.head > block:
+                    st.head = block
+                preds = list(range(st.head - 1, target - 1, -1))
+            if preds:
+                st.head = preds[-1]
+        return preds

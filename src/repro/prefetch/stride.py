@@ -8,11 +8,10 @@ confidence); two consecutive equal strides arm prefetching of the next
 
 from __future__ import annotations
 
-from repro.prefetch.base import Prefetcher
-from repro.traces.trace import MemoryTrace
+from repro.prefetch.base import SequentialPrefetcher
 
 
-class StridePrefetcher(Prefetcher):
+class StridePrefetcher(SequentialPrefetcher):
     name = "Stride"
     latency_cycles = 4
     storage_bytes = 2048.0
@@ -21,28 +20,24 @@ class StridePrefetcher(Prefetcher):
         self.degree = int(degree)
         self.table_size = int(table_size)
 
-    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
-        blocks = trace.block_addrs
-        pcs = trace.pcs
-        n = len(blocks)
-        out: list[list[int]] = [[] for _ in range(n)]
-        table: dict[int, tuple[int, int, int]] = {}  # pc -> (last, stride, conf)
-        for i in range(n):
-            a = int(blocks[i])
-            pc = int(pcs[i])
-            entry = table.get(pc)
-            if entry is None:
-                table[pc] = (a, 0, 0)
-                if len(table) > self.table_size:
-                    table.pop(next(iter(table)))
-                continue
-            last, stride, conf = entry
-            new_stride = a - last
-            if new_stride == stride and stride != 0:
-                conf = min(conf + 1, 3)
-            else:
-                conf = 0
-            table[pc] = (a, new_stride, conf)
-            if conf >= 1 and new_stride != 0:
-                out[i] = [a + new_stride * d for d in range(1, self.degree + 1)]
-        return out
+    def reset_state(self) -> dict[int, tuple[int, int, int]]:
+        return {}  # pc -> (last, stride, conf)
+
+    def step(self, state: dict, pc: int, block: int, index: int) -> list[int]:
+        a = block
+        entry = state.get(pc)
+        if entry is None:
+            state[pc] = (a, 0, 0)
+            if len(state) > self.table_size:
+                state.pop(next(iter(state)))
+            return []
+        last, stride, conf = entry
+        new_stride = a - last
+        if new_stride == stride and stride != 0:
+            conf = min(conf + 1, 3)
+        else:
+            conf = 0
+        state[pc] = (a, new_stride, conf)
+        if conf >= 1 and new_stride != 0:
+            return [a + new_stride * d for d in range(1, self.degree + 1)]
+        return []

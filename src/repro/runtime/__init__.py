@@ -1,0 +1,43 @@
+"""Online, chunked prefetch serving runtime.
+
+The batch pipeline (``prefetch_lists``) answers questions about whole traces;
+this package serves a *live* access stream with bounded latency and memory:
+
+* :mod:`repro.runtime.streaming` — the :class:`StreamingPrefetcher` protocol
+  and the adapters between the batch and online worlds;
+* :mod:`repro.runtime.microbatch` — micro-batched vectorized serving for the
+  learned predictors (DART tables and the NN baselines);
+* :mod:`repro.runtime.engine` — the serving loop with throughput / latency
+  accounting.
+
+Entry points: ``prefetcher.stream()`` on any prefetcher, ``as_streaming`` to
+coerce, ``BatchAdapter`` to go back, and ``serve`` to drive a stream over a
+trace, chunk iterator, or live feed.
+"""
+
+from repro.runtime.engine import StreamStats, access_pairs, serve
+from repro.runtime.microbatch import MicroBatcher, StreamingModelPrefetcher
+from repro.runtime.streaming import (
+    BatchAdapter,
+    CompositeStream,
+    Emission,
+    FilteredStream,
+    SequentialStreamAdapter,
+    StreamingPrefetcher,
+    as_streaming,
+)
+
+__all__ = [
+    "BatchAdapter",
+    "CompositeStream",
+    "Emission",
+    "FilteredStream",
+    "MicroBatcher",
+    "SequentialStreamAdapter",
+    "StreamStats",
+    "StreamingModelPrefetcher",
+    "StreamingPrefetcher",
+    "access_pairs",
+    "as_streaming",
+    "serve",
+]

@@ -1,0 +1,184 @@
+"""Drive a streaming prefetcher over an access source; measure the serving.
+
+This is the runtime's outermost loop — the piece a deployment would run
+against a live LLC access feed. It owns none of the prediction logic; it just
+pumps accesses into a :class:`~repro.runtime.streaming.StreamingPrefetcher`,
+times every ``ingest`` call with a wall clock, and aggregates the paper's
+practicality metrics for software serving: throughput (accesses/s) and
+per-access response latency percentiles (p50/p99). For a micro-batched
+engine the latency distribution is the interesting part — most observes are
+ring writes (sub-microsecond) and every ``B``-th pays the vectorized predict,
+so p50 vs p99 exposes the batching trade directly.
+
+Sources can be anything that yields ``(pc, addr)`` pairs: a
+:class:`~repro.traces.trace.MemoryTrace`, the chunked iterators from
+:mod:`repro.traces.io` (which never materialize the full trace), or a live
+generator.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.traces.trace import MemoryTrace
+
+from repro.runtime.streaming import StreamingPrefetcher
+
+
+def access_pairs(source) -> Iterator[tuple[int, int]]:
+    """Normalize an access source into ``(pc, byte-address)`` pairs.
+
+    Accepts a :class:`MemoryTrace`, an iterable of traces (chunked
+    ingestion), or an iterable that already yields pairs / ``(instr, pc,
+    addr)`` triples.
+    """
+    if isinstance(source, MemoryTrace):
+        source = (source,)
+    for item in source:
+        if isinstance(item, MemoryTrace):
+            pcs, addrs = item.pcs, item.addrs
+            for i in range(len(item)):
+                yield int(pcs[i]), int(addrs[i])
+        elif len(item) == 3:  # (instr_id, pc, addr) triple from iter_accesses
+            yield int(item[1]), int(item[2])
+        else:
+            yield int(item[0]), int(item[1])
+
+
+@dataclass
+class StreamStats:
+    """Serving metrics for one run of :func:`serve`."""
+
+    name: str
+    accesses: int
+    prefetches: int
+    seconds: float
+    #: per-``ingest`` wall-clock latency percentiles, microseconds
+    p50_us: float
+    p99_us: float
+    mean_us: float
+    max_us: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Accesses served per second."""
+        return self.accesses / self.seconds if self.seconds > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "accesses": self.accesses,
+            "prefetches": self.prefetches,
+            "seconds": self.seconds,
+            "throughput": self.throughput,
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+            "mean_us": self.mean_us,
+            "max_us": self.max_us,
+            **self.extra,
+        }
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (no NumPy round-trip)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+#: latency samples kept for percentile estimation; memory stays bounded on
+#: arbitrarily long streams (mean/max stay exact via running accumulators).
+LATENCY_SAMPLE_CAP = 1 << 16
+
+
+class _LatencySketch:
+    """Bounded latency recorder: exact below the cap, stride-decimated above.
+
+    Once ``LATENCY_SAMPLE_CAP`` samples accumulate, every other retained
+    sample is dropped and the sampling stride doubles — deterministic (no
+    RNG), O(cap) memory, and percentiles stay representative because the
+    retained samples remain uniformly spread over the stream.
+    """
+
+    def __init__(self, cap: int = LATENCY_SAMPLE_CAP):
+        self.cap = cap
+        self.samples: list[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.peak = 0.0
+        self._stride = 1
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.peak:
+            self.peak = value
+        if self.count % self._stride == 0:
+            self.samples.append(value)
+            if len(self.samples) >= self.cap:
+                self.samples = self.samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def serve(
+    stream: StreamingPrefetcher,
+    source: Iterable,
+    collect: bool = False,
+    measure: bool = True,
+) -> tuple[StreamStats, list[list[int]] | None]:
+    """Pump every access of ``source`` through ``stream``; return metrics.
+
+    With ``collect=True`` also assembles the attributed per-access prefetch
+    lists (the streaming equivalent of ``prefetch_lists``) — handy for
+    equivalence checks but costs memory proportional to the trace, so leave
+    it off when serving chunked multi-hundred-MB traces.
+    ``measure=False`` skips per-access timing (the timing itself costs two
+    clock reads per access) and reports only totals.
+    """
+    stream.reset()
+    lists: list[list[int]] = [] if collect else None
+    sketch = _LatencySketch()
+    prefetches = 0
+    accesses = 0
+    perf = time.perf_counter
+    t0 = perf()
+    for pc, addr in access_pairs(source):
+        accesses += 1
+        if collect:
+            lists.append([])
+        if measure:
+            t_in = perf()
+            emissions = stream.ingest(pc, addr)
+            sketch.add(perf() - t_in)
+        else:
+            emissions = stream.ingest(pc, addr)
+        for em in emissions:
+            prefetches += len(em.blocks)
+            if collect:
+                lists[em.seq] = list(em.blocks)
+    for em in stream.flush():
+        prefetches += len(em.blocks)
+        if collect:
+            lists[em.seq] = list(em.blocks)
+    seconds = perf() - t0
+
+    samples = sorted(sketch.samples)
+    stats = StreamStats(
+        name=stream.name,
+        accesses=accesses,
+        prefetches=prefetches,
+        seconds=seconds,
+        p50_us=_percentile(samples, 0.50) * 1e6,
+        p99_us=_percentile(samples, 0.99) * 1e6,
+        mean_us=sketch.mean * 1e6,
+        max_us=sketch.peak * 1e6,
+    )
+    return stats, lists

@@ -1,0 +1,216 @@
+"""Micro-batched online serving for the learned predictors.
+
+The tabular/NN predictors are vectorized: one ``predict_proba`` call on a
+``(B, T, S)`` batch costs far less than ``B`` calls on ``(1, T, S)`` slices,
+because the per-call Python and NumPy dispatch overhead dominates at batch 1.
+A real deployment therefore queues triggers briefly and answers them in
+bursts. :class:`MicroBatcher` is that queue:
+
+* each access is **featurized once**, at arrival: the single new (block, PC)
+  pair is segmented and written into a preallocated ring. Histories are never
+  re-segmented — the window for access ``n`` shares ``T - 1`` rows with the
+  window for ``n - 1``, so sliding is free (this mirrors the batch path's
+  ``sliding_window_view``, which shares the same memory across windows);
+* the ring stores every row **twice** (at ``i % C`` and ``i % C + C``), the
+  classic mirrored ring that makes every length-``T`` window a contiguous
+  slice — the flush gather is one ``np.take`` into a preallocated batch
+  buffer, no per-access allocation;
+* a flush fires when ``batch_size`` queries are pending, when the oldest
+  pending query has waited ``max_wait`` accesses (the deadline that bounds
+  worst-case response time), or on demand (:meth:`flush`). One vectorized
+  ``predict_proba`` call answers the whole burst, and the shared
+  :func:`~repro.prefetch.nn_prefetcher.decode_bitmap_probs` turns each row
+  into prefetch candidates — the same decode the batch path runs, which is
+  why the two paths are bit-identical.
+
+:class:`StreamingModelPrefetcher` wraps a micro-batcher in the
+:class:`~repro.runtime.streaming.StreamingPrefetcher` protocol; it is what
+``DARTPrefetcher.stream()`` / ``NeuralPrefetcher.stream()`` return.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+
+from repro.data.dataset import PreprocessConfig
+from repro.prefetch.nn_prefetcher import decode_bitmap_probs
+from repro.runtime.streaming import Emission, StreamingPrefetcher
+from repro.utils.bits import block_address
+
+
+class MicroBatcher:
+    """Accumulate segmented queries; answer them with one vectorized predict.
+
+    Parameters
+    ----------
+    predict_proba:
+        ``predict_proba(x_addr, x_pc, batch_size=...)`` callable (NN or
+        tabular predictor). If it accepts an ``out=`` argument (the tabular
+        model does), the output buffer is preallocated and reused too.
+    config:
+        Preprocessing geometry (history length, segmenter, bitmap size).
+    threshold / max_degree / decode:
+        Decode policy, as in :func:`repro.prefetch.nn_prefetcher.model_prefetch_lists`.
+    batch_size:
+        Maximum pending queries per predict call (``B``).
+    max_wait:
+        Flush when the oldest pending query is this many accesses old
+        (``None`` = only flush on a full batch or an explicit flush).
+    """
+
+    def __init__(
+        self,
+        predict_proba,
+        config: PreprocessConfig,
+        threshold: float = 0.5,
+        max_degree: int = 2,
+        decode: str = "distance",
+        batch_size: int = 64,
+        max_wait: int | None = None,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if max_wait is not None and max_wait < 1:
+            raise ValueError("max_wait must be >= 1 (or None)")
+        self._predict = predict_proba
+        self.config = config
+        self.threshold = float(threshold)
+        self.max_degree = int(max_degree)
+        self.decode = decode
+        self.batch_size = int(batch_size)
+        self.max_wait = max_wait
+
+        t_hist = config.history_len
+        seg = config.segmenter()
+        self._seg = seg
+        self._t_hist = t_hist
+        #: ring capacity: a window's oldest row must survive until its query
+        #: flushes, i.e. up to ``batch_size - 1`` accesses after its newest row.
+        self._cap = t_hist + self.batch_size
+        cap = self._cap
+        # Mirrored rings (each row written at r and r + cap): contiguous windows.
+        self._addr_ring = np.zeros((2 * cap, seg.n_addr_segments), dtype=np.float64)
+        self._pc_ring = np.zeros((2 * cap, seg.n_pc_segments), dtype=np.float64)
+        self._anchors = np.zeros(cap, dtype=np.int64)
+        # Preallocated flush-time buffers.
+        b = self.batch_size
+        self._x_addr = np.empty((b, t_hist, seg.n_addr_segments), dtype=np.float64)
+        self._x_pc = np.empty((b, t_hist, seg.n_pc_segments), dtype=np.float64)
+        self._probs = np.empty((b, config.bitmap_size), dtype=np.float64)
+        self._win = np.arange(t_hist, dtype=np.intp)
+        try:
+            params = inspect.signature(predict_proba).parameters
+            self._supports_out = "out" in params
+        except (TypeError, ValueError):  # builtins / C callables
+            self._supports_out = False
+
+        self.seq = 0
+        self._pending: list[int] = []
+
+    # ---------------------------------------------------------------- serving
+    def push(self, pc: int, addr: int) -> list[Emission]:
+        """Featurize one access and return any emissions it completes."""
+        seq = self.seq
+        self.seq = seq + 1
+        cap = self._cap
+        blk = int(block_address(int(addr)))
+        r = seq % cap
+        self._seg.segment_access_into(blk, int(pc), self._addr_ring[r], self._pc_ring[r])
+        self._addr_ring[r + cap] = self._addr_ring[r]
+        self._pc_ring[r + cap] = self._pc_ring[r]
+        self._anchors[r] = blk
+
+        if seq < self._t_hist - 1:
+            # Warm-up: no full history yet — answer "nothing" immediately so
+            # downstream consumers (merge, filter) see every seq exactly once.
+            return [Emission(seq, [])]
+        self._pending.append(seq)
+        if len(self._pending) >= self.batch_size or (
+            # Age of the oldest pending query = accesses that arrived after it.
+            self.max_wait is not None and seq - self._pending[0] >= self.max_wait
+        ):
+            return self.flush()
+        return []
+
+    def flush(self) -> list[Emission]:
+        """Answer all pending queries with one vectorized predict call."""
+        k = len(self._pending)
+        if k == 0:
+            return []
+        cap, t = self._cap, self._t_hist
+        pend = np.asarray(self._pending, dtype=np.intp)
+        pos = pend % cap
+        # Window rows for seq: mirrored-ring indices r+cap-T+1 .. r+cap.
+        rows = pos[:, None] + (cap - t + 1) + self._win[None, :]
+        np.take(self._addr_ring, rows, axis=0, out=self._x_addr[:k])
+        np.take(self._pc_ring, rows, axis=0, out=self._x_pc[:k])
+        anchors = self._anchors[pos]
+        if self._supports_out:
+            probs = self._predict(
+                self._x_addr[:k], self._x_pc[:k],
+                batch_size=self.batch_size, out=self._probs[:k],
+            )
+        else:
+            probs = self._predict(self._x_addr[:k], self._x_pc[:k], batch_size=self.batch_size)
+        lists = decode_bitmap_probs(probs, anchors, self.threshold, self.max_degree, self.decode)
+        emissions = [Emission(s, blocks) for s, blocks in zip(self._pending, lists)]
+        self._pending.clear()
+        return emissions
+
+    def reset(self) -> None:
+        self.seq = 0
+        self._pending.clear()
+
+
+class StreamingModelPrefetcher(StreamingPrefetcher):
+    """A learned predictor served online through a :class:`MicroBatcher`."""
+
+    def __init__(
+        self,
+        predict_proba,
+        config: PreprocessConfig,
+        threshold: float = 0.5,
+        max_degree: int = 2,
+        decode: str = "distance",
+        batch_size: int = 64,
+        max_wait: int | None = None,
+        name: str = "model-stream",
+        latency_cycles: int = 0,
+        storage_bytes: float = 0.0,
+    ):
+        self._mb = MicroBatcher(
+            predict_proba,
+            config,
+            threshold=threshold,
+            max_degree=max_degree,
+            decode=decode,
+            batch_size=batch_size,
+            max_wait=max_wait,
+        )
+        self.name = name
+        self.latency_cycles = int(latency_cycles)
+        self.storage_bytes = float(storage_bytes)
+        self.seq = 0
+
+    @property
+    def batch_size(self) -> int:
+        return self._mb.batch_size
+
+    @property
+    def pending(self) -> int:
+        """Queries queued but not yet answered."""
+        return len(self._mb._pending)
+
+    def ingest(self, pc: int, addr: int) -> list[Emission]:
+        emissions = self._mb.push(pc, addr)
+        self.seq = self._mb.seq
+        return emissions
+
+    def flush(self) -> list[Emission]:
+        return self._mb.flush()
+
+    def reset(self) -> None:
+        self._mb.reset()
+        self.seq = 0

@@ -1,0 +1,267 @@
+"""Online prefetch serving: the streaming protocol and its adapters.
+
+The batch API (:meth:`Prefetcher.prefetch_lists`) answers "what would this
+predictor have requested at every access of this trace"; a deployment instead
+sees one access at a time and must answer *now*. :class:`StreamingPrefetcher`
+is that online contract:
+
+* :meth:`~StreamingPrefetcher.observe` ingests one ``(pc, byte-address)``
+  access and returns the block addresses to prefetch immediately;
+* :meth:`~StreamingPrefetcher.ingest` is the attributed form used by the
+  adapters and the simulator: it returns :class:`Emission` records tagging
+  each candidate list with the access (``seq``) that triggered it, which is
+  what lets a micro-batched engine answer *late* without losing attribution;
+* :meth:`~StreamingPrefetcher.flush` drains whatever is still pending;
+* :meth:`~StreamingPrefetcher.reset` returns the engine to its initial state.
+
+Protocol invariant: across ``ingest`` + a final ``flush``, **exactly one
+emission per observed access, in ascending ``seq`` order**. Synchronous
+engines (rule-based state machines) emit at the triggering access; deferred
+engines (the micro-batched model path) emit bursts at flush points. The
+invariant is what makes composition (priority merge, dedup filter) and the
+:class:`BatchAdapter` equivalence exact.
+
+Adapters close the loop with the batch world:
+
+* :class:`SequentialStreamAdapter` — any :class:`SequentialPrefetcher`
+  (BO, SPP, ISB, SMS, GHB, streamer, stride, next-line, Markov) as a stream;
+* :class:`BatchAdapter` — any stream back into a :class:`Prefetcher`, used by
+  the equivalence tests to prove both paths bit-identical;
+* :class:`CompositeStream` / :class:`FilteredStream` — streaming forms of the
+  ensemble and dedup-filter wrappers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import NamedTuple
+
+from repro.prefetch.base import Prefetcher, SequentialPrefetcher
+from repro.prefetch.filter import filter_recent
+from repro.prefetch.hybrid import merge_candidates
+from repro.traces.trace import MemoryTrace
+from repro.utils.bits import block_address
+
+
+class Emission(NamedTuple):
+    """Prefetch candidates attributed to the access that triggered them."""
+
+    seq: int
+    blocks: list[int]
+
+
+class StreamingPrefetcher:
+    """Online prefetcher protocol (see module docstring for the invariant)."""
+
+    name: str = "stream"
+    latency_cycles: int = 0
+    storage_bytes: float = 0.0
+
+    def __init__(self):
+        #: index of the next access to be observed
+        self.seq = 0
+
+    def ingest(self, pc: int, addr: int) -> list[Emission]:
+        """Consume one access; return completed emissions (possibly none)."""
+        raise NotImplementedError
+
+    def observe(self, pc: int, addr: int) -> list[int]:
+        """Consume one access; return block addresses to prefetch now.
+
+        Sugar over :meth:`ingest` for callers that do not need attribution
+        (the issue queue of a real LLC does not care which trigger a request
+        came from — the simulator and the adapters do).
+        """
+        out: list[int] = []
+        for em in self.ingest(pc, addr):
+            out.extend(em.blocks)
+        return out
+
+    def flush(self) -> list[Emission]:
+        """Emit everything still pending (end of stream / quiescence)."""
+        return []
+
+    def reset(self) -> None:
+        self.seq = 0
+
+
+class SequentialStreamAdapter(StreamingPrefetcher):
+    """Any per-access state machine (:class:`SequentialPrefetcher`) as a stream.
+
+    Synchronous: every access emits exactly one (possibly empty) emission at
+    observe time, so latency is the state machine's own ``step`` cost.
+    """
+
+    def __init__(self, inner: SequentialPrefetcher):
+        self.inner = inner
+        self.name = inner.name
+        self.latency_cycles = inner.latency_cycles
+        self.storage_bytes = inner.storage_bytes
+        self.seq = 0
+        self._state = inner.reset_state()
+
+    def ingest(self, pc: int, addr: int) -> list[Emission]:
+        seq = self.seq
+        self.seq = seq + 1
+        blocks = self.inner.step(self._state, int(pc), int(block_address(int(addr))), seq)
+        return [Emission(seq, blocks)]
+
+    def reset(self) -> None:
+        self.seq = 0
+        self._state = self.inner.reset_state()
+
+
+class CompositeStream(StreamingPrefetcher):
+    """Priority merge of component streams (online CompositePrefetcher).
+
+    Components may answer at different times (a synchronous streamer next to
+    a micro-batched DART), so per-component emission queues are aligned by
+    ``seq`` — the ordered-emission invariant guarantees the queue fronts
+    always refer to the same access — and an access is arbitrated only once
+    every component has answered it.
+    """
+
+    def __init__(
+        self,
+        streams: list[StreamingPrefetcher],
+        max_degree: int = 4,
+        name: str | None = None,
+        latency_cycles: int = 0,
+        storage_bytes: float = 0.0,
+    ):
+        if not streams:
+            raise ValueError("need at least one component stream")
+        self.streams = list(streams)
+        self.max_degree = int(max_degree)
+        self.name = name or "+".join(s.name for s in streams)
+        self.latency_cycles = int(latency_cycles)
+        self.storage_bytes = float(storage_bytes)
+        self.seq = 0
+        self._queues: list[deque[Emission]] = [deque() for _ in self.streams]
+
+    def _drain_ready(self) -> list[Emission]:
+        out: list[Emission] = []
+        while all(self._queues):
+            fronts = [q.popleft() for q in self._queues]
+            seq = fronts[0].seq
+            out.append(Emission(seq, merge_candidates([f.blocks for f in fronts], self.max_degree)))
+        return out
+
+    def ingest(self, pc: int, addr: int) -> list[Emission]:
+        self.seq += 1
+        for stream, queue in zip(self.streams, self._queues):
+            queue.extend(stream.ingest(pc, addr))
+        return self._drain_ready()
+
+    def flush(self) -> list[Emission]:
+        for stream, queue in zip(self.streams, self._queues):
+            queue.extend(stream.flush())
+        return self._drain_ready()
+
+    def reset(self) -> None:
+        self.seq = 0
+        for stream in self.streams:
+            stream.reset()
+        self._queues = [deque() for _ in self.streams]
+
+
+class FilteredStream(StreamingPrefetcher):
+    """Recent-request dedup filter over a stream (online FilteredPrefetcher).
+
+    Emissions are filtered in ``seq`` order through one sliding window of
+    recently issued blocks, exactly the order the batch filter walks, so the
+    kept/suppressed decisions match bit for bit.
+    """
+
+    def __init__(
+        self,
+        inner: StreamingPrefetcher,
+        window: int = 1024,
+        name: str | None = None,
+        latency_cycles: int | None = None,
+        storage_bytes: float | None = None,
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.inner = inner
+        self.window = int(window)
+        self.name = name or f"{inner.name}+filter"
+        self.latency_cycles = inner.latency_cycles if latency_cycles is None else latency_cycles
+        self.storage_bytes = (
+            inner.storage_bytes + 8.0 * self.window if storage_bytes is None else storage_bytes
+        )
+        self.seq = 0
+        self._recent: OrderedDict[int, None] = OrderedDict()
+        #: running statistics (mirror FilteredPrefetcher's per-call counters)
+        self.raw_requests = 0
+        self.kept_requests = 0
+
+    def _filter(self, emissions: list[Emission]) -> list[Emission]:
+        out: list[Emission] = []
+        for em in emissions:
+            kept = filter_recent(self._recent, em.blocks, self.window)
+            self.raw_requests += len(em.blocks)
+            self.kept_requests += len(kept)
+            out.append(Emission(em.seq, kept))
+        return out
+
+    def ingest(self, pc: int, addr: int) -> list[Emission]:
+        self.seq += 1
+        return self._filter(self.inner.ingest(pc, addr))
+
+    def flush(self) -> list[Emission]:
+        return self._filter(self.inner.flush())
+
+    def reset(self) -> None:
+        self.seq = 0
+        self.inner.reset()
+        self._recent = OrderedDict()
+        self.raw_requests = 0
+        self.kept_requests = 0
+
+
+class BatchAdapter(Prefetcher):
+    """Replay a trace through a stream, recovering the batch ``prefetch_lists``.
+
+    The bridge back from the online world: feeds every access through
+    :meth:`StreamingPrefetcher.ingest`, places each emission at its trigger
+    access, and flushes at end of trace. With the same underlying predictor
+    this reproduces the legacy batch output bit for bit — the equivalence the
+    streaming test suite pins down.
+    """
+
+    def __init__(self, stream: StreamingPrefetcher):
+        self._stream = stream
+        self.name = stream.name
+        self.latency_cycles = stream.latency_cycles
+        self.storage_bytes = stream.storage_bytes
+
+    def stream(self, **kwargs) -> StreamingPrefetcher:
+        """Round-trip back to the wrapped stream (knobs were fixed at wrap time)."""
+        return self._stream
+
+    def prefetch_lists(self, trace: MemoryTrace) -> list[list[int]]:
+        stream = self._stream
+        stream.reset()
+        n = len(trace)
+        out: list[list[int]] = [[] for _ in range(n)]
+        pcs = trace.pcs
+        addrs = trace.addrs
+        for i in range(n):
+            for em in stream.ingest(int(pcs[i]), int(addrs[i])):
+                out[em.seq] = list(em.blocks)
+        for em in stream.flush():
+            out[em.seq] = list(em.blocks)
+        return out
+
+
+def as_streaming(prefetcher, **kwargs) -> StreamingPrefetcher:
+    """Coerce a prefetcher (batch or streaming) into a stream.
+
+    ``kwargs`` (e.g. ``batch_size``, ``max_wait``) are forwarded to the
+    prefetcher's :meth:`Prefetcher.stream` factory; already-streaming inputs
+    pass through unchanged.
+    """
+    if isinstance(prefetcher, StreamingPrefetcher):
+        return prefetcher
+    return prefetcher.stream(**kwargs)

@@ -21,6 +21,17 @@ late-prefetch penalty that separates DART from high-latency NN prefetchers).
 Prefetch timeliness: a trigger at core time ``t`` issues its prefetches at
 ``t + prefetcher.latency_cycles`` — predictions cost time, the paper's core
 argument.
+
+Two prediction-delivery modes (DESIGN.md "Streaming runtime"):
+
+* **batch** (default) — ``prefetch_lists`` is precomputed and replayed, the
+  original whole-trace arrangement;
+* **streaming** (``streaming=True``) — predictions are consumed from a
+  :class:`repro.runtime.StreamingPrefetcher` as the simulated core advances.
+  A synchronous engine behaves identically to batch mode; a micro-batched
+  engine's deferred emissions become visible at the *emission* access (their
+  trigger has already passed), so batching cost shows up as lost timeliness
+  — exactly the trade the runtime exists to measure.
 """
 
 from __future__ import annotations
@@ -56,6 +67,8 @@ def simulate(
     config: SimConfig | None = None,
     name: str | None = None,
     throttle=None,
+    streaming: bool = False,
+    stream_kwargs: dict | None = None,
 ) -> SimResult:
     """Run the trace through the LLC (+ optional prefetcher); return metrics.
 
@@ -64,6 +77,12 @@ def simulate(
     controller's current degree at issue time, and the controller is fed
     usefulness / lateness / pollution events in cache-state order (FDP).
     Its summary lands in ``SimResult.extra["throttle"]``.
+
+    ``streaming=True`` consumes predictions online instead of replaying a
+    precomputed list: ``prefetcher`` may be a batch prefetcher (coerced via
+    :func:`repro.runtime.as_streaming` with ``stream_kwargs``, e.g.
+    ``{"batch_size": 64}``) or an already-built
+    :class:`repro.runtime.StreamingPrefetcher`.
     """
     cfg = config or SimConfig()
     llc = cfg.make_llc()
@@ -71,10 +90,20 @@ def simulate(
     instr_ids = trace.instr_ids
     n = len(blocks)
     pf_lists: list[list[int]] | None = None
+    stream = None
+    pcs = trace.pcs
+    addrs = trace.addrs
     pred_latency = 0.0
     if prefetcher is not None:
-        pf_lists = prefetcher.prefetch_lists(trace)
-        pred_latency = float(prefetcher.latency_cycles)
+        if streaming:
+            from repro.runtime import as_streaming
+
+            stream = as_streaming(prefetcher, **(stream_kwargs or {}))
+            stream.reset()
+            pred_latency = float(stream.latency_cycles)
+        else:
+            pf_lists = prefetcher.prefetch_lists(trace)
+            pred_latency = float(prefetcher.latency_cycles)
 
     width = float(cfg.width)
     rob = int(cfg.rob)
@@ -168,6 +197,18 @@ def simulate(
                 cands = cands[: throttle.current_degree()]
             for blk in cands:
                 pfq.append((vis, blk))
+        elif stream is not None:
+            # Deferred emissions (micro-batched engines) surface here, at the
+            # access that completed their batch — later than their trigger.
+            vis = now + pred_latency
+            for em in stream.ingest(int(pcs[i]), int(addrs[i])):
+                if not em.blocks:
+                    continue
+                cands = em.blocks
+                if throttle is not None:
+                    cands = cands[: throttle.current_degree()]
+                for blk in cands:
+                    pfq.append((vis, blk))
 
     result = SimResult(
         name=name or (prefetcher.name if prefetcher else "baseline"),

@@ -148,15 +148,32 @@ class TabularAttentionPredictor:
         """Delta-bitmap probabilities via the sigmoid LUT."""
         return self.sigmoid.query(self.query_logits(x_addr, x_pc))
 
-    def predict_proba(self, x_addr: np.ndarray, x_pc: np.ndarray, batch_size: int = 512) -> np.ndarray:
-        """Batched query — same interface as the NN predictors."""
-        outs = [
-            self.query(x_addr[s : s + batch_size], x_pc[s : s + batch_size])
-            for s in range(0, x_addr.shape[0], batch_size)
-        ]
-        if not outs:
-            return np.zeros((0, self.model_config.bitmap_size))
-        return np.concatenate(outs, axis=0)
+    def predict_proba(
+        self,
+        x_addr: np.ndarray,
+        x_pc: np.ndarray,
+        batch_size: int = 512,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Batched query — same interface as the NN predictors.
+
+        ``out``, when given, must be ``(n, bitmap_size)`` and receives the
+        probabilities in place — the streaming micro-batcher passes its
+        preallocated response buffer here so the steady-state serving loop
+        allocates nothing per flush. Per-row results are identical whatever
+        the batch split (every table lookup, LayerNorm and pooling operates
+        row-locally), which the streaming/batch equivalence tests pin down.
+        """
+        n = x_addr.shape[0]
+        if out is None:
+            out = np.empty((n, self.model_config.bitmap_size), dtype=np.float64)
+        elif out.shape != (n, self.model_config.bitmap_size):
+            raise ValueError(
+                f"out must have shape {(n, self.model_config.bitmap_size)}, got {out.shape}"
+            )
+        for s in range(0, n, batch_size):
+            out[s : s + batch_size] = self.query(x_addr[s : s + batch_size], x_pc[s : s + batch_size])
+        return out
 
     def layer_outputs(self, x_addr: np.ndarray, x_pc: np.ndarray) -> dict[str, np.ndarray]:
         """Named checkpoint activations (keys match ``trunk_activations``)."""

@@ -20,7 +20,15 @@ from repro.traces.generators import (
     compose_trace,
 )
 from repro.traces.graph_workloads import GRAPH_WORKLOADS, make_graph_workload
-from repro.traces.io import load_any, load_csv, load_text, save_csv, save_text
+from repro.traces.io import (
+    iter_accesses,
+    iter_chunks,
+    load_any,
+    load_csv,
+    load_text,
+    save_csv,
+    save_text,
+)
 from repro.traces.phases import (
     FEATURE_NAMES,
     detect_phases,
@@ -46,6 +54,8 @@ __all__ = [
     "StridedStencilPhase",
     "StreamPhase",
     "compose_trace",
+    "iter_accesses",
+    "iter_chunks",
     "load_any",
     "load_csv",
     "load_text",

@@ -13,12 +13,19 @@ adds the formats users bring traces *in* with:
 Paths ending in ``.gz`` are transparently (de)compressed. Import validates
 monotonic instruction ids, so malformed dumps fail loudly at the boundary
 instead of deep inside a simulator run.
+
+Besides the whole-trace loaders, the module exposes a **chunked iterator
+API** (:func:`iter_chunks`, :func:`iter_accesses`) for the streaming runtime:
+text/CSV traces are parsed incrementally, ``chunk_size`` accesses at a time,
+so a multi-hundred-MB dump is never fully materialized. Monotonicity is
+validated across chunk boundaries, preserving the loud-failure guarantee.
 """
 
 from __future__ import annotations
 
 import gzip
 import os
+from typing import Iterator
 
 import numpy as np
 
@@ -37,8 +44,8 @@ def _parse_int(tok: str) -> int:
     return int(tok, 16) if tok.lower().startswith("0x") else int(tok)
 
 
-def _parse_lines(lines, sep: str | None, source: str) -> MemoryTrace:
-    instr, pcs, addrs = [], [], []
+def _parse_rows(lines, sep: str | None, source: str) -> Iterator[tuple[int, int, int]]:
+    """Lazily parse ``(instr_id, pc, addr)`` rows (headers/comments skipped)."""
     for lineno, raw in enumerate(lines, start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -55,9 +62,15 @@ def _parse_lines(lines, sep: str | None, source: str) -> MemoryTrace:
             if lineno == 1:
                 continue  # header row
             raise ValueError(f"{source}:{lineno}: non-integer field in {parts}")
-        instr.append(vals[0])
-        pcs.append(vals[1])
-        addrs.append(vals[2])
+        yield vals[0], vals[1], vals[2]
+
+
+def _parse_lines(lines, sep: str | None, source: str) -> MemoryTrace:
+    instr, pcs, addrs = [], [], []
+    for i, pc, addr in _parse_rows(lines, sep, source):
+        instr.append(i)
+        pcs.append(pc)
+        addrs.append(addr)
     return MemoryTrace(
         np.asarray(instr, dtype=np.int64),
         np.asarray(pcs, dtype=np.int64),
@@ -122,3 +135,70 @@ def load_any(path: str | os.PathLike, name: str = "") -> MemoryTrace:
     if base.endswith(".csv"):
         return load_csv(p, name=name)
     return load_text(p, name=name)
+
+
+# ---------------------------------------------------------------- chunked API
+def iter_chunks(
+    path: str | os.PathLike, chunk_size: int = 65536, name: str = ""
+) -> Iterator[MemoryTrace]:
+    """Yield a trace file as bounded :class:`MemoryTrace` chunks, in order.
+
+    Text and CSV traces (including ``.gz``) are parsed incrementally — peak
+    memory is ``O(chunk_size)``, not the file size — which is what lets the
+    streaming runtime serve traces too large to materialize. ``.npz`` traces
+    are loaded once (the format is not line-structured) and sliced into
+    views. Instruction-id monotonicity is enforced across chunk boundaries.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    p = os.fspath(path)
+    chunk_name = name or os.path.basename(p)
+    base = p[:-3] if p.endswith(".gz") else p
+    if base.endswith(".npz"):
+        trace = MemoryTrace.load(p, name=chunk_name)
+        for start in range(0, len(trace), chunk_size):
+            yield trace.slice(start, start + chunk_size)
+        return
+    sep = "," if base.endswith(".csv") else None
+    last_instr: int | None = None
+    with _open_text(p, "r") as f:
+        instr, pcs, addrs = [], [], []
+        for row in _parse_rows(f, sep, p):
+            if last_instr is not None and row[0] < last_instr:
+                raise ValueError(
+                    f"{p}: instr_ids must be nondecreasing across chunks "
+                    f"({row[0]} after {last_instr})"
+                )
+            last_instr = row[0]
+            instr.append(row[0])
+            pcs.append(row[1])
+            addrs.append(row[2])
+            if len(instr) >= chunk_size:
+                yield MemoryTrace(
+                    np.asarray(instr, dtype=np.int64),
+                    np.asarray(pcs, dtype=np.int64),
+                    np.asarray(addrs, dtype=np.int64),
+                    name=chunk_name,
+                )
+                instr, pcs, addrs = [], [], []
+        if instr:
+            yield MemoryTrace(
+                np.asarray(instr, dtype=np.int64),
+                np.asarray(pcs, dtype=np.int64),
+                np.asarray(addrs, dtype=np.int64),
+                name=chunk_name,
+            )
+
+
+def iter_accesses(
+    path: str | os.PathLike, chunk_size: int = 65536
+) -> Iterator[tuple[int, int, int]]:
+    """Yield ``(instr_id, pc, addr)`` per access, chunk-buffered.
+
+    The access-granular view of :func:`iter_chunks`, shaped for feeding
+    :func:`repro.runtime.serve` directly.
+    """
+    for chunk in iter_chunks(path, chunk_size=chunk_size):
+        instr_ids, pcs, addrs = chunk.instr_ids, chunk.pcs, chunk.addrs
+        for i in range(len(chunk)):
+            yield int(instr_ids[i]), int(pcs[i]), int(addrs[i])

@@ -68,6 +68,33 @@ def test_simulate_dart_with_tables(tabular_student, tmp_path, capsys):
     assert pf.latency_cycles == int(round(tab.latency_cycles()))
 
 
+def test_stream_subcommand_reports_and_writes_json(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "stats.json"
+    rc = main(
+        ["stream", "--workload", "462.libquantum", "--scale", "0.02",
+         "--prefetcher", "stride", "--compare-batch", "--json", str(out)]
+    )
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "throughput" in text and "bit-identical to batch" in text
+    record = json.loads(out.read_text())
+    assert record["identical_to_batch"] is True
+    assert record["accesses"] >= 1000
+    assert record["p50_us"] <= record["p99_us"]
+
+
+def test_stream_subcommand_from_trace_file(tmp_path):
+    trace_path = tmp_path / "trace.npz"
+    main(["trace", "619.lbm", "--scale", "0.01", "-o", str(trace_path)])
+    rc = main(
+        ["stream", "--trace", str(trace_path), "--prefetcher", "bo",
+         "--chunk-size", "500", "--compare-batch"]
+    )
+    assert rc == 0
+
+
 def test_unknown_prefetcher_rejected():
     from repro.cli import _make_prefetcher
 

@@ -1,0 +1,82 @@
+"""Chunked trace ingestion (`iter_chunks` / `iter_accesses`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces import MemoryTrace, iter_accesses, iter_chunks, make_workload, save_csv, save_text
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_workload("462.libquantum", scale=0.01, seed=5)
+
+
+def _concat(chunks):
+    chunks = list(chunks)
+    return MemoryTrace(
+        np.concatenate([c.instr_ids for c in chunks]),
+        np.concatenate([c.pcs for c in chunks]),
+        np.concatenate([c.addrs for c in chunks]),
+    )
+
+
+@pytest.mark.parametrize("fmt", ["npz", "csv", "csv.gz", "txt"])
+def test_iter_chunks_roundtrip(trace, tmp_path, fmt):
+    path = tmp_path / f"t.{fmt}"
+    if fmt == "npz":
+        trace.save(path)
+    elif fmt.startswith("csv"):
+        save_csv(trace, path)
+    else:
+        save_text(trace, path)
+    chunks = list(iter_chunks(path, chunk_size=700))
+    assert all(len(c) <= 700 for c in chunks)
+    assert len(chunks) == -(-len(trace) // 700)  # ceil division
+    got = _concat(chunks)
+    assert np.array_equal(got.instr_ids, trace.instr_ids)
+    assert np.array_equal(got.pcs, trace.pcs)
+    assert np.array_equal(got.addrs, trace.addrs)
+
+
+def test_iter_accesses_matches_trace(trace, tmp_path):
+    path = tmp_path / "t.csv"
+    save_csv(trace, path)
+    rows = list(iter_accesses(path, chunk_size=512))
+    assert len(rows) == len(trace)
+    i, pc, addr = rows[37]
+    assert (i, pc, addr) == (
+        int(trace.instr_ids[37]),
+        int(trace.pcs[37]),
+        int(trace.addrs[37]),
+    )
+
+
+def test_iter_chunks_validates_monotonicity_across_chunks(tmp_path):
+    path = tmp_path / "bad.csv"
+    lines = ["instr_id,pc,addr"] + [f"{i},{i},{i * 64}" for i in range(10)]
+    lines.insert(8, "2,99,640")  # instr id regresses at a chunk boundary
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match="nondecreasing"):
+        list(iter_chunks(path, chunk_size=4))
+
+
+def test_iter_chunks_rejects_bad_chunk_size(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("1,2,3\n")
+    with pytest.raises(ValueError):
+        list(iter_chunks(path, chunk_size=0))
+
+
+def test_chunked_serving_never_materializes(trace, tmp_path):
+    """End to end: file -> chunk iterator -> streaming engine."""
+    from repro.prefetch import StridePrefetcher
+    from repro.runtime import serve
+
+    path = tmp_path / "t.csv.gz"
+    save_csv(trace, path)
+    pf = StridePrefetcher()
+    stats, lists = serve(pf.stream(), iter_chunks(path, chunk_size=300), collect=True)
+    assert stats.accesses == len(trace)
+    assert lists == pf.prefetch_lists(trace)
