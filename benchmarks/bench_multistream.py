@@ -1,0 +1,172 @@
+"""Shared-model multi-stream serving vs. per-stream batching.
+
+Not a paper figure — the deployment-side check for the multi-tenant runtime:
+N concurrent access streams (cores / clients / trace shards) served from
+**one** shared table model with cross-stream micro-batching must (a) stay
+bit-identical to solo single-stream serving, and (b) actually coalesce —
+under a latency deadline (``max_wait``) the shared engine must issue at
+least 2x fewer ``predict_proba`` calls at N >= 4 streams than N independent
+per-stream batchers at the same ``B`` (per-stream batchers flush small
+deadline-bound bursts; the shared batch fills N× faster).
+
+Run standalone (writes the ``BENCH_multistream.json`` trajectory artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_multistream.py --accesses 20000
+
+``--smoke`` (CI) shrinks everything to a 2-stream, ~1.5k-access run — at 2
+streams the coalescing ceiling is 2x, so the smoke gate only checks >1x plus
+bit-identity; the full run gates 2x at the largest stream count.
+
+Future PRs compare their numbers against the committed history of this
+artifact; keep the workload/seed stable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.data import PreprocessConfig, build_dataset
+from repro.models import AttentionPredictor, ModelConfig
+from repro.prefetch import DARTPrefetcher
+from repro.runtime import BatchAdapter, serve_interleaved
+from repro.tabularization import TableConfig, tabularize_predictor
+from repro.traces import make_workload
+from repro.utils import log
+
+#: geometry kept small so the bench finishes in CI; call-count ratios, not
+#: absolute throughput, are the tracked quantity.
+PREPROCESS = PreprocessConfig(history_len=8, window=6, delta_range=32)
+MODEL = ModelConfig(layers=1, dim=16, heads=2, history_len=8, bitmap_size=64)
+TABLE = TableConfig.uniform(16, 2)
+
+
+def build_dart(trace, train_samples: int = 800, seed: int = 0) -> DARTPrefetcher:
+    """An untrained-but-real table hierarchy (weights don't matter for perf)."""
+    ds = build_dataset(trace.pcs, trace.addrs, PREPROCESS, max_samples=train_samples)
+    seg = PREPROCESS.segmenter()
+    student = AttentionPredictor(MODEL, seg.n_addr_segments, seg.n_pc_segments, rng=seed)
+    tabular, _ = tabularize_predictor(
+        student, ds.x_addr, ds.x_pc, TABLE, fine_tune=False, rng=seed
+    )
+    return DARTPrefetcher(tabular, PREPROCESS, threshold=0.4, max_degree=2)
+
+
+def make_streams(n: int, accesses: int, seed: int):
+    """N genuinely different access streams (distinct generator seeds)."""
+    scale = max(accesses / 348_000, 0.005) * 1.1  # libquantum is ~348k at scale 1
+    return [
+        make_workload("462.libquantum", scale=scale, seed=seed + i).slice(0, accesses)
+        for i in range(n)
+    ]
+
+
+def run(
+    accesses: int,
+    stream_counts: list[int],
+    batch_size: int,
+    max_wait: int,
+    output: str | None,
+    seed: int = 2,
+) -> dict:
+    traces_all = make_streams(max(stream_counts), accesses, seed)
+    dart = build_dart(traces_all[0])
+
+    record: dict = {
+        "workload": "462.libquantum",
+        "seed": seed,
+        "accesses_per_stream": accesses,
+        "batch_size": batch_size,
+        "max_wait": max_wait,
+        "by_streams": {},
+    }
+    rows = []
+    for n in stream_counts:
+        traces = traces_all[:n]
+        engine = dart.multistream(batch_size=batch_size, max_wait=max_wait)
+        shared_agg, _, shared_lists = serve_interleaved(
+            engine.streams(n), traces, collect=True
+        )
+        shared_calls = engine.predict_calls
+
+        solos = [dart.stream(batch_size=batch_size, max_wait=max_wait) for _ in range(n)]
+        solo_agg, _, _ = serve_interleaved(solos, traces)
+        solo_calls = sum(s.predict_calls for s in solos)
+
+        # Equivalence bar: every stream bit-identical to its solo batch run.
+        identical = all(
+            shared_lists[i]
+            == BatchAdapter(dart.stream(batch_size=batch_size)).prefetch_lists(traces[i])
+            for i in range(n)
+        )
+        ratio = solo_calls / shared_calls if shared_calls else float("inf")
+        record["by_streams"][str(n)] = {
+            "shared": {**shared_agg.to_dict(), "predict_calls": shared_calls,
+                       **{f"engine_{k}": v for k, v in engine.stats().items()}},
+            "per_stream": {**solo_agg.to_dict(), "predict_calls": solo_calls},
+            "calls_per_stream_over_shared": ratio,
+            "identical_to_solo": identical,
+        }
+        rows.append([
+            str(n),
+            f"{shared_agg.throughput:,.0f}", f"{shared_agg.p50_us:.1f}", f"{shared_agg.p99_us:.1f}",
+            f"{solo_agg.throughput:,.0f}", f"{solo_agg.p50_us:.1f}", f"{solo_agg.p99_us:.1f}",
+            f"{shared_calls}", f"{solo_calls}", f"{ratio:.2f}x", str(identical),
+        ])
+
+    log.table(
+        f"shared-model vs per-stream serving ({accesses:,} accesses/stream, "
+        f"B={batch_size}, max_wait={max_wait})",
+        ["streams", "shared acc/s", "p50", "p99",
+         "solo acc/s", "p50", "p99", "shared calls", "solo calls", "ratio", "identical"],
+        rows,
+    )
+    n_max = max(stream_counts)
+    top = record["by_streams"][str(n_max)]
+    record["max_streams"] = n_max
+    record["best_call_ratio"] = top["calls_per_stream_over_shared"]
+    record["all_identical"] = all(
+        v["identical_to_solo"] for v in record["by_streams"].values()
+    )
+    # At 2 streams the coalescing ceiling is 2x; only gate the 2x bar when
+    # the run includes >= 4 streams (the acceptance configuration).
+    ratio_bar = 2.0 if n_max >= 4 else 1.0
+    ok = record["all_identical"] and record["best_call_ratio"] > ratio_bar
+    record["pass"] = ok
+    verdict = "PASS" if ok else "FAIL"
+    print(
+        f"[{verdict}] {n_max} streams: {record['best_call_ratio']:.2f}x fewer "
+        f"predict calls (bar {ratio_bar}x), bit-identical={record['all_identical']}"
+    )
+    if output:
+        with open(output, "w", encoding="utf-8") as f:
+            json.dump(record, f, indent=2, sort_keys=True)
+        print(f"wrote {output}")
+    return record
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--accesses", type=int, default=20_000, help="per stream")
+    ap.add_argument("--streams", type=int, nargs="+", default=[1, 2, 4, 8])
+    ap.add_argument("--batch-size", type=int, default=64)
+    ap.add_argument("--max-wait", type=int, default=16)
+    ap.add_argument("--seed", type=int, default=2)
+    ap.add_argument("--output", "-o", default="BENCH_multistream.json")
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny CI run: 2 streams, ~1.5k accesses each")
+    args = ap.parse_args(argv)
+    if args.smoke:
+        args.accesses = 1500
+        args.streams = [1, 2]
+        args.batch_size = 16
+        args.max_wait = 4
+    record = run(
+        args.accesses, args.streams, args.batch_size, args.max_wait,
+        args.output, seed=args.seed,
+    )
+    return 0 if record["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

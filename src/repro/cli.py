@@ -12,7 +12,9 @@ Subcommands mirror a deployment workflow:
 * ``stream``   — serve a trace through the online runtime (chunked ingestion,
   micro-batched prediction) and report throughput plus p50/p99 per-access
   latency; optionally compare against the batch path and emit a JSON
-  artifact.
+  artifact. With ``--cores N`` the trace is split into N interleaved shards
+  (concurrent streams); ``--share-model`` serves them all from one shared
+  model engine with cross-stream micro-batching.
 * ``configure`` — query the table configurator for a (latency, storage)
   budget without training anything.
 
@@ -182,6 +184,117 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _stream_many(args) -> int:
+    """``stream --cores N``: N interleaved trace shards, optionally sharing
+    one model engine (``--share-model``) with cross-stream micro-batching.
+
+    Sharding needs random access, so unlike the single-stream path this
+    materializes the trace (``--chunk-size`` does not apply); to serve truly
+    independent live streams without materializing, drive
+    :class:`repro.runtime.MultiStreamEngine` handles directly.
+    """
+    import json
+
+    from repro.runtime import as_streaming, serve_interleaved
+    from repro.traces import load_any, make_workload
+
+    n = args.cores
+    trace = load_any(args.trace) if args.trace else make_workload(
+        args.workload, scale=args.scale, seed=args.seed
+    )
+    bounds = [round(i * len(trace) / n) for i in range(n + 1)]
+    shards = [trace.slice(bounds[i], bounds[i + 1]) for i in range(n)]
+    trace_label = args.trace or args.workload
+
+    pf = _make_prefetcher(args.prefetcher, args.tables)
+    if pf is None:
+        raise SystemExit("stream requires a prefetcher (try --prefetcher bo)")
+    engine = None
+    if args.share_model:
+        if not hasattr(pf, "multistream"):
+            raise SystemExit(
+                "--share-model needs a model-backed prefetcher (--prefetcher dart)"
+            )
+        engine = pf.multistream(batch_size=args.batch_size, max_wait=args.max_wait)
+        streams = engine.streams(n, names=[f"{pf.name}[{i}]" for i in range(n)])
+    elif hasattr(pf, "multistream"):
+        # Model-backed: each stream() gets private micro-batching state while
+        # sharing the one loaded model — no N reloads of the tables file.
+        streams = [
+            pf.stream(batch_size=args.batch_size, max_wait=args.max_wait)
+            for _ in range(n)
+        ]
+    else:
+        # Rule-based state machines: a fresh prefetcher instance per shard so
+        # per-stream predictor state stays private.
+        streams = [
+            as_streaming(
+                _make_prefetcher(args.prefetcher, args.tables),
+                batch_size=args.batch_size,
+                max_wait=args.max_wait,
+            )
+            for _ in range(n)
+        ]
+    agg, per_stream, lists = serve_interleaved(streams, shards, collect=args.compare_batch)
+    predict_calls = (
+        engine.predict_calls
+        if engine is not None
+        else sum(getattr(s, "predict_calls", 0) for s in streams)
+    )
+
+    rows = [
+        [s.name, f"{s.accesses:,}", f"{s.prefetches:,}",
+         f"{s.p50_us:.1f}", f"{s.p99_us:.1f}", f"{s.max_us:.1f}"]
+        for s in per_stream
+    ]
+    rows.append(
+        ["aggregate", f"{agg.accesses:,}", f"{agg.prefetches:,}",
+         f"{agg.p50_us:.1f}", f"{agg.p99_us:.1f}", f"{agg.max_us:.1f}"]
+    )
+    record = {
+        "prefetcher": pf.name,
+        "trace": trace_label,
+        "cores": n,
+        "share_model": bool(args.share_model),
+        "batch_size": args.batch_size,
+        "max_wait": args.max_wait,
+        "predict_calls": predict_calls,
+        "aggregate": agg.to_dict(),
+        "per_stream": [s.to_dict() for s in per_stream],
+    }
+    if engine is not None:
+        record["engine"] = engine.stats()
+    identical = None
+    if args.compare_batch:
+        # Each shard must match its solo batch run. Model-backed batch
+        # prediction is stateless, so the loaded model is reused; rule-based
+        # reference runs need a fresh state machine per shard.
+        def _reference(i):
+            ref = pf if hasattr(pf, "multistream") else _make_prefetcher(
+                args.prefetcher, args.tables
+            )
+            return ref.prefetch_lists(shards[i])
+
+        identical = all(lists[i] == _reference(i) for i in range(n))
+        rows.append(["bit-identical to solo batch", str(identical), "", "", "", ""])
+        record["identical_to_batch"] = identical
+    mode = "shared model" if args.share_model else "per-stream engines"
+    log.table(
+        f"{n}-stream serving of {trace_label} ({mode}, B={args.batch_size}, "
+        f"{predict_calls} predict calls)",
+        ["stream", "accesses", "prefetches", "p50 us", "p99 us", "max us"],
+        rows,
+    )
+    print(f"throughput: {agg.throughput:,.0f} accesses/s across {n} streams")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(record, f, indent=2, sort_keys=True)
+        print(f"wrote serving stats to {args.json}")
+    if identical is False:
+        return 1
+    return 0
+
+
 def _cmd_stream(args) -> int:
     import json
     import time
@@ -195,6 +308,12 @@ def _cmd_stream(args) -> int:
         raise SystemExit("--max-wait must be >= 1")
     if args.chunk_size < 1:
         raise SystemExit("--chunk-size must be >= 1")
+    if args.cores < 1:
+        raise SystemExit("--cores must be >= 1")
+    if args.cores > 1:
+        return _stream_many(args)
+    if args.share_model:
+        raise SystemExit("--share-model only makes sense with --cores N (N > 1)")
     if args.trace:
         source = iter_chunks(args.trace, chunk_size=args.chunk_size)
         trace_label = args.trace
@@ -307,18 +426,30 @@ def _cmd_multicore(args) -> int:
         make_workload(w, scale=args.scale, seed=args.seed + i)
         for i, w in enumerate(args.workloads)
     ]
-    pf = [_make_prefetcher(args.prefetcher, None) for _ in traces]
-    r = simulate_multicore(traces, prefetchers=pf, config=HierarchyConfig())
+    if args.share_model:
+        shared = _make_prefetcher(args.prefetcher, args.tables)
+        if shared is None or not hasattr(shared, "multistream"):
+            raise SystemExit(
+                "--share-model needs a model-backed prefetcher (--prefetcher dart)"
+            )
+        r = simulate_multicore(
+            traces, config=HierarchyConfig(), shared_prefetcher=shared
+        )
+    else:
+        pf = [_make_prefetcher(args.prefetcher, args.tables) for _ in traces]
+        r = simulate_multicore(traces, prefetchers=pf, config=HierarchyConfig())
     rows = [
         [c.name, f"{c.ipc:.3f}", f"{c.accuracy:.2%}", str(c.prefetches_issued)]
         for c in r.cores
     ]
     rows.append(["aggregate", f"{r.aggregate_ipc:.3f}", "-", "-"])
-    log.table(
-        f"{len(traces)}-core simulation (shared LLC + DRAM)",
-        ["core", "IPC", "pf accuracy", "pf issued"],
-        rows,
-    )
+    title = f"{len(traces)}-core simulation (shared LLC + DRAM)"
+    if r.predictor:
+        title += (
+            f" — shared {r.predictor['name']}: 1 model copy, "
+            f"{r.predictor['predict_calls']} predict calls"
+        )
+    log.table(title, ["core", "IPC", "pf accuracy", "pf issued"], rows)
     return 0
 
 
@@ -418,6 +549,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="flush when the oldest query waited this many accesses")
     p_str.add_argument("--chunk-size", type=int, default=65536,
                        help="trace-file ingestion chunk (accesses)")
+    p_str.add_argument("--cores", type=int, default=1,
+                       help="serve N interleaved trace shards (concurrent "
+                            "streams; materializes the trace to shard it)")
+    p_str.add_argument("--share-model", action="store_true",
+                       help="one shared model engine for all streams "
+                            "(cross-stream micro-batching; model-backed only)")
     p_str.add_argument("--compare-batch", action="store_true",
                        help="also run prefetch_lists and check bit-identity")
     p_str.add_argument("--json", default=None, help="write serving stats JSON here")
@@ -446,6 +583,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--scale", type=float, default=0.05)
     p_mc.add_argument("--seed", type=int, default=2)
     p_mc.add_argument("--prefetcher", choices=PREFETCHER_CHOICES, default="none")
+    p_mc.add_argument("--tables", default=None, help="tables .npz for --prefetcher dart")
+    p_mc.add_argument("--share-model", action="store_true",
+                      help="serve all cores from one shared model "
+                           "(cross-core micro-batching; model-backed only)")
     p_mc.set_defaults(func=_cmd_multicore)
 
     p_an = sub.add_parser("analyze", help="trace statistics + OPT replacement headroom")

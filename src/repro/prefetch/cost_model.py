@@ -62,7 +62,16 @@ def attention_kernel_ops(t: int, d_k: int, k: int, c: int) -> float:
 
 # ----------------------------------------------------------------- whole model
 def tabular_model_latency(model: ModelConfig, table: TableConfig) -> float:
-    """Eq. 22: full tabular predictor latency in cycles."""
+    """Eq. 22: full tabular predictor latency in cycles.
+
+    The input embedding is charged **once** even though there are two input
+    tables (addr and pc): the lookups are independent and run in parallel, so
+    the critical path takes their max — and both share ⟨k_input, c_input⟩, so
+    the max equals a single :func:`linear_kernel_latency` term. The assembled
+    :class:`~repro.tabularization.tabular_model.TabularAttentionPredictor`
+    computes the same ``max(addr, pc)`` from its actual components (tested to
+    agree with this formula); see DESIGN.md "Known deviations".
+    """
     lat = linear_kernel_latency(table.k_input, table.c_input) + LATENCY_LAYERNORM
     lat += linear_kernel_latency(table.k_output, table.c_output) + LATENCY_SIGMOID
     per_layer = (

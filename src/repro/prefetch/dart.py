@@ -63,6 +63,28 @@ class DARTPrefetcher(Prefetcher):
             storage_bytes=self.storage_bytes,
         )
 
+    def multistream(self, batch_size: int = 64, max_wait: int | None = None):
+        """Shared-model engine serving N concurrent streams (cores, clients).
+
+        All registered streams' queries coalesce into one vectorized table
+        query per flush, and the table hierarchy is stored once instead of
+        per stream — see :class:`repro.runtime.multistream.MultiStreamEngine`.
+        """
+        from repro.runtime.multistream import MultiStreamEngine
+
+        return MultiStreamEngine(
+            self.predictor.predict_proba,
+            self.config,
+            threshold=self.threshold,
+            max_degree=self.max_degree,
+            decode=self.decode,
+            batch_size=batch_size,
+            max_wait=max_wait,
+            name=self.name,
+            latency_cycles=self.latency_cycles,
+            storage_bytes=self.storage_bytes,
+        )
+
     def meets_constraints(self, latency_budget: float, storage_budget: float) -> bool:
         """Eq. 9: ``L(T) < tau`` and ``S(T) < s``."""
         return self.latency_cycles < latency_budget and self.storage_bytes < storage_budget

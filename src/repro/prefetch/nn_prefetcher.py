@@ -168,3 +168,20 @@ class NeuralPrefetcher(Prefetcher):
             latency_cycles=self.latency_cycles,
             storage_bytes=self.storage_bytes,
         )
+
+    def multistream(self, batch_size: int = 64, max_wait: int | None = None):
+        """Shared-model engine serving N concurrent streams (one NN, N tenants)."""
+        from repro.runtime.multistream import MultiStreamEngine
+
+        return MultiStreamEngine(
+            self.model.predict_proba,
+            self.config,
+            threshold=self.threshold,
+            max_degree=self.max_degree,
+            decode=self.decode,
+            batch_size=batch_size,
+            max_wait=max_wait,
+            name=self.name,
+            latency_cycles=self.latency_cycles,
+            storage_bytes=self.storage_bytes,
+        )

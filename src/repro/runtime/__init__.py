@@ -6,17 +6,23 @@ this package serves a *live* access stream with bounded latency and memory:
 * :mod:`repro.runtime.streaming` — the :class:`StreamingPrefetcher` protocol
   and the adapters between the batch and online worlds;
 * :mod:`repro.runtime.microbatch` — micro-batched vectorized serving for the
-  learned predictors (DART tables and the NN baselines);
+  learned predictors (DART tables and the NN baselines): per-tenant
+  :class:`StreamState` + shared :class:`_FlushPath`;
+* :mod:`repro.runtime.multistream` — N concurrent streams sharing one model,
+  with cross-stream micro-batching (one predict per flush across streams);
 * :mod:`repro.runtime.engine` — the serving loop with throughput / latency
   accounting.
 
-Entry points: ``prefetcher.stream()`` on any prefetcher, ``as_streaming`` to
-coerce, ``BatchAdapter`` to go back, and ``serve`` to drive a stream over a
-trace, chunk iterator, or live feed.
+Entry points: ``prefetcher.stream()`` on any prefetcher,
+``prefetcher.multistream()`` on the learned ones, ``as_streaming`` to
+coerce, ``BatchAdapter`` to go back, ``serve`` to drive a stream over a
+trace, chunk iterator, or live feed, and ``serve_interleaved`` to drive N
+streams round-robin.
 """
 
 from repro.runtime.engine import StreamStats, access_pairs, serve
-from repro.runtime.microbatch import MicroBatcher, StreamingModelPrefetcher
+from repro.runtime.microbatch import MicroBatcher, StreamingModelPrefetcher, StreamState
+from repro.runtime.multistream import MultiStreamEngine, StreamHandle, serve_interleaved
 from repro.runtime.streaming import (
     BatchAdapter,
     CompositeStream,
@@ -33,11 +39,15 @@ __all__ = [
     "Emission",
     "FilteredStream",
     "MicroBatcher",
+    "MultiStreamEngine",
     "SequentialStreamAdapter",
+    "StreamHandle",
+    "StreamState",
     "StreamStats",
     "StreamingModelPrefetcher",
     "StreamingPrefetcher",
     "access_pairs",
     "as_streaming",
     "serve",
+    "serve_interleaved",
 ]

@@ -3,7 +3,8 @@
 This is the runtime's outermost loop — the piece a deployment would run
 against a live LLC access feed. It owns none of the prediction logic; it just
 pumps accesses into a :class:`~repro.runtime.streaming.StreamingPrefetcher`,
-times every ``ingest`` call with a wall clock, and aggregates the paper's
+times every ``ingest`` call (and the end-of-stream drain, whose tail predict
+answers up to ``B - 1`` queries at once) with a wall clock, and aggregates the paper's
 practicality metrics for software serving: throughput (accesses/s) and
 per-access response latency percentiles (p50/p99). For a micro-batched
 engine the latency distribution is the interesting part — most observes are
@@ -164,7 +165,19 @@ def serve(
             prefetches += len(em.blocks)
             if collect:
                 lists[em.seq] = list(em.blocks)
-    for em in stream.flush():
+    # The end-of-stream drain answers up to B-1 still-pending queries with a
+    # full predict call; time it like any ingest so the tail flush shows up in
+    # p99/max instead of silently vanishing from the latency sketch. A drain
+    # that delivered nothing (synchronous streams) adds no sample — there was
+    # no response to attribute the time to.
+    if measure:
+        t_in = perf()
+        tail = stream.flush()
+        if tail:
+            sketch.add(perf() - t_in)
+    else:
+        tail = stream.flush()
+    for em in tail:
         prefetches += len(em.blocks)
         if collect:
             lists[em.seq] = list(em.blocks)

@@ -4,24 +4,34 @@ The tabular/NN predictors are vectorized: one ``predict_proba`` call on a
 ``(B, T, S)`` batch costs far less than ``B`` calls on ``(1, T, S)`` slices,
 because the per-call Python and NumPy dispatch overhead dominates at batch 1.
 A real deployment therefore queues triggers briefly and answers them in
-bursts. :class:`MicroBatcher` is that queue:
+bursts. The machinery splits into two halves with different sharing rules:
 
-* each access is **featurized once**, at arrival: the single new (block, PC)
-  pair is segmented and written into a preallocated ring. Histories are never
-  re-segmented — the window for access ``n`` shares ``T - 1`` rows with the
-  window for ``n - 1``, so sliding is free (this mirrors the batch path's
-  ``sliding_window_view``, which shares the same memory across windows);
-* the ring stores every row **twice** (at ``i % C`` and ``i % C + C``), the
-  classic mirrored ring that makes every length-``T`` window a contiguous
-  slice — the flush gather is one ``np.take`` into a preallocated batch
-  buffer, no per-access allocation;
-* a flush fires when ``batch_size`` queries are pending, when the oldest
-  pending query has waited ``max_wait`` accesses (the deadline that bounds
-  worst-case response time), or on demand (:meth:`flush`). One vectorized
-  ``predict_proba`` call answers the whole burst, and the shared
+* :class:`StreamState` — the **per-tenant** half. Each access stream (a core,
+  a client, a trace shard) owns its feature rings and pending queue: the
+  single new (block, PC) pair is segmented once, at arrival, into a
+  preallocated mirrored ring (each row written at ``i % C`` and ``i % C + C``
+  so every length-``T`` history window is a contiguous slice). Histories are
+  never re-segmented — the window for access ``n`` shares ``T - 1`` rows with
+  the window for ``n - 1``, mirroring the batch path's
+  ``sliding_window_view``. This state must never be shared across streams;
+  mixing two streams' rings would corrupt every window.
+* :class:`_FlushPath` — the **shared** half. It owns the preallocated gather
+  buffers and the predictor, and can answer pending queries from *any number
+  of stream states* with **one** vectorized ``predict_proba`` call: the flush
+  gathers each stream's windows (one ``np.take`` per stream into slices of
+  the shared batch buffer), predicts once, and the shared
   :func:`~repro.prefetch.nn_prefetcher.decode_bitmap_probs` turns each row
   into prefetch candidates — the same decode the batch path runs, which is
-  why the two paths are bit-identical.
+  why all serving paths are bit-identical.
+
+:class:`MicroBatcher` composes one ``StreamState`` with a ``_FlushPath``:
+the single-stream engine. A flush fires when ``batch_size`` queries are
+pending, when the oldest pending query has waited ``max_wait`` accesses (the
+deadline that bounds worst-case response time), or on demand
+(:meth:`~MicroBatcher.flush`).
+:class:`~repro.runtime.multistream.MultiStreamEngine` composes N stream
+states with one ``_FlushPath``, coalescing queries across streams so a batch
+fills N× faster and the model is stored once.
 
 :class:`StreamingModelPrefetcher` wraps a micro-batcher in the
 :class:`~repro.runtime.streaming.StreamingPrefetcher` protocol; it is what
@@ -40,8 +50,161 @@ from repro.runtime.streaming import Emission, StreamingPrefetcher
 from repro.utils.bits import block_address
 
 
+class StreamState:
+    """Per-stream featurization state: mirrored feature rings + pending queue.
+
+    ``depth`` is the flush path's batch size ``B``: a window's oldest row must
+    survive until its query flushes, and a query can have at most ``B - 1``
+    same-stream accesses arrive behind it before the (global) batch is full,
+    so ring capacity ``T + B`` suffices — for the single-stream engine and
+    for a stream sharing a flush path with any number of others.
+    """
+
+    def __init__(self, config: PreprocessConfig, depth: int):
+        seg = config.segmenter()
+        self.seg = seg
+        self.t_hist = config.history_len
+        #: ring capacity (see class docstring)
+        self.cap = self.t_hist + int(depth)
+        cap = self.cap
+        # Mirrored rings (each row written at r and r + cap): contiguous windows.
+        self.addr_ring = np.zeros((2 * cap, seg.n_addr_segments), dtype=np.float64)
+        self.pc_ring = np.zeros((2 * cap, seg.n_pc_segments), dtype=np.float64)
+        self.anchors = np.zeros(cap, dtype=np.int64)
+        #: index of the next access of *this stream*
+        self.seq = 0
+        #: seqs featurized but not yet answered
+        self.pending: list[int] = []
+
+    def push(self, pc: int, addr: int) -> Emission | None:
+        """Featurize one access.
+
+        Returns the warm-up emission (empty candidates) while the stream has
+        no full history yet; afterwards returns ``None`` and appends the seq
+        to :attr:`pending` for the owner's flush policy to answer.
+        """
+        seq = self.seq
+        self.seq = seq + 1
+        cap = self.cap
+        blk = int(block_address(int(addr)))
+        r = seq % cap
+        self.seg.segment_access_into(blk, int(pc), self.addr_ring[r], self.pc_ring[r])
+        self.addr_ring[r + cap] = self.addr_ring[r]
+        self.pc_ring[r + cap] = self.pc_ring[r]
+        self.anchors[r] = blk
+        if seq < self.t_hist - 1:
+            # Warm-up: no full history yet — answer "nothing" immediately so
+            # downstream consumers (merge, filter) see every seq exactly once.
+            return Emission(seq, [])
+        self.pending.append(seq)
+        return None
+
+    def oldest_age(self) -> int:
+        """Accesses of this stream that arrived after the oldest pending query."""
+        return (self.seq - 1) - self.pending[0] if self.pending else 0
+
+    def reset(self) -> None:
+        self.seq = 0
+        self.pending.clear()
+        # Stale rows can never feed a prediction (warm-up rewrites every row a
+        # window can reach before the first query), but zeroing keeps the
+        # post-reset state bit-identical to a freshly built stream — pinned by
+        # the serve-reset-serve test.
+        self.addr_ring[:] = 0.0
+        self.pc_ring[:] = 0.0
+        self.anchors[:] = 0
+
+
+class _FlushPath:
+    """Shared flush machinery: gather → one vectorized predict → decode.
+
+    Holds the preallocated ``(B, T, S)`` gather buffers and the (single)
+    predictor reference; :meth:`flush` answers pending queries from any
+    number of :class:`StreamState` instances in one ``predict_proba`` call.
+    """
+
+    def __init__(
+        self,
+        predict_proba,
+        config: PreprocessConfig,
+        threshold: float,
+        max_degree: int,
+        decode: str,
+        batch_size: int,
+    ):
+        self._predict = predict_proba
+        self.threshold = float(threshold)
+        self.max_degree = int(max_degree)
+        self.decode = decode
+        self.batch_size = int(batch_size)
+        seg = config.segmenter()
+        t_hist = config.history_len
+        self._t_hist = t_hist
+        b = self.batch_size
+        self._x_addr = np.empty((b, t_hist, seg.n_addr_segments), dtype=np.float64)
+        self._x_pc = np.empty((b, t_hist, seg.n_pc_segments), dtype=np.float64)
+        self._anchors = np.empty(b, dtype=np.int64)
+        self._probs = np.empty((b, config.bitmap_size), dtype=np.float64)
+        self._win = np.arange(t_hist, dtype=np.intp)
+        try:
+            params = inspect.signature(predict_proba).parameters
+            self._supports_out = "out" in params
+        except (TypeError, ValueError):  # builtins / C callables
+            self._supports_out = False
+        #: vectorized predict calls issued (the quantity shared batching cuts)
+        self.predict_calls = 0
+        #: queries answered across all calls
+        self.queries_answered = 0
+
+    def flush(self, groups: list[tuple[StreamState, list[int]]]) -> list[list[Emission]]:
+        """Answer each group's pending seqs; one predict call for all groups.
+
+        Callers own the pending lists (this method does not clear them). The
+        total query count must not exceed ``batch_size`` — the flush policies
+        (single- and multi-stream) flush as soon as the batch fills, so the
+        bound holds by construction.
+        """
+        k = sum(len(pend) for _, pend in groups)
+        if k == 0:
+            return [[] for _ in groups]
+        if k > self.batch_size:
+            raise ValueError(f"{k} pending queries exceed batch_size={self.batch_size}")
+        t = self._t_hist
+        offset = 0
+        for state, pend in groups:
+            kk = len(pend)
+            if kk == 0:
+                continue
+            pos = np.asarray(pend, dtype=np.intp) % state.cap
+            # Window rows for seq: mirrored-ring indices r+cap-T+1 .. r+cap.
+            rows = pos[:, None] + (state.cap - t + 1) + self._win[None, :]
+            np.take(state.addr_ring, rows, axis=0, out=self._x_addr[offset : offset + kk])
+            np.take(state.pc_ring, rows, axis=0, out=self._x_pc[offset : offset + kk])
+            self._anchors[offset : offset + kk] = state.anchors[pos]
+            offset += kk
+        if self._supports_out:
+            probs = self._predict(
+                self._x_addr[:k], self._x_pc[:k],
+                batch_size=self.batch_size, out=self._probs[:k],
+            )
+        else:
+            probs = self._predict(self._x_addr[:k], self._x_pc[:k], batch_size=self.batch_size)
+        lists = decode_bitmap_probs(
+            probs, self._anchors[:k], self.threshold, self.max_degree, self.decode
+        )
+        self.predict_calls += 1
+        self.queries_answered += k
+        out: list[list[Emission]] = []
+        offset = 0
+        for _, pend in groups:
+            kk = len(pend)
+            out.append([Emission(s, blocks) for s, blocks in zip(pend, lists[offset : offset + kk])])
+            offset += kk
+        return out
+
+
 class MicroBatcher:
-    """Accumulate segmented queries; answer them with one vectorized predict.
+    """Single-stream micro-batching: one :class:`StreamState` + a flush path.
 
     Parameters
     ----------
@@ -74,94 +237,64 @@ class MicroBatcher:
             raise ValueError("batch_size must be >= 1")
         if max_wait is not None and max_wait < 1:
             raise ValueError("max_wait must be >= 1 (or None)")
-        self._predict = predict_proba
         self.config = config
-        self.threshold = float(threshold)
-        self.max_degree = int(max_degree)
-        self.decode = decode
         self.batch_size = int(batch_size)
         self.max_wait = max_wait
+        self._state = StreamState(config, depth=self.batch_size)
+        self._path = _FlushPath(
+            predict_proba, config, threshold, max_degree, decode, self.batch_size
+        )
 
-        t_hist = config.history_len
-        seg = config.segmenter()
-        self._seg = seg
-        self._t_hist = t_hist
-        #: ring capacity: a window's oldest row must survive until its query
-        #: flushes, i.e. up to ``batch_size - 1`` accesses after its newest row.
-        self._cap = t_hist + self.batch_size
-        cap = self._cap
-        # Mirrored rings (each row written at r and r + cap): contiguous windows.
-        self._addr_ring = np.zeros((2 * cap, seg.n_addr_segments), dtype=np.float64)
-        self._pc_ring = np.zeros((2 * cap, seg.n_pc_segments), dtype=np.float64)
-        self._anchors = np.zeros(cap, dtype=np.int64)
-        # Preallocated flush-time buffers.
-        b = self.batch_size
-        self._x_addr = np.empty((b, t_hist, seg.n_addr_segments), dtype=np.float64)
-        self._x_pc = np.empty((b, t_hist, seg.n_pc_segments), dtype=np.float64)
-        self._probs = np.empty((b, config.bitmap_size), dtype=np.float64)
-        self._win = np.arange(t_hist, dtype=np.intp)
-        try:
-            params = inspect.signature(predict_proba).parameters
-            self._supports_out = "out" in params
-        except (TypeError, ValueError):  # builtins / C callables
-            self._supports_out = False
+    # ------------------------------------------------------------- introspection
+    @property
+    def seq(self) -> int:
+        return self._state.seq
 
-        self.seq = 0
-        self._pending: list[int] = []
+    @property
+    def threshold(self) -> float:
+        return self._path.threshold
+
+    @property
+    def max_degree(self) -> int:
+        return self._path.max_degree
+
+    @property
+    def decode(self) -> str:
+        return self._path.decode
+
+    @property
+    def _pending(self) -> list[int]:
+        return self._state.pending
+
+    @property
+    def predict_calls(self) -> int:
+        """Vectorized predict calls issued so far (not reset by :meth:`reset`)."""
+        return self._path.predict_calls
 
     # ---------------------------------------------------------------- serving
     def push(self, pc: int, addr: int) -> list[Emission]:
         """Featurize one access and return any emissions it completes."""
-        seq = self.seq
-        self.seq = seq + 1
-        cap = self._cap
-        blk = int(block_address(int(addr)))
-        r = seq % cap
-        self._seg.segment_access_into(blk, int(pc), self._addr_ring[r], self._pc_ring[r])
-        self._addr_ring[r + cap] = self._addr_ring[r]
-        self._pc_ring[r + cap] = self._pc_ring[r]
-        self._anchors[r] = blk
-
-        if seq < self._t_hist - 1:
-            # Warm-up: no full history yet — answer "nothing" immediately so
-            # downstream consumers (merge, filter) see every seq exactly once.
-            return [Emission(seq, [])]
-        self._pending.append(seq)
-        if len(self._pending) >= self.batch_size or (
+        warmup = self._state.push(pc, addr)
+        if warmup is not None:
+            return [warmup]
+        if len(self._state.pending) >= self.batch_size or (
             # Age of the oldest pending query = accesses that arrived after it.
-            self.max_wait is not None and seq - self._pending[0] >= self.max_wait
+            self.max_wait is not None and self._state.oldest_age() >= self.max_wait
         ):
             return self.flush()
         return []
 
     def flush(self) -> list[Emission]:
         """Answer all pending queries with one vectorized predict call."""
-        k = len(self._pending)
-        if k == 0:
+        state = self._state
+        if not state.pending:
             return []
-        cap, t = self._cap, self._t_hist
-        pend = np.asarray(self._pending, dtype=np.intp)
-        pos = pend % cap
-        # Window rows for seq: mirrored-ring indices r+cap-T+1 .. r+cap.
-        rows = pos[:, None] + (cap - t + 1) + self._win[None, :]
-        np.take(self._addr_ring, rows, axis=0, out=self._x_addr[:k])
-        np.take(self._pc_ring, rows, axis=0, out=self._x_pc[:k])
-        anchors = self._anchors[pos]
-        if self._supports_out:
-            probs = self._predict(
-                self._x_addr[:k], self._x_pc[:k],
-                batch_size=self.batch_size, out=self._probs[:k],
-            )
-        else:
-            probs = self._predict(self._x_addr[:k], self._x_pc[:k], batch_size=self.batch_size)
-        lists = decode_bitmap_probs(probs, anchors, self.threshold, self.max_degree, self.decode)
-        emissions = [Emission(s, blocks) for s, blocks in zip(self._pending, lists)]
-        self._pending.clear()
+        (emissions,) = self._path.flush([(state, state.pending)])
+        state.pending.clear()
         return emissions
 
     def reset(self) -> None:
-        self.seq = 0
-        self._pending.clear()
+        self._state.reset()
 
 
 class StreamingModelPrefetcher(StreamingPrefetcher):
@@ -202,6 +335,11 @@ class StreamingModelPrefetcher(StreamingPrefetcher):
     def pending(self) -> int:
         """Queries queued but not yet answered."""
         return len(self._mb._pending)
+
+    @property
+    def predict_calls(self) -> int:
+        """Vectorized predict calls issued so far."""
+        return self._mb.predict_calls
 
     def ingest(self, pc: int, addr: int) -> list[Emission]:
         emissions = self._mb.push(pc, addr)

@@ -1,0 +1,325 @@
+"""Shared-model serving for N concurrent access streams.
+
+``sim/multicore.py`` models the scenario a deployment actually faces: N
+cores, each with its own access stream, sharing one predictor. Serving each
+stream through its own :class:`~repro.runtime.microbatch.MicroBatcher` works
+but wastes both axes the paper cares about:
+
+* **storage** — N engines hold N references (and, naively, N copies) of the
+  same table hierarchy;
+* **latency/throughput** — a per-stream batch of ``B = 64`` needs 64 accesses
+  *of that one stream* to fill, so under a latency deadline (``max_wait``)
+  every stream flushes small, mostly-empty batches and the per-call dispatch
+  overhead comes right back.
+
+:class:`MultiStreamEngine` fixes both: every stream keeps its own private
+:class:`~repro.runtime.microbatch.StreamState` (feature rings + pending
+queue — the per-tenant featurization that *Fine-Grained Address Segmentation*
+requires to stay isolated per stream), but all pending queries are coalesced
+into **one** vectorized ``predict_proba`` call per flush across streams. With
+8 streams, a ``B = 64`` batch fills in ~8 accesses per stream instead of 64,
+and the shared predictor is stored once.
+
+Per-stream results are **bit-identical** to serving that stream alone through
+the single-stream path: the predictor is row-local (every table lookup,
+LayerNorm and pooling operates per row, so batch composition cannot change a
+row's answer) and the decode is the shared
+:func:`~repro.prefetch.nn_prefetcher.decode_bitmap_probs`. Only *when* an
+answer arrives changes — which is the point, and which is why latency
+attribution shifts: the access that completes the shared batch pays the
+predict for everyone (see DESIGN.md "Multi-stream serving").
+
+Each registered stream is driven through a :class:`StreamHandle`, a full
+:class:`~repro.runtime.streaming.StreamingPrefetcher`: emissions completed by
+*another* stream's flush wait in the handle's outbox and are delivered on its
+next ``ingest``/``flush``/``poll``, preserving the per-stream emission
+invariant (exactly one emission per access, ascending seq).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Iterable, Sequence
+
+from repro.data.dataset import PreprocessConfig
+from repro.runtime.engine import StreamStats, _LatencySketch, _percentile, access_pairs
+from repro.runtime.microbatch import StreamState, _FlushPath
+from repro.runtime.streaming import Emission, StreamingPrefetcher
+
+
+class StreamHandle(StreamingPrefetcher):
+    """One tenant's view of a :class:`MultiStreamEngine`.
+
+    Implements the standard streaming protocol; answers computed by flushes
+    that *other* streams triggered are parked in this handle's outbox and
+    drained on the next call. ``flush`` drains the whole engine (one
+    coalesced predict), then returns only this stream's emissions — the
+    other handles receive theirs in their outboxes.
+    """
+
+    def __init__(self, engine: "MultiStreamEngine", index: int, name: str):
+        self._engine = engine
+        self.index = index
+        self.name = name
+        self.latency_cycles = engine.latency_cycles
+        self.storage_bytes = engine.storage_bytes
+        self.seq = 0
+        self._outbox: deque[Emission] = deque()
+
+    @property
+    def pending(self) -> int:
+        """This stream's queries queued but not yet answered."""
+        return len(self._engine._states[self.index].pending)
+
+    def poll(self) -> list[Emission]:
+        """Drain emissions already completed (possibly by other streams' flushes)."""
+        out = list(self._outbox)
+        self._outbox.clear()
+        return out
+
+    def ingest(self, pc: int, addr: int) -> list[Emission]:
+        self._engine._ingest(self, pc, addr)
+        self.seq = self._engine._states[self.index].seq
+        return self.poll()
+
+    def flush(self) -> list[Emission]:
+        self._engine.flush_all()
+        return self.poll()
+
+    def reset(self) -> None:
+        """Reset *this stream only*; other tenants are untouched."""
+        self._engine._reset_stream(self.index)
+        self.seq = 0
+        self._outbox.clear()
+
+
+class MultiStreamEngine:
+    """N per-tenant stream states, one shared model, one flush path.
+
+    Parameters mirror :class:`~repro.runtime.microbatch.MicroBatcher`;
+    ``batch_size`` bounds the *total* pending queries across all streams, and
+    ``max_wait`` is measured in each stream's own accesses (same deadline
+    semantics a stream would get served alone — a deadline flush still
+    answers everything pending, keeping one predict call per flush).
+
+    Register tenants with :meth:`stream` / :meth:`streams`; drive them
+    through the returned :class:`StreamHandle`\\ s.
+    """
+
+    def __init__(
+        self,
+        predict_proba,
+        config: PreprocessConfig,
+        threshold: float = 0.5,
+        max_degree: int = 2,
+        decode: str = "distance",
+        batch_size: int = 64,
+        max_wait: int | None = None,
+        name: str = "multistream",
+        latency_cycles: int = 0,
+        storage_bytes: float = 0.0,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if max_wait is not None and max_wait < 1:
+            raise ValueError("max_wait must be >= 1 (or None)")
+        self.config = config
+        self.batch_size = int(batch_size)
+        self.max_wait = max_wait
+        self.name = name
+        self.latency_cycles = int(latency_cycles)
+        self.storage_bytes = float(storage_bytes)
+        self._path = _FlushPath(
+            predict_proba, config, threshold, max_degree, decode, self.batch_size
+        )
+        self._states: list[StreamState] = []
+        self._handles: list[StreamHandle] = []
+        self._n_pending = 0
+
+    # ------------------------------------------------------------ registration
+    def stream(self, name: str | None = None) -> StreamHandle:
+        """Register a new tenant stream; returns its handle."""
+        index = len(self._states)
+        self._states.append(StreamState(self.config, depth=self.batch_size))
+        handle = StreamHandle(self, index, name or f"{self.name}[{index}]")
+        self._handles.append(handle)
+        return handle
+
+    def streams(self, n: int, names: Sequence[str] | None = None) -> list[StreamHandle]:
+        """Register ``n`` tenant streams at once."""
+        if names is not None and len(names) != n:
+            raise ValueError("need one name per stream")
+        return [self.stream(names[i] if names else None) for i in range(n)]
+
+    @property
+    def n_streams(self) -> int:
+        return len(self._states)
+
+    # ----------------------------------------------------------------- serving
+    def _ingest(self, handle: StreamHandle, pc: int, addr: int) -> None:
+        state = self._states[handle.index]
+        warmup = state.push(pc, addr)
+        if warmup is not None:
+            handle._outbox.append(warmup)
+            return
+        self._n_pending += 1
+        # Only the ingesting stream's own clock advanced, so only its oldest
+        # pending query aged — the deadline check stays O(1) per access.
+        if self._n_pending >= self.batch_size or (
+            self.max_wait is not None and state.oldest_age() >= self.max_wait
+        ):
+            self.flush_all()
+
+    def flush_all(self) -> None:
+        """Answer everything pending, across all streams, with one predict."""
+        groups = [
+            (i, state) for i, state in enumerate(self._states) if state.pending
+        ]
+        if not groups:
+            return
+        results = self._path.flush([(state, state.pending) for _, state in groups])
+        for (i, state), emissions in zip(groups, results):
+            self._handles[i]._outbox.extend(emissions)
+            state.pending.clear()
+        self._n_pending = 0
+
+    def _reset_stream(self, index: int) -> None:
+        state = self._states[index]
+        self._n_pending -= len(state.pending)
+        state.reset()
+
+    def reset(self) -> None:
+        """Reset every stream (counters like :attr:`predict_calls` persist)."""
+        for handle in self._handles:
+            handle.reset()
+
+    # ------------------------------------------------------------------- stats
+    @property
+    def predict_calls(self) -> int:
+        return self._path.predict_calls
+
+    @property
+    def queries_answered(self) -> int:
+        return self._path.queries_answered
+
+    def stats(self) -> dict:
+        """Aggregate serving counters (the shared-batching scorecard)."""
+        calls = self._path.predict_calls
+        return {
+            "streams": self.n_streams,
+            "batch_size": self.batch_size,
+            "max_wait": self.max_wait,
+            "model_copies": 1,
+            "predict_calls": calls,
+            "queries_answered": self._path.queries_answered,
+            "mean_batch_fill": (self._path.queries_answered / calls) if calls else 0.0,
+        }
+
+
+def serve_interleaved(
+    streams: Sequence[StreamingPrefetcher],
+    sources: Sequence[Iterable],
+    collect: bool = False,
+    measure: bool = True,
+) -> tuple[StreamStats, list[StreamStats], list[list[list[int]]] | None]:
+    """Round-robin ``sources[i]`` into ``streams[i]``; per-stream + aggregate stats.
+
+    The multi-tenant analogue of :func:`repro.runtime.engine.serve`: one
+    access from each live source per round, every ``ingest`` individually
+    timed, and the end-of-stream drain timed too. Works unchanged for
+    :class:`StreamHandle`\\ s of one shared engine (the first handle's drain
+    flushes everything in one coalesced predict; the rest drain their
+    outboxes) and for independent per-stream engines (each drains itself) —
+    which is exactly the comparison ``bench_multistream`` runs.
+
+    Per-stream ``seconds`` is the shared wall-clock of the whole interleaved
+    run (streams are served concurrently, so per-stream wall time is not
+    separable); per-stream latency percentiles are attributed to the stream
+    whose ``ingest`` paid the cost — under shared batching the access that
+    completes the batch pays the predict for everyone (see DESIGN.md).
+
+    Returns ``(aggregate, per_stream, lists)`` where ``lists[i]`` is stream
+    ``i``'s attributed prefetch lists (``collect=True`` only).
+    """
+    if len(streams) != len(sources):
+        raise ValueError("need exactly one source per stream")
+    n = len(streams)
+    for stream in streams:
+        stream.reset()
+    iters = [iter(access_pairs(src)) for src in sources]
+    lists: list[list[list[int]]] | None = [[] for _ in range(n)] if collect else None
+    sketches = [_LatencySketch() for _ in range(n)]
+    agg = _LatencySketch()
+    accesses = [0] * n
+    prefetches = [0] * n
+    perf = time.perf_counter
+    t0 = perf()
+    alive = list(range(n))
+    while alive:
+        nxt = []
+        for i in alive:
+            try:
+                pc, addr = next(iters[i])
+            except StopIteration:
+                continue
+            nxt.append(i)
+            accesses[i] += 1
+            if collect:
+                lists[i].append([])
+            if measure:
+                t_in = perf()
+                emissions = streams[i].ingest(pc, addr)
+                dt = perf() - t_in
+                sketches[i].add(dt)
+                agg.add(dt)
+            else:
+                emissions = streams[i].ingest(pc, addr)
+            for em in emissions:
+                prefetches[i] += len(em.blocks)
+                if collect:
+                    lists[i][em.seq] = list(em.blocks)
+        alive = nxt
+    # Drain every stream (timed, like serve's tail flush). For handles of one
+    # shared engine the first flush answers all streams (and pays the whole
+    # predict — the attribution shift DESIGN.md documents); the rest just
+    # empty their outboxes at ~zero cost. Drains that deliver nothing add no
+    # sample.
+    for i, stream in enumerate(streams):
+        if measure:
+            t_in = perf()
+            tail = stream.flush()
+            dt = perf() - t_in
+            if tail:
+                sketches[i].add(dt)
+                agg.add(dt)
+        else:
+            tail = stream.flush()
+        for em in tail:
+            prefetches[i] += len(em.blocks)
+            if collect:
+                lists[i][em.seq] = list(em.blocks)
+    seconds = perf() - t0
+
+    def _stats(name: str, sketch: _LatencySketch, acc: int, pf: int, extra: dict) -> StreamStats:
+        samples = sorted(sketch.samples)
+        return StreamStats(
+            name=name,
+            accesses=acc,
+            prefetches=pf,
+            seconds=seconds,
+            p50_us=_percentile(samples, 0.50) * 1e6,
+            p99_us=_percentile(samples, 0.99) * 1e6,
+            mean_us=sketch.mean * 1e6,
+            max_us=sketch.peak * 1e6,
+            extra=extra,
+        )
+
+    per_stream = [
+        _stats(streams[i].name, sketches[i], accesses[i], prefetches[i], {"stream": i})
+        for i in range(n)
+    ]
+    aggregate = _stats(
+        f"{n}-stream", agg, sum(accesses), sum(prefetches), {"streams": n}
+    )
+    return aggregate, per_stream, lists

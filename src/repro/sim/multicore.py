@@ -17,6 +17,14 @@ not alias — ChampSim's separate address spaces), DRAM is one shared
 
 Prefetchers are per-core (one instance per core, each seeing only its own
 core's LLC-level stream), matching an LLC prefetcher with per-core state.
+Learned prefetchers can instead be **shared**: pass ``shared_prefetcher`` and
+one table/NN model serves every core through a
+:class:`~repro.runtime.multistream.MultiStreamEngine` — per-core feature
+state stays private (each core is a tenant stream), but all cores' queries
+coalesce into shared predict batches and the model is stored once instead of
+N times. Per-core prefetch decisions are bit-identical either way (pinned by
+tests); the engine's coalescing counters are reported in
+:attr:`MulticoreResult.predictor`.
 """
 
 from __future__ import annotations
@@ -45,6 +53,8 @@ class MulticoreResult:
     cores: list[SimResult]
     llc: LevelStats
     dram: dict = field(default_factory=dict)
+    #: shared-model serving counters (empty unless ``shared_prefetcher`` ran)
+    predictor: dict = field(default_factory=dict)
 
     @property
     def aggregate_ipc(self) -> float:
@@ -61,12 +71,15 @@ class MulticoreResult:
         )
 
     def summary(self) -> dict:
-        return {
+        out = {
             "aggregate_ipc": round(self.aggregate_ipc, 4),
             "llc_hit_rate": round(self.llc.hit_rate, 4),
             "dram_row_hit_rate": self.dram.get("row_hit_rate", 0.0),
             "cores": [r.summary() for r in self.cores],
         }
+        if self.predictor:
+            out["shared_predictor"] = dict(self.predictor)
+        return out
 
 
 class _Core:
@@ -104,17 +117,34 @@ def simulate_multicore(
     prefetchers: list[Prefetcher | None] | None = None,
     config: HierarchyConfig | None = None,
     llc_policy: str = "lru",
+    shared_prefetcher: Prefetcher | None = None,
+    shared_stream_kwargs: dict | None = None,
 ) -> MulticoreResult:
     """Simulate ``len(traces)`` cores sharing one LLC and DRAM.
 
     ``prefetchers[i]`` serves core ``i`` (``None`` = no prefetching for that
-    core). Returns per-core :class:`SimResult` (IPC etc.) plus shared LLC and
-    DRAM statistics.
+    core). Alternatively ``shared_prefetcher`` (a model-backed prefetcher
+    exposing ``.multistream()``, e.g. :class:`~repro.prefetch.dart.DARTPrefetcher`)
+    serves *every* core from one model: each core's LLC-level stream becomes
+    a tenant of a shared :class:`~repro.runtime.multistream.MultiStreamEngine`
+    and the cores' queries are answered in coalesced predict batches
+    (``shared_stream_kwargs`` forwards ``batch_size`` / ``max_wait``).
+    Returns per-core :class:`SimResult` (IPC etc.) plus shared LLC and DRAM
+    statistics; with a shared prefetcher, also the engine's serving counters.
     """
     cfg = config or HierarchyConfig()
     n_cores = len(traces)
     if n_cores == 0:
         raise ValueError("need at least one trace")
+    if shared_prefetcher is not None:
+        if prefetchers is not None and any(p is not None for p in prefetchers):
+            raise ValueError("pass per-core prefetchers or shared_prefetcher, not both")
+        if not hasattr(shared_prefetcher, "multistream"):
+            raise TypeError(
+                "shared_prefetcher must expose .multistream() (a model-backed "
+                "prefetcher such as DARTPrefetcher or NeuralPrefetcher)"
+            )
+        prefetchers = [None] * n_cores
     if prefetchers is None:
         prefetchers = [None] * n_cores
     if len(prefetchers) != n_cores:
@@ -125,20 +155,42 @@ def simulate_multicore(
     llc_stats = LevelStats("LLC")
     cores = [_Core(i, t, cfg) for i, t in enumerate(traces)]
 
-    # Batched predictions per core over its private LLC-level stream.
-    for core, pf in zip(cores, prefetchers):
-        if pf is None:
-            continue
+    def _llc_subtrace(core: _Core):
         idxs = extract_llc_stream(core.trace, cfg)
-        sub = MemoryTrace(
+        core.llc_indices = idxs
+        return MemoryTrace(
             core.trace.instr_ids[idxs],
             core.trace.pcs[idxs],
             core.trace.addrs[idxs],
             name=core.trace.name,
         )
-        core.llc_indices = idxs
-        core.pf_lists = pf.prefetch_lists(sub)
-        core.pred_latency = float(pf.latency_cycles)
+
+    predictor_stats: dict = {}
+    if shared_prefetcher is not None:
+        # One model, N tenant streams: the cores' private LLC streams are
+        # interleaved through a shared engine so predictions are answered in
+        # coalesced batches. Per-core lists are bit-identical to per-core
+        # model instances (the engine's equivalence bar), so timing results
+        # match the replicated-model path exactly.
+        from repro.runtime.multistream import serve_interleaved
+
+        engine = shared_prefetcher.multistream(**(shared_stream_kwargs or {}))
+        subs = [_llc_subtrace(core) for core in cores]
+        handles = engine.streams(n_cores, names=[f"core{c.idx}" for c in cores])
+        _, _, lists = serve_interleaved(handles, subs, collect=True, measure=False)
+        for core, lst in zip(cores, lists):
+            core.pf_lists = lst
+            core.pred_latency = float(shared_prefetcher.latency_cycles)
+        predictor_stats = engine.stats()
+        predictor_stats["name"] = shared_prefetcher.name
+    else:
+        # Batched predictions per core over its private LLC-level stream.
+        for core, pf in zip(cores, prefetchers):
+            if pf is None:
+                continue
+            sub = _llc_subtrace(core)
+            core.pf_lists = pf.prefetch_lists(sub)
+            core.pred_latency = float(pf.latency_cycles)
 
     width = float(cfg.width)
     rob = int(cfg.rob)
@@ -263,4 +315,6 @@ def simulate_multicore(
         )
         for c in cores
     ]
-    return MulticoreResult(cores=results, llc=llc_stats, dram=dram.stats.as_dict())
+    return MulticoreResult(
+        cores=results, llc=llc_stats, dram=dram.stats.as_dict(), predictor=predictor_stats
+    )

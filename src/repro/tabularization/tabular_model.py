@@ -196,31 +196,72 @@ class TabularAttentionPredictor:
         return acts
 
     # ------------------------------------------------------------------ costs
+    #: component names whose lookups run in parallel (latency charges the max)
+    PARALLEL_INPUTS = ("addr_table", "pc_table")
+
+    def cost_components(self) -> list[tuple[str, object, int | None]]:
+        """Every costed component as ``(name, component, seq_len)``.
+
+        This is the **single enumeration** that :meth:`latency_cycles`,
+        :meth:`storage_bits` and :meth:`arithmetic_ops` all walk, so the three
+        cost metrics cannot drift apart (a past bug: latency counted
+        ``addr_table`` but omitted ``pc_table`` while storage/ops counted
+        both). ``seq_len`` is the sequence length the table is charged for
+        (Eqs. 18/20); ``None`` marks direct-arithmetic components (LayerNorm,
+        sigmoid LUT) that have fixed storage and constant latency but no
+        kernel ops.
+        """
+        t = self.model_config.history_len
+        comps: list[tuple[str, object, int | None]] = [
+            ("addr_table", self.addr_table, t),
+            ("pc_table", self.pc_table, t),
+            ("ln_in", self.ln_in, None),
+        ]
+        for i, layer in enumerate(self.layers):
+            comps += [
+                (f"enc{i}/qkv", layer.msa.qkv, t),
+                (f"enc{i}/attn", layer.msa.attn, t),
+                (f"enc{i}/out", layer.msa.out, t),
+                (f"enc{i}/ln1", layer.ln1, None),
+                (f"enc{i}/ln2", layer.ln2, None),
+                (f"enc{i}/ffn1", layer.ffn1, t),
+                (f"enc{i}/ffn2", layer.ffn2, t),
+            ]
+        comps += [
+            ("head_table", self.head_table, 1),
+            ("sigmoid", self.sigmoid, None),
+        ]
+        return comps
+
     def latency_cycles(self) -> float:
-        """Eq. 22 with L_ln / L_sigma constants from this module."""
-        lat = self.addr_table.latency_cycles() + LATENCY_LAYERNORM
-        lat += self.head_table.latency_cycles() + LATENCY_SIGMOID
-        for layer in self.layers:
-            lat += 2 * LATENCY_LAYERNORM
-            lat += layer.msa.qkv.latency_cycles() + layer.msa.out.latency_cycles()
-            lat += layer.msa.attn.latency_cycles()
-            lat += layer.ffn1.latency_cycles() + layer.ffn2.latency_cycles()
-        return lat
+        """Eq. 22 with L_ln / L_sigma constants from this module.
+
+        The two input embedding tables are independent lookups into separate
+        SRAMs, so they run in parallel and the critical path charges
+        ``max(addr_table, pc_table)`` — the same treatment
+        :func:`repro.prefetch.cost_model.nn_systolic_latency` gives the two NN
+        input projections. See DESIGN.md "Known deviations".
+        """
+        lat = 0.0
+        parallel_inputs: list[float] = []
+        for name, comp, seq_len in self.cost_components():
+            if name in self.PARALLEL_INPUTS:
+                parallel_inputs.append(comp.latency_cycles())
+            elif seq_len is None:
+                lat += LATENCY_SIGMOID if comp is self.sigmoid else LATENCY_LAYERNORM
+            else:
+                lat += comp.latency_cycles()
+        return lat + max(parallel_inputs)
 
     def storage_bits(self) -> float:
         """Eq. 23 summed over the actual components."""
-        t_in = self.model_config.history_len
-        t_trunk = self.model_config.history_len
         d = self.table_config.data_bits
-        total = self.addr_table.storage_bits(t_in, d) + self.pc_table.storage_bits(t_in, d)
-        total += self.ln_in.storage_bits
-        total += self.head_table.storage_bits(1, d) + self.sigmoid.storage_bits
-        for layer in self.layers:
-            total += layer.ln1.storage_bits + layer.ln2.storage_bits
-            total += layer.msa.qkv.storage_bits(t_trunk, d)
-            total += layer.msa.attn.storage_bits(t_trunk, d)
-            total += layer.msa.out.storage_bits(t_trunk, d)
-            total += layer.ffn1.storage_bits(t_trunk, d) + layer.ffn2.storage_bits(t_trunk, d)
+        total = 0.0
+        for _, comp, seq_len in self.cost_components():
+            if seq_len is None:
+                total += comp.storage_bits  # fixed-size property (LN, sigmoid)
+            else:
+                total += comp.storage_bits(seq_len, d)
         return total
 
     def storage_bytes(self) -> float:
@@ -228,12 +269,8 @@ class TabularAttentionPredictor:
 
     def arithmetic_ops(self) -> float:
         """Kernel arithmetic ops (Eqs. 20–21 summed; LN/residuals excluded)."""
-        t_in = self.model_config.history_len
-        t_trunk = self.model_config.history_len
-        total = self.addr_table.ops(t_in) + self.pc_table.ops(t_in)
-        total += self.head_table.ops(1)
-        for layer in self.layers:
-            total += layer.msa.qkv.ops(t_trunk) + layer.msa.out.ops(t_trunk)
-            total += layer.msa.attn.ops(t_trunk)
-            total += layer.ffn1.ops(t_trunk) + layer.ffn2.ops(t_trunk)
-        return total
+        return sum(
+            comp.ops(seq_len)
+            for _, comp, seq_len in self.cost_components()
+            if seq_len is not None
+        )

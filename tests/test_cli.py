@@ -95,6 +95,51 @@ def test_stream_subcommand_from_trace_file(tmp_path):
     assert rc == 0
 
 
+def test_stream_cores_serves_interleaved_shards(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "stats.json"
+    rc = main(
+        ["stream", "--workload", "462.libquantum", "--scale", "0.02",
+         "--prefetcher", "bo", "--cores", "3", "--compare-batch",
+         "--json", str(out)]
+    )
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "3-stream serving" in text and "aggregate" in text
+    record = json.loads(out.read_text())
+    assert record["cores"] == 3 and record["share_model"] is False
+    assert record["identical_to_batch"] is True
+    assert len(record["per_stream"]) == 3
+    assert record["aggregate"]["accesses"] == sum(
+        s["accesses"] for s in record["per_stream"]
+    )
+
+
+def test_stream_share_model_requires_model_backed():
+    with pytest.raises(SystemExit):
+        main(
+            ["stream", "--workload", "462.libquantum", "--scale", "0.02",
+             "--prefetcher", "bo", "--cores", "2", "--share-model"]
+        )
+
+
+def test_stream_share_model_requires_multiple_cores():
+    with pytest.raises(SystemExit):
+        main(
+            ["stream", "--workload", "462.libquantum", "--scale", "0.02",
+             "--prefetcher", "bo", "--share-model"]
+        )
+
+
+def test_multicore_share_model_requires_model_backed():
+    with pytest.raises(SystemExit):
+        main(
+            ["multicore", "462.libquantum", "462.libquantum", "--scale", "0.02",
+             "--prefetcher", "bo", "--share-model"]
+        )
+
+
 def test_unknown_prefetcher_rejected():
     from repro.cli import _make_prefetcher
 

@@ -137,3 +137,48 @@ def test_assembled_model_agrees_with_cost_model(tabular_student):
     assert tab.latency_cycles() == pytest.approx(analytic_lat)
     analytic_storage = tabular_model_storage_bits(tab.model_config, tab.table_config)
     assert tab.storage_bits() == pytest.approx(analytic_storage, rel=0.01)
+
+
+def test_cost_metrics_enumerate_same_components(tabular_student):
+    """latency/storage/ops must all walk the same component set (Eq. 22 bug:
+    latency once counted addr_table but omitted pc_table)."""
+    import contextlib
+    from unittest import mock
+
+    tab, _ = tabular_student
+    comps = tab.cost_components()
+    names = [n for n, _, _ in comps]
+    # Both input tables are enumerated, once each, as distinct objects.
+    assert names.count("addr_table") == 1 and names.count("pc_table") == 1
+    assert tab.addr_table is not tab.pc_table
+    assert len({id(c) for _, c, _ in comps}) == len(comps)
+    # LN and sigmoid are present too (storage-only / constant-latency).
+    assert "ln_in" in names and "sigmoid" in names and "enc0/ln1" in names
+
+    tables = [(n, c) for n, c, t in comps if t is not None]
+    for method, metric in [
+        ("latency_cycles", tab.latency_cycles),
+        ("storage_bits", tab.storage_bits),
+        ("ops", tab.arithmetic_ops),
+    ]:
+        with contextlib.ExitStack() as stack:
+            spies = {
+                n: stack.enter_context(
+                    mock.patch.object(c, method, wraps=getattr(c, method))
+                )
+                for n, c in tables
+            }
+            metric()
+            for n, spy in spies.items():
+                assert spy.call_count == 1, f"{method} skipped component {n}"
+
+
+def test_latency_puts_pc_table_on_the_critical_path(tabular_student):
+    """Input lookups run in parallel: a slower pc_table must dominate."""
+    from unittest import mock
+
+    tab, _ = tabular_student
+    base = tab.latency_cycles()
+    with mock.patch.object(tab.pc_table, "latency_cycles", return_value=1e6):
+        assert tab.latency_cycles() >= 1e6  # was invisible before the fix
+    assert tab.latency_cycles() == base  # patch scope ended; accounting intact

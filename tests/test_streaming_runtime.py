@@ -235,6 +235,56 @@ def test_stream_reset_restarts_cleanly(small_trace, dart):
     assert first == second
 
 
+def test_microbatcher_reset_is_bit_identical_to_fresh(small_trace, dart):
+    """reset() must clear the feature rings/anchors, not just seq/pending:
+    a serve-reset-serve run must match a fresh engine bit for bit."""
+    kwargs = dict(threshold=dart.threshold, max_degree=dart.max_degree, batch_size=16)
+    mb = MicroBatcher(dart.predictor.predict_proba, dart.config, **kwargs)
+    pcs, addrs = small_trace.pcs, small_trace.addrs
+    for i in range(137):  # odd count: leaves queries pending and rings dirty
+        mb.push(int(pcs[i]), int(addrs[i]))
+    assert mb._pending
+    mb.reset()
+    assert mb.seq == 0 and not mb._pending
+    state = mb._state
+    assert not state.addr_ring.any() and not state.pc_ring.any()
+    assert not state.anchors.any()
+
+    def run(engine):
+        out = []
+        for i in range(300):
+            out.extend(engine.push(int(pcs[i]), int(addrs[i])))
+        out.extend(engine.flush())
+        return out
+
+    fresh = MicroBatcher(dart.predictor.predict_proba, dart.config, **kwargs)
+    assert run(mb) == run(fresh)
+
+
+def test_serve_times_the_final_drain():
+    """The end-of-stream flush (the tail predict answering up to B-1 queries)
+    must appear in the latency sketch, not vanish untimed."""
+    import time as _time
+
+    class SlowDrain(StreamingPrefetcher):
+        name = "slow-drain"
+
+        def __init__(self):
+            self.seq = 0
+
+        def ingest(self, pc, addr):
+            self.seq += 1
+            return []
+
+        def flush(self):
+            _time.sleep(0.02)  # stand-in for the deferred tail predict
+            return [Emission(s, []) for s in range(self.seq)]
+
+    stats, lists = serve(SlowDrain(), [(0, i << 6) for i in range(50)], collect=True)
+    assert lists == [[] for _ in range(50)]
+    assert stats.max_us >= 10_000  # the 20 ms drain is in the sketch
+
+
 def test_microbatcher_rejects_bad_config(dart):
     with pytest.raises(ValueError):
         MicroBatcher(dart.predictor.predict_proba, dart.config, batch_size=0)
