@@ -14,7 +14,10 @@ Subcommands mirror a deployment workflow:
   latency; optionally compare against the batch path and emit a JSON
   artifact. With ``--cores N`` the trace is split into N interleaved shards
   (concurrent streams); ``--share-model`` serves them all from one shared
-  model engine with cross-stream micro-batching.
+  model engine with cross-stream micro-batching. With ``--adapt`` (plus
+  ``--student`` from ``train --save-student``) the engine monitors the
+  stream for drift, re-fits the tables on the recent window, and hot-swaps
+  them without dropping an emission.
 * ``configure`` — query the table configurator for a (latency, storage)
   budget without training anything.
 
@@ -49,8 +52,8 @@ def _cmd_train(args) -> int:
     from repro.core import DARTPipeline
     from repro.data import PreprocessConfig
     from repro.distillation import TrainConfig
-    from repro.models import ModelConfig
-    from repro.tabularization import save_tabular_model
+    from repro.models import ModelConfig, save_attention_predictor
+    from repro.runtime import ModelArtifact
     from repro.traces import MemoryTrace, make_workload
 
     if args.trace:
@@ -83,8 +86,26 @@ def _cmd_train(args) -> int:
     print(f"DART: {result.dart.latency_cycles} cycles, "
           f"{result.dart.storage_bytes / 1024:.1f} KB")
     if args.output:
-        save_tabular_model(result.tabular, args.output)
-        print(f"saved table hierarchy to {args.output}")
+        # Ship a versioned artifact: the blob records where it came from, so
+        # `repro export --info` / `_make_prefetcher` can trace deployed
+        # tables back to this training run.
+        artifact = ModelArtifact(
+            result.tabular,
+            version=1,
+            metadata={
+                "trained_on": args.trace or args.workload,
+                "seed": args.seed,
+                "epochs": args.epochs,
+                "max_samples": args.max_samples,
+                "f1": {k: round(float(v), 4) for k, v in result.f1.items()},
+            },
+        )
+        artifact.save(args.output)
+        print(f"saved table hierarchy to {args.output} (artifact v{artifact.version})")
+    if args.save_student:
+        save_attention_predictor(result.student, args.save_student)
+        print(f"saved distilled student to {args.save_student} "
+              "(enables `stream --adapt --student ...`)")
     return 0
 
 
@@ -105,7 +126,7 @@ PREFETCHER_CHOICES = [
 ]
 
 
-def _make_prefetcher(name: str, tables: str | None):
+def _make_prefetcher(name: str, tables: str | None, student: str | None = None):
     from repro.data import PreprocessConfig
     from repro.prefetch import (
         BestOffsetPrefetcher,
@@ -145,9 +166,30 @@ def _make_prefetcher(name: str, tables: str | None):
     if name == "dart":
         if not tables:
             raise SystemExit("--tables <file.npz> is required for the dart prefetcher")
-        from repro.tabularization import load_tabular_model
+        from repro.runtime import ModelArtifact
 
-        return DARTPrefetcher(load_tabular_model(tables), PreprocessConfig())
+        artifact = ModelArtifact.load(tables)
+        info = artifact.describe()
+        log.info(
+            f"loaded tables v{info['version']} (config {info['config_hash']}, "
+            f"{info['model']}) from {tables}"
+        )
+        for key, value in info.items():
+            if key.startswith("meta."):
+                log.info(f"  {key[5:]}: {value}")
+        student_model = None
+        if student:
+            from repro.models import load_attention_predictor
+
+            student_model = load_attention_predictor(student)
+        # Serving geometry comes from the artifact itself (history length and
+        # bitmap width are properties of the trained tables, not CLI
+        # defaults); segment-bit knobs keep the repo defaults.
+        mc = artifact.model_config
+        config = PreprocessConfig(
+            history_len=mc.history_len, delta_range=mc.bitmap_size // 2
+        )
+        return DARTPrefetcher(artifact, config, student=student_model)
     raise SystemExit(f"unknown prefetcher {name!r}")
 
 
@@ -310,20 +352,45 @@ def _cmd_stream(args) -> int:
         raise SystemExit("--chunk-size must be >= 1")
     if args.cores < 1:
         raise SystemExit("--cores must be >= 1")
+    if args.adapt and args.cores > 1:
+        raise SystemExit("--adapt currently serves a single stream (drop --cores)")
     if args.cores > 1:
         return _stream_many(args)
     if args.share_model:
         raise SystemExit("--share-model only makes sense with --cores N (N > 1)")
+    if args.adapt and args.prefetcher != "dart":
+        raise SystemExit("--adapt needs re-fittable tables (--prefetcher dart)")
+    if args.adapt and args.compare_batch:
+        raise SystemExit(
+            "--adapt changes the served model mid-stream; the batch path "
+            "cannot match it (drop --compare-batch)"
+        )
     if args.trace:
         source = iter_chunks(args.trace, chunk_size=args.chunk_size)
         trace_label = args.trace
     else:
         source = make_workload(args.workload, scale=args.scale, seed=args.seed)
         trace_label = args.workload
-    pf = _make_prefetcher(args.prefetcher, args.tables)
+    pf = _make_prefetcher(args.prefetcher, args.tables, args.student)
     if pf is None:
         raise SystemExit("stream requires a prefetcher (try --prefetcher bo)")
-    stream = as_streaming(pf, batch_size=args.batch_size, max_wait=args.max_wait)
+    stream_kwargs = {"batch_size": args.batch_size, "max_wait": args.max_wait}
+    if args.adapt:
+        if getattr(pf, "student", None) is None:
+            raise SystemExit(
+                "--adapt re-tabularizes the distilled student on drift: pass "
+                "--student <file.npz> (saved by `repro train --save-student`)"
+            )
+        if args.adapt_window < 128:
+            raise SystemExit("--adapt-window must be >= 128 accesses")
+        from repro.runtime import AdaptationConfig
+
+        # Scale the feature window with the corpus so small windows work.
+        stream_kwargs["adapt"] = AdaptationConfig(
+            window=args.adapt_window,
+            feature_window=min(1024, args.adapt_window // 2),
+        )
+    stream = as_streaming(pf, **stream_kwargs)
     # Rule-based streams answer synchronously and ignore the batching knobs;
     # only report B for engines that actually micro-batch.
     effective_b = getattr(stream, "batch_size", None)
@@ -342,6 +409,20 @@ def _cmd_stream(args) -> int:
     record["prefetcher"] = pf.name
     record["trace"] = trace_label
     record["batch_size"] = effective_b
+    if args.adapt:
+        summary = stream.adaptation_summary()
+        record["adaptation"] = summary
+        rows.append(["adaptations", str(summary["adaptations"])])
+        rows.append(["model version", str(summary["version"])])
+        mon = summary["monitor"]
+        rows.append(["window accuracy", f"{mon['accuracy']:.2%}"])
+        rows.append(["window coverage", f"{mon['coverage']:.2%}"])
+        for ev in summary["events"]:
+            if ev.get("outcome") == "swapped":
+                rows.append([
+                    f"swap @ {ev['seq']}",
+                    f"v{ev['version']} ({ev['reason']}, drained {ev['drained']})",
+                ])
     if args.compare_batch:
         # Batch reference needs the materialized trace; rebuild the source.
         from repro.traces import load_any
@@ -477,11 +558,32 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_export(args) -> int:
-    from repro.tabularization import export_packed, load_tabular_model
+    from repro.runtime import ModelArtifact
+    from repro.tabularization import export_packed, packed_info
 
-    model = load_tabular_model(args.tables)
-    nbytes = export_packed(model, args.output, float_dtype=args.float_dtype)
-    print(f"exported {args.tables} -> {args.output} ({nbytes:,} bytes, {args.float_dtype})")
+    if args.info:
+        # Provenance report for either container: the packed .bin (header
+        # only — no table materialization) or the tables .npz (full load).
+        try:
+            info = packed_info(args.tables)
+            attrs = info.pop("attrs", {})
+            artifact = attrs.pop("artifact", None)
+            rows = [[k, str(v)] for k, v in sorted({**info, **attrs}.items())]
+            if artifact:
+                rows.append(["artifact version", str(artifact.get("version"))])
+                for k, v in sorted(artifact.get("metadata", {}).items()):
+                    rows.append([f"meta.{k}", str(v)])
+        except ValueError:
+            artifact = ModelArtifact.load(args.tables)
+            rows = [[k, str(v)] for k, v in artifact.describe().items()]
+        log.table(f"artifact info for {args.tables}", ["field", "value"], rows)
+        return 0
+    if not args.output:
+        raise SystemExit("export needs an output path (or --info to inspect)")
+    artifact = ModelArtifact.load(args.tables)
+    nbytes = export_packed(artifact, args.output, float_dtype=args.float_dtype)
+    print(f"exported {args.tables} (v{artifact.version}) -> {args.output} "
+          f"({nbytes:,} bytes, {args.float_dtype})")
     return 0
 
 
@@ -526,6 +628,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--latency-budget", type=float, default=100.0)
     p_train.add_argument("--storage-budget", type=float, default=1_000_000.0)
     p_train.add_argument("--output", "-o", default=None, help="write tables .npz here")
+    p_train.add_argument("--save-student", default=None,
+                         help="also save the distilled student NN .npz "
+                              "(required later for `stream --adapt`)")
     p_train.set_defaults(func=_cmd_train)
 
     p_sim = sub.add_parser("simulate", help="simulate a prefetcher on a trace")
@@ -557,6 +662,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(cross-stream micro-batching; model-backed only)")
     p_str.add_argument("--compare-batch", action="store_true",
                        help="also run prefetch_lists and check bit-identity")
+    p_str.add_argument("--adapt", action="store_true",
+                       help="drift-aware serving: monitor the stream, re-fit "
+                            "the tables on drift, hot-swap (needs --student)")
+    p_str.add_argument("--adapt-window", type=int, default=4096,
+                       help="accesses retained as the re-fitting window")
+    p_str.add_argument("--student", default=None,
+                       help="distilled student .npz (from `train --save-student`)")
     p_str.add_argument("--json", default=None, help="write serving stats JSON here")
     p_str.set_defaults(func=_cmd_stream)
 
@@ -597,11 +709,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.set_defaults(func=_cmd_analyze)
 
     p_exp = sub.add_parser("export", help="pack trained tables into a binary blob")
-    p_exp.add_argument("tables", help="tables .npz from `repro train`")
-    p_exp.add_argument("output", help="packed .bin destination")
+    p_exp.add_argument("tables", help="tables .npz from `repro train`, or a "
+                                      "packed .bin with --info")
+    p_exp.add_argument("output", nargs="?", default=None, help="packed .bin destination")
     p_exp.add_argument(
         "--float-dtype", choices=["float64", "float32", "float16"], default="float32"
     )
+    p_exp.add_argument("--info", action="store_true",
+                       help="print the blob's version/config/metadata and exit")
     p_exp.set_defaults(func=_cmd_export)
 
     p_rep = sub.add_parser("report", help="markdown campaign report (training-free)")

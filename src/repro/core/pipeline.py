@@ -50,7 +50,7 @@ class PipelineResult:
     ds_val: Dataset
     f1: dict[str, float] = field(default_factory=dict)
 
-    def streaming(self, batch_size: int = 64, max_wait: int | None = None):
+    def streaming(self, batch_size: int = 64, max_wait: int | None = None, adapt=None):
         """Online serving engine for the trained tables.
 
         The deployment artifact in its serving shape: a
@@ -58,8 +58,10 @@ class PipelineResult:
         accesses into the table hierarchy. Drive it with
         :func:`repro.runtime.serve` or feed it to
         :func:`repro.sim.simulate(..., streaming=True) <repro.sim.simulate>`.
+        ``adapt`` enables the drift-aware adaptation loop (the pipeline's
+        student is already attached for re-fitting).
         """
-        return self.dart.stream(batch_size=batch_size, max_wait=max_wait)
+        return self.dart.stream(batch_size=batch_size, max_wait=max_wait, adapt=adapt)
 
 
 class DARTPipeline:
@@ -134,7 +136,9 @@ class DARTPipeline:
         f1_tab = f1_score(ds_val.labels, probs)
         log.info(f"tabular F1 = {f1_tab:.4f}")
 
-        dart = DARTPrefetcher(tabular, self.preprocess)
+        # Keep the student on the prefetcher: it is what the online
+        # adaptation loop re-tabularizes when the served stream drifts.
+        dart = DARTPrefetcher(tabular, self.preprocess, student=student)
         if not dart.meets_constraints(self.latency_budget, self.storage_budget):
             log.info(
                 "warning: assembled DART exceeds budgets "

@@ -12,7 +12,11 @@
 * :class:`ModelConfig` — the Table I structure notation (L, D, H, ...).
 """
 
-from repro.models.attention_model import AttentionPredictor
+from repro.models.attention_model import (
+    AttentionPredictor,
+    load_attention_predictor,
+    save_attention_predictor,
+)
 from repro.models.config import DART_CONFIG, STUDENT_CONFIG, TEACHER_CONFIG, ModelConfig
 from repro.models.lstm_model import LSTMPredictor
 from repro.models.voyager_model import (
@@ -41,6 +45,8 @@ __all__ = [
     "VoyagerPrefetcher",
     "VoyagerTrainConfig",
     "build_voyager_dataset",
+    "load_attention_predictor",
     "next_address_accuracy",
+    "save_attention_predictor",
     "train_voyager",
 ]

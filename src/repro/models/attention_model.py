@@ -111,3 +111,52 @@ class AttentionPredictor(Module):
         acts["pooled"] = pooled
         acts["logits"] = self.head.forward(pooled)
         return acts
+
+
+# ------------------------------------------------------------- persistence
+_SCORE_CODES = {"softmax": 0, "sigmoid": 1}
+_SCORE_NAMES = {v: k for k, v in _SCORE_CODES.items()}
+
+
+def save_attention_predictor(model: AttentionPredictor, path) -> None:
+    """Persist an :class:`AttentionPredictor` (config + weights) to ``.npz``.
+
+    The adaptation loop needs the distilled student *next to* the deployed
+    tables (drift re-tabularizes the frozen student on the live window), so
+    the student must survive the train/serve process boundary just like the
+    tables do.
+    """
+    from repro.utils.serialization import save_arrays
+
+    mc = model.config
+    state = model.state_dict()
+    state["__meta__/config"] = np.array(
+        [mc.layers, mc.dim, mc.heads, mc.ffn_dim, mc.history_len, mc.bitmap_size,
+         _SCORE_CODES[mc.score_mode]],
+        dtype=np.int64,
+    )
+    state["__meta__/dims"] = np.array([model.addr_dim, model.pc_dim], dtype=np.int64)
+    save_arrays(path, state)
+
+
+def load_attention_predictor(path) -> AttentionPredictor:
+    """Load a predictor saved by :func:`save_attention_predictor`."""
+    from repro.utils.serialization import load_arrays
+
+    state = load_arrays(path)
+    if "__meta__/config" not in state or "__meta__/dims" not in state:
+        raise ValueError(
+            "not an attention-predictor blob (missing __meta__ arrays); "
+            "was this saved with save_attention_predictor?"
+        )
+    layers, dim, heads, ffn_dim, hist, bitmap, score = (
+        int(v) for v in state.pop("__meta__/config")
+    )
+    addr_dim, pc_dim = (int(v) for v in state.pop("__meta__/dims"))
+    config = ModelConfig(
+        layers=layers, dim=dim, heads=heads, ffn_dim=ffn_dim, history_len=hist,
+        bitmap_size=bitmap, score_mode=_SCORE_NAMES[score],
+    )
+    model = AttentionPredictor(config, addr_dim, pc_dim, rng=0)
+    model.load_state_dict(state)
+    return model

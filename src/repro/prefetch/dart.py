@@ -16,7 +16,15 @@ from repro.traces.trace import MemoryTrace
 
 
 class DARTPrefetcher(Prefetcher):
-    """Hierarchy-of-tables prefetcher."""
+    """Hierarchy-of-tables prefetcher.
+
+    ``predictor`` may be a bare :class:`TabularAttentionPredictor` or a
+    versioned :class:`~repro.runtime.artifact.ModelArtifact` (kept as
+    :attr:`artifact`, so serving engines and exports stay traceable to the
+    training run). ``student`` optionally retains the distilled NN the
+    tables came from — it is what the online adaptation loop re-tabularizes
+    on drift (:meth:`stream` with ``adapt=``).
+    """
 
     def __init__(
         self,
@@ -26,13 +34,21 @@ class DARTPrefetcher(Prefetcher):
         threshold: float = 0.5,
         max_degree: int = 2,
         decode: str = "distance",
+        student=None,
     ):
+        from repro.runtime.artifact import is_model_artifact
+
+        self.artifact = None
+        if is_model_artifact(predictor):
+            self.artifact = predictor
+            predictor = predictor.model
         self.predictor = predictor
         self.config = config
         self.name = name
         self.threshold = float(threshold)
         self.max_degree = int(max_degree)
         self.decode = decode
+        self.student = student
         self.latency_cycles = int(round(predictor.latency_cycles()))
         self.storage_bytes = float(predictor.storage_bytes())
 
@@ -46,11 +62,28 @@ class DARTPrefetcher(Prefetcher):
             decode=self.decode,
         )
 
-    def stream(self, batch_size: int = 64, max_wait: int | None = None):
-        """Online serving engine: micro-batched queries into the tables."""
+    def stream(
+        self,
+        batch_size: int = 64,
+        max_wait: int | None = None,
+        adapt=None,
+        refit=None,
+    ):
+        """Online serving engine: micro-batched queries into the tables.
+
+        With ``adapt`` (``True`` or an :class:`~repro.runtime.adaptation.
+        AdaptationConfig`) the engine is wrapped in an
+        :class:`~repro.runtime.adaptation.AdaptiveStream`: a drift monitor
+        watches the live stream and, on a phase change, re-tabularizes the
+        retained :attr:`student` on the recent window (Eq. 26 fine-tuning +
+        PQ re-fit) and hot-swaps the tables with zero dropped emissions.
+        ``refit`` overrides the re-fitting recipe (a callable
+        ``(pcs, addrs, seed) -> predictor``); without it, :attr:`student`
+        must have been provided at construction.
+        """
         from repro.runtime.microbatch import StreamingModelPrefetcher
 
-        return StreamingModelPrefetcher(
+        engine = StreamingModelPrefetcher(
             self.predictor.predict_proba,
             self.config,
             threshold=self.threshold,
@@ -62,6 +95,25 @@ class DARTPrefetcher(Prefetcher):
             latency_cycles=self.latency_cycles,
             storage_bytes=self.storage_bytes,
         )
+        if adapt is None or adapt is False:
+            return engine
+        from repro.runtime.adaptation import AdaptationConfig, AdaptiveStream, tabular_refit
+
+        cfg = adapt if isinstance(adapt, AdaptationConfig) else AdaptationConfig()
+        if refit is None:
+            if self.student is None:
+                raise ValueError(
+                    "stream(adapt=...) needs the distilled student to re-fit "
+                    "tables from: construct DARTPrefetcher(..., student=...) "
+                    "or pass an explicit refit callable"
+                )
+            refit = tabular_refit(
+                self.student,
+                self.config,
+                self.predictor.table_config,
+                max_samples=cfg.refit_samples,
+            )
+        return AdaptiveStream(engine, refit, cfg, artifact=self.artifact, name=self.name)
 
     def multistream(self, batch_size: int = 64, max_wait: int | None = None):
         """Shared-model engine serving N concurrent streams (cores, clients).

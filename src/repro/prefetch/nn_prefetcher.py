@@ -152,11 +152,24 @@ class NeuralPrefetcher(Prefetcher):
             decode=self.decode,
         )
 
-    def stream(self, batch_size: int = 64, max_wait: int | None = None):
-        """Online serving engine (micro-batched) for this predictor."""
+    def stream(
+        self,
+        batch_size: int = 64,
+        max_wait: int | None = None,
+        adapt=None,
+        refit=None,
+    ):
+        """Online serving engine (micro-batched) for this predictor.
+
+        With ``adapt`` (``True`` or an :class:`~repro.runtime.adaptation.
+        AdaptationConfig`) the engine adapts online: on drift a *copy* of the
+        NN is fine-tuned on the recent access window and hot-swapped in
+        (:func:`~repro.runtime.adaptation.nn_refit`); ``refit`` overrides
+        the recipe.
+        """
         from repro.runtime.microbatch import StreamingModelPrefetcher
 
-        return StreamingModelPrefetcher(
+        engine = StreamingModelPrefetcher(
             self.model.predict_proba,
             self.config,
             threshold=self.threshold,
@@ -168,6 +181,14 @@ class NeuralPrefetcher(Prefetcher):
             latency_cycles=self.latency_cycles,
             storage_bytes=self.storage_bytes,
         )
+        if adapt is None or adapt is False:
+            return engine
+        from repro.runtime.adaptation import AdaptationConfig, AdaptiveStream, nn_refit
+
+        cfg = adapt if isinstance(adapt, AdaptationConfig) else AdaptationConfig()
+        if refit is None:
+            refit = nn_refit(self.model, self.config, max_samples=cfg.refit_samples)
+        return AdaptiveStream(engine, refit, cfg, name=self.name)
 
     def multistream(self, batch_size: int = 64, max_wait: int | None = None):
         """Shared-model engine serving N concurrent streams (one NN, N tenants)."""

@@ -10,6 +10,13 @@ this package serves a *live* access stream with bounded latency and memory:
   :class:`StreamState` + shared :class:`_FlushPath`;
 * :mod:`repro.runtime.multistream` — N concurrent streams sharing one model,
   with cross-stream micro-batching (one predict per flush across streams);
+* :mod:`repro.runtime.artifact` — versioned model artifacts, the unit the
+  engines hold and hot-swap (``swap_model`` drains at a flush boundary with
+  zero dropped emissions);
+* :mod:`repro.runtime.adaptation` — the drift-aware loop: stream monitor
+  (windowed accuracy/coverage + phase features), adaptation controller
+  (drift -> re-fit -> hot swap), and the ``AdaptiveStream`` wrapper that
+  ``DARTPrefetcher.stream(adapt=...)`` returns;
 * :mod:`repro.runtime.engine` — the serving loop with throughput / latency
   accounting.
 
@@ -20,6 +27,16 @@ trace, chunk iterator, or live feed, and ``serve_interleaved`` to drive N
 streams round-robin.
 """
 
+from repro.runtime.adaptation import (
+    AdaptationConfig,
+    AdaptationController,
+    AdaptiveStream,
+    StreamMonitor,
+    nn_refit,
+    score_prefetch_lists,
+    tabular_refit,
+)
+from repro.runtime.artifact import ModelArtifact
 from repro.runtime.engine import StreamStats, access_pairs, serve
 from repro.runtime.microbatch import MicroBatcher, StreamingModelPrefetcher, StreamState
 from repro.runtime.multistream import MultiStreamEngine, StreamHandle, serve_interleaved
@@ -34,20 +51,28 @@ from repro.runtime.streaming import (
 )
 
 __all__ = [
+    "AdaptationConfig",
+    "AdaptationController",
+    "AdaptiveStream",
     "BatchAdapter",
     "CompositeStream",
     "Emission",
     "FilteredStream",
     "MicroBatcher",
+    "ModelArtifact",
     "MultiStreamEngine",
     "SequentialStreamAdapter",
     "StreamHandle",
+    "StreamMonitor",
     "StreamState",
     "StreamStats",
     "StreamingModelPrefetcher",
     "StreamingPrefetcher",
     "access_pairs",
     "as_streaming",
+    "nn_refit",
+    "score_prefetch_lists",
     "serve",
     "serve_interleaved",
+    "tabular_refit",
 ]

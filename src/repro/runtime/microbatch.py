@@ -50,6 +50,38 @@ from repro.runtime.streaming import Emission, StreamingPrefetcher
 from repro.utils.bits import block_address
 
 
+def resolve_predictor(model, config: PreprocessConfig):
+    """Normalize a swap/install target into ``(predict_proba, version)``.
+
+    Accepts a raw ``predict_proba`` callable, any object exposing one (the
+    tabular or NN predictors), or a
+    :class:`~repro.runtime.artifact.ModelArtifact` (whose version id is
+    surfaced). Geometry is validated against the engine's preprocessing
+    config *before* anything is installed, so an incompatible swap is refused
+    while the old tables keep serving.
+    """
+    from repro.runtime.artifact import is_model_artifact
+
+    version = None
+    if is_model_artifact(model):
+        version = int(model.version)
+        model = model.model
+    # Tabular predictors expose model_config; the NN predictors expose the
+    # same ModelConfig as .config — validate whichever is present.
+    mc = getattr(model, "model_config", None)
+    if mc is None:
+        mc = getattr(model, "config", None)
+    if mc is not None and hasattr(mc, "bitmap_size") and hasattr(mc, "history_len"):
+        if (mc.bitmap_size, mc.history_len) != (config.bitmap_size, config.history_len):
+            raise ValueError(
+                f"model geometry (bitmap={mc.bitmap_size}, T={mc.history_len}) "
+                f"does not match the engine (bitmap={config.bitmap_size}, "
+                f"T={config.history_len}); swap refused"
+            )
+    predict = model if callable(model) and not hasattr(model, "predict_proba") else model.predict_proba
+    return predict, version
+
+
 class StreamState:
     """Per-stream featurization state: mirrored feature rings + pending queue.
 
@@ -132,7 +164,6 @@ class _FlushPath:
         decode: str,
         batch_size: int,
     ):
-        self._predict = predict_proba
         self.threshold = float(threshold)
         self.max_degree = int(max_degree)
         self.decode = decode
@@ -146,15 +177,34 @@ class _FlushPath:
         self._anchors = np.empty(b, dtype=np.int64)
         self._probs = np.empty((b, config.bitmap_size), dtype=np.float64)
         self._win = np.arange(t_hist, dtype=np.intp)
+        #: vectorized predict calls issued (the quantity shared batching cuts)
+        self.predict_calls = 0
+        #: queries answered across all calls
+        self.queries_answered = 0
+        #: model replacements installed (0 = still on the boot model)
+        self.swaps = 0
+        #: version id of the installed model, when known (ModelArtifact swaps)
+        self.model_version: int | None = None
+        self.set_predictor(predict_proba)
+        self.swaps = 0  # installing the boot model is not a swap
+
+    def set_predictor(self, predict_proba, version: int | None = None) -> None:
+        """Install a new predict callable (the table side of a hot swap).
+
+        Callers must have drained pending queries first — the flush policies
+        do (see ``swap_model``); the gather buffers are geometry-bound and
+        keep being valid because swaps are refused unless the new model
+        matches the engine's preprocessing config.
+        """
+        self._predict = predict_proba
         try:
             params = inspect.signature(predict_proba).parameters
             self._supports_out = "out" in params
         except (TypeError, ValueError):  # builtins / C callables
             self._supports_out = False
-        #: vectorized predict calls issued (the quantity shared batching cuts)
-        self.predict_calls = 0
-        #: queries answered across all calls
-        self.queries_answered = 0
+        self.swaps += 1
+        if version is not None:
+            self.model_version = version
 
     def flush(self, groups: list[tuple[StreamState, list[int]]]) -> list[list[Emission]]:
         """Answer each group's pending seqs; one predict call for all groups.
@@ -241,9 +291,13 @@ class MicroBatcher:
         self.batch_size = int(batch_size)
         self.max_wait = max_wait
         self._state = StreamState(config, depth=self.batch_size)
+        predict, version = resolve_predictor(predict_proba, config)
         self._path = _FlushPath(
-            predict_proba, config, threshold, max_degree, decode, self.batch_size
+            predict, config, threshold, max_degree, decode, self.batch_size
         )
+        self._path.model_version = version
+        #: queries the most recent swap had to drain (its pause, in queries)
+        self.last_swap_drained = 0
 
     # ------------------------------------------------------------- introspection
     @property
@@ -271,7 +325,35 @@ class MicroBatcher:
         """Vectorized predict calls issued so far (not reset by :meth:`reset`)."""
         return self._path.predict_calls
 
+    @property
+    def swaps(self) -> int:
+        """Model replacements installed since construction."""
+        return self._path.swaps
+
+    @property
+    def model_version(self) -> int | None:
+        """Version of the installed model, when swaps carried artifacts."""
+        return self._path.model_version
+
     # ---------------------------------------------------------------- serving
+    def swap_model(self, model) -> list[Emission]:
+        """Atomically replace the served tables at a flush boundary.
+
+        The swap is emission-lossless: every pending query is answered by the
+        *outgoing* model in one flush (the entire pause — at most one
+        ``batch_size`` predict call), the new predictor is installed, and the
+        drained emissions are returned so the caller can deliver them in
+        order. ``model`` may be a :class:`~repro.runtime.artifact.
+        ModelArtifact` (its version id is then tracked), a predictor object,
+        or a bare ``predict_proba`` callable; geometry-incompatible models
+        are refused before anything changes.
+        """
+        predict, version = resolve_predictor(model, self.config)
+        drained = self.flush()
+        self.last_swap_drained = len(drained)
+        self._path.set_predictor(predict, version)
+        return drained
+
     def push(self, pc: int, addr: int) -> list[Emission]:
         """Featurize one access and return any emissions it completes."""
         warmup = self._state.push(pc, addr)
@@ -340,6 +422,18 @@ class StreamingModelPrefetcher(StreamingPrefetcher):
     def predict_calls(self) -> int:
         """Vectorized predict calls issued so far."""
         return self._mb.predict_calls
+
+    @property
+    def swaps(self) -> int:
+        return self._mb.swaps
+
+    @property
+    def model_version(self) -> int | None:
+        return self._mb.model_version
+
+    def swap_model(self, model) -> list[Emission]:
+        """Hot-swap the served model; returns the drained emissions (in order)."""
+        return self._mb.swap_model(model)
 
     def ingest(self, pc: int, addr: int) -> list[Emission]:
         emissions = self._mb.push(pc, addr)

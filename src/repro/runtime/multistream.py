@@ -44,7 +44,7 @@ from typing import Iterable, Sequence
 
 from repro.data.dataset import PreprocessConfig
 from repro.runtime.engine import StreamStats, _LatencySketch, _percentile, access_pairs
-from repro.runtime.microbatch import StreamState, _FlushPath
+from repro.runtime.microbatch import StreamState, _FlushPath, resolve_predictor
 from repro.runtime.streaming import Emission, StreamingPrefetcher
 
 
@@ -130,12 +130,16 @@ class MultiStreamEngine:
         self.name = name
         self.latency_cycles = int(latency_cycles)
         self.storage_bytes = float(storage_bytes)
+        predict, version = resolve_predictor(predict_proba, config)
         self._path = _FlushPath(
-            predict_proba, config, threshold, max_degree, decode, self.batch_size
+            predict, config, threshold, max_degree, decode, self.batch_size
         )
+        self._path.model_version = version
         self._states: list[StreamState] = []
         self._handles: list[StreamHandle] = []
         self._n_pending = 0
+        #: queries the most recent swap had to drain (its pause, in queries)
+        self.last_swap_drained = 0
 
     # ------------------------------------------------------------ registration
     def stream(self, name: str | None = None) -> StreamHandle:
@@ -184,6 +188,34 @@ class MultiStreamEngine:
             state.pending.clear()
         self._n_pending = 0
 
+    def swap_model(self, model) -> None:
+        """Atomically replace the shared model for every registered stream.
+
+        Drains everything pending (across all tenants) with the *outgoing*
+        model in one coalesced predict — the entire swap pause — then
+        installs the new predictor. The drained answers land in each
+        handle's outbox exactly as a normal flush would, so no tenant drops
+        or reorders an emission; a no-op swap leaves every stream's output
+        bit-identical to an unswapped engine. ``model`` may be a
+        :class:`~repro.runtime.artifact.ModelArtifact`, a predictor object,
+        or a ``predict_proba`` callable; geometry mismatches are refused
+        before the drain.
+        """
+        predict, version = resolve_predictor(model, self.config)
+        pending = self._n_pending
+        self.flush_all()
+        self.last_swap_drained = pending
+        self._path.set_predictor(predict, version)
+
+    @property
+    def swaps(self) -> int:
+        """Model replacements installed since construction."""
+        return self._path.swaps
+
+    @property
+    def model_version(self) -> int | None:
+        return self._path.model_version
+
     def _reset_stream(self, index: int) -> None:
         state = self._states[index]
         self._n_pending -= len(state.pending)
@@ -211,6 +243,8 @@ class MultiStreamEngine:
             "batch_size": self.batch_size,
             "max_wait": self.max_wait,
             "model_copies": 1,
+            "model_version": self.model_version,
+            "swaps": self.swaps,
             "predict_calls": calls,
             "queries_answered": self._path.queries_answered,
             "mean_batch_fill": (self._path.queries_answered / calls) if calls else 0.0,

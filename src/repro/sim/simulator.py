@@ -224,4 +224,9 @@ def simulate(
     )
     if throttle is not None:
         result.extra["throttle"] = throttle.summary()
+    if stream is not None and hasattr(stream, "adaptation_summary"):
+        # Drift-aware serving: record what the adaptation loop did (versions
+        # installed, drift reasons, windowed accuracy) alongside the IPC
+        # numbers, so phase-shift recovery is inspectable per run.
+        result.extra["adaptation"] = stream.adaptation_summary()
     return result

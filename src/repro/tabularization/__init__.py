@@ -43,21 +43,27 @@ __all__ = [
 from repro.tabularization.export import (  # noqa: E402
     export_packed,
     import_packed,
+    packed_info,
     read_packed,
     write_packed,
 )
 from repro.tabularization.fused import FusedFunctionTable  # noqa: E402
 from repro.tabularization.serialization import (  # noqa: E402
+    FORMAT_VERSION,
+    config_fingerprint,
     load_tabular_model,
     save_tabular_model,
 )
 
 __all__ += [
+    "FORMAT_VERSION",
     "FusedFunctionTable",
+    "config_fingerprint",
     "load_tabular_model",
     "save_tabular_model",
     "export_packed",
     "import_packed",
+    "packed_info",
     "read_packed",
     "write_packed",
 ]

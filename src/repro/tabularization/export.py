@@ -30,13 +30,20 @@ import struct
 
 import numpy as np
 
-from repro.tabularization.serialization import model_from_state, model_state
+from repro.tabularization.serialization import (
+    FORMAT_VERSION,
+    config_fingerprint,
+    model_from_state,
+    model_state,
+)
 
 MAGIC = b"DARTTBL1"
 _ALIGN = 64
 
 #: dtypes allowed in the container (names are NumPy canonical strings)
-_ALLOWED_DTYPES = {"float64", "float32", "float16", "int64", "int32", "int16", "int8"}
+_ALLOWED_DTYPES = {
+    "float64", "float32", "float16", "int64", "int32", "int16", "int8", "uint8",
+}
 
 
 def _aligned(offset: int) -> int:
@@ -121,15 +128,26 @@ def read_packed(path: str | os.PathLike) -> tuple[dict[str, np.ndarray], dict]:
 
 
 def export_packed(model, path: str | os.PathLike, float_dtype: str = "float32") -> int:
-    """Export a :class:`TabularAttentionPredictor` as one packed blob.
+    """Export a tabular model **or** a :class:`~repro.runtime.artifact.
+    ModelArtifact` as one packed blob.
 
     Float arrays are stored as ``float_dtype`` (``float64``/``float32``/
     ``float16``); integer arrays keep their width. Returns total bytes
     written. Round-trip via :func:`import_packed` reconstructs a working
-    model (bit-exact when exporting at float64).
+    model (bit-exact when exporting at float64). When given an artifact, its
+    version and metadata are embedded in the container attrs so a deployed
+    blob stays traceable to its training run (``repro export --info``).
     """
     if float_dtype not in ("float64", "float32", "float16"):
         raise ValueError(f"unsupported float dtype {float_dtype!r}")
+    from repro.runtime.artifact import is_model_artifact
+
+    attrs: dict = {"format": "dart-tabular", "float_dtype": float_dtype,
+                   "format_version": FORMAT_VERSION}
+    if is_model_artifact(model):
+        attrs["artifact"] = {"version": int(model.version), "metadata": model.metadata}
+        model = model.model
+    attrs["config_hash"] = config_fingerprint(model.model_config, model.table_config)
     state = model_state(model)
     out: dict[str, np.ndarray] = {}
     for name, arr in state.items():
@@ -137,7 +155,7 @@ def export_packed(model, path: str | os.PathLike, float_dtype: str = "float32") 
             out[name] = arr.astype(float_dtype)
         else:
             out[name] = arr
-    return write_packed(path, out, attrs={"format": "dart-tabular", "float_dtype": float_dtype})
+    return write_packed(path, out, attrs=attrs)
 
 
 def import_packed(path: str | os.PathLike):
@@ -148,3 +166,27 @@ def import_packed(path: str | os.PathLike):
     state = {k: np.asarray(v, dtype=np.float64) if np.issubdtype(v.dtype, np.floating) else v
              for k, v in arrays.items()}
     return model_from_state(state)
+
+
+def packed_info(path: str | os.PathLike) -> dict:
+    """Container inventory + provenance without materializing any table.
+
+    Reads only the header/TOC: total bytes per dtype, entry count, and the
+    embedded attrs (float dtype, config hash, artifact version/metadata when
+    the blob was exported from a :class:`ModelArtifact`).
+    """
+    with open(path, "rb") as f:
+        magic = f.read(8)
+        if magic != MAGIC:
+            raise ValueError(f"not a DART table file (magic {magic!r})")
+        (hlen,) = struct.unpack("<I", f.read(4))
+        doc = json.loads(f.read(hlen).decode("utf-8"))
+    by_dtype: dict[str, int] = {}
+    for e in doc["entries"]:
+        by_dtype[e["dtype"]] = by_dtype.get(e["dtype"], 0) + int(e["nbytes"])
+    return {
+        "entries": len(doc["entries"]),
+        "payload_bytes": sum(int(e["nbytes"]) for e in doc["entries"]),
+        "bytes_by_dtype": by_dtype,
+        "attrs": doc.get("attrs", {}),
+    }

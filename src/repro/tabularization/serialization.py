@@ -5,9 +5,17 @@ round-trips a :class:`TabularAttentionPredictor` (and its kernels) through a
 flat ``.npz`` so a trained hierarchy can be saved, versioned, and loaded
 without retraining. All keys are namespaced with ``/`` (see
 ``repro.utils.serialization``); nothing is pickled.
+
+Every blob carries a header — ``format/version`` plus a ``format/config_hash``
+fingerprint of its :class:`ModelConfig`/:class:`TableConfig` — and loading
+validates the header *before* reconstructing any kernel, so a stale,
+truncated, or hand-mixed blob fails with a message naming the problem rather
+than a shape error deep inside :func:`pq_from_state`.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 import numpy as np
 
@@ -29,6 +37,68 @@ from repro.utils.serialization import load_arrays, save_arrays
 
 _ENCODER_CODES = {"exact": 0, "hash": 1}
 _ENCODER_NAMES = {v: k for k, v in _ENCODER_CODES.items()}
+
+#: current on-disk layout version; bump whenever the key schema changes
+FORMAT_VERSION = 2
+
+
+def config_fingerprint(model_config: ModelConfig, table_config: TableConfig) -> int:
+    """Deterministic 60-bit fingerprint of the (model, table) configuration.
+
+    Stored in every blob and recomputed at load: a mismatch means the config
+    block was edited or the blob was assembled from arrays of different
+    training runs. 60 bits keeps the value inside int64 (the container's
+    widest integer dtype).
+    """
+    mc, tc = model_config, table_config
+    canon = (
+        f"mc:{mc.layers},{mc.dim},{mc.heads},{mc.ffn_dim},{mc.history_len},"
+        f"{mc.bitmap_size},{mc.score_mode};"
+        f"tc:{tc.k_input},{tc.c_input},{tc.k_attn},{tc.c_attn},{tc.k_ffn},"
+        f"{tc.c_ffn},{tc.k_output},{tc.c_output},{tc.encoder},{tc.data_bits}"
+    )
+    return int(hashlib.sha256(canon.encode("utf-8")).hexdigest()[:15], 16)
+
+
+def _required_keys(model_config: ModelConfig) -> set[str]:
+    """The keys whose absence would otherwise surface as a deep shape/KeyError."""
+    keys = {
+        "model_config", "score_mode", "table_config", "sigmoid_lut", "pos_max_len",
+        "ln_in/gamma", "ln_in/beta", "ln_in/eps",
+    }
+    for prefix in ("addr", "pc", "head"):
+        keys |= {f"{prefix}/dims", f"{prefix}/table", f"{prefix}/pq/meta",
+                 f"{prefix}/pq/prototypes"}
+    for i in range(model_config.layers):
+        p = f"enc{i}"
+        for lin in ("qkv", "out", "ffn1", "ffn2"):
+            keys |= {f"{p}/{lin}/dims", f"{p}/{lin}/table", f"{p}/{lin}/pq/meta",
+                     f"{p}/{lin}/pq/prototypes"}
+        keys |= {f"{p}/attn/dims", f"{p}/attn/qk_table", f"{p}/attn/qkv_table"}
+        for name in ("q", "k", "qk", "v"):
+            keys |= {f"{p}/attn/pq_{name}/meta", f"{p}/attn/pq_{name}/prototypes"}
+        for ln in ("ln1", "ln2"):
+            keys |= {f"{p}/{ln}/gamma", f"{p}/{ln}/beta", f"{p}/{ln}/eps"}
+    return keys
+
+
+def validate_state_header(state: dict[str, np.ndarray]) -> None:
+    """Fail fast (and clearly) on unversioned, mismatched, or truncated blobs."""
+    ver = state.get("format/version")
+    if ver is None:
+        raise ValueError(
+            "table blob has no format/version header: this is an unversioned "
+            "(pre-v2) or foreign artifact, which this build cannot load — "
+            "re-run the training pipeline to produce a current blob"
+        )
+    ver = int(np.asarray(ver).ravel()[0])
+    if ver != FORMAT_VERSION:
+        raise ValueError(
+            f"table blob format v{ver} is not supported (this build reads "
+            f"v{FORMAT_VERSION}); re-export the tables with this version"
+        )
+    if "format/config_hash" not in state:
+        raise ValueError("table blob is missing its format/config_hash header")
 
 
 # ----------------------------------------------------------------------- PQ
@@ -61,12 +131,16 @@ def pq_from_state(state: dict[str, np.ndarray], prefix: str) -> ProductQuantizer
             tree.split_dims = []
             tree.thresholds = []
             for lvl in range(tree.depth):
-                tree.split_dims.append(
-                    np.ascontiguousarray(state[f"{prefix}/tree/{ci}/dims/{lvl}"])
-                )
-                tree.thresholds.append(
-                    np.ascontiguousarray(state[f"{prefix}/tree/{ci}/ths/{lvl}"])
-                )
+                dims_key = f"{prefix}/tree/{ci}/dims/{lvl}"
+                ths_key = f"{prefix}/tree/{ci}/ths/{lvl}"
+                if dims_key not in state or ths_key not in state:
+                    raise ValueError(
+                        f"hash-tree arrays missing for {prefix!r} (level {lvl} of "
+                        f"{tree.depth}): blob was saved with a different encoder "
+                        "or truncated"
+                    )
+                tree.split_dims.append(np.ascontiguousarray(state[dims_key]))
+                tree.thresholds.append(np.ascontiguousarray(state[ths_key]))
             tree.prototypes = pq.prototypes[ci]
             trees.append(tree)
         pq._hash_trees = trees
@@ -124,6 +198,8 @@ def attention_from_state(state: dict[str, np.ndarray], prefix: str) -> TabularAt
 def model_state(model: TabularAttentionPredictor) -> dict[str, np.ndarray]:
     mc, tc = model.model_config, model.table_config
     state: dict[str, np.ndarray] = {
+        "format/version": np.array([FORMAT_VERSION], dtype=np.int64),
+        "format/config_hash": np.array([config_fingerprint(mc, tc)], dtype=np.int64),
         "model_config": np.array(
             [mc.layers, mc.dim, mc.heads, mc.ffn_dim, mc.history_len, mc.bitmap_size],
             dtype=np.int64,
@@ -170,6 +246,7 @@ def _ln_from_state(state, prefix) -> LayerNormOp:
 
 
 def model_from_state(state: dict[str, np.ndarray]) -> TabularAttentionPredictor:
+    validate_state_header(state)
     layers_n, dim, heads, ffn_dim, hist, bitmap = (
         int(v) for v in state["model_config"]
     )
@@ -186,6 +263,20 @@ def model_from_state(state: dict[str, np.ndarray]) -> TabularAttentionPredictor:
     tc = TableConfig(
         *(int(v) for v in t[:8]), encoder=_ENCODER_NAMES[int(t[8])], data_bits=int(t[9])
     )
+    stored = int(np.asarray(state["format/config_hash"]).ravel()[0])
+    expected = config_fingerprint(mc, tc)
+    if stored != expected:
+        raise ValueError(
+            f"table blob config hash {stored:#x} does not match its own config "
+            f"block ({expected:#x}): the blob is corrupt or was assembled from "
+            "arrays of different training runs"
+        )
+    missing = sorted(_required_keys(mc) - set(state))
+    if missing:
+        raise ValueError(
+            f"table blob is missing {len(missing)} required arrays for its "
+            f"declared config (first: {missing[:3]}): stale or truncated artifact"
+        )
     n_entries, x_min, x_max = state["sigmoid_lut"]
     layers = []
     for i in range(mc.layers):

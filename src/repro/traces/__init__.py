@@ -18,6 +18,7 @@ from repro.traces.generators import (
     StridedStencilPhase,
     StreamPhase,
     compose_trace,
+    phase_shift_trace,
 )
 from repro.traces.graph_workloads import GRAPH_WORKLOADS, make_graph_workload
 from repro.traces.io import (
@@ -54,6 +55,7 @@ __all__ = [
     "StridedStencilPhase",
     "StreamPhase",
     "compose_trace",
+    "phase_shift_trace",
     "iter_accesses",
     "iter_chunks",
     "load_any",

@@ -280,6 +280,48 @@ class PatternInterleave(Phase):
 InterleavedStreams = BurstInterleave
 
 
+def phase_shift_trace(
+    n_accesses: int,
+    shift_at: float = 0.5,
+    seed: int = 0,
+    name: str = "phase-shift",
+    jitter_prob: float = 0.0,
+    jitter_blocks: int = 0,
+) -> MemoryTrace:
+    """A two-phase workload that changes character mid-trace.
+
+    The canonical drift scenario for the online-adaptation runtime: phase A
+    is unit-stride streaming over one region; at ``shift_at`` (fraction of
+    the trace) the program abruptly switches to a strided multi-array walk
+    over a *different* address region with distinct PCs — the access-pattern
+    *and* the input feature distribution (page/segment values) both move, so
+    tables fit on phase A degrade on phase B while a predictor (re)fit on
+    phase B recovers. Both phases are individually learnable, which is what
+    isolates the adaptation effect from plain model capacity.
+    """
+    if not 0.0 < shift_at < 1.0:
+        raise ValueError(f"shift_at must be in (0, 1), got {shift_at}")
+    n_a = int(round(n_accesses * shift_at))
+    n_b = int(n_accesses) - n_a
+    if n_a <= 0 or n_b <= 0:
+        raise ValueError("both phases need at least one access")
+    phase_a = StreamPhase(base=0x1000_0000, region_blocks=1 << 16,
+                          stride_blocks=1, pc=0x400000)
+    phase_b = StridedStencilPhase(
+        bases=[0x7F00_0000_0000 + i * (PAGE << 8) for i in range(3)],
+        region_blocks=1 << 14,
+        stride_blocks=3,
+        pc_base=0x401000,
+    )
+    return compose_trace(
+        [(phase_a, n_a), (phase_b, n_b)],
+        seed=seed,
+        name=name,
+        jitter_prob=jitter_prob,
+        jitter_blocks=jitter_blocks,
+    )
+
+
 def compose_trace(
     segments: list[tuple[Phase, int]],
     seed: int = 0,

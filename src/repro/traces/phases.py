@@ -7,8 +7,9 @@ Fig. 7's visual diversity is exactly this. This module quantifies it:
 * :func:`window_features` — per-window descriptors of an access trace:
   delta entropy, page-footprint rate, stream fraction, repeat fraction.
 * :func:`detect_phases` — k-means clustering of those windows into phase
-  labels (scipy's kmeans2, seeded), with :func:`phase_summary` aggregating
-  per-phase statistics.
+  labels (the in-repo seeded k-means from :mod:`repro.quantization.kmeans`,
+  the same Lloyd's/k-means++ the PQ training uses — no SciPy dependency),
+  with :func:`phase_summary` aggregating per-phase statistics.
 * :func:`phase_transition_matrix` — empirical transition counts, the input
   to phase-aware prefetcher selection (the RL/ensemble line of related work
   cited in Sec. III).
@@ -17,8 +18,8 @@ Fig. 7's visual diversity is exactly this. This module quantifies it:
 from __future__ import annotations
 
 import numpy as np
-from scipy.cluster.vq import kmeans2
 
+from repro.quantization.kmeans import kmeans_fit
 from repro.traces.trace import MemoryTrace
 
 
@@ -82,7 +83,7 @@ def detect_phases(
     sd = feats.std(axis=0)
     sd[sd == 0] = 1.0
     normed = (feats - mu) / sd
-    _, labels = kmeans2(normed, k, seed=seed, minit="++")
+    _, labels, _ = kmeans_fit(normed, k, rng=seed)
     return labels.astype(np.int64)
 
 

@@ -1,0 +1,187 @@
+"""Zero-downtime model hot-swap in the serving engines.
+
+The acceptance bar: a *no-op* swap (reinstalling the same tables) mid-stream
+must leave per-stream emissions bit-identical to an engine that never
+swapped — for the single-stream MicroBatcher and for a MultiStreamEngine at
+N >= 4 — and the swap pause must be bounded by one flush.
+"""
+
+import numpy as np
+import pytest
+
+from repro.prefetch import DARTPrefetcher
+from repro.runtime import ModelArtifact, serve_interleaved
+from repro.runtime.microbatch import resolve_predictor
+
+
+@pytest.fixture(scope="module")
+def dart(tabular_student, preprocess_config):
+    tab, _ = tabular_student
+    return DARTPrefetcher(tab, preprocess_config, threshold=0.4)
+
+
+def _drive_with_swaps(stream, trace, swap_at, target):
+    """Serve a trace, swapping at the given access indices; collect lists."""
+    n = len(trace)
+    lists = [[] for _ in range(n)]
+    for i in range(n):
+        for em in stream.ingest(int(trace.pcs[i]), int(trace.addrs[i])):
+            lists[em.seq] = list(em.blocks)
+        if i in swap_at:
+            for em in stream.swap_model(target):
+                lists[em.seq] = list(em.blocks)
+    for em in stream.flush():
+        lists[em.seq] = list(em.blocks)
+    return lists
+
+
+def test_noop_swap_bit_identical_microbatcher(dart, small_trace):
+    trace = small_trace.slice(0, 1200)
+    baseline = dart.prefetch_lists(trace)
+    stream = dart.stream(batch_size=16, max_wait=4)
+    lists = _drive_with_swaps(stream, trace, {97, 400, 913}, dart.predictor)
+    assert lists == baseline
+    assert stream.swaps == 3
+
+
+def test_swap_drain_bounded_by_one_flush(dart, small_trace):
+    trace = small_trace.slice(0, 600)
+    stream = dart.stream(batch_size=16)  # no deadline: queues fill up
+    calls_before = None
+    for i in range(len(trace)):
+        stream.ingest(int(trace.pcs[i]), int(trace.addrs[i]))
+        if i == 450:
+            pending = stream.pending
+            assert pending > 0
+            calls_before = stream.predict_calls
+            drained = stream.swap_model(dart.predictor)
+            # The entire pause: one predict call answering <= B queries.
+            assert len(drained) == pending <= stream.batch_size
+            assert stream.predict_calls == calls_before + 1
+            assert stream.pending == 0
+    assert calls_before is not None
+
+
+def test_noop_swap_bit_identical_multistream(dart, small_trace):
+    n_streams = 4
+    shards = [
+        small_trace.slice(i * 700, (i + 1) * 700) for i in range(n_streams)
+    ]
+    solo = [dart.prefetch_lists(s) for s in shards]
+
+    engine = dart.multistream(batch_size=32, max_wait=8)
+    handles = engine.streams(n_streams)
+    lists = [[[] for _ in range(len(s))] for s in shards]
+    for i in range(700):
+        for k, handle in enumerate(handles):
+            for em in handle.ingest(int(shards[k].pcs[i]), int(shards[k].addrs[i])):
+                lists[k][em.seq] = list(em.blocks)
+        if i in (103, 350, 598):
+            engine.swap_model(dart.predictor)  # answers land in outboxes
+    for k, handle in enumerate(handles):
+        for em in handle.flush():
+            lists[k][em.seq] = list(em.blocks)
+        for em in handle.poll():
+            lists[k][em.seq] = list(em.blocks)
+    assert lists == solo
+    assert engine.swaps == 3
+    assert engine.stats()["swaps"] == 3
+
+
+def test_swap_to_different_model_changes_future_only(dart, tabular_student,
+                                                     preprocess_config, small_trace):
+    tab, _ = tabular_student
+    # A different model: same geometry, different decode behaviour — zero
+    # tables predict nothing.
+    zero = lambda xa, xp, batch_size=64: np.zeros((xa.shape[0], preprocess_config.bitmap_size))
+    trace = small_trace.slice(0, 400)
+    baseline = dart.prefetch_lists(trace)
+    stream = dart.stream(batch_size=8, max_wait=2)
+    cut = 200
+    lists = _drive_with_swaps(stream, trace, {cut}, zero)
+    # everything answered up to the swap matches the old model ...
+    changed_from = min(
+        (i for i in range(len(trace)) if lists[i] != baseline[i]),
+        default=len(trace),
+    )
+    assert changed_from > cut
+    # ... and the tail is all-empty (the zero model's answer).
+    assert all(lists[i] == [] for i in range(changed_from, len(trace)))
+
+
+def test_swap_rejects_geometry_mismatch(dart, preprocess_config, small_trace):
+    from repro.data import PreprocessConfig
+
+    stream = dart.stream(batch_size=8)
+    trace = small_trace.slice(0, 50)
+    for i in range(len(trace)):
+        stream.ingest(int(trace.pcs[i]), int(trace.addrs[i]))
+
+    class WrongGeometry:
+        class model_config:
+            bitmap_size = preprocess_config.bitmap_size * 2
+            history_len = preprocess_config.history_len
+
+        def predict_proba(self, *a, **kw):  # pragma: no cover - never reached
+            raise AssertionError
+
+    pending_before = stream.pending
+    with pytest.raises(ValueError, match="geometry"):
+        stream.swap_model(WrongGeometry())
+    # refused swap leaves the engine untouched
+    assert stream.pending == pending_before
+
+
+def test_swap_rejects_nn_geometry_mismatch(dart, preprocess_config):
+    """NN predictors expose .config (not .model_config) — still validated."""
+    from repro.models import AttentionPredictor, ModelConfig
+
+    seg = preprocess_config.segmenter()
+    wrong = AttentionPredictor(
+        ModelConfig(layers=1, dim=16, heads=2,
+                    history_len=preprocess_config.history_len,
+                    bitmap_size=preprocess_config.bitmap_size * 2),
+        seg.n_addr_segments, seg.n_pc_segments, rng=0,
+    )
+    stream = dart.stream(batch_size=8)
+    with pytest.raises(ValueError, match="geometry"):
+        stream.swap_model(wrong)
+
+
+def test_swap_tracks_artifact_version(dart, tabular_student, preprocess_config):
+    tab, _ = tabular_student
+    art = ModelArtifact(tab, version=7, metadata={"origin": "test"})
+    stream = dart.stream(batch_size=8)
+    assert stream.model_version is None  # boot model was a bare callable
+    stream.swap_model(art)
+    assert stream.model_version == 7
+    assert stream.swaps == 1
+
+
+def test_resolve_predictor_accepts_callable_and_artifact(dart, tabular_student,
+                                                         preprocess_config):
+    tab, _ = tabular_student
+    fn, ver = resolve_predictor(tab.predict_proba, preprocess_config)
+    assert ver is None and callable(fn)
+    fn, ver = resolve_predictor(ModelArtifact(tab, version=4), preprocess_config)
+    assert ver == 4
+    probe_a = np.zeros((1, preprocess_config.history_len,
+                        preprocess_config.segmenter().n_addr_segments))
+    probe_p = np.zeros((1, preprocess_config.history_len,
+                        preprocess_config.segmenter().n_pc_segments))
+    assert np.allclose(fn(probe_a, probe_p), tab.predict_proba(probe_a, probe_p))
+
+
+def test_multistream_swap_during_interleaved_serving(dart, small_trace):
+    """serve_interleaved after an external swap still satisfies the invariant."""
+    n = 4
+    shards = [small_trace.slice(i * 500, (i + 1) * 500) for i in range(n)]
+    engine = dart.multistream(batch_size=32, max_wait=8)
+    handles = engine.streams(n)
+    agg, per_stream, lists = serve_interleaved(handles, shards, collect=True)
+    solo = [dart.prefetch_lists(s) for s in shards]
+    assert lists == solo  # sanity: unswapped run matches
+    engine.swap_model(dart.predictor)
+    # a second serving round on the same engine (post-swap) still matches
+    agg2, _, lists2 = serve_interleaved(handles, shards, collect=True)
+    assert lists2 == solo

@@ -157,3 +157,39 @@ def test_graph_trace_runs_through_simulator_and_prefetchers():
     # the offsets/edges streams give spatial prefetchers something to catch
     assert ipc_improvement(bo, base) > -0.05
     assert 0.0 <= isb.accuracy <= 1.0
+
+
+def test_detect_phases_is_deterministic_without_scipy():
+    """The in-repo k-means keeps phase detection seeded/deterministic."""
+    import inspect
+
+    import repro.traces.phases as phases_mod
+
+    assert "scipy" not in inspect.getsource(phases_mod)
+    tr = _two_phase_trace(4096)
+    l1 = detect_phases(tr, n_phases=2, window=256, seed=7)
+    l2 = detect_phases(tr, n_phases=2, window=256, seed=7)
+    assert np.array_equal(l1, l2)
+
+
+def test_phase_shift_trace_two_detectable_phases():
+    from repro.traces import phase_shift_trace
+
+    tr = phase_shift_trace(8192, shift_at=0.5, seed=1)
+    assert len(tr) == 8192
+    labels = detect_phases(tr, n_phases=2, window=256, seed=0)
+    half = len(labels) // 2
+    first = np.bincount(labels[:half]).argmax()
+    second = np.bincount(labels[half:]).argmax()
+    assert first != second
+    assert (labels[:half] == first).mean() > 0.9
+    assert (labels[half:] == second).mean() > 0.9
+
+
+def test_phase_shift_trace_validation():
+    from repro.traces import phase_shift_trace
+
+    with pytest.raises(ValueError):
+        phase_shift_trace(1000, shift_at=0.0)
+    with pytest.raises(ValueError):
+        phase_shift_trace(1000, shift_at=1.5)

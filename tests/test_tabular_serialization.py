@@ -82,3 +82,205 @@ def test_loaded_model_drives_prefetcher(tabular_student, small_trace, preprocess
     l1 = pf1.prefetch_lists(small_trace.slice(0, 800))
     l2 = pf2.prefetch_lists(small_trace.slice(0, 800))
     assert l1 == l2
+
+
+# ------------------------------------------------- hash / non-uniform configs
+@pytest.fixture(scope="module")
+def hash_nonuniform_model(trained_student, split_dataset):
+    """Full model with the hash encoder and per-op table sizes that differ."""
+    from repro.tabularization import TableConfig, tabularize_predictor
+
+    ds_train, _ = split_dataset
+    config = TableConfig(
+        k_input=16, c_input=2, k_attn=8, c_attn=1,
+        k_ffn=16, c_ffn=2, k_output=32, c_output=2,
+        encoder="hash", data_bits=16,
+    )
+    model, _ = tabularize_predictor(
+        trained_student, ds_train.x_addr, ds_train.x_pc, config,
+        fine_tune=True, rng=3,
+    )
+    return model
+
+
+def test_hash_nonuniform_roundtrip(hash_nonuniform_model, split_dataset, tmp_path):
+    """Hash-tree splits/thresholds and per-op sizes survive the round trip."""
+    model = hash_nonuniform_model
+    _, ds_val = split_dataset
+    path = tmp_path / "hash_tables"
+    save_tabular_model(model, path)
+    loaded = load_tabular_model(path)
+    xa, xp = ds_val.x_addr[:16], ds_val.x_pc[:16]
+    assert np.array_equal(model.query(xa, xp), loaded.query(xa, xp))
+    assert loaded.table_config == model.table_config
+    assert loaded.table_config.encoder == "hash"
+    # per-op sizes really are non-uniform and preserved
+    tc = loaded.table_config
+    assert (tc.k_input, tc.k_attn, tc.k_output) == (16, 8, 32)
+    # the rebuilt hash trees encode identically (depths, dims, thresholds)
+    pq0, pq1 = model.addr_table.pq, loaded.addr_table.pq
+    probe = ds_val.x_addr.reshape(-1, ds_val.x_addr.shape[2])[:64]
+    assert np.array_equal(pq0.encode(probe), pq1.encode(probe))
+    for t0, t1 in zip(pq0._hash_trees, pq1._hash_trees):
+        assert t0.depth == t1.depth
+        for lvl in range(t0.depth):
+            assert np.array_equal(t0.split_dims[lvl], t1.split_dims[lvl])
+            assert np.array_equal(t0.thresholds[lvl], t1.thresholds[lvl])
+
+
+def test_hash_nonuniform_packed_roundtrip(hash_nonuniform_model, split_dataset, tmp_path):
+    from repro.tabularization import export_packed, import_packed
+
+    model = hash_nonuniform_model
+    _, ds_val = split_dataset
+    path = tmp_path / "hash.bin"
+    export_packed(model, path, float_dtype="float64")
+    loaded = import_packed(path)
+    xa, xp = ds_val.x_addr[:8], ds_val.x_pc[:8]
+    assert np.array_equal(model.query(xa, xp), loaded.query(xa, xp))
+
+
+# ----------------------------------------------------- format header checks
+def _state_of(model):
+    from repro.tabularization.serialization import model_state
+
+    return model_state(model)
+
+
+def test_unversioned_blob_fails_clearly(tabular_student):
+    from repro.tabularization.serialization import model_from_state
+
+    tab, _ = tabular_student
+    state = _state_of(tab)
+    del state["format/version"]
+    with pytest.raises(ValueError, match="format/version"):
+        model_from_state(state)
+
+
+def test_future_format_version_fails_clearly(tabular_student):
+    from repro.tabularization.serialization import FORMAT_VERSION, model_from_state
+
+    tab, _ = tabular_student
+    state = _state_of(tab)
+    state["format/version"] = np.array([FORMAT_VERSION + 1], dtype=np.int64)
+    with pytest.raises(ValueError, match="not supported"):
+        model_from_state(state)
+
+
+def test_config_hash_mismatch_fails_clearly(tabular_student):
+    from repro.tabularization.serialization import model_from_state
+
+    tab, _ = tabular_student
+    state = _state_of(tab)
+    state["format/config_hash"] = state["format/config_hash"] + 1
+    with pytest.raises(ValueError, match="config hash"):
+        model_from_state(state)
+
+
+def test_truncated_blob_fails_before_deep_reconstruction(tabular_student):
+    from repro.tabularization.serialization import model_from_state
+
+    tab, _ = tabular_student
+    state = _state_of(tab)
+    # Drop a kernel array: previously this died with a KeyError/shape error
+    # deep inside pq_from_state; now the manifest check names the problem.
+    del state["enc0/qkv/table"]
+    with pytest.raises(ValueError, match="missing"):
+        model_from_state(state)
+
+
+def test_config_fingerprint_distinguishes_configs():
+    from repro.models.config import ModelConfig
+    from repro.tabularization import TableConfig, config_fingerprint
+
+    mc = ModelConfig(layers=1, dim=16, heads=2, history_len=8, bitmap_size=64)
+    tc1 = TableConfig.uniform(32, 2)
+    tc2 = TableConfig.uniform(32, 2, encoder="hash")
+    assert config_fingerprint(mc, tc1) == config_fingerprint(mc, tc1)
+    assert config_fingerprint(mc, tc1) != config_fingerprint(mc, tc2)
+    assert config_fingerprint(mc, tc1) < 2**63  # fits the int64 container
+
+
+# ------------------------------------------------------------ model artifact
+def test_artifact_roundtrip_with_metadata(tabular_student, split_dataset, tmp_path):
+    from repro.runtime import ModelArtifact
+
+    tab, _ = tabular_student
+    _, ds_val = split_dataset
+    art = ModelArtifact(tab, version=5, metadata={"trained_on": "libquantum",
+                                                  "f1": {"tabular": 0.81}})
+    path = tmp_path / "artifact"
+    art.save(path)
+    loaded = ModelArtifact.load(path)
+    assert loaded.version == 5
+    assert loaded.metadata == art.metadata
+    assert loaded.config_hash == art.config_hash
+    xa, xp = ds_val.x_addr[:8], ds_val.x_pc[:8]
+    assert np.allclose(loaded.model.query(xa, xp), tab.query(xa, xp))
+    desc = loaded.describe()
+    assert desc["version"] == 5 and desc["meta.trained_on"] == "libquantum"
+
+
+def test_plain_blob_loads_as_v1_artifact(tabular_student, tmp_path):
+    from repro.runtime import ModelArtifact
+
+    tab, _ = tabular_student
+    path = tmp_path / "plain"
+    save_tabular_model(tab, path)
+    loaded = ModelArtifact.load(path)
+    assert loaded.version == 1
+    assert loaded.metadata == {}
+
+
+def test_artifact_blob_loads_as_plain_model(tabular_student, tmp_path):
+    from repro.runtime import ModelArtifact
+
+    tab, _ = tabular_student
+    path = tmp_path / "art"
+    ModelArtifact(tab, version=2, metadata={"x": 1}).save(path)
+    loaded = load_tabular_model(path)  # artifact keys are ignored
+    assert loaded.table_config == tab.table_config
+
+
+def test_artifact_successor_lineage(tabular_student):
+    from repro.runtime import ModelArtifact
+
+    tab, _ = tabular_student
+    art = ModelArtifact(tab, version=1, metadata={"trained_on": "x"})
+    nxt = art.successor(tab, refit_reason="features")
+    assert nxt.version == 2
+    assert nxt.metadata["parent_version"] == 1
+    assert nxt.metadata["refit_reason"] == "features"
+    assert nxt.metadata["trained_on"] == "x"  # inherited
+
+
+def test_artifact_successor_rejects_geometry_change(tabular_student, split_dataset,
+                                                    trained_student):
+    from repro.models.config import ModelConfig
+    from repro.runtime import ModelArtifact
+    from repro.tabularization.tabular_model import TabularAttentionPredictor
+
+    tab, _ = tabular_student
+    art = ModelArtifact(tab)
+
+    class Fake:
+        model_config = ModelConfig(layers=1, dim=16, heads=2, history_len=8,
+                                   bitmap_size=tab.model_config.bitmap_size * 2)
+
+    with pytest.raises(ValueError, match="geometry"):
+        art.successor(Fake())
+
+
+def test_packed_export_embeds_artifact_info(tabular_student, tmp_path):
+    from repro.runtime import ModelArtifact
+    from repro.tabularization import export_packed, packed_info
+
+    tab, _ = tabular_student
+    art = ModelArtifact(tab, version=9, metadata={"trained_on": "demo"})
+    path = tmp_path / "deploy.bin"
+    export_packed(art, path)
+    info = packed_info(path)
+    assert info["attrs"]["artifact"]["version"] == 9
+    assert info["attrs"]["artifact"]["metadata"]["trained_on"] == "demo"
+    assert info["attrs"]["config_hash"] == art.config_hash
+    assert info["entries"] > 0 and info["payload_bytes"] > 0
