@@ -1,0 +1,203 @@
+"""Sharded multi-process serving vs. the single-process shared-model engine.
+
+Not a paper figure — the scale-out check for the runtime: N access streams
+partitioned across W OS worker processes, each worker a shared-model engine
+over the **same** table hierarchy mapped zero-copy from shared memory
+(`repro.runtime.sharded`). Three bars:
+
+* **bit-identity** — every stream's emissions at every W must equal the
+  single-process ``MultiStreamEngine`` output (the gate that keeps scaling
+  from changing answers);
+* **footprint** — the shared segment's size must be independent of W (the
+  naive alternative stores W private copies of the tables);
+* **scaling** — aggregate throughput W=1 -> W=4 must improve >= 1.5x *when
+  the host actually has cores to scale onto* (>= 4 visible CPUs). On smaller
+  hosts the ratio is still measured and recorded, but the gate is marked
+  skipped — worker processes time-sharing one core cannot beat one process,
+  and pretending otherwise would poison the committed trajectory.
+
+Run standalone (writes the ``BENCH_sharded.json`` trajectory artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py --accesses 10000
+
+``--smoke`` (CI) shrinks to 4 streams x ~1.2k accesses at W in {1, 2}.
+Future PRs compare their numbers against the committed history of this
+artifact; keep the workload/seed stable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from repro.data import PreprocessConfig, build_dataset
+from repro.models import AttentionPredictor, ModelConfig
+from repro.prefetch import DARTPrefetcher
+from repro.runtime import serve_interleaved
+from repro.tabularization import TableConfig, tabularize_predictor
+from repro.traces import make_workload
+from repro.utils import log
+
+#: geometry kept small so the bench finishes in CI; ratios, not absolute
+#: throughput, are the tracked quantity (same family as bench_multistream).
+PREPROCESS = PreprocessConfig(history_len=8, window=6, delta_range=32)
+MODEL = ModelConfig(layers=1, dim=16, heads=2, history_len=8, bitmap_size=64)
+TABLE = TableConfig.uniform(16, 2)
+
+SCALING_BAR = 1.5
+MIN_CPUS_FOR_SCALING_GATE = 4
+
+
+def build_dart(trace, train_samples: int = 800, seed: int = 0) -> DARTPrefetcher:
+    """An untrained-but-real table hierarchy (weights don't matter for perf)."""
+    ds = build_dataset(trace.pcs, trace.addrs, PREPROCESS, max_samples=train_samples)
+    seg = PREPROCESS.segmenter()
+    student = AttentionPredictor(MODEL, seg.n_addr_segments, seg.n_pc_segments, rng=seed)
+    tabular, _ = tabularize_predictor(
+        student, ds.x_addr, ds.x_pc, TABLE, fine_tune=False, rng=seed
+    )
+    return DARTPrefetcher(tabular, PREPROCESS, threshold=0.4, max_degree=2)
+
+
+def make_streams(n: int, accesses: int, seed: int):
+    scale = max(accesses / 348_000, 0.005) * 1.1  # libquantum is ~348k at scale 1
+    return [
+        make_workload("462.libquantum", scale=scale, seed=seed + i).slice(0, accesses)
+        for i in range(n)
+    ]
+
+
+def run(
+    accesses: int,
+    n_streams: int,
+    worker_counts: list[int],
+    batch_size: int,
+    max_wait: int,
+    output: str | None,
+    seed: int = 2,
+    identity_accesses: int | None = None,
+) -> dict:
+    traces = make_streams(n_streams, accesses, seed)
+    dart = build_dart(traces[0])
+    cpus = os.cpu_count() or 1
+
+    # Single-process baseline (the engine being scaled out).
+    single = dart.multistream(batch_size=batch_size, max_wait=max_wait)
+    single_agg, _, _ = serve_interleaved(single.streams(n_streams), traces)
+
+    # Identity gate runs on a shorter prefix so the full sweep stays fast.
+    id_len = min(accesses, identity_accesses or 3000)
+    id_traces = [t.slice(0, id_len) for t in traces]
+    id_engine = dart.multistream(batch_size=batch_size, max_wait=max_wait)
+    _, _, ref_lists = serve_interleaved(
+        id_engine.streams(n_streams), id_traces, collect=True
+    )
+
+    record: dict = {
+        "workload": "462.libquantum",
+        "seed": seed,
+        "streams": n_streams,
+        "accesses_per_stream": accesses,
+        "batch_size": batch_size,
+        "max_wait": max_wait,
+        "cpus": cpus,
+        "single_process": {**single_agg.to_dict(),
+                          "predict_calls": single.predict_calls},
+        "by_workers": {},
+    }
+    rows = [
+        ["1 (in-proc)", f"{single_agg.throughput:,.0f}",
+         f"{single_agg.p50_us:.1f}", f"{single_agg.p99_us:.1f}", "-", "-", "-"]
+    ]
+    shm_sizes = []
+    for w in worker_counts:
+        with dart.sharded(workers=w, batch_size=batch_size, max_wait=max_wait) as eng:
+            agg, _, _ = eng.serve(traces, collect=False)
+            stats = eng.stats()
+        with dart.sharded(workers=w, batch_size=batch_size, max_wait=max_wait) as eng:
+            _, _, lists = eng.serve(id_traces, collect=True)
+        identical = all(lists[i] == ref_lists[i] for i in range(n_streams))
+        shm_sizes.append(stats["shm_bytes"])
+        naive_bytes = w * stats["shm_bytes"]
+        record["by_workers"][str(w)] = {
+            **agg.to_dict(),
+            "engine": stats,
+            "identical_to_single_process": identical,
+            "shm_bytes": stats["shm_bytes"],
+            "naive_w_copies_bytes": naive_bytes,
+        }
+        rows.append(
+            [str(w), f"{agg.throughput:,.0f}", f"{agg.p50_us:.1f}",
+             f"{agg.p99_us:.1f}", f"{stats['shm_bytes'] / 1024:.0f} KB",
+             f"{naive_bytes / 1024:.0f} KB", str(identical)]
+        )
+
+    log.table(
+        f"sharded serving of {n_streams} streams ({accesses:,} accesses each, "
+        f"B={batch_size}, max_wait={max_wait}, {cpus} CPU(s) visible)",
+        ["workers", "acc/s", "p50 us", "p99 us", "shm", "naive Wx", "identical"],
+        rows,
+    )
+
+    record["all_identical"] = all(
+        v["identical_to_single_process"] for v in record["by_workers"].values()
+    )
+    # Footprint: the segment is one copy of the tables no matter how many
+    # workers map it.
+    record["footprint_independent_of_workers"] = len(set(shm_sizes)) == 1
+    w_lo, w_hi = str(min(worker_counts)), str(max(worker_counts))
+    thr = {k: v["throughput"] for k, v in record["by_workers"].items()}
+    scaling = thr[w_hi] / thr[w_lo] if thr[w_lo] else 0.0
+    record["scaling_w%s_to_w%s" % (w_lo, w_hi)] = scaling
+    gate_applies = cpus >= MIN_CPUS_FOR_SCALING_GATE and int(w_hi) >= 4
+    record["scaling_bar"] = SCALING_BAR
+    record["scaling_gate"] = (
+        "enforced" if gate_applies
+        else f"skipped ({cpus} CPU(s) visible; scale-out needs cores)"
+    )
+    scaling_ok = (scaling >= SCALING_BAR) if gate_applies else True
+    ok = record["all_identical"] and record["footprint_independent_of_workers"] and scaling_ok
+    record["pass"] = ok
+    verdict = "PASS" if ok else "FAIL"
+    print(
+        f"[{verdict}] W={w_lo}->{w_hi}: {scaling:.2f}x throughput "
+        f"(bar {SCALING_BAR}x, gate {record['scaling_gate']}), "
+        f"bit-identical={record['all_identical']}, "
+        f"shm footprint constant={record['footprint_independent_of_workers']} "
+        f"({shm_sizes[0] / 1024:.0f} KB vs {max(worker_counts)}x for copies)"
+    )
+    if output:
+        with open(output, "w", encoding="utf-8") as f:
+            json.dump(record, f, indent=2, sort_keys=True)
+        print(f"wrote {output}")
+    return record
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--accesses", type=int, default=10_000, help="per stream")
+    ap.add_argument("--streams", type=int, default=8)
+    ap.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    ap.add_argument("--batch-size", type=int, default=64)
+    ap.add_argument("--max-wait", type=int, default=16)
+    ap.add_argument("--seed", type=int, default=2)
+    ap.add_argument("--output", "-o", default="BENCH_sharded.json")
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny CI run: 4 streams, ~1.2k accesses, W in {1, 2}")
+    args = ap.parse_args(argv)
+    if args.smoke:
+        args.accesses = 1200
+        args.streams = 4
+        args.workers = [1, 2]
+        args.batch_size = 16
+        args.max_wait = 4
+    record = run(
+        args.accesses, args.streams, args.workers, args.batch_size,
+        args.max_wait, args.output, seed=args.seed,
+    )
+    return 0 if record["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,9 @@ Subcommands mirror a deployment workflow:
   latency; optionally compare against the batch path and emit a JSON
   artifact. With ``--cores N`` the trace is split into N interleaved shards
   (concurrent streams); ``--share-model`` serves them all from one shared
-  model engine with cross-stream micro-batching. With ``--adapt`` (plus
+  model engine with cross-stream micro-batching; ``--workers W`` scales out
+  across W OS worker processes with the tables mapped zero-copy from shared
+  memory. With ``--adapt`` (plus
   ``--student`` from ``train --save-student``) the engine monitors the
   stream for drift, re-fits the tables on the recent window, and hot-swaps
   them without dropping an emission.
@@ -337,6 +339,82 @@ def _stream_many(args) -> int:
     return 0
 
 
+def _stream_sharded(args) -> int:
+    """``stream --workers W``: shard N streams across W OS worker processes.
+
+    The table hierarchy is published once into shared memory; each worker
+    maps it zero-copy and runs its own shared-model engine over its subset
+    of the streams (see DESIGN.md "Sharded serving"). Defaults to one stream
+    per worker when ``--cores`` was left at 1.
+    """
+    import json
+
+    from repro.traces import load_any, make_workload
+
+    n = args.cores if args.cores > 1 else args.workers
+    trace = load_any(args.trace) if args.trace else make_workload(
+        args.workload, scale=args.scale, seed=args.seed
+    )
+    bounds = [round(i * len(trace) / n) for i in range(n + 1)]
+    shards = [trace.slice(bounds[i], bounds[i + 1]) for i in range(n)]
+    trace_label = args.trace or args.workload
+
+    pf = _make_prefetcher(args.prefetcher, args.tables)
+    if pf is None or not hasattr(pf, "sharded"):
+        raise SystemExit(
+            "--workers needs a model-backed prefetcher (--prefetcher dart)"
+        )
+    engine = pf.sharded(
+        workers=args.workers, batch_size=args.batch_size, max_wait=args.max_wait
+    )
+    with engine:
+        agg, per_stream, lists = engine.serve(shards, collect=args.compare_batch)
+        stats = engine.stats()
+
+    rows = [
+        [s.name, f"{s.accesses:,}", f"{s.prefetches:,}",
+         f"{s.p50_us:.1f}", f"{s.p99_us:.1f}", f"{s.max_us:.1f}"]
+        for s in per_stream
+    ]
+    rows.append(
+        ["aggregate", f"{agg.accesses:,}", f"{agg.prefetches:,}",
+         f"{agg.p50_us:.1f}", f"{agg.p99_us:.1f}", f"{agg.max_us:.1f}"]
+    )
+    record = {
+        "prefetcher": pf.name,
+        "trace": trace_label,
+        "cores": n,
+        "workers": args.workers,
+        "batch_size": args.batch_size,
+        "max_wait": args.max_wait,
+        "engine": stats,
+        "aggregate": agg.to_dict(),
+        "per_stream": [s.to_dict() for s in per_stream],
+    }
+    identical = None
+    if args.compare_batch:
+        identical = all(lists[i] == pf.prefetch_lists(shards[i]) for i in range(n))
+        rows.append(["bit-identical to solo batch", str(identical), "", "", "", ""])
+        record["identical_to_batch"] = identical
+    shm_kb = (stats["shm_bytes"] or 0) / 1024
+    log.table(
+        f"{n}-stream serving of {trace_label} across {args.workers} worker "
+        f"processes (B={args.batch_size}, {stats['predict_calls']} predict "
+        f"calls, {shm_kb:.0f} KB shared tables)",
+        ["stream", "accesses", "prefetches", "p50 us", "p99 us", "max us"],
+        rows,
+    )
+    print(f"throughput: {agg.throughput:,.0f} accesses/s across {n} streams "
+          f"/ {args.workers} workers")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(record, f, indent=2, sort_keys=True)
+        print(f"wrote serving stats to {args.json}")
+    if identical is False:
+        return 1
+    return 0
+
+
 def _cmd_stream(args) -> int:
     import json
     import time
@@ -352,8 +430,19 @@ def _cmd_stream(args) -> int:
         raise SystemExit("--chunk-size must be >= 1")
     if args.cores < 1:
         raise SystemExit("--cores must be >= 1")
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
     if args.adapt and args.cores > 1:
         raise SystemExit("--adapt currently serves a single stream (drop --cores)")
+    if args.workers > 1:
+        if args.adapt:
+            raise SystemExit("--adapt currently serves a single process (drop --workers)")
+        if args.share_model:
+            raise SystemExit(
+                "--workers already shares the tables across all streams "
+                "(drop --share-model)"
+            )
+        return _stream_sharded(args)
     if args.cores > 1:
         return _stream_many(args)
     if args.share_model:
@@ -660,6 +749,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_str.add_argument("--share-model", action="store_true",
                        help="one shared model engine for all streams "
                             "(cross-stream micro-batching; model-backed only)")
+    p_str.add_argument("--workers", type=int, default=1,
+                       help="serve the streams across W OS worker processes, "
+                            "tables mapped zero-copy from shared memory "
+                            "(model-backed only; default streams = workers "
+                            "unless --cores is given)")
     p_str.add_argument("--compare-batch", action="store_true",
                        help="also run prefetch_lists and check bit-identity")
     p_str.add_argument("--adapt", action="store_true",

@@ -137,6 +137,38 @@ class DARTPrefetcher(Prefetcher):
             storage_bytes=self.storage_bytes,
         )
 
+    def sharded(
+        self,
+        workers: int = 2,
+        batch_size: int = 64,
+        max_wait: int | None = None,
+        **kwargs,
+    ):
+        """Multi-process serving: N streams over W workers, one table copy.
+
+        The tables are published once into shared memory and every worker
+        process maps them zero-copy (read-only views), so the hierarchy is
+        stored once for the whole fleet — see
+        :class:`repro.runtime.sharded.ShardedEngine`. Close the engine (or
+        use it as a context manager) to release the segment.
+        """
+        from repro.runtime.sharded import ShardedEngine
+
+        return ShardedEngine(
+            self.artifact if self.artifact is not None else self.predictor,
+            self.config,
+            workers=workers,
+            threshold=self.threshold,
+            max_degree=self.max_degree,
+            decode=self.decode,
+            batch_size=batch_size,
+            max_wait=max_wait,
+            name=self.name,
+            latency_cycles=self.latency_cycles,
+            storage_bytes=self.storage_bytes,
+            **kwargs,
+        )
+
     def meets_constraints(self, latency_budget: float, storage_budget: float) -> bool:
         """Eq. 9: ``L(T) < tau`` and ``S(T) < s``."""
         return self.latency_cycles < latency_budget and self.storage_bytes < storage_budget

@@ -206,3 +206,34 @@ class NeuralPrefetcher(Prefetcher):
             latency_cycles=self.latency_cycles,
             storage_bytes=self.storage_bytes,
         )
+
+    def sharded(
+        self,
+        workers: int = 2,
+        batch_size: int = 64,
+        max_wait: int | None = None,
+        **kwargs,
+    ):
+        """Multi-process serving for the NN baselines.
+
+        NNs have no tabular state to map zero-copy, so each worker process
+        deserializes a private copy of the model (``model_copies == W`` in
+        :meth:`~repro.runtime.sharded.ShardedEngine.stats` — the storage
+        contrast with DART's shared segment is the point of the comparison).
+        """
+        from repro.runtime.sharded import ShardedEngine
+
+        return ShardedEngine(
+            self.model,
+            self.config,
+            workers=workers,
+            threshold=self.threshold,
+            max_degree=self.max_degree,
+            decode=self.decode,
+            batch_size=batch_size,
+            max_wait=max_wait,
+            name=self.name,
+            latency_cycles=self.latency_cycles,
+            storage_bytes=self.storage_bytes,
+            **kwargs,
+        )

@@ -10,6 +10,10 @@ this package serves a *live* access stream with bounded latency and memory:
   :class:`StreamState` + shared :class:`_FlushPath`;
 * :mod:`repro.runtime.multistream` — N concurrent streams sharing one model,
   with cross-stream micro-batching (one predict per flush across streams);
+* :mod:`repro.runtime.sharded` — N streams across W OS worker processes,
+  each a ``MultiStreamEngine`` over tables mapped zero-copy from shared
+  memory (:mod:`repro.tabularization.shm`); versioned swap broadcast, named
+  :class:`ShardFailure` on worker death;
 * :mod:`repro.runtime.artifact` — versioned model artifacts, the unit the
   engines hold and hot-swap (``swap_model`` drains at a flush boundary with
   zero dropped emissions);
@@ -21,7 +25,8 @@ this package serves a *live* access stream with bounded latency and memory:
   accounting.
 
 Entry points: ``prefetcher.stream()`` on any prefetcher,
-``prefetcher.multistream()`` on the learned ones, ``as_streaming`` to
+``prefetcher.multistream()`` / ``prefetcher.sharded()`` on the learned ones,
+``as_streaming`` to
 coerce, ``BatchAdapter`` to go back, ``serve`` to drive a stream over a
 trace, chunk iterator, or live feed, and ``serve_interleaved`` to drive N
 streams round-robin.
@@ -40,6 +45,7 @@ from repro.runtime.artifact import ModelArtifact
 from repro.runtime.engine import StreamStats, access_pairs, serve
 from repro.runtime.microbatch import MicroBatcher, StreamingModelPrefetcher, StreamState
 from repro.runtime.multistream import MultiStreamEngine, StreamHandle, serve_interleaved
+from repro.runtime.sharded import ShardedEngine, ShardFailure, ShardHandle
 from repro.runtime.streaming import (
     BatchAdapter,
     CompositeStream,
@@ -62,6 +68,9 @@ __all__ = [
     "ModelArtifact",
     "MultiStreamEngine",
     "SequentialStreamAdapter",
+    "ShardFailure",
+    "ShardHandle",
+    "ShardedEngine",
     "StreamHandle",
     "StreamMonitor",
     "StreamState",

@@ -128,6 +128,54 @@ class _LatencySketch:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def state(self) -> dict:
+        """Plain-dict form, cheap to ship across a process boundary."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "peak": self.peak,
+            "samples": list(self.samples),
+            "stride": self._stride,
+        }
+
+    @classmethod
+    def merge(cls, states: "Iterable[dict]", cap: int = LATENCY_SAMPLE_CAP) -> "_LatencySketch":
+        """Combine per-shard sketch states into one aggregate sketch.
+
+        Counts, totals and peaks merge exactly; retained samples concatenate
+        (each shard's set is uniformly spread over its own stream, so the
+        union stays representative) and re-decimate if the union overflows
+        the cap.
+        """
+        out = cls(cap)
+        for st in states:
+            out.count += int(st["count"])
+            out.total += float(st["total"])
+            out.peak = max(out.peak, float(st["peak"]))
+            out.samples.extend(st["samples"])
+            out._stride = max(out._stride, int(st.get("stride", 1)))
+        while len(out.samples) >= cap:
+            out.samples = out.samples[::2]
+            out._stride *= 2
+        return out
+
+    def to_stats(
+        self, name: str, accesses: int, prefetches: int, seconds: float, extra: dict
+    ) -> StreamStats:
+        """Package this sketch as a :class:`StreamStats` record."""
+        samples = sorted(self.samples)
+        return StreamStats(
+            name=name,
+            accesses=accesses,
+            prefetches=prefetches,
+            seconds=seconds,
+            p50_us=_percentile(samples, 0.50) * 1e6,
+            p99_us=_percentile(samples, 0.99) * 1e6,
+            mean_us=self.mean * 1e6,
+            max_us=self.peak * 1e6,
+            extra=extra,
+        )
+
 
 def serve(
     stream: StreamingPrefetcher,

@@ -337,6 +337,12 @@ def serve_interleaved(
 
     def _stats(name: str, sketch: _LatencySketch, acc: int, pf: int, extra: dict) -> StreamStats:
         samples = sorted(sketch.samples)
+        # latency_count pins the aggregation invariant: every timed delivery
+        # contributes exactly one sample to its stream's sketch and one to the
+        # aggregate, so aggregate count == sum of per-stream counts (the drain
+        # flush included, even when all streams end on the same tick) — see
+        # the regression test in tests/test_multistream.py.
+        extra = {**extra, "latency_count": sketch.count}
         return StreamStats(
             name=name,
             accesses=acc,

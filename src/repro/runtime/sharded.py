@@ -1,0 +1,890 @@
+"""Sharded multi-process serving: N streams across W workers, one table copy.
+
+:class:`~repro.runtime.multistream.MultiStreamEngine` already serves N
+streams from one model, but everything runs on one Python interpreter — one
+core's worth of table lookups no matter how many the host has. This module
+scales that engine *out*: a :class:`ShardedEngine` partitions the registered
+streams round-robin across ``W`` OS worker processes, each running its own
+``MultiStreamEngine`` over the **same physical tables**, mapped zero-copy
+from a named shared-memory segment (:mod:`repro.tabularization.shm`). The
+hierarchy is stored once for the whole fleet; workers hold read-only views.
+
+Topology (see DESIGN.md "Sharded serving" for the lifecycle diagrams)::
+
+    frontend (ShardedEngine)                 worker w  (one process each)
+    ├─ ShardHandle per stream  ── pipe ──►   MultiStreamEngine over
+    ├─ per-worker send buffers               shm-mapped tables; per-stream
+    └─ publications (shm owner)  ◄─ pipe ──  StreamState + latency sketches
+
+Wire protocol: every message is one length-prefixed frame (the connection
+frames; the body is a fixed ``<iq`` header — opcode, meta — plus a raw
+``int64`` payload). Accesses travel as ``(local_stream, pc, addr)`` rows;
+emissions return as flat ``[stream, seq, n, blocks…]`` records, so neither
+direction pickles anything on the hot path.
+
+Guarantees preserved from the single-process engines:
+
+* **one emission per access, ascending seq, per stream** — streams are
+  pinned to a worker, the pipe is FIFO, and the worker's engine already
+  upholds the invariant, so the frontend only has to deliver in arrival
+  order (each handle's outbox);
+* **bit-identical emissions** — batch composition cannot change a row's
+  answer (row-local predictor), so re-partitioning streams across workers
+  only moves *when* answers arrive, never *what* they are (pinned by
+  ``tests/test_sharded.py`` and the conformance suite);
+* **zero-downtime swaps** — :meth:`ShardedEngine.swap_model` publishes the
+  new tables as a fresh segment, broadcasts it, barriers on every worker's
+  drain-ack (each worker drains pending queries with the *outgoing* model,
+  exactly like the single-process swap), then unlinks the old segment.
+
+Failure semantics: a dead or errored worker surfaces as a named
+:class:`ShardFailure` carrying the affected stream ids — the frontend never
+hangs on a broken pipe — and :meth:`ShardedEngine.close` (or the context
+manager) unlinks every segment the engine ever published, even after a
+crash mid-swap.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import time
+
+import numpy as np
+
+from repro.data.dataset import PreprocessConfig
+from repro.runtime.engine import StreamStats, _LatencySketch, access_pairs
+from repro.runtime.microbatch import resolve_predictor
+from repro.runtime.streaming import Emission, StreamingPrefetcher
+
+_HDR = struct.Struct("<iq")  # (opcode, meta)
+
+# Request opcodes (frontend -> worker).
+OP_REGISTER = 1   # meta = number of new streams
+OP_ACCESS = 2     # meta = deliver flag; payload int64 (k, 3)
+OP_FLUSH = 3      # meta = deliver flag
+OP_SWAP = 4       # meta = deliver<<1 | is_pickle; payload = shm name / pickle
+OP_RESET = 5      # meta = local stream index, -1 = every stream
+OP_STATS = 6
+OP_SHUTDOWN = 7
+
+# Reply opcodes (worker -> frontend).
+REPLY_OK = 100
+REPLY_EMISSIONS = 101  # meta = emissions represented; payload records
+REPLY_STATS = 102      # payload = pickled dict
+REPLY_ERR = 103        # payload = utf-8 traceback
+
+
+class ShardFailure(RuntimeError):
+    """A worker process died or errored; names the streams it was serving."""
+
+    def __init__(self, shard: int, stream_ids: list[int], stream_names: list[str], reason: str):
+        self.shard = int(shard)
+        self.stream_ids = list(stream_ids)
+        self.stream_names = list(stream_names)
+        self.reason = str(reason)
+        super().__init__(
+            f"shard {shard} failed ({self.reason}); "
+            f"affected streams: {self.stream_ids} ({', '.join(self.stream_names)})"
+        )
+
+
+# --------------------------------------------------------------------- worker
+def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict, measure: bool):
+    """One shard: a MultiStreamEngine over shared tables, driven by the pipe.
+
+    Runs in its own OS process. Never returns normally — exits on
+    ``OP_SHUTDOWN``, a closed pipe, or after reporting an error.
+    """
+    import traceback
+
+    from repro.runtime.multistream import MultiStreamEngine
+
+    tables = None
+    model = None
+    try:
+        if model_spec[0] == "shm":
+            from repro.tabularization.shm import attach_artifact
+
+            model, tables = attach_artifact(model_spec[1])
+        else:
+            model = pickle.loads(model_spec[1])
+        engine = MultiStreamEngine(model, **engine_kwargs)
+        handles: list = []
+        sketches: list[_LatencySketch] = []
+        counts: list[list[int]] = []  # per stream: [accesses, prefetches, emissions]
+        perf = time.perf_counter
+
+        completed: list[tuple[int, Emission]] = []  # since the last reply
+
+        def note(lidx: int, ems) -> None:
+            for em in ems:
+                counts[lidx][1] += len(em.blocks)
+                counts[lidx][2] += 1
+                completed.append((lidx, em))
+
+        def drain() -> None:
+            """Sweep emissions parked in outboxes by *other* streams' flushes."""
+            for lidx, h in enumerate(handles):
+                note(lidx, h.poll())
+
+        def reply_emissions(deliver: bool, meta: int | None = None) -> None:
+            drain()
+            if meta is None:
+                meta = len(completed)
+            if deliver and completed:
+                records: list[int] = []
+                for lidx, em in completed:
+                    records.append(lidx)
+                    records.append(em.seq)
+                    records.append(len(em.blocks))
+                    records.extend(em.blocks)
+                payload = np.asarray(records, dtype=np.int64).tobytes()
+            else:
+                payload = b""
+            completed.clear()
+            conn.send_bytes(_HDR.pack(REPLY_EMISSIONS, meta) + payload)
+
+        while True:
+            try:
+                msg = conn.recv_bytes()
+            except (EOFError, OSError):
+                return  # frontend went away; nothing left to serve
+            op, meta = _HDR.unpack_from(msg)
+            payload = msg[_HDR.size :]
+            try:
+                if op == OP_ACCESS:
+                    rows = np.frombuffer(payload, dtype=np.int64).reshape(-1, 3).tolist()
+                    if measure:
+                        for lidx, pc, addr in rows:
+                            t0 = perf()
+                            ems = handles[lidx].ingest(pc, addr)
+                            sketches[lidx].add(perf() - t0)
+                            counts[lidx][0] += 1
+                            note(lidx, ems)
+                    else:
+                        for lidx, pc, addr in rows:
+                            note(lidx, handles[lidx].ingest(pc, addr))
+                            counts[lidx][0] += 1
+                    reply_emissions(deliver=bool(meta))
+                elif op == OP_FLUSH:
+                    engine.flush_all()
+                    reply_emissions(deliver=bool(meta))
+                elif op == OP_REGISTER:
+                    for _ in range(int(meta)):
+                        handles.append(engine.stream())
+                        sketches.append(_LatencySketch())
+                        counts.append([0, 0, 0])
+                    conn.send_bytes(_HDR.pack(REPLY_OK, len(handles)))
+                elif op == OP_SWAP:
+                    deliver = bool(meta & 2)
+                    if meta & 1:
+                        engine.swap_model(pickle.loads(payload))
+                        old = None
+                    else:
+                        from repro.tabularization.shm import attach_artifact
+
+                        new_model, new_tables = attach_artifact(payload.decode("utf-8"))
+                        engine.swap_model(new_model)
+                        old, model, tables = (model, tables), new_model, new_tables
+                    # Drained answers ride the ack so no emission is dropped.
+                    reply_emissions(deliver, meta=engine.last_swap_drained)
+                    if old is not None and old[1] is not None:
+                        old_model, old_tables = old
+                        del old_model, old
+                        try:
+                            old_tables.close()
+                        except BufferError:  # a view still alive somewhere
+                            pass
+                elif op == OP_RESET:
+                    if int(meta) < 0:
+                        engine.reset()
+                        for lidx in range(len(handles)):
+                            sketches[lidx] = _LatencySketch()
+                            counts[lidx] = [0, 0, 0]
+                    else:
+                        handles[int(meta)].reset()
+                        sketches[int(meta)] = _LatencySketch()
+                        counts[int(meta)] = [0, 0, 0]
+                    conn.send_bytes(_HDR.pack(REPLY_OK, 0))
+                elif op == OP_STATS:
+                    stats = {
+                        "worker": worker_id,
+                        "engine": engine.stats(),
+                        "streams": [
+                            {
+                                "accesses": counts[l][0],
+                                "prefetches": counts[l][1],
+                                "emissions": counts[l][2],
+                                "sketch": sketches[l].state(),
+                            }
+                            for l in range(len(handles))
+                        ],
+                    }
+                    body = pickle.dumps(stats)
+                    conn.send_bytes(_HDR.pack(REPLY_STATS, len(body)) + body)
+                elif op == OP_SHUTDOWN:
+                    conn.send_bytes(_HDR.pack(REPLY_OK, 0))
+                    return
+                else:
+                    raise ValueError(f"unknown opcode {op}")
+            except Exception:
+                try:
+                    conn.send_bytes(
+                        _HDR.pack(REPLY_ERR, 0)
+                        + traceback.format_exc().encode("utf-8", "replace")
+                    )
+                except (BrokenPipeError, OSError):
+                    pass
+                return
+    finally:
+        del model
+        if tables is not None:
+            try:
+                tables.close()
+            except BufferError:
+                pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _Shard:
+    """Frontend bookkeeping for one worker process."""
+
+    def __init__(self, shard_id: int):
+        self.id = shard_id
+        self.process = None
+        self.conn = None
+        self.handles: list["ShardHandle"] = []  # by local index
+        self.sendbuf: list[tuple[int, int, int]] = []
+        self.alive = False
+
+
+class ShardHandle(StreamingPrefetcher):
+    """One tenant stream of a :class:`ShardedEngine`.
+
+    Implements the streaming protocol with *buffered* ingest: accesses are
+    batched per worker pipe message (``io_chunk``), so emissions may arrive
+    a few calls late — always in order, always exactly one per access once
+    :meth:`flush` runs, exactly like the micro-batched engines (whose
+    answers are already deferred by design).
+    """
+
+    def __init__(self, engine: "ShardedEngine", index: int, shard: _Shard,
+                 local_index: int, name: str):
+        self._engine = engine
+        self.index = index
+        self.shard_id = shard.id
+        self.local_index = local_index
+        self.name = name
+        self.latency_cycles = engine.latency_cycles
+        self.storage_bytes = engine.storage_bytes
+        self.seq = 0
+        self._outbox: list[Emission] = []
+
+    def poll(self) -> list[Emission]:
+        """Emissions already returned by the worker (never blocks)."""
+        out = self._outbox
+        self._outbox = []
+        return out
+
+    def ingest(self, pc: int, addr: int) -> list[Emission]:
+        self._engine._ingest(self, pc, addr)
+        self.seq += 1
+        return self.poll()
+
+    def flush(self) -> list[Emission]:
+        self._engine.flush_all()
+        return self.poll()
+
+    def reset(self) -> None:
+        """Reset *this stream only* (frontend buffers and worker state)."""
+        self._engine._reset_stream(self)
+        self.seq = 0
+        self._outbox = []
+
+
+class ShardedEngine:
+    """N streams across W worker processes over one shared table hierarchy.
+
+    ``model`` may be a :class:`~repro.runtime.artifact.ModelArtifact` or bare
+    :class:`TabularAttentionPredictor` (published once into shared memory —
+    the zero-copy path), or any picklable predictor object (e.g. the NN
+    baselines; each worker then deserializes a private copy). Serving knobs
+    (``batch_size``, ``max_wait``, decode policy) mirror
+    :class:`~repro.runtime.multistream.MultiStreamEngine` and apply per
+    worker.
+
+    ``io_chunk`` is the pipe batching depth in handle mode: accesses per
+    worker message. Bigger chunks amortize the syscall + framing cost;
+    emissions arrive correspondingly later (a :meth:`flush_all` bounds the
+    wait, exactly like a micro-batch flush).
+
+    Use as a context manager (or call :meth:`close`) — the engine owns named
+    shared-memory segments that must be unlinked.
+    """
+
+    def __init__(
+        self,
+        model,
+        config: PreprocessConfig,
+        workers: int = 2,
+        batch_size: int = 64,
+        max_wait: int | None = None,
+        threshold: float = 0.5,
+        max_degree: int = 2,
+        decode: str = "distance",
+        io_chunk: int = 256,
+        serve_chunk: int = 2048,
+        name: str = "sharded",
+        start_method: str | None = None,
+        measure: bool = True,
+        latency_cycles: int = 0,
+        storage_bytes: float = 0.0,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if io_chunk < 1 or serve_chunk < 1:
+            raise ValueError("io_chunk / serve_chunk must be >= 1")
+        # Validate geometry + capture the artifact version before any process
+        # or segment exists (same refusal point as the in-process engines).
+        _, version = resolve_predictor(model, config)
+        self.config = config
+        self.workers = int(workers)
+        self.name = name
+        self.io_chunk = int(io_chunk)
+        self.serve_chunk = int(serve_chunk)
+        self.latency_cycles = int(latency_cycles)
+        self.storage_bytes = float(storage_bytes)
+        self._engine_kwargs = dict(
+            config=config,
+            threshold=threshold,
+            max_degree=max_degree,
+            decode=decode,
+            batch_size=int(batch_size),
+            max_wait=max_wait,
+        )
+        self.batch_size = int(batch_size)
+        self.max_wait = max_wait
+        self._measure = bool(measure)
+        import multiprocessing as mp
+
+        if start_method is None:
+            start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self._ctx = mp.get_context(start_method)
+        self.start_method = start_method
+        self._publications: list = []  # SharedTables this engine owns
+        self._model_spec = self._publish(model)
+        self._model_version = version
+        self._swaps = 0
+        self.last_swap_drained = 0
+        self._shards = [_Shard(i) for i in range(self.workers)]
+        self._handles: list[ShardHandle] = []
+        self._started = False
+        self._closed = False
+
+    # -------------------------------------------------------------- publishing
+    def _publish(self, model):
+        """Turn a swap/boot target into a worker-loadable model spec."""
+        from repro.runtime.artifact import ModelArtifact, is_model_artifact
+        from repro.tabularization.shm import publish_artifact
+        from repro.tabularization.tabular_model import TabularAttentionPredictor
+
+        if is_model_artifact(model) or isinstance(model, TabularAttentionPredictor):
+            if not is_model_artifact(model):
+                model = ModelArtifact(model)
+            pub = publish_artifact(model)
+            self._publications.append(pub)
+            return ("shm", pub.name)
+        try:
+            return ("pickle", pickle.dumps(model))
+        except Exception as exc:
+            raise TypeError(
+                f"cannot ship {type(model).__name__} to worker processes: "
+                f"not a tabular artifact (shared memory) and not picklable "
+                f"({exc})"
+            ) from exc
+
+    @property
+    def shm_bytes(self) -> int | None:
+        """Size of the live shared-memory segment (None for pickled models)."""
+        return self._publications[-1].nbytes if self._publications else None
+
+    # ------------------------------------------------------------ registration
+    def stream(self, name: str | None = None) -> ShardHandle:
+        """Register a new tenant stream (round-robin shard placement)."""
+        if self._closed:
+            raise ValueError("engine is closed")
+        index = len(self._handles)
+        shard = self._shards[index % self.workers]
+        handle = ShardHandle(
+            self, index, shard, len(shard.handles),
+            name or f"{self.name}[{index}]",
+        )
+        shard.handles.append(handle)
+        self._handles.append(handle)
+        if self._started:
+            self._send(shard, OP_REGISTER, 1)
+            self._expect(shard, REPLY_OK)
+        return handle
+
+    def streams(self, n: int, names=None) -> list[ShardHandle]:
+        if names is not None and len(names) != n:
+            raise ValueError("need one name per stream")
+        return [self.stream(names[i] if names else None) for i in range(n)]
+
+    @property
+    def n_streams(self) -> int:
+        return len(self._handles)
+
+    # ---------------------------------------------------------------- process
+    def start(self) -> None:
+        """Spawn the worker fleet (idempotent; implicit on first use)."""
+        if self._started:
+            return
+        if self._closed:
+            raise ValueError("engine is closed")
+        for shard in self._shards:
+            parent, child = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=_worker_serve_loop,
+                args=(shard.id, child, self._model_spec, self._engine_kwargs,
+                      self._measure),
+                name=f"{self.name}-w{shard.id}",
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            shard.process = proc
+            shard.conn = parent
+            shard.alive = True
+        self._started = True
+        for shard in self._shards:
+            if shard.handles:
+                self._send(shard, OP_REGISTER, len(shard.handles))
+                self._expect(shard, REPLY_OK)
+
+    def _fail(self, shard: _Shard, reason: str):
+        shard.alive = False
+        raise ShardFailure(
+            shard.id,
+            [h.index for h in shard.handles],
+            [h.name for h in shard.handles],
+            reason,
+        )
+
+    def _send(self, shard: _Shard, op: int, meta: int, payload: bytes = b"") -> None:
+        if not self._started:
+            self.start()
+        if not shard.alive:
+            self._fail(shard, "worker already failed")
+        try:
+            shard.conn.send_bytes(_HDR.pack(op, meta) + payload)
+        except (BrokenPipeError, OSError) as exc:
+            self._fail(shard, f"pipe send failed: {exc!r}")
+
+    def _recv(self, shard: _Shard, timeout: float | None = 60.0):
+        """Receive one reply; never hangs on a dead worker."""
+        conn = shard.conn
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                if conn.poll(0.05):
+                    msg = conn.recv_bytes()
+                    break
+            except (EOFError, OSError) as exc:
+                self._fail(shard, f"pipe closed: {exc!r}")
+            if shard.process is not None and not shard.process.is_alive():
+                try:  # drain a reply that raced the death
+                    if conn.poll(0):
+                        msg = conn.recv_bytes()
+                        break
+                except (EOFError, OSError):
+                    pass
+                self._fail(
+                    shard,
+                    f"worker process died (exit code {shard.process.exitcode})",
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                self._fail(shard, f"no reply within {timeout}s")
+        op, meta = _HDR.unpack_from(msg)
+        if op == REPLY_ERR:
+            self._fail(shard, msg[_HDR.size :].decode("utf-8", "replace"))
+        return op, meta, msg[_HDR.size :]
+
+    def _expect(self, shard: _Shard, want_op: int):
+        op, meta, payload = self._recv(shard)
+        if op != want_op:
+            self._fail(shard, f"protocol error: got opcode {op}, wanted {want_op}")
+        return meta, payload
+
+    # ----------------------------------------------------------------- serving
+    def _route(self, shard: _Shard, payload: bytes) -> int:
+        """Deliver a flat emission payload into the owning handles' outboxes."""
+        if not payload:
+            return 0
+        a = np.frombuffer(payload, dtype=np.int64)
+        i = 0
+        n = 0
+        size = a.size
+        while i < size:
+            lidx = int(a[i])
+            seq = int(a[i + 1])
+            nb = int(a[i + 2])
+            blocks = a[i + 3 : i + 3 + nb].tolist()
+            shard.handles[lidx]._outbox.append(Emission(seq, blocks))
+            i += 3 + nb
+            n += 1
+        return n
+
+    def _dispatch(self, shard: _Shard, deliver: bool = True) -> None:
+        """Ship a shard's buffered accesses and route the returned emissions."""
+        if not shard.sendbuf:
+            return
+        arr = np.asarray(shard.sendbuf, dtype=np.int64)
+        shard.sendbuf.clear()
+        self._send(shard, OP_ACCESS, 1 if deliver else 0, arr.tobytes())
+        _, payload = self._expect(shard, REPLY_EMISSIONS)
+        if deliver:
+            self._route(shard, payload)
+
+    def _ingest(self, handle: ShardHandle, pc: int, addr: int) -> None:
+        shard = self._shards[handle.shard_id]
+        shard.sendbuf.append((handle.local_index, int(pc), int(addr)))
+        if len(shard.sendbuf) >= self.io_chunk:
+            self._dispatch(shard)
+
+    def flush_all(self) -> None:
+        """Answer everything pending in every shard (one flush per worker)."""
+        if not self._started:
+            return
+        for shard in self._shards:
+            self._dispatch(shard)
+            self._send(shard, OP_FLUSH, 1)
+            _, payload = self._expect(shard, REPLY_EMISSIONS)
+            self._route(shard, payload)
+
+    def _reset_stream(self, handle: ShardHandle) -> None:
+        shard = self._shards[handle.shard_id]
+        shard.sendbuf = [
+            entry for entry in shard.sendbuf if entry[0] != handle.local_index
+        ]
+        if self._started:
+            self._send(shard, OP_RESET, handle.local_index)
+            self._expect(shard, REPLY_OK)
+
+    def reset(self) -> None:
+        """Reset every stream (worker predict counters persist, like in-process)."""
+        for shard in self._shards:
+            shard.sendbuf.clear()
+            if self._started:
+                self._send(shard, OP_RESET, -1)
+                self._expect(shard, REPLY_OK)
+        for handle in self._handles:
+            handle.seq = 0
+            handle._outbox = []
+
+    # -------------------------------------------------------------------- swap
+    def swap_model(self, model) -> None:
+        """Zero-downtime model replacement, broadcast to every shard.
+
+        Ordering guarantees (each is load-bearing, see DESIGN.md):
+
+        1. geometry is validated *before* anything is drained or published —
+           an incompatible artifact is refused while the old tables serve;
+        2. every buffered access is dispatched first, so the outgoing model
+           answers exactly the queries that preceded the swap;
+        3. the new segment is published before any worker hears about it;
+        4. the barrier (one drain-ack per worker) completes before the old
+           segment is unlinked — no worker can be left mid-attach on a
+           vanished name.
+
+        Emissions drained by the swap are delivered to their handles'
+        outboxes; a no-op swap is bit-identical to never swapping.
+        """
+        _, version = resolve_predictor(model, self.config)
+
+        def retire(old_pubs) -> None:
+            """Unlink a superseded generation (workers closed or died)."""
+            for pub in old_pubs:
+                self._publications.remove(pub)
+                pub.close()
+                pub.unlink()
+
+        # The outgoing generation stays tracked until the new one is safely
+        # published and broadcast — if anything below raises, close() can
+        # still unlink every segment that exists.
+        old_pubs = list(self._publications)
+        if not self._started:
+            # No fleet yet: just replace the boot spec (and its segment).
+            self._model_spec = self._publish(model)
+            retire(old_pubs)
+            self._model_version = version
+            self._swaps += 1
+            return
+        for shard in self._shards:
+            self._dispatch(shard)
+        spec = self._publish(model)
+        if spec[0] == "shm":
+            meta, payload = 2, spec[1].encode("utf-8")
+        else:
+            meta, payload = 2 | 1, spec[1]
+        # Broadcast + barrier. A shard that dies mid-broadcast must not
+        # desynchronize the survivors: their acks are still consumed (so the
+        # request-reply protocol stays in lockstep), the version counters
+        # advance (every *live* worker is on the new tables), and the first
+        # failure is re-raised once the barrier completes.
+        failures: list[ShardFailure] = []
+        sent: list[_Shard] = []
+        for shard in self._shards:
+            try:
+                self._send(shard, OP_SWAP, meta, payload)
+                sent.append(shard)
+            except ShardFailure as exc:
+                failures.append(exc)
+        drained = 0
+        for shard in sent:  # barrier: every surviving worker swapped
+            try:
+                d, body = self._expect(shard, REPLY_EMISSIONS)
+                drained += int(d)
+                self._route(shard, body)
+            except ShardFailure as exc:
+                failures.append(exc)
+        self.last_swap_drained = drained
+        self._model_spec = spec
+        self._model_version = version
+        self._swaps += 1
+        # Survivors closed their old mappings during the swap and a dead
+        # worker's mapping died with it, so the old generation unlinks now
+        # either way (POSIX keeps it alive for any straggling mapping).
+        retire(old_pubs)
+        if failures:
+            raise failures[0]
+
+    @property
+    def swaps(self) -> int:
+        return self._swaps
+
+    @property
+    def model_version(self) -> int | None:
+        return self._model_version
+
+    # ------------------------------------------------------------------- stats
+    def _worker_stats(self) -> list[dict]:
+        out = []
+        for shard in self._shards:
+            self._send(shard, OP_STATS, 0)
+            op, _, payload = self._recv(shard)
+            if op != REPLY_STATS:
+                self._fail(shard, f"protocol error: got opcode {op} for STATS")
+            out.append(pickle.loads(payload))
+        return out
+
+    @property
+    def predict_calls(self) -> int:
+        return self.stats()["predict_calls"]
+
+    @property
+    def queries_answered(self) -> int:
+        return self.stats()["queries_answered"]
+
+    def stats(self) -> dict:
+        """Aggregate serving counters across the whole fleet."""
+        if not self._started:
+            self.start()
+        per_worker = self._worker_stats()
+        calls = sum(w["engine"]["predict_calls"] for w in per_worker)
+        answered = sum(w["engine"]["queries_answered"] for w in per_worker)
+        return {
+            "workers": self.workers,
+            "streams": self.n_streams,
+            "batch_size": self.batch_size,
+            "max_wait": self.max_wait,
+            "model_copies": 1 if self._model_spec[0] == "shm" else self.workers,
+            "shm_bytes": self.shm_bytes,
+            "model_version": self._model_version,
+            "swaps": self._swaps,
+            "predict_calls": calls,
+            "queries_answered": answered,
+            "mean_batch_fill": (answered / calls) if calls else 0.0,
+            "start_method": self.start_method,
+        }
+
+    # ------------------------------------------------------------- serve loop
+    def serve(
+        self, sources, collect: bool = False
+    ) -> tuple[StreamStats, list[StreamStats], list[list[list[int]]] | None]:
+        """Drive one source per stream through the fleet; mirrored on
+        :func:`~repro.runtime.multistream.serve_interleaved`.
+
+        Accesses are pre-partitioned per shard and shipped in
+        ``serve_chunk``-sized frames — all shards receive their chunk before
+        any reply is read, so the workers' predicts overlap in wall-clock.
+        Per-access latency is measured inside each worker (pipe transit
+        excluded, predict cost included) and the sketches are merged here;
+        ``seconds``/throughput is the frontend's wall clock over the whole
+        run. Returns ``(aggregate, per_stream, lists)``.
+        """
+        if self.n_streams == 0:
+            self.streams(len(sources))
+        if len(sources) != self.n_streams:
+            raise ValueError(
+                f"need one source per stream ({self.n_streams} registered, "
+                f"{len(sources)} sources)"
+            )
+        self.start()
+        self.reset()
+        # Materialize each stream as (pc, addr) int64 columns.
+        cols: list[np.ndarray] = []
+        for src in sources:
+            if hasattr(src, "pcs") and hasattr(src, "addrs"):
+                pcs = np.asarray(src.pcs, dtype=np.int64)
+                addrs = np.asarray(src.addrs, dtype=np.int64)
+            else:
+                pairs = np.asarray(list(access_pairs(src)), dtype=np.int64)
+                pairs = pairs.reshape(-1, 2)
+                pcs, addrs = pairs[:, 0], pairs[:, 1]
+            cols.append(np.stack([pcs, addrs], axis=1))
+        # Per shard: one (k, 3) frame stream, streams interleaved round-robin
+        # by per-stream position (the order serve_interleaved would feed them).
+        merged: list[np.ndarray] = []
+        for shard in self._shards:
+            parts, pos = [], []
+            for h in shard.handles:
+                c = cols[h.index]
+                part = np.empty((len(c), 3), dtype=np.int64)
+                part[:, 0] = h.local_index
+                part[:, 1:] = c
+                parts.append(part)
+                pos.append(np.arange(len(c), dtype=np.int64))
+            if not parts:
+                merged.append(np.empty((0, 3), dtype=np.int64))
+                continue
+            allrows = np.concatenate(parts)
+            order = np.lexsort((allrows[:, 0], np.concatenate(pos)))
+            merged.append(allrows[order])
+        lists: list[list[list[int]]] | None = (
+            [[[] for _ in range(len(cols[g]))] for g in range(self.n_streams)]
+            if collect
+            else None
+        )
+
+        def consume_outboxes():
+            if not collect:
+                return
+            for handle in self._handles:
+                for em in handle.poll():
+                    lists[handle.index][em.seq] = list(em.blocks)
+
+        cursors = [0] * self.workers
+        chunk = self.serve_chunk
+        t0 = time.perf_counter()
+        while True:
+            active = [
+                s for s in self._shards if cursors[s.id] < len(merged[s.id])
+            ]
+            if not active:
+                break
+            for shard in active:  # send everyone's chunk first…
+                lo = cursors[shard.id]
+                hi = min(lo + chunk, len(merged[shard.id]))
+                cursors[shard.id] = hi
+                self._send(
+                    shard, OP_ACCESS, 1 if collect else 0,
+                    merged[shard.id][lo:hi].tobytes(),
+                )
+            for shard in active:  # …then collect replies (compute overlapped)
+                _, payload = self._expect(shard, REPLY_EMISSIONS)
+                if collect:
+                    self._route(shard, payload)
+            consume_outboxes()
+        for shard in self._shards:
+            self._send(shard, OP_FLUSH, 1 if collect else 0)
+            _, payload = self._expect(shard, REPLY_EMISSIONS)
+            if collect:
+                self._route(shard, payload)
+        consume_outboxes()
+        seconds = time.perf_counter() - t0
+
+        per_worker = self._worker_stats()
+        per_stream: list[StreamStats] = [None] * self.n_streams  # type: ignore
+        sketch_states = []
+        for shard, wstats in zip(self._shards, per_worker):
+            for h, s in zip(shard.handles, wstats["streams"]):
+                sk = _LatencySketch.merge([s["sketch"]])
+                sketch_states.append(s["sketch"])
+                per_stream[h.index] = sk.to_stats(
+                    h.name, s["accesses"], s["prefetches"], seconds,
+                    {"stream": h.index, "shard": shard.id,
+                     "latency_count": sk.count},
+                )
+        agg_sketch = _LatencySketch.merge(sketch_states)
+        aggregate = agg_sketch.to_stats(
+            f"{self.n_streams}-stream/{self.workers}-worker",
+            sum(s.accesses for s in per_stream),
+            sum(s.prefetches for s in per_stream),
+            seconds,
+            {"streams": self.n_streams, "workers": self.workers,
+             "latency_count": agg_sketch.count},
+        )
+        return aggregate, per_stream, lists
+
+    # ---------------------------------------------------------------- lifetime
+    def close(self) -> None:
+        """Stop the fleet and unlink every segment this engine published.
+
+        Idempotent, and deliberately tolerant: a worker that already died
+        (crash injection, kill -9) is reaped with ``terminate``/``kill``, and
+        segment unlinking runs regardless — no name leaks into ``/dev/shm``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            if shard.conn is None:
+                continue
+            if shard.alive and shard.process is not None and shard.process.is_alive():
+                try:
+                    shard.conn.send_bytes(_HDR.pack(OP_SHUTDOWN, 0))
+                    if shard.conn.poll(1.0):
+                        shard.conn.recv_bytes()
+                except (BrokenPipeError, EOFError, OSError):
+                    pass
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+            shard.alive = False
+        for shard in self._shards:
+            proc = shard.process
+            if proc is None:
+                continue
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+            if proc.is_alive():  # pragma: no cover - last resort
+                proc.kill()
+                proc.join(timeout=1.0)
+        for pub in self._publications:
+            try:
+                pub.close()
+            except BufferError:  # pragma: no cover
+                pass
+            pub.unlink()
+        self._publications = []
+
+    def __enter__(self) -> "ShardedEngine":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

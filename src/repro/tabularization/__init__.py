@@ -54,12 +54,24 @@ from repro.tabularization.serialization import (  # noqa: E402
     load_tabular_model,
     save_tabular_model,
 )
+from repro.tabularization.shm import (  # noqa: E402
+    SharedTables,
+    attach_artifact,
+    attach_state,
+    publish_artifact,
+    publish_state,
+)
 
 __all__ += [
     "FORMAT_VERSION",
     "FusedFunctionTable",
+    "SharedTables",
+    "attach_artifact",
+    "attach_state",
     "config_fingerprint",
     "load_tabular_model",
+    "publish_artifact",
+    "publish_state",
     "save_tabular_model",
     "export_packed",
     "import_packed",

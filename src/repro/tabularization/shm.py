@@ -1,0 +1,274 @@
+"""Zero-copy publication of table hierarchies via POSIX shared memory.
+
+The tables are strictly read-only at inference time (every query kernel is a
+gather + sum; nothing writes back), which makes them the ideal payload for
+`multiprocessing.shared_memory`: one process **publishes** a
+:class:`~repro.runtime.artifact.ModelArtifact` into a named segment, any
+number of worker processes **attach** and reconstruct the full
+:class:`TabularAttentionPredictor` as read-only ndarray *views* into the same
+physical pages — W workers cost one copy of the hierarchy, not W.
+
+Segment layout (one contiguous block)::
+
+    MAGIC (8 bytes) | manifest length (uint64 LE) | JSON manifest | payload
+
+The manifest maps every serialization key (the same flat key space
+:mod:`repro.tabularization.serialization` writes to ``.npz``) to a
+``(dtype, shape, offset)`` triple; arrays start 64-byte aligned. Attaching
+re-runs the *serialization layer's own validation* — ``format/version``
+header, ``format/config_hash`` fingerprint and the per-config key manifest —
+so a stale or foreign segment fails with the same named errors a bad ``.npz``
+would, before any kernel is built.
+
+Zero-copy depends on one property of the reconstruction path:
+``np.ascontiguousarray`` on an already-contiguous array returns the array
+itself. Every array is written contiguously here, so
+:func:`~repro.tabularization.serialization.model_from_state` builds kernels
+whose tables *are* the shared pages (pinned by ``tests/test_shm.py``).
+
+Lifetime: the publisher owns the segment name and must eventually
+:meth:`~SharedTables.unlink` it (``ShardedEngine.close`` does); attachers
+:meth:`~SharedTables.close` their mapping once the model built from it is
+dropped. Worker processes spawned through ``multiprocessing`` share the
+publisher's resource tracker, so attaches register no duplicate claims and a
+crashed publisher's segments are still reaped at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import json
+import secrets
+from multiprocessing import shared_memory
+
+import numpy as np
+
+MAGIC = b"DARTSHM1"
+_HEADER = len(MAGIC) + 8  # magic + uint64 manifest length
+_ALIGN = 64
+
+
+def _new_segment_name() -> str:
+    """A fresh, collision-improbable POSIX shm name (``/dev/shm/dart-…``)."""
+    return f"dart-{secrets.token_hex(6)}"
+
+
+class SharedTables:
+    """A published or attached shared-memory segment of named arrays.
+
+    Construct through :func:`publish_state` / :func:`attach_state` (or the
+    artifact-level wrappers). ``owner`` marks the publisher: only the owner
+    unlinks on context-manager exit; attachers merely close their mapping.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, manifest: dict, owner: bool):
+        self._shm = shm
+        self.manifest = manifest
+        self.owner = owner
+        self.name = shm.name
+        #: total segment size in bytes (header + manifest + payload)
+        self.nbytes = int(manifest["total"])
+        self._views: dict[str, np.ndarray] | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ views
+    def state(self) -> dict[str, np.ndarray]:
+        """Read-only ndarray views over the segment, keyed like a state dict.
+
+        Views share the segment's physical pages (zero-copy) and are marked
+        non-writeable; mutating one raises. Keep this object alive as long as
+        anything built from the views is in use.
+        """
+        if self._closed:
+            raise ValueError(f"shared tables {self.name!r} are closed")
+        if self._views is None:
+            views: dict[str, np.ndarray] = {}
+            buf = self._shm.buf
+            for key, spec in self.manifest["arrays"].items():
+                arr = np.ndarray(
+                    tuple(spec["shape"]),
+                    dtype=np.dtype(spec["dtype"]),
+                    buffer=buf,
+                    offset=int(spec["offset"]),
+                )
+                arr.flags.writeable = False
+                views[key] = arr
+            self._views = views
+        return self._views
+
+    def keys(self) -> list[str]:
+        return list(self.manifest["arrays"])
+
+    # --------------------------------------------------------------- lifetime
+    def close(self) -> None:
+        """Release this process's mapping (safe to call twice).
+
+        Any ndarray views handed out must be dropped first; NumPy pins the
+        underlying buffer, and closing an exported mmap raises
+        ``BufferError`` — surfaced as-is because silently leaking the mapping
+        would be worse.
+        """
+        if self._closed:
+            return
+        self._views = None
+        self._shm.close()
+        self._closed = True
+
+    def unlink(self) -> None:
+        """Remove the segment name from the system (idempotent).
+
+        Existing mappings stay valid until each process closes; new attaches
+        fail with ``FileNotFoundError``.
+        """
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedTables":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        if self.owner:
+            self.unlink()
+
+
+# -------------------------------------------------------------- state level
+def _payload_base(manifest_len: int) -> int:
+    """Aligned offset where the payload starts, given the manifest's length.
+
+    Derived identically by publisher and attacher, so the manifest can store
+    payload-relative offsets and never depend on its own serialized size.
+    """
+    return -(-(_HEADER + manifest_len) // _ALIGN) * _ALIGN
+
+
+def publish_state(
+    state: dict[str, np.ndarray], name: str | None = None
+) -> SharedTables:
+    """Write a flat state dict into a fresh named shared-memory segment."""
+    arrays: dict[str, dict] = {}
+    offset = 0  # relative to the payload base
+    prepared: dict[str, np.ndarray] = {}
+    for key in state:
+        arr = np.ascontiguousarray(state[key])
+        prepared[key] = arr
+        offset = -(-offset // _ALIGN) * _ALIGN  # align each array
+        arrays[key] = {
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "offset": offset,
+        }
+        offset += arr.nbytes
+    manifest = {"format": 1, "arrays": arrays, "payload_bytes": offset}
+    blob = json.dumps(manifest, sort_keys=True).encode("utf-8")
+    base = _payload_base(len(blob))
+    manifest["total"] = base + offset  # for introspection; not load-bearing
+    shm = shared_memory.SharedMemory(
+        create=True, size=max(base + offset, 1), name=name or _new_segment_name()
+    )
+    try:
+        buf = shm.buf
+        buf[: len(MAGIC)] = MAGIC
+        buf[len(MAGIC) : _HEADER] = len(blob).to_bytes(8, "little")
+        buf[_HEADER : _HEADER + len(blob)] = blob
+        for key, spec in arrays.items():
+            arr = prepared[key]
+            spec["offset"] += base  # absolute, for the in-memory manifest
+            if arr.nbytes:
+                dst = np.ndarray(
+                    arr.shape, dtype=arr.dtype, buffer=buf, offset=spec["offset"]
+                )
+                dst[...] = arr
+                del dst
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    return SharedTables(shm, manifest, owner=True)
+
+
+def attach_state(name: str) -> SharedTables:
+    """Map an existing segment read-only; validates the container framing."""
+    # NOTE on the resource tracker: worker processes spawned/forked via
+    # multiprocessing share the publisher's tracker, whose registry is a set —
+    # re-registering the name here is a no-op and the publisher's unlink
+    # removes the single entry. (Unregistering here instead would clobber the
+    # publisher's registration and crash the tracker on unlink.)
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        buf = shm.buf
+        if bytes(buf[: len(MAGIC)]) != MAGIC:
+            raise ValueError(
+                f"shared-memory segment {name!r} is not a DART table segment "
+                f"(bad magic)"
+            )
+        mlen = int.from_bytes(bytes(buf[len(MAGIC) : _HEADER]), "little")
+        if _HEADER + mlen > shm.size:
+            raise ValueError(
+                f"shared-memory segment {name!r} is truncated "
+                f"(manifest claims {mlen} bytes, segment holds {shm.size})"
+            )
+        manifest = json.loads(bytes(buf[_HEADER : _HEADER + mlen]).decode("utf-8"))
+        if manifest.get("format") != 1:
+            raise ValueError(
+                f"shared-memory segment {name!r} uses manifest format "
+                f"{manifest.get('format')!r}; this build reads format 1"
+            )
+        base = _payload_base(mlen)
+        manifest["total"] = base + int(manifest["payload_bytes"])
+        for key, spec in manifest["arrays"].items():
+            spec["offset"] = int(spec["offset"]) + base  # rebase to absolute
+            end = spec["offset"] + int(
+                np.dtype(spec["dtype"]).itemsize
+                * int(np.prod(spec["shape"], dtype=np.int64))
+            )
+            if end > shm.size:
+                raise ValueError(
+                    f"shared-memory segment {name!r} is truncated: array "
+                    f"{key!r} extends past the mapped size"
+                )
+    except BaseException:
+        shm.close()
+        raise
+    return SharedTables(shm, manifest, owner=False)
+
+
+# ----------------------------------------------------------- artifact level
+def publish_artifact(artifact, name: str | None = None) -> SharedTables:
+    """Publish a :class:`ModelArtifact`'s full state into shared memory.
+
+    The segment carries the exact key set ``artifact.save`` would write to
+    disk — serialization header (``format/version``, ``format/config_hash``),
+    model/table config blocks, every kernel array, and the artifact's
+    version/metadata — so attachers revalidate it like any other blob.
+    """
+    from repro.runtime.artifact import ModelArtifact, is_model_artifact
+
+    if not is_model_artifact(artifact):
+        artifact = ModelArtifact(artifact)
+    return publish_state(artifact.state(), name=name)
+
+
+def attach_artifact(name: str):
+    """Attach a published artifact; returns ``(ModelArtifact, SharedTables)``.
+
+    The returned model's tables are zero-copy read-only views into the
+    segment: keep the :class:`SharedTables` open for as long as the model
+    serves, and :meth:`~SharedTables.close` it only after dropping the model.
+    Validation is the serialization layer's own: header version, config
+    fingerprint, and the per-config required-key manifest all run before any
+    kernel is constructed.
+    """
+    from repro.runtime.artifact import ModelArtifact
+    from repro.tabularization.serialization import validate_state_header
+
+    tables = attach_state(name)
+    try:
+        state = tables.state()
+        validate_state_header(state)
+        artifact = ModelArtifact.from_state(state)
+    except BaseException:
+        tables.close()
+        raise
+    return artifact, tables

@@ -116,6 +116,42 @@ def test_stream_cores_serves_interleaved_shards(tmp_path, capsys):
     )
 
 
+def test_stream_workers_serves_sharded(tabular_student, tmp_path, capsys):
+    """``stream --workers 2`` runs the multi-process engine end to end, with
+    the bit-identity gate (--compare-batch) and a JSON artifact."""
+    import json
+
+    tab, _ = tabular_student
+    tables = tmp_path / "tables.npz"
+    save_tabular_model(tab, tables)
+    out = tmp_path / "sharded.json"
+    rc = main(
+        ["stream", "--workload", "462.libquantum", "--scale", "0.02",
+         "--prefetcher", "dart", "--tables", str(tables),
+         "--workers", "2", "--cores", "4", "--batch-size", "32",
+         "--compare-batch", "--json", str(out)]
+    )
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "2 worker" in text and "bit-identical to solo batch" in text
+    record = json.loads(out.read_text())
+    assert record["identical_to_batch"] is True
+    assert record["workers"] == 2 and record["cores"] == 4
+    assert record["engine"]["model_copies"] == 1
+    assert record["engine"]["shm_bytes"] > 0
+    assert len(record["per_stream"]) == 4
+
+
+def test_stream_workers_flag_validation():
+    with pytest.raises(SystemExit):
+        main(["stream", "--workers", "0", "--prefetcher", "bo"])
+    with pytest.raises(SystemExit):  # rule-based prefetchers cannot shard
+        main(["stream", "--workers", "2", "--prefetcher", "bo", "--scale", "0.01"])
+    with pytest.raises(SystemExit):  # sharding already shares the model
+        main(["stream", "--workers", "2", "--cores", "2", "--share-model",
+              "--prefetcher", "dart", "--scale", "0.01"])
+
+
 def test_stream_share_model_requires_model_backed():
     with pytest.raises(SystemExit):
         main(

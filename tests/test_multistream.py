@@ -245,6 +245,23 @@ def test_multicore_shared_model_validation(dart, four_traces):
         simulate_multicore([four_traces[0]], shared_prefetcher=NextLinePrefetcher())
 
 
+def test_aggregate_latency_counts_equal_sum_of_streams(dart, four_traces):
+    """Regression: the aggregate sketch counts each timed delivery exactly
+    once per stream — the end-of-run drain included, even when every stream
+    ends on the same tick and the first handle's drain flush answers all of
+    them (the others then deliver from their outboxes).
+    """
+    # Equal-length traces ending on the same tick, batch size large enough
+    # that a full batch worth of queries is still pending at the drain.
+    traces = [t.slice(0, 300) for t in four_traces]
+    engine = dart.multistream(batch_size=4096)
+    agg, per_stream, _ = serve_interleaved(engine.streams(4), traces)
+    counts = [s.extra["latency_count"] for s in per_stream]
+    assert agg.extra["latency_count"] == sum(counts), (agg.extra, counts)
+    # Every access was timed, plus exactly one drain-delivery per stream.
+    assert counts == [300 + 1] * 4
+
+
 def test_max_wait_deadline_bounds_pending_per_stream(dart, four_traces):
     engine = dart.multistream(batch_size=512, max_wait=16)
     handles = engine.streams(2)

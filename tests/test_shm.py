@@ -1,0 +1,168 @@
+"""Property/fuzz tests for the zero-copy shared-memory table layer.
+
+The contract under test: any state dict (and in particular any
+``TableConfig`` geometry's artifact) round-trips through
+:mod:`repro.tabularization.shm` bit-for-bit, the reconstructed views are
+genuinely zero-copy **and** read-only, and validation failures carry named
+errors instead of deep shape errors.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.runtime.artifact import ModelArtifact
+from repro.tabularization import TableConfig, tabularize_predictor
+from repro.tabularization.shm import (
+    attach_artifact,
+    attach_state,
+    publish_artifact,
+    publish_state,
+)
+
+DTYPES = [np.float64, np.float32, np.int64, np.int32, np.uint8, np.bool_]
+
+
+def random_state(rng: np.random.Generator) -> dict[str, np.ndarray]:
+    """A random flat state dict: nested keys, mixed dtypes/shapes, empties."""
+    state = {}
+    for i in range(int(rng.integers(1, 12))):
+        depth = int(rng.integers(1, 4))
+        key = "/".join(f"k{int(rng.integers(0, 10))}" for _ in range(depth)) + f"/{i}"
+        dtype = DTYPES[int(rng.integers(0, len(DTYPES)))]
+        ndim = int(rng.integers(1, 4))
+        shape = tuple(int(rng.integers(0, 9)) for _ in range(ndim))
+        arr = (rng.normal(size=shape) * 100).astype(dtype)
+        state[key] = arr
+    return state
+
+
+# ------------------------------------------------------------------ fuzzing
+@pytest.mark.parametrize("seed", range(6))
+def test_random_state_roundtrip(seed):
+    rng = np.random.default_rng(1000 + seed)
+    state = random_state(rng)
+    with publish_state(state) as pub:
+        att = attach_state(pub.name)
+        views = att.state()
+        assert sorted(views) == sorted(state)
+        for key, arr in state.items():
+            assert views[key].dtype == arr.dtype, key
+            assert views[key].shape == arr.shape, key
+            assert np.array_equal(views[key], arr), key
+            assert not views[key].flags.writeable, key
+        att.close()
+    with pytest.raises(FileNotFoundError):  # owner exit unlinked the name
+        attach_state(pub.name)
+
+
+def test_views_are_read_only_and_zero_copy():
+    state = {"t": np.arange(24, dtype=np.float64).reshape(4, 6)}
+    with publish_state(state) as pub:
+        att = attach_state(pub.name)
+        view = att.state()["t"]
+        with pytest.raises(ValueError):
+            view[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            view += 1.0
+        # The reconstruction path relies on this: ascontiguousarray on an
+        # attached view must NOT copy (otherwise W workers pay W copies).
+        assert np.ascontiguousarray(view) is view
+        assert np.shares_memory(view, np.asarray(view))
+        del view
+        att.close()
+
+
+# ----------------------------------------------------------------- artifact
+def test_artifact_roundtrip_bit_identical(tabular_student, small_dataset):
+    tab, _ = tabular_student
+    artifact = ModelArtifact(tab, version=7, metadata={"trained_on": "fixture"})
+    with publish_artifact(artifact) as pub:
+        got, tables = attach_artifact(pub.name)
+        assert got.version == 7
+        assert got.metadata["trained_on"] == "fixture"
+        assert got.config_hash == artifact.config_hash
+        x_addr, x_pc = small_dataset.x_addr[:32], small_dataset.x_pc[:32]
+        want = tab.predict_proba(x_addr, x_pc, batch_size=16)
+        have = got.model.predict_proba(x_addr, x_pc, batch_size=16)
+        assert np.array_equal(want, have)
+        # Kernel tables are views straight into the segment: read-only.
+        assert not got.model.addr_table.table.flags.writeable
+        assert not got.model.layers[0].msa.attn.qk_table.flags.writeable
+        del got, have
+        tables.close()
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_random_table_geometries_roundtrip(seed, trained_student, split_dataset):
+    """Non-uniform, randomly drawn TableConfig geometries survive the trip."""
+    rng = np.random.default_rng(7000 + seed)
+    ds_train, _ = split_dataset
+    ks = [8, 16, 32]
+    tc = TableConfig(
+        k_input=int(rng.choice(ks)), c_input=int(rng.choice([1, 2])),
+        k_attn=int(rng.choice(ks)), c_attn=int(rng.choice([1, 2])),
+        k_ffn=int(rng.choice(ks)), c_ffn=int(rng.choice([1, 2, 4])),
+        k_output=int(rng.choice(ks)), c_output=int(rng.choice([1, 2])),
+        encoder="hash" if seed % 2 else "exact",
+    )
+    model, _ = tabularize_predictor(
+        trained_student, ds_train.x_addr[:256], ds_train.x_pc[:256], tc,
+        fine_tune=False, rng=seed,
+    )
+    with publish_artifact(ModelArtifact(model)) as pub:
+        got, tables = attach_artifact(pub.name)
+        assert got.table_config == tc
+        x_addr, x_pc = ds_train.x_addr[:16], ds_train.x_pc[:16]
+        assert np.array_equal(
+            model.predict_proba(x_addr, x_pc, batch_size=8),
+            got.model.predict_proba(x_addr, x_pc, batch_size=8),
+        )
+        del got
+        tables.close()
+
+
+# --------------------------------------------------------------- validation
+def test_attach_rejects_foreign_segment():
+    shm = shared_memory.SharedMemory(create=True, size=256)
+    try:
+        shm.buf[:8] = b"NOTDART!"
+        with pytest.raises(ValueError, match="bad magic"):
+            attach_state(shm.name)
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def test_attach_rejects_truncated_manifest():
+    shm = shared_memory.SharedMemory(create=True, size=64)
+    try:
+        from repro.tabularization.shm import MAGIC
+
+        shm.buf[:8] = MAGIC
+        shm.buf[8:16] = (1 << 20).to_bytes(8, "little")  # absurd manifest len
+        with pytest.raises(ValueError, match="truncated"):
+            attach_state(shm.name)
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def test_attach_artifact_requires_serialization_header():
+    # A structurally valid segment that is not a model blob must fail with
+    # the serialization layer's own named error, not a KeyError.
+    with publish_state({"some/array": np.zeros(3)}) as pub:
+        with pytest.raises(ValueError, match="format/version"):
+            attach_artifact(pub.name)
+
+
+def test_attach_artifact_rejects_tampered_config(tabular_student):
+    tab, _ = tabular_student
+    state = ModelArtifact(tab).state()
+    state["format/config_hash"] = np.array([12345], dtype=np.int64)
+    with publish_state(state) as pub:
+        with pytest.raises(ValueError, match="hash"):
+            attach_artifact(pub.name)
