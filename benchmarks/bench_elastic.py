@@ -1,0 +1,192 @@
+"""Elastic sharded serving: migration pause, rescale drain, identity gate.
+
+Not a paper figure — the churn check for the runtime: a sharded fleet must
+absorb the full elastic lifecycle (mid-serve admission, live migration,
+worker rescale, tenant close) without changing a single emission, and the
+disruption each op causes must stay bounded. Three bars:
+
+* **emission identity** — every stream's emissions across the whole churn
+  scenario must equal the batch ``prefetch_lists`` oracle (the gate that
+  keeps elasticity from changing answers);
+* **migration pause** — the snapshot carries at most one flush batch of
+  pending queries per migrated stream (``pending <= B``), and the wall-clock
+  pause per migration is recorded (p50/p99/max);
+* **rescale drain** — growing and shrinking the fleet is timed; a shrink
+  migrates every affected stream and must preserve identity.
+
+Run standalone (writes the ``BENCH_elastic.json`` trajectory artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_elastic.py --accesses 4000
+
+``--smoke`` (CI) shrinks to 4 streams x ~1.2k accesses. Future PRs compare
+their numbers against the committed history of this artifact; keep the
+workload/seed stable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from bench_sharded import build_dart, make_streams
+
+from repro.utils import log
+
+
+def run(
+    accesses: int,
+    n_streams: int,
+    workers: int,
+    batch_size: int,
+    max_wait: int,
+    output: str | None,
+    seed: int = 2,
+) -> dict:
+    traces = make_streams(n_streams, accesses, seed)
+    dart = build_dart(traces[0])
+    oracles = [dart.prefetch_lists(t) for t in traces]
+
+    engine = dart.sharded(
+        workers=workers, batch_size=batch_size, max_wait=max_wait, io_chunk=64
+    )
+    migration_pauses: list[float] = []
+    pending_carried: list[int] = []
+    rescales: list[dict] = []
+    collected: list[dict] = [{} for _ in range(n_streams)]
+    perf = time.perf_counter
+
+    with engine:
+        handles = [engine.open_stream(f"tenant[{i}]") for i in range(n_streams)]
+
+        def pump(lo: int, hi: int) -> None:
+            for i in range(lo, hi):
+                for k, h in enumerate(handles):
+                    for em in h.ingest(int(traces[k].pcs[i]), int(traces[k].addrs[i])):
+                        collected[k][em.seq] = list(em.blocks)
+
+        t0 = perf()
+        # Phase 1: serve, live-migrating every stream once mid-flight.
+        step = max(accesses // (2 * n_streams), 1)
+        cursor = 0
+        for k, h in enumerate(handles):
+            pump(cursor, min(cursor + step, accesses // 2))
+            cursor = min(cursor + step, accesses // 2)
+            t_mig = perf()
+            info = engine.migrate_stream(h, (h.shard_id + 1) % engine.workers)
+            migration_pauses.append(perf() - t_mig)
+            pending_carried.append(info["pending"])
+        pump(cursor, accesses // 2)
+
+        # Phase 2: rescale up, spread tenants onto the new workers, serve,
+        # rescale back down (the drain now genuinely migrates streams).
+        t_r = perf()
+        grow = engine.rescale(workers + 2)
+        rescales.append({"kind": "grow", **grow, "wall_seconds": perf() - t_r})
+        for k, h in enumerate(handles[: n_streams // 2]):
+            t_mig = perf()
+            info = engine.migrate_stream(h, workers + (k % 2))
+            migration_pauses.append(perf() - t_mig)
+            pending_carried.append(info["pending"])
+        pump(accesses // 2, 3 * accesses // 4)
+        t_r = perf()
+        shrink = engine.rescale(workers)
+        rescales.append({"kind": "shrink", **shrink, "wall_seconds": perf() - t_r})
+        pump(3 * accesses // 4, accesses)
+
+        # Phase 3: close every tenant (drains pending) and gate identity.
+        for k, h in enumerate(handles):
+            for em in engine.close_stream(h):
+                collected[k][em.seq] = list(em.blocks)
+        seconds = perf() - t0
+        stats = engine.stats()
+
+    identical = all(
+        [collected[k].get(s) for s in range(accesses)] == oracles[k][:accesses]
+        for k in range(n_streams)
+    )
+    pauses_us = sorted(p * 1e6 for p in migration_pauses)
+
+    def pct(q: float) -> float:
+        return pauses_us[min(len(pauses_us) - 1, int(round(q * (len(pauses_us) - 1))))]
+
+    pause_bound_ok = all(p <= batch_size for p in pending_carried)
+    record = {
+        "workload": "462.libquantum",
+        "seed": seed,
+        "streams": n_streams,
+        "accesses_per_stream": accesses,
+        "workers": workers,
+        "batch_size": batch_size,
+        "max_wait": max_wait,
+        "seconds": seconds,
+        "throughput": n_streams * accesses / seconds if seconds else 0.0,
+        "migrations": len(migration_pauses),
+        "migration_pause_p50_us": pct(0.50),
+        "migration_pause_p99_us": pct(0.99),
+        "migration_pause_max_us": max(pauses_us),
+        "pending_carried_max": max(pending_carried),
+        "pending_carried_bound": batch_size,
+        "migration_pause_bounded_by_one_flush": pause_bound_ok,
+        "rescales": rescales,
+        "engine_elastic": stats["elastic"],
+        "identical_to_batch": identical,
+    }
+    record["pass"] = identical and pause_bound_ok
+
+    log.table(
+        f"elastic churn over {n_streams} streams ({accesses:,} accesses each, "
+        f"W={workers}->{workers + 2}->{workers}, B={batch_size})",
+        ["metric", "value"],
+        [
+            ["migrations", str(len(migration_pauses))],
+            ["migration pause p50/p99/max us",
+             f"{pct(0.5):.0f} / {pct(0.99):.0f} / {max(pauses_us):.0f}"],
+            ["pending carried max (bound B)",
+             f"{max(pending_carried)} (<= {batch_size}: {pause_bound_ok})"],
+            ["rescale grow wall s", f"{rescales[0]['wall_seconds']:.3f}"],
+            ["rescale shrink wall s (drains "
+             f"{len(rescales[1]['migrated'])} streams)",
+             f"{rescales[1]['wall_seconds']:.3f}"],
+            ["bit-identical to batch", str(identical)],
+        ],
+    )
+    verdict = "PASS" if record["pass"] else "FAIL"
+    print(
+        f"[{verdict}] identity={identical}, migration pause <= one flush "
+        f"batch: {pause_bound_ok} (max {max(pending_carried)}/{batch_size} "
+        f"queries, p99 {pct(0.99):.0f} us)"
+    )
+    if output:
+        with open(output, "w", encoding="utf-8") as f:
+            json.dump(record, f, indent=2, sort_keys=True)
+        print(f"wrote {output}")
+    return record
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--accesses", type=int, default=4000, help="per stream")
+    ap.add_argument("--streams", type=int, default=8)
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--batch-size", type=int, default=64)
+    ap.add_argument("--max-wait", type=int, default=16)
+    ap.add_argument("--seed", type=int, default=2)
+    ap.add_argument("--output", "-o", default="BENCH_elastic.json")
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny CI run: 4 streams, ~1.2k accesses")
+    args = ap.parse_args(argv)
+    if args.smoke:
+        args.accesses = 1200
+        args.streams = 4
+        args.batch_size = 16
+        args.max_wait = 4
+    record = run(
+        args.accesses, args.streams, args.workers, args.batch_size,
+        args.max_wait, args.output, seed=args.seed,
+    )
+    return 0 if record["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,9 @@ Subcommands mirror a deployment workflow:
   (concurrent streams); ``--share-model`` serves them all from one shared
   model engine with cross-stream micro-batching; ``--workers W`` scales out
   across W OS worker processes with the tables mapped zero-copy from shared
-  memory. With ``--adapt`` (plus
+  memory, and ``--churn`` runs the elastic scenario on that fleet (mid-serve
+  stream admission/close, live migration, worker rescale, a hot swap — with
+  a bit-identity gate against the batch path). With ``--adapt`` (plus
   ``--student`` from ``train --save-student``) the engine monitors the
   stream for drift, re-fits the tables on the recent window, and hot-swaps
   them without dropping an emission.
@@ -339,6 +341,105 @@ def _stream_many(args) -> int:
     return 0
 
 
+def _stream_churn(args) -> int:
+    """``stream --workers W --churn``: the elastic serving scenario.
+
+    Serves N trace shards through a sharded fleet while injecting the full
+    elastic lifecycle at scripted points — grow the fleet, live-migrate a
+    stream, hot-swap the model (version bump), shrink back, admit a late
+    tenant, close everything — and gates the run on bit-identity against the
+    batch path. This is the CLI face of ``tests/test_elastic.py``.
+    """
+    import json
+
+    from repro.traces import load_any, make_workload
+
+    n = args.cores if args.cores > 1 else max(args.workers, 2)
+    trace = load_any(args.trace) if args.trace else make_workload(
+        args.workload, scale=args.scale, seed=args.seed
+    )
+    bounds = [round(i * len(trace) / (n + 1)) for i in range(n + 2)]
+    shards = [trace.slice(bounds[i], bounds[i + 1]) for i in range(n + 1)]
+    late_shard = shards.pop()  # admitted mid-serve
+    trace_label = args.trace or args.workload
+
+    pf = _make_prefetcher(args.prefetcher, args.tables)
+    if pf is None or not hasattr(pf, "sharded"):
+        raise SystemExit("--churn needs a model-backed prefetcher (--prefetcher dart)")
+    engine = pf.sharded(
+        workers=args.workers, batch_size=args.batch_size, max_wait=args.max_wait
+    )
+    events: list[dict] = []
+    length = min(len(s) for s in shards)
+    marks = {
+        length // 4: ("rescale", lambda: engine.rescale(args.workers + 1)),
+        length // 2: ("migrate", lambda: engine.migrate_stream(
+            handles[0], (handles[0].shard_id + 1) % engine.workers)),
+        5 * length // 8: ("swap", lambda: engine.swap_model(
+            pf.artifact.successor(pf.artifact.model, reason="churn rotate"))
+            if getattr(pf, "artifact", None) is not None else None),
+        3 * length // 4: ("rescale", lambda: engine.rescale(args.workers)),
+    }
+    with engine:
+        handles = [engine.open_stream(f"tenant[{i}]") for i in range(n)]
+        collected = [{} for _ in range(n + 1)]
+        sources = list(shards)
+        for i in range(length):
+            if i == length // 3:  # late admission: a tenant arrives mid-serve
+                handles.append(engine.open_stream("tenant[late]"))
+                sources.append(late_shard)
+                events.append({"at": i, "op": "open", "info": {
+                    "stream": handles[-1].index, "worker": handles[-1].shard_id}})
+            if i in marks:
+                op, fn = marks[i]
+                info = fn()
+                events.append({"at": i, "op": op, "info": info})
+            for k, (h, src) in enumerate(zip(handles, sources)):
+                j = i if k < n else i - length // 3
+                if 0 <= j < len(src):
+                    for em in h.ingest(int(src.pcs[j]), int(src.addrs[j])):
+                        collected[k][em.seq] = list(em.blocks)
+        for k, h in enumerate(handles):
+            for em in engine.close_stream(h):
+                collected[k][em.seq] = list(em.blocks)
+        stats = engine.stats()
+    rows = [[str(e["at"]), e["op"],
+             json.dumps(e["info"], default=str) if e["info"] else "-"]
+            for e in events]
+    log.table(
+        f"elastic churn over {trace_label} (W={args.workers}, "
+        f"B={args.batch_size}, {n}+1 tenants)",
+        ["access #", "op", "detail"],
+        rows,
+    )
+    el = stats["elastic"]
+    print(
+        f"lifecycle: {el['opened']} opened / {el['closed']} closed, "
+        f"{el['migrations']} migrations, {el['rescales']} rescales, "
+        f"{stats['swaps']} swaps (model v{stats['model_version']})"
+    )
+    identical = None
+    if args.compare_batch:
+        identical = True
+        for k, src in enumerate(sources):
+            served = len(collected[k])
+            want = pf.prefetch_lists(src.slice(0, served))
+            got = [collected[k].get(s) for s in range(served)]
+            if got != want:
+                identical = False
+        print(f"bit-identical to batch under churn: {identical}")
+    if args.json:
+        record = {
+            "prefetcher": pf.name, "trace": trace_label, "workers": args.workers,
+            "batch_size": args.batch_size, "events": events, "engine": stats,
+            "identical_to_batch": identical,
+        }
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(record, f, indent=2, sort_keys=True, default=str)
+        print(f"wrote churn stats to {args.json}")
+    return 0 if identical in (None, True) else 1
+
+
 def _stream_sharded(args) -> int:
     """``stream --workers W``: shard N streams across W OS worker processes.
 
@@ -434,6 +535,8 @@ def _cmd_stream(args) -> int:
         raise SystemExit("--workers must be >= 1")
     if args.adapt and args.cores > 1:
         raise SystemExit("--adapt currently serves a single stream (drop --cores)")
+    if args.churn and args.workers < 2:
+        raise SystemExit("--churn drives the elastic sharded fleet (add --workers W, W >= 2)")
     if args.workers > 1:
         if args.adapt:
             raise SystemExit("--adapt currently serves a single process (drop --workers)")
@@ -442,6 +545,8 @@ def _cmd_stream(args) -> int:
                 "--workers already shares the tables across all streams "
                 "(drop --share-model)"
             )
+        if args.churn:
+            return _stream_churn(args)
         return _stream_sharded(args)
     if args.cores > 1:
         return _stream_many(args)
@@ -754,6 +859,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "tables mapped zero-copy from shared memory "
                             "(model-backed only; default streams = workers "
                             "unless --cores is given)")
+    p_str.add_argument("--churn", action="store_true",
+                       help="with --workers W: run the elastic scenario "
+                            "(mid-serve open/close, live migration, rescale, "
+                            "hot swap) instead of a fixed-fleet serve")
     p_str.add_argument("--compare-batch", action="store_true",
                        help="also run prefetch_lists and check bit-identity")
     p_str.add_argument("--adapt", action="store_true",

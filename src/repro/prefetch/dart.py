@@ -151,6 +151,13 @@ class DARTPrefetcher(Prefetcher):
         stored once for the whole fleet — see
         :class:`repro.runtime.sharded.ShardedEngine`. Close the engine (or
         use it as a context manager) to release the segment.
+
+        The fleet is elastic: ``workers`` is only the boot size. The returned
+        engine admits (``open_stream``), retires (``close_stream``), migrates
+        (``migrate_stream`` — bit-identical snapshot move) and rescales
+        (``rescale``) live, composing with ``swap_model`` — tenants and cores
+        can come and go mid-serve without a single dropped or reordered
+        emission.
         """
         from repro.runtime.sharded import ShardedEngine
 

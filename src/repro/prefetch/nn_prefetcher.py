@@ -220,6 +220,11 @@ class NeuralPrefetcher(Prefetcher):
         deserializes a private copy of the model (``model_copies == W`` in
         :meth:`~repro.runtime.sharded.ShardedEngine.stats` — the storage
         contrast with DART's shared segment is the point of the comparison).
+        The elastic lifecycle (``open_stream`` / ``close_stream`` /
+        ``migrate_stream`` / ``rescale``) works identically: stream snapshots
+        are model-independent featurization state, so NN streams migrate
+        bit-identically too (a worker spawned by ``rescale`` re-deserializes
+        its private model copy).
         """
         from repro.runtime.sharded import ShardedEngine
 

@@ -13,7 +13,9 @@ this package serves a *live* access stream with bounded latency and memory:
 * :mod:`repro.runtime.sharded` — N streams across W OS worker processes,
   each a ``MultiStreamEngine`` over tables mapped zero-copy from shared
   memory (:mod:`repro.tabularization.shm`); versioned swap broadcast, named
-  :class:`ShardFailure` on worker death;
+  :class:`ShardFailure` on worker death, and **elastic** serving: stream
+  admission/close at any point, bit-identical live migration via the
+  stream-state snapshot codec, and live fleet rescale;
 * :mod:`repro.runtime.artifact` — versioned model artifacts, the unit the
   engines hold and hot-swap (``swap_model`` drains at a flush boundary with
   zero dropped emissions);
@@ -42,8 +44,14 @@ from repro.runtime.adaptation import (
     tabular_refit,
 )
 from repro.runtime.artifact import ModelArtifact
-from repro.runtime.engine import StreamStats, access_pairs, serve
-from repro.runtime.microbatch import MicroBatcher, StreamingModelPrefetcher, StreamState
+from repro.runtime.engine import StreamLifecycle, StreamStats, access_pairs, serve
+from repro.runtime.microbatch import (
+    MicroBatcher,
+    StreamState,
+    StreamingModelPrefetcher,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+)
 from repro.runtime.multistream import MultiStreamEngine, StreamHandle, serve_interleaved
 from repro.runtime.sharded import ShardedEngine, ShardFailure, ShardHandle
 from repro.runtime.streaming import (
@@ -72,6 +80,7 @@ __all__ = [
     "ShardHandle",
     "ShardedEngine",
     "StreamHandle",
+    "StreamLifecycle",
     "StreamMonitor",
     "StreamState",
     "StreamStats",
@@ -83,5 +92,7 @@ __all__ = [
     "score_prefetch_lists",
     "serve",
     "serve_interleaved",
+    "snapshot_from_bytes",
+    "snapshot_to_bytes",
     "tabular_refit",
 ]

@@ -83,6 +83,33 @@ class StreamStats:
         }
 
 
+@dataclass
+class StreamLifecycle:
+    """One stream's serving lifecycle under an elastic engine.
+
+    The elastic :class:`~repro.runtime.sharded.ShardedEngine` stamps these on
+    every handle: when the stream was admitted (in engine lifecycle ops —
+    open/close/migrate/rescale/swap events, not wall clock), when it closed,
+    how often it migrated and the ordered list of workers that hosted it
+    (admission placement first). Surfaced through ``stats()["elastic"]`` and
+    per-stream ``StreamStats.extra``.
+    """
+
+    opened_at: int = 0
+    closed_at: int | None = None
+    migrations: int = 0
+    #: worker ids that hosted the stream, in order (admission first)
+    homes: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "opened_at": self.opened_at,
+            "closed_at": self.closed_at,
+            "migrations": self.migrations,
+            "homes": list(self.homes),
+        }
+
+
 def _percentile(sorted_values: list[float], q: float) -> float:
     """Nearest-rank percentile of an ascending list (no NumPy round-trip)."""
     if not sorted_values:

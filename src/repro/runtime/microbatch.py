@@ -41,6 +41,7 @@ fills N× faster and the model is stored once.
 from __future__ import annotations
 
 import inspect
+import json
 
 import numpy as np
 
@@ -145,6 +146,131 @@ class StreamState:
         self.addr_ring[:] = 0.0
         self.pc_ring[:] = 0.0
         self.anchors[:] = 0
+
+    # ---------------------------------------------------------------- snapshot
+    def freeze(self) -> dict[str, np.ndarray]:
+        """Snapshot the full featurization state as a flat array dict.
+
+        The snapshot captures everything serving needs — mirrored rings,
+        anchors, the stream clock and the *unanswered* pending queue — plus
+        the geometry it was taken under, so :meth:`thaw` can refuse a
+        mismatched rehydration with a named error instead of corrupting
+        windows. Arrays are copies: the snapshot stays valid after the live
+        state moves on (or is retired by a migration).
+        """
+        return {
+            "snapshot/format": np.asarray([SNAPSHOT_FORMAT], dtype=np.int64),
+            "snapshot/geometry": np.asarray(
+                [self.t_hist, self.cap,
+                 self.seg.n_addr_segments, self.seg.n_pc_segments],
+                dtype=np.int64,
+            ),
+            "snapshot/seq": np.asarray([self.seq], dtype=np.int64),
+            "snapshot/pending": np.asarray(self.pending, dtype=np.int64),
+            "snapshot/addr_ring": self.addr_ring.copy(),
+            "snapshot/pc_ring": self.pc_ring.copy(),
+            "snapshot/anchors": self.anchors.copy(),
+        }
+
+    @classmethod
+    def thaw(
+        cls, config: PreprocessConfig, depth: int, snapshot: dict
+    ) -> "StreamState":
+        """Rebuild a stream state bit-identically from a :meth:`freeze` dict.
+
+        The target geometry (``config`` + flush depth) must match the
+        snapshot's exactly — rings laid out for a different capacity or
+        segmenter cannot hold the same windows, so a mismatch raises
+        ``ValueError`` before anything is built.
+        """
+        fmt = int(np.asarray(snapshot["snapshot/format"]).ravel()[0])
+        if fmt != SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"stream snapshot format {fmt}; this build reads "
+                f"format {SNAPSHOT_FORMAT}"
+            )
+        state = cls(config, depth)
+        want = (state.t_hist, state.cap,
+                state.seg.n_addr_segments, state.seg.n_pc_segments)
+        got = tuple(int(v) for v in np.asarray(snapshot["snapshot/geometry"]).ravel())
+        if got != want:
+            raise ValueError(
+                f"stream snapshot geometry (T, cap, addr_segs, pc_segs)={got} "
+                f"does not match the target engine {want}; thaw refused"
+            )
+        state.addr_ring[...] = snapshot["snapshot/addr_ring"]
+        state.pc_ring[...] = snapshot["snapshot/pc_ring"]
+        state.anchors[...] = snapshot["snapshot/anchors"]
+        state.seq = int(np.asarray(snapshot["snapshot/seq"]).ravel()[0])
+        state.pending = [int(s) for s in np.asarray(snapshot["snapshot/pending"]).ravel()]
+        return state
+
+
+# ------------------------------------------------------------ snapshot codec
+#: bump when the freeze() key set or semantics change
+SNAPSHOT_FORMAT = 1
+SNAPSHOT_MAGIC = b"DARTSNP1"
+_SNAPSHOT_HEADER = len(SNAPSHOT_MAGIC) + 8  # magic + uint64 manifest length
+
+
+def snapshot_to_bytes(snapshot: dict[str, np.ndarray]) -> bytes:
+    """Pack a flat array dict into one self-describing byte string.
+
+    Same container idiom as the shared-memory segments
+    (:mod:`repro.tabularization.shm`): MAGIC, a uint64 manifest length, a
+    JSON manifest mapping each key to ``(dtype, shape, offset)``, then the
+    raw contiguous payloads. This is what a frozen stream travels through
+    the sharded engine's length-prefixed pipe protocol as — no pickle.
+    """
+    arrays: dict[str, dict] = {}
+    chunks: list[bytes] = []
+    offset = 0
+    for key in snapshot:
+        arr = np.ascontiguousarray(snapshot[key])
+        arrays[key] = {"dtype": arr.dtype.str, "shape": list(arr.shape), "offset": offset}
+        chunks.append(arr.tobytes())
+        offset += arr.nbytes
+    blob = json.dumps({"format": 1, "arrays": arrays}, sort_keys=True).encode("utf-8")
+    return (
+        SNAPSHOT_MAGIC
+        + len(blob).to_bytes(8, "little")
+        + blob
+        + b"".join(chunks)
+    )
+
+
+def snapshot_from_bytes(buf: bytes) -> dict[str, np.ndarray]:
+    """Unpack :func:`snapshot_to_bytes` output; named errors on bad framing."""
+    if len(buf) < _SNAPSHOT_HEADER or bytes(buf[: len(SNAPSHOT_MAGIC)]) != SNAPSHOT_MAGIC:
+        raise ValueError("not a stream-state snapshot (bad magic)")
+    mlen = int.from_bytes(bytes(buf[len(SNAPSHOT_MAGIC) : _SNAPSHOT_HEADER]), "little")
+    if _SNAPSHOT_HEADER + mlen > len(buf):
+        raise ValueError(
+            f"truncated snapshot: manifest claims {mlen} bytes, "
+            f"buffer holds {len(buf)}"
+        )
+    manifest = json.loads(bytes(buf[_SNAPSHOT_HEADER : _SNAPSHOT_HEADER + mlen]).decode("utf-8"))
+    if manifest.get("format") != 1:
+        raise ValueError(
+            f"snapshot manifest format {manifest.get('format')!r}; "
+            f"this build reads format 1"
+        )
+    base = _SNAPSHOT_HEADER + mlen
+    out: dict[str, np.ndarray] = {}
+    for key, spec in manifest["arrays"].items():
+        dtype = np.dtype(spec["dtype"])
+        count = int(np.prod(spec["shape"], dtype=np.int64))
+        start = base + int(spec["offset"])
+        if start + dtype.itemsize * count > len(buf):
+            raise ValueError(
+                f"truncated snapshot: array {key!r} extends past the buffer"
+            )
+        out[key] = (
+            np.frombuffer(buf, dtype=dtype, count=count, offset=start)
+            .reshape(spec["shape"])
+            .copy()  # writable, detached from the wire buffer
+        )
+    return out
 
 
 class _FlushPath:

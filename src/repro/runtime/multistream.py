@@ -68,9 +68,15 @@ class StreamHandle(StreamingPrefetcher):
         self._outbox: deque[Emission] = deque()
 
     @property
+    def closed(self) -> bool:
+        """True once this stream was closed or exported (migrated away)."""
+        return self._engine._states[self.index] is None
+
+    @property
     def pending(self) -> int:
         """This stream's queries queued but not yet answered."""
-        return len(self._engine._states[self.index].pending)
+        state = self._engine._states[self.index]
+        return len(state.pending) if state is not None else 0
 
     def poll(self) -> list[Emission]:
         """Drain emissions already completed (possibly by other streams' flushes)."""
@@ -158,11 +164,14 @@ class MultiStreamEngine:
 
     @property
     def n_streams(self) -> int:
-        return len(self._states)
+        """Live (not closed / exported) streams."""
+        return sum(1 for s in self._states if s is not None)
 
     # ----------------------------------------------------------------- serving
     def _ingest(self, handle: StreamHandle, pc: int, addr: int) -> None:
         state = self._states[handle.index]
+        if state is None:
+            raise ValueError(f"stream {handle.name!r} is closed")
         warmup = state.push(pc, addr)
         if warmup is not None:
             handle._outbox.append(warmup)
@@ -176,17 +185,105 @@ class MultiStreamEngine:
             self.flush_all()
 
     def flush_all(self) -> None:
-        """Answer everything pending, across all streams, with one predict."""
-        groups = [
-            (i, state) for i, state in enumerate(self._states) if state.pending
-        ]
-        if not groups:
-            return
-        results = self._path.flush([(state, state.pending) for _, state in groups])
-        for (i, state), emissions in zip(groups, results):
-            self._handles[i]._outbox.extend(emissions)
-            state.pending.clear()
+        """Answer everything pending, across all streams.
+
+        Normally one coalesced predict ≤ ``batch_size`` (the flush policies
+        fire before the bound is crossed), but an :meth:`import_stream`
+        rehydration can legally land *on top of* an already-loaded engine —
+        the combined backlog then drains in ``batch_size``-bounded chunks,
+        preserving each stream's pending order (chunking cannot change an
+        answer: the predictor is row-local).
+        """
+        while True:
+            budget = self.batch_size
+            groups: list[tuple[int, StreamState, list[int]]] = []
+            for i, state in enumerate(self._states):
+                if state is None or not state.pending:
+                    continue
+                take = min(budget, len(state.pending))
+                pend = state.pending if take == len(state.pending) else state.pending[:take]
+                groups.append((i, state, pend))
+                budget -= take
+                if budget == 0:
+                    break
+            if not groups:
+                break
+            results = self._path.flush([(state, pend) for _, state, pend in groups])
+            for (i, state, pend), emissions in zip(groups, results):
+                self._handles[i]._outbox.extend(emissions)
+                if pend is state.pending:
+                    state.pending.clear()
+                else:
+                    del state.pending[: len(pend)]
         self._n_pending = 0
+
+    # --------------------------------------------------------------- lifecycle
+    def close_stream(self, index: int) -> list[Emission]:
+        """Retire one stream: drain its pending queries, return every
+        undelivered emission (parked outbox first, drained answers after —
+        ascending seq), and free the slot. Other tenants are untouched; the
+        slot's index is never reused, so remaining handles stay valid.
+        """
+        handle = self._handles[index]
+        state = self._states[index]
+        if handle is None or state is None:
+            raise ValueError(f"stream {index} is already closed")
+        while state.pending:
+            take = min(self.batch_size, len(state.pending))
+            pend = state.pending if take == len(state.pending) else state.pending[:take]
+            (emissions,) = self._path.flush([(state, pend)])
+            handle._outbox.extend(emissions)
+            self._n_pending -= take
+            if pend is state.pending:
+                state.pending.clear()
+            else:
+                del state.pending[:take]
+        final = handle.poll()
+        self._states[index] = None
+        self._handles[index] = None
+        return final
+
+    def export_stream(self, index: int) -> dict:
+        """Freeze one stream into a snapshot dict and retire its slot.
+
+        The snapshot (see :meth:`~repro.runtime.microbatch.StreamState.freeze`)
+        carries the feature rings, anchors, clock and the *unanswered* pending
+        queue — :meth:`import_stream` on any engine with the same geometry
+        rehydrates it bit-identically, and the pending queries are answered by
+        the target's next flush (batch composition cannot change an answer).
+        Parked emissions must be delivered first: exporting with a non-empty
+        outbox raises, because those answers would otherwise be lost.
+        """
+        handle = self._handles[index]
+        state = self._states[index]
+        if handle is None or state is None:
+            raise ValueError(f"stream {index} is already closed")
+        if handle._outbox:
+            raise ValueError(
+                f"stream {index} has undelivered emissions; poll() the handle "
+                f"before exporting"
+            )
+        snapshot = state.freeze()
+        self._n_pending -= len(state.pending)
+        self._states[index] = None
+        self._handles[index] = None
+        return snapshot
+
+    def import_stream(self, snapshot: dict, name: str | None = None) -> StreamHandle:
+        """Rehydrate an exported stream as a new tenant of this engine.
+
+        Geometry (preprocessing config + batch depth) must match the
+        snapshot's — enforced by the thaw. The imported pending queue joins
+        this engine's backlog and is answered on the next flush, in order.
+        """
+        state = StreamState.thaw(self.config, self.batch_size, snapshot)
+        index = len(self._states)
+        self._states.append(state)
+        handle = StreamHandle(self, index, name or f"{self.name}[{index}]")
+        handle.seq = state.seq
+        self._handles.append(handle)
+        self._n_pending += len(state.pending)
+        return handle
 
     def swap_model(self, model) -> None:
         """Atomically replace the shared model for every registered stream.
@@ -218,13 +315,16 @@ class MultiStreamEngine:
 
     def _reset_stream(self, index: int) -> None:
         state = self._states[index]
+        if state is None:
+            raise ValueError(f"stream {index} is closed")
         self._n_pending -= len(state.pending)
         state.reset()
 
     def reset(self) -> None:
-        """Reset every stream (counters like :attr:`predict_calls` persist)."""
+        """Reset every live stream (counters like :attr:`predict_calls` persist)."""
         for handle in self._handles:
-            handle.reset()
+            if handle is not None:
+                handle.reset()
 
     # ------------------------------------------------------------------- stats
     @property

@@ -1,13 +1,32 @@
-"""Sharded multi-process serving: N streams across W workers, one table copy.
+"""Elastic sharded serving: N streams across W workers, one table copy.
 
 :class:`~repro.runtime.multistream.MultiStreamEngine` already serves N
 streams from one model, but everything runs on one Python interpreter — one
 core's worth of table lookups no matter how many the host has. This module
-scales that engine *out*: a :class:`ShardedEngine` partitions the registered
-streams round-robin across ``W`` OS worker processes, each running its own
+scales that engine *out*: a :class:`ShardedEngine` places tenant streams
+across ``W`` OS worker processes, each running its own
 ``MultiStreamEngine`` over the **same physical tables**, mapped zero-copy
 from a named shared-memory segment (:mod:`repro.tabularization.shm`). The
 hierarchy is stored once for the whole fleet; workers hold read-only views.
+
+The fleet is **elastic** — nothing about it is fixed at construction:
+
+* :meth:`ShardedEngine.open_stream` admits a new tenant at any point during
+  serving, routed to the least-loaded worker;
+* :meth:`ShardedEngine.close_stream` drains the stream's pending queries and
+  returns its final emissions before freeing the slot;
+* :meth:`ShardedEngine.migrate_stream` freezes a stream's full
+  :class:`~repro.runtime.microbatch.StreamState` (feature rings, anchors,
+  pending queue, latency sketch) into the pipe protocol's snapshot codec and
+  rehydrates it **bit-identically** on another worker;
+* :meth:`ShardedEngine.rescale` grows or shrinks the fleet, spawning fresh
+  workers (booted on the *current* model generation, so rescale composes
+  with :meth:`ShardedEngine.swap_model`) or draining doomed ones by
+  migrating their streams to the survivors.
+
+All of it without dropping or reordering a single emission — see DESIGN.md
+"Elastic serving" for the ordering proofs, and ``tests/test_elastic.py`` for
+the randomized churn fuzz that pins them.
 
 Topology (see DESIGN.md "Sharded serving" for the lifecycle diagrams)::
 
@@ -53,8 +72,12 @@ import time
 import numpy as np
 
 from repro.data.dataset import PreprocessConfig
-from repro.runtime.engine import StreamStats, _LatencySketch, access_pairs
-from repro.runtime.microbatch import resolve_predictor
+from repro.runtime.engine import StreamLifecycle, StreamStats, _LatencySketch, access_pairs
+from repro.runtime.microbatch import (
+    resolve_predictor,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+)
 from repro.runtime.streaming import Emission, StreamingPrefetcher
 
 _HDR = struct.Struct("<iq")  # (opcode, meta)
@@ -67,12 +90,16 @@ OP_SWAP = 4       # meta = deliver<<1 | is_pickle; payload = shm name / pickle
 OP_RESET = 5      # meta = local stream index, -1 = every stream
 OP_STATS = 6
 OP_SHUTDOWN = 7
+OP_CLOSE = 8      # meta = local stream index; drain + retire the slot
+OP_FREEZE = 9     # meta = local stream index; export a migration snapshot
+OP_THAW = 10      # payload = snapshot bytes; rehydrate as a new local stream
 
 # Reply opcodes (worker -> frontend).
 REPLY_OK = 100
 REPLY_EMISSIONS = 101  # meta = emissions represented; payload records
 REPLY_STATS = 102      # payload = pickled dict
 REPLY_ERR = 103        # payload = utf-8 traceback
+REPLY_SNAPSHOT = 104   # meta = pending queries carried; payload snapshot bytes
 
 
 class ShardFailure(RuntimeError):
@@ -126,7 +153,8 @@ def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict, me
         def drain() -> None:
             """Sweep emissions parked in outboxes by *other* streams' flushes."""
             for lidx, h in enumerate(handles):
-                note(lidx, h.poll())
+                if h is not None:
+                    note(lidx, h.poll())
 
         def reply_emissions(deliver: bool, meta: int | None = None) -> None:
             drain()
@@ -196,10 +224,54 @@ def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict, me
                             old_tables.close()
                         except BufferError:  # a view still alive somewhere
                             pass
+                elif op == OP_CLOSE:
+                    lidx = int(meta)
+                    # Final emissions: the engine drains parked-outbox answers
+                    # first, then the close flush — ascending seq throughout.
+                    note(lidx, engine.close_stream(lidx))
+                    handles[lidx] = None
+                    reply_emissions(deliver=True)
+                elif op == OP_FREEZE:
+                    lidx = int(meta)
+                    # Already-computed answers leave with the emissions reply
+                    # (before the snapshot), so rehydration only ever owes the
+                    # *unanswered* pending queue.
+                    note(lidx, handles[lidx].poll())
+                    snap = engine.export_stream(lidx)
+                    carried = int(snap["snapshot/pending"].size)
+                    sk = sketches[lidx]
+                    snap["stats/sketch_samples"] = np.asarray(sk.samples, dtype=np.float64)
+                    snap["stats/sketch_meta"] = np.asarray(
+                        [sk.count, sk._stride], dtype=np.int64
+                    )
+                    snap["stats/sketch_acc"] = np.asarray(
+                        [sk.total, sk.peak], dtype=np.float64
+                    )
+                    snap["stats/counts"] = np.asarray(counts[lidx], dtype=np.int64)
+                    handles[lidx] = None
+                    reply_emissions(deliver=True)
+                    body = snapshot_to_bytes(snap)
+                    conn.send_bytes(_HDR.pack(REPLY_SNAPSHOT, carried) + body)
+                elif op == OP_THAW:
+                    snap = snapshot_from_bytes(payload)
+                    sk = _LatencySketch()
+                    sk_meta = snap.pop("stats/sketch_meta", None)
+                    if sk_meta is not None:
+                        acc = snap.pop("stats/sketch_acc")
+                        sk.count, sk._stride = int(sk_meta[0]), int(sk_meta[1])
+                        sk.total, sk.peak = float(acc[0]), float(acc[1])
+                        sk.samples = [float(v) for v in snap.pop("stats/sketch_samples")]
+                    cnt = snap.pop("stats/counts", None)
+                    handles.append(engine.import_stream(snap))
+                    sketches.append(sk)
+                    counts.append([int(v) for v in cnt] if cnt is not None else [0, 0, 0])
+                    conn.send_bytes(_HDR.pack(REPLY_OK, len(handles) - 1))
                 elif op == OP_RESET:
                     if int(meta) < 0:
                         engine.reset()
                         for lidx in range(len(handles)):
+                            if handles[lidx] is None:
+                                continue
                             sketches[lidx] = _LatencySketch()
                             counts[lidx] = [0, 0, 0]
                     else:
@@ -212,7 +284,9 @@ def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict, me
                         "worker": worker_id,
                         "engine": engine.stats(),
                         "streams": [
-                            {
+                            None
+                            if handles[l] is None
+                            else {
                                 "accesses": counts[l][0],
                                 "prefetches": counts[l][1],
                                 "emissions": counts[l][2],
@@ -282,7 +356,13 @@ class ShardHandle(StreamingPrefetcher):
         self.latency_cycles = engine.latency_cycles
         self.storage_bytes = engine.storage_bytes
         self.seq = 0
+        self.closed = False
+        self.lifecycle = StreamLifecycle(homes=[shard.id])
         self._outbox: list[Emission] = []
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ValueError(f"stream {self.name!r} is closed")
 
     def poll(self) -> list[Emission]:
         """Emissions already returned by the worker (never blocks)."""
@@ -291,16 +371,23 @@ class ShardHandle(StreamingPrefetcher):
         return out
 
     def ingest(self, pc: int, addr: int) -> list[Emission]:
+        self._check_open()
         self._engine._ingest(self, pc, addr)
         self.seq += 1
         return self.poll()
 
     def flush(self) -> list[Emission]:
+        self._check_open()
         self._engine.flush_all()
         return self.poll()
 
+    def close(self) -> list[Emission]:
+        """Retire this stream; returns its final (drained) emissions."""
+        return self._engine.close_stream(self)
+
     def reset(self) -> None:
         """Reset *this stream only* (frontend buffers and worker state)."""
+        self._check_open()
         self._engine._reset_stream(self)
         self.seq = 0
         self._outbox = []
@@ -384,6 +471,14 @@ class ShardedEngine:
         self._handles: list[ShardHandle] = []
         self._started = False
         self._closed = False
+        # Elastic lifecycle accounting: a monotone op clock (any lifecycle
+        # event ticks it) plus event counters, surfaced via stats()["elastic"].
+        self._ops = 0
+        self._opened = 0
+        self._closed_streams = 0
+        self._migrations = 0
+        self._rescales = 0
+        self.last_migration: dict | None = None
 
     # -------------------------------------------------------------- publishing
     def _publish(self, model):
@@ -413,22 +508,41 @@ class ShardedEngine:
         return self._publications[-1].nbytes if self._publications else None
 
     # ------------------------------------------------------------ registration
+    @staticmethod
+    def _live_count(shard: _Shard) -> int:
+        return sum(1 for h in shard.handles if h is not None and not h.closed)
+
     def stream(self, name: str | None = None) -> ShardHandle:
-        """Register a new tenant stream (round-robin shard placement)."""
+        """Admit a new tenant stream, placed on the least-loaded worker.
+
+        Admission works at any point — before the fleet starts (the worker
+        registers the slot on spawn) or mid-serve (an ``OP_REGISTER`` round
+        trip). Ties break toward the lowest worker id, so a balanced fleet
+        fills round-robin.
+        """
         if self._closed:
             raise ValueError("engine is closed")
+        shard = min(
+            self._shards[: self.workers],
+            key=lambda s: (self._live_count(s), s.id),
+        )
         index = len(self._handles)
-        shard = self._shards[index % self.workers]
         handle = ShardHandle(
             self, index, shard, len(shard.handles),
             name or f"{self.name}[{index}]",
         )
+        self._ops += 1
+        handle.lifecycle.opened_at = self._ops
+        self._opened += 1
         shard.handles.append(handle)
         self._handles.append(handle)
         if self._started:
             self._send(shard, OP_REGISTER, 1)
             self._expect(shard, REPLY_OK)
         return handle
+
+    #: admission alias — the elastic-lifecycle name for :meth:`stream`
+    open_stream = stream
 
     def streams(self, n: int, names=None) -> list[ShardHandle]:
         if names is not None and len(names) != n:
@@ -437,9 +551,66 @@ class ShardedEngine:
 
     @property
     def n_streams(self) -> int:
-        return len(self._handles)
+        """Live (not closed) tenant streams."""
+        return sum(1 for h in self._handles if not h.closed)
+
+    @property
+    def live_handles(self) -> list[ShardHandle]:
+        """Open stream handles, in admission order."""
+        return [h for h in self._handles if not h.closed]
 
     # ---------------------------------------------------------------- process
+    def _spawn_shard(self, shard: _Shard) -> None:
+        """Boot one worker process on the *current* model generation."""
+        parent, child = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_serve_loop,
+            args=(shard.id, child, self._model_spec, self._engine_kwargs,
+                  self._measure),
+            name=f"{self.name}-w{shard.id}",
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        shard.process = proc
+        shard.conn = parent
+        shard.alive = True
+
+    def _shutdown_shard(self, shard: _Shard, ack_timeout: float) -> None:
+        """Ask one worker to exit (tolerant of a dead pipe) and drop the conn."""
+        if shard.conn is not None:
+            if shard.alive and shard.process is not None and shard.process.is_alive():
+                try:
+                    shard.conn.send_bytes(_HDR.pack(OP_SHUTDOWN, 0))
+                    if shard.conn.poll(ack_timeout):
+                        shard.conn.recv_bytes()
+                except (BrokenPipeError, EOFError, OSError):
+                    pass
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+        shard.alive = False
+
+    @staticmethod
+    def _reap_shard(shard: _Shard) -> None:
+        """Join the worker process, escalating terminate -> kill if needed."""
+        proc = shard.process
+        if proc is None:
+            return
+        proc.join(timeout=2.0)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1.0)
+        if proc.is_alive():  # pragma: no cover - last resort
+            proc.kill()
+            proc.join(timeout=1.0)
+
+    def _retire_shard(self, shard: _Shard) -> None:
+        """Gracefully stop one (drained) worker and reap its process."""
+        self._shutdown_shard(shard, ack_timeout=5.0)
+        self._reap_shard(shard)
+
     def start(self) -> None:
         """Spawn the worker fleet (idempotent; implicit on first use)."""
         if self._started:
@@ -447,19 +618,7 @@ class ShardedEngine:
         if self._closed:
             raise ValueError("engine is closed")
         for shard in self._shards:
-            parent, child = self._ctx.Pipe(duplex=True)
-            proc = self._ctx.Process(
-                target=_worker_serve_loop,
-                args=(shard.id, child, self._model_spec, self._engine_kwargs,
-                      self._measure),
-                name=f"{self.name}-w{shard.id}",
-                daemon=True,
-            )
-            proc.start()
-            child.close()
-            shard.process = proc
-            shard.conn = parent
-            shard.alive = True
+            self._spawn_shard(shard)
         self._started = True
         for shard in self._shards:
             if shard.handles:
@@ -468,10 +627,11 @@ class ShardedEngine:
 
     def _fail(self, shard: _Shard, reason: str):
         shard.alive = False
+        live = [h for h in shard.handles if h is not None and not h.closed]
         raise ShardFailure(
             shard.id,
-            [h.index for h in shard.handles],
-            [h.name for h in shard.handles],
+            [h.index for h in live],
+            [h.name for h in live],
             reason,
         )
 
@@ -583,8 +743,179 @@ class ShardedEngine:
                 self._send(shard, OP_RESET, -1)
                 self._expect(shard, REPLY_OK)
         for handle in self._handles:
+            if handle.closed:
+                continue
             handle.seq = 0
             handle._outbox = []
+
+    # ----------------------------------------------------------------- elastic
+    def _resolve(self, stream) -> ShardHandle:
+        """Accept a handle or a global stream index; refuse closed streams."""
+        handle = self._handles[stream] if isinstance(stream, int) else stream
+        if handle._engine is not self:
+            raise ValueError(f"stream {handle.name!r} belongs to another engine")
+        if handle.closed:
+            raise ValueError(f"stream {handle.name!r} is closed")
+        return handle
+
+    def close_stream(self, stream) -> list[Emission]:
+        """Retire one tenant: drain its pending queries, return its final
+        emissions (in seq order), free its slot on the worker.
+
+        Ordering: the shard's buffered accesses are dispatched first (so the
+        drain answers *every* access the stream ever ingested), then the
+        worker flushes the stream's pending with the serving model and ships
+        parked-outbox answers ahead of the drained ones. Other tenants on the
+        shard are untouched — their answers completed by the drain wait in
+        their own outboxes, exactly like any flush.
+        """
+        handle = self._resolve(stream)
+        self._ops += 1
+        self._closed_streams += 1
+        handle.lifecycle.closed_at = self._ops
+        shard = self._shards[handle.shard_id]
+        if not self._started:
+            if handle.seq == 0:
+                # Never ingested anything: free the slot without booting the
+                # fleet. The placeholder keeps later local indices aligned.
+                handle.closed = True
+                return []
+            # Pre-start ingests are sitting in the send buffer — the drain
+            # below must still answer every one of them, so boot the fleet.
+            self.start()
+        self._dispatch(shard)
+        self._send(shard, OP_CLOSE, handle.local_index)
+        _, payload = self._expect(shard, REPLY_EMISSIONS)
+        self._route(shard, payload)
+        shard.handles[handle.local_index] = None
+        handle.closed = True
+        return handle.poll()
+
+    def migrate_stream(self, stream, worker: int) -> dict:
+        """Move one live stream to another worker, bit-identically.
+
+        The stream's :class:`~repro.runtime.microbatch.StreamState` — feature
+        rings, anchors, clock, *unanswered* pending queue — plus its latency
+        sketch and serving counters are frozen into the snapshot codec
+        (:func:`~repro.runtime.microbatch.snapshot_to_bytes`), shipped over
+        both pipes, and rehydrated on the target. Already-computed answers
+        leave the source with the freeze reply (before the snapshot), and the
+        carried pending queue is answered by the target's next flush, so no
+        emission is dropped, duplicated, or reordered. The migration pause is
+        bounded by that carried queue: at most one flush batch.
+
+        Returns a record: ``{stream, from, to, pending, bytes}``.
+        """
+        handle = self._resolve(stream)
+        if not 0 <= worker < self.workers:
+            raise ValueError(
+                f"worker {worker} out of range (fleet has {self.workers})"
+            )
+        self.start()
+        source = self._shards[handle.shard_id]
+        target = self._shards[worker]
+        if target is source:  # no-op: nothing moves, the op clock stays put
+            return {"stream": handle.index, "from": source.id, "to": target.id,
+                    "pending": 0, "bytes": 0}
+        self._ops += 1
+        # Everything the stream ingested must reach the source before the
+        # freeze — the snapshot is only complete after the buffered rows land.
+        self._dispatch(source)
+        self._send(source, OP_FREEZE, handle.local_index)
+        _, payload = self._expect(source, REPLY_EMISSIONS)
+        self._route(source, payload)
+        carried, body = self._expect(source, REPLY_SNAPSHOT)
+        source.handles[handle.local_index] = None
+        try:
+            self._send(target, OP_THAW, 0, bytes(body))
+            new_local, _ = self._expect(target, REPLY_OK)
+        except ShardFailure as exc:
+            # The frozen state was in flight to a dead target: the migrating
+            # stream is that worker's casualty. Seal the handle (its source
+            # slot is already retired — no op may touch it again) and name
+            # the stream in the failure alongside the target's own tenants.
+            handle.closed = True
+            handle.lifecycle.closed_at = self._ops
+            self._closed_streams += 1
+            raise ShardFailure(
+                exc.shard,
+                exc.stream_ids + [handle.index],
+                exc.stream_names + [handle.name],
+                exc.reason,
+            ) from exc
+        handle.shard_id = target.id
+        handle.local_index = int(new_local)
+        while len(target.handles) <= handle.local_index:
+            target.handles.append(None)
+        target.handles[handle.local_index] = handle
+        handle.lifecycle.migrations += 1
+        handle.lifecycle.homes.append(target.id)
+        self._migrations += 1
+        record = {
+            "stream": handle.index,
+            "from": source.id,
+            "to": target.id,
+            "pending": int(carried),
+            "bytes": len(body),
+        }
+        self.last_migration = record
+        return record
+
+    def rescale(self, workers: int) -> dict:
+        """Grow or shrink the worker fleet to ``workers`` processes, live.
+
+        Growing spawns fresh workers booted on the *current* model generation
+        (so a rescale after — or before — a :meth:`swap_model` broadcast
+        keeps the whole fleet on one version; new admissions start landing on
+        the empty workers immediately). Shrinking migrates every stream off
+        the doomed workers onto the least-loaded survivors, then retires the
+        drained workers newest-first behind a shutdown barrier — a worker is
+        only reaped once it has acked, and a worker that fails mid-drain
+        stays owned by the engine so :meth:`close` still reaps it and every
+        emission ordering guarantee of :meth:`migrate_stream` applies
+        per-stream.
+
+        Returns ``{from, to, migrated, seconds}`` (``migrated`` = global
+        stream ids moved, in drain order).
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self._closed:
+            raise ValueError("engine is closed")
+        self.start()
+        before = self.workers
+        migrated: list[int] = []
+        t0 = time.perf_counter()
+        if workers > before:
+            for wid in range(before, workers):
+                shard = _Shard(wid)
+                self._spawn_shard(shard)
+                self._shards.append(shard)
+            self.workers = workers
+        elif workers < before:
+            survivors = self._shards[:workers]
+            for shard in self._shards[workers:]:
+                for h in list(shard.handles):
+                    if h is None or h.closed:
+                        continue
+                    tgt = min(survivors, key=lambda s: (self._live_count(s), s.id))
+                    self.migrate_stream(h, tgt.id)
+                    migrated.append(h.index)
+            # Drain barrier: victims are empty now. Retire newest-first so
+            # shard id == list position survives a partial failure, and only
+            # pop a shard once its process is actually reaped.
+            while len(self._shards) > workers:
+                self._retire_shard(self._shards[-1])
+                self._shards.pop()
+            self.workers = workers
+        self._ops += 1
+        self._rescales += 1
+        return {
+            "from": before,
+            "to": workers,
+            "migrated": migrated,
+            "seconds": time.perf_counter() - t0,
+        }
 
     # -------------------------------------------------------------------- swap
     def swap_model(self, model) -> None:
@@ -710,14 +1041,57 @@ class ShardedEngine:
             "queries_answered": answered,
             "mean_batch_fill": (answered / calls) if calls else 0.0,
             "start_method": self.start_method,
+            "elastic": {
+                "opened": self._opened,
+                "closed": self._closed_streams,
+                "migrations": self._migrations,
+                "rescales": self._rescales,
+                "live_streams": self.n_streams,
+                "ops": self._ops,
+            },
         }
+
+    def stream_stats(self) -> list[StreamStats]:
+        """Per-live-stream serving stats straight off the workers.
+
+        The elastic flows drive handles directly (no ``serve`` wall clock),
+        so ``seconds`` is reported as 0 and throughput is undefined; the
+        latency sketch, access/prefetch counts and lifecycle fields are exact
+        — and a migrated stream's sketch travels with it, so
+        ``latency_count`` is conserved across migrations and rescales.
+        """
+        if not self._started:
+            self.start()
+        per_worker = self._worker_stats()
+        out: list[StreamStats] = []
+        for shard, wstats in zip(self._shards, per_worker):
+            for h, s in zip(shard.handles, wstats["streams"]):
+                if h is None or h.closed or s is None:
+                    continue
+                sk = _LatencySketch.merge([s["sketch"]])
+                out.append(sk.to_stats(
+                    h.name, s["accesses"], s["prefetches"], 0.0,
+                    {"stream": h.index, "shard": shard.id,
+                     "latency_count": sk.count,
+                     **h.lifecycle.to_dict()},
+                ))
+        out.sort(key=lambda s: s.extra["stream"])
+        return out
 
     # ------------------------------------------------------------- serve loop
     def serve(
         self, sources, collect: bool = False
     ) -> tuple[StreamStats, list[StreamStats], list[list[list[int]]] | None]:
-        """Drive one source per stream through the fleet; mirrored on
-        :func:`~repro.runtime.multistream.serve_interleaved`.
+        """Drive one finite source per *live* stream through the fleet;
+        mirrored on :func:`~repro.runtime.multistream.serve_interleaved`.
+
+        This is the whole-trace convenience driver, not a fleet freeze: the
+        engine stays fully elastic before, between, and after ``serve`` runs
+        (``open_stream`` / ``close_stream`` / ``migrate_stream`` /
+        ``rescale`` at any point — drive the handles directly to interleave
+        churn with serving, as the churn fuzz and ``repro stream --churn``
+        do). Sources pair with the open handles in admission order; with no
+        streams registered yet, one is admitted per source.
 
         Accesses are pre-partitioned per shard and shipped in
         ``serve_chunk``-sized frames — all shards receive their chunk before
@@ -729,11 +1103,13 @@ class ShardedEngine:
         """
         if self.n_streams == 0:
             self.streams(len(sources))
-        if len(sources) != self.n_streams:
+        live = self.live_handles
+        if len(sources) != len(live):
             raise ValueError(
-                f"need one source per stream ({self.n_streams} registered, "
+                f"need one source per live stream ({len(live)} open, "
                 f"{len(sources)} sources)"
             )
+        pos = {h.index: p for p, h in enumerate(live)}
         self.start()
         self.reset()
         # Materialize each stream as (pc, addr) int64 columns.
@@ -751,22 +1127,24 @@ class ShardedEngine:
         # by per-stream position (the order serve_interleaved would feed them).
         merged: list[np.ndarray] = []
         for shard in self._shards:
-            parts, pos = [], []
+            parts, order_keys = [], []
             for h in shard.handles:
-                c = cols[h.index]
+                if h is None or h.closed:
+                    continue
+                c = cols[pos[h.index]]
                 part = np.empty((len(c), 3), dtype=np.int64)
                 part[:, 0] = h.local_index
                 part[:, 1:] = c
                 parts.append(part)
-                pos.append(np.arange(len(c), dtype=np.int64))
+                order_keys.append(np.arange(len(c), dtype=np.int64))
             if not parts:
                 merged.append(np.empty((0, 3), dtype=np.int64))
                 continue
             allrows = np.concatenate(parts)
-            order = np.lexsort((allrows[:, 0], np.concatenate(pos)))
+            order = np.lexsort((allrows[:, 0], np.concatenate(order_keys)))
             merged.append(allrows[order])
         lists: list[list[list[int]]] | None = (
-            [[[] for _ in range(len(cols[g]))] for g in range(self.n_streams)]
+            [[[] for _ in range(len(cols[g]))] for g in range(len(live))]
             if collect
             else None
         )
@@ -774,11 +1152,11 @@ class ShardedEngine:
         def consume_outboxes():
             if not collect:
                 return
-            for handle in self._handles:
+            for handle in live:
                 for em in handle.poll():
-                    lists[handle.index][em.seq] = list(em.blocks)
+                    lists[pos[handle.index]][em.seq] = list(em.blocks)
 
-        cursors = [0] * self.workers
+        cursors = [0] * len(self._shards)
         chunk = self.serve_chunk
         t0 = time.perf_counter()
         while True:
@@ -809,16 +1187,19 @@ class ShardedEngine:
         seconds = time.perf_counter() - t0
 
         per_worker = self._worker_stats()
-        per_stream: list[StreamStats] = [None] * self.n_streams  # type: ignore
+        per_stream: list[StreamStats] = [None] * len(live)  # type: ignore
         sketch_states = []
         for shard, wstats in zip(self._shards, per_worker):
             for h, s in zip(shard.handles, wstats["streams"]):
+                if h is None or h.closed or s is None:
+                    continue
                 sk = _LatencySketch.merge([s["sketch"]])
                 sketch_states.append(s["sketch"])
-                per_stream[h.index] = sk.to_stats(
+                per_stream[pos[h.index]] = sk.to_stats(
                     h.name, s["accesses"], s["prefetches"], seconds,
                     {"stream": h.index, "shard": shard.id,
-                     "latency_count": sk.count},
+                     "latency_count": sk.count,
+                     **h.lifecycle.to_dict()},
                 )
         agg_sketch = _LatencySketch.merge(sketch_states)
         aggregate = agg_sketch.to_stats(
@@ -842,32 +1223,12 @@ class ShardedEngine:
         if self._closed:
             return
         self._closed = True
+        # Two passes so the exit requests overlap: every worker hears the
+        # shutdown before any join blocks on a straggler.
         for shard in self._shards:
-            if shard.conn is None:
-                continue
-            if shard.alive and shard.process is not None and shard.process.is_alive():
-                try:
-                    shard.conn.send_bytes(_HDR.pack(OP_SHUTDOWN, 0))
-                    if shard.conn.poll(1.0):
-                        shard.conn.recv_bytes()
-                except (BrokenPipeError, EOFError, OSError):
-                    pass
-            try:
-                shard.conn.close()
-            except OSError:
-                pass
-            shard.alive = False
+            self._shutdown_shard(shard, ack_timeout=1.0)
         for shard in self._shards:
-            proc = shard.process
-            if proc is None:
-                continue
-            proc.join(timeout=2.0)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=1.0)
-            if proc.is_alive():  # pragma: no cover - last resort
-                proc.kill()
-                proc.join(timeout=1.0)
+            self._reap_shard(shard)
         for pub in self._publications:
             try:
                 pub.close()

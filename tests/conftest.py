@@ -76,6 +76,58 @@ def tabular_student(trained_student, split_dataset):
     return model, report
 
 
+@pytest.fixture(scope="session")
+def dart(tabular_student, preprocess_config):
+    """The shared serving-suite DART: artifact-backed, fixed decode policy.
+
+    One prefetcher for every engine/serving suite (sharded, multistream,
+    hot-swap, conformance, elastic churn) so none of them re-fits tables —
+    the engines under test always hold the *same* oracle.
+    """
+    from repro.prefetch import DARTPrefetcher
+    from repro.runtime import ModelArtifact
+
+    tab, _ = tabular_student
+    return DARTPrefetcher(
+        ModelArtifact(tab, version=1), preprocess_config,
+        threshold=0.4, max_degree=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def libquantum_traces():
+    """Factory for distinct cached access streams: ``make(n, length, seed0)``.
+
+    Generation (not slicing) dominates the cost, so full traces are cached
+    per seed across the whole session and every caller slices its own view.
+    """
+    from repro.traces import make_workload
+
+    cache: dict[int, object] = {}
+
+    def make(n: int, length: int, seed0: int):
+        out = []
+        for i in range(n):
+            seed = seed0 + i
+            if seed not in cache:
+                cache[seed] = make_workload("462.libquantum", scale=0.01, seed=seed)
+            out.append(cache[seed].slice(0, length))
+        return out
+
+    return make
+
+
+@pytest.fixture(scope="module")
+def four_traces(libquantum_traces):
+    """Four genuinely different access streams (distinct seeds)."""
+    return libquantum_traces(4, 700, 10)
+
+
+@pytest.fixture(scope="module")
+def eight_traces(libquantum_traces):
+    return libquantum_traces(8, 350, 40)
+
+
 @pytest.fixture()
 def rng():
     return np.random.default_rng(1234)

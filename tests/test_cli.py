@@ -142,9 +142,38 @@ def test_stream_workers_serves_sharded(tabular_student, tmp_path, capsys):
     assert len(record["per_stream"]) == 4
 
 
+def test_stream_churn_elastic_scenario(tabular_student, tmp_path, capsys):
+    """``stream --workers 2 --churn`` drives the elastic lifecycle end to end
+    (open/migrate/swap/rescale/close) with the bit-identity gate."""
+    import json
+
+    tab, _ = tabular_student
+    tables = tmp_path / "tables.npz"
+    save_tabular_model(tab, tables)
+    out = tmp_path / "churn.json"
+    rc = main(
+        ["stream", "--workload", "462.libquantum", "--scale", "0.01",
+         "--prefetcher", "dart", "--tables", str(tables),
+         "--workers", "2", "--batch-size", "16",
+         "--churn", "--compare-batch", "--json", str(out)]
+    )
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "elastic churn" in text
+    assert "bit-identical to batch under churn: True" in text
+    record = json.loads(out.read_text())
+    assert record["identical_to_batch"] is True
+    ops = [e["op"] for e in record["events"]]
+    assert {"open", "migrate", "rescale", "swap"} <= set(ops)
+    assert record["engine"]["elastic"]["opened"] == record["engine"]["elastic"]["closed"] == 3
+    assert record["engine"]["swaps"] == 1
+
+
 def test_stream_workers_flag_validation():
     with pytest.raises(SystemExit):
         main(["stream", "--workers", "0", "--prefetcher", "bo"])
+    with pytest.raises(SystemExit):  # churn needs the sharded fleet
+        main(["stream", "--churn", "--prefetcher", "dart", "--scale", "0.01"])
     with pytest.raises(SystemExit):  # rule-based prefetchers cannot shard
         main(["stream", "--workers", "2", "--prefetcher", "bo", "--scale", "0.01"])
     with pytest.raises(SystemExit):  # sharding already shares the model

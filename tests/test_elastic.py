@@ -1,0 +1,518 @@
+"""Elastic sharded serving: randomized churn fuzz + snapshot-codec properties.
+
+The acceptance bar, from the churn side: for **any** seeded interleaving of
+``open_stream`` / ``close_stream`` / ``migrate_stream`` / ``rescale`` /
+``swap_model`` ops over live streams, every stream's emissions must be
+bit-identical to the batch ``prefetch_lists`` oracle (the PR-4
+serving-conformance oracle), with exactly one emission per access, ascending
+seq — and ``close()`` must unlink every shared-memory segment and reap every
+worker even when a schedule is killed mid-migration.
+
+From the codec side: ``StreamState.freeze() -> bytes -> thaw()`` must be
+bit-identical for randomized ring fill levels, pending-queue depths and
+preprocessing geometries (the fuzz style of ``tests/test_shm.py``), and a
+thawed stream must continue serving exactly like the uninterrupted one.
+
+CI runs this file under ``PYTHONHASHSEED=0`` in the ``churn`` job; the fuzz
+is deterministic either way (all randomness flows from seeded Generators).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.data import PreprocessConfig
+from repro.runtime import ShardFailure, StreamState, snapshot_from_bytes, snapshot_to_bytes
+
+# ---------------------------------------------------------------- fuzz scale
+#: seeded schedules per pytest param (engines are reused across a block's
+#: schedules, so the fleet accumulates real churn history instead of starting
+#: pristine 200 times)
+SCHEDULES_PER_BLOCK = 10
+N_BLOCKS = 20  # total schedules = 200
+OPS_PER_SCHEDULE = 40
+MAX_LIVE_STREAMS = 4
+MAX_WORKERS = 3
+TRACE_LEN = 150
+BATCH = 8
+
+
+@pytest.fixture(scope="module")
+def trace_pool(libquantum_traces):
+    return libquantum_traces(6, TRACE_LEN, 60)
+
+
+@pytest.fixture(scope="module")
+def oracle_pool(dart, trace_pool):
+    """Batch prefetch_lists per pooled trace: the conformance ground truth."""
+    return [dart.prefetch_lists(t) for t in trace_pool]
+
+
+class _FuzzStream:
+    """One live stream of a churn schedule: its trace, cursor and emissions."""
+
+    def __init__(self, handle, trace_idx: int):
+        self.handle = handle
+        self.trace_idx = trace_idx
+        self.cursor = 0
+        self.emitted: dict[int, list[int]] = {}
+        self.last_seq = -1
+
+    def record(self, emissions) -> None:
+        for em in emissions:
+            assert em.seq > self.last_seq, (
+                f"stream {self.handle.name}: emission seq {em.seq} after "
+                f"{self.last_seq} (reordered)"
+            )
+            assert em.seq not in self.emitted, (
+                f"stream {self.handle.name}: duplicate emission for seq {em.seq}"
+            )
+            self.last_seq = em.seq
+            self.emitted[em.seq] = list(em.blocks)
+
+
+def _verify_closed(fs: _FuzzStream, oracles, label: str) -> None:
+    """After close: exactly one emission per ingested access, oracle-equal."""
+    oracle = oracles[fs.trace_idx]
+    assert sorted(fs.emitted) == list(range(fs.cursor)), (
+        f"{label}: stream {fs.handle.name} ingested {fs.cursor} accesses but "
+        f"emitted for seqs {sorted(fs.emitted)[:5]}..."
+    )
+    for seq in range(fs.cursor):
+        assert fs.emitted[seq] == oracle[seq], (
+            f"{label}: stream {fs.handle.name} diverged from the batch oracle "
+            f"at seq {seq}"
+        )
+
+
+def _run_schedule(engine, rng, dart, trace_pool, oracles, label: str) -> dict:
+    """One randomized interleaving of churn ops; verifies on every close."""
+    live: list[_FuzzStream] = []
+    counts = {"pump": 0, "open": 0, "close": 0, "migrate": 0, "rescale": 0, "swap": 0}
+
+    def open_stream():
+        fs = _FuzzStream(engine.open_stream(), int(rng.integers(len(trace_pool))))
+        live.append(fs)
+        counts["open"] += 1
+
+    def close_stream(fs: _FuzzStream):
+        fs.record(engine.close_stream(fs.handle))
+        _verify_closed(fs, oracles, label)
+        live.remove(fs)
+        counts["close"] += 1
+
+    open_stream()  # every schedule starts with at least one tenant
+    for _ in range(OPS_PER_SCHEDULE):
+        roll = rng.random()
+        if roll < 0.70 or not live:
+            if not live:
+                open_stream()
+                continue
+            fs = live[int(rng.integers(len(live)))]
+            trace = trace_pool[fs.trace_idx]
+            for _ in range(int(rng.integers(1, 9))):
+                if fs.cursor >= len(trace):
+                    break
+                i = fs.cursor
+                fs.cursor += 1
+                fs.record(fs.handle.ingest(int(trace.pcs[i]), int(trace.addrs[i])))
+            counts["pump"] += 1
+        elif roll < 0.78:
+            if len(live) < MAX_LIVE_STREAMS:
+                open_stream()
+        elif roll < 0.84:
+            close_stream(live[int(rng.integers(len(live)))])
+        elif roll < 0.91:
+            fs = live[int(rng.integers(len(live)))]
+            info = engine.migrate_stream(fs.handle, int(rng.integers(engine.workers)))
+            if info["from"] != info["to"]:  # same-worker target is a no-op
+                counts["migrate"] += 1
+        elif roll < 0.96:
+            engine.rescale(int(rng.integers(1, MAX_WORKERS + 1)))
+            counts["rescale"] += 1
+        else:
+            # Version-bump hot swap of the same tables: must be a no-op for
+            # every stream's emissions, mid-churn.
+            art = engine._fuzz_artifact
+            art = art.successor(art.model, reason="fuzz-rotate")
+            engine.swap_model(art)
+            engine._fuzz_artifact = art
+            counts["swap"] += 1
+    for fs in list(live):
+        close_stream(fs)
+    assert engine.n_streams == 0
+    return counts
+
+
+@pytest.mark.parametrize("block", range(N_BLOCKS))
+def test_churn_fuzz_bit_identical_to_batch_oracle(
+    dart, trace_pool, oracle_pool, block
+):
+    """200 seeded open/close/migrate/rescale/swap schedules, oracle-identical."""
+    rng = np.random.default_rng(5000 + block)
+    totals = {"pump": 0, "open": 0, "close": 0, "migrate": 0, "rescale": 0, "swap": 0}
+    engine = dart.sharded(workers=2, batch_size=BATCH, io_chunk=4)
+    engine._fuzz_artifact = dart.artifact
+    with engine:
+        for sched in range(SCHEDULES_PER_BLOCK):
+            counts = _run_schedule(
+                engine, rng, dart, trace_pool, oracle_pool,
+                label=f"block {block} schedule {sched}",
+            )
+            for k, v in counts.items():
+                totals[k] += v
+        stats = engine.stats()["elastic"]
+    # The block genuinely churned (not a degenerate pump-only run) and the
+    # engine's own accounting agrees with the schedule's.
+    assert stats["opened"] == totals["open"] == stats["closed"]
+    assert stats["rescales"] == totals["rescale"]
+    # rescale-shrink migrations ride on migrate_stream too
+    assert stats["migrations"] >= totals["migrate"]
+    assert totals["migrate"] > 0 and totals["rescale"] > 0 and totals["close"] > 0
+
+
+# ------------------------------------------------------------ crash injection
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_schedule_interrupted_mid_migration_still_cleans_up(
+    dart, trace_pool, seed
+):
+    """Kill the migration source mid-schedule: a named ShardFailure, then
+    close() unlinks every segment and reaps every worker — including workers
+    added by an earlier rescale."""
+    rng = np.random.default_rng(7100 + seed)
+    engine = dart.sharded(workers=2, batch_size=BATCH, io_chunk=4)
+    try:
+        handles = [engine.open_stream(f"c{i}") for i in range(3)]
+        for i in range(int(rng.integers(30, 90))):
+            for h, t in zip(handles, trace_pool):
+                h.ingest(int(t.pcs[i]), int(t.addrs[i]))
+        engine.rescale(3)  # the grown worker must be reaped too
+        victim = handles[int(rng.integers(len(handles)))]
+        engine._shards[victim.shard_id].process.kill()
+        engine._shards[victim.shard_id].process.join(timeout=5.0)
+        with pytest.raises(ShardFailure) as exc:
+            engine.migrate_stream(victim, (victim.shard_id + 1) % engine.workers)
+        assert victim.index in exc.value.stream_ids
+        names = [pub.name for pub in engine._publications]
+        procs = [s.process for s in engine._shards]
+        assert names and len(procs) == 3
+    finally:
+        engine.close()
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+    assert all(not p.is_alive() for p in procs)
+
+
+def test_worker_death_after_churn_still_raises_named_failure(dart, trace_pool):
+    """Regression: retired slots (close/migrate placeholders) must not break
+    ShardFailure construction — the failure names only the live streams."""
+    engine = dart.sharded(workers=2, batch_size=BATCH, io_chunk=4)
+    try:
+        a, b, c = (engine.open_stream(f"d{i}") for i in range(3))  # w0: a, c
+        for i in range(30):
+            for h, t in zip((a, b, c), trace_pool):
+                h.ingest(int(t.pcs[i]), int(t.addrs[i]))
+        engine.close_stream(a)  # leaves a None placeholder on worker 0
+        engine._shards[0].process.kill()
+        engine._shards[0].process.join(timeout=5.0)
+        with pytest.raises(ShardFailure) as exc:
+            for i in range(30, 120):
+                c.ingest(int(trace_pool[2].pcs[i]), int(trace_pool[2].addrs[i]))
+            engine.flush_all()
+        assert exc.value.stream_ids == [c.index]
+        assert exc.value.stream_names == [c.name]
+    finally:
+        engine.close()
+
+
+def test_migration_onto_dead_target_names_the_lost_stream(dart, trace_pool):
+    """Regression: a dead thaw target makes the migrating stream a casualty —
+    named in the ShardFailure, sealed, and the source shard keeps serving."""
+    engine = dart.sharded(workers=2, batch_size=BATCH, io_chunk=4)
+    try:
+        a, b = engine.open_stream("mover"), engine.open_stream("stays")  # w0/w1
+        c = engine.open_stream("neighbour")  # w0, shares the source shard
+        collected = {}
+        for i in range(40):
+            a.ingest(int(trace_pool[0].pcs[i]), int(trace_pool[0].addrs[i]))
+            for em in c.ingest(int(trace_pool[2].pcs[i]), int(trace_pool[2].addrs[i])):
+                collected[em.seq] = list(em.blocks)
+        engine._shards[1].process.kill()
+        engine._shards[1].process.join(timeout=5.0)
+        with pytest.raises(ShardFailure) as exc:
+            engine.migrate_stream(a, 1)
+        assert a.index in exc.value.stream_ids  # the in-flight casualty
+        assert b.index in exc.value.stream_ids  # the dead worker's tenant
+        # The casualty is sealed; the dead worker's tenant stays registered
+        # (shard failure is sticky, not an implicit close — PR-4 semantics).
+        assert a.closed and not b.closed
+        assert engine.n_streams == 2
+        # The healthy source shard serves on: its surviving tenant stays
+        # oracle-identical (the retired slot is never touched again).
+        oracle = dart.prefetch_lists(trace_pool[2])
+        for i in range(40, 120):
+            for em in c.ingest(int(trace_pool[2].pcs[i]), int(trace_pool[2].addrs[i])):
+                collected[em.seq] = list(em.blocks)
+        for em in engine.close_stream(c):
+            collected[em.seq] = list(em.blocks)
+        assert [collected[s] for s in range(120)] == oracle[:120]
+    finally:
+        engine.close()
+
+
+def test_rescale_shrink_onto_dead_survivor_raises_and_cleans_up(dart, trace_pool):
+    """A shrink whose migration target is dead must raise (not hang) and the
+    doomed worker must stay engine-owned so close() reaps it."""
+    engine = dart.sharded(workers=3, batch_size=BATCH, io_chunk=4)
+    try:
+        handles = [engine.open_stream(f"r{i}") for i in range(3)]
+        for i in range(40):
+            for h, t in zip(handles, trace_pool):
+                h.ingest(int(t.pcs[i]), int(t.addrs[i]))
+        engine._shards[0].process.kill()
+        engine._shards[0].process.join(timeout=5.0)
+        with pytest.raises(ShardFailure):
+            engine.rescale(1)  # streams of workers 1/2 must land on dead 0
+        procs = [s.process for s in engine._shards]
+        names = [pub.name for pub in engine._publications]
+    finally:
+        engine.close()
+    assert all(not p.is_alive() for p in procs)
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+# ----------------------------------------------------- stats conservation
+def test_latency_count_conserved_across_migration_and_rescale(dart, trace_pool):
+    """A stream's latency sketch travels with it: counts are conserved."""
+    engine = dart.sharded(workers=2, batch_size=BATCH, io_chunk=4)
+    with engine:
+        handles = [engine.open_stream(f"m{i}") for i in range(4)]
+        for i in range(60):
+            for h, t in zip(handles, trace_pool):
+                h.ingest(int(t.pcs[i]), int(t.addrs[i]))
+        engine.flush_all()
+        before = {s.extra["stream"]: s.extra["latency_count"]
+                  for s in engine.stream_stats()}
+        assert sum(before.values()) == 4 * 60
+        engine.migrate_stream(handles[0], 1)
+        engine.rescale(3)
+        engine.rescale(1)  # every stream migrates at least once here
+        mid = {s.extra["stream"]: s.extra["latency_count"]
+               for s in engine.stream_stats()}
+        assert mid == before  # migration moved the sketches, losslessly
+        for i in range(60, 100):
+            for h, t in zip(handles, trace_pool):
+                h.ingest(int(t.pcs[i]), int(t.addrs[i]))
+        engine.flush_all()
+        after = engine.stream_stats()
+        assert {s.extra["stream"]: s.extra["latency_count"] for s in after} == {
+            k: v + 40 for k, v in before.items()
+        }
+        assert all(s.accesses == 100 for s in after)
+        # The shrink drained workers 1 and 2 onto worker 0: every stream not
+        # already home there migrated, and each home-history matches its count.
+        assert sum(s.extra["migrations"] for s in after) >= 3
+        assert all(s.extra["shard"] == 0 for s in after)
+        assert all(
+            len(s.extra["homes"]) == 1 + s.extra["migrations"] for s in after
+        )
+
+
+# ------------------------------------------------------------ admission/close
+def test_admission_routes_to_least_loaded_worker(dart):
+    with dart.sharded(workers=2, batch_size=BATCH) as engine:
+        a, b, c, d = (engine.open_stream() for _ in range(4))
+        assert [a.shard_id, b.shard_id, c.shard_id, d.shard_id] == [0, 1, 0, 1]
+        engine.close_stream(a)
+        engine.close_stream(c)  # worker 0 now empty
+        e = engine.open_stream()
+        assert e.shard_id == 0  # least-loaded, not round-robin position
+        f = engine.open_stream()
+        assert f.shard_id == 0  # still lighter than worker 1 (2 live streams)
+
+
+def test_close_drains_pending_and_seals_the_handle(dart, trace_pool):
+    trace = trace_pool[0]
+    oracle = dart.prefetch_lists(trace)
+    with dart.sharded(workers=2, batch_size=64, io_chunk=8) as engine:
+        h = engine.open_stream("drainme")
+        got = {}
+        n = 40  # past warm-up, far below B=64: the tail stays pending
+        for i in range(n):
+            for em in h.ingest(int(trace.pcs[i]), int(trace.addrs[i])):
+                got[em.seq] = list(em.blocks)
+        assert len(got) < n  # something really was pending at close
+        for em in engine.close_stream(h):
+            got[em.seq] = list(em.blocks)
+        assert [got[s] for s in range(n)] == oracle[:n]
+        assert h.closed
+        with pytest.raises(ValueError, match="closed"):
+            h.ingest(int(trace.pcs[n]), int(trace.addrs[n]))
+        with pytest.raises(ValueError, match="closed"):
+            engine.migrate_stream(h, 0)
+        with pytest.raises(ValueError, match="closed"):
+            engine.close_stream(h)
+
+
+def test_close_before_start_still_answers_buffered_accesses(dart, trace_pool):
+    """Regression: ingests buffered below io_chunk on a never-started fleet
+    must still be answered by close (the fleet boots for the drain); a stream
+    that never ingested closes without booting anything."""
+    trace = trace_pool[0]
+    oracle = dart.prefetch_lists(trace)
+    engine = dart.sharded(workers=2, batch_size=64, io_chunk=256)
+    try:  # no `with`: __enter__ would start the fleet up front
+        idle = engine.open_stream("idle")
+        h = engine.open_stream("buffered")
+        assert engine.close_stream(idle) == []
+        assert not engine._started  # an empty close must not boot the fleet
+        got = {}
+        n = 30  # far below io_chunk: every row stays in the send buffer
+        for i in range(n):
+            for em in h.ingest(int(trace.pcs[i]), int(trace.addrs[i])):
+                got[em.seq] = list(em.blocks)
+        assert not engine._started
+        for em in engine.close_stream(h):
+            got[em.seq] = list(em.blocks)
+        assert [got.get(s) for s in range(n)] == oracle[:n]
+    finally:
+        engine.close()
+
+
+def test_migration_pause_bounded_by_one_flush_batch(dart, trace_pool):
+    """The snapshot carries at most one flush batch of pending queries."""
+    trace = trace_pool[0]
+    with dart.sharded(workers=2, batch_size=16, io_chunk=4) as engine:
+        h = engine.open_stream()
+        for i in range(120):
+            h.ingest(int(trace.pcs[i]), int(trace.addrs[i]))
+            if i in (40, 80, 119):
+                info = engine.migrate_stream(h, 1 - h.shard_id)
+                assert info["pending"] <= engine.batch_size
+                assert info["bytes"] > 0
+
+
+# -------------------------------------------------------- snapshot codec fuzz
+def _random_filled_state(rng: np.random.Generator):
+    """A StreamState at a random geometry, fill level and pending depth."""
+    config = PreprocessConfig(
+        history_len=int(rng.integers(4, 13)),
+        window=int(rng.integers(2, 7)),
+        delta_range=int(rng.choice([16, 32, 64])),
+    )
+    depth = int(rng.integers(1, 33))
+    state = StreamState(config, depth=depth)
+    n = int(rng.integers(0, 2 * state.cap + 1))  # may wrap the ring twice
+    for _ in range(n):
+        pc = int(rng.integers(0, 1 << 20)) << 2
+        addr = int(rng.integers(0, 1 << 28))
+        state.push(pc, addr)
+        # Randomly "answer" queued queries to vary the pending depth the way
+        # real flushes would (oldest first).
+        if state.pending and rng.random() < 0.3:
+            del state.pending[: int(rng.integers(1, len(state.pending) + 1))]
+    return config, depth, state
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_snapshot_roundtrip_bit_identical(seed):
+    rng = np.random.default_rng(9000 + seed)
+    config, depth, state = _random_filled_state(rng)
+    blob = snapshot_to_bytes(state.freeze())
+    thawed = StreamState.thaw(config, depth, snapshot_from_bytes(blob))
+    assert thawed.seq == state.seq
+    assert thawed.pending == state.pending
+    assert np.array_equal(thawed.addr_ring, state.addr_ring)
+    assert np.array_equal(thawed.pc_ring, state.pc_ring)
+    assert np.array_equal(thawed.anchors, state.anchors)
+    assert thawed.cap == state.cap and thawed.t_hist == state.t_hist
+
+
+def test_thaw_refuses_geometry_mismatch():
+    rng = np.random.default_rng(1)
+    config = PreprocessConfig(history_len=8, window=6, delta_range=32)
+    state = StreamState(config, depth=8)
+    snap = snapshot_from_bytes(snapshot_to_bytes(state.freeze()))
+    with pytest.raises(ValueError, match="geometry"):
+        StreamState.thaw(config, 16, snap)  # wrong depth -> wrong capacity
+    other = PreprocessConfig(history_len=12, window=6, delta_range=32)
+    with pytest.raises(ValueError, match="geometry"):
+        StreamState.thaw(other, 8, snap)
+    del rng
+
+
+def test_snapshot_codec_named_framing_errors():
+    config = PreprocessConfig(history_len=8, window=6, delta_range=32)
+    blob = snapshot_to_bytes(StreamState(config, depth=4).freeze())
+    with pytest.raises(ValueError, match="magic"):
+        snapshot_from_bytes(b"NOTSNAP!" + blob[8:])
+    with pytest.raises(ValueError, match="truncated"):
+        snapshot_from_bytes(blob[: len(blob) // 2])
+    with pytest.raises(ValueError, match="truncated"):
+        snapshot_from_bytes(blob[:16])  # full header, manifest cut off
+    with pytest.raises(ValueError, match="magic"):
+        snapshot_from_bytes(blob[:12])  # shorter than the header itself
+    # Tampered manifest format id.
+    bad = bytearray(blob)
+    import json
+
+    mlen = int.from_bytes(blob[8:16], "little")
+    manifest = json.loads(blob[16 : 16 + mlen])
+    manifest["format"] = 99
+    enc = json.dumps(manifest, sort_keys=True).encode()
+    assert len(enc) >= mlen  # format widening keeps it at least as long
+    bad = blob[:8] + len(enc).to_bytes(8, "little") + enc + blob[16 + mlen :]
+    with pytest.raises(ValueError, match="format"):
+        snapshot_from_bytes(bytes(bad))
+
+
+# ------------------------------------------- in-process export/import parity
+def test_export_import_continuation_is_bit_identical(dart, trace_pool):
+    """Freeze mid-stream, thaw on a *different* engine, keep serving: the
+    stitched emissions equal the uninterrupted oracle (the in-process core
+    of what migrate_stream does across processes)."""
+    trace = trace_pool[1]
+    oracle = dart.prefetch_lists(trace)
+    a = dart.multistream(batch_size=8)
+    b = dart.multistream(batch_size=8)
+    ha = a.streams(3)[1]  # a non-trivial slot, neighbours stay live
+    got = {}
+    cut = len(trace) // 2
+    for i in range(cut):
+        for em in ha.ingest(int(trace.pcs[i]), int(trace.addrs[i])):
+            got[em.seq] = list(em.blocks)
+    for em in ha.poll():
+        got[em.seq] = list(em.blocks)
+    hb = b.import_stream(a.export_stream(ha.index), name="thawed")
+    assert hb.seq == cut
+    assert ha.closed
+    with pytest.raises(ValueError, match="closed"):
+        ha.ingest(1, 2)
+    for i in range(cut, len(trace)):
+        for em in hb.ingest(int(trace.pcs[i]), int(trace.addrs[i])):
+            got[em.seq] = list(em.blocks)
+    for em in hb.flush():
+        got[em.seq] = list(em.blocks)
+    assert [got[s] for s in range(len(trace))] == oracle
+
+
+def test_export_refuses_undelivered_emissions(dart, trace_pool):
+    trace = trace_pool[0]
+    engine = dart.multistream(batch_size=4)
+    h0, h1 = engine.streams(2)
+    for i in range(20):  # h1's flushes park answers in h0's outbox
+        h0.ingest(int(trace.pcs[i]), int(trace.addrs[i]))
+        h1.ingest(int(trace.pcs[i]), int(trace.addrs[i]))
+    engine.flush_all()
+    assert h0._outbox
+    with pytest.raises(ValueError, match="undelivered"):
+        engine.export_stream(h0.index)
+    h0.poll()
+    snap = engine.export_stream(h0.index)  # now fine
+    assert snap["snapshot/seq"][0] == 20

@@ -9,15 +9,10 @@ N >= 4 — and the swap pause must be bounded by one flush.
 import numpy as np
 import pytest
 
-from repro.prefetch import DARTPrefetcher
 from repro.runtime import ModelArtifact, serve_interleaved
 from repro.runtime.microbatch import resolve_predictor
 
-
-@pytest.fixture(scope="module")
-def dart(tabular_student, preprocess_config):
-    tab, _ = tabular_student
-    return DARTPrefetcher(tab, preprocess_config, threshold=0.4)
+# `dart` is the shared session fixture in conftest.py.
 
 
 def _drive_with_swaps(stream, trace, swap_at, target):

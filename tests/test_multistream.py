@@ -12,29 +12,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.prefetch import DARTPrefetcher
 from repro.runtime import (
     BatchAdapter,
-    MultiStreamEngine,
     serve,
     serve_interleaved,
 )
-from repro.traces import make_workload
 
-
-@pytest.fixture(scope="module")
-def dart(tabular_student, preprocess_config):
-    tab, _ = tabular_student
-    return DARTPrefetcher(tab, preprocess_config, threshold=0.4, max_degree=3)
-
-
-@pytest.fixture(scope="module")
-def four_traces():
-    """Four genuinely different access streams (distinct seeds)."""
-    return [
-        make_workload("462.libquantum", scale=0.01, seed=10 + i).slice(0, 700)
-        for i in range(4)
-    ]
+# `dart` and `four_traces` are the shared session fixtures in conftest.py.
 
 
 # ------------------------------------------------------------------ equivalence

@@ -18,28 +18,34 @@ from __future__ import annotations
 
 import pytest
 
-from repro.prefetch import BestOffsetPrefetcher, DARTPrefetcher, NeuralPrefetcher, StreamPrefetcher
+from repro.prefetch import BestOffsetPrefetcher, NeuralPrefetcher, StreamPrefetcher
 from repro.runtime import MicroBatcher, as_streaming
-from repro.traces import make_workload
 
-ENGINES = ["stream", "microbatcher", "multistream", "sharded"]
+# The two mid-trace churn columns pin the elastic engine to the same oracle:
+# ElasticSharded with a rescale (grow then shrink) or a migration (there and
+# back) injected mid-trace must still be bit-identical per stream. Future
+# engines — elastic or not — plug in here instead of growing ad-hoc tests.
+ENGINES = [
+    "stream",
+    "microbatcher",
+    "multistream",
+    "sharded",
+    "elastic-rescale",
+    "elastic-migrate",
+]
 MODEL_BACKED = {"dart", "nn"}
 
 
 @pytest.fixture(scope="module")
-def conformance_traces():
+def conformance_traces(libquantum_traces):
     """Two genuinely different streams (the multi-stream engines serve both)."""
-    return [
-        make_workload("462.libquantum", scale=0.01, seed=21 + i).slice(0, 450)
-        for i in range(2)
-    ]
+    return libquantum_traces(2, 450, 21)
 
 
 @pytest.fixture(scope="module")
-def prefetchers(tabular_student, trained_student, preprocess_config):
-    tab, _ = tabular_student
+def prefetchers(dart, trained_student, preprocess_config):
     return {
-        "dart": DARTPrefetcher(tab, preprocess_config, threshold=0.4, max_degree=3),
+        "dart": dart,
         "nn": NeuralPrefetcher(
             trained_student, preprocess_config, name="TransFetch",
             latency_cycles=0, threshold=0.4, max_degree=3,
@@ -106,12 +112,35 @@ def test_engine_matches_batch_oracle(
         got = [drive_pair(handles, conformance_traces)]
         for s, trace in enumerate(conformance_traces):
             assert got[0][s] == oracles[kind][s], f"stream {s} diverged"
-    else:  # sharded
+    elif engine == "sharded":
         with pf.sharded(workers=2, batch_size=batch_size) as eng:
             _, per_stream, lists = eng.serve(conformance_traces, collect=True)
         for s in range(2):
             assert lists[s] == oracles[kind][s], f"stream {s} diverged"
             assert per_stream[s].accesses == len(conformance_traces[s])
+    else:  # elastic-rescale / elastic-migrate: churn injected mid-trace
+        n = len(conformance_traces[0])
+        churn = {
+            "elastic-rescale": {n // 4: lambda e, h: e.rescale(3),
+                                3 * n // 4: lambda e, h: e.rescale(1)},
+            "elastic-migrate": {n // 3: lambda e, h: e.migrate_stream(h[0], 1),
+                                2 * n // 3: lambda e, h: e.migrate_stream(h[0], 0)},
+        }[engine]
+        with pf.sharded(workers=2, batch_size=batch_size, io_chunk=16) as eng:
+            handles = [eng.open_stream(f"t{s}") for s in range(2)]
+            out = [[[] for _ in range(len(t))] for t in conformance_traces]
+            for i in range(n):
+                if i in churn:
+                    churn[i](eng, handles)
+                for h, t in zip(handles, conformance_traces):
+                    for em in h.ingest(int(t.pcs[i]), int(t.addrs[i])):
+                        out[h.index][em.seq] = list(em.blocks)
+            for h in handles:
+                for em in eng.close_stream(h):
+                    out[h.index][em.seq] = list(em.blocks)
+            assert eng.stats()["elastic"]["closed"] == 2
+        for s in range(2):
+            assert out[s] == oracles[kind][s], f"stream {s} diverged under churn"
 
     # The model actually prefetches on this workload — an all-empty oracle
     # would make every equality above vacuous.

@@ -16,29 +16,12 @@ from multiprocessing import shared_memory
 import numpy as np
 import pytest
 
-from repro.prefetch import DARTPrefetcher
-from repro.runtime import ModelArtifact, ShardFailure, serve, serve_interleaved
-from repro.traces import make_workload
+from repro.runtime import ShardFailure, serve, serve_interleaved
 
+# The tiny DART and the eight trace shards come from the shared fixtures in
+# conftest.py (`dart`, `eight_traces`) — one model fit for the whole session.
 N_STREAMS = 8
 LEN = 350
-
-
-@pytest.fixture(scope="module")
-def dart(tabular_student, preprocess_config):
-    tab, _ = tabular_student
-    return DARTPrefetcher(
-        ModelArtifact(tab, version=1), preprocess_config,
-        threshold=0.4, max_degree=3,
-    )
-
-
-@pytest.fixture(scope="module")
-def eight_traces():
-    return [
-        make_workload("462.libquantum", scale=0.01, seed=40 + i).slice(0, LEN)
-        for i in range(N_STREAMS)
-    ]
 
 
 @pytest.fixture(scope="module")
