@@ -367,7 +367,8 @@ def _stream_churn(args) -> int:
     if pf is None or not hasattr(pf, "sharded"):
         raise SystemExit("--churn needs a model-backed prefetcher (--prefetcher dart)")
     engine = pf.sharded(
-        workers=args.workers, batch_size=args.batch_size, max_wait=args.max_wait
+        workers=args.workers, batch_size=args.batch_size, max_wait=args.max_wait,
+        ipc=args.ipc,
     )
     events: list[dict] = []
     length = min(len(s) for s in shards)
@@ -466,7 +467,8 @@ def _stream_sharded(args) -> int:
             "--workers needs a model-backed prefetcher (--prefetcher dart)"
         )
     engine = pf.sharded(
-        workers=args.workers, batch_size=args.batch_size, max_wait=args.max_wait
+        workers=args.workers, batch_size=args.batch_size, max_wait=args.max_wait,
+        ipc=args.ipc,
     )
     with engine:
         agg, per_stream, lists = engine.serve(shards, collect=args.compare_batch)
@@ -603,6 +605,12 @@ def _cmd_stream(args) -> int:
     record["prefetcher"] = pf.name
     record["trace"] = trace_label
     record["batch_size"] = effective_b
+    fast_flushes = getattr(stream, "fast_path_flushes", None)
+    if fast_flushes:
+        # B=1 serving dispatches whole flushes through the single-query fast
+        # path; surface how many so the latency numbers are attributable.
+        rows.append(["fast-path flushes", f"{fast_flushes:,}"])
+        record["fast_path_flushes"] = fast_flushes
     if args.adapt:
         summary = stream.adaptation_summary()
         record["adaptation"] = summary
@@ -863,6 +871,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --workers W: run the elastic scenario "
                             "(mid-serve open/close, live migration, rescale, "
                             "hot swap) instead of a fixed-fleet serve")
+    p_str.add_argument("--ipc", choices=["pipe", "ring"], default="pipe",
+                       help="with --workers W: data-plane transport — 'ring' "
+                            "moves access/emission frames onto lock-free "
+                            "shared-memory rings (control stays on the pipe)")
     p_str.add_argument("--compare-batch", action="store_true",
                        help="also run prefetch_lists and check bit-identity")
     p_str.add_argument("--adapt", action="store_true",

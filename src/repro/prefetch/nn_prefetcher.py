@@ -24,6 +24,71 @@ from repro.traces.trace import MemoryTrace
 from repro.utils.bits import block_address
 
 
+#: per-delta-range |delta| ranking vectors for the "distance" decode — pure
+#: functions of geometry, cached so per-flush decodes (the B=1 latency path
+#: calls this once per access) don't rebuild them
+_RANK_SCORE_CACHE: dict[int, np.ndarray] = {}
+
+
+def _distance_rank_score(delta_range: int) -> np.ndarray:
+    score = _RANK_SCORE_CACHE.get(delta_range)
+    if score is None:
+        all_deltas = bitmap_index_to_delta(np.arange(2 * delta_range), delta_range)
+        score = np.abs(all_deltas).astype(np.float64)  # farther = better
+        _RANK_SCORE_CACHE[delta_range] = score
+    return score
+
+
+class SingleRowDecoder:
+    """Allocation-light :func:`decode_bitmap_probs` for one row at a time.
+
+    The B=1 latency path decodes one bitmap per access, where the generic
+    batch decode's ``np.where`` / ``take_along_axis`` wrappers and per-call
+    allocations cost more than the ranking itself. This decoder is bound to
+    one (bitmap size, threshold, degree, policy) at construction, holds its
+    scratch, and replays the exact same operations row-wise:
+
+    * the mask is built with ``copyto(where=...)`` over a ``-1.0``-filled
+      buffer — elementwise-identical to ``np.where(cond, score, -1.0)``;
+    * the ordering is the same default ``argsort`` (same algorithm, same
+      tie-breaking) on the same negated scores;
+    * deltas come from a precomputed ``bitmap_index_to_delta`` table, which
+      is a pure function of the index.
+
+    ``tests/test_latency_serving.py`` pins ``decode1 ==
+    decode_bitmap_probs`` on fuzzed inputs. Not thread-safe (scratch is
+    reused), matching the single-threaded flush paths that own one.
+    """
+
+    def __init__(self, bitmap_size: int, threshold: float, max_degree: int, decode: str):
+        if decode not in ("distance", "confidence"):
+            raise ValueError(f"unknown decode policy {decode!r}")
+        self.threshold = float(threshold)
+        self.max_degree = int(max_degree)
+        self.decode = decode
+        delta_range = int(bitmap_size) // 2
+        self.rank_score = _distance_rank_score(delta_range) if decode == "distance" else None
+        self.all_deltas = bitmap_index_to_delta(np.arange(bitmap_size), delta_range)
+        self._masked = np.empty(bitmap_size, dtype=np.float64)
+        self._neg = np.empty(bitmap_size, dtype=np.float64)
+        self._bmask = np.empty(bitmap_size, dtype=bool)
+
+    def decode1(self, probs_row: np.ndarray, anchor) -> list[int]:
+        """Prefetch blocks for one ``(2R,)`` probability row."""
+        m = self._masked
+        np.greater(probs_row, self.threshold, self._bmask)
+        m.fill(-1.0)
+        np.copyto(m, self.rank_score if self.decode == "distance" else probs_row,
+                  where=self._bmask)
+        np.negative(m, self._neg)
+        order = self._neg.argsort()[: self.max_degree]
+        chosen = m.take(order)
+        valid = chosen > 0
+        if not valid.any():
+            return []
+        return (int(anchor) + self.all_deltas.take(order)[valid]).tolist()
+
+
 def decode_bitmap_probs(
     probs: np.ndarray,
     anchors: np.ndarray,
@@ -57,8 +122,7 @@ def decode_bitmap_probs(
     anchors = np.asarray(anchors, dtype=np.int64)
     # Vectorized decode: mask below threshold, rank the rest per row.
     if decode == "distance":
-        all_deltas = bitmap_index_to_delta(np.arange(2 * delta_range), delta_range)
-        rank_score = np.abs(all_deltas).astype(np.float64)  # farther = better
+        rank_score = _distance_rank_score(delta_range)
         masked = np.where(probs > threshold, rank_score[None, :], -1.0)
     else:
         masked = np.where(probs > threshold, probs, -1.0)

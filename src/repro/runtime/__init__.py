@@ -53,6 +53,16 @@ from repro.runtime.microbatch import (
     snapshot_to_bytes,
 )
 from repro.runtime.multistream import MultiStreamEngine, StreamHandle, serve_interleaved
+from repro.runtime.ring import (
+    Ring,
+    RingDataError,
+    RingError,
+    RingPeerDead,
+    RingTimeout,
+    RingWait,
+    attach_ring,
+    create_ring,
+)
 from repro.runtime.sharded import ShardedEngine, ShardFailure, ShardHandle
 from repro.runtime.streaming import (
     BatchAdapter,
@@ -75,6 +85,12 @@ __all__ = [
     "MicroBatcher",
     "ModelArtifact",
     "MultiStreamEngine",
+    "Ring",
+    "RingDataError",
+    "RingError",
+    "RingPeerDead",
+    "RingTimeout",
+    "RingWait",
     "SequentialStreamAdapter",
     "ShardFailure",
     "ShardHandle",
@@ -88,6 +104,8 @@ __all__ = [
     "StreamingPrefetcher",
     "access_pairs",
     "as_streaming",
+    "attach_ring",
+    "create_ring",
     "nn_refit",
     "score_prefetch_lists",
     "serve",

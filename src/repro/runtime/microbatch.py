@@ -46,7 +46,7 @@ import json
 import numpy as np
 
 from repro.data.dataset import PreprocessConfig
-from repro.prefetch.nn_prefetcher import decode_bitmap_probs
+from repro.prefetch.nn_prefetcher import SingleRowDecoder, decode_bitmap_probs
 from repro.runtime.streaming import Emission, StreamingPrefetcher
 from repro.utils.bits import block_address
 
@@ -303,6 +303,8 @@ class _FlushPath:
         self._anchors = np.empty(b, dtype=np.int64)
         self._probs = np.empty((b, config.bitmap_size), dtype=np.float64)
         self._win = np.arange(t_hist, dtype=np.intp)
+        #: row-wise decode twin (bit-identical; used by the k == 1 dispatch)
+        self._decode1 = SingleRowDecoder(config.bitmap_size, threshold, max_degree, decode)
         #: vectorized predict calls issued (the quantity shared batching cuts)
         self.predict_calls = 0
         #: queries answered across all calls
@@ -311,6 +313,8 @@ class _FlushPath:
         self.swaps = 0
         #: version id of the installed model, when known (ModelArtifact swaps)
         self.model_version: int | None = None
+        #: flushes answered by the single-query fast path (k == 1 dispatches)
+        self.fast_path_flushes = 0
         self.set_predictor(predict_proba)
         self.swaps = 0  # installing the boot model is not a swap
 
@@ -321,6 +325,12 @@ class _FlushPath:
         do (see ``swap_model``); the gather buffers are geometry-bound and
         keep being valid because swaps are refused unless the new model
         matches the engine's preprocessing config.
+
+        When the callable is a bound method of a model exposing
+        ``fast_path()`` (the tabular predictor), the single-query plan is
+        built here, once per install — so one-row flushes skip the generic
+        n-row gather/predict machinery entirely. A swap replaces the plan
+        with the new model's (never reuses the old one).
         """
         self._predict = predict_proba
         try:
@@ -328,6 +338,16 @@ class _FlushPath:
             self._supports_out = "out" in params
         except (TypeError, ValueError):  # builtins / C callables
             self._supports_out = False
+        fast = None
+        model = getattr(predict_proba, "__self__", None)
+        if model is not None and hasattr(model, "fast_path"):
+            fast = model.fast_path()
+            if (
+                fast.t_hist != self._t_hist
+                or fast.bitmap_size != self._probs.shape[1]
+            ):  # geometry-incompatible plan: serve generically
+                fast = None
+        self._fast = fast
         self.swaps += 1
         if version is not None:
             self.model_version = version
@@ -346,28 +366,48 @@ class _FlushPath:
         if k > self.batch_size:
             raise ValueError(f"{k} pending queries exceed batch_size={self.batch_size}")
         t = self._t_hist
-        offset = 0
-        for state, pend in groups:
-            kk = len(pend)
-            if kk == 0:
-                continue
-            pos = np.asarray(pend, dtype=np.intp) % state.cap
-            # Window rows for seq: mirrored-ring indices r+cap-T+1 .. r+cap.
-            rows = pos[:, None] + (state.cap - t + 1) + self._win[None, :]
-            np.take(state.addr_ring, rows, axis=0, out=self._x_addr[offset : offset + kk])
-            np.take(state.pc_ring, rows, axis=0, out=self._x_pc[offset : offset + kk])
-            self._anchors[offset : offset + kk] = state.anchors[pos]
-            offset += kk
-        if self._supports_out:
-            probs = self._predict(
-                self._x_addr[:k], self._x_pc[:k],
-                batch_size=self.batch_size, out=self._probs[:k],
+        if k == 1 and self._fast is not None:
+            # Single-query dispatch: the window for seq is a *contiguous*
+            # slice of the mirrored ring (rows r+cap-T+1 .. r+cap), so it
+            # feeds the fused plan as a view — no gather, no batch predict.
+            # Bit-identity with the generic path is pinned by the
+            # serving-conformance matrix.
+            for state, pend in groups:
+                if pend:
+                    break
+            cap = state.cap
+            r = pend[0] % cap
+            lo = r + cap - t + 1
+            self._fast.query_into(
+                state.addr_ring[lo : lo + t],
+                state.pc_ring[lo : lo + t],
+                self._probs[:1],
             )
+            lists = [self._decode1.decode1(self._probs[0], state.anchors[r])]
+            self.fast_path_flushes += 1
         else:
-            probs = self._predict(self._x_addr[:k], self._x_pc[:k], batch_size=self.batch_size)
-        lists = decode_bitmap_probs(
-            probs, self._anchors[:k], self.threshold, self.max_degree, self.decode
-        )
+            offset = 0
+            for state, pend in groups:
+                kk = len(pend)
+                if kk == 0:
+                    continue
+                pos = np.asarray(pend, dtype=np.intp) % state.cap
+                # Window rows for seq: mirrored-ring indices r+cap-T+1 .. r+cap.
+                rows = pos[:, None] + (state.cap - t + 1) + self._win[None, :]
+                np.take(state.addr_ring, rows, axis=0, out=self._x_addr[offset : offset + kk])
+                np.take(state.pc_ring, rows, axis=0, out=self._x_pc[offset : offset + kk])
+                self._anchors[offset : offset + kk] = state.anchors[pos]
+                offset += kk
+            if self._supports_out:
+                probs = self._predict(
+                    self._x_addr[:k], self._x_pc[:k],
+                    batch_size=self.batch_size, out=self._probs[:k],
+                )
+            else:
+                probs = self._predict(self._x_addr[:k], self._x_pc[:k], batch_size=self.batch_size)
+            lists = decode_bitmap_probs(
+                probs, self._anchors[:k], self.threshold, self.max_degree, self.decode
+            )
         self.predict_calls += 1
         self.queries_answered += k
         out: list[list[Emission]] = []
@@ -450,6 +490,11 @@ class MicroBatcher:
     def predict_calls(self) -> int:
         """Vectorized predict calls issued so far (not reset by :meth:`reset`)."""
         return self._path.predict_calls
+
+    @property
+    def fast_path_flushes(self) -> int:
+        """Flushes answered by the single-query fast path (k == 1 dispatches)."""
+        return self._path.fast_path_flushes
 
     @property
     def swaps(self) -> int:
@@ -548,6 +593,11 @@ class StreamingModelPrefetcher(StreamingPrefetcher):
     def predict_calls(self) -> int:
         """Vectorized predict calls issued so far."""
         return self._mb.predict_calls
+
+    @property
+    def fast_path_flushes(self) -> int:
+        """Flushes answered by the single-query fast path (k == 1 dispatches)."""
+        return self._mb.fast_path_flushes
 
     @property
     def swaps(self) -> int:

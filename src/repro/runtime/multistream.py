@@ -335,6 +335,11 @@ class MultiStreamEngine:
     def queries_answered(self) -> int:
         return self._path.queries_answered
 
+    @property
+    def fast_path_flushes(self) -> int:
+        """Flushes answered by the single-query fast path (k == 1 dispatches)."""
+        return self._path.fast_path_flushes
+
     def stats(self) -> dict:
         """Aggregate serving counters (the shared-batching scorecard)."""
         calls = self._path.predict_calls
@@ -346,6 +351,7 @@ class MultiStreamEngine:
             "model_version": self.model_version,
             "swaps": self.swaps,
             "predict_calls": calls,
+            "fast_path_flushes": self._path.fast_path_flushes,
             "queries_answered": self._path.queries_answered,
             "mean_batch_fill": (self._path.queries_answered / calls) if calls else 0.0,
         }

@@ -1,0 +1,343 @@
+"""Lock-free SPSC shared-memory rings for the sharded data plane.
+
+``multiprocessing.Pipe`` round-trips cost two syscalls plus a wakeup on both
+sides — fine for control traffic, but the dominant term of a sharded B=1
+access once the predict itself runs in ~100µs. This module provides the
+alternative: a **single-producer / single-consumer ring buffer** over a named
+POSIX shared-memory segment, so an access row (and its emission reply)
+travels through shared pages with no syscall on the hot path at all.
+
+Design (Vyukov-style bounded SPSC, per-slot sequence numbers):
+
+* the segment holds ``slots`` fixed-size slots plus one ``uint64`` sequence
+  word per slot, initialized to the slot's index;
+* the producer claims positions from a private monotone counter ``head``:
+  position ``p`` lands in slot ``p % slots``, which is free exactly when its
+  sequence word equals ``p``; after writing the payload the producer
+  *publishes* by storing ``p + 1`` — a single aligned 8-byte store, ordered
+  after the payload writes under the TSO memory model of every platform
+  CPython supports (the GIL never re-orders the interpreter's own stores);
+* the consumer reads position ``c`` when the word equals ``c + 1`` and
+  *releases* the slot by storing ``c + slots``, making it claimable exactly
+  one lap later.
+
+Neither side ever writes the other's counter — no locks, no CAS, no shared
+cursor contention. Backpressure is the ring itself: a producer that laps the
+consumer parks on the slot's sequence word (bounded spin, then sleep — see
+:class:`RingWait`).
+
+**Frames** are the unit callers see: the exact length-prefixed binary records
+the pipe protocol already ships (:mod:`repro.runtime.sharded`). A frame is
+written as an 8-byte header — payload length + CRC32 — followed by the
+payload, packed across as many consecutive slots as it needs, each gated by
+its own sequence word. Frames larger than the whole ring stream through it:
+the consumer releases fragment slots as it copies them, feeding the blocked
+producer. The CRC turns a torn frame (producer died mid-write, stray
+corruption) into a named :class:`RingDataError` instead of garbage decode —
+pinned by the fuzz in ``tests/test_ring.py``.
+
+Container framing follows :mod:`repro.tabularization.shm`: magic, uint64
+manifest length, JSON manifest, 64-byte-aligned payload — so a foreign or
+truncated segment fails attach with a named error, never a silent misread.
+
+One ring is one direction. The sharded engine gives every worker a pair —
+frontend→worker (ingest) and worker→frontend (emissions) — and keeps the
+request/reply lockstep of the pipe protocol, which is what makes SPSC the
+right (and sufficient) discipline: each ring has exactly one writer and one
+reader by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import secrets
+import struct
+import time
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from zlib import crc32
+
+import numpy as np
+
+MAGIC = b"DARTRNG1"
+_HEADER = len(MAGIC) + 8  # magic + uint64 manifest length
+_ALIGN = 64
+
+#: per-frame header: payload length, CRC32 of the payload
+_FRAME = struct.Struct("<II")
+
+
+class RingError(RuntimeError):
+    """Base class for ring failures."""
+
+
+class RingTimeout(RingError):
+    """The peer did not free (or fill) a slot within the deadline."""
+
+
+class RingPeerDead(RingError):
+    """The liveness probe reported the peer gone while we were parked."""
+
+
+class RingDataError(RingError):
+    """A frame failed validation (torn write / corruption)."""
+
+
+@dataclass
+class RingWait:
+    """Bounded spin-then-sleep policy for parked ring operations.
+
+    ``spin`` iterations of pure re-checking first (latency: the common case
+    is the peer publishing within microseconds), then ``sleep_s`` naps —
+    yielding the core, which matters more than spin depth on small hosts.
+    Liveness is probed and the deadline checked once per nap, so a dead peer
+    costs at most one sleep interval to detect.
+    """
+
+    spin: int = 256
+    sleep_s: float = 100e-6
+
+    def to_dict(self) -> dict:
+        return {"spin": int(self.spin), "sleep_s": float(self.sleep_s)}
+
+
+def _new_ring_name() -> str:
+    return f"dartring-{secrets.token_hex(6)}"
+
+
+class Ring:
+    """One SPSC ring over a named shared-memory segment.
+
+    Construct through :func:`create_ring` (owner side) or :func:`attach_ring`
+    (peer side). The producer process calls :meth:`send`; the consumer calls
+    :meth:`recv` / :meth:`try_recv`. Which process plays which role is fixed
+    by convention for the ring's whole lifetime — nothing enforces it, and
+    violating it (two writers) loses the lock-freedom argument entirely.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, manifest: dict,
+                 owner: bool, wait: RingWait | None = None):
+        self._shm = shm
+        self.name = shm.name
+        self.owner = owner
+        self.slots = int(manifest["slots"])
+        self.slot_bytes = int(manifest["slot_bytes"])
+        self.wait = wait or RingWait()
+        base = int(manifest["seq_offset"])
+        self._seq = np.ndarray((self.slots,), dtype=np.uint64,
+                               buffer=shm.buf, offset=base)
+        self._data = np.ndarray((self.slots, self.slot_bytes), dtype=np.uint8,
+                                buffer=shm.buf, offset=int(manifest["data_offset"]))
+        self._head = 0  # producer position (private to the producer process)
+        self._tail = 0  # consumer position (private to the consumer process)
+        self._closed = False
+
+    # ------------------------------------------------------------------ waits
+    def _park(self, idx: int, want: int, timeout: float | None, alive) -> None:
+        """Block until ``seq[idx] == want`` (bounded spin, then sleep)."""
+        seq = self._seq
+        w = np.uint64(want)
+        if seq[idx] == w:
+            return
+        spin = self.wait.spin
+        while spin > 0:
+            if seq[idx] == w:
+                return
+            spin -= 1
+        deadline = None if timeout is None else time.monotonic() + timeout
+        nap = self.wait.sleep_s
+        while seq[idx] != w:
+            if alive is not None and not alive():
+                raise RingPeerDead(
+                    f"ring {self.name!r}: peer died while slot {idx} was held"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise RingTimeout(
+                    f"ring {self.name!r}: slot {idx} not ready within {timeout}s"
+                )
+            time.sleep(nap)
+
+    # --------------------------------------------------------------- producer
+    def send(self, data: bytes, timeout: float | None = None, alive=None) -> None:
+        """Write one frame; parks (bounded) when the ring is full.
+
+        ``alive`` is an optional zero-arg liveness probe for the consumer —
+        a producer never hangs on a dead peer, it raises :class:`RingPeerDead`.
+
+        A send that raises mid-frame (timeout, dead peer) leaves already
+        published fragments behind: the ring is no longer usable from this
+        producer. That is deliberate — the sharded engine treats any ring
+        error as a shard failure, exactly like a broken pipe.
+        """
+        if self._closed:
+            raise ValueError(f"ring {self.name!r} is closed")
+        frame = _FRAME.pack(len(data), crc32(data)) + data
+        sb = self.slot_bytes
+        pos = self._head
+        view = memoryview(frame)
+        off, total = 0, len(frame)
+        i = 0
+        while off < total:
+            idx = (pos + i) % self.slots
+            self._park(idx, pos + i, timeout, alive)
+            take = min(sb, total - off)
+            chunk = np.frombuffer(view[off : off + take], dtype=np.uint8)
+            self._data[idx, :take] = chunk
+            self._seq[idx] = pos + i + 1  # publish (single aligned store)
+            off += take
+            i += 1
+        self._head = pos + i
+
+    # --------------------------------------------------------------- consumer
+    @property
+    def readable(self) -> bool:
+        """True when a frame's first slot is published (never blocks)."""
+        return bool(self._seq[self._tail % self.slots] == np.uint64(self._tail + 1))
+
+    def try_recv(self, timeout: float | None = None, alive=None) -> bytes | None:
+        """One frame if its first slot is ready, else ``None`` (no parking).
+
+        Once the first slot is published the producer has committed to the
+        whole frame, so the remaining fragments are waited for with the
+        normal (bounded) protocol.
+        """
+        if not self.readable:
+            return None
+        return self.recv(timeout=timeout, alive=alive)
+
+    def recv(self, timeout: float | None = None, alive=None) -> bytes:
+        """Read one frame; parks (bounded) until the producer publishes it."""
+        if self._closed:
+            raise ValueError(f"ring {self.name!r} is closed")
+        sb = self.slot_bytes
+        pos = self._tail
+        idx = pos % self.slots
+        self._park(idx, pos + 1, timeout, alive)
+        first = self._data[idx].tobytes()
+        length, want_crc = _FRAME.unpack_from(first)
+        total = _FRAME.size + length
+        parts = [first[: min(total, sb)]]
+        self._seq[idx] = pos + self.slots  # release for the next lap
+        got = min(total, sb)
+        i = 1
+        while got < total:
+            idx = (pos + i) % self.slots
+            self._park(idx, pos + i + 1, timeout, alive)
+            take = min(sb, total - got)
+            parts.append(self._data[idx, :take].tobytes())
+            self._seq[idx] = pos + i + self.slots
+            got += take
+            i += 1
+        self._tail = pos + i
+        payload = b"".join(parts)[_FRAME.size :]
+        if crc32(payload) != want_crc:
+            raise RingDataError(
+                f"ring {self.name!r}: torn frame at position {pos} "
+                f"(CRC mismatch over {length} bytes)"
+            )
+        return payload
+
+    # --------------------------------------------------------------- lifetime
+    def close(self) -> None:
+        """Release this process's mapping (safe to call twice)."""
+        if self._closed:
+            return
+        self._seq = None
+        self._data = None
+        self._shm.close()
+        self._closed = True
+
+    def unlink(self) -> None:
+        """Remove the segment name (idempotent; owner's responsibility)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "Ring":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        if self.owner:
+            self.unlink()
+
+
+def _layout(slots: int, slot_bytes: int) -> tuple[bytes, dict]:
+    """Serialize the manifest and compute the aligned offsets."""
+    manifest = {"format": 1, "slots": int(slots), "slot_bytes": int(slot_bytes)}
+    # Offsets depend on the manifest's serialized size, which does not change
+    # when the (fixed-width) offsets are added afterwards — they are rebased
+    # identically by the attacher from slots/slot_bytes alone.
+    blob = json.dumps(manifest, sort_keys=True).encode("utf-8")
+    seq_offset = -(-(_HEADER + len(blob)) // _ALIGN) * _ALIGN
+    data_offset = -(-(seq_offset + 8 * slots) // _ALIGN) * _ALIGN
+    manifest["seq_offset"] = seq_offset
+    manifest["data_offset"] = data_offset
+    manifest["total"] = data_offset + slots * slot_bytes
+    return blob, manifest
+
+
+def create_ring(slots: int = 256, slot_bytes: int = 4096,
+                name: str | None = None, wait: RingWait | None = None) -> Ring:
+    """Create (and own) a fresh ring segment; sequence words pre-initialized."""
+    if slots < 2:
+        raise ValueError("slots must be >= 2")
+    if slot_bytes < _FRAME.size:
+        raise ValueError(f"slot_bytes must be >= {_FRAME.size}")
+    blob, manifest = _layout(slots, slot_bytes)
+    shm = shared_memory.SharedMemory(
+        create=True, size=manifest["total"], name=name or _new_ring_name()
+    )
+    try:
+        buf = shm.buf
+        buf[: len(MAGIC)] = MAGIC
+        buf[len(MAGIC) : _HEADER] = len(blob).to_bytes(8, "little")
+        buf[_HEADER : _HEADER + len(blob)] = blob
+        seq = np.ndarray((slots,), dtype=np.uint64, buffer=buf,
+                         offset=manifest["seq_offset"])
+        seq[:] = np.arange(slots, dtype=np.uint64)
+        del seq
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    return Ring(shm, manifest, owner=True, wait=wait)
+
+
+def attach_ring(name: str, wait: RingWait | None = None) -> Ring:
+    """Map an existing ring; validates the container framing first."""
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        buf = shm.buf
+        if bytes(buf[: len(MAGIC)]) != MAGIC:
+            raise ValueError(
+                f"shared-memory segment {name!r} is not a DART ring (bad magic)"
+            )
+        mlen = int.from_bytes(bytes(buf[len(MAGIC) : _HEADER]), "little")
+        if _HEADER + mlen > shm.size:
+            raise ValueError(
+                f"ring segment {name!r} is truncated (manifest claims {mlen} "
+                f"bytes, segment holds {shm.size})"
+            )
+        manifest = json.loads(bytes(buf[_HEADER : _HEADER + mlen]).decode("utf-8"))
+        if manifest.get("format") != 1:
+            raise ValueError(
+                f"ring segment {name!r} uses manifest format "
+                f"{manifest.get('format')!r}; this build reads format 1"
+            )
+        _, expect = _layout(manifest["slots"], manifest["slot_bytes"])
+        if expect["total"] > shm.size:
+            raise ValueError(
+                f"ring segment {name!r} is truncated: layout needs "
+                f"{expect['total']} bytes, segment holds {shm.size}"
+            )
+        manifest.update(
+            seq_offset=expect["seq_offset"],
+            data_offset=expect["data_offset"],
+            total=expect["total"],
+        )
+    except BaseException:
+        shm.close()
+        raise
+    return Ring(shm, manifest, owner=False, wait=wait)

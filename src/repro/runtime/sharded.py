@@ -41,6 +41,14 @@ frames; the body is a fixed ``<iq`` header — opcode, meta — plus a raw
 emissions return as flat ``[stream, seq, n, blocks…]`` records, so neither
 direction pickles anything on the hot path.
 
+With ``ipc="ring"`` the same frames ride lock-free SPSC shared-memory rings
+(:mod:`repro.runtime.ring`) instead of the pipe — one ingest and one
+emission ring per worker — eliminating the syscall + wakeup pair per
+round trip that dominates B=1 latency. Only the data plane moves; the
+control plane (registration, swaps, migration snapshots, stats, shutdown)
+stays on the pipe, and the byte-identical records keep the two transports
+bit-identical (pinned by the conformance suite).
+
 Guarantees preserved from the single-process engines:
 
 * **one emission per access, ascending seq, per stream** — streams are
@@ -117,11 +125,21 @@ class ShardFailure(RuntimeError):
 
 
 # --------------------------------------------------------------------- worker
-def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict, measure: bool):
+def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict,
+                       measure: bool, ring_spec: tuple | None = None):
     """One shard: a MultiStreamEngine over shared tables, driven by the pipe.
 
     Runs in its own OS process. Never returns normally — exits on
     ``OP_SHUTDOWN``, a closed pipe, or after reporting an error.
+
+    With ``ring_spec = (ingest_name, emission_name, wait_dict)`` the **data
+    plane** (``OP_ACCESS`` / ``OP_FLUSH`` and their emission replies) moves
+    onto a pair of shared-memory rings (:mod:`repro.runtime.ring`); the
+    control plane — register, swap, snapshot, stats, shutdown — stays on the
+    pipe. Every reply travels back on the channel its request arrived on, so
+    the frontend's per-channel lockstep is preserved. The idle wait blocks on
+    the pipe fd in ``sleep_s`` naps (control traffic wakes it instantly) and
+    re-checks the ring's published-slot word each lap.
     """
     import traceback
 
@@ -129,7 +147,14 @@ def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict, me
 
     tables = None
     model = None
+    ring_in = ring_out = None
     try:
+        if ring_spec is not None:
+            from repro.runtime.ring import RingWait, attach_ring
+
+            wait = RingWait(**ring_spec[2])
+            ring_in = attach_ring(ring_spec[0], wait=wait)
+            ring_out = attach_ring(ring_spec[1], wait=wait)
         if model_spec[0] == "shm":
             from repro.tabularization.shm import attach_artifact
 
@@ -156,7 +181,8 @@ def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict, me
                 if h is not None:
                     note(lidx, h.poll())
 
-        def reply_emissions(deliver: bool, meta: int | None = None) -> None:
+        def reply_emissions(deliver: bool, meta: int | None = None,
+                            send=None) -> None:
             drain()
             if meta is None:
                 meta = len(completed)
@@ -171,13 +197,38 @@ def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict, me
             else:
                 payload = b""
             completed.clear()
-            conn.send_bytes(_HDR.pack(REPLY_EMISSIONS, meta) + payload)
+            (send or conn.send_bytes)(_HDR.pack(REPLY_EMISSIONS, meta) + payload)
+
+        def ring_send(body: bytes) -> None:
+            # The frontend consumes replies in lockstep, so a full emission
+            # ring clears within one reply round trip; a 60s park means the
+            # frontend is gone and the worker should exit like a broken pipe.
+            ring_out.send(body, timeout=60.0)
 
         while True:
-            try:
-                msg = conn.recv_bytes()
-            except (EOFError, OSError):
-                return  # frontend went away; nothing left to serve
+            via_ring = False
+            if ring_in is None:
+                try:
+                    msg = conn.recv_bytes()
+                except (EOFError, OSError):
+                    return  # frontend went away; nothing left to serve
+            else:
+                msg = None
+                spin = ring_in.wait.spin
+                while msg is None:
+                    if ring_in.readable:
+                        msg = ring_in.recv(timeout=60.0)
+                        via_ring = True
+                        break
+                    if spin > 0:
+                        spin -= 1
+                        continue
+                    try:
+                        if conn.poll(ring_in.wait.sleep_s):
+                            msg = conn.recv_bytes()
+                    except (EOFError, OSError):
+                        return
+            reply = ring_send if via_ring else conn.send_bytes
             op, meta = _HDR.unpack_from(msg)
             payload = msg[_HDR.size :]
             try:
@@ -194,10 +245,10 @@ def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict, me
                         for lidx, pc, addr in rows:
                             note(lidx, handles[lidx].ingest(pc, addr))
                             counts[lidx][0] += 1
-                    reply_emissions(deliver=bool(meta))
+                    reply_emissions(deliver=bool(meta), send=reply)
                 elif op == OP_FLUSH:
                     engine.flush_all()
-                    reply_emissions(deliver=bool(meta))
+                    reply_emissions(deliver=bool(meta), send=reply)
                 elif op == OP_REGISTER:
                     for _ in range(int(meta)):
                         handles.append(engine.stream())
@@ -304,11 +355,11 @@ def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict, me
                     raise ValueError(f"unknown opcode {op}")
             except Exception:
                 try:
-                    conn.send_bytes(
+                    reply(
                         _HDR.pack(REPLY_ERR, 0)
                         + traceback.format_exc().encode("utf-8", "replace")
                     )
-                except (BrokenPipeError, OSError):
+                except (BrokenPipeError, OSError, RuntimeError):
                     pass
                 return
     finally:
@@ -318,6 +369,9 @@ def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict, me
                 tables.close()
             except BufferError:
                 pass
+        for ring in (ring_in, ring_out):
+            if ring is not None:
+                ring.close()
         try:
             conn.close()
         except OSError:
@@ -334,6 +388,10 @@ class _Shard:
         self.handles: list["ShardHandle"] = []  # by local index
         self.sendbuf: list[tuple[int, int, int]] = []
         self.alive = False
+        # Ring-mode data plane (None in pipe mode). Frontend is the owner of
+        # both segments: producer on ingest, consumer on emissions.
+        self.ingest_ring = None
+        self.emission_ring = None
 
 
 class ShardHandle(StreamingPrefetcher):
@@ -409,6 +467,22 @@ class ShardedEngine:
     emissions arrive correspondingly later (a :meth:`flush_all` bounds the
     wait, exactly like a micro-batch flush).
 
+    ``ipc`` selects the data-plane transport: ``"pipe"`` (default) ships
+    access rows and emission replies over the worker pipe; ``"ring"`` moves
+    them onto a pair of lock-free shared-memory rings per worker
+    (:mod:`repro.runtime.ring` — ``ring_slots`` x ``ring_slot_bytes`` each,
+    parked waits governed by ``ring_wait``), cutting the two syscalls plus
+    scheduler wakeup a pipe round trip costs. The control plane — admission,
+    swap, migration snapshots, stats, shutdown — stays on the pipe in both
+    modes, and the wire records are byte-identical, so emissions are
+    bit-identical across transports (pinned by the conformance suite).
+
+    ``reply_timeout`` / ``poll_interval`` govern :meth:`_recv`'s wait for a
+    worker reply (total deadline, and the death-probe granularity while
+    waiting); ``drain_poll_interval`` is the short-path granularity used
+    during drain barriers (flush, swap, close, freeze), where replies are
+    expected promptly and a dead worker should be detected fast.
+
     Use as a context manager (or call :meth:`close`) — the engine owns named
     shared-memory segments that must be unlinked.
     """
@@ -430,11 +504,22 @@ class ShardedEngine:
         measure: bool = True,
         latency_cycles: int = 0,
         storage_bytes: float = 0.0,
+        ipc: str = "pipe",
+        ring_slots: int = 512,
+        ring_slot_bytes: int = 2048,
+        ring_wait=None,
+        reply_timeout: float = 60.0,
+        poll_interval: float = 0.05,
+        drain_poll_interval: float = 0.005,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if io_chunk < 1 or serve_chunk < 1:
             raise ValueError("io_chunk / serve_chunk must be >= 1")
+        if ipc not in ("pipe", "ring"):
+            raise ValueError(f"unknown ipc mode {ipc!r} (use 'pipe' or 'ring')")
+        if reply_timeout <= 0 or poll_interval <= 0 or drain_poll_interval <= 0:
+            raise ValueError("reply_timeout / poll intervals must be > 0")
         # Validate geometry + capture the artifact version before any process
         # or segment exists (same refusal point as the in-process engines).
         _, version = resolve_predictor(model, config)
@@ -456,6 +541,18 @@ class ShardedEngine:
         self.batch_size = int(batch_size)
         self.max_wait = max_wait
         self._measure = bool(measure)
+        self.ipc = ipc
+        self.ring_slots = int(ring_slots)
+        self.ring_slot_bytes = int(ring_slot_bytes)
+        if ipc == "ring":
+            from repro.runtime.ring import RingWait
+
+            self._ring_wait = ring_wait or RingWait()
+        else:
+            self._ring_wait = ring_wait
+        self.reply_timeout = float(reply_timeout)
+        self.poll_interval = float(poll_interval)
+        self.drain_poll_interval = float(drain_poll_interval)
         import multiprocessing as mp
 
         if start_method is None:
@@ -563,10 +660,25 @@ class ShardedEngine:
     def _spawn_shard(self, shard: _Shard) -> None:
         """Boot one worker process on the *current* model generation."""
         parent, child = self._ctx.Pipe(duplex=True)
+        ring_spec = None
+        if self.ipc == "ring":
+            from repro.runtime.ring import create_ring
+
+            shard.ingest_ring = create_ring(
+                self.ring_slots, self.ring_slot_bytes, wait=self._ring_wait
+            )
+            shard.emission_ring = create_ring(
+                self.ring_slots, self.ring_slot_bytes, wait=self._ring_wait
+            )
+            ring_spec = (
+                shard.ingest_ring.name,
+                shard.emission_ring.name,
+                self._ring_wait.to_dict(),
+            )
         proc = self._ctx.Process(
             target=_worker_serve_loop,
             args=(shard.id, child, self._model_spec, self._engine_kwargs,
-                  self._measure),
+                  self._measure, ring_spec),
             name=f"{self.name}-w{shard.id}",
             daemon=True,
         )
@@ -575,6 +687,16 @@ class ShardedEngine:
         shard.process = proc
         shard.conn = parent
         shard.alive = True
+
+    @staticmethod
+    def _unlink_rings(shard: _Shard) -> None:
+        """Release and unlink a shard's ring segments (idempotent)."""
+        for attr in ("ingest_ring", "emission_ring"):
+            ring = getattr(shard, attr)
+            if ring is not None:
+                ring.close()
+                ring.unlink()
+                setattr(shard, attr, None)
 
     def _shutdown_shard(self, shard: _Shard, ack_timeout: float) -> None:
         """Ask one worker to exit (tolerant of a dead pipe) and drop the conn."""
@@ -610,6 +732,7 @@ class ShardedEngine:
         """Gracefully stop one (drained) worker and reap its process."""
         self._shutdown_shard(shard, ack_timeout=5.0)
         self._reap_shard(shard)
+        self._unlink_rings(shard)
 
     def start(self) -> None:
         """Spawn the worker fleet (idempotent; implicit on first use)."""
@@ -645,13 +768,24 @@ class ShardedEngine:
         except (BrokenPipeError, OSError) as exc:
             self._fail(shard, f"pipe send failed: {exc!r}")
 
-    def _recv(self, shard: _Shard, timeout: float | None = 60.0):
-        """Receive one reply; never hangs on a dead worker."""
+    def _recv(self, shard: _Shard, timeout: float | None = None,
+              poll_interval: float | None = None):
+        """Receive one reply; never hangs on a dead worker.
+
+        ``timeout`` defaults to the engine's ``reply_timeout``;
+        ``poll_interval`` is how often the wait wakes to probe the worker
+        process for death (the poll itself returns the moment data lands).
+        Drain barriers pass the engine's short ``drain_poll_interval`` so a
+        worker dying mid-drain is caught promptly.
+        """
         conn = shard.conn
-        deadline = None if timeout is None else time.monotonic() + timeout
+        if timeout is None:
+            timeout = self.reply_timeout
+        interval = self.poll_interval if poll_interval is None else poll_interval
+        deadline = time.monotonic() + timeout
         while True:
             try:
-                if conn.poll(0.05):
+                if conn.poll(interval):
                     msg = conn.recv_bytes()
                     break
             except (EOFError, OSError) as exc:
@@ -667,18 +801,65 @@ class ShardedEngine:
                     shard,
                     f"worker process died (exit code {shard.process.exitcode})",
                 )
-            if deadline is not None and time.monotonic() > deadline:
+            if time.monotonic() > deadline:
                 self._fail(shard, f"no reply within {timeout}s")
         op, meta = _HDR.unpack_from(msg)
         if op == REPLY_ERR:
             self._fail(shard, msg[_HDR.size :].decode("utf-8", "replace"))
         return op, meta, msg[_HDR.size :]
 
-    def _expect(self, shard: _Shard, want_op: int):
-        op, meta, payload = self._recv(shard)
+    def _expect(self, shard: _Shard, want_op: int,
+                poll_interval: float | None = None):
+        op, meta, payload = self._recv(shard, poll_interval=poll_interval)
         if op != want_op:
             self._fail(shard, f"protocol error: got opcode {op}, wanted {want_op}")
         return meta, payload
+
+    # ---------------------------------------------------------- ring data plane
+    def _worker_alive(self, shard: _Shard):
+        proc = shard.process
+        return (lambda: proc.is_alive()) if proc is not None else None
+
+    def _send_data(self, shard: _Shard, op: int, meta: int,
+                   payload: bytes = b"") -> None:
+        """Ship one data-plane request (ring when enabled, else pipe)."""
+        if shard.ingest_ring is None:
+            self._send(shard, op, meta, payload)
+            return
+        if not self._started:
+            self.start()
+        if not shard.alive:
+            self._fail(shard, "worker already failed")
+        from repro.runtime.ring import RingError
+
+        try:
+            shard.ingest_ring.send(
+                _HDR.pack(op, meta) + payload,
+                timeout=self.reply_timeout,
+                alive=self._worker_alive(shard),
+            )
+        except RingError as exc:
+            self._fail(shard, f"ring send failed: {exc}")
+
+    def _expect_data(self, shard: _Shard, want_op: int):
+        """Receive one data-plane reply from the channel the request used."""
+        if shard.emission_ring is None:
+            return self._expect(shard, want_op,
+                                poll_interval=self.drain_poll_interval)
+        from repro.runtime.ring import RingError
+
+        try:
+            msg = shard.emission_ring.recv(
+                timeout=self.reply_timeout, alive=self._worker_alive(shard)
+            )
+        except RingError as exc:
+            self._fail(shard, f"ring recv failed: {exc}")
+        op, meta = _HDR.unpack_from(msg)
+        if op == REPLY_ERR:
+            self._fail(shard, msg[_HDR.size :].decode("utf-8", "replace"))
+        if op != want_op:
+            self._fail(shard, f"protocol error: got opcode {op}, wanted {want_op}")
+        return meta, msg[_HDR.size :]
 
     # ----------------------------------------------------------------- serving
     def _route(self, shard: _Shard, payload: bytes) -> int:
@@ -705,8 +886,8 @@ class ShardedEngine:
             return
         arr = np.asarray(shard.sendbuf, dtype=np.int64)
         shard.sendbuf.clear()
-        self._send(shard, OP_ACCESS, 1 if deliver else 0, arr.tobytes())
-        _, payload = self._expect(shard, REPLY_EMISSIONS)
+        self._send_data(shard, OP_ACCESS, 1 if deliver else 0, arr.tobytes())
+        _, payload = self._expect_data(shard, REPLY_EMISSIONS)
         if deliver:
             self._route(shard, payload)
 
@@ -722,8 +903,8 @@ class ShardedEngine:
             return
         for shard in self._shards:
             self._dispatch(shard)
-            self._send(shard, OP_FLUSH, 1)
-            _, payload = self._expect(shard, REPLY_EMISSIONS)
+            self._send_data(shard, OP_FLUSH, 1)
+            _, payload = self._expect_data(shard, REPLY_EMISSIONS)
             self._route(shard, payload)
 
     def _reset_stream(self, handle: ShardHandle) -> None:
@@ -785,7 +966,8 @@ class ShardedEngine:
             self.start()
         self._dispatch(shard)
         self._send(shard, OP_CLOSE, handle.local_index)
-        _, payload = self._expect(shard, REPLY_EMISSIONS)
+        _, payload = self._expect(shard, REPLY_EMISSIONS,
+                                  poll_interval=self.drain_poll_interval)
         self._route(shard, payload)
         shard.handles[handle.local_index] = None
         handle.closed = True
@@ -822,9 +1004,11 @@ class ShardedEngine:
         # freeze — the snapshot is only complete after the buffered rows land.
         self._dispatch(source)
         self._send(source, OP_FREEZE, handle.local_index)
-        _, payload = self._expect(source, REPLY_EMISSIONS)
+        _, payload = self._expect(source, REPLY_EMISSIONS,
+                                  poll_interval=self.drain_poll_interval)
         self._route(source, payload)
-        carried, body = self._expect(source, REPLY_SNAPSHOT)
+        carried, body = self._expect(source, REPLY_SNAPSHOT,
+                                     poll_interval=self.drain_poll_interval)
         source.handles[handle.local_index] = None
         try:
             self._send(target, OP_THAW, 0, bytes(body))
@@ -978,7 +1162,8 @@ class ShardedEngine:
         drained = 0
         for shard in sent:  # barrier: every surviving worker swapped
             try:
-                d, body = self._expect(shard, REPLY_EMISSIONS)
+                d, body = self._expect(shard, REPLY_EMISSIONS,
+                                       poll_interval=self.drain_poll_interval)
                 drained += int(d)
                 self._route(shard, body)
             except ShardFailure as exc:
@@ -1028,16 +1213,19 @@ class ShardedEngine:
         per_worker = self._worker_stats()
         calls = sum(w["engine"]["predict_calls"] for w in per_worker)
         answered = sum(w["engine"]["queries_answered"] for w in per_worker)
+        fast = sum(w["engine"].get("fast_path_flushes", 0) for w in per_worker)
         return {
             "workers": self.workers,
             "streams": self.n_streams,
             "batch_size": self.batch_size,
             "max_wait": self.max_wait,
+            "ipc": self.ipc,
             "model_copies": 1 if self._model_spec[0] == "shm" else self.workers,
             "shm_bytes": self.shm_bytes,
             "model_version": self._model_version,
             "swaps": self._swaps,
             "predict_calls": calls,
+            "fast_path_flushes": fast,
             "queries_answered": answered,
             "mean_batch_fill": (answered / calls) if calls else 0.0,
             "start_method": self.start_method,
@@ -1169,18 +1357,18 @@ class ShardedEngine:
                 lo = cursors[shard.id]
                 hi = min(lo + chunk, len(merged[shard.id]))
                 cursors[shard.id] = hi
-                self._send(
+                self._send_data(
                     shard, OP_ACCESS, 1 if collect else 0,
                     merged[shard.id][lo:hi].tobytes(),
                 )
             for shard in active:  # …then collect replies (compute overlapped)
-                _, payload = self._expect(shard, REPLY_EMISSIONS)
+                _, payload = self._expect_data(shard, REPLY_EMISSIONS)
                 if collect:
                     self._route(shard, payload)
             consume_outboxes()
         for shard in self._shards:
-            self._send(shard, OP_FLUSH, 1 if collect else 0)
-            _, payload = self._expect(shard, REPLY_EMISSIONS)
+            self._send_data(shard, OP_FLUSH, 1 if collect else 0)
+            _, payload = self._expect_data(shard, REPLY_EMISSIONS)
             if collect:
                 self._route(shard, payload)
         consume_outboxes()
@@ -1229,6 +1417,7 @@ class ShardedEngine:
             self._shutdown_shard(shard, ack_timeout=1.0)
         for shard in self._shards:
             self._reap_shard(shard)
+            self._unlink_rings(shard)
         for pub in self._publications:
             try:
                 pub.close()

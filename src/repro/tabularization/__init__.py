@@ -47,6 +47,7 @@ from repro.tabularization.export import (  # noqa: E402
     read_packed,
     write_packed,
 )
+from repro.tabularization.fastpath import SingleQueryFastPath  # noqa: E402
 from repro.tabularization.fused import FusedFunctionTable  # noqa: E402
 from repro.tabularization.serialization import (  # noqa: E402
     FORMAT_VERSION,
@@ -65,6 +66,7 @@ from repro.tabularization.shm import (  # noqa: E402
 __all__ += [
     "FORMAT_VERSION",
     "FusedFunctionTable",
+    "SingleQueryFastPath",
     "SharedTables",
     "attach_artifact",
     "attach_state",

@@ -142,6 +142,16 @@ class TabularAttention:
         gathered = self.qkv_table[c_idx, iqk[:, :, None, :], iv[:, None, :, :]]
         return gathered.sum(axis=-1)
 
+    def make_attention_plan(self, batch: int):
+        """Preallocated fixed-batch query plan (the single-query fast path).
+
+        Bit-identical to :meth:`query` on ``batch`` attention instances; see
+        :mod:`repro.tabularization.fastpath`.
+        """
+        from repro.tabularization.fastpath import AttentionPlan
+
+        return AttentionPlan(self, batch)
+
     # ------------------------------------------------------------------ costs
     @property
     def n_prototypes(self) -> int:

@@ -1,0 +1,438 @@
+"""Fused single-query fast path through the hierarchy of tables.
+
+The generic ``query()`` path is shaped for throughput: it accepts any batch,
+pads and re-splits inputs per call (``np.pad`` allocates), and every kernel
+allocates its activations. At ``B = 1`` — the shape a real prefetcher serves,
+one access at a time — that generality is almost pure overhead: profiling the
+bench geometry shows a single-row ``query()`` is dominated by NumPy *dispatch*
+(per-call padding, ``fromnumeric`` wrappers, view gymnastics, allocation), not
+arithmetic; the arrays are tiny.
+
+This module compiles a **plan** for the one geometry streaming serves — the
+model's fixed history length ``T`` — once, at build time:
+
+* every scratch buffer (subspace splits, distance matrices, code arrays,
+  gathers, activations) is preallocated, and so is every *view* into them
+  (head splits, gather index reshapes), so the steady state allocates nothing;
+* gather indices that depend only on geometry (subspace offsets into
+  flattened tables, the attention kernels' ``c·K²`` strides) are precomputed;
+* every step is a direct ufunc / ndarray-method call (``np.add.reduce``,
+  ``ndarray.take``, ``ndarray.argmin``) — the ``fromnumeric`` wrappers the
+  generic path goes through cost more than the arithmetic at these shapes;
+* LayerNorm and the sigmoid LUT write into preallocated outputs in place.
+
+**Bit-identity is the contract.** Every numerical step either mirrors the
+generic path's exact operation order or applies a transformation verified to
+be IEEE-754 exact:
+
+* encode distances use prototypes pre-scaled by ``-2`` —
+  ``x @ (-2·P)ᵀ + c_sq`` is bitwise-identical to ``c_sq - 2.0·(x @ Pᵀ)``
+  because scaling by a power of two commutes with round-to-nearest and
+  ``a - b ≡ (-b) + a``;
+* matmuls run per subspace on contiguous operands (batched 3-D matmuls are
+  *not* slice-identical to 2-D ones for all shapes and are avoided);
+* ``mean``/``var`` decompose into the same ``np.add.reduce`` + divide
+  sequence NumPy's ``_methods`` implement;
+* elementwise ops and gathers are value-exact regardless of batching, so
+  those *are* batched across subspaces.
+
+``tests/test_fastpath.py`` pins ``query1 == query`` bitwise; the
+serving-conformance matrix pins the whole serving stack on top of it.
+
+Hot model swaps replace the plan (``_FlushPath.set_predictor`` rebuilds it);
+in-place table refreshes (``TabularLinear.rebuild``) are caught by an
+identity check on the source table each run, so a stale flattened copy can
+never serve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SingleQueryFastPath", "EncodePlan", "RowPlan", "AttentionPlan"]
+
+
+class EncodePlan:
+    """Encode a fixed number of rows through a ``ProductQuantizer``.
+
+    Zero steady-state allocation for the ``"exact"`` encoder; the ``"hash"``
+    encoder reuses the fitted trees (bit-identical by construction, since the
+    tree walk is pure integer comparisons on the same values).
+    """
+
+    __slots__ = (
+        "pq", "n", "kind", "pad", "x_pad", "subs", "sub_slices", "_mm",
+        "c_sq", "dist", "codes", "_view", "_view_src", "_dim_slice",
+    )
+
+    def __init__(self, pq, n: int):
+        self.pq = pq
+        self.n = int(n)
+        self.kind = pq.encoder_kind
+        self.pad = pq.padded_dim != pq.dim
+        c, k, v = pq.n_subspaces, pq.n_prototypes, pq.subdim
+        # Padding columns stay zero forever; only the real columns are
+        # rewritten per query — this replaces the generic path's np.pad.
+        self.x_pad = np.zeros((self.n, pq.padded_dim)) if self.pad else None
+        self._dim_slice = (slice(None), slice(0, pq.dim))
+        #: contiguous per-subspace splits (BLAS needs contiguous operands;
+        #: the generic path's strided views force matmul's slow path)
+        self.subs = np.zeros((c, self.n, v))
+        self.sub_slices = [self.subs[ci] for ci in range(c)]
+        if self.kind == "exact":
+            # ||P||² terms materialized at full (C, n, K) shape: a same-shape
+            # add is measurably cheaper to dispatch than a broadcast add, and
+            # elementwise adds of equal values are bitwise-identical.
+            c_sq = (pq.prototypes * pq.prototypes).sum(axis=2)[:, None, :]
+            self.c_sq = np.ascontiguousarray(np.broadcast_to(c_sq, (c, self.n, k)))
+            self.dist = np.empty((c, self.n, k))
+            #: per-subspace (input.dot, -2·prototypesᵀ, output) GEMM operands —
+            #: prototypes pre-scaled by -2 (IEEE-exact fold, see module doc);
+            #: ``ndarray.dot`` reaches the same BLAS dgemm as ``np.matmul``
+            #: (verified bitwise-identical) with far less dispatch overhead
+            self._mm = [
+                (self.subs[ci].dot, np.multiply(pq.prototypes[ci], -2.0).T, self.dist[ci])
+                for ci in range(c)
+            ]
+        else:
+            self.c_sq = None
+            self.dist = None
+            self._mm = None
+        self.codes = np.empty((c, self.n), dtype=np.intp)
+        # The (n, C, V) split view is cached keyed on source-buffer identity:
+        # padded sites always split the persistent x_pad; unpadded sites in
+        # the model pipeline always receive the same scratch buffer, so the
+        # view is built once and reused forever.
+        if self.pad:
+            self._view_src = self.x_pad
+            self._view = self.x_pad.reshape(self.n, c, v).transpose(1, 0, 2)
+        else:
+            self._view_src = None
+            self._view = None
+
+    def encode(self, x2d: np.ndarray) -> np.ndarray:
+        """Codes for ``x2d`` of shape ``(n, dim)``; returns ``(C, n)`` intp."""
+        if self.pad:
+            self.x_pad[self._dim_slice] = x2d
+            view = self._view
+        elif x2d is self._view_src:
+            view = self._view
+        else:
+            pq = self.pq
+            view = x2d.reshape(self.n, pq.n_subspaces, pq.subdim).transpose(1, 0, 2)
+            if x2d.flags.c_contiguous:  # reshape is a true view: safe to cache
+                self._view, self._view_src = view, x2d
+        # One strided→contiguous copy splits all subspaces at once.
+        np.copyto(self.subs, view)
+        codes = self.codes
+        if self.kind == "exact":
+            for dot, neg2_t, dst in self._mm:
+                dot(neg2_t, dst)
+            # Elementwise add and argmin are value-exact at any batching:
+            # one call covers every subspace.
+            np.add(self.dist, self.c_sq, self.dist)
+            self.dist.argmin(2, codes)
+        else:
+            for c, tree in enumerate(self.pq._hash_trees):
+                codes[c] = tree.encode(self.sub_slices[c])
+        return codes
+
+
+class RowPlan:
+    """Fixed-row-count encode → gather → aggregate for one table kernel.
+
+    Works for any kernel carrying ``(pq, table)`` with a ``(C, K, D_out)``
+    table — :class:`TabularLinear` and :class:`FusedFunctionTable` both
+    expose it via ``make_row_plan``.
+    """
+
+    __slots__ = ("kernel", "enc", "offs", "gathered", "out", "_src_table", "_flat")
+
+    def __init__(self, kernel, n: int):
+        self.kernel = kernel
+        self.enc = EncodePlan(kernel.pq, n)
+        c, k, d_out = kernel.table.shape
+        # subspace offsets materialized at codes' full (C, n) shape (cheap add)
+        self.offs = np.ascontiguousarray(
+            np.broadcast_to((np.arange(c, dtype=np.intp) * k)[:, None], (c, n))
+        )
+        self.gathered = np.empty((c, n, d_out))
+        self.out = np.empty((n, d_out))
+        self._src_table = None
+        self._flat = None
+        self._refresh()
+
+    def _refresh(self) -> None:
+        table = self.kernel.table
+        self._flat = table.reshape(-1, table.shape[2])
+        self._src_table = table
+
+    def run(self, x2d: np.ndarray) -> np.ndarray:
+        if self.kernel.table is not self._src_table:  # in-place rebuild()
+            self._refresh()
+        codes = self.enc.encode(x2d)
+        np.add(codes, self.offs, codes)
+        self._flat.take(codes, 0, self.gathered)
+        # (C, n, D) reduced over axis 0 is bitwise-identical to the generic
+        # (n, C, D).sum(axis=1): same per-element addend order over C.
+        np.add.reduce(self.gathered, axis=0, out=self.out)
+        return self.out
+
+
+class AttentionPlan:
+    """Fixed-batch attention kernel: 4 encodes + 2 flat-table gathers.
+
+    ``batch`` is the number of attention instances (``B·H``; the fast path
+    uses ``B = 1`` so ``batch = heads``). Callers supply row-major Q/K rows
+    ``(batch·T, D_k)`` and V columns ``(batch·D_k, T)`` — the exact row
+    orders the generic path's reshapes produce.
+    """
+
+    __slots__ = (
+        "attn", "batch",
+        "enc_q", "enc_k", "enc_qk", "enc_v",
+        "qk_coffs", "qk_row_view", "qk_col_view", "qk_idx", "qk_gathered",
+        "qk_hat", "qk_hat_rows",
+        "qkv_coffs", "qkv_row_view", "qkv_col_view", "qkv_idx", "qkv_gathered",
+        "ctx",
+        "_qk_src", "_qk_flat", "_qkv_src", "_qkv_flat",
+    )
+
+    def __init__(self, attn, batch: int):
+        self.attn = attn
+        self.batch = int(batch)
+        b, t, dk = self.batch, attn.seq_len, attn.head_dim
+        k = attn.qk_table.shape[1]
+        self.enc_q = EncodePlan(attn.pq_q, b * t)
+        self.enc_k = EncodePlan(attn.pq_k, b * t)
+        self.enc_qk = EncodePlan(attn.pq_qk, b * t)
+        self.enc_v = EncodePlan(attn.pq_v, b * dk)
+        ck = attn.qk_table.shape[0]
+        ct = attn.qkv_table.shape[0]
+        # Precomputed c·K² strides and index-buffer views: the gather
+        # ``flat[c·K² + row_code·K + col_code]`` touches the exact entries
+        # the generic fancy gather does, so the subspace sum is identical.
+        self.qk_coffs = np.ascontiguousarray(
+            np.broadcast_to((np.arange(ck, dtype=np.intp) * k * k)[:, None], (ck, b * t))
+        )
+        self.qk_row_view = self.enc_q.codes.reshape(ck, b, t, 1)
+        self.qk_col_view = self.enc_k.codes.reshape(ck, b, 1, t)
+        self.qk_idx = np.empty((ck, b, t, t), dtype=np.intp)
+        self.qk_gathered = np.empty((ck, b, t, t))
+        self.qk_hat = np.empty((b, t, t))
+        self.qk_hat_rows = self.qk_hat.reshape(b * t, t)
+        self.qkv_coffs = np.ascontiguousarray(
+            np.broadcast_to((np.arange(ct, dtype=np.intp) * k * k)[:, None], (ct, b * t))
+        )
+        self.qkv_row_view = self.enc_qk.codes.reshape(ct, b, t, 1)
+        self.qkv_col_view = self.enc_v.codes.reshape(ct, b, 1, dk)
+        self.qkv_idx = np.empty((ct, b, t, dk), dtype=np.intp)
+        self.qkv_gathered = np.empty((ct, b, t, dk))
+        self.ctx = np.empty((b, t, dk))
+        self._qk_src = self._qk_flat = None
+        self._qkv_src = self._qkv_flat = None
+        self._refresh()
+
+    def _refresh(self) -> None:
+        self._qk_flat = self.attn.qk_table.reshape(-1)
+        self._qk_src = self.attn.qk_table
+        self._qkv_flat = self.attn.qkv_table.reshape(-1)
+        self._qkv_src = self.attn.qkv_table
+
+    def run(self, q_rows: np.ndarray, k_rows: np.ndarray, v_cols: np.ndarray) -> np.ndarray:
+        attn = self.attn
+        if attn.qk_table is not self._qk_src or attn.qkv_table is not self._qkv_src:
+            self._refresh()
+        k = attn.qk_table.shape[1]
+        # Round 1: encode Q and K, gather/sum the QK table (Eq. 13).
+        iq = self.enc_q.encode(q_rows)
+        self.enc_k.encode(k_rows)
+        np.multiply(iq, k, iq)  # codes are consumed; scale in place
+        np.add(iq, self.qk_coffs, iq)
+        np.add(self.qk_row_view, self.qk_col_view, self.qk_idx)
+        self._qk_flat.take(self.qk_idx, 0, self.qk_gathered)
+        np.add.reduce(self.qk_gathered, axis=0, out=self.qk_hat)
+        # Round 2: encode Q̃K̃ᵀ rows and V columns, gather/sum the QKV table.
+        iqk = self.enc_qk.encode(self.qk_hat_rows)
+        self.enc_v.encode(v_cols)
+        np.multiply(iqk, k, iqk)
+        np.add(iqk, self.qkv_coffs, iqk)
+        np.add(self.qkv_row_view, self.qkv_col_view, self.qkv_idx)
+        self._qkv_flat.take(self.qkv_idx, 0, self.qkv_gathered)
+        np.add.reduce(self.qkv_gathered, axis=0, out=self.ctx)
+        return self.ctx
+
+
+class _MSAPlan:
+    """Multi-head attention on one ``(T, D)`` input, heads pre-split once.
+
+    The head split/merge copies are single ``copyto`` calls through views
+    precomputed over the fixed scratch buffers — the same row orders the
+    generic path's reshape/transpose chains produce.
+    """
+
+    __slots__ = (
+        "msa", "qkv", "attn", "out",
+        "q_rows", "k_rows", "v_cols", "merged",
+        "_q_src", "_k_src", "_v_src", "_q_dst", "_k_dst", "_v_dst",
+        "_ctx_src", "_merged_dst",
+    )
+
+    def __init__(self, msa, t: int):
+        self.msa = msa
+        self.qkv = msa.qkv.make_row_plan(t)
+        self.attn = msa.attn.make_attention_plan(msa.heads)
+        self.out = msa.out.make_row_plan(t)
+        h, dh, d = msa.heads, msa.head_dim, msa.dim
+        self.q_rows = np.empty((h * t, dh))
+        self.k_rows = np.empty((h * t, dh))
+        self.v_cols = np.empty((h * dh, t))
+        self.merged = np.empty((t, d))
+        qkv_out = self.qkv.out  # (T, 3D), fixed buffer
+        #: (B·H, T, Dh)-ordered head views over the QKV output
+        self._q_src = qkv_out[:, :d].reshape(t, h, dh).transpose(1, 0, 2)
+        self._k_src = qkv_out[:, d : 2 * d].reshape(t, h, dh).transpose(1, 0, 2)
+        #: V columns: (H, Dh, T) view matching the generic transpose(0, 2, 1)
+        self._v_src = qkv_out[:, 2 * d :].reshape(t, h, dh).transpose(1, 2, 0)
+        self._q_dst = self.q_rows.reshape(h, t, dh)
+        self._k_dst = self.k_rows.reshape(h, t, dh)
+        self._v_dst = self.v_cols.reshape(h, dh, t)
+        self._ctx_src = self.attn.ctx.transpose(1, 0, 2)  # (T, H, Dh)
+        self._merged_dst = self.merged.reshape(t, h, dh)
+
+    def run(self, x2d: np.ndarray) -> np.ndarray:
+        self.qkv.run(x2d)  # fills self.qkv.out
+        np.copyto(self._q_dst, self._q_src)
+        np.copyto(self._k_dst, self._k_src)
+        np.copyto(self._v_dst, self._v_src)
+        self.attn.run(self.q_rows, self.k_rows, self.v_cols)  # fills attn.ctx
+        np.copyto(self._merged_dst, self._ctx_src)
+        return self.out.run(self.merged)
+
+
+class _LayerNormPlan:
+    """In-place LayerNorm over a fixed ``(n, D)`` shape.
+
+    Decomposes ``x.mean`` / ``x.var`` into the exact ``np.add.reduce`` +
+    divide sequences NumPy's ``_methods._mean`` / ``_var`` run (bitwise
+    identical, without their per-call Python overhead), then applies the same
+    ``(x - mean) / sqrt(var + eps) * gamma + beta`` op order as
+    :meth:`LayerNormOp.query`.
+    """
+
+    __slots__ = ("op", "inv_n", "mean", "var", "sq", "out")
+
+    def __init__(self, op, n: int):
+        self.op = op
+        self.mean = np.empty((n, 1))
+        self.var = np.empty((n, 1))
+        self.sq = np.empty((n, op.dim))
+        self.out = np.empty((n, op.dim))
+
+    def run(self, x2d: np.ndarray) -> np.ndarray:
+        op, out, var = self.op, self.out, self.var
+        d = op.dim
+        np.add.reduce(x2d, axis=1, keepdims=True, out=self.mean)
+        np.true_divide(self.mean, d, out=self.mean)
+        np.subtract(x2d, self.mean, out)  # LN numerator; reused for var
+        np.multiply(out, out, self.sq)
+        np.add.reduce(self.sq, axis=1, keepdims=True, out=var)
+        np.true_divide(var, d, out=var)
+        np.add(var, op.eps, var)
+        np.sqrt(var, var)
+        np.true_divide(out, var, out)
+        np.multiply(out, op.gamma, out)
+        np.add(out, op.beta, out)
+        return out
+
+
+class _EncoderLayerPlan:
+    """One tabularized encoder layer on a fixed ``(T, D)`` activation."""
+
+    __slots__ = ("msa", "ln1", "ffn1", "ffn2", "ln2", "resid")
+
+    def __init__(self, layer, t: int):
+        self.msa = _MSAPlan(layer.msa, t)
+        self.ln1 = _LayerNormPlan(layer.ln1, t)
+        self.ffn1 = layer.ffn1.make_row_plan(t)
+        self.ffn2 = layer.ffn2.make_row_plan(t)
+        self.ln2 = _LayerNormPlan(layer.ln2, t)
+        self.resid = np.empty((t, layer.msa.dim))
+
+    def run(self, x2d: np.ndarray) -> np.ndarray:
+        np.add(x2d, self.msa.run(x2d), self.resid)
+        h1 = self.ln1.run(self.resid)
+        f1 = self.ffn1.run(h1)
+        np.maximum(f1, 0.0, out=f1)
+        f = self.ffn2.run(f1)
+        np.add(h1, f, self.resid)
+        return self.ln2.run(self.resid)
+
+
+class SingleQueryFastPath:
+    """Preallocated single-query plan for a :class:`TabularAttentionPredictor`.
+
+    Built once per installed model (``model.fast_path()`` caches one); a plan
+    is geometry-bound to the model's ``history_len`` and bitmap size. Not
+    thread-safe — every buffer is reused across calls — matching the
+    single-threaded flush paths that drive it.
+    """
+
+    __slots__ = (
+        "model", "t_hist", "bitmap_size",
+        "addr", "pc", "pe", "ln_in", "layers", "head",
+        "embed", "pooled", "sig_f", "sig_idx", "probs",
+    )
+
+    def __init__(self, model):
+        self.model = model
+        t = int(model.model_config.history_len)
+        self.t_hist = t
+        self.bitmap_size = int(model.model_config.bitmap_size)
+        d = model.model_config.dim
+        self.addr = model.addr_table.make_row_plan(t)
+        self.pc = model.pc_table.make_row_plan(t)
+        self.pe = np.ascontiguousarray(model.pos.pe[:t])
+        self.ln_in = _LayerNormPlan(model.ln_in, t)
+        self.layers = [_EncoderLayerPlan(layer, t) for layer in model.layers]
+        self.head = model.head_table.make_row_plan(1)
+        self.embed = np.empty((t, d))
+        self.pooled = np.empty((1, d))
+        self.sig_f = np.empty((1, self.bitmap_size))
+        self.sig_idx = np.empty((1, self.bitmap_size), dtype=np.int64)
+        self.probs = np.empty((1, self.bitmap_size))
+
+    def query_into(self, x_addr: np.ndarray, x_pc: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """One query: ``(T, S)`` feature rows → probabilities into ``out``.
+
+        ``out`` must be a float64 ``(1, bitmap_size)`` array (a view into a
+        caller's batch buffer is the intended use). Bit-identical to
+        ``model.query(x_addr[None], x_pc[None])[0]``.
+        """
+        h = self.embed
+        np.add(self.addr.run(x_addr), self.pc.run(x_pc), h)
+        np.add(h, self.pe, h)
+        h = self.ln_in.run(h)
+        for layer in self.layers:
+            h = layer.run(h)
+        # Mean pool = the same add.reduce + divide x.mean(axis=-2) runs.
+        np.add.reduce(h, axis=0, keepdims=True, out=self.pooled)
+        np.true_divide(self.pooled, self.t_hist, self.pooled)
+        logits = self.head.run(self.pooled)  # (1, bitmap)
+        self.model.sigmoid.query_into(logits, self.sig_f, self.sig_idx, out)
+        return out
+
+    def query1(self, x_addr: np.ndarray, x_pc: np.ndarray) -> np.ndarray:
+        """Single-query probabilities, shape ``(bitmap_size,)`` (fresh array)."""
+        t = self.t_hist
+        x_addr = np.asarray(x_addr, dtype=np.float64)
+        x_pc = np.asarray(x_pc, dtype=np.float64)
+        if x_addr.ndim == 3:  # accept the generic (1, T, S) calling shape
+            x_addr = x_addr.reshape(x_addr.shape[-2:])
+            x_pc = x_pc.reshape(x_pc.shape[-2:])
+        if x_addr.shape[0] != t:
+            raise ValueError(
+                f"fast path is bound to history_len {t}, got {x_addr.shape[0]} rows"
+            )
+        self.query_into(x_addr, x_pc, self.probs)
+        return self.probs[0].copy()

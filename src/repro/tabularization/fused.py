@@ -86,6 +86,16 @@ class FusedFunctionTable:
         out = self.table[c_idx[None, :], codes].sum(axis=1)
         return out.reshape(*lead, self.out_dim)
 
+    def make_row_plan(self, n_rows: int):
+        """Preallocated fixed-row-count query plan (the single-query fast path).
+
+        The fused table shares the linear kernel's ``(pq, table)`` layout, so
+        the same :class:`~repro.tabularization.fastpath.RowPlan` applies.
+        """
+        from repro.tabularization.fastpath import RowPlan
+
+        return RowPlan(self, n_rows)
+
     def latency_cycles(self) -> float:
         """One encode+lookup+aggregate round (vs two for the unfused pair)."""
         return float(np.log2(self.pq.n_prototypes) + np.log2(self.pq.n_subspaces) + 1)

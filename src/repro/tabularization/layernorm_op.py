@@ -31,6 +31,31 @@ class LayerNormOp:
         var = x.var(axis=-1, keepdims=True)
         return (x - mean) / np.sqrt(var + self.eps) * self.gamma + self.beta
 
+    def query_into(
+        self,
+        x: np.ndarray,
+        mean_scratch: np.ndarray,
+        var_scratch: np.ndarray,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Allocation-free :meth:`query` for the single-query fast path.
+
+        ``mean_scratch``/``var_scratch`` are ``(..., 1)`` keepdims buffers and
+        ``out`` matches ``x``; all are caller-preallocated and reused across
+        calls. The op sequence decomposes :meth:`query`'s expression exactly —
+        ``((x - mean) / sqrt(var + eps)) * gamma + beta`` — so the result is
+        bit-identical.
+        """
+        np.mean(x, axis=-1, keepdims=True, out=mean_scratch)
+        np.var(x, axis=-1, keepdims=True, out=var_scratch)
+        np.subtract(x, mean_scratch, out=out)
+        np.add(var_scratch, self.eps, out=var_scratch)
+        np.sqrt(var_scratch, out=var_scratch)
+        np.divide(out, var_scratch, out=out)
+        np.multiply(out, self.gamma, out=out)
+        np.add(out, self.beta, out=out)
+        return out
+
     @property
     def storage_bits(self) -> int:
         return 2 * self.dim * 32

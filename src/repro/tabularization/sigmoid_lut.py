@@ -34,6 +34,32 @@ class SigmoidLUT:
         idx = np.clip(idx, 0, self.n_entries - 1).astype(np.int64)
         return self.table[idx]
 
+    def query_into(
+        self,
+        x: np.ndarray,
+        f_scratch: np.ndarray,
+        idx_scratch: np.ndarray,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Allocation-free :meth:`query`: same bin arithmetic, written into ``out``.
+
+        ``f_scratch`` (float64) and ``idx_scratch`` (int64) must match ``x``'s
+        shape; callers preallocate both (the fast path and ``predict_proba``'s
+        batched loop reuse theirs across calls). Bit-identical to
+        :meth:`query` — identical op sequence, with ``np.copyto(...,
+        casting="unsafe")`` performing the same C cast as ``astype``.
+        """
+        np.subtract(x, self.x_min, out=f_scratch)
+        np.multiply(f_scratch, self._scale, out=f_scratch)
+        np.rint(f_scratch, out=f_scratch)
+        # clip == minimum(maximum(x, lo), hi) bitwise (incl. NaN): two
+        # direct ufunc calls instead of the np.clip wrapper
+        np.maximum(f_scratch, 0.0, out=f_scratch)
+        np.minimum(f_scratch, float(self.n_entries - 1), out=f_scratch)
+        np.copyto(idx_scratch, f_scratch, casting="unsafe")
+        np.take(self.table, idx_scratch, axis=0, out=out)
+        return out
+
     def max_error(self) -> float:
         """Worst-case absolute error on a dense probe grid (for tests/docs)."""
         probe = np.linspace(self.x_min, self.x_max, 8 * self.n_entries)

@@ -148,6 +148,30 @@ class TabularAttentionPredictor:
         """Delta-bitmap probabilities via the sigmoid LUT."""
         return self.sigmoid.query(self.query_logits(x_addr, x_pc))
 
+    def fast_path(self):
+        """The cached single-query plan (built lazily, geometry-bound).
+
+        See :mod:`repro.tabularization.fastpath`: preallocated scratch for
+        every site of the hierarchy, bit-identical to :meth:`query` on one
+        ``(T, S)`` window. Serving flush paths call this once per installed
+        model; the plan is not thread-safe (buffers are reused per call).
+        """
+        fp = getattr(self, "_fast_path", None)
+        if fp is None:
+            from repro.tabularization.fastpath import SingleQueryFastPath
+
+            fp = self._fast_path = SingleQueryFastPath(self)
+        return fp
+
+    def query1(self, x_addr: np.ndarray, x_pc: np.ndarray) -> np.ndarray:
+        """Single-query probabilities for one ``(T, S)`` history window.
+
+        Accepts ``(T, S)`` or the generic ``(1, T, S)`` shape; returns
+        ``(bitmap_size,)``. Bit-identical to ``query(x[None])[0]`` — pinned
+        by ``tests/test_fastpath.py`` and the serving-conformance matrix.
+        """
+        return self.fast_path().query1(x_addr, x_pc)
+
     def predict_proba(
         self,
         x_addr: np.ndarray,
@@ -171,8 +195,20 @@ class TabularAttentionPredictor:
             raise ValueError(
                 f"out must have shape {(n, self.model_config.bitmap_size)}, got {out.shape}"
             )
+        # The sigmoid LUT writes each chunk's probabilities straight into the
+        # out slice (no per-chunk allocate-then-copy); the bin scratch is
+        # reused across chunks (reallocated once for a short final chunk).
+        f_scratch = idx_scratch = None
         for s in range(0, n, batch_size):
-            out[s : s + batch_size] = self.query(x_addr[s : s + batch_size], x_pc[s : s + batch_size])
+            logits = self.query_logits(
+                x_addr[s : s + batch_size], x_pc[s : s + batch_size]
+            )
+            if f_scratch is None or f_scratch.shape != logits.shape:
+                f_scratch = np.empty_like(logits)
+                idx_scratch = np.empty(logits.shape, dtype=np.int64)
+            self.sigmoid.query_into(
+                logits, f_scratch, idx_scratch, out[s : s + batch_size]
+            )
         return out
 
     def layer_outputs(self, x_addr: np.ndarray, x_pc: np.ndarray) -> dict[str, np.ndarray]:

@@ -1,0 +1,108 @@
+"""Single-query fast path: bit-identity, scratch reuse, refresh guards.
+
+:class:`~repro.tabularization.fastpath.SingleQueryFastPath` replays the
+generic batched query as a fused plan over preallocated scratch — worth
+nothing unless the answer is *bitwise* the generic one, because the serving
+conformance story (stream == batch oracle) rides on it. Every test here pins
+equality with ``np.array_equal``, not allclose.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.tabularization import SingleQueryFastPath
+
+
+@pytest.fixture(scope="module")
+def tab(tabular_student):
+    model, _ = tabular_student
+    return model
+
+
+@pytest.fixture(scope="module")
+def queries(small_dataset):
+    return small_dataset.x_addr[:200], small_dataset.x_pc[:200]
+
+
+def test_query1_bitwise_identical_to_generic(tab, queries):
+    xa, xp = queries
+    ref = tab.query(xa, xp)
+    for i in range(len(xa)):
+        got = tab.query1(xa[i], xp[i])
+        assert got.shape == ref[i].shape
+        assert np.array_equal(got, ref[i]), f"row {i} diverged"
+
+
+def test_query1_accepts_leading_batch_axis(tab, queries):
+    xa, xp = queries
+    a = tab.query1(xa[0], xp[0])
+    b = tab.query1(xa[:1], xp[:1])
+    assert np.array_equal(a, b)
+
+
+def test_query1_rejects_wrong_history(tab, queries):
+    xa, xp = queries
+    with pytest.raises(ValueError):
+        tab.query1(xa[0, :-1], xp[0])
+
+
+def test_fast_path_is_cached(tab):
+    fp = tab.fast_path()
+    assert isinstance(fp, SingleQueryFastPath)
+    assert tab.fast_path() is fp
+
+
+def test_query_into_steady_state_allocates_nothing(tab, queries):
+    """After warmup, repeated queries run entirely in preallocated scratch."""
+    xa, xp = queries
+    fp = tab.fast_path()
+    out = np.empty((1, tab.model_config.bitmap_size), dtype=np.float64)
+    for i in range(20):  # warm every lazily-built view/cache
+        fp.query_into(xa[i], xp[i], out)
+    before = sys.getallocatedblocks()
+    for i in range(50):
+        fp.query_into(xa[i % 20], xp[i % 20], out)
+    after = sys.getallocatedblocks()
+    # Python-frame churn allows a tiny wobble; 50 queries through the generic
+    # path would allocate thousands of blocks.
+    assert abs(after - before) < 50
+
+
+def test_query_into_repeated_calls_stay_bitwise(tab, queries):
+    xa, xp = queries
+    fp = tab.fast_path()
+    out = np.empty((1, tab.model_config.bitmap_size), dtype=np.float64)
+    ref = tab.query(xa[:5], xp[:5])
+    for _ in range(3):  # scratch reuse must not leak state across calls
+        for i in range(5):
+            fp.query_into(xa[i], xp[i], out)
+            assert np.array_equal(out[0], ref[i])
+
+
+def test_fast_path_tracks_inplace_table_rebuild(tab, queries):
+    """An in-place kernel ``rebuild()`` must invalidate the gathered plans."""
+    xa, xp = queries
+    fp = tab.fast_path()
+    fp.query_into(xa[0], xp[0], np.empty((1, tab.model_config.bitmap_size)))  # build caches
+    head = tab.head_table
+    old_table = head.table.copy()
+    try:
+        # Swap the head's table array (what a drift-refresh rebuild() does);
+        # the plan must notice the new array and re-gather from it.
+        head.table = old_table * 2.0
+        got = tab.query1(xa[0], xp[0])
+        ref = tab.query(xa[:1], xp[:1])[0]
+        assert np.array_equal(got, ref)
+    finally:
+        head.table = old_table
+
+
+def test_predict_proba_batch_one_matches_query1(tab, queries):
+    xa, xp = queries
+    probs = tab.predict_proba(xa[:8], xp[:8], batch_size=1)
+    for i in range(8):
+        assert np.array_equal(probs[i], tab.query1(xa[i], xp[i]))

@@ -1,0 +1,107 @@
+"""B=1 latency serving: sketch accounting, fast-path dispatch, row decode.
+
+The latency-oriented serving path has three load-bearing pieces this suite
+pins: the per-access latency sketch counts exactly one sample per delivered
+answer (drain tail included), the B=1 flush really dispatches through the
+single-query fast path (and counts it), and the allocation-light
+:class:`~repro.prefetch.nn_prefetcher.SingleRowDecoder` is element-identical
+to the batch :func:`~repro.prefetch.nn_prefetcher.decode_bitmap_probs`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.prefetch.nn_prefetcher import SingleRowDecoder, decode_bitmap_probs
+from repro.runtime import as_streaming, serve, serve_interleaved
+
+
+@pytest.fixture(scope="module")
+def latency_trace(libquantum_traces):
+    return libquantum_traces(1, 600, 77)[0]
+
+
+# ---------------------------------------------------------------- B=1 sketch
+def test_b1_sketch_counts_every_delivery(dart, latency_trace):
+    """At B=1 every post-warmup access answers immediately: one timed sample
+    per access, and the drain tail (which has nothing pending) adds none."""
+    stream = as_streaming(dart, batch_size=1)
+    agg, per, _ = serve_interleaved([stream], [latency_trace])
+    assert per[0].accesses == len(latency_trace)
+    assert per[0].extra["latency_count"] == len(latency_trace)
+    assert agg.extra["latency_count"] == per[0].extra["latency_count"]
+    assert per[0].p50_us > 0
+
+
+def test_b1_drain_tail_stays_accounted(dart, latency_trace):
+    """With B>1 the tail flush delivers pending answers and must be timed:
+    sample count == accesses + 1 exactly when the drain delivered."""
+    stream = as_streaming(dart, batch_size=32)
+    # Stop mid-batch so the drain has work: the first history_len - 1
+    # accesses are warmup (answered inline, never queued), so leave 5
+    # queries pending past the last full batch.
+    warmup = dart.config.history_len - 1
+    cut = latency_trace.slice(0, warmup + 32 * 10 + 5)
+    agg, per, _ = serve_interleaved([stream], [cut])
+    assert per[0].extra["latency_count"] == len(cut) + 1
+
+
+# ------------------------------------------------------------ fast dispatch
+def test_b1_serving_uses_fast_path_every_flush(dart, latency_trace):
+    stream = as_streaming(dart, batch_size=1)
+    stats, lists = serve(stream, latency_trace, collect=True)
+    assert stream.fast_path_flushes > 0
+    # At B=1 there is never more than one pending query, so *every* predict
+    # went through the fast path.
+    assert stream.fast_path_flushes == stream.predict_calls
+    assert lists == dart.prefetch_lists(latency_trace)
+
+
+def test_b1_multistream_counts_fast_path(dart, latency_trace):
+    ms = dart.multistream(batch_size=1)
+    h = ms.stream()
+    for i in range(200):
+        h.ingest(int(latency_trace.pcs[i]), int(latency_trace.addrs[i]))
+    h.flush()
+    stats = ms.stats()
+    assert stats["fast_path_flushes"] > 0
+    assert stats["fast_path_flushes"] == stats["predict_calls"]
+
+
+def test_b32_serving_never_uses_fast_path(dart, latency_trace):
+    stream = as_streaming(dart, batch_size=32)
+    serve(stream, latency_trace)
+    # Full batches bypass the single-query path; only a k==1 drain could use
+    # it, and this trace length leaves more than one pending at the tail.
+    assert stream.fast_path_flushes <= 1
+
+
+# ------------------------------------------------------------- row decoder
+@pytest.mark.parametrize("decode", ["distance", "confidence"])
+def test_single_row_decoder_matches_batch_decode(decode):
+    rng = np.random.default_rng(2024)
+    bitmap = 64
+    for trial in range(50):
+        threshold = float(rng.uniform(0.1, 0.9))
+        max_degree = int(rng.integers(1, 6))
+        n = int(rng.integers(1, 8))
+        # Mix plateaus (ties!), exact-threshold values and empty rows.
+        probs = rng.choice(
+            [0.0, threshold, 0.3, 0.5, 0.7, 0.95], size=(n, bitmap)
+        ) * rng.choice([0.0, 1.0], size=(n, bitmap), p=[0.3, 0.7])
+        anchors = rng.integers(0, 2**40, size=n)
+        want = decode_bitmap_probs(probs, anchors, threshold, max_degree, decode)
+        dec = SingleRowDecoder(bitmap, threshold, max_degree, decode)
+        got = [dec.decode1(probs[i], anchors[i]) for i in range(n)]
+        assert got == want, f"trial {trial} diverged"
+
+
+def test_single_row_decoder_rejects_unknown_policy():
+    with pytest.raises(ValueError):
+        SingleRowDecoder(64, 0.5, 2, "nope")
+
+
+def test_single_row_decoder_empty_row():
+    dec = SingleRowDecoder(64, 0.5, 2, "distance")
+    assert dec.decode1(np.zeros(64), 1000) == []

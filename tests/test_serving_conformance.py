@@ -30,6 +30,7 @@ ENGINES = [
     "microbatcher",
     "multistream",
     "sharded",
+    "sharded-ring",
     "elastic-rescale",
     "elastic-migrate",
 ]
@@ -90,8 +91,13 @@ def test_engine_matches_batch_oracle(
 
     if engine == "stream":
         kwargs = {"batch_size": batch_size} if kind in MODEL_BACKED else {}
-        got = drive(as_streaming(pf, **kwargs), conformance_traces[0])
+        stream = as_streaming(pf, **kwargs)
+        got = drive(stream, conformance_traces[0])
         assert got == oracles[kind][0]
+        if kind == "dart" and batch_size == 1:
+            # B=1 DART must actually serve through the single-query fast path
+            # (which the equality above pins bit-identical to the oracle).
+            assert stream.fast_path_flushes > 0
     elif engine == "microbatcher":
         model = pf.predictor if kind == "dart" else pf.model
         mb = MicroBatcher(
@@ -112,9 +118,11 @@ def test_engine_matches_batch_oracle(
         got = [drive_pair(handles, conformance_traces)]
         for s, trace in enumerate(conformance_traces):
             assert got[0][s] == oracles[kind][s], f"stream {s} diverged"
-    elif engine == "sharded":
-        with pf.sharded(workers=2, batch_size=batch_size) as eng:
+    elif engine in ("sharded", "sharded-ring"):
+        ipc = "ring" if engine == "sharded-ring" else "pipe"
+        with pf.sharded(workers=2, batch_size=batch_size, ipc=ipc) as eng:
             _, per_stream, lists = eng.serve(conformance_traces, collect=True)
+            assert eng.stats()["ipc"] == ipc
         for s in range(2):
             assert lists[s] == oracles[kind][s], f"stream {s} diverged"
             assert per_stream[s].accesses == len(conformance_traces[s])
