@@ -1,0 +1,287 @@
+"""Model registry: delta storage ratio, push/pull/checkout latency, rollout pause.
+
+Not a paper figure — the operational check for the model lifecycle layer.
+A re-fit chain published to the content-addressed registry must cost far
+less than storing every version in full, round trips through a remote must
+be cheap and exact, and a staged fleet rollout must promote without a
+serving stall. Four bars:
+
+* **delta ratio** — a ``--depth``-long chain of re-fits (each touching a
+  few table rows) stored as one full snapshot plus deltas must be at least
+  5x smaller than ``depth`` full snapshots, with every intermediate version
+  checking out bit-identical;
+* **checkout latency** — resolving the chain head replays every delta; the
+  per-version walk must stay in single-digit milliseconds at depth 10;
+* **push/pull latency** — a full-chain push to a filesystem remote, a pull
+  into a cold registry, and a checkout from the pulled copy (gated on
+  bit-identity with the original head);
+* **rollout pause** — a canary rollout over a live sharded fleet: the
+  canary install and the promote swap are timed, and every stream must see
+  exactly one emission per access (zero dropped) across the whole rollout.
+
+Run standalone (writes the ``BENCH_registry.json`` artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_registry.py --depth 10
+
+``--smoke`` (CI) shrinks the serving leg to 2 streams x ~600 accesses.
+Future PRs compare their numbers against the committed history of this
+artifact; keep the workload/seed stable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from bench_sharded import build_dart, make_streams
+
+from repro.registry import (
+    FilesystemRemote,
+    FleetRollout,
+    ModelRegistry,
+    RolloutConfig,
+)
+from repro.runtime import ModelArtifact
+from repro.runtime.artifact import VERSION_KEY
+from repro.utils import log
+
+
+def perturbed_successor(artifact: ModelArtifact, seed: int, cells: int = 4):
+    """A re-fit that touched a handful of cells in one table row."""
+    rng = np.random.default_rng(seed)
+    state = artifact.state()
+    table = np.array(state["addr/table"])
+    row = table[0]
+    idx = rng.integers(0, row.shape[0], size=cells)
+    jdx = rng.integers(0, row.shape[1], size=cells)
+    row[idx, jdx] += rng.standard_normal(cells).astype(row.dtype) * 0.01
+    state["addr/table"] = table
+    state[VERSION_KEY] = np.array([artifact.version + 1], dtype=np.int64)
+    return ModelArtifact.from_state(state)
+
+
+def states_identical(a: dict, b: dict) -> bool:
+    return set(a) == set(b) and all(
+        np.asarray(a[k]).tobytes() == np.asarray(b[k]).tobytes() for k in a
+    )
+
+
+def run(
+    depth: int,
+    accesses: int,
+    n_streams: int,
+    workers: int,
+    batch_size: int,
+    output: str | None,
+    seed: int = 2,
+) -> dict:
+    perf = time.perf_counter
+    traces = make_streams(n_streams, accesses, seed)
+    dart_raw = build_dart(traces[0])
+    baseline = ModelArtifact(dart_raw.predictor, version=1)
+    from repro.prefetch import DARTPrefetcher
+
+    dart = DARTPrefetcher(
+        baseline, dart_raw.config,
+        threshold=dart_raw.threshold, max_degree=dart_raw.max_degree,
+    )
+    workdir = Path(tempfile.mkdtemp(prefix="bench-registry-"))
+    try:
+        # ---- 1. publish a re-fit chain, measure storage -------------------
+        reg = ModelRegistry(workdir / "reg")
+        chain = [baseline]
+        while len(chain) < depth:
+            chain.append(perturbed_successor(chain[-1], seed=seed + len(chain)))
+        put_s = []
+        head = None
+        t0 = perf()
+        for art in chain:
+            t1 = perf()
+            head = reg.put(art, parent=head, name="serving")
+            put_s.append(perf() - t1)
+        publish_seconds = perf() - t0
+        stats = reg.stats()
+        full_bytes = stats["payload_bytes"]["full"]
+        chain_bytes = full_bytes + stats["payload_bytes"]["delta"]
+        naive_bytes = depth * full_bytes
+        ratio = naive_bytes / chain_bytes
+
+        # Every intermediate must reconstruct bit-identical through the walk.
+        digests = reg.log("serving")
+        exact_chain = all(
+            states_identical(reg.get(d["digest"]).state(), art.state())
+            for d, art in zip(reversed(digests), chain)
+        )
+
+        t1 = perf()
+        checked_out = reg.get("serving")
+        checkout_seconds = perf() - t1
+
+        # ---- 2. push / pull through a filesystem remote -------------------
+        remote = FilesystemRemote(workdir / "remote")
+        t1 = perf()
+        pushed = reg.push("serving", remote)
+        push_seconds = perf() - t1
+        cold = ModelRegistry(workdir / "cold", remote=remote)
+        t1 = perf()
+        pulled = cold.pull("serving")
+        pull_seconds = perf() - t1
+        t1 = perf()
+        cold_head = cold.get("serving")
+        cold_checkout_seconds = perf() - t1
+        remote_exact = states_identical(cold_head.state(), chain[-1].state())
+
+        # ---- 3. staged rollout over a live fleet --------------------------
+        candidate = perturbed_successor(chain[-1], seed=seed + 999)
+        cfg = RolloutConfig(
+            canary_workers=1, check_every=32, min_samples=16,
+            regression_drop=0.5, promote_after=max(accesses // 2, 64),
+            lookahead=16, window=4096, result_window=1024,
+        )
+        counts = [0] * n_streams
+        emitted = [0] * n_streams
+        ordered = True
+        with dart.sharded(workers=workers, batch_size=batch_size,
+                          max_wait=4, io_chunk=1) as engine:
+            handles = engine.streams(n_streams)
+            rollout = FleetRollout(engine, candidate, baseline, cfg,
+                                   registry=reg, ref="serving")
+            t1 = perf()
+            rollout.start()
+            canary_pause = perf() - t1
+            observe_max = 0.0
+            next_seq = [0] * n_streams
+            for i in range(accesses):
+                for s, (h, tr) in enumerate(zip(handles, traces)):
+                    t2 = perf()
+                    ems = h.ingest(int(tr.pcs[i]), int(tr.addrs[i]))
+                    rollout.observe(h, int(tr.pcs[i]), int(tr.addrs[i]), ems)
+                    observe_max = max(observe_max, perf() - t2)
+                    counts[s] += 1
+                    emitted[s] += len(ems)
+                    for em in ems:
+                        ordered &= em.seq == next_seq[s]
+                        next_seq[s] += 1
+            engine.flush_all()
+            for s, h in enumerate(handles):
+                for em in h.poll():
+                    emitted[s] += 1
+                    ordered &= em.seq == next_seq[s]
+                    next_seq[s] += 1
+            rollout_state = rollout.state
+            promote_event = next(
+                (e for e in rollout.events if e["action"] == "promote"), None
+            )
+        zero_dropped = ordered and emitted == counts
+        promoted = rollout_state == "promoted" and promote_event is not None
+        ref_advanced = promoted and reg.resolve("serving") == rollout.published
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    record = {
+        "workload": "462.libquantum",
+        "seed": seed,
+        "depth": depth,
+        "streams": n_streams,
+        "accesses_per_stream": accesses,
+        "workers": workers,
+        "batch_size": batch_size,
+        "full_snapshot_bytes": full_bytes,
+        "chain_bytes": chain_bytes,
+        "naive_bytes": naive_bytes,
+        "delta_ratio": ratio,
+        "publish_seconds": publish_seconds,
+        "put_p50_ms": sorted(put_s)[len(put_s) // 2] * 1e3,
+        "put_max_ms": max(put_s) * 1e3,
+        "checkout_seconds": checkout_seconds,
+        "checkout_per_version_ms": checkout_seconds / depth * 1e3,
+        "push_seconds": push_seconds,
+        "push_objects": pushed["pushed"],
+        "pull_seconds": pull_seconds,
+        "pull_objects": pulled["pulled"],
+        "cold_checkout_seconds": cold_checkout_seconds,
+        "chain_bit_identical": exact_chain,
+        "remote_bit_identical": remote_exact,
+        "checked_out_version": checked_out.version,
+        "rollout_state": rollout_state,
+        "rollout_canary_pause_ms": canary_pause * 1e3,
+        "rollout_observe_max_ms": observe_max * 1e3,
+        "rollout_zero_dropped": zero_dropped,
+        "rollout_ref_advanced": ref_advanced,
+    }
+    record["pass"] = (
+        ratio >= 5.0
+        and exact_chain
+        and remote_exact
+        and promoted
+        and zero_dropped
+        and ref_advanced
+    )
+
+    log.table(
+        f"registry: {depth}-deep re-fit chain + canary rollout over "
+        f"{n_streams} streams (W={workers})",
+        ["metric", "value"],
+        [
+            ["full snapshot bytes", f"{full_bytes:,}"],
+            ["chain bytes (1 full + {0} deltas)".format(depth - 1),
+             f"{chain_bytes:,}"],
+            ["delta ratio vs naive", f"{ratio:.1f}x (gate >= 5x)"],
+            ["put p50/max ms", f"{record['put_p50_ms']:.1f} / "
+                               f"{record['put_max_ms']:.1f}"],
+            ["checkout head (replays chain)",
+             f"{checkout_seconds * 1e3:.1f} ms "
+             f"({record['checkout_per_version_ms']:.2f} ms/version)"],
+            ["push / pull / cold checkout",
+             f"{push_seconds * 1e3:.1f} / {pull_seconds * 1e3:.1f} / "
+             f"{cold_checkout_seconds * 1e3:.1f} ms"],
+            ["chain + remote bit-identical", f"{exact_chain} / {remote_exact}"],
+            ["rollout", f"{rollout_state} (canary pause "
+                        f"{canary_pause * 1e3:.1f} ms, observe max "
+                        f"{observe_max * 1e3:.1f} ms)"],
+            ["zero dropped emissions", str(zero_dropped)],
+        ],
+    )
+    verdict = "PASS" if record["pass"] else "FAIL"
+    print(
+        f"[{verdict}] delta ratio {ratio:.1f}x, chain exact={exact_chain}, "
+        f"remote exact={remote_exact}, rollout={rollout_state}, "
+        f"zero dropped={zero_dropped}"
+    )
+    if output:
+        with open(output, "w", encoding="utf-8") as f:
+            json.dump(record, f, indent=2, sort_keys=True)
+        print(f"wrote {output}")
+    return record
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--depth", type=int, default=10, help="chain length")
+    ap.add_argument("--accesses", type=int, default=2000, help="per stream")
+    ap.add_argument("--streams", type=int, default=4)
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--batch-size", type=int, default=16)
+    ap.add_argument("--seed", type=int, default=2)
+    ap.add_argument("--output", "-o", default="BENCH_registry.json")
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny CI run: 2 streams x 600 accesses")
+    args = ap.parse_args(argv)
+    if args.smoke:
+        args.accesses = 600
+        args.streams = 2
+    record = run(
+        args.depth, args.accesses, args.streams, args.workers,
+        args.batch_size, args.output, seed=args.seed,
+    )
+    return 0 if record["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,10 @@ Subcommands mirror a deployment workflow:
   them without dropping an emission.
 * ``configure`` — query the table configurator for a (latency, storage)
   budget without training anything.
+* ``registry`` — the content-addressed model registry: ``put`` a trained
+  artifact (optionally as a row-delta against its parent version), ``log``
+  a ref's lineage, ``checkout`` any version to a standalone ``.npz``, and
+  ``push``/``pull`` lineages against a filesystem remote.
 
 Every subcommand is importable and unit-tested via :func:`main(argv)`.
 """
@@ -789,6 +793,47 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _cmd_registry(args) -> int:
+    from repro.registry import FilesystemRemote, ModelRegistry
+    from repro.runtime import ModelArtifact
+
+    remote = (
+        FilesystemRemote(args.remote) if getattr(args, "remote", None) else None
+    )
+    reg = ModelRegistry(args.root, remote=remote)
+    if args.verb == "put":
+        artifact = ModelArtifact.load(args.tables)
+        digest = reg.put(artifact, parent=args.parent, name=args.name)
+        m = reg.manifest(digest)
+        tail = f" -> ref {args.name}" if args.name else ""
+        print(f"{digest}  artifact v{m['artifact_version']} stored as "
+              f"{m['kind']} ({m['payload_bytes']:,} payload bytes){tail}")
+    elif args.verb == "log":
+        rows = [
+            [m["digest"][:12], str(m["artifact_version"]), m["kind"],
+             f"{m['payload_bytes']:,}", (m["parent"] or "")[:12]]
+            for m in reg.log(args.ref)
+        ]
+        log.table(
+            f"lineage of {args.ref} (newest first)",
+            ["version", "artifact", "kind", "payload bytes", "parent"],
+            rows,
+        )
+    elif args.verb == "checkout":
+        artifact = reg.checkout(args.ref, args.output)
+        print(f"checked out {args.ref} (artifact v{artifact.version}) "
+              f"-> {args.output}")
+    elif args.verb == "push":
+        r = reg.push(args.ref)
+        print(f"pushed {r['head'][:12]}… to {args.remote}: "
+              f"{r['pushed']} objects uploaded, {r['skipped']} already there")
+    elif args.verb == "pull":
+        r = reg.pull(args.ref)
+        print(f"pulled {r['head'][:12]}… from {args.remote}: "
+              f"{r['pulled']} objects fetched, {r['skipped']} already cached")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.core.report import ShootoutSpec, generate_report
 
@@ -933,6 +978,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--info", action="store_true",
                        help="print the blob's version/config/metadata and exit")
     p_exp.set_defaults(func=_cmd_export)
+
+    p_reg = sub.add_parser(
+        "registry",
+        help="content-addressed model registry (put/log/checkout/push/pull)",
+    )
+    reg_sub = p_reg.add_subparsers(dest="verb", required=True)
+
+    def _reg(verb: str, help: str):
+        p = reg_sub.add_parser(verb, help=help)
+        p.add_argument("--root", required=True, help="local registry directory")
+        p.set_defaults(func=_cmd_registry)
+        return p
+
+    rp = _reg("put", "publish a tables/artifact .npz as a registry version")
+    rp.add_argument("tables", help="artifact .npz (from train / checkout)")
+    rp.add_argument("--name", default=None, help="ref to advance to the new version")
+    rp.add_argument("--parent", default=None,
+                    help="ref/digest to delta-encode against (lineage parent)")
+    rl = _reg("log", "version lineage of a ref/digest, newest first")
+    rl.add_argument("ref")
+    rc = _reg("checkout", "materialize a version as a standalone .npz")
+    rc.add_argument("ref")
+    rc.add_argument("--output", "-o", required=True, help="destination .npz")
+    rh = _reg("push", "upload a version's lineage to a filesystem remote")
+    rh.add_argument("ref")
+    rh.add_argument("--remote", required=True, help="remote registry directory")
+    ru = _reg("pull", "fetch a version's lineage from a filesystem remote")
+    ru.add_argument("ref")
+    ru.add_argument("--remote", required=True, help="remote registry directory")
 
     p_rep = sub.add_parser("report", help="markdown campaign report (training-free)")
     p_rep.add_argument("--scale", type=float, default=0.02)

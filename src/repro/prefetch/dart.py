@@ -68,6 +68,8 @@ class DARTPrefetcher(Prefetcher):
         max_wait: int | None = None,
         adapt=None,
         refit=None,
+        registry=None,
+        publish_ref: str | None = None,
     ):
         """Online serving engine: micro-batched queries into the tables.
 
@@ -80,6 +82,12 @@ class DARTPrefetcher(Prefetcher):
         ``refit`` overrides the re-fitting recipe (a callable
         ``(pcs, addrs, seed) -> predictor``); without it, :attr:`student`
         must have been provided at construction.
+
+        With ``registry`` (a :class:`~repro.registry.registry.ModelRegistry`;
+        requires ``adapt`` and an artifact-wrapped predictor) the baseline is
+        published up front and every swapped re-fit is published as a delta
+        successor — optionally advancing ``publish_ref`` — so the adaptation
+        lineage is replayable offline.
         """
         from repro.runtime.microbatch import StreamingModelPrefetcher
 
@@ -96,6 +104,8 @@ class DARTPrefetcher(Prefetcher):
             storage_bytes=self.storage_bytes,
         )
         if adapt is None or adapt is False:
+            if registry is not None:
+                raise ValueError("registry publishing requires adapt=...")
             return engine
         from repro.runtime.adaptation import AdaptationConfig, AdaptiveStream, tabular_refit
 
@@ -113,7 +123,10 @@ class DARTPrefetcher(Prefetcher):
                 self.predictor.table_config,
                 max_samples=cfg.refit_samples,
             )
-        return AdaptiveStream(engine, refit, cfg, artifact=self.artifact, name=self.name)
+        return AdaptiveStream(
+            engine, refit, cfg, artifact=self.artifact, name=self.name,
+            registry=registry, publish_ref=publish_ref,
+        )
 
     def multistream(self, batch_size: int = 64, max_wait: int | None = None):
         """Shared-model engine serving N concurrent streams (cores, clients).

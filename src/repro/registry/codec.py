@@ -1,0 +1,185 @@
+"""The registry's byte containers: one flat-array idiom, no pickle anywhere.
+
+Every multi-array payload in this codebase travels in the same self-describing
+container (the ``DARTSNP1`` idiom the stream-snapshot codec and the
+shared-memory segments established)::
+
+    MAGIC (8 bytes) | manifest length (uint64 LE) | JSON manifest | payload
+
+The manifest maps each key to a ``(dtype, shape, offset)`` triple; payloads
+are the raw contiguous array bytes. :func:`pack_arrays` / :func:`unpack_arrays`
+are that idiom factored out once, parameterized by magic so each container
+family keeps its own identity (a registry blob cannot be mistaken for a stream
+snapshot) while sharing one implementation and one set of named framing
+errors.
+
+Container families:
+
+* ``DARTREG1`` — registry payload blobs (full model states and row deltas,
+  :mod:`repro.registry.registry`);
+* ``DARTSNP1`` — frozen stream states (:mod:`repro.runtime.microbatch`
+  delegates here);
+* ``DARTMDL1`` — the model **wire codec**: how a model travels to a sharded
+  worker when it cannot ride shared memory. :func:`encode_model` /
+  :func:`decode_model` replace the control plane's old ``pickle`` path —
+  supported payloads are a :class:`~repro.runtime.artifact.ModelArtifact`,
+  a bare :class:`TabularAttentionPredictor`, or an
+  :class:`~repro.models.attention_model.AttentionPredictor` student; anything
+  else is refused with a named ``TypeError`` instead of being pickled.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+#: registry payload blobs (full states and deltas)
+REGISTRY_MAGIC = b"DARTREG1"
+#: model wire format for worker processes (the no-pickle swap payload)
+MODEL_WIRE_MAGIC = b"DARTMDL1"
+
+_MAGIC_LEN = 8
+_HEADER = _MAGIC_LEN + 8  # magic + uint64 manifest length
+
+
+def pack_arrays(
+    arrays: dict[str, np.ndarray],
+    magic: bytes,
+    meta: dict | None = None,
+    what: str = "container",
+) -> bytes:
+    """Pack a flat array dict (plus an optional JSON-able ``meta`` block)."""
+    if len(magic) != _MAGIC_LEN:
+        raise ValueError(f"{what} magic must be {_MAGIC_LEN} bytes, got {len(magic)}")
+    specs: dict[str, dict] = {}
+    chunks: list[bytes] = []
+    offset = 0
+    for key in arrays:
+        arr = np.ascontiguousarray(arrays[key])
+        specs[key] = {"dtype": arr.dtype.str, "shape": list(arr.shape), "offset": offset}
+        chunks.append(arr.tobytes())
+        offset += arr.nbytes
+    manifest: dict = {"format": 1, "arrays": specs}
+    if meta is not None:
+        manifest["meta"] = meta
+    blob = json.dumps(manifest, sort_keys=True).encode("utf-8")
+    return magic + len(blob).to_bytes(8, "little") + blob + b"".join(chunks)
+
+
+def unpack_arrays(
+    buf: bytes, magic: bytes, what: str = "container"
+) -> tuple[dict[str, np.ndarray], dict]:
+    """Unpack :func:`pack_arrays` output; named errors on any bad framing.
+
+    Returns ``(arrays, meta)``. Arrays are read-only views into ``buf`` when
+    possible (callers that mutate must copy — :meth:`ndarray.copy`).
+    """
+    if len(buf) < _HEADER or bytes(buf[:_MAGIC_LEN]) != magic:
+        raise ValueError(f"not a {what} (bad magic)")
+    mlen = int.from_bytes(bytes(buf[_MAGIC_LEN:_HEADER]), "little")
+    if _HEADER + mlen > len(buf):
+        raise ValueError(
+            f"truncated {what}: manifest claims {mlen} bytes, "
+            f"buffer holds {len(buf)}"
+        )
+    manifest = json.loads(bytes(buf[_HEADER : _HEADER + mlen]).decode("utf-8"))
+    if manifest.get("format") != 1:
+        raise ValueError(
+            f"{what} manifest format {manifest.get('format')!r}; "
+            f"this build reads format 1"
+        )
+    base = _HEADER + mlen
+    out: dict[str, np.ndarray] = {}
+    for key, spec in manifest["arrays"].items():
+        dtype = np.dtype(spec["dtype"])
+        count = int(np.prod(spec["shape"], dtype=np.int64))
+        start = base + int(spec["offset"])
+        if start + dtype.itemsize * count > len(buf):
+            raise ValueError(f"truncated {what}: array {key!r} extends past the buffer")
+        out[key] = (
+            np.frombuffer(buf, dtype=dtype, count=count, offset=start)
+            .reshape(spec["shape"])
+        )
+    return out, manifest.get("meta", {})
+
+
+# ----------------------------------------------------------- model wire codec
+#: __meta__ keys of a student blob (save_attention_predictor's file layout)
+_STUDENT_META = ("__meta__/config", "__meta__/dims")
+
+
+def encode_model(model) -> bytes:
+    """Serialize a swap/boot model into the ``DARTMDL1`` wire container.
+
+    The sharded control plane's replacement for ``pickle.dumps(model)``:
+    only models with a defined array state can travel to a worker, and each
+    arrives tagged with its kind so :func:`decode_model` rebuilds the right
+    type. Raises a named ``TypeError`` for anything else.
+    """
+    from repro.models.attention_model import AttentionPredictor, _SCORE_CODES
+    from repro.runtime.artifact import is_model_artifact
+    from repro.tabularization.serialization import model_state
+    from repro.tabularization.tabular_model import TabularAttentionPredictor
+
+    if is_model_artifact(model):
+        return pack_arrays(
+            model.state(), MODEL_WIRE_MAGIC, meta={"kind": "artifact"},
+            what="model wire blob",
+        )
+    if isinstance(model, TabularAttentionPredictor):
+        return pack_arrays(
+            model_state(model), MODEL_WIRE_MAGIC, meta={"kind": "tabular"},
+            what="model wire blob",
+        )
+    if isinstance(model, AttentionPredictor):
+        mc = model.config
+        state = dict(model.state_dict())
+        state["__meta__/config"] = np.array(
+            [mc.layers, mc.dim, mc.heads, mc.ffn_dim, mc.history_len,
+             mc.bitmap_size, _SCORE_CODES[mc.score_mode]],
+            dtype=np.int64,
+        )
+        state["__meta__/dims"] = np.array(
+            [model.addr_dim, model.pc_dim], dtype=np.int64
+        )
+        return pack_arrays(
+            state, MODEL_WIRE_MAGIC, meta={"kind": "student"},
+            what="model wire blob",
+        )
+    raise TypeError(
+        f"cannot encode {type(model).__name__} for worker shipping: the "
+        "no-pickle wire codec carries ModelArtifact, TabularAttentionPredictor "
+        "or AttentionPredictor payloads only"
+    )
+
+
+def decode_model(buf: bytes):
+    """Rebuild the model :func:`encode_model` serialized."""
+    arrays, meta = unpack_arrays(buf, MODEL_WIRE_MAGIC, what="model wire blob")
+    kind = meta.get("kind")
+    if kind == "artifact":
+        from repro.runtime.artifact import ModelArtifact
+
+        return ModelArtifact.from_state(arrays)
+    if kind == "tabular":
+        from repro.tabularization.serialization import model_from_state
+
+        return model_from_state(arrays)
+    if kind == "student":
+        from repro.models.attention_model import AttentionPredictor, _SCORE_NAMES
+        from repro.models.config import ModelConfig
+
+        state = {k: v.copy() for k, v in arrays.items()}
+        layers, dim, heads, ffn_dim, hist, bitmap, score = (
+            int(v) for v in state.pop("__meta__/config")
+        )
+        addr_dim, pc_dim = (int(v) for v in state.pop("__meta__/dims"))
+        config = ModelConfig(
+            layers=layers, dim=dim, heads=heads, ffn_dim=ffn_dim,
+            history_len=hist, bitmap_size=bitmap, score_mode=_SCORE_NAMES[score],
+        )
+        model = AttentionPredictor(config, addr_dim, pc_dim, rng=0)
+        model.load_state_dict(state)
+        return model
+    raise ValueError(f"model wire blob has unknown kind {kind!r}")

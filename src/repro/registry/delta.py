@@ -1,0 +1,136 @@
+"""Row-level delta encoding between successor model states.
+
+The adaptation loop produces long chains of successor artifacts that differ
+from their parent in only a few table rows (a re-fit re-learns prototypes and
+re-solves linears on a drift window — most of the hierarchy's arrays survive
+bit-identically, and the ones that change usually change sparsely). Storing
+every version as a full ``.npz`` wastes that structure; this module stores a
+child as *edits against its parent*:
+
+* an array identical to the parent's (byte-compare) costs **nothing** — its
+  key is listed in the delta manifest;
+* a multi-row array with the same dtype/shape stores only its **changed rows**
+  (first-axis indices + row payloads), byte-compared so ``-0.0`` vs ``0.0``
+  and NaN payload differences are preserved exactly;
+* anything else (new key, changed dtype/shape, 0-d scalars) stores in full;
+* keys the parent had and the child dropped are listed as removed.
+
+:func:`apply_state_delta` reverses the encoding **bit-identically**: the
+reconstruction starts from copies of the parent's arrays and overwrites
+exactly the stored rows, so walking a lineage chain of deltas from the
+nearest full snapshot reproduces every intermediate version byte-for-byte
+(pinned by the chain fuzz in ``tests/test_registry.py``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+_META_KEY = "delta/meta"
+_ROWS = "delta/rows/"
+_DATA = "delta/data/"
+_FULL = "delta/full/"
+
+
+def _row_bytes(arr: np.ndarray) -> np.ndarray:
+    """View ``arr`` as one byte row per first-axis element (byte-exact)."""
+    a = np.ascontiguousarray(arr)
+    n = a.shape[0]
+    return np.frombuffer(a.tobytes(), dtype=np.uint8).reshape(n, -1) if a.nbytes \
+        else np.zeros((n, 0), dtype=np.uint8)
+
+
+def _identical(a: np.ndarray, b: np.ndarray) -> bool:
+    return (
+        a.dtype == b.dtype
+        and a.shape == b.shape
+        and np.ascontiguousarray(a).tobytes() == np.ascontiguousarray(b).tobytes()
+    )
+
+
+def state_delta(
+    parent: dict[str, np.ndarray], child: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Encode ``child`` as a flat array dict of edits against ``parent``."""
+    unchanged: list[str] = []
+    removed = sorted(set(parent) - set(child))
+    out: dict[str, np.ndarray] = {}
+    for key in child:
+        c = np.asarray(child[key])
+        p = np.asarray(parent[key]) if key in parent else None
+        if p is not None and _identical(p, c):
+            unchanged.append(key)
+            continue
+        if (
+            p is not None
+            and p.dtype == c.dtype
+            and p.shape == c.shape
+            and c.ndim >= 1
+            and c.shape[0] > 1
+        ):
+            changed = np.flatnonzero(
+                np.any(_row_bytes(p) != _row_bytes(c), axis=1)
+            )
+            # Row encoding pays an int64 index per row; only worth it while
+            # the edit is sparse enough that indices + rows undercut a full
+            # copy (the break-even is conservative on tiny rows).
+            row_nbytes = c.nbytes // c.shape[0] if c.shape[0] else 0
+            if changed.size * (8 + row_nbytes) < c.nbytes:
+                out[_ROWS + key] = changed.astype(np.int64)
+                out[_DATA + key] = np.ascontiguousarray(c[changed])
+                continue
+        out[_FULL + key] = c
+    meta = json.dumps(
+        {"format": 1, "unchanged": unchanged, "removed": removed},
+        sort_keys=True,
+    ).encode("utf-8")
+    out[_META_KEY] = np.frombuffer(meta, dtype=np.uint8).copy()
+    return out
+
+
+def apply_state_delta(
+    parent: dict[str, np.ndarray], delta: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Reconstruct the child state a :func:`state_delta` call encoded."""
+    if _META_KEY not in delta:
+        raise ValueError("not a state delta (missing delta/meta)")
+    meta = json.loads(np.asarray(delta[_META_KEY], dtype=np.uint8).tobytes())
+    if meta.get("format") != 1:
+        raise ValueError(
+            f"state delta format {meta.get('format')!r}; this build reads format 1"
+        )
+    out: dict[str, np.ndarray] = {}
+    for key in meta["unchanged"]:
+        if key not in parent:
+            raise ValueError(
+                f"state delta lists {key!r} as unchanged but the parent "
+                "state has no such array: wrong parent for this delta"
+            )
+        out[key] = parent[key]
+    for dkey, arr in delta.items():
+        if dkey.startswith(_FULL):
+            out[dkey[len(_FULL):]] = arr
+        elif dkey.startswith(_DATA):
+            key = dkey[len(_DATA):]
+            if key not in parent:
+                raise ValueError(
+                    f"state delta edits rows of {key!r} but the parent state "
+                    "has no such array: wrong parent for this delta"
+                )
+            rows = np.asarray(delta[_ROWS + key], dtype=np.int64)
+            base = np.ascontiguousarray(parent[key]).copy()
+            if rows.size and int(rows.max()) >= base.shape[0]:
+                raise ValueError(
+                    f"state delta row {int(rows.max())} out of range for "
+                    f"{key!r} (parent has {base.shape[0]} rows): wrong parent"
+                )
+            base[rows] = arr
+            out[key] = base
+    return out
+
+
+def delta_nbytes(delta: dict[str, np.ndarray]) -> int:
+    """Payload size of an encoded delta (the storage the registry pays)."""
+    return sum(np.asarray(a).nbytes for a in delta.values())

@@ -1,0 +1,258 @@
+"""Staged fleet rollout: canary a version on a few shards, then promote.
+
+A hot swap on a :class:`~repro.runtime.sharded.ShardedEngine` was, until this
+module, all-or-nothing: every worker jumps to the new tables at once, so a
+bad re-fit regresses the whole fleet before any signal exists. A
+:class:`FleetRollout` stages it:
+
+1. **canary** — ``swap_model(candidate, workers=cohort)`` installs the
+   candidate on a subset of workers only; the rest keep serving the baseline;
+2. **watch** — every access the caller feeds through :meth:`observe` lands in
+   one of two :class:`~repro.runtime.adaptation.StreamMonitor`\\ s, keyed by
+   the stream's *current* home shard (canary cohort vs control cohort), so
+   both model generations accumulate windowed accuracy against the same
+   definition of truth (a predicted block must be demanded within
+   ``lookahead`` accesses);
+3. **decide** — once both cohorts hold ``min_samples`` scored predictions:
+   a canary accuracy more than ``regression_drop`` below the control's (or
+   below ``acc_floor``) **rolls back** — the baseline is swapped back onto
+   the canary cohort; a healthy canary that has watched ``promote_after``
+   accesses **promotes** — the candidate is swapped onto the remaining
+   workers, and, when a registry ref is bound, the ref advances to the
+   candidate version (recorded as a delta successor of the old head).
+
+Both transitions ride the engine's drain-ack swap barrier, so no emission is
+ever dropped or reordered by a rollout — the injected-regression test pins
+rollback with exactly-once emission accounting. The controller is
+deterministic: decisions depend only on the observed access/emission
+sequence, never on wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.adaptation import AdaptationConfig, StreamMonitor
+
+
+@dataclass(frozen=True)
+class RolloutConfig:
+    """Knobs of the staged rollout (counts are in observed accesses).
+
+    Attributes
+    ----------
+    canary_workers:
+        How many workers receive the candidate first (at least 1, at most
+        ``W - 1`` so a control cohort always exists).
+    check_every:
+        Decision cadence: evaluate after every this many observed accesses.
+    min_samples:
+        Scored predicted blocks required in *each* cohort's window before
+        any verdict (regression or promotion) is reachable.
+    regression_drop:
+        Roll back when ``canary_accuracy < control_accuracy - regression_drop``.
+    acc_floor:
+        Optional absolute canary accuracy floor; below it the rollout rolls
+        back regardless of the control cohort.
+    promote_after:
+        Observed accesses after which a healthy canary promotes fleet-wide.
+    lookahead:
+        Accuracy horizon: a predicted block counts iff demanded within this
+        many subsequent accesses (same definition as the adaptation loop).
+    window / result_window:
+        Monitor window geometry (see :class:`AdaptationConfig`).
+    """
+
+    canary_workers: int = 1
+    check_every: int = 64
+    min_samples: int = 64
+    regression_drop: float = 0.2
+    acc_floor: float | None = None
+    promote_after: int = 2048
+    lookahead: int = 16
+    window: int = 4096
+    result_window: int = 1024
+
+    def __post_init__(self):
+        if self.canary_workers < 1:
+            raise ValueError("canary_workers must be >= 1")
+        if self.check_every < 1 or self.min_samples < 1 or self.promote_after < 1:
+            raise ValueError("check_every/min_samples/promote_after must be >= 1")
+        if self.regression_drop < 0:
+            raise ValueError("regression_drop must be >= 0")
+
+    def monitor_config(self) -> AdaptationConfig:
+        return AdaptationConfig(
+            window=self.window,
+            lookahead=self.lookahead,
+            result_window=self.result_window,
+            min_samples=self.min_samples,
+        )
+
+
+@dataclass
+class _Cohort:
+    """One model generation under observation."""
+
+    shards: set[int]
+    monitor: StreamMonitor
+    observed: int = 0
+    streams: set[int] = field(default_factory=set)
+
+    def summary(self) -> dict:
+        return {
+            "shards": sorted(self.shards),
+            "observed": self.observed,
+            "streams": sorted(self.streams),
+            "accuracy": self.monitor.accuracy,
+            "coverage": self.monitor.coverage,
+            "samples": self.monitor.samples,
+        }
+
+
+class FleetRollout:
+    """Drive one candidate version through canary → promote/rollback.
+
+    Parameters
+    ----------
+    engine:
+        A started (or startable) :class:`~repro.runtime.sharded.ShardedEngine`.
+    candidate:
+        The :class:`~repro.runtime.artifact.ModelArtifact` under evaluation.
+    baseline:
+        The artifact currently serving — what a rollback restores. Required
+        because the engine holds segments, not artifacts.
+    registry / ref:
+        Optional :class:`~repro.registry.registry.ModelRegistry` binding: on
+        promotion the candidate is published as a successor of the ref's
+        current head and the ref advances (the deployment log lives in the
+        registry, not in process memory).
+    """
+
+    def __init__(
+        self,
+        engine,
+        candidate,
+        baseline,
+        config: RolloutConfig | None = None,
+        registry=None,
+        ref: str | None = None,
+    ):
+        self.engine = engine
+        self.candidate = candidate
+        self.baseline = baseline
+        self.config = config or RolloutConfig()
+        self.registry = registry
+        self.ref = ref
+        if registry is not None and ref is None:
+            raise ValueError("a registry binding needs a ref name to advance")
+        n = self.config.canary_workers
+        if n >= engine.workers:
+            raise ValueError(
+                f"canary cohort of {n} leaves no control workers in a "
+                f"{engine.workers}-worker fleet"
+            )
+        canary_ids = set(range(n))  # lowest worker ids, deterministically
+        mcfg = self.config.monitor_config()
+        self.canary = _Cohort(canary_ids, StreamMonitor(mcfg))
+        self.control = _Cohort(
+            set(range(engine.workers)) - canary_ids, StreamMonitor(mcfg)
+        )
+        self.state = "pending"
+        self.observed = 0
+        self.events: list[dict] = []
+        self.published: str | None = None
+
+    # ------------------------------------------------------------------ stages
+    def start(self) -> None:
+        """Install the candidate on the canary cohort only."""
+        if self.state != "pending":
+            raise ValueError(f"rollout already {self.state}")
+        self.engine.swap_model(self.candidate, workers=sorted(self.canary.shards))
+        self.state = "canary"
+        self.events.append({
+            "seq": self.observed, "action": "canary",
+            "workers": sorted(self.canary.shards),
+            "version": int(self.candidate.version),
+        })
+
+    def observe(self, handle, pc: int, addr: int, emissions) -> None:
+        """Feed one access (and the emissions it returned) from any stream.
+
+        Cohort membership follows the stream's *current* home shard, so a
+        migration mid-rollout moves its signal to the right generation.
+        """
+        if self.state != "canary":
+            return
+        cohort = (
+            self.canary if handle.shard_id in self.canary.shards else self.control
+        )
+        cohort.observed += 1
+        cohort.streams.add(handle.index)
+        cohort.monitor.update(pc, addr)
+        if emissions:
+            cohort.monitor.record(emissions)
+        self.observed += 1
+        if self.observed % self.config.check_every == 0:
+            self._decide()
+
+    # ----------------------------------------------------------------- verdicts
+    def _decide(self) -> None:
+        cfg = self.config
+        can, ctl = self.canary.monitor, self.control.monitor
+        if can.samples < cfg.min_samples or ctl.samples < cfg.min_samples:
+            return
+        verdict = None
+        if can.accuracy < ctl.accuracy - cfg.regression_drop:
+            verdict = "regression"
+        elif cfg.acc_floor is not None and can.accuracy < cfg.acc_floor:
+            verdict = "floor"
+        if verdict is not None:
+            self._rollback(verdict)
+        elif self.observed >= cfg.promote_after:
+            self._promote()
+
+    def _rollback(self, verdict: str) -> None:
+        self.engine.swap_model(self.baseline, workers=sorted(self.canary.shards))
+        self.state = "rolled_back"
+        self.events.append({
+            "seq": self.observed, "action": "rollback", "verdict": verdict,
+            "canary_accuracy": self.canary.monitor.accuracy,
+            "control_accuracy": self.control.monitor.accuracy,
+            "restored_version": int(self.baseline.version),
+        })
+
+    def _promote(self) -> None:
+        rest = sorted(self.control.shards)
+        if rest:
+            self.engine.swap_model(self.candidate, workers=rest)
+        self.state = "promoted"
+        event = {
+            "seq": self.observed, "action": "promote",
+            "canary_accuracy": self.canary.monitor.accuracy,
+            "control_accuracy": self.control.monitor.accuracy,
+            "version": int(self.candidate.version),
+        }
+        if self.registry is not None:
+            from repro.registry.store import RegistryError
+
+            try:
+                head = self.registry.resolve(self.ref)
+            except RegistryError:  # first deployment: the ref does not exist yet
+                head = None
+            self.published = self.registry.put(
+                self.candidate, parent=head, name=self.ref
+            )
+            event["digest"] = self.published
+        self.events.append(event)
+
+    # ------------------------------------------------------------------- status
+    def summary(self) -> dict:
+        return {
+            "state": self.state,
+            "observed": self.observed,
+            "canary": self.canary.summary(),
+            "control": self.control.summary(),
+            "events": list(self.events),
+            "published": self.published,
+        }

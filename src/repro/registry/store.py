@@ -1,0 +1,219 @@
+"""Content-addressed blob storage: a local cache plus pluggable remotes.
+
+The registry never stores a model under a *name* — every object (payload blob
+or version manifest) is stored under the SHA-256 of its bytes, DVC-style::
+
+    <root>/objects/ab/cdef0123…   # digest "abcdef0123…"
+    <root>/refs/<name>            # a movable name -> digest pointer
+
+Content addressing gives three properties the model-lifecycle layer leans on:
+
+* **dedup** — publishing the same artifact twice stores one object;
+* **integrity** — :meth:`BlobStore.get` re-hashes what it read and refuses a
+  corrupt object with a named error instead of returning garbage bytes;
+* **location transparency** — a digest means the same object in every cache
+  and remote, so push/pull is set difference, not file diffing.
+
+Writes are crash-safe: each object lands in a temp file in its final
+directory and is atomically :func:`os.replace`-d into place, so a killed
+process can never leave a torn object under a valid digest.
+
+:class:`Remote` is the transport interface (blobs + refs); a
+:class:`FilesystemRemote` — a second object tree on a shared filesystem — is
+the in-tree implementation, and anything speaking the same five methods
+(S3, HTTP, …) plugs in without touching the registry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+
+
+class RegistryError(RuntimeError):
+    """Named failure of a registry/store operation (missing or corrupt object)."""
+
+
+def sha256_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` via temp file + rename (same filesystem)."""
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-obj-")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class _ObjectTree:
+    """A ``objects/aa/bb…`` fan-out directory of digest-named files."""
+
+    def __init__(self, root: str):
+        self.root = os.fspath(root)
+        self.objects_dir = os.path.join(self.root, "objects")
+        self.refs_dir = os.path.join(self.root, "refs")
+        os.makedirs(self.objects_dir, exist_ok=True)
+        os.makedirs(self.refs_dir, exist_ok=True)
+
+    def _path(self, digest: str) -> str:
+        if len(digest) != 64 or set(digest) - set("0123456789abcdef"):
+            raise RegistryError(f"malformed object digest {digest!r}")
+        return os.path.join(self.objects_dir, digest[:2], digest[2:])
+
+    # ---------------------------------------------------------------- objects
+    def put(self, data: bytes) -> str:
+        digest = sha256_digest(data)
+        path = self._path(digest)
+        if not os.path.exists(path):
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            _atomic_write(path, data)
+        return digest
+
+    def get(self, digest: str) -> bytes:
+        path = self._path(digest)
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except FileNotFoundError:
+            raise RegistryError(f"object {digest[:12]}… not in store {self.root!r}") from None
+        actual = sha256_digest(data)
+        if actual != digest:
+            raise RegistryError(
+                f"object {digest[:12]}… is corrupt in {self.root!r} "
+                f"(content hashes to {actual[:12]}…)"
+            )
+        return data
+
+    def has(self, digest: str) -> bool:
+        return os.path.exists(self._path(digest))
+
+    def delete(self, digest: str) -> bool:
+        try:
+            os.unlink(self._path(digest))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def digests(self) -> list[str]:
+        out = []
+        for prefix in sorted(os.listdir(self.objects_dir)):
+            sub = os.path.join(self.objects_dir, prefix)
+            if os.path.isdir(sub):
+                out.extend(prefix + rest for rest in sorted(os.listdir(sub)))
+        return out
+
+    def object_bytes(self) -> int:
+        total = 0
+        for digest in self.digests():
+            total += os.path.getsize(self._path(digest))
+        return total
+
+    # ------------------------------------------------------------------- refs
+    def _ref_path(self, name: str) -> str:
+        if not name or "/" in name or name.startswith("."):
+            raise RegistryError(f"malformed ref name {name!r}")
+        return os.path.join(self.refs_dir, name)
+
+    def set_ref(self, name: str, digest: str) -> None:
+        _atomic_write(self._ref_path(name), (digest + "\n").encode("ascii"))
+
+    def get_ref(self, name: str) -> str | None:
+        try:
+            with open(self._ref_path(name), "rb") as fh:
+                return fh.read().decode("ascii").strip()
+        except FileNotFoundError:
+            return None
+
+    def delete_ref(self, name: str) -> bool:
+        try:
+            os.unlink(self._ref_path(name))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def refs(self) -> dict[str, str]:
+        out = {}
+        for name in sorted(os.listdir(self.refs_dir)):
+            digest = self.get_ref(name)
+            if digest:
+                out[name] = digest
+        return out
+
+
+class BlobStore(_ObjectTree):
+    """The registry's local object cache (objects + refs under one root)."""
+
+
+class Remote:
+    """Interface a registry remote must speak (blobs + refs).
+
+    Implementations may raise :class:`RegistryError` for missing objects;
+    every method is keyed by full digest / ref name only, so a remote needs
+    no knowledge of manifests, deltas, or lineage.
+    """
+
+    def put_blob(self, digest: str, data: bytes) -> None:
+        raise NotImplementedError
+
+    def get_blob(self, digest: str) -> bytes:
+        raise NotImplementedError
+
+    def has_blob(self, digest: str) -> bool:
+        raise NotImplementedError
+
+    def set_ref(self, name: str, digest: str) -> None:
+        raise NotImplementedError
+
+    def get_ref(self, name: str) -> str | None:
+        raise NotImplementedError
+
+    def refs(self) -> dict[str, str]:
+        raise NotImplementedError
+
+
+class FilesystemRemote(Remote):
+    """A remote that is simply another object tree on a (shared) filesystem."""
+
+    def __init__(self, root: str):
+        self._tree = _ObjectTree(root)
+        self.root = self._tree.root
+
+    def put_blob(self, digest: str, data: bytes) -> None:
+        actual = sha256_digest(data)
+        if actual != digest:
+            raise RegistryError(
+                f"refusing to publish blob as {digest[:12]}…: content hashes "
+                f"to {actual[:12]}…"
+            )
+        self._tree.put(data)
+
+    def get_blob(self, digest: str) -> bytes:
+        try:
+            return self._tree.get(digest)
+        except RegistryError as exc:
+            raise RegistryError(f"remote {self.root!r}: {exc}") from None
+
+    def has_blob(self, digest: str) -> bool:
+        return self._tree.has(digest)
+
+    def set_ref(self, name: str, digest: str) -> None:
+        self._tree.set_ref(name, digest)
+
+    def get_ref(self, name: str) -> str | None:
+        return self._tree.get_ref(name)
+
+    def refs(self) -> dict[str, str]:
+        return self._tree.refs()
+
+    def blob_digests(self) -> list[str]:
+        return self._tree.digests()

@@ -345,6 +345,8 @@ class AdaptationController:
         refit,
         config: AdaptationConfig | None = None,
         artifact=None,
+        registry=None,
+        publish_ref: str | None = None,
     ):
         self.engine = engine
         self.refit = refit
@@ -356,6 +358,18 @@ class AdaptationController:
         self.events: list[dict] = []
         #: (seq, reason) of a detected-but-not-yet-refit drift
         self._pending: tuple[int, str] | None = None
+        # Registry binding: the baseline is published up front (idempotent —
+        # content addressing makes a re-publish a no-op) and every swapped
+        # re-fit becomes a delta successor of the current head, so the full
+        # adaptation lineage is replayable from the registry alone.
+        self.registry = registry
+        self.publish_ref = publish_ref
+        self.head_digest: str | None = None
+        if registry is not None:
+            if artifact is None:
+                raise ValueError("registry publishing needs a baseline artifact")
+            self.head_digest = artifact.publish(registry, name=publish_ref)
+        self._baseline_digest = self.head_digest
 
     def observe(self, pc: int, addr: int, emissions: list[Emission]) -> list[Emission]:
         """Feed one access + its emissions; returns swap-drained emissions."""
@@ -423,6 +437,10 @@ class AdaptationController:
             drained=len(drained),
             predict_calls=getattr(self.engine, "predict_calls", None),
         )
+        if self.registry is not None:
+            event["digest"] = self.head_digest = self.artifact.publish(
+                self.registry, parent=self.head_digest, name=self.publish_ref
+            )
         self.events.append(event)
         return drained
 
@@ -453,11 +471,15 @@ class AdaptiveStream(StreamingPrefetcher):
         config: AdaptationConfig | None = None,
         artifact=None,
         name: str | None = None,
+        registry=None,
+        publish_ref: str | None = None,
     ):
         self._engine = engine
         self._initial = artifact if artifact is not None else engine._mb._path._predict
         self._initial_artifact = artifact
-        self.controller = AdaptationController(engine, refit, config, artifact)
+        self.controller = AdaptationController(
+            engine, refit, config, artifact, registry=registry, publish_ref=publish_ref
+        )
         self.name = name or f"{engine.name}+adapt"
         self.latency_cycles = engine.latency_cycles
         self.storage_bytes = engine.storage_bytes
@@ -504,6 +526,7 @@ class AdaptiveStream(StreamingPrefetcher):
         ctl.adaptations = 0
         ctl.events.clear()
         ctl._pending = None
+        ctl.head_digest = ctl._baseline_digest
         self.seq = 0
 
     def adaptation_summary(self) -> dict:

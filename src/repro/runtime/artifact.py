@@ -121,7 +121,32 @@ class ModelArtifact:
         return state
 
     def save(self, path) -> None:
+        """Write a standalone artifact ``.npz`` (crash-safe: temp + rename).
+
+        A file is a *checkout*, not the system of record — versioned storage,
+        delta lineage, and distribution live in
+        :class:`~repro.registry.registry.ModelRegistry` (:meth:`publish` /
+        :meth:`from_registry`); this writes the same flat state a registry
+        ``checkout`` would, atomically, so a killed process can never leave
+        a torn artifact under ``path``.
+        """
         save_arrays(path, self.state())
+
+    # ----------------------------------------------------- registry shims
+    def publish(self, registry, parent: str | None = None, name: str | None = None) -> str:
+        """Store this artifact as a registry version; returns its digest.
+
+        Thin shim over :meth:`ModelRegistry.put <repro.registry.registry.
+        ModelRegistry.put>` — with ``parent`` the payload is a row-delta
+        against that version (the adaptation loop's successor chains store
+        this way).
+        """
+        return registry.put(self, parent=parent, name=name)
+
+    @classmethod
+    def from_registry(cls, registry, ref_or_digest: str) -> "ModelArtifact":
+        """Reconstruct a version from a registry (shim over ``registry.get``)."""
+        return registry.get(ref_or_digest)
 
     @classmethod
     def from_state(cls, state: dict[str, np.ndarray]) -> "ModelArtifact":

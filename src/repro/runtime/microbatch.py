@@ -41,7 +41,6 @@ fills N× faster and the model is stored once.
 from __future__ import annotations
 
 import inspect
-import json
 
 import numpy as np
 
@@ -210,67 +209,29 @@ class StreamState:
 #: bump when the freeze() key set or semantics change
 SNAPSHOT_FORMAT = 1
 SNAPSHOT_MAGIC = b"DARTSNP1"
-_SNAPSHOT_HEADER = len(SNAPSHOT_MAGIC) + 8  # magic + uint64 manifest length
 
 
 def snapshot_to_bytes(snapshot: dict[str, np.ndarray]) -> bytes:
     """Pack a flat array dict into one self-describing byte string.
 
-    Same container idiom as the shared-memory segments
-    (:mod:`repro.tabularization.shm`): MAGIC, a uint64 manifest length, a
-    JSON manifest mapping each key to ``(dtype, shape, offset)``, then the
-    raw contiguous payloads. This is what a frozen stream travels through
-    the sharded engine's length-prefixed pipe protocol as — no pickle.
+    The shared container idiom (MAGIC, uint64 manifest length, JSON
+    manifest, raw contiguous payloads) now lives once in
+    :mod:`repro.registry.codec`; this is the ``DARTSNP1`` instantiation —
+    what a frozen stream travels through the sharded engine's
+    length-prefixed pipe protocol as. No pickle.
     """
-    arrays: dict[str, dict] = {}
-    chunks: list[bytes] = []
-    offset = 0
-    for key in snapshot:
-        arr = np.ascontiguousarray(snapshot[key])
-        arrays[key] = {"dtype": arr.dtype.str, "shape": list(arr.shape), "offset": offset}
-        chunks.append(arr.tobytes())
-        offset += arr.nbytes
-    blob = json.dumps({"format": 1, "arrays": arrays}, sort_keys=True).encode("utf-8")
-    return (
-        SNAPSHOT_MAGIC
-        + len(blob).to_bytes(8, "little")
-        + blob
-        + b"".join(chunks)
-    )
+    from repro.registry.codec import pack_arrays
+
+    return pack_arrays(snapshot, SNAPSHOT_MAGIC, what="stream-state snapshot")
 
 
 def snapshot_from_bytes(buf: bytes) -> dict[str, np.ndarray]:
     """Unpack :func:`snapshot_to_bytes` output; named errors on bad framing."""
-    if len(buf) < _SNAPSHOT_HEADER or bytes(buf[: len(SNAPSHOT_MAGIC)]) != SNAPSHOT_MAGIC:
-        raise ValueError("not a stream-state snapshot (bad magic)")
-    mlen = int.from_bytes(bytes(buf[len(SNAPSHOT_MAGIC) : _SNAPSHOT_HEADER]), "little")
-    if _SNAPSHOT_HEADER + mlen > len(buf):
-        raise ValueError(
-            f"truncated snapshot: manifest claims {mlen} bytes, "
-            f"buffer holds {len(buf)}"
-        )
-    manifest = json.loads(bytes(buf[_SNAPSHOT_HEADER : _SNAPSHOT_HEADER + mlen]).decode("utf-8"))
-    if manifest.get("format") != 1:
-        raise ValueError(
-            f"snapshot manifest format {manifest.get('format')!r}; "
-            f"this build reads format 1"
-        )
-    base = _SNAPSHOT_HEADER + mlen
-    out: dict[str, np.ndarray] = {}
-    for key, spec in manifest["arrays"].items():
-        dtype = np.dtype(spec["dtype"])
-        count = int(np.prod(spec["shape"], dtype=np.int64))
-        start = base + int(spec["offset"])
-        if start + dtype.itemsize * count > len(buf):
-            raise ValueError(
-                f"truncated snapshot: array {key!r} extends past the buffer"
-            )
-        out[key] = (
-            np.frombuffer(buf, dtype=dtype, count=count, offset=start)
-            .reshape(spec["shape"])
-            .copy()  # writable, detached from the wire buffer
-        )
-    return out
+    from repro.registry.codec import unpack_arrays
+
+    arrays, _ = unpack_arrays(buf, SNAPSHOT_MAGIC, what="stream-state snapshot")
+    # Writable copies, detached from the wire buffer (thaw mutates rings).
+    return {key: arr.copy() for key, arr in arrays.items()}
 
 
 class _FlushPath:

@@ -38,8 +38,11 @@ Topology (see DESIGN.md "Sharded serving" for the lifecycle diagrams)::
 Wire protocol: every message is one length-prefixed frame (the connection
 frames; the body is a fixed ``<iq`` header — opcode, meta — plus a raw
 ``int64`` payload). Accesses travel as ``(local_stream, pc, addr)`` rows;
-emissions return as flat ``[stream, seq, n, blocks…]`` records, so neither
-direction pickles anything on the hot path.
+emissions return as flat ``[stream, seq, n, blocks…]`` records. Nothing in
+the protocol pickles — models that cannot ride shared memory travel in the
+``DARTMDL1`` wire container (:func:`repro.registry.codec.encode_model`),
+stats replies are JSON, and snapshots use the stream-state codec, so a
+worker never executes attacker-controllable deserialization.
 
 With ``ipc="ring"`` the same frames ride lock-free SPSC shared-memory rings
 (:mod:`repro.runtime.ring`) instead of the pipe — one ingest and one
@@ -73,9 +76,10 @@ crash mid-swap.
 
 from __future__ import annotations
 
-import pickle
+import json
 import struct
 import time
+import weakref
 
 import numpy as np
 
@@ -94,7 +98,7 @@ _HDR = struct.Struct("<iq")  # (opcode, meta)
 OP_REGISTER = 1   # meta = number of new streams
 OP_ACCESS = 2     # meta = deliver flag; payload int64 (k, 3)
 OP_FLUSH = 3      # meta = deliver flag
-OP_SWAP = 4       # meta = deliver<<1 | is_pickle; payload = shm name / pickle
+OP_SWAP = 4       # meta = deliver<<1 | is_codec; payload = shm name / DARTMDL1 blob
 OP_RESET = 5      # meta = local stream index, -1 = every stream
 OP_STATS = 6
 OP_SHUTDOWN = 7
@@ -105,7 +109,7 @@ OP_THAW = 10      # payload = snapshot bytes; rehydrate as a new local stream
 # Reply opcodes (worker -> frontend).
 REPLY_OK = 100
 REPLY_EMISSIONS = 101  # meta = emissions represented; payload records
-REPLY_STATS = 102      # payload = pickled dict
+REPLY_STATS = 102      # payload = utf-8 JSON dict
 REPLY_ERR = 103        # payload = utf-8 traceback
 REPLY_SNAPSHOT = 104   # meta = pending queries carried; payload snapshot bytes
 
@@ -160,7 +164,9 @@ def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict,
 
             model, tables = attach_artifact(model_spec[1])
         else:
-            model = pickle.loads(model_spec[1])
+            from repro.registry.codec import decode_model
+
+            model = decode_model(model_spec[1])
         engine = MultiStreamEngine(model, **engine_kwargs)
         handles: list = []
         sketches: list[_LatencySketch] = []
@@ -258,7 +264,9 @@ def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict,
                 elif op == OP_SWAP:
                     deliver = bool(meta & 2)
                     if meta & 1:
-                        engine.swap_model(pickle.loads(payload))
+                        from repro.registry.codec import decode_model
+
+                        engine.swap_model(decode_model(payload))
                         old = None
                     else:
                         from repro.tabularization.shm import attach_artifact
@@ -346,7 +354,7 @@ def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict,
                             for l in range(len(handles))
                         ],
                     }
-                    body = pickle.dumps(stats)
+                    body = json.dumps(stats).encode("utf-8")
                     conn.send_bytes(_HDR.pack(REPLY_STATS, len(body)) + body)
                 elif op == OP_SHUTDOWN:
                     conn.send_bytes(_HDR.pack(REPLY_OK, 0))
@@ -388,6 +396,11 @@ class _Shard:
         self.handles: list["ShardHandle"] = []  # by local index
         self.sendbuf: list[tuple[int, int, int]] = []
         self.alive = False
+        # Model generation this worker serves (set on spawn, updated per
+        # swap): partial swaps leave the fleet intentionally mixed, and
+        # publication refcounting keys off these per-shard specs.
+        self.spec = None
+        self.version: int | None = None
         # Ring-mode data plane (None in pipe mode). Frontend is the owner of
         # both segments: producer on ingest, consumer on emissions.
         self.ingest_ring = None
@@ -456,8 +469,9 @@ class ShardedEngine:
 
     ``model`` may be a :class:`~repro.runtime.artifact.ModelArtifact` or bare
     :class:`TabularAttentionPredictor` (published once into shared memory —
-    the zero-copy path), or any picklable predictor object (e.g. the NN
-    baselines; each worker then deserializes a private copy). Serving knobs
+    the zero-copy path), or any predictor the no-pickle model wire codec
+    carries (:func:`repro.registry.codec.encode_model` — e.g. the NN student
+    baseline; each worker then decodes a private copy). Serving knobs
     (``batch_size``, ``max_wait``, decode policy) mirror
     :class:`~repro.runtime.multistream.MultiStreamEngine` and apply per
     worker.
@@ -560,7 +574,8 @@ class ShardedEngine:
         self._ctx = mp.get_context(start_method)
         self.start_method = start_method
         self._publications: list = []  # SharedTables this engine owns
-        self._model_spec = self._publish(model)
+        self._spec_cache: list = []  # (weakref(model), spec, version) of live pubs
+        self._model_spec = self._publish_cached(model, version)
         self._model_version = version
         self._swaps = 0
         self.last_swap_drained = 0
@@ -590,18 +605,47 @@ class ShardedEngine:
             pub = publish_artifact(model)
             self._publications.append(pub)
             return ("shm", pub.name)
+        from repro.registry.codec import encode_model
+
         try:
-            return ("pickle", pickle.dumps(model))
-        except Exception as exc:
+            return ("codec", encode_model(model))
+        except TypeError as exc:
             raise TypeError(
                 f"cannot ship {type(model).__name__} to worker processes: "
-                f"not a tabular artifact (shared memory) and not picklable "
-                f"({exc})"
+                f"not a tabular artifact (shared memory) and not carried by "
+                f"the no-pickle model wire codec ({exc})"
             ) from exc
+
+    def _publish_cached(self, model, version):
+        """Publish ``model``, reusing the live segment of a prior publish.
+
+        Partial swaps make spec *identity* meaningful: a cohort swap followed
+        by the complementary swap of the same model object must land both
+        cohorts on the same segment, or the fleet never converges back to a
+        single generation (and a rollback to the boot artifact would leak a
+        redundant copy of tables that are already mapped). The cache is keyed
+        on object identity *and* resolved version, and entries drop out as
+        soon as their segment is unlinked or their model is garbage-collected.
+        """
+        live = {pub.name for pub in self._publications}
+        self._spec_cache = [
+            entry for entry in self._spec_cache
+            if entry[0]() is not None
+            and (entry[1][0] != "shm" or entry[1][1] in live)
+        ]
+        for ref, spec, ver in self._spec_cache:
+            if ref() is model and ver == version:
+                return spec
+        spec = self._publish(model)
+        try:
+            self._spec_cache.append((weakref.ref(model), spec, version))
+        except TypeError:  # un-weakreferenceable models just never reuse
+            pass
+        return spec
 
     @property
     def shm_bytes(self) -> int | None:
-        """Size of the live shared-memory segment (None for pickled models)."""
+        """Total bytes of live shared segments (None for codec-shipped models)."""
         return self._publications[-1].nbytes if self._publications else None
 
     # ------------------------------------------------------------ registration
@@ -687,6 +731,8 @@ class ShardedEngine:
         shard.process = proc
         shard.conn = parent
         shard.alive = True
+        shard.spec = self._model_spec
+        shard.version = self._model_version
 
     @staticmethod
     def _unlink_rings(shard: _Shard) -> None:
@@ -1102,46 +1148,83 @@ class ShardedEngine:
         }
 
     # -------------------------------------------------------------------- swap
-    def swap_model(self, model) -> None:
-        """Zero-downtime model replacement, broadcast to every shard.
+    def _retire_unreferenced(self) -> None:
+        """Unlink published segments no shard spec (and no boot spec) uses.
+
+        Partial swaps make generations refcounted: a segment stays alive as
+        long as *any* worker serves it or new workers would boot from it.
+        Survivors close their mappings during a swap and a dead worker's
+        mapping died with it, so an unreferenced generation unlinks safely
+        (POSIX keeps it alive for any straggling mapping).
+        """
+        live = {self._model_spec[1]} if self._model_spec[0] == "shm" else set()
+        for shard in self._shards:
+            if shard.spec is not None and shard.spec[0] == "shm":
+                live.add(shard.spec[1])
+        for pub in list(self._publications):
+            if pub.name not in live:
+                self._publications.remove(pub)
+                pub.close()
+                pub.unlink()
+
+    def swap_model(self, model, workers=None) -> None:
+        """Zero-downtime model replacement, broadcast to a cohort of shards.
+
+        ``workers=None`` (the default) swaps the whole fleet; a list of
+        worker ids narrows the broadcast to that cohort — the canary
+        primitive :class:`~repro.registry.rollout.FleetRollout` stages
+        rollouts with. The rest of the fleet keeps serving its current
+        generation, untouched and undrained.
 
         Ordering guarantees (each is load-bearing, see DESIGN.md):
 
         1. geometry is validated *before* anything is drained or published —
            an incompatible artifact is refused while the old tables serve;
-        2. every buffered access is dispatched first, so the outgoing model
-           answers exactly the queries that preceded the swap;
+        2. every targeted shard's buffered accesses are dispatched first, so
+           the outgoing model answers exactly the queries that preceded the
+           swap;
         3. the new segment is published before any worker hears about it;
-        4. the barrier (one drain-ack per worker) completes before the old
-           segment is unlinked — no worker can be left mid-attach on a
-           vanished name.
+        4. the barrier (one drain-ack per targeted worker) completes before
+           any superseded segment is unlinked — no worker can be left
+           mid-attach on a vanished name. Segments are refcounted across
+           generations: one is unlinked only once no shard references it.
 
-        Emissions drained by the swap are delivered to their handles'
-        outboxes; a no-op swap is bit-identical to never swapping.
+        When the cohort converges the fleet back onto a single generation
+        (a full swap, or the partial swap that covers the remainder), that
+        generation becomes the boot spec for future workers (``rescale``
+        growth spawns on it). Emissions drained by the swap are delivered to
+        their handles' outboxes; a no-op swap is bit-identical to never
+        swapping.
         """
         _, version = resolve_predictor(model, self.config)
-
-        def retire(old_pubs) -> None:
-            """Unlink a superseded generation (workers closed or died)."""
-            for pub in old_pubs:
-                self._publications.remove(pub)
-                pub.close()
-                pub.unlink()
-
-        # The outgoing generation stays tracked until the new one is safely
+        if workers is None:
+            targets = list(self._shards)
+        else:
+            ids = sorted({int(w) for w in workers})
+            if not ids:
+                raise ValueError("workers=[] swaps nothing; pass None for the fleet")
+            for w in ids:
+                if not 0 <= w < self.workers:
+                    raise ValueError(
+                        f"worker {w} out of range (fleet has {self.workers})"
+                    )
+            targets = [self._shards[w] for w in ids]
+        if not self._started:
+            if len(targets) < self.workers:
+                self.start()  # a cohort only exists once the fleet runs
+            else:
+                # No fleet yet: just replace the boot spec (and its segment).
+                self._model_spec = self._publish_cached(model, version)
+                self._model_version = version
+                self._swaps += 1
+                self._retire_unreferenced()
+                return
+        for shard in targets:
+            self._dispatch(shard)
+        # The outgoing generations stay tracked until the new one is safely
         # published and broadcast — if anything below raises, close() can
         # still unlink every segment that exists.
-        old_pubs = list(self._publications)
-        if not self._started:
-            # No fleet yet: just replace the boot spec (and its segment).
-            self._model_spec = self._publish(model)
-            retire(old_pubs)
-            self._model_version = version
-            self._swaps += 1
-            return
-        for shard in self._shards:
-            self._dispatch(shard)
-        spec = self._publish(model)
+        spec = self._publish_cached(model, version)
         if spec[0] == "shm":
             meta, payload = 2, spec[1].encode("utf-8")
         else:
@@ -1149,18 +1232,18 @@ class ShardedEngine:
         # Broadcast + barrier. A shard that dies mid-broadcast must not
         # desynchronize the survivors: their acks are still consumed (so the
         # request-reply protocol stays in lockstep), the version counters
-        # advance (every *live* worker is on the new tables), and the first
-        # failure is re-raised once the barrier completes.
+        # advance (every *live* targeted worker is on the new tables), and
+        # the first failure is re-raised once the barrier completes.
         failures: list[ShardFailure] = []
         sent: list[_Shard] = []
-        for shard in self._shards:
+        for shard in targets:
             try:
                 self._send(shard, OP_SWAP, meta, payload)
                 sent.append(shard)
             except ShardFailure as exc:
                 failures.append(exc)
         drained = 0
-        for shard in sent:  # barrier: every surviving worker swapped
+        for shard in sent:  # barrier: every surviving targeted worker swapped
             try:
                 d, body = self._expect(shard, REPLY_EMISSIONS,
                                        poll_interval=self.drain_poll_interval)
@@ -1168,14 +1251,15 @@ class ShardedEngine:
                 self._route(shard, body)
             except ShardFailure as exc:
                 failures.append(exc)
+        for shard in targets:
+            shard.spec = spec
+            shard.version = version
         self.last_swap_drained = drained
-        self._model_spec = spec
-        self._model_version = version
         self._swaps += 1
-        # Survivors closed their old mappings during the swap and a dead
-        # worker's mapping died with it, so the old generation unlinks now
-        # either way (POSIX keeps it alive for any straggling mapping).
-        retire(old_pubs)
+        if all(s.spec == spec for s in self._shards):
+            self._model_spec = spec
+            self._model_version = version
+        self._retire_unreferenced()
         if failures:
             raise failures[0]
 
@@ -1195,7 +1279,7 @@ class ShardedEngine:
             op, _, payload = self._recv(shard)
             if op != REPLY_STATS:
                 self._fail(shard, f"protocol error: got opcode {op} for STATS")
-            out.append(pickle.loads(payload))
+            out.append(json.loads(payload.decode("utf-8")))
         return out
 
     @property
@@ -1223,6 +1307,7 @@ class ShardedEngine:
             "model_copies": 1 if self._model_spec[0] == "shm" else self.workers,
             "shm_bytes": self.shm_bytes,
             "model_version": self._model_version,
+            "worker_versions": [s.version for s in self._shards],
             "swaps": self._swaps,
             "predict_calls": calls,
             "fast_path_flushes": fast,

@@ -4,21 +4,42 @@ Components that need persistence expose ``state_dict() -> dict[str, ndarray]``
 and ``load_state_dict(dict)``; these helpers write/read such dicts. Keys may
 contain ``/`` to express nesting (``"layers/0/weight"``), which is preserved
 verbatim by ``numpy.savez``.
+
+Writes are crash-safe: the ``.npz`` is assembled in a temp file *in the
+target directory* and atomically renamed into place, so a process killed
+mid-save can never leave a torn artifact under the destination name — a
+reader sees either the old complete file or the new complete file.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
 
 import numpy as np
 
 
 def save_arrays(path: str | os.PathLike, arrays: dict[str, np.ndarray]) -> None:
-    """Save a flat dict of ndarrays to ``path`` (``.npz`` appended if missing)."""
+    """Save a flat dict of ndarrays to ``path`` (``.npz`` appended if missing).
+
+    Atomic: written to a sibling temp file and ``os.replace``-d over the
+    destination (rename is atomic on the same filesystem).
+    """
     path = os.fspath(path)
     if not path.endswith(".npz"):
         path += ".npz"
-    np.savez(path, **arrays)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".npz")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load_arrays(path: str | os.PathLike) -> dict[str, np.ndarray]:

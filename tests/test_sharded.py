@@ -223,7 +223,7 @@ def test_failed_publish_keeps_live_segment_tracked(dart):
     engine = dart.sharded(workers=1, batch_size=64)
     engine.start()
     name = engine._publications[0].name
-    with pytest.raises(TypeError, match="picklable"):
+    with pytest.raises(TypeError, match="wire codec"):
         engine.swap_model(lambda xa, xp, batch_size=1: None)
     assert [pub.name for pub in engine._publications] == [name]
     assert engine.swaps == 0
@@ -242,7 +242,7 @@ def test_registration_and_validation_errors(dart, eight_traces):
         engine.streams(2)
         with pytest.raises(ValueError):
             engine.serve(eight_traces[:3])  # 3 sources for 2 streams
-    with pytest.raises(TypeError, match="picklable"):
+    with pytest.raises(TypeError, match="wire codec"):
         from repro.runtime import ShardedEngine
 
         ShardedEngine(lambda xa, xp, batch_size=1: None, dart.config, workers=1)
