@@ -1,0 +1,127 @@
+"""Merge every ``BENCH_*.json`` trajectory artifact into one trend table.
+
+Each benchmark writes its own artifact (throughput ratios, identity gates,
+pause bounds, …) and CI uploads them separately — which makes the perf
+history unreadable across artifacts. This tool folds them into a single
+table (artifact, metric, value, gate status) printed for the CI summary and
+written to ``BENCH_trend.json`` so the whole trajectory diffs as one file.
+
+Deliberately dependency-free (stdlib only, no ``repro`` import): it must run
+in any CI summary step without ``PYTHONPATH`` or the package's own deps.
+
+    python benchmarks/trend.py [--dir REPO_ROOT] [--strict]
+
+``--strict`` exits nonzero when any artifact's ``pass`` gate is false — the
+default is report-only so a summary step never masks the real bench failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+
+#: top-level keys that describe the workload, not its outcome — config, not
+#: trend. Everything else scalar is a tracked metric.
+CONFIG_KEYS = {
+    "accesses", "accesses_per_stream", "adapt_window", "batch_size", "cpus",
+    "depth", "ipc", "lookahead", "max_streams", "max_wait",
+    "pending_carried_bound", "scaling_bar", "seed", "shift_at", "streams",
+    "tail_from", "throughput_bar", "workers", "workload",
+}
+
+
+def headline_metrics(record: dict) -> dict:
+    """Every top-level scalar outcome of one artifact, in stable order."""
+    out = {}
+    for key in sorted(record):
+        if key in CONFIG_KEYS or key == "pass":
+            continue
+        value = record[key]
+        if isinstance(value, bool) or isinstance(value, (int, float)):
+            out[key] = value
+        elif isinstance(value, str) and key.endswith("_gate"):
+            out[key] = value  # e.g. "skipped (1 CPU(s) visible; ...)"
+    return out
+
+
+def collect(root: str) -> dict:
+    artifacts = {}
+    for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
+        name = os.path.splitext(os.path.basename(path))[0]
+        if name == "BENCH_trend":
+            continue
+        try:
+            with open(path, encoding="utf-8") as f:
+                record = json.load(f)
+        except (OSError, ValueError) as exc:
+            artifacts[name] = {"gate": "unreadable", "error": str(exc),
+                               "metrics": {}}
+            continue
+        gate = record.get("pass")
+        artifacts[name] = {
+            "gate": "n/a" if gate is None else ("PASS" if gate else "FAIL"),
+            "metrics": headline_metrics(record),
+        }
+    return artifacts
+
+
+def render(artifacts: dict) -> list[str]:
+    rows = []
+    for name, art in artifacts.items():
+        first = True
+        for metric, value in art["metrics"].items():
+            if isinstance(value, float):
+                value = f"{value:.4g}"
+            rows.append((name if first else "", metric, str(value),
+                         art["gate"] if first else ""))
+            first = False
+        if first:  # artifact with no scalar metrics at all
+            rows.append((name, "-", "-", art["gate"]))
+    headers = ("artifact", "metric", "value", "gate")
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+              else len(headers[i]) for i in range(4)]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
+    lines.extend(fmt.format(*r) for r in rows)
+    return lines
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--dir", default=".",
+                    help="directory holding the BENCH_*.json artifacts")
+    ap.add_argument("--output", "-o", default=None,
+                    help="trend JSON path (default: <dir>/BENCH_trend.json)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 if any artifact's gate failed")
+    args = ap.parse_args(argv)
+
+    artifacts = collect(args.dir)
+    if not artifacts:
+        print(f"no BENCH_*.json artifacts under {args.dir!r}")
+        return 0
+    for line in render(artifacts):
+        print(line)
+    failed = [n for n, a in artifacts.items() if a["gate"] == "FAIL"]
+    ok = not failed
+    print(
+        f"{len(artifacts)} artifacts: "
+        + ("all gates green" if ok else f"FAILED gates: {', '.join(failed)}")
+    )
+
+    out = args.output or os.path.join(args.dir, "BENCH_trend.json")
+    trend = {
+        "generated_by": "benchmarks/trend.py",
+        "artifacts": artifacts,
+        "all_pass": ok,
+    }
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(trend, f, indent=2, sort_keys=True)
+    print(f"wrote {out}")
+    return 1 if (args.strict and not ok) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -372,7 +372,7 @@ def _stream_churn(args) -> int:
         raise SystemExit("--churn needs a model-backed prefetcher (--prefetcher dart)")
     engine = pf.sharded(
         workers=args.workers, batch_size=args.batch_size, max_wait=args.max_wait,
-        ipc=args.ipc,
+        ipc=args.ipc, pipeline_depth=args.pipeline_depth,
     )
     events: list[dict] = []
     length = min(len(s) for s in shards)
@@ -472,7 +472,7 @@ def _stream_sharded(args) -> int:
         )
     engine = pf.sharded(
         workers=args.workers, batch_size=args.batch_size, max_wait=args.max_wait,
-        ipc=args.ipc,
+        ipc=args.ipc, pipeline_depth=args.pipeline_depth,
     )
     with engine:
         agg, per_stream, lists = engine.serve(shards, collect=args.compare_batch)
@@ -920,6 +920,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --workers W: data-plane transport — 'ring' "
                             "moves access/emission frames onto lock-free "
                             "shared-memory rings (control stays on the pipe)")
+    p_str.add_argument("--pipeline-depth", type=int, default=1,
+                       help="with --workers W: data-plane credit window — up "
+                            "to D chunks in flight per worker (1 = lockstep; "
+                            "deeper overlaps worker compute with the "
+                            "frontend and with other workers)")
     p_str.add_argument("--compare-batch", action="store_true",
                        help="also run prefetch_lists and check bit-identity")
     p_str.add_argument("--adapt", action="store_true",

@@ -133,8 +133,16 @@ class Ring:
         self._closed = False
 
     # ------------------------------------------------------------------ waits
-    def _park(self, idx: int, want: int, timeout: float | None, alive) -> None:
-        """Block until ``seq[idx] == want`` (bounded spin, then sleep)."""
+    def _park(self, idx: int, want: int, timeout: float | None, alive,
+              progress=None) -> None:
+        """Block until ``seq[idx] == want`` (bounded spin, then sleep).
+
+        ``progress`` is an optional zero-arg callback invoked once per sleep
+        lap. The pipelined sharded frontend passes its reply drain here: a
+        producer parked on a full ingest ring keeps consuming the peer's
+        emission ring, so the two directions can never mutually fill and
+        deadlock (see DESIGN.md "Pipelined data plane").
+        """
         seq = self._seq
         w = np.uint64(want)
         if seq[idx] == w:
@@ -155,14 +163,19 @@ class Ring:
                 raise RingTimeout(
                     f"ring {self.name!r}: slot {idx} not ready within {timeout}s"
                 )
+            if progress is not None:
+                progress()
             time.sleep(nap)
 
     # --------------------------------------------------------------- producer
-    def send(self, data: bytes, timeout: float | None = None, alive=None) -> None:
+    def send(self, data: bytes, timeout: float | None = None, alive=None,
+             progress=None) -> None:
         """Write one frame; parks (bounded) when the ring is full.
 
         ``alive`` is an optional zero-arg liveness probe for the consumer —
         a producer never hangs on a dead peer, it raises :class:`RingPeerDead`.
+        ``progress`` is called once per parked sleep lap (see :meth:`_park`)
+        so a blocked producer can keep draining its own inbound ring.
 
         A send that raises mid-frame (timeout, dead peer) leaves already
         published fragments behind: the ring is no longer usable from this
@@ -179,7 +192,7 @@ class Ring:
         i = 0
         while off < total:
             idx = (pos + i) % self.slots
-            self._park(idx, pos + i, timeout, alive)
+            self._park(idx, pos + i, timeout, alive, progress)
             take = min(sb, total - off)
             chunk = np.frombuffer(view[off : off + take], dtype=np.uint8)
             self._data[idx, :take] = chunk
@@ -204,6 +217,24 @@ class Ring:
         if not self.readable:
             return None
         return self.recv(timeout=timeout, alive=alive)
+
+    def recv_ready(self, max_frames: int | None = None,
+                   timeout: float | None = None, alive=None) -> list[bytes]:
+        """Every already-committed frame, in order, without parking between.
+
+        The select-style reply poller of the pipelined sharded frontend sweeps
+        many rings per lap; this is its per-ring step. A frame whose first
+        slot is published is *committed* (the producer finishes it with the
+        normal bounded protocol), so each committed frame is consumed with
+        :meth:`recv`; the sweep stops — returning immediately, no spin, no
+        sleep — at the first unpublished head slot. ``max_frames`` bounds one
+        sweep so a fast producer cannot starve the other rings in the poll
+        set.
+        """
+        out: list[bytes] = []
+        while (max_frames is None or len(out) < max_frames) and self.readable:
+            out.append(self.recv(timeout=timeout, alive=alive))
+        return out
 
     def recv(self, timeout: float | None = None, alive=None) -> bytes:
         """Read one frame; parks (bounded) until the producer publishes it."""

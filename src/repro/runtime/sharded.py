@@ -52,6 +52,26 @@ control plane (registration, swaps, migration snapshots, stats, shutdown)
 stays on the pipe, and the byte-identical records keep the two transports
 bit-identical (pinned by the conformance suite).
 
+**Pipelined data plane** (``pipeline_depth``): the frontend may keep up to
+``pipeline_depth`` data-plane chunks in flight per worker, each tagged with
+a monotone per-worker sequence number (packed into the frame's ``meta``
+word alongside the deliver flag); the worker echoes the sequence in its
+reply. Workers process their channel strictly FIFO and reply in the same
+order, so the frontend commits replies in per-worker sequence order — a
+mismatched sequence is a named protocol failure, never a misattributed
+emission. Replies are drained by a select-style poller across every
+worker's emission channel (``connection.wait`` over the pipes, a
+``readable`` sweep over the rings), so frontend featurization and reply
+decoding overlap worker compute, and a slow shard never stalls the drain of
+a faster one. Per-stream emission order is untouched (streams stay pinned
+to one worker and each channel is FIFO); cross-worker arrival order was
+never promised. Every barrier — ``flush_all``, ``swap_model`` drain-acks,
+``migrate_stream`` freeze, ``rescale``, ``close`` — first **quiesces** the
+outstanding window (every credit returns), so the existing drain/ack
+ordering proofs apply unchanged; any control-plane send quiesces its shard
+implicitly. ``pipeline_depth=1`` *is* the historical lockstep protocol,
+bit-for-bit. See DESIGN.md "Pipelined data plane".
+
 Guarantees preserved from the single-process engines:
 
 * **one emission per access, ascending seq, per stream** — streams are
@@ -80,11 +100,18 @@ import json
 import struct
 import time
 import weakref
+from collections import deque
 
 import numpy as np
 
 from repro.data.dataset import PreprocessConfig
-from repro.runtime.engine import StreamLifecycle, StreamStats, _LatencySketch, access_pairs
+from repro.runtime.engine import (
+    StreamLifecycle,
+    StreamStats,
+    _LatencySketch,
+    _PipelineMeter,
+    access_pairs,
+)
 from repro.runtime.microbatch import (
     resolve_predictor,
     snapshot_from_bytes,
@@ -96,8 +123,8 @@ _HDR = struct.Struct("<iq")  # (opcode, meta)
 
 # Request opcodes (frontend -> worker).
 OP_REGISTER = 1   # meta = number of new streams
-OP_ACCESS = 2     # meta = deliver flag; payload int64 (k, 3)
-OP_FLUSH = 3      # meta = deliver flag
+OP_ACCESS = 2     # meta = seq<<1 | deliver; payload int64 (k, 3)
+OP_FLUSH = 3      # meta = seq<<1 | deliver
 OP_SWAP = 4       # meta = deliver<<1 | is_codec; payload = shm name / DARTMDL1 blob
 OP_RESET = 5      # meta = local stream index, -1 = every stream
 OP_STATS = 6
@@ -108,7 +135,8 @@ OP_THAW = 10      # payload = snapshot bytes; rehydrate as a new local stream
 
 # Reply opcodes (worker -> frontend).
 REPLY_OK = 100
-REPLY_EMISSIONS = 101  # meta = emissions represented; payload records
+REPLY_EMISSIONS = 101  # meta = echoed request seq (data plane) or drain
+                       # count (swap ack); payload records
 REPLY_STATS = 102      # payload = utf-8 JSON dict
 REPLY_ERR = 103        # payload = utf-8 traceback
 REPLY_SNAPSHOT = 104   # meta = pending queries carried; payload snapshot bytes
@@ -130,7 +158,9 @@ class ShardFailure(RuntimeError):
 
 # --------------------------------------------------------------------- worker
 def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict,
-                       measure: bool, ring_spec: tuple | None = None):
+                       measure: bool, ring_spec: tuple | None = None,
+                       reply_timeout: float = 60.0,
+                       chaos_reply_delay: tuple | None = None):
     """One shard: a MultiStreamEngine over shared tables, driven by the pipe.
 
     Runs in its own OS process. Never returns normally — exits on
@@ -140,14 +170,31 @@ def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict,
     plane** (``OP_ACCESS`` / ``OP_FLUSH`` and their emission replies) moves
     onto a pair of shared-memory rings (:mod:`repro.runtime.ring`); the
     control plane — register, swap, snapshot, stats, shutdown — stays on the
-    pipe. Every reply travels back on the channel its request arrived on, so
-    the frontend's per-channel lockstep is preserved. The idle wait blocks on
-    the pipe fd in ``sleep_s`` naps (control traffic wakes it instantly) and
-    re-checks the ring's published-slot word each lap.
+    pipe. Every reply travels back on the channel its request arrived on, and
+    requests are processed strictly FIFO per channel, so replies leave in
+    request-sequence order — the invariant the pipelined frontend commits
+    against. The idle wait blocks on the pipe fd in ``sleep_s`` naps (control
+    traffic wakes it instantly) and re-checks the ring's published-slot word
+    each lap.
+
+    ``reply_timeout`` (the engine constructor's knob) bounds every parked
+    ring operation — a worker whose frontend stopped draining for that long
+    exits like it would on a broken pipe. ``chaos_reply_delay = (max_s,
+    seed)`` is the fault-injection hook used by the pipeline fuzz: each
+    data-plane reply is preceded by a seeded random sleep in ``[0, max_s)``,
+    simulating slow/jittery shards without touching the protocol.
     """
     import traceback
 
     from repro.runtime.multistream import MultiStreamEngine
+
+    chaos_rng = None
+    chaos_max = 0.0
+    if chaos_reply_delay is not None:
+        import random as _random
+
+        chaos_max = float(chaos_reply_delay[0])
+        chaos_rng = _random.Random(int(chaos_reply_delay[1]) ^ (worker_id * 0x9E3779B1))
 
     tables = None
     model = None
@@ -206,10 +253,11 @@ def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict,
             (send or conn.send_bytes)(_HDR.pack(REPLY_EMISSIONS, meta) + payload)
 
         def ring_send(body: bytes) -> None:
-            # The frontend consumes replies in lockstep, so a full emission
-            # ring clears within one reply round trip; a 60s park means the
-            # frontend is gone and the worker should exit like a broken pipe.
-            ring_out.send(body, timeout=60.0)
+            # The frontend drains the emission ring whenever it polls or
+            # parks, so a full ring clears within one poller lap; a park
+            # lasting the engine's whole reply_timeout means the frontend is
+            # gone and the worker should exit like it would on a broken pipe.
+            ring_out.send(body, timeout=reply_timeout)
 
         while True:
             via_ring = False
@@ -223,7 +271,7 @@ def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict,
                 spin = ring_in.wait.spin
                 while msg is None:
                     if ring_in.readable:
-                        msg = ring_in.recv(timeout=60.0)
+                        msg = ring_in.recv(timeout=reply_timeout)
                         via_ring = True
                         break
                     if spin > 0:
@@ -239,6 +287,9 @@ def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict,
             payload = msg[_HDR.size :]
             try:
                 if op == OP_ACCESS:
+                    # Data-plane meta packs (request seq << 1) | deliver; the
+                    # seq is echoed in the reply so the pipelined frontend
+                    # commits replies in per-worker sequence order.
                     rows = np.frombuffer(payload, dtype=np.int64).reshape(-1, 3).tolist()
                     if measure:
                         for lidx, pc, addr in rows:
@@ -251,10 +302,16 @@ def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict,
                         for lidx, pc, addr in rows:
                             note(lidx, handles[lidx].ingest(pc, addr))
                             counts[lidx][0] += 1
-                    reply_emissions(deliver=bool(meta), send=reply)
+                    if chaos_rng is not None:
+                        time.sleep(chaos_rng.random() * chaos_max)
+                    reply_emissions(deliver=bool(meta & 1), meta=meta >> 1,
+                                    send=reply)
                 elif op == OP_FLUSH:
                     engine.flush_all()
-                    reply_emissions(deliver=bool(meta), send=reply)
+                    if chaos_rng is not None:
+                        time.sleep(chaos_rng.random() * chaos_max)
+                    reply_emissions(deliver=bool(meta & 1), meta=meta >> 1,
+                                    send=reply)
                 elif op == OP_REGISTER:
                     for _ in range(int(meta)):
                         handles.append(engine.stream())
@@ -405,6 +462,12 @@ class _Shard:
         # both segments: producer on ingest, consumer on emissions.
         self.ingest_ring = None
         self.emission_ring = None
+        # Pipelined data plane: the next request sequence number (monotone for
+        # the worker's lifetime) and the outstanding window — (seq, bytes) per
+        # un-acked data-plane request, committed strictly in seq order.
+        self.data_seq = 0
+        self.inflight: deque[tuple[int, int]] = deque()
+        self.inflight_bytes = 0
 
 
 class ShardHandle(StreamingPrefetcher):
@@ -491,11 +554,31 @@ class ShardedEngine:
     modes, and the wire records are byte-identical, so emissions are
     bit-identical across transports (pinned by the conformance suite).
 
+    ``pipeline_depth`` is the credit window of the data plane: how many
+    ``OP_ACCESS``/``OP_FLUSH`` chunks the frontend may keep in flight per
+    worker before it must commit a reply. Depth 1 (the default) is the
+    historical one-outstanding lockstep, bit-for-bit; deeper windows overlap
+    worker compute with frontend featurization/decoding and with the other
+    workers, and a select-style poller commits replies in per-worker
+    sequence order as they become ready. Emissions stay exactly-once and
+    per-stream ordered at any depth, and every barrier (flush, swap, close,
+    freeze, rescale) quiesces the window first — see DESIGN.md "Pipelined
+    data plane". ``pipe_window_bytes`` caps the in-flight request *bytes*
+    per worker in pipe mode (it must stay under the kernel's socketpair
+    buffer so the frontend's sends can never block against a worker blocked
+    mid-reply); ring mode instead drains replies while parked on a full
+    ingest ring, so its cap is the ring capacity itself.
+
     ``reply_timeout`` / ``poll_interval`` govern :meth:`_recv`'s wait for a
     worker reply (total deadline, and the death-probe granularity while
     waiting); ``drain_poll_interval`` is the short-path granularity used
     during drain barriers (flush, swap, close, freeze), where replies are
     expected promptly and a dead worker should be detected fast.
+
+    ``chaos_reply_delay=(max_s, seed)`` injects a seeded random sleep before
+    every data-plane reply in each worker — the fault-injection hook the
+    pipeline fuzz uses to prove the exactly-once/ordering invariants under
+    slow, jittery shards. Leave ``None`` in production.
 
     Use as a context manager (or call :meth:`close`) — the engine owns named
     shared-memory segments that must be unlinked.
@@ -525,6 +608,9 @@ class ShardedEngine:
         reply_timeout: float = 60.0,
         poll_interval: float = 0.05,
         drain_poll_interval: float = 0.005,
+        pipeline_depth: int = 1,
+        pipe_window_bytes: int = 57344,
+        chaos_reply_delay: tuple | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -534,6 +620,10 @@ class ShardedEngine:
             raise ValueError(f"unknown ipc mode {ipc!r} (use 'pipe' or 'ring')")
         if reply_timeout <= 0 or poll_interval <= 0 or drain_poll_interval <= 0:
             raise ValueError("reply_timeout / poll intervals must be > 0")
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        if pipe_window_bytes < 4096:
+            raise ValueError("pipe_window_bytes must be >= 4096")
         # Validate geometry + capture the artifact version before any process
         # or segment exists (same refusal point as the in-process engines).
         _, version = resolve_predictor(model, config)
@@ -567,6 +657,13 @@ class ShardedEngine:
         self.reply_timeout = float(reply_timeout)
         self.poll_interval = float(poll_interval)
         self.drain_poll_interval = float(drain_poll_interval)
+        self.pipeline_depth = int(pipeline_depth)
+        self.pipe_window_bytes = int(pipe_window_bytes)
+        self._chaos_reply_delay = chaos_reply_delay
+        self._meter = _PipelineMeter(self.pipeline_depth)
+        # Soft in-flight byte cap for ring mode: half the ring, so a window's
+        # worth of requests can never wedge the producer for a whole frame.
+        self._ring_window_bytes = (self.ring_slots * self.ring_slot_bytes) // 2
         import multiprocessing as mp
 
         if start_method is None:
@@ -722,7 +819,8 @@ class ShardedEngine:
         proc = self._ctx.Process(
             target=_worker_serve_loop,
             args=(shard.id, child, self._model_spec, self._engine_kwargs,
-                  self._measure, ring_spec),
+                  self._measure, ring_spec, self.reply_timeout,
+                  self._chaos_reply_delay),
             name=f"{self.name}-w{shard.id}",
             daemon=True,
         )
@@ -804,7 +902,9 @@ class ShardedEngine:
             reason,
         )
 
-    def _send(self, shard: _Shard, op: int, meta: int, payload: bytes = b"") -> None:
+    def _send_raw(self, shard: _Shard, op: int, meta: int,
+                  payload: bytes = b"") -> None:
+        """Frame one message onto the worker pipe (no window interaction)."""
         if not self._started:
             self.start()
         if not shard.alive:
@@ -813,6 +913,19 @@ class ShardedEngine:
             shard.conn.send_bytes(_HDR.pack(op, meta) + payload)
         except (BrokenPipeError, OSError) as exc:
             self._fail(shard, f"pipe send failed: {exc!r}")
+
+    def _send(self, shard: _Shard, op: int, meta: int, payload: bytes = b"") -> None:
+        """Control-plane send: quiesces the shard's outstanding window first.
+
+        Every barrier op (register, swap, close, freeze, thaw, reset, stats,
+        shutdown) goes through here, so by the time the worker sees it the
+        request/reply channel is back in lockstep and the pre-pipelining
+        drain/ack ordering proofs apply unchanged. The drained replies are
+        routed to their handles' outboxes — quiescing never drops an
+        emission, it only commits it.
+        """
+        self._quiesce(shard)
+        self._send_raw(shard, op, meta, payload)
 
     def _recv(self, shard: _Shard, timeout: float | None = None,
               poll_interval: float | None = None):
@@ -861,51 +974,230 @@ class ShardedEngine:
             self._fail(shard, f"protocol error: got opcode {op}, wanted {want_op}")
         return meta, payload
 
-    # ---------------------------------------------------------- ring data plane
+    # ----------------------------------------------------- pipelined data plane
+    # The frontend keeps up to ``pipeline_depth`` data-plane requests in
+    # flight per worker. Each carries a monotone per-worker sequence number
+    # (meta = seq << 1 | deliver) that the worker echoes in its reply; the
+    # worker serves its channel strictly FIFO, so replies arrive — and are
+    # committed — in sequence order. Credits return as replies commit;
+    # control-plane ops quiesce the window first (see :meth:`_send`).
+
+    #: per-frame accounting margin: connection length prefix + frame header
+    _FRAME_MARGIN = 64
+
     def _worker_alive(self, shard: _Shard):
         proc = shard.process
         return (lambda: proc.is_alive()) if proc is not None else None
 
-    def _send_data(self, shard: _Shard, op: int, meta: int,
-                   payload: bytes = b"") -> None:
-        """Ship one data-plane request (ring when enabled, else pipe)."""
+    def _data_ready(self, shard: _Shard) -> bool:
+        """True when a data-plane reply is already waiting (never blocks)."""
+        if shard.emission_ring is not None:
+            return shard.emission_ring.readable
+        try:
+            return shard.conn.poll(0)
+        except (EOFError, OSError) as exc:
+            self._fail(shard, f"pipe closed: {exc!r}")
+
+    def _commit_reply(self, shard: _Shard, op: int, meta: int,
+                      payload: bytes, ready: bool) -> None:
+        """Validate one data-plane reply against the window head; route it."""
+        if op != REPLY_EMISSIONS:
+            self._fail(
+                shard, f"protocol error: got opcode {op}, wanted {REPLY_EMISSIONS}"
+            )
+        if not shard.inflight:
+            self._fail(
+                shard, f"pipeline protocol error: unsolicited reply seq {meta}"
+            )
+        want, nbytes = shard.inflight.popleft()
+        shard.inflight_bytes -= nbytes
+        if int(meta) != want:
+            self._fail(
+                shard,
+                f"pipeline protocol error: reply seq {int(meta)}, expected {want}",
+            )
+        self._meter.note_reply(shard.id, ready)
+        self._route(shard, payload)
+
+    def _drain_one(self, shard: _Shard, ready: bool | None = None) -> None:
+        """Commit exactly one outstanding reply (blocks until it arrives)."""
+        if ready is None:
+            ready = self._data_ready(shard)
+        if shard.emission_ring is None:
+            op, meta, payload = self._recv(
+                shard, poll_interval=self.drain_poll_interval
+            )
+        else:
+            from repro.runtime.ring import RingError
+
+            try:
+                msg = shard.emission_ring.recv(
+                    timeout=self.reply_timeout, alive=self._worker_alive(shard)
+                )
+            except RingError as exc:
+                self._fail(shard, f"ring recv failed: {exc}")
+            op, meta = _HDR.unpack_from(msg)
+            payload = msg[_HDR.size :]
+            if op == REPLY_ERR:
+                self._fail(shard, payload.decode("utf-8", "replace"))
+        self._commit_reply(shard, op, meta, payload, ready)
+
+    def _drain_ready(self, shard: _Shard) -> int:
+        """Commit every reply already waiting; returns how many (no blocking)."""
+        n = 0
+        if shard.emission_ring is not None:
+            from repro.runtime.ring import RingError
+
+            while shard.inflight and shard.emission_ring.readable:
+                try:
+                    frames = shard.emission_ring.recv_ready(
+                        max_frames=len(shard.inflight),
+                        timeout=self.reply_timeout,
+                        alive=self._worker_alive(shard),
+                    )
+                except RingError as exc:
+                    self._fail(shard, f"ring recv failed: {exc}")
+                for msg in frames:
+                    op, meta = _HDR.unpack_from(msg)
+                    payload = msg[_HDR.size :]
+                    if op == REPLY_ERR:
+                        self._fail(shard, payload.decode("utf-8", "replace"))
+                    self._commit_reply(shard, op, meta, payload, ready=True)
+                    n += 1
+            return n
+        while shard.inflight and self._data_ready(shard):
+            self._drain_one(shard, ready=True)
+            n += 1
+        return n
+
+    def _quiesce(self, shard: _Shard) -> None:
+        """Commit the whole outstanding window (credits return to depth)."""
+        while shard.inflight:
+            self._drain_one(shard)
+
+    def _window_bytes(self, shard: _Shard) -> int:
         if shard.ingest_ring is None:
-            self._send(shard, op, meta, payload)
-            return
+            return self.pipe_window_bytes
+        return self._ring_window_bytes
+
+    def _can_send_data(self, shard: _Shard, payload_len: int) -> bool:
+        """Whether a data send of ``payload_len`` would go out without
+        waiting for a reply first (a free credit and byte-window headroom).
+
+        An empty window always accepts — an oversized frame then degenerates
+        to lockstep for that frame, which is always safe (the worker has no
+        reply pending, so it is actively consuming).
+        """
+        if not shard.inflight:
+            return True
+        if len(shard.inflight) >= self.pipeline_depth:
+            return False
+        cost = payload_len + self._FRAME_MARGIN
+        return shard.inflight_bytes + cost <= self._window_bytes(shard)
+
+    def _send_data(self, shard: _Shard, op: int, deliver: bool,
+                   payload: bytes = b"") -> None:
+        """Ship one data-plane request under the credit window.
+
+        Blocks (committing replies, oldest first) until a credit and byte
+        headroom are available. In pipe mode the byte window keeps every
+        outstanding request inside the kernel's socket buffer, so this send
+        can never block against a worker that is itself blocked writing a
+        reply; in ring mode the same mutual-fill deadlock is broken by
+        draining ready replies from inside the parked send (``progress``).
+        """
         if not self._started:
             self.start()
         if not shard.alive:
             self._fail(shard, "worker already failed")
-        from repro.runtime.ring import RingError
+        cost = len(payload) + self._FRAME_MARGIN
+        while not self._can_send_data(shard, len(payload)):
+            self._meter.note_stall()
+            self._drain_one(shard)
+        seq = shard.data_seq
+        body = _HDR.pack(op, (seq << 1) | (1 if deliver else 0)) + payload
+        if shard.ingest_ring is None:
+            try:
+                shard.conn.send_bytes(body)
+            except (BrokenPipeError, OSError) as exc:
+                self._fail(shard, f"pipe send failed: {exc!r}")
+        else:
+            from repro.runtime.ring import RingError
 
-        try:
-            shard.ingest_ring.send(
-                _HDR.pack(op, meta) + payload,
-                timeout=self.reply_timeout,
-                alive=self._worker_alive(shard),
+            try:
+                shard.ingest_ring.send(
+                    body,
+                    timeout=self.reply_timeout,
+                    alive=self._worker_alive(shard),
+                    progress=lambda: self._drain_ready(shard),
+                )
+            except RingError as exc:
+                self._fail(shard, f"ring send failed: {exc}")
+        shard.data_seq = seq + 1
+        shard.inflight.append((seq, cost))
+        shard.inflight_bytes += cost
+        self._meter.note_send(len(shard.inflight))
+
+    def _wait_data_reply(self, shards: list[_Shard],
+                         timeout: float | None = None) -> None:
+        """Select-style park until *some* listed shard has a reply ready.
+
+        Pipe mode waits on all the worker connections at once
+        (``multiprocessing.connection.wait``); ring mode sweeps the emission
+        rings' published-slot words with the ring's own spin-then-sleep
+        policy. Either way a dead worker is probed every lap and surfaces as
+        a named :class:`ShardFailure`, never a hang.
+        """
+        deadline = time.monotonic() + (timeout or self.reply_timeout)
+        if all(s.emission_ring is None for s in shards):
+            from multiprocessing.connection import wait as conn_wait
+
+            while True:
+                try:
+                    if conn_wait([s.conn for s in shards],
+                                 self.drain_poll_interval):
+                        return
+                except (EOFError, OSError):
+                    pass  # fall through to the per-shard death probe
+                for s in shards:
+                    if s.process is not None and not s.process.is_alive():
+                        if not self._data_ready(s):
+                            self._fail(
+                                s,
+                                "worker process died "
+                                f"(exit code {s.process.exitcode})",
+                            )
+                        return
+                if time.monotonic() > deadline:
+                    self._fail(
+                        shards[0], f"no reply within {timeout or self.reply_timeout}s"
+                    )
+        else:
+            spin = self._ring_wait.spin if self._ring_wait is not None else 0
+            nap = (
+                self._ring_wait.sleep_s if self._ring_wait is not None else 100e-6
             )
-        except RingError as exc:
-            self._fail(shard, f"ring send failed: {exc}")
-
-    def _expect_data(self, shard: _Shard, want_op: int):
-        """Receive one data-plane reply from the channel the request used."""
-        if shard.emission_ring is None:
-            return self._expect(shard, want_op,
-                                poll_interval=self.drain_poll_interval)
-        from repro.runtime.ring import RingError
-
-        try:
-            msg = shard.emission_ring.recv(
-                timeout=self.reply_timeout, alive=self._worker_alive(shard)
-            )
-        except RingError as exc:
-            self._fail(shard, f"ring recv failed: {exc}")
-        op, meta = _HDR.unpack_from(msg)
-        if op == REPLY_ERR:
-            self._fail(shard, msg[_HDR.size :].decode("utf-8", "replace"))
-        if op != want_op:
-            self._fail(shard, f"protocol error: got opcode {op}, wanted {want_op}")
-        return meta, msg[_HDR.size :]
+            while True:
+                for s in shards:
+                    if s.emission_ring.readable:
+                        return
+                if spin > 0:
+                    spin -= 1
+                    continue
+                for s in shards:
+                    if s.process is not None and not s.process.is_alive():
+                        if not s.emission_ring.readable:
+                            self._fail(
+                                s,
+                                "worker process died "
+                                f"(exit code {s.process.exitcode})",
+                            )
+                        return
+                if time.monotonic() > deadline:
+                    self._fail(
+                        shards[0], f"no reply within {timeout or self.reply_timeout}s"
+                    )
+                time.sleep(nap)
 
     # ----------------------------------------------------------------- serving
     def _route(self, shard: _Shard, payload: bytes) -> int:
@@ -927,15 +1219,23 @@ class ShardedEngine:
         return n
 
     def _dispatch(self, shard: _Shard, deliver: bool = True) -> None:
-        """Ship a shard's buffered accesses and route the returned emissions."""
+        """Ship a shard's buffered accesses under the credit window.
+
+        At depth 1 this is exactly the historical lockstep: send one chunk,
+        block on its reply, route it. At deeper windows the chunk joins the
+        in-flight window and this returns after committing down to a free
+        credit plus any replies that had already landed — emissions then
+        surface through the owning handles' outboxes a little later, exactly
+        like a micro-batched answer.
+        """
         if not shard.sendbuf:
             return
         arr = np.asarray(shard.sendbuf, dtype=np.int64)
         shard.sendbuf.clear()
-        self._send_data(shard, OP_ACCESS, 1 if deliver else 0, arr.tobytes())
-        _, payload = self._expect_data(shard, REPLY_EMISSIONS)
-        if deliver:
-            self._route(shard, payload)
+        self._send_data(shard, OP_ACCESS, deliver, arr.tobytes())
+        while len(shard.inflight) >= self.pipeline_depth:
+            self._drain_one(shard)
+        self._drain_ready(shard)
 
     def _ingest(self, handle: ShardHandle, pc: int, addr: int) -> None:
         shard = self._shards[handle.shard_id]
@@ -944,14 +1244,21 @@ class ShardedEngine:
             self._dispatch(shard)
 
     def flush_all(self) -> None:
-        """Answer everything pending in every shard (one flush per worker)."""
+        """Answer everything pending in every shard (one flush per worker).
+
+        A window barrier: every shard's buffered accesses and one
+        ``OP_FLUSH`` are shipped first (so all workers flush concurrently),
+        then every outstanding window is quiesced — when this returns, each
+        stream's answers sit in its handle's outbox and every credit has
+        returned.
+        """
         if not self._started:
             return
         for shard in self._shards:
             self._dispatch(shard)
-            self._send_data(shard, OP_FLUSH, 1)
-            _, payload = self._expect_data(shard, REPLY_EMISSIONS)
-            self._route(shard, payload)
+            self._send_data(shard, OP_FLUSH, True)
+        for shard in self._shards:
+            self._quiesce(shard)
 
     def _reset_stream(self, handle: ShardHandle) -> None:
         shard = self._shards[handle.shard_id]
@@ -1314,6 +1621,7 @@ class ShardedEngine:
             "queries_answered": answered,
             "mean_batch_fill": (answered / calls) if calls else 0.0,
             "start_method": self.start_method,
+            "pipeline": self._meter.state(),
             "elastic": {
                 "opened": self._opened,
                 "closed": self._closed_streams,
@@ -1430,32 +1738,50 @@ class ShardedEngine:
                     lists[pos[handle.index]][em.seq] = list(em.blocks)
 
         cursors = [0] * len(self._shards)
-        chunk = self.serve_chunk
+        depth = self.pipeline_depth
+        # Deeper windows ship proportionally smaller frames: the bytes in
+        # flight per worker stay ~one lockstep chunk's worth (inside the
+        # transport's byte window), but the window holds `depth` of them, so
+        # a worker always has queued work while the frontend drains replies.
+        chunk = self.serve_chunk if depth == 1 else max(
+            32, self.serve_chunk // depth
+        )
         t0 = time.perf_counter()
         while True:
-            active = [
-                s for s in self._shards if cursors[s.id] < len(merged[s.id])
-            ]
-            if not active:
+            # Keep every worker's credit window full…
+            sent = 0
+            for shard in self._shards:
+                data = merged[shard.id]
+                while cursors[shard.id] < len(data):
+                    lo = cursors[shard.id]
+                    hi = min(lo + chunk, len(data))
+                    if not self._can_send_data(shard, (hi - lo) * 24):
+                        break
+                    cursors[shard.id] = hi
+                    self._send_data(
+                        shard, OP_ACCESS, collect, data[lo:hi].tobytes()
+                    )
+                    sent += 1
+            # …then commit whatever replies have landed, from any worker —
+            # a slow shard never gates the drain of a faster one.
+            drained = 0
+            for shard in self._shards:
+                drained += self._drain_ready(shard)
+            if drained:
+                consume_outboxes()
+            pending = [s for s in self._shards if s.inflight]
+            if not pending and all(
+                cursors[s.id] >= len(merged[s.id]) for s in self._shards
+            ):
                 break
-            for shard in active:  # send everyone's chunk first…
-                lo = cursors[shard.id]
-                hi = min(lo + chunk, len(merged[shard.id]))
-                cursors[shard.id] = hi
-                self._send_data(
-                    shard, OP_ACCESS, 1 if collect else 0,
-                    merged[shard.id][lo:hi].tobytes(),
-                )
-            for shard in active:  # …then collect replies (compute overlapped)
-                _, payload = self._expect_data(shard, REPLY_EMISSIONS)
-                if collect:
-                    self._route(shard, payload)
-            consume_outboxes()
+            if not sent and not drained and pending:
+                # Every window is full (or the trace is exhausted): park in
+                # the select across all emission channels until one is ready.
+                self._wait_data_reply(pending)
+        for shard in self._shards:  # drain barrier: flush all, then quiesce
+            self._send_data(shard, OP_FLUSH, collect)
         for shard in self._shards:
-            self._send_data(shard, OP_FLUSH, 1 if collect else 0)
-            _, payload = self._expect_data(shard, REPLY_EMISSIONS)
-            if collect:
-                self._route(shard, payload)
+            self._quiesce(shard)
         consume_outboxes()
         seconds = time.perf_counter() - t0
 
@@ -1496,6 +1822,15 @@ class ShardedEngine:
         if self._closed:
             return
         self._closed = True
+        # Quiesce any outstanding pipelined window first so the shutdown ack
+        # below is the next frame on each pipe, not a stale data reply. A
+        # shard that already died can't be drained — skip it, the reap below
+        # handles the corpse.
+        for shard in self._shards:
+            try:
+                self._quiesce(shard)
+            except (ShardFailure, OSError):
+                pass
         # Two passes so the exit requests overlap: every worker hears the
         # shutdown before any join blocks on a straggler.
         for shard in self._shards:

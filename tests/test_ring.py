@@ -93,6 +93,35 @@ def test_try_recv_and_readable(ring_pair):
     assert cons.try_recv() is None
 
 
+def test_recv_ready_batch_drain(ring_pair):
+    """The poller's batch consume: every waiting frame, in order, no block."""
+    prod, cons = ring_pair
+    assert cons.recv_ready() == []
+    frames = [f"frame-{i}".encode() for i in range(5)]
+    for f in frames:
+        prod.send(f, timeout=1.0)
+    assert cons.recv_ready(max_frames=2, timeout=1.0) == frames[:2]
+    assert cons.recv_ready(timeout=1.0) == frames[2:]
+    assert not cons.readable
+    assert cons.recv_ready() == []
+
+
+def test_parked_send_calls_progress(ring_pair):
+    """A producer parked on a full ring invokes ``progress`` every sleep lap
+    — the hook the pipelined frontend uses to drain replies from inside a
+    blocked send (breaking the mutual-fill deadlock)."""
+    prod, cons = ring_pair
+    big = b"a" * (prod.slots * prod.slot_bytes - 8)  # fills the whole ring
+    prod.send(big, timeout=1.0)
+    drained: list[bytes] = []
+    prod.send(
+        b"second", timeout=5.0,
+        progress=lambda: drained.append(cons.recv(timeout=1.0)),
+    )
+    assert drained == [big]
+    assert cons.recv(timeout=1.0) == b"second"
+
+
 # ------------------------------------------------------------ failure modes
 def test_full_ring_backpressure_times_out(ring_pair):
     """With no consumer, a producer that fills the ring parks then raises."""

@@ -31,6 +31,8 @@ ENGINES = [
     "multistream",
     "sharded",
     "sharded-ring",
+    "sharded-pipelined",
+    "sharded-pipelined-ring",
     "elastic-rescale",
     "elastic-migrate",
 ]
@@ -118,11 +120,16 @@ def test_engine_matches_batch_oracle(
         got = [drive_pair(handles, conformance_traces)]
         for s, trace in enumerate(conformance_traces):
             assert got[0][s] == oracles[kind][s], f"stream {s} diverged"
-    elif engine in ("sharded", "sharded-ring"):
-        ipc = "ring" if engine == "sharded-ring" else "pipe"
-        with pf.sharded(workers=2, batch_size=batch_size, ipc=ipc) as eng:
+    elif engine.startswith("sharded"):
+        ipc = "ring" if engine.endswith("-ring") else "pipe"
+        depth = 4 if "pipelined" in engine else 1
+        with pf.sharded(
+            workers=2, batch_size=batch_size, ipc=ipc, pipeline_depth=depth
+        ) as eng:
             _, per_stream, lists = eng.serve(conformance_traces, collect=True)
-            assert eng.stats()["ipc"] == ipc
+            stats = eng.stats()
+            assert stats["ipc"] == ipc
+            assert stats["pipeline"]["depth"] == depth
         for s in range(2):
             assert lists[s] == oracles[kind][s], f"stream {s} diverged"
             assert per_stream[s].accesses == len(conformance_traces[s])
