@@ -11,8 +11,12 @@ in any CI summary step without ``PYTHONPATH`` or the package's own deps.
 
     python benchmarks/trend.py [--dir REPO_ROOT] [--strict]
 
-``--strict`` exits nonzero when any artifact's ``pass`` gate is false — the
-default is report-only so a summary step never masks the real bench failure.
+``--strict`` exits nonzero when any artifact's ``pass`` gate is false, when
+a nested section's gate fails (``{"section": {"pass": false}}`` or a
+``status: "fail"``), or when an artifact exists but cannot be parsed — a
+truncated upload must fail the gate step, not silently vanish from the
+table. The default is report-only so a summary step never masks the real
+bench failure.
 """
 
 from __future__ import annotations
@@ -32,17 +36,53 @@ CONFIG_KEYS = {
 }
 
 
+def _scalar(value) -> bool:
+    return isinstance(value, bool) or isinstance(value, (int, float))
+
+
 def headline_metrics(record: dict) -> dict:
-    """Every top-level scalar outcome of one artifact, in stable order."""
+    """Every scalar outcome of one artifact, in stable order.
+
+    Artifacts group related gates into sections (``{"swap": {"pass": true,
+    "paused_ms": 3.1}}``); one nesting level is folded in with dotted keys
+    (``swap.pass``, ``swap.paused_ms``) so sectioned outcomes show up in the
+    trend table instead of silently disappearing.
+    """
     out = {}
     for key in sorted(record):
         if key in CONFIG_KEYS or key == "pass":
             continue
         value = record[key]
-        if isinstance(value, bool) or isinstance(value, (int, float)):
+        if _scalar(value):
             out[key] = value
         elif isinstance(value, str) and key.endswith("_gate"):
             out[key] = value  # e.g. "skipped (1 CPU(s) visible; ...)"
+        elif isinstance(value, dict):
+            for sub in sorted(value):
+                sv = value[sub]
+                if sub in CONFIG_KEYS:
+                    continue
+                if _scalar(sv):
+                    out[f"{key}.{sub}"] = sv
+                elif isinstance(sv, str) and (
+                    sub.endswith("_gate") or sub == "status"
+                ):
+                    out[f"{key}.{sub}"] = sv
+    return out
+
+
+def nested_failures(record: dict) -> list[str]:
+    """Sections whose own gate failed: ``pass: false`` or ``status: "fail"``."""
+    out = []
+    for key in sorted(record):
+        value = record[key]
+        if not isinstance(value, dict):
+            continue
+        status = value.get("status")
+        if value.get("pass") is False or (
+            isinstance(status, str) and status.lower() == "fail"
+        ):
+            out.append(key)
     return out
 
 
@@ -60,10 +100,17 @@ def collect(root: str) -> dict:
                                "metrics": {}}
             continue
         gate = record.get("pass")
-        artifacts[name] = {
-            "gate": "n/a" if gate is None else ("PASS" if gate else "FAIL"),
-            "metrics": headline_metrics(record),
-        }
+        nested = nested_failures(record)
+        if gate is False or nested:
+            status = "FAIL"
+        elif gate is None:
+            status = "n/a"
+        else:
+            status = "PASS"
+        art = {"gate": status, "metrics": headline_metrics(record)}
+        if nested:
+            art["nested_failures"] = nested
+        artifacts[name] = art
     return artifacts
 
 
@@ -95,7 +142,8 @@ def main(argv=None) -> int:
     ap.add_argument("--output", "-o", default=None,
                     help="trend JSON path (default: <dir>/BENCH_trend.json)")
     ap.add_argument("--strict", action="store_true",
-                    help="exit 1 if any artifact's gate failed")
+                    help="exit 1 if any artifact's gate failed (including "
+                         "nested section gates) or any artifact is unreadable")
     args = ap.parse_args(argv)
 
     artifacts = collect(args.dir)
@@ -104,7 +152,8 @@ def main(argv=None) -> int:
         return 0
     for line in render(artifacts):
         print(line)
-    failed = [n for n, a in artifacts.items() if a["gate"] == "FAIL"]
+    failed = [n for n, a in artifacts.items()
+              if a["gate"] in ("FAIL", "unreadable")]
     ok = not failed
     print(
         f"{len(artifacts)} artifacts: "

@@ -445,6 +445,111 @@ def _stream_churn(args) -> int:
     return 0 if identical in (None, True) else 1
 
 
+def _cmd_record(args) -> int:
+    """``repro record``: capture a live serving session into a replayable trace.
+
+    Serves N trace shards through a sharded fleet under a
+    :class:`~repro.runtime.record.SessionRecorder` — by default with the full
+    elastic churn scripted in (rescale, live migration, hot swap, late
+    admission) — and writes the sealed ``DARTTRC1`` trace. ``repro replay``
+    re-executes it under the behavioral contracts.
+    """
+    from repro.runtime import SessionRecorder
+    from repro.traces import load_any, make_workload
+
+    pf = _make_prefetcher(args.prefetcher, args.tables)
+    if pf is None or not hasattr(pf, "sharded"):
+        raise SystemExit("record needs a model-backed prefetcher (--prefetcher dart)")
+    trace = load_any(args.trace) if args.trace else make_workload(
+        args.workload, scale=args.scale, seed=args.seed
+    )
+    n = max(args.streams, 1)
+    bounds = [round(i * len(trace) / (n + 1)) for i in range(n + 2)]
+    shards = [trace.slice(bounds[i], bounds[i + 1]) for i in range(n + 1)]
+    late_shard = shards.pop()  # admitted mid-serve under --churn
+    length = min(len(s) for s in shards)
+
+    recorder = SessionRecorder()
+    engine = pf.sharded(
+        workers=args.workers, batch_size=args.batch_size,
+        ipc=args.ipc, pipeline_depth=args.pipeline_depth,
+    )
+    recorder.attach(engine, model=getattr(pf, "artifact", None))
+    marks = {}
+    if args.churn:
+        marks = {
+            length // 4: lambda: engine.rescale(args.workers + 1),
+            length // 2: lambda: engine.migrate_stream(
+                handles[0], (handles[0].shard_id + 1) % engine.workers),
+            5 * length // 8: lambda: engine.swap_model(
+                pf.artifact.successor(pf.artifact.model, reason="recorded churn"))
+                if getattr(pf, "artifact", None) is not None else None,
+            3 * length // 4: lambda: engine.rescale(args.workers),
+        }
+    with engine:
+        handles = [engine.open_stream(f"tenant[{i}]") for i in range(n)]
+        sources = list(shards)
+        for i in range(length):
+            if args.churn and i == length // 3:
+                handles.append(engine.open_stream("tenant[late]"))
+                sources.append(late_shard)
+            if i in marks:
+                marks[i]()
+            for k, (h, src) in enumerate(zip(handles, sources)):
+                j = i if k < n else i - length // 3
+                if 0 <= j < len(src):
+                    h.ingest(int(src.pcs[j]), int(src.addrs[j]))
+        for h in handles:
+            engine.close_stream(h)
+    session = recorder.trace()
+    nbytes = session.save(args.output)
+    s = session.summary()
+    meta = session.meta
+    print(
+        f"recorded {meta['engine']['column']} session: {len(session.stream_names)} "
+        f"streams, {s['accesses']} accesses, {s['emissions']} emissions, "
+        f"{len(meta['swaps'])} swaps, {len(session.models)} embedded model(s)"
+    )
+    print(f"wrote {args.output} ({nbytes:,} bytes)")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    """``repro replay``: re-execute a recorded session under the contracts.
+
+    Exits nonzero with the named contract on the first violation — the CI
+    face of the golden-trace gate.
+    """
+    import json
+
+    from repro.runtime import ContractViolation, SessionTrace
+    from repro.runtime.replay import replay
+
+    session = SessionTrace.load(args.trace)
+    model = None
+    if args.tables:
+        from repro.runtime import ModelArtifact
+
+        model = ModelArtifact.load(args.tables)
+    try:
+        report = replay(session, column=args.column, model=model)
+    except ContractViolation as exc:
+        print(f"REPLAY FAIL [{exc.contract}]: {exc}")
+        return 1
+    log.table(
+        f"replayed {args.trace} on the {report.column} column",
+        ["metric", "value"],
+        [[k, f"{v:.4g}" if isinstance(v, float) else str(v)]
+         for k, v in report.to_dict().items() if k != "contracts"],
+    )
+    print(f"contracts held: {', '.join(report.contracts)}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report.to_dict(), f, indent=2, sort_keys=True)
+        print(f"wrote replay report to {args.json}")
+    return 0
+
+
 def _stream_sharded(args) -> int:
     """``stream --workers W``: shard N streams across W OS worker processes.
 
@@ -936,6 +1041,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="distilled student .npz (from `train --save-student`)")
     p_str.add_argument("--json", default=None, help="write serving stats JSON here")
     p_str.set_defaults(func=_cmd_stream)
+
+    p_rec = sub.add_parser(
+        "record", help="capture a live serving session into a replayable trace"
+    )
+    p_rec.add_argument("--workload", default="462.libquantum")
+    p_rec.add_argument("--trace", default=None, help="trace file (.npz/.csv/.txt[.gz])")
+    p_rec.add_argument("--scale", type=float, default=0.05)
+    p_rec.add_argument("--seed", type=int, default=2)
+    p_rec.add_argument("--prefetcher", choices=PREFETCHER_CHOICES, default="dart")
+    p_rec.add_argument("--tables", default=None, help="tables .npz for --prefetcher dart")
+    p_rec.add_argument("--workers", type=int, default=2)
+    p_rec.add_argument("--streams", type=int, default=2,
+                       help="trace shards served as concurrent streams")
+    p_rec.add_argument("--batch-size", type=int, default=32)
+    p_rec.add_argument("--ipc", choices=["pipe", "ring"], default="pipe")
+    p_rec.add_argument("--pipeline-depth", type=int, default=1)
+    p_rec.add_argument("--no-churn", dest="churn", action="store_false",
+                       help="skip the scripted elastic churn (migrate / "
+                            "rescale / hot swap / late admission)")
+    p_rec.add_argument("--output", "-o", required=True,
+                       help="DARTTRC1 session trace destination")
+    p_rec.set_defaults(func=_cmd_record)
+
+    p_rpl = sub.add_parser(
+        "replay",
+        help="re-execute a recorded session under the behavioral contracts",
+    )
+    p_rpl.add_argument("trace", help="DARTTRC1 session trace (from `repro record`)")
+    p_rpl.add_argument("--column", default=None,
+                       help="replay engine column (default: the recorded one; "
+                            "e.g. multistream, sharded, sharded-pipelined-ring)")
+    p_rpl.add_argument("--tables", default=None,
+                       help="boot-model .npz override (defaults to the model "
+                            "embedded in the trace)")
+    p_rpl.add_argument("--json", default=None, help="write the replay report here")
+    p_rpl.set_defaults(func=_cmd_replay)
 
     p_cfg = sub.add_parser("configure", help="query the table configurator")
     p_cfg.add_argument("latency_budget", type=float)

@@ -154,6 +154,18 @@ def encode_model(model) -> bytes:
     )
 
 
+def model_digest(model) -> str:
+    """Content digest of a model's wire form (the registry's SHA-256).
+
+    The stamp the session recorder and registry share: two models with the
+    same digest are bit-identical on the wire, so a trace that names a swap
+    target by digest replays with exactly the weights the live session ran.
+    """
+    from repro.registry.store import sha256_digest
+
+    return sha256_digest(encode_model(model))
+
+
 def decode_model(buf: bytes):
     """Rebuild the model :func:`encode_model` serialized."""
     arrays, meta = unpack_arrays(buf, MODEL_WIRE_MAGIC, what="model wire blob")

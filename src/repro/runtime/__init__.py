@@ -24,7 +24,14 @@ this package serves a *live* access stream with bounded latency and memory:
   (drift -> re-fit -> hot swap), and the ``AdaptiveStream`` wrapper that
   ``DARTPrefetcher.stream(adapt=...)`` returns;
 * :mod:`repro.runtime.engine` — the serving loop with throughput / latency
-  accounting.
+  accounting;
+* :mod:`repro.runtime.record` / :mod:`repro.runtime.replay` — session
+  record/replay: a :class:`SessionRecorder` captures any live session
+  (accesses, emissions, control-plane ops, model digests) into a versioned
+  ``DARTTRC1`` trace, and :func:`replay` re-executes it on a fresh engine of
+  any column under declarative behavioral contracts (exactly-once ordering,
+  bit-identity, accuracy/coverage floors, pause bounds), raising a named
+  :class:`ContractViolation` on the first broken one.
 
 Entry points: ``prefetcher.stream()`` on any prefetcher,
 ``prefetcher.multistream()`` / ``prefetcher.sharded()`` on the learned ones,
@@ -53,6 +60,13 @@ from repro.runtime.microbatch import (
     snapshot_to_bytes,
 )
 from repro.runtime.multistream import MultiStreamEngine, StreamHandle, serve_interleaved
+from repro.runtime.record import (
+    RecordingStream,
+    SessionRecorder,
+    SessionTrace,
+    TRACE_MAGIC,
+)
+from repro.runtime.replay import ContractViolation, ReplayReport, replay
 from repro.runtime.ring import (
     Ring,
     RingDataError,
@@ -80,11 +94,14 @@ __all__ = [
     "AdaptiveStream",
     "BatchAdapter",
     "CompositeStream",
+    "ContractViolation",
     "Emission",
     "FilteredStream",
     "MicroBatcher",
     "ModelArtifact",
     "MultiStreamEngine",
+    "RecordingStream",
+    "ReplayReport",
     "Ring",
     "RingDataError",
     "RingError",
@@ -92,6 +109,8 @@ __all__ = [
     "RingTimeout",
     "RingWait",
     "SequentialStreamAdapter",
+    "SessionRecorder",
+    "SessionTrace",
     "ShardFailure",
     "ShardHandle",
     "ShardedEngine",
@@ -102,11 +121,13 @@ __all__ = [
     "StreamStats",
     "StreamingModelPrefetcher",
     "StreamingPrefetcher",
+    "TRACE_MAGIC",
     "access_pairs",
     "as_streaming",
     "attach_ring",
     "create_ring",
     "nn_refit",
+    "replay",
     "score_prefetch_lists",
     "serve",
     "serve_interleaved",

@@ -82,19 +82,29 @@ class StreamHandle(StreamingPrefetcher):
         """Drain emissions already completed (possibly by other streams' flushes)."""
         out = list(self._outbox)
         self._outbox.clear()
+        # The outbox drain is the single funnel every delivered emission
+        # passes through — the one hook point session recording needs.
+        if out and self._engine._recorder is not None:
+            self._engine._recorder.on_emissions(self.index, out)
         return out
 
     def ingest(self, pc: int, addr: int) -> list[Emission]:
+        if self._engine._recorder is not None:
+            self._engine._recorder.on_access(self.index, pc, addr)
         self._engine._ingest(self, pc, addr)
         self.seq = self._engine._states[self.index].seq
         return self.poll()
 
     def flush(self) -> list[Emission]:
+        if self._engine._recorder is not None:
+            self._engine._recorder.on_flush()
         self._engine.flush_all()
         return self.poll()
 
     def reset(self) -> None:
         """Reset *this stream only*; other tenants are untouched."""
+        if self._engine._recorder is not None:
+            self._engine._recorder.on_reset(self.index)
         self._engine._reset_stream(self.index)
         self.seq = 0
         self._outbox.clear()
@@ -146,6 +156,8 @@ class MultiStreamEngine:
         self._n_pending = 0
         #: queries the most recent swap had to drain (its pause, in queries)
         self.last_swap_drained = 0
+        #: session recorder, when one is attached (SessionRecorder.attach)
+        self._recorder = None
 
     # ------------------------------------------------------------ registration
     def stream(self, name: str | None = None) -> StreamHandle:
@@ -154,6 +166,8 @@ class MultiStreamEngine:
         self._states.append(StreamState(self.config, depth=self.batch_size))
         handle = StreamHandle(self, index, name or f"{self.name}[{index}]")
         self._handles.append(handle)
+        if self._recorder is not None:
+            self._recorder.on_open(index, handle.name)
         return handle
 
     def streams(self, n: int, names: Sequence[str] | None = None) -> list[StreamHandle]:
@@ -228,6 +242,8 @@ class MultiStreamEngine:
         state = self._states[index]
         if handle is None or state is None:
             raise ValueError(f"stream {index} is already closed")
+        if self._recorder is not None:
+            self._recorder.on_close(index)
         while state.pending:
             take = min(self.batch_size, len(state.pending))
             pend = state.pending if take == len(state.pending) else state.pending[:take]
@@ -303,6 +319,8 @@ class MultiStreamEngine:
         self.flush_all()
         self.last_swap_drained = pending
         self._path.set_predictor(predict, version)
+        if self._recorder is not None:
+            self._recorder.on_swap(model, drained=pending)
 
     @property
     def swaps(self) -> int:

@@ -138,20 +138,40 @@ REPLY_OK = 100
 REPLY_EMISSIONS = 101  # meta = echoed request seq (data plane) or drain
                        # count (swap ack); payload records
 REPLY_STATS = 102      # payload = utf-8 JSON dict
-REPLY_ERR = 103        # payload = utf-8 traceback
+REPLY_ERR = 103        # meta = the request opcode in flight; payload = utf-8
+                       # traceback
 REPLY_SNAPSHOT = 104   # meta = pending queries carried; payload snapshot bytes
+
+_OP_NAMES = {
+    OP_REGISTER: "OP_REGISTER", OP_ACCESS: "OP_ACCESS", OP_FLUSH: "OP_FLUSH",
+    OP_SWAP: "OP_SWAP", OP_RESET: "OP_RESET", OP_STATS: "OP_STATS",
+    OP_SHUTDOWN: "OP_SHUTDOWN", OP_CLOSE: "OP_CLOSE", OP_FREEZE: "OP_FREEZE",
+    OP_THAW: "OP_THAW",
+}
 
 
 class ShardFailure(RuntimeError):
-    """A worker process died or errored; names the streams it was serving."""
+    """A worker process died or errored; names the streams it was serving.
 
-    def __init__(self, shard: int, stream_ids: list[int], stream_names: list[str], reason: str):
+    ``opcode`` is the request opcode in flight when the worker errored
+    (echoed by the worker in its ``REPLY_ERR`` meta word); ``None`` when the
+    failure was not a worker-reported error (process death, pipe breakage,
+    protocol desync).
+    """
+
+    def __init__(self, shard: int, stream_ids: list[int], stream_names: list[str],
+                 reason: str, opcode: int | None = None):
         self.shard = int(shard)
         self.stream_ids = list(stream_ids)
         self.stream_names = list(stream_names)
         self.reason = str(reason)
+        self.opcode = None if opcode is None else int(opcode)
+        during = (
+            f" during {_OP_NAMES.get(self.opcode, f'op {self.opcode}')}"
+            if self.opcode is not None else ""
+        )
         super().__init__(
-            f"shard {shard} failed ({self.reason}); "
+            f"shard {shard} failed{during} ({self.reason}); "
             f"affected streams: {self.stream_ids} ({', '.join(self.stream_names)})"
         )
 
@@ -420,8 +440,10 @@ def _worker_serve_loop(worker_id: int, conn, model_spec, engine_kwargs: dict,
                     raise ValueError(f"unknown opcode {op}")
             except Exception:
                 try:
+                    # Echo the opcode that was in flight so the frontend's
+                    # ShardFailure can name the operation, not just the shard.
                     reply(
-                        _HDR.pack(REPLY_ERR, 0)
+                        _HDR.pack(REPLY_ERR, op)
                         + traceback.format_exc().encode("utf-8", "replace")
                     )
                 except (BrokenPipeError, OSError, RuntimeError):
@@ -502,10 +524,16 @@ class ShardHandle(StreamingPrefetcher):
         """Emissions already returned by the worker (never blocks)."""
         out = self._outbox
         self._outbox = []
+        # Every delivered emission leaves through this outbox drain — the
+        # single funnel a session recorder needs to capture the stream.
+        if out and self._engine._recorder is not None:
+            self._engine._recorder.on_emissions(self.index, out)
         return out
 
     def ingest(self, pc: int, addr: int) -> list[Emission]:
         self._check_open()
+        if self._engine._recorder is not None:
+            self._engine._recorder.on_access(self.index, pc, addr)
         self._engine._ingest(self, pc, addr)
         self.seq += 1
         return self.poll()
@@ -522,6 +550,8 @@ class ShardHandle(StreamingPrefetcher):
     def reset(self) -> None:
         """Reset *this stream only* (frontend buffers and worker state)."""
         self._check_open()
+        if self._engine._recorder is not None:
+            self._engine._recorder.on_reset(self.index)
         self._engine._reset_stream(self)
         self.seq = 0
         self._outbox = []
@@ -688,6 +718,8 @@ class ShardedEngine:
         self._migrations = 0
         self._rescales = 0
         self.last_migration: dict | None = None
+        #: session recorder, when one is attached (SessionRecorder.attach)
+        self._recorder = None
 
     # -------------------------------------------------------------- publishing
     def _publish(self, model):
@@ -777,6 +809,8 @@ class ShardedEngine:
         if self._started:
             self._send(shard, OP_REGISTER, 1)
             self._expect(shard, REPLY_OK)
+        if self._recorder is not None:
+            self._recorder.on_open(handle.index, handle.name, shard.id)
         return handle
 
     #: admission alias — the elastic-lifecycle name for :meth:`stream`
@@ -892,7 +926,7 @@ class ShardedEngine:
                 self._send(shard, OP_REGISTER, len(shard.handles))
                 self._expect(shard, REPLY_OK)
 
-    def _fail(self, shard: _Shard, reason: str):
+    def _fail(self, shard: _Shard, reason: str, opcode: int | None = None):
         shard.alive = False
         live = [h for h in shard.handles if h is not None and not h.closed]
         raise ShardFailure(
@@ -900,6 +934,7 @@ class ShardedEngine:
             [h.index for h in live],
             [h.name for h in live],
             reason,
+            opcode=opcode,
         )
 
     def _send_raw(self, shard: _Shard, op: int, meta: int,
@@ -964,7 +999,8 @@ class ShardedEngine:
                 self._fail(shard, f"no reply within {timeout}s")
         op, meta = _HDR.unpack_from(msg)
         if op == REPLY_ERR:
-            self._fail(shard, msg[_HDR.size :].decode("utf-8", "replace"))
+            self._fail(shard, msg[_HDR.size :].decode("utf-8", "replace"),
+                       opcode=meta)
         return op, meta, msg[_HDR.size :]
 
     def _expect(self, shard: _Shard, want_op: int,
@@ -1039,7 +1075,8 @@ class ShardedEngine:
             op, meta = _HDR.unpack_from(msg)
             payload = msg[_HDR.size :]
             if op == REPLY_ERR:
-                self._fail(shard, payload.decode("utf-8", "replace"))
+                self._fail(shard, payload.decode("utf-8", "replace"),
+                           opcode=meta)
         self._commit_reply(shard, op, meta, payload, ready)
 
     def _drain_ready(self, shard: _Shard) -> int:
@@ -1061,7 +1098,8 @@ class ShardedEngine:
                     op, meta = _HDR.unpack_from(msg)
                     payload = msg[_HDR.size :]
                     if op == REPLY_ERR:
-                        self._fail(shard, payload.decode("utf-8", "replace"))
+                        self._fail(shard, payload.decode("utf-8", "replace"),
+                                   opcode=meta)
                     self._commit_reply(shard, op, meta, payload, ready=True)
                     n += 1
             return n
@@ -1252,6 +1290,8 @@ class ShardedEngine:
         stream's answers sit in its handle's outbox and every credit has
         returned.
         """
+        if self._recorder is not None:
+            self._recorder.on_flush()
         if not self._started:
             return
         for shard in self._shards:
@@ -1271,6 +1311,8 @@ class ShardedEngine:
 
     def reset(self) -> None:
         """Reset every stream (worker predict counters persist, like in-process)."""
+        if self._recorder is not None:
+            self._recorder.on_reset()
         for shard in self._shards:
             shard.sendbuf.clear()
             if self._started:
@@ -1304,6 +1346,8 @@ class ShardedEngine:
         their own outboxes, exactly like any flush.
         """
         handle = self._resolve(stream)
+        if self._recorder is not None:
+            self._recorder.on_close(handle.index)
         self._ops += 1
         self._closed_streams += 1
         handle.lifecycle.closed_at = self._ops
@@ -1379,6 +1423,7 @@ class ShardedEngine:
                 exc.stream_ids + [handle.index],
                 exc.stream_names + [handle.name],
                 exc.reason,
+                opcode=exc.opcode,
             ) from exc
         handle.shard_id = target.id
         handle.local_index = int(new_local)
@@ -1396,6 +1441,10 @@ class ShardedEngine:
             "bytes": len(body),
         }
         self.last_migration = record
+        if self._recorder is not None:
+            self._recorder.on_migrate(
+                handle.index, source.id, target.id, int(carried)
+            )
         return record
 
     def rescale(self, workers: int) -> dict:
@@ -1447,6 +1496,8 @@ class ShardedEngine:
             self.workers = workers
         self._ops += 1
         self._rescales += 1
+        if self._recorder is not None:
+            self._recorder.on_rescale(before, workers)
         return {
             "from": before,
             "to": workers,
@@ -1525,6 +1576,8 @@ class ShardedEngine:
                 self._model_version = version
                 self._swaps += 1
                 self._retire_unreferenced()
+                if self._recorder is not None:
+                    self._recorder.on_swap(model)
                 return
         for shard in targets:
             self._dispatch(shard)
@@ -1567,6 +1620,12 @@ class ShardedEngine:
             self._model_spec = spec
             self._model_version = version
         self._retire_unreferenced()
+        if self._recorder is not None and not failures:
+            self._recorder.on_swap(
+                model,
+                workers=None if workers is None else [s.id for s in targets],
+                drained=drained,
+            )
         if failures:
             raise failures[0]
 
@@ -1729,13 +1788,30 @@ class ShardedEngine:
             if collect
             else None
         )
+        # A recorder needs the emission payloads even when the caller did not
+        # ask for them: force delivery and drain the outboxes (handle.poll is
+        # the recording funnel). The accesses are logged up front, in the same
+        # round-robin-by-position order serve_interleaved would issue them —
+        # per-stream order is what replay (and the emission invariant) keys on.
+        recording = self._recorder is not None
+        deliver = collect or recording
+        if recording:
+            rounds = max((len(c) for c in cols), default=0)
+            for p in range(rounds):
+                for h in live:
+                    c = cols[pos[h.index]]
+                    if p < len(c):
+                        self._recorder.on_access(
+                            h.index, int(c[p, 0]), int(c[p, 1])
+                        )
 
         def consume_outboxes():
-            if not collect:
+            if not deliver:
                 return
             for handle in live:
                 for em in handle.poll():
-                    lists[pos[handle.index]][em.seq] = list(em.blocks)
+                    if collect:
+                        lists[pos[handle.index]][em.seq] = list(em.blocks)
 
         cursors = [0] * len(self._shards)
         depth = self.pipeline_depth
@@ -1759,7 +1835,7 @@ class ShardedEngine:
                         break
                     cursors[shard.id] = hi
                     self._send_data(
-                        shard, OP_ACCESS, collect, data[lo:hi].tobytes()
+                        shard, OP_ACCESS, deliver, data[lo:hi].tobytes()
                     )
                     sent += 1
             # …then commit whatever replies have landed, from any worker —
@@ -1778,8 +1854,10 @@ class ShardedEngine:
                 # Every window is full (or the trace is exhausted): park in
                 # the select across all emission channels until one is ready.
                 self._wait_data_reply(pending)
+        if recording:
+            self._recorder.on_flush()
         for shard in self._shards:  # drain barrier: flush all, then quiesce
-            self._send_data(shard, OP_FLUSH, collect)
+            self._send_data(shard, OP_FLUSH, deliver)
         for shard in self._shards:
             self._quiesce(shard)
         consume_outboxes()

@@ -35,6 +35,10 @@ ENGINES = [
     "sharded-pipelined-ring",
     "elastic-rescale",
     "elastic-migrate",
+    # Record a live session, replay the trace on a fresh engine under the
+    # full behavioral-contract set; bit-identity makes replay transitively
+    # conformant with the batch oracle.
+    "recorded-replay",
 ]
 MODEL_BACKED = {"dart", "nn"}
 
@@ -133,6 +137,22 @@ def test_engine_matches_batch_oracle(
         for s in range(2):
             assert lists[s] == oracles[kind][s], f"stream {s} diverged"
             assert per_stream[s].accesses == len(conformance_traces[s])
+    elif engine == "recorded-replay":
+        from repro.runtime import SessionRecorder, replay
+
+        rec = SessionRecorder()
+        ms = pf.multistream(batch_size=batch_size)
+        rec.attach(ms, model=getattr(pf, "artifact", None) or pf.model)
+        handles = ms.streams(2)
+        got = drive_pair(handles, conformance_traces)
+        for s, trace in enumerate(conformance_traces):
+            assert got[s] == oracles[kind][s], f"stream {s} diverged (live)"
+        # replay() raises ContractViolation if the fresh engine's emissions
+        # differ from the recorded ones in any bit; recorded == oracle above.
+        report = replay(rec.trace())
+        assert report.column == "multistream"
+        assert report.accesses == sum(len(t) for t in conformance_traces)
+        assert "bit-identity" in report.contracts
     else:  # elastic-rescale / elastic-migrate: churn injected mid-trace
         n = len(conformance_traces[0])
         churn = {

@@ -282,3 +282,53 @@ def test_handle_reset_is_isolated(dart, eight_traces):
         for em in hb.flush():
             out[em.seq] = list(em.blocks)
         assert out == dart.prefetch_lists(b)
+
+
+# ------------------------------------------------------------ REPLY_ERR audit
+def test_shard_failure_names_the_opcode_in_flight():
+    """The failure message carries the request opcode the worker was serving
+    (named when known, numeric otherwise, absent when there was none)."""
+    from repro.runtime.sharded import OP_ACCESS
+
+    exc = ShardFailure(1, [3], ["s[3]"], "Traceback ...", opcode=OP_ACCESS)
+    assert exc.opcode == OP_ACCESS
+    assert "during OP_ACCESS" in str(exc)
+    assert "op 99" in str(ShardFailure(0, [], [], "x", opcode=99))
+    assert "during" not in str(ShardFailure(0, [], [], "x"))
+
+
+@pytest.mark.parametrize("ipc", ["pipe", "ring"])
+@pytest.mark.parametrize("depth", [1, 3])
+def test_worker_error_audit_on_both_transports(dart, eight_traces, ipc, depth):
+    """A worker-side exception (not a death) must surface as a ShardFailure
+    naming the shard, the opcode in flight, and the affected streams — with
+    the worker's traceback attached — on both transports and with a
+    pipelined data plane. Regression: the error reply used to ship meta=0,
+    so the audit trail lost the operation that failed."""
+    from repro.runtime.sharded import OP_ACCESS
+
+    engine = dart.sharded(
+        workers=2, batch_size=32, io_chunk=16, ipc=ipc, pipeline_depth=depth
+    )
+    try:
+        handles = engine.streams(4)
+        for i in range(40):
+            for h, t in zip(handles, eight_traces):
+                h.ingest(int(t.pcs[i]), int(t.addrs[i]))
+        # Malformed data-plane frame: 3 bytes cannot parse as int64 rows, so
+        # the worker's OP_ACCESS handler raises mid-request.
+        engine._send_data(engine._shards[0], OP_ACCESS, True, b"xyz")
+        with pytest.raises(ShardFailure) as exc:
+            engine.flush_all()
+        assert exc.value.shard == 0
+        assert exc.value.opcode == OP_ACCESS
+        assert "during OP_ACCESS" in str(exc.value)
+        # Round-robin placement: streams 0 and 2 live on shard 0.
+        assert exc.value.stream_ids == [0, 2]
+        assert len(exc.value.stream_names) == 2
+        assert "Traceback" in exc.value.reason
+        # The failure is sticky for that shard.
+        with pytest.raises(ShardFailure):
+            engine.flush_all()
+    finally:
+        engine.close()

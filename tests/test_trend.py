@@ -1,0 +1,96 @@
+"""Gate semantics of the CI trend folder (``benchmarks/trend.py``).
+
+Pins the two historical blind spots: an artifact that *exists but cannot be
+parsed* (truncated upload) must fail ``--strict`` instead of vanishing from
+the table, and a gate buried one level deep (``{"section": {"pass": false}}``)
+must surface with a dotted metric key and trip ``--strict``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_TREND = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "trend.py"
+
+
+@pytest.fixture(scope="module")
+def trend():
+    spec = importlib.util.spec_from_file_location("trend", _TREND)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _write(dirpath, name, record):
+    (dirpath / f"BENCH_{name}.json").write_text(json.dumps(record))
+
+
+def test_all_green_exits_zero(trend, tmp_path, capsys):
+    _write(tmp_path, "a", {"pass": True, "throughput": 1.5})
+    assert trend.main(["--dir", str(tmp_path), "--strict"]) == 0
+    assert "all gates green" in capsys.readouterr().out
+
+
+def test_truncated_artifact_fails_strict(trend, tmp_path, capsys):
+    _write(tmp_path, "good", {"pass": True, "ratio": 2.0})
+    # A truncated upload: valid JSON prefix, cut mid-stream.
+    (tmp_path / "BENCH_broken.json").write_text('{"pass": true, "rat')
+    assert trend.main(["--dir", str(tmp_path), "--strict"]) == 1
+    out = capsys.readouterr().out
+    assert "unreadable" in out
+    assert "BENCH_broken" in out
+    # Report-only mode still renders it but does not fail the step.
+    assert trend.main(["--dir", str(tmp_path)]) == 0
+    # The merged trend records the failure for the diffable history.
+    merged = json.loads((tmp_path / "BENCH_trend.json").read_text())
+    assert merged["artifacts"]["BENCH_broken"]["gate"] == "unreadable"
+    assert merged["all_pass"] is False
+
+
+def test_nested_failing_gate_fails_strict(trend, tmp_path, capsys):
+    _write(tmp_path, "elastic", {
+        "pass": True,  # headline gate green; the buried section is not
+        "migration": {"pass": True, "paused_ms": 1.2},
+        "swap": {"pass": False, "paused_ms": 9.9, "status": "fail"},
+    })
+    assert trend.main(["--dir", str(tmp_path), "--strict"]) == 1
+    out = capsys.readouterr().out
+    assert "swap.pass" in out and "swap.paused_ms" in out
+    merged = json.loads((tmp_path / "BENCH_trend.json").read_text())
+    art = merged["artifacts"]["BENCH_elastic"]
+    assert art["gate"] == "FAIL"
+    assert art["nested_failures"] == ["swap"]
+
+
+def test_nested_status_fail_trips_strict(trend, tmp_path):
+    _write(tmp_path, "canary", {
+        "rollout": {"status": "fail", "promoted": 0},
+    })
+    assert trend.main(["--dir", str(tmp_path), "--strict"]) == 1
+
+
+def test_nested_metrics_fold_with_dotted_keys(trend):
+    record = {
+        "pass": True,
+        "throughput": 3.25,
+        "identity_gate": "skipped (1 CPU(s) visible)",
+        "swap": {"pass": True, "paused_ms": 2.5, "workers": 4,
+                 "note_gate": "ok", "status": "pass",
+                 "detail": {"too": "deep"}},
+        "workers": 8,  # config, not outcome
+    }
+    metrics = trend.headline_metrics(record)
+    assert metrics["throughput"] == 3.25
+    assert metrics["identity_gate"].startswith("skipped")
+    assert metrics["swap.pass"] is True
+    assert metrics["swap.paused_ms"] == 2.5
+    assert metrics["swap.note_gate"] == "ok"
+    assert metrics["swap.status"] == "pass"
+    assert "swap.workers" not in metrics  # config keys filtered at both levels
+    assert "workers" not in metrics
+    assert "swap.detail" not in metrics  # only one level folds
+    assert trend.nested_failures(record) == []
