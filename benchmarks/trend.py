@@ -29,10 +29,12 @@ import os
 #: top-level keys that describe the workload, not its outcome — config, not
 #: trend. Everything else scalar is a tracked metric.
 CONFIG_KEYS = {
-    "accesses", "accesses_per_stream", "adapt_window", "batch_size", "cpus",
-    "depth", "ipc", "lookahead", "max_streams", "max_wait",
-    "pending_carried_bound", "scaling_bar", "seed", "shift_at", "streams",
-    "tail_from", "throughput_bar", "workers", "workload",
+    "accesses", "accesses_per_stream", "accesses_per_tenant", "adapt_window",
+    "batch_size", "capped_degree", "check_every", "cpus", "depth", "floor",
+    "hold", "ipc", "lookahead", "max_streams", "max_wait", "min_samples",
+    "pending_carried_bound", "poison_degree", "recover", "result_window",
+    "scaling_bar", "seed", "shift_at", "streams", "tail_from", "tenants",
+    "throughput_bar", "workers", "workload",
 }
 
 

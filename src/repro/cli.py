@@ -787,6 +787,8 @@ def _cmd_hierarchy(args) -> int:
 
     trace = _load_trace(args)
     cfg = HierarchyConfig(paging=not args.no_paging, tlb=args.tlb)
+    if args.replacement:
+        cfg = cfg.with_replacement(args.replacement)
     base = simulate_hierarchy(trace, None, cfg, name="baseline")
     rows = [
         ["baseline", f"{base.sim.ipc:.3f}", "-",
@@ -818,18 +820,19 @@ def _cmd_multicore(args) -> int:
         make_workload(w, scale=args.scale, seed=args.seed + i)
         for i, w in enumerate(args.workloads)
     ]
+    cfg = HierarchyConfig()
+    if args.replacement:
+        cfg = cfg.with_replacement(args.replacement)
     if args.share_model:
         shared = _make_prefetcher(args.prefetcher, args.tables)
         if shared is None or not hasattr(shared, "multistream"):
             raise SystemExit(
                 "--share-model needs a model-backed prefetcher (--prefetcher dart)"
             )
-        r = simulate_multicore(
-            traces, config=HierarchyConfig(), shared_prefetcher=shared
-        )
+        r = simulate_multicore(traces, config=cfg, shared_prefetcher=shared)
     else:
         pf = [_make_prefetcher(args.prefetcher, args.tables) for _ in traces]
-        r = simulate_multicore(traces, prefetchers=pf, config=HierarchyConfig())
+        r = simulate_multicore(traces, prefetchers=pf, config=cfg)
     rows = [
         [c.name, f"{c.ipc:.3f}", f"{c.accuracy:.2%}", str(c.prefetches_issued)]
         for c in r.cores
@@ -842,6 +845,83 @@ def _cmd_multicore(args) -> int:
             f"{r.predictor['predict_calls']} predict calls"
         )
     log.table(title, ["core", "IPC", "pf accuracy", "pf issued"], rows)
+    return 0
+
+
+def _cmd_contend(args) -> int:
+    import json
+
+    from repro.runtime import AdmissionController, ThrottleConfig, as_streaming
+    from repro.sim import (
+        ContentionConfig,
+        LevelConfig,
+        PoisonedStream,
+        simulate_contention,
+    )
+    from repro.traces import make_workload
+
+    traces = [
+        make_workload(w, scale=args.scale, seed=args.seed + i)
+        for i, w in enumerate(args.workloads)
+    ]
+    policy = args.replacement or "plru"
+    cfg = ContentionConfig(
+        l1=LevelConfig(16 * 1024, 4, 4.0, policy=policy),
+        l2=LevelConfig(256 * 1024, 8, 12.0, policy=policy),
+        slots_per_cycle=args.slots,
+        prefetch_level=args.prefetch_level,
+    )
+
+    streams = []
+    for _ in traces:
+        pf = _make_prefetcher(args.prefetcher, args.tables)
+        streams.append(None if pf is None else as_streaming(pf))
+    for idx in args.poison or []:
+        if not 0 <= idx < len(streams) or streams[idx] is None:
+            raise SystemExit(f"--poison {idx}: no such prefetching tenant")
+        streams[idx] = PoisonedStream(streams[idx], degree=args.poison_degree)
+    controller = None
+    if args.throttle:
+        controller = AdmissionController(
+            ThrottleConfig(
+                floor=args.floor, recover=args.recover, lookahead=args.lookahead
+            )
+        )
+        streams = [
+            controller.wrap(s, f"tenant{i}") if s is not None else None
+            for i, s in enumerate(streams)
+        ]
+
+    res = simulate_contention(traces, streams, cfg)
+    rows = []
+    for i, (w, t) in enumerate(zip(args.workloads, res.tenants)):
+        state = controller.state(f"tenant{i}") if controller and streams[i] else "-"
+        poisoned = "*" if args.poison and i in args.poison else ""
+        rows.append([
+            f"{i}: {w}{poisoned}", f"{t.sim.ipc:.3f}",
+            f"{t.l1.hit_rate:.2%}", f"{t.l2.hit_rate:.2%}",
+            str(t.sim.prefetches_issued), str(res.inflicted(i)),
+            str(res.suffered(i)), state,
+        ])
+    rows.append([
+        "aggregate", f"{res.aggregate_ipc:.3f}", "-",
+        f"{res.l2.hit_rate:.2%}", "-", "-", "-", "-",
+    ])
+    title = (
+        f"{len(traces)}-tenant contention world (shared {policy.upper()} L2, "
+        f"{args.slots} slot/cycle, prefetch->{args.prefetch_level}"
+        + (", throttled" if args.throttle else "") + ")"
+    )
+    log.table(
+        title,
+        ["tenant", "IPC", "L1 hit", "L2 demand hit", "pf issued",
+         "pollution inflicted", "suffered", "throttle"],
+        rows,
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(res.summary(), f, indent=2, sort_keys=True)
+        print(f"wrote contention summary to {args.json}")
     return 0
 
 
@@ -955,6 +1035,8 @@ def _cmd_report(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.sim import policy_names
+
     parser = argparse.ArgumentParser(
         prog="repro", description="DART reproduction command-line tools"
     )
@@ -1094,6 +1176,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_hier.add_argument("--tables", default=None)
     p_hier.add_argument("--no-paging", action="store_true", help="skip virtual->physical")
     p_hier.add_argument("--tlb", action="store_true", help="model a 64-entry data TLB")
+    p_hier.add_argument("--replacement", choices=policy_names(), default=None,
+                        help="replacement policy for every cache level "
+                             "(default: per-level config, LRU)")
     p_hier.set_defaults(func=_cmd_hierarchy)
 
     p_mc = sub.add_parser("multicore", help="N cores sharing one LLC and DRAM")
@@ -1105,7 +1190,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--share-model", action="store_true",
                       help="serve all cores from one shared model "
                            "(cross-core micro-batching; model-backed only)")
+    p_mc.add_argument("--replacement", choices=policy_names(), default=None,
+                      help="replacement policy for every cache level")
     p_mc.set_defaults(func=_cmd_multicore)
+
+    p_con = sub.add_parser(
+        "contend",
+        help="multi-tenant contention: private L1s, one shared L2, "
+             "bandwidth-limited interconnect, optional admission throttle",
+    )
+    p_con.add_argument("workloads", nargs="+", help="one workload name per tenant")
+    p_con.add_argument("--scale", type=float, default=0.02)
+    p_con.add_argument("--seed", type=int, default=2)
+    p_con.add_argument("--prefetcher", choices=PREFETCHER_CHOICES, default="stride")
+    p_con.add_argument("--tables", default=None, help="tables .npz for --prefetcher dart")
+    p_con.add_argument("--poison", type=int, action="append", metavar="TENANT",
+                       help="garble this tenant's predictions (repeatable)")
+    p_con.add_argument("--poison-degree", type=int, default=8)
+    p_con.add_argument("--throttle", action="store_true",
+                       help="wrap every tenant in the accuracy-driven "
+                            "admission controller")
+    p_con.add_argument("--floor", type=float, default=0.25,
+                       help="accuracy below which a tenant escalates")
+    p_con.add_argument("--recover", type=float, default=0.40,
+                       help="accuracy at which a tenant de-escalates")
+    p_con.add_argument("--lookahead", type=int, default=16,
+                       help="accuracy horizon in accesses")
+    p_con.add_argument("--slots", type=int, default=1,
+                       help="interconnect grants per cycle")
+    p_con.add_argument("--prefetch-level", choices=["l1", "l2"], default="l2")
+    p_con.add_argument("--replacement", choices=policy_names(), default=None,
+                       help="L1/L2 replacement policy (default plru)")
+    p_con.add_argument("--json", default=None, help="write the full summary here")
+    p_con.set_defaults(func=_cmd_contend)
 
     p_an = sub.add_parser("analyze", help="trace statistics + OPT replacement headroom")
     p_an.add_argument("--workload", default="462.libquantum")

@@ -25,6 +25,12 @@ this package serves a *live* access stream with bounded latency and memory:
   ``DARTPrefetcher.stream(adapt=...)`` returns;
 * :mod:`repro.runtime.engine` — the serving loop with throughput / latency
   accounting;
+* :mod:`repro.runtime.throttle` — accuracy-driven admission control for
+  multi-tenant serving: a per-tenant :class:`StreamMonitor` feeds an
+  :class:`AdmissionController` whose hysteresis state machine (full →
+  degree-capped → drop-all) throttles low-accuracy tenants and restores
+  them on recovery; :meth:`AdmissionController.wrap` turns any handle into
+  a :class:`ThrottledStream`;
 * :mod:`repro.runtime.record` / :mod:`repro.runtime.replay` — session
   record/replay: a :class:`SessionRecorder` captures any live session
   (accesses, emissions, control-plane ops, model digests) into a versioned
@@ -78,6 +84,12 @@ from repro.runtime.ring import (
     create_ring,
 )
 from repro.runtime.sharded import ShardedEngine, ShardFailure, ShardHandle
+from repro.runtime.throttle import (
+    AdmissionController,
+    TenantThrottle,
+    ThrottleConfig,
+    ThrottledStream,
+)
 from repro.runtime.streaming import (
     BatchAdapter,
     CompositeStream,
@@ -92,6 +104,10 @@ __all__ = [
     "AdaptationConfig",
     "AdaptationController",
     "AdaptiveStream",
+    "AdmissionController",
+    "TenantThrottle",
+    "ThrottleConfig",
+    "ThrottledStream",
     "BatchAdapter",
     "CompositeStream",
     "ContractViolation",

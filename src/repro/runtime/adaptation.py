@@ -197,7 +197,10 @@ class StreamMonitor:
             if q:
                 q.popleft().hits += 1  # a prediction satisfies one demand
                 covered = 1
-            else:
+            if not q:
+                # The purge *or* the satisfying pop may have drained the
+                # deque — either way the empty shell must go, or _by_block
+                # grows one dead entry per satisfied block forever.
                 del self._by_block[blk]
         self._covered.append(covered)
         self._sum_covered += covered

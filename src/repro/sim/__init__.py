@@ -10,6 +10,11 @@ MSHR-bounded memory parallelism, prefetch timeliness):
   (:class:`DRAMModel`), virtual→physical paging and an optional TLB.
 * :func:`simulate_multicore` — N cores with private L1/L2 sharing one LLC
   and DRAM (Table III's 4-core system).
+* :func:`simulate_contention` — N *tenant streams* with private PLRU L1s
+  contending for one shared L2 through a bandwidth-limited interconnect,
+  with per-tenant prefetch tagging and attributable pollution — the world
+  the admission throttle (:mod:`repro.runtime.throttle`) closes the loop
+  against.
 
 Prefetch timeliness is the paper's central quantity: a prefetch issues
 ``latency_cycles`` after its trigger access, so slow predictors produce late
@@ -22,6 +27,16 @@ Analysis helpers: :func:`opt_miss_rate` (Belady bound),
 """
 
 from repro.sim.cache import SetAssocCache
+from repro.sim.contention import (
+    TENANT_ADDRESS_STRIDE,
+    ContentionConfig,
+    ContentionResult,
+    Interconnect,
+    PoisonedStream,
+    TenantResult,
+    simulate_contention,
+    tenant_of,
+)
 from repro.sim.dram import DRAMConfig, DRAMModel, DRAMStats
 from repro.sim.hierarchy import (
     HierarchyConfig,
@@ -58,6 +73,14 @@ __all__ = [
     "simulate_hierarchy",
     "MulticoreResult",
     "simulate_multicore",
+    "ContentionConfig",
+    "ContentionResult",
+    "Interconnect",
+    "PoisonedStream",
+    "TenantResult",
+    "TENANT_ADDRESS_STRIDE",
+    "simulate_contention",
+    "tenant_of",
     "SimResult",
     "ipc_improvement",
     "l2_filter",

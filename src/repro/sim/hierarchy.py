@@ -30,7 +30,7 @@ nothing (e.g. an L1-resident working set).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -74,6 +74,20 @@ class HierarchyConfig:
     tlb: bool = False
     tlb_entries: int = 64
     tlb_walk_latency: float = 100.0
+
+    def with_replacement(self, policy: str) -> "HierarchyConfig":
+        """Same hierarchy with every level's replacement policy swapped.
+
+        The CLI's ``--replacement`` flag routes through here, making every
+        registered policy (PLRU included) reachable from the standard
+        hierarchy/multicore scenarios, not just hand-built configs.
+        """
+        return replace(
+            self,
+            l1d=replace(self.l1d, policy=policy),
+            l2=replace(self.l2, policy=policy),
+            llc=replace(self.llc, policy=policy),
+        )
 
 
 @dataclass

@@ -69,6 +69,10 @@ class PolicyCache:
         ]
         # tag -> way index, one dict per set, for O(1) lookup.
         self._index: list[dict[int, int]] = [dict() for _ in range(self.n_sets)]
+        # Demand fills that landed on a still-prefetched, not-yet-used line:
+        # the prefetch was *late* (demand paid the miss anyway) but it still
+        # belongs in the used/unused taxonomy.
+        self.late_fills = 0
 
     @classmethod
     def from_capacity(
@@ -125,8 +129,10 @@ class PolicyCache:
         """Allocate ``block``; returns the displaced victim (or None).
 
         Invalid ways are filled first; once the set is full the policy picks
-        the victim. Filling a block already present just overwrites its
-        metadata (e.g. a demand fill landing on an in-flight prefetch).
+        the victim. Filling a block already present merges its metadata —
+        dirty accumulates, ready_cycle takes the earliest, and the
+        prefetched bit is sticky (a demand fill landing on an in-flight
+        prefetch counts as a *late* fill, see ``late_fills``).
         """
         s = self.set_index(block)
         idx = self._index[s]
@@ -134,7 +140,13 @@ class PolicyCache:
         if existing is not None:
             line = self._ways[s][existing]
             line.dirty = line.dirty or dirty
-            line.prefetched = prefetched and line.prefetched
+            # A fill on a resident line never changes how it got here: a
+            # demand fill overlapping an in-flight prefetch does NOT erase
+            # the prefetched bit (the old `prefetched and line.prefetched`
+            # did, vanishing the late prefetch from the taxonomy) — it is
+            # counted as a late outcome instead.
+            if line.prefetched and not line.used and not prefetched:
+                self.late_fills += 1
             line.ready_cycle = min(line.ready_cycle, ready_cycle)
             self.policy.on_fill(s, existing, prefetched)
             return None
@@ -153,13 +165,22 @@ class PolicyCache:
         return victim
 
     def invalidate(self, block: int) -> PolicyLine | None:
-        """Remove ``block`` (back-invalidation for inclusive hierarchies)."""
+        """Remove ``block`` (back-invalidation for inclusive hierarchies).
+
+        The replacement policy is told (``on_invalidate``) so stale per-way
+        state — a PLRU tree pointing away from the now-empty way, an RRIP
+        counter marking it near-immune — cannot steer future victims as if
+        the line were still live. The empty way is refilled first anyway
+        (invalid ways beat the policy's victim), so the hook's job is purely
+        to keep policy metadata consistent with line validity.
+        """
         s = self.set_index(block)
         way = self._index[s].pop(block, None)
         if way is None:
             return None
         line = self._ways[s][way]
         self._ways[s][way] = None
+        self.policy.on_invalidate(s, way)
         return line
 
     # ------------------------------------------------------------------ stats
@@ -177,4 +198,5 @@ class PolicyCache:
         for s in range(self.n_sets):
             self._ways[s] = [None] * self.n_ways
             self._index[s].clear()
+        self.late_fills = 0
         self.policy.reset()

@@ -7,12 +7,15 @@ hierarchy simulator exposes the policy as a knob and ``bench_ablations``
 measures its effect.
 
 A :class:`ReplacementPolicy` owns per-*way* metadata for every set and is
-driven by three events from :class:`~repro.sim.policy_cache.PolicyCache`:
+driven by four events from :class:`~repro.sim.policy_cache.PolicyCache`:
 
 * ``on_fill(set, way, prefetched)``   — a new line was allocated into ``way``;
 * ``on_hit(set, way)``                — a demand access hit ``way``;
 * ``victim(set) -> way``              — choose the way to evict (every way is
-  valid when this is called; the cache fills invalid ways first).
+  valid when this is called; the cache fills invalid ways first);
+* ``on_invalidate(set, way)``         — the line in ``way`` was removed
+  (back-invalidation); the policy marks the way maximally evictable so
+  stale metadata cannot outlive the line.
 
 Implemented policies (all O(ways) per event, allocation-free in steady state):
 
@@ -20,7 +23,8 @@ Implemented policies (all O(ways) per event, allocation-free in steady state):
 ``lru``        least-recently-used (timestamp per way)
 ``fifo``       first-in-first-out (fill timestamp, not refreshed on hit)
 ``random``     uniform random victim (seeded)
-``plru``       tree-based pseudo-LRU (the common L1 policy; ways = power of 2)
+``plru``       tree-based pseudo-LRU (the common L1 policy; any way count —
+               the tree is padded to the next power of two)
 ``lfu``        least-frequently-used with LRU tie-break
 ``srrip``      static RRIP [Jaleel et al., ISCA 2010], 2-bit RRPV
 ``brrip``      bimodal RRIP (long re-reference insertion with prob. 1/32)
@@ -54,6 +58,14 @@ class ReplacementPolicy:
         """Way to evict; called only when every way in the set is valid."""
         raise NotImplementedError
 
+    def on_invalidate(self, set_idx: int, way: int) -> None:
+        """The line in ``way`` was removed; drop any per-way preference.
+
+        Default is a no-op (stateless policies); stateful policies mark the
+        way maximally evictable so a stale stamp/counter/tree path cannot
+        steer victims as if the invalidated line were still live.
+        """
+
     def reset(self) -> None:  # pragma: no cover - overridden where stateful
         raise NotImplementedError
 
@@ -78,6 +90,9 @@ class LRUPolicy(ReplacementPolicy):
 
     def victim(self, set_idx: int) -> int:
         return int(np.argmin(self._stamp[set_idx]))
+
+    def on_invalidate(self, set_idx: int, way: int) -> None:
+        self._stamp[set_idx, way] = 0  # older than everything live
 
     def reset(self) -> None:
         self._stamp.fill(0)
@@ -115,17 +130,20 @@ class RandomPolicy(ReplacementPolicy):
 class PLRUPolicy(ReplacementPolicy):
     """Tree-based pseudo-LRU.
 
-    A complete binary tree of ``ways - 1`` direction bits per set; an access
-    flips the bits along its root-to-leaf path to point *away* from the way,
-    and the victim walk follows the bits. Requires ``n_ways`` a power of two.
+    A complete binary tree of direction bits per set; an access flips the
+    bits along its root-to-leaf path to point *away* from the way, and the
+    victim walk follows the bits. Any way count works: the tree spans the
+    next power of two and the victim walk is steered left whenever the bits
+    point into a subtree made entirely of phantom (non-existent) ways, so a
+    12-way L1D gets true tree-PLRU behavior. Power-of-two geometries are
+    bit-for-bit identical to the classic unpadded tree.
     """
 
     def __init__(self, n_sets: int, n_ways: int):
         super().__init__(n_sets, n_ways)
-        if n_ways & (n_ways - 1):
-            raise ValueError(f"PLRU needs power-of-two ways, got {n_ways}")
-        self._levels = int(np.log2(n_ways))
-        self._bits = np.zeros((n_sets, max(n_ways - 1, 1)), dtype=np.uint8)
+        self._tree_ways = 1 << max(0, n_ways - 1).bit_length()
+        self._levels = self._tree_ways.bit_length() - 1
+        self._bits = np.zeros((n_sets, max(self._tree_ways - 1, 1)), dtype=np.uint8)
 
     def _touch(self, set_idx: int, way: int) -> None:
         bits = self._bits[set_idx]
@@ -145,11 +163,25 @@ class PLRUPolicy(ReplacementPolicy):
         bits = self._bits[set_idx]
         node = 0
         way = 0
+        span = self._tree_ways
         for _ in range(self._levels):
+            span >>= 1
             b = int(bits[node])
+            # A subtree whose leftmost leaf is >= n_ways holds only phantom
+            # ways (valid ways are contiguous from 0) — go left instead.
+            if ((way << 1) | b) * span >= self.n_ways:
+                b = 0
             way = (way << 1) | b
             node = 2 * node + 1 + b
         return way
+
+    def on_invalidate(self, set_idx: int, way: int) -> None:
+        bits = self._bits[set_idx]
+        node = 0
+        for level in range(self._levels):
+            bit = (way >> (self._levels - 1 - level)) & 1
+            bits[node] = bit  # point *toward* the emptied way
+            node = 2 * node + 1 + bit
 
     def reset(self) -> None:
         self._bits.fill(0)
@@ -180,6 +212,10 @@ class LFUPolicy(ReplacementPolicy):
         if len(least) == 1:
             return int(least[0])
         return int(least[np.argmin(self._stamp[set_idx, least])])
+
+    def on_invalidate(self, set_idx: int, way: int) -> None:
+        self._count[set_idx, way] = 0
+        self._stamp[set_idx, way] = 0
 
     def reset(self) -> None:
         self._count.fill(0)
@@ -215,6 +251,9 @@ class SRRIPPolicy(ReplacementPolicy):
             if len(hits):
                 return int(hits[0])
             row += 1  # age in place; bounded by max_rrpv iterations
+
+    def on_invalidate(self, set_idx: int, way: int) -> None:
+        self._rrpv[set_idx, way] = self.max_rrpv  # distant: evict first
 
     def reset(self) -> None:
         self._rrpv.fill(self.max_rrpv)
@@ -294,6 +333,9 @@ class DRRIPPolicy(ReplacementPolicy):
 
     def victim(self, set_idx: int) -> int:
         return self._srrip.victim(set_idx)
+
+    def on_invalidate(self, set_idx: int, way: int) -> None:
+        self._srrip.on_invalidate(set_idx, way)  # RRPV array is shared
 
     def reset(self) -> None:
         self._srrip.reset()

@@ -95,6 +95,26 @@ def test_monitor_rebase_clears_signals():
     assert len(addrs) == 100
 
 
+def test_regression_monitor_by_block_bounded_on_unique_stream():
+    """The satisfied-prediction pop must delete its drained deque.
+
+    A never-repeating access stream where every prediction is demanded
+    exactly once drains each block's deque via the hit path; before the fix
+    the empty shells accumulated in ``_by_block`` forever (one per access).
+    """
+    cfg = AdaptationConfig(window=256, lookahead=4, check_every=64,
+                           min_samples=8, result_window=64, feature_window=32)
+    mon = StreamMonitor(cfg)
+    n = 5000
+    for i in range(n):
+        mon.update(0x400, i * BLOCK)  # block i: never repeats
+        mon.record([Emission(i, [i + 1])])  # satisfied at access i+1, once
+    # Only genuinely outstanding predictions may remain indexed: the leak
+    # grew this linearly with the stream (~n entries).
+    assert len(mon._by_block) <= cfg.lookahead + 1
+    assert mon.accuracy == pytest.approx(1.0)
+
+
 # ------------------------------------------------------- score_prefetch_lists
 def test_score_prefetch_lists_basic():
     blocks = [10, 11, 12, 13, 14]

@@ -210,3 +210,39 @@ def test_unknown_prefetcher_rejected():
 
     with pytest.raises(SystemExit):
         _make_prefetcher("oracle", None)
+
+
+def test_contend_subcommand_writes_summary(tmp_path, capsys):
+    out = tmp_path / "contend.json"
+    rc = main(
+        ["contend", "462.libquantum", "605.mcf", "--scale", "0.004",
+         "--poison", "0", "--throttle", "--json", str(out)]
+    )
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "contention world" in text and "throttled" in text
+    import json
+
+    summary = json.loads(out.read_text())
+    assert len(summary["tenants"]) == 2
+    assert summary["throttle"]  # the controller's per-tenant summaries
+    # Tenant 0 wears the poison marker in the table.
+    assert "0: 462.libquantum*" in text
+
+
+def test_contend_poison_requires_prefetching_tenant():
+    with pytest.raises(SystemExit):
+        main(["contend", "462.libquantum", "--scale", "0.004",
+              "--prefetcher", "none", "--poison", "0"])
+
+
+def test_replacement_flag_reaches_hierarchy(capsys):
+    rc = main(["hierarchy", "--scale", "0.004", "--prefetcher", "none",
+               "--replacement", "plru"])
+    assert rc == 0
+    assert "baseline" in capsys.readouterr().out
+
+
+def test_replacement_flag_rejects_unknown_policy():
+    with pytest.raises(SystemExit):
+        main(["hierarchy", "--scale", "0.004", "--replacement", "bogus"])

@@ -66,6 +66,53 @@ def test_fill_existing_merges_metadata():
     assert line.dirty and line.ready_cycle == 50.0
 
 
+def test_regression_demand_fill_preserves_prefetched_bit():
+    """A demand fill on an in-flight prefetched line must not erase the
+    prefetched bit — the late prefetch stays in the used/unused taxonomy
+    and is counted as a late fill (the old merge zeroed the bit)."""
+    c = PolicyCache(1, 2)
+    c.fill(5, prefetched=True, ready_cycle=100.0)
+    c.fill(5, ready_cycle=50.0)  # demand arrives before the prefetch lands
+    line = c.peek(5)
+    assert line.prefetched, "late prefetch vanished from the taxonomy"
+    assert c.late_fills == 1
+    # The eviction report must still carry the bit.
+    c.fill(5 + 1)  # fill the other way
+    victim = c.fill(5 + 2)  # now evict
+    evicted = {victim.block: victim}
+    assert 5 not in evicted or evicted[5].prefetched
+
+
+def test_regression_late_fill_counted_once_and_reset():
+    c = PolicyCache(1, 4)
+    c.fill(1, prefetched=True)
+    c.fill(1)  # late
+    c.fill(1)  # still resident, still unused: a second demand fill (e.g. an
+    c.fill(1)  # MSHR merge) keeps counting — each one paid a real miss
+    assert c.late_fills == 3
+    c.fill(2)
+    c.fill(2, prefetched=True)  # prefetch landing on a demand line: not late
+    assert c.late_fills == 3
+    assert c.peek(2).prefetched is False  # demand-resident line stays demand
+    c.reset()
+    assert c.late_fills == 0
+
+
+def test_regression_invalidate_informs_replacement_policy():
+    """invalidate() must clear the policy's per-way state: after a refill of
+    the freed way, the PLRU tree may not still point away from it as if the
+    dead line had just been touched."""
+    c = PolicyCache(1, 4, "plru")
+    for b in range(4):
+        c.fill(b)
+    c.invalidate(2)
+    # The freed way must be the policy's preferred victim now.
+    assert c.policy.victim(0) == 2
+    # And the refill goes into the freed way without evicting anyone.
+    assert c.fill(99) is None
+    assert c.occupancy() == 4
+
+
 def test_invalidate():
     c = PolicyCache(2, 2)
     c.fill(4, dirty=True)

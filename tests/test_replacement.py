@@ -38,7 +38,7 @@ def test_policy_validation():
     with pytest.raises(ValueError):
         LRUPolicy(0, 4)
     with pytest.raises(ValueError):
-        PLRUPolicy(4, 3)  # ways must be a power of two
+        PLRUPolicy(4, 0)
 
 
 # --------------------------------------------------------------------- LRU
@@ -100,6 +100,39 @@ def test_plru_cycles_through_all_ways():
         seen.add(v)
         p.on_fill(0, v)
     assert seen == set(range(8))
+
+
+@pytest.mark.parametrize("ways", [3, 5, 6, 12])
+def test_plru_non_pow2_ways(ways):
+    """The padded tree serves any way count — victims stay real and cycle."""
+    p = PLRUPolicy(1, ways)
+    seen = set()
+    for _ in range(2 * ways):
+        v = p.victim(0)
+        assert 0 <= v < ways
+        seen.add(v)
+        p.on_fill(0, v)
+    assert seen == set(range(ways))
+    for w in range(ways):
+        p.on_hit(0, w)
+        assert p.victim(0) != w or ways == 1
+
+
+def test_plru_pow2_matches_unpadded_tree():
+    """Power-of-two geometries must keep the classic tree bit-for-bit."""
+    p = PLRUPolicy(2, 4)
+    assert p._tree_ways == 4 and p._bits.shape == (2, 3)
+
+
+@pytest.mark.parametrize("name", [n for n in ALL_NAMES if n != "random"])
+def test_on_invalidate_marks_way_evictable(name):
+    """After on_invalidate, the freed way must be the next victim."""
+    p = make_policy(name, 2, 4)
+    for w in range(4):
+        p.on_fill(0, w)
+        p.on_hit(0, w)
+    p.on_invalidate(0, 1)
+    assert p.victim(0) == 1
 
 
 # --------------------------------------------------------------------- LFU

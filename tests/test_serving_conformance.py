@@ -39,6 +39,10 @@ ENGINES = [
     # full behavioral-contract set; bit-identity makes replay transitively
     # conformant with the batch oracle.
     "recorded-replay",
+    # The admission throttle's zero-overhead guarantee: a fleet wrapped in
+    # an AdmissionController whose throttle can never fire (floor 0.0) must
+    # be bit-identical to the unwrapped engines — and hence to the oracle.
+    "throttled",
 ]
 MODEL_BACKED = {"dart", "nn"}
 
@@ -90,7 +94,7 @@ def test_engine_matches_batch_oracle(
 ):
     pf = prefetchers[kind]
     if kind not in MODEL_BACKED:
-        if engine != "stream":
+        if engine not in ("stream", "throttled"):
             pytest.skip(f"rule-based {kind} has no {engine} engine (synchronous)")
         if batch_size != 1:
             pytest.skip("rule-based streams are synchronous; B does not apply")
@@ -137,6 +141,24 @@ def test_engine_matches_batch_oracle(
         for s in range(2):
             assert lists[s] == oracles[kind][s], f"stream {s} diverged"
             assert per_stream[s].accesses == len(conformance_traces[s])
+    elif engine == "throttled":
+        from repro.runtime import AdmissionController, ThrottleConfig
+
+        # floor=0.0 means accuracy can never sink below the floor, so the
+        # throttle never escalates — the never-fires column of the matrix.
+        ctl = AdmissionController(ThrottleConfig(floor=0.0, recover=0.0))
+        if kind in MODEL_BACKED:
+            ms = pf.multistream(batch_size=batch_size)
+            handles = ctl.wrap_all(list(ms.streams(2)))
+            got = drive_pair(handles, conformance_traces)
+            for s in range(2):
+                assert got[s] == oracles[kind][s], f"stream {s} diverged"
+        else:
+            stream = ctl.wrap(as_streaming(pf))
+            assert drive(stream, conformance_traces[0]) == oracles[kind][0]
+        # The wrapper really was engaged, and it never moved a tenant.
+        assert ctl.states() and all(s == "full" for s in ctl.states().values())
+        assert all(not t.transitions for t in ctl.tenants.values())
     elif engine == "recorded-replay":
         from repro.runtime import SessionRecorder, replay
 
